@@ -1,0 +1,48 @@
+//! Criterion microbench: design-space exploration throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilcl::prelude::*;
+
+fn bench_evaluate_point(c: &mut Criterion) {
+    let program = programs::jacobi_2d();
+    let f = StencilFeatures::extract(&program).unwrap();
+    let design = Design::equal(DesignKind::PipeShared, 16, vec![4, 4], vec![128, 128]).unwrap();
+    let device = Device::default();
+    let cost = CostModel::default();
+    c.bench_function("dse/evaluate_point/jacobi2d", |b| {
+        b.iter(|| {
+            stencilcl_opt::evaluate(
+                black_box(&program),
+                &f,
+                design.clone(),
+                &device,
+                &cost,
+                8,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_full_search(c: &mut Criterion) {
+    let program = programs::jacobi_2d().with_extent(Extent::new2(512, 512)).with_iterations(64);
+    let device = Device::default();
+    let cost = CostModel::default();
+    let cfg = SearchConfig {
+        parallelism: vec![4, 4],
+        unroll: 8,
+        unroll_candidates: vec![8],
+        max_fused: 32,
+        min_tile: 16,
+    };
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.bench_function("optimize_pair/jacobi2d_512", |b| {
+        b.iter(|| optimize_pair(black_box(&program), &device, &cost, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate_point, bench_full_search);
+criterion_main!(benches);

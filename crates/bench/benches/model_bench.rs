@@ -1,0 +1,45 @@
+//! Criterion microbench: analytical-model evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilcl::prelude::*;
+
+fn inputs(kind: DesignKind, fused: u64) -> ModelInputs {
+    let program = programs::jacobi_2d();
+    let f = StencilFeatures::extract(&program).unwrap();
+    let tile = if kind == DesignKind::Heterogeneous {
+        Design::heterogeneous(fused, vec![vec![120, 136, 136, 120]; 2]).unwrap()
+    } else {
+        Design::equal(kind, fused, vec![4, 4], vec![128, 128]).unwrap()
+    };
+    let p = Partition::new(f.extent, &tile, &f.growth).unwrap();
+    let device = Device::default();
+    let hls = synthesize(&program, &p, 8, &CostModel::default(), &device);
+    ModelInputs::gather(&f, &p, &hls, &device)
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let base = inputs(DesignKind::Baseline, 32);
+    let het = inputs(DesignKind::Heterogeneous, 63);
+    c.bench_function("model/predict/baseline_h32", |b| {
+        b.iter(|| predict(black_box(&base)))
+    });
+    c.bench_function("model/predict/heterogeneous_h63", |b| {
+        b.iter(|| predict(black_box(&het)))
+    });
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let program = programs::jacobi_3d();
+    let f = StencilFeatures::extract(&program).unwrap();
+    let d = Design::equal(DesignKind::PipeShared, 8, vec![4, 2, 2], vec![32, 32, 32]).unwrap();
+    let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+    let device = Device::default();
+    let hls = synthesize(&program, &p, 8, &CostModel::default(), &device);
+    c.bench_function("model/gather_inputs/jacobi3d", |b| {
+        b.iter(|| ModelInputs::gather(black_box(&f), black_box(&p), black_box(&hls), &device))
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_gather);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbench: discrete-event simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stencilcl::prelude::*;
+
+fn setup(kind: DesignKind, fused: u64) -> (StencilFeatures, Partition, HlsReport, Device) {
+    let program = programs::jacobi_2d();
+    let f = StencilFeatures::extract(&program).unwrap();
+    let d = Design::equal(kind, fused, vec![4, 4], vec![128, 128]).unwrap();
+    let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+    let device = Device::default();
+    let hls = synthesize(&program, &p, 8, &CostModel::default(), &device);
+    (f, p, hls, device)
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    for (label, kind, fused) in [
+        ("baseline_h8", DesignKind::Baseline, 8),
+        ("pipes_h8", DesignKind::PipeShared, 8),
+        ("pipes_h64", DesignKind::PipeShared, 64),
+    ] {
+        let (f, p, hls, device) = setup(kind, fused);
+        c.bench_function(&format!("sim/region_pass/{label}"), |b| {
+            b.iter(|| simulate(black_box(&f), black_box(&p), &hls.schedule(), &device))
+        });
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use stencilcl_sim::{EventQueue, Time};
+    c.bench_function("sim/event_queue/push_pop_1000", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(Time::cycles(((i * 7919) % 1000) as f64), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_event_queue);
+criterion_main!(benches);

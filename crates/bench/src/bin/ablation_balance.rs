@@ -1,0 +1,87 @@
+//! Ablation: **workload balancing on/off** (Section 3.2).
+//!
+//! Compares the heterogeneous (balanced) tiling against equal pipe-shared
+//! tiles at the same fused depth and region geometry, isolating the benefit
+//! of shrinking the boundary kernels that gate the iteration barrier.
+
+use serde::Serialize;
+use stencilcl::prelude::*;
+use stencilcl::suite;
+use stencilcl_bench::runner::write_json;
+use stencilcl_bench::table::{percent, ratio, Table};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    name: String,
+    fused: u64,
+    equal_cycles: f64,
+    balanced_cycles: f64,
+    speedup: f64,
+    equal_wait: f64,
+    balanced_wait: f64,
+}
+
+fn main() {
+    let fw = Framework::new();
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "h",
+        "Equal tiles (cy)",
+        "Balanced (cy)",
+        "Speedup",
+        "Wait share equal",
+        "Wait share balanced",
+    ]);
+    for spec in suite::all() {
+        eprintln!("[ablation_balance] {} ...", spec.display);
+        let Ok(pair) = optimize_pair(&spec.program, &fw.device, &fw.cost, &spec.search) else {
+            continue;
+        };
+        let het = pair.heterogeneous;
+        let features = StencilFeatures::extract(&spec.program).expect("checked program");
+        // Equal-tile variant at the same fused depth and region lengths.
+        let k = &spec.search.parallelism;
+        let equal_tiles: Vec<usize> =
+            (0..het.design.dim()).map(|d| het.design.region_len(d) / k[d]).collect();
+        let Ok(equal_design) =
+            Design::equal(DesignKind::PipeShared, het.design.fused(), k.clone(), equal_tiles)
+        else {
+            continue;
+        };
+        let Ok(equal) = stencilcl_opt::evaluate(
+            &spec.program,
+            &features,
+            equal_design,
+            &fw.device,
+            &fw.cost,
+            het.hls.unroll,
+        ) else {
+            continue;
+        };
+        let eq_eval = fw.evaluate(&spec.program, equal).expect("simulate equal tiles");
+        let bal_eval = fw.evaluate(&spec.program, het).expect("simulate balanced tiles");
+        let row = Row {
+            name: spec.display.to_string(),
+            fused: bal_eval.point.design.fused(),
+            equal_cycles: eq_eval.sim.total_cycles,
+            balanced_cycles: bal_eval.sim.total_cycles,
+            speedup: eq_eval.sim.total_cycles / bal_eval.sim.total_cycles,
+            equal_wait: eq_eval.sim.breakdown.wait / eq_eval.sim.breakdown.total(),
+            balanced_wait: bal_eval.sim.breakdown.wait / bal_eval.sim.breakdown.total(),
+        };
+        t.row(vec![
+            row.name.clone(),
+            row.fused.to_string(),
+            format!("{:.3e}", row.equal_cycles),
+            format!("{:.3e}", row.balanced_cycles),
+            ratio(row.speedup),
+            percent(row.equal_wait),
+            percent(row.balanced_wait),
+        ]);
+        rows.push(row);
+    }
+    println!("Ablation: heterogeneous workload balancing vs equal pipe-shared tiles.\n");
+    println!("{}", t.render());
+    write_json("ablation_balance.json", &rows);
+}

@@ -1,0 +1,70 @@
+//! Ablation: **sequential kernel-launch delay** in the simulator.
+//!
+//! Section 5.6 attributes the analytical model's systematic underestimation
+//! to the kernel launches the real runtime serializes. Re-simulating with a
+//! zero launch delay shows how much of the model-vs-measurement gap that one
+//! mechanism explains.
+
+use serde::Serialize;
+use stencilcl::prelude::*;
+use stencilcl::suite;
+use stencilcl_bench::runner::write_json;
+use stencilcl_bench::table::{percent, Table};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    name: String,
+    predicted: f64,
+    measured: f64,
+    measured_no_launch: f64,
+    error_with_launch: f64,
+    error_without_launch: f64,
+}
+
+fn main() {
+    let fw = Framework::new();
+    let mut no_launch_device = fw.device.clone();
+    no_launch_device.launch_delay = 0;
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "Model error (launch modeled in sim)",
+        "Model error (launch removed)",
+    ]);
+    for spec in suite::all() {
+        eprintln!("[ablation_launch] {} ...", spec.display);
+        let Ok(pair) = optimize_pair(&spec.program, &fw.device, &fw.cost, &spec.search) else {
+            continue;
+        };
+        let het = &pair.heterogeneous;
+        let features = StencilFeatures::extract(&spec.program).expect("checked program");
+        let partition = Partition::new(features.extent, &het.design, &features.growth)
+            .expect("search designs partition");
+        let with = simulate(&features, &partition, &het.hls.schedule(), &fw.device);
+        let without = simulate(&features, &partition, &het.hls.schedule(), &no_launch_device);
+        let row = Row {
+            name: spec.display.to_string(),
+            predicted: het.prediction.total,
+            measured: with.total_cycles,
+            measured_no_launch: without.total_cycles,
+            error_with_launch: (with.total_cycles - het.prediction.total).abs()
+                / with.total_cycles,
+            error_without_launch: (without.total_cycles - het.prediction.total).abs()
+                / without.total_cycles,
+        };
+        t.row(vec![
+            row.name.clone(),
+            percent(row.error_with_launch),
+            percent(row.error_without_launch),
+        ]);
+        rows.push(row);
+    }
+    println!(
+        "Ablation: how much of the model's underestimation the sequential\n\
+         kernel-launch delay explains (Figure 7 discussion, Section 5.6).\n"
+    );
+    println!("{}", t.render());
+    let under = rows.iter().filter(|r| r.predicted <= r.measured).count();
+    println!("Model underestimates the launch-inclusive measurement on {under}/{} benchmarks.", rows.len());
+    write_json("ablation_launch.json", &rows);
+}

@@ -1,0 +1,77 @@
+//! Ablation: **pipe-based data sharing on/off** at a fixed design point.
+//!
+//! Takes each benchmark's optimal baseline configuration and swaps only the
+//! architecture (overlapped tiling → pipe-shared equal tiles), isolating the
+//! benefit of eliminating redundant computation and halo transfers from the
+//! benefit of deeper fusion (which Table 3's full methodology adds on top).
+
+use serde::Serialize;
+use stencilcl::prelude::*;
+use stencilcl::suite;
+use stencilcl_bench::runner::write_json;
+use stencilcl_bench::table::{ratio, Table};
+
+#[derive(Debug, Serialize)]
+struct Row {
+    name: String,
+    fused: u64,
+    baseline_cycles: f64,
+    pipe_cycles: f64,
+    speedup: f64,
+    redundant_eliminated: f64,
+}
+
+fn main() {
+    let fw = Framework::new();
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec!["Benchmark", "h", "Baseline (cy)", "Pipe-shared (cy)", "Speedup"]);
+    for spec in suite::all() {
+        eprintln!("[ablation_pipe] {} ...", spec.display);
+        let Ok(base) = optimize_baseline(&spec.program, &fw.device, &fw.cost, &spec.search)
+        else {
+            continue;
+        };
+        let features = StencilFeatures::extract(&spec.program).expect("checked program");
+        let tiles: Vec<usize> =
+            (0..base.design.dim()).map(|d| base.design.max_tile_len(d)).collect();
+        let pipe_design = Design::equal(
+            DesignKind::PipeShared,
+            base.design.fused(),
+            spec.search.parallelism.clone(),
+            tiles,
+        )
+        .expect("baseline geometry is valid");
+        let Ok(pipe) = stencilcl_opt::evaluate(
+            &spec.program,
+            &features,
+            pipe_design,
+            &fw.device,
+            &fw.cost,
+            base.hls.unroll,
+        ) else {
+            continue;
+        };
+        let base_eval = fw.evaluate(&spec.program, base).expect("simulate baseline");
+        let pipe_eval = fw.evaluate(&spec.program, pipe).expect("simulate pipe design");
+        let row = Row {
+            name: spec.display.to_string(),
+            fused: base_eval.point.design.fused(),
+            baseline_cycles: base_eval.sim.total_cycles,
+            pipe_cycles: pipe_eval.sim.total_cycles,
+            speedup: base_eval.sim.total_cycles / pipe_eval.sim.total_cycles,
+            redundant_eliminated: base_eval.sim.breakdown.compute_redundant
+                - pipe_eval.sim.breakdown.compute_redundant,
+        };
+        t.row(vec![
+            row.name.clone(),
+            row.fused.to_string(),
+            format!("{:.3e}", row.baseline_cycles),
+            format!("{:.3e}", row.pipe_cycles),
+            ratio(row.speedup),
+        ]);
+        rows.push(row);
+    }
+    println!("Ablation: pipe-based data sharing at the baseline's own design point.\n");
+    println!("{}", t.render());
+    write_json("ablation_pipe.json", &rows);
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Figure 6**: execution-time breakdowns of the baseline and
+//! heterogeneous designs for Jacobi-2D and Jacobi-3D.
+
+use stencilcl::suite;
+use stencilcl_bench::paper;
+use stencilcl_bench::runner::{figure6, write_json, Figure6Data};
+use stencilcl_bench::table::{percent, Table};
+use stencilcl_sim::Breakdown;
+
+fn row(t: &mut Table, label: &str, b: &Breakdown) {
+    let (launch, memory, useful, redundant, wait) = b.fractions();
+    t.row(vec![
+        label.to_string(),
+        percent(useful),
+        percent(redundant),
+        percent(memory),
+        percent(wait),
+        percent(launch),
+    ]);
+}
+
+fn main() {
+    let mut out: Vec<Figure6Data> = Vec::new();
+    for name in ["Jacobi-2D", "Jacobi-3D"] {
+        let spec = suite::by_name(name).expect("suite benchmark");
+        eprintln!("[figure6] running {name} ...");
+        let data = match figure6(&spec) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("[figure6] {name}: {e}");
+                continue;
+            }
+        };
+        let mut t = Table::new(vec![
+            "Design",
+            "Computation",
+            "Redundant Comp.",
+            "Memory",
+            "Wait (pipe+barrier)",
+            "Kernel Launch",
+        ]);
+        row(&mut t, "Baseline", &data.baseline);
+        row(&mut t, "Heterogeneous", &data.heterogeneous);
+        println!("Figure 6 ({name}): Execution time breakdown.\n");
+        println!("{}", t.render());
+        let (_, _, _, base_red, _) = data.baseline.fractions();
+        let (_, _, _, het_red, _) = data.heterogeneous.fractions();
+        println!(
+            "Redundant computation: baseline {} -> heterogeneous {} \
+             (paper: ~{} of Jacobi-2D baseline, eliminated entirely)\n",
+            percent(base_red),
+            percent(het_red),
+            percent(paper::FIG6_J2D_BASELINE_REDUNDANT),
+        );
+        out.push(data);
+    }
+    write_json("figure6.json", &out);
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 7**: validation of the analytical performance model
+//! against measured (simulated) latency, sweeping the number of fused
+//! iterations for the six multi-dimensional benchmarks.
+
+use stencilcl::suite;
+use stencilcl_bench::paper;
+use stencilcl_bench::runner::{figure7, write_json, Figure7Series};
+use stencilcl_bench::table::{cycles, percent, Table};
+
+const PANELS: [&str; 6] =
+    ["Jacobi-2D", "Jacobi-3D", "HotSpot-2D", "HotSpot-3D", "FDTD-2D", "FDTD-3D"];
+
+fn sweep_values(max: u64) -> Vec<u64> {
+    let mut out = vec![1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128];
+    out.retain(|&h| h <= max);
+    out
+}
+
+fn main() {
+    let mut all: Vec<Figure7Series> = Vec::new();
+    for name in PANELS {
+        let spec = suite::by_name(name).expect("suite benchmark");
+        eprintln!("[figure7] sweeping {name} ...");
+        let series = match figure7(&spec, &sweep_values(spec.program.iterations)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[figure7] {name}: {e}");
+                continue;
+            }
+        };
+        let mut t = Table::new(vec!["#Fused Iter.", "Predicted (cy)", "Measured (cy)", "Error"]);
+        for p in &series.points {
+            t.row(vec![
+                p.fused.to_string(),
+                cycles(p.predicted),
+                cycles(p.measured),
+                percent((p.measured - p.predicted).abs() / p.measured),
+            ]);
+        }
+        println!("Figure 7 ({name}): Validation of Performance Model.\n");
+        println!("{}", t.render());
+        println!(
+            "mean error {} | predicted optimum h={} measured optimum h={} ({}) | \
+             model underestimates {} of points\n",
+            percent(series.mean_error()),
+            series.predicted_optimum(),
+            series.measured_optimum(),
+            if series.predicted_optimum() == series.measured_optimum() {
+                "match"
+            } else {
+                "MISMATCH"
+            },
+            percent(series.underestimation_rate()),
+        );
+        all.push(series);
+    }
+    let mean: f64 = all.iter().map(Figure7Series::mean_error).sum::<f64>() / all.len().max(1) as f64;
+    let matches = all
+        .iter()
+        .filter(|s| s.predicted_optimum() == s.measured_optimum())
+        .count();
+    println!(
+        "Overall: mean prediction error {} (paper reports {}); optimum matched on {}/{} panels.",
+        percent(mean),
+        percent(paper::MODEL_MEAN_ERROR),
+        matches,
+        all.len()
+    );
+    write_json("figure7.json", &all);
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table 1**: the analytical-model parameter glossary.
+
+use stencilcl_bench::runner::write_json;
+use stencilcl_bench::table::Table;
+use stencilcl_model::parameter_glossary;
+
+fn main() {
+    let glossary = parameter_glossary();
+    let mut t = Table::new(vec!["Model Parameter", "Definition", "Obtained"]);
+    for p in &glossary {
+        t.row(vec![
+            p.symbol.to_string(),
+            p.definition.to_string(),
+            p.provenance.label().to_string(),
+        ]);
+    }
+    println!("Table 1: Summary of Analytical Model Parameters.\n");
+    println!("{}", t.render());
+    write_json("table1.json", &glossary);
+}

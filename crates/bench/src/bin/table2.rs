@@ -1,0 +1,52 @@
+//! Regenerates **Table 2**: the stencil benchmark suite description.
+
+use serde::Serialize;
+use stencilcl::suite;
+use stencilcl_bench::runner::write_json;
+use stencilcl_bench::table::Table;
+use stencilcl_lang::StencilFeatures;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    benchmark: String,
+    source: String,
+    input_size: String,
+    iterations: u64,
+    dim: usize,
+    arrays: usize,
+    flops_per_update: u64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec!["Benchmark", "Source", "Input Size", "#Iterations"]);
+    for b in suite::all() {
+        let f = StencilFeatures::extract(&b.program).expect("suite programs are checked");
+        let size = b
+            .program
+            .extent()
+            .as_slice()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" x ");
+        t.row(vec![
+            b.display.to_string(),
+            b.source.to_string(),
+            size.clone(),
+            b.program.iterations.to_string(),
+        ]);
+        rows.push(Row {
+            benchmark: b.display.to_string(),
+            source: b.source.to_string(),
+            input_size: size,
+            iterations: b.program.iterations,
+            dim: f.dim,
+            arrays: f.updated_arrays + f.read_only_arrays,
+            flops_per_update: f.ops.flops(),
+        });
+    }
+    println!("Table 2: Stencil Benchmark Suite Description.\n");
+    println!("{}", t.render());
+    write_json("table2.json", &rows);
+}

@@ -1,0 +1,78 @@
+//! Regenerates **Table 3**: optimal design parameters, resource utilization,
+//! and heterogeneous-over-baseline speedups for the full benchmark suite, at
+//! the paper's input sizes, with the paper's reported values alongside.
+
+use stencilcl::suite;
+use stencilcl_bench::runner::{table3_row, write_json, Table3Row};
+use stencilcl_bench::table::{ratio, Table};
+use stencilcl_bench::paper;
+
+fn main() {
+    let mut rows: Vec<Table3Row> = Vec::new();
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "Design",
+        "#Fused Iter.",
+        "Tile Size",
+        "Parallelism",
+        "FF",
+        "LUT",
+        "DSP",
+        "BRAM",
+        "Perf.",
+        "Paper Perf.",
+    ]);
+    for spec in suite::all() {
+        eprintln!("[table3] optimizing {} ...", spec.display);
+        let (_, row) = match table3_row(&spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[table3] {}: {e}", spec.display);
+                continue;
+            }
+        };
+        let tiles = |v: &[usize]| v.iter().map(ToString::to_string).collect::<Vec<_>>().join("x");
+        let par = tiles(&row.parallelism);
+        t.row(vec![
+            row.name.clone(),
+            "Baseline".into(),
+            row.base_fused.to_string(),
+            tiles(&row.base_tile),
+            par.clone(),
+            row.base_res.ff.to_string(),
+            row.base_res.lut.to_string(),
+            row.base_res.dsp.to_string(),
+            row.base_res.bram.to_string(),
+            "1".into(),
+            "1".into(),
+        ]);
+        t.row(vec![
+            String::new(),
+            "Heterogeneous".into(),
+            row.het_fused.to_string(),
+            tiles(&row.het_tile),
+            par,
+            row.het_res.ff.to_string(),
+            row.het_res.lut.to_string(),
+            row.het_res.dsp.to_string(),
+            row.het_res.bram.to_string(),
+            format!("{:.2}", row.speedup_sim),
+            format!("{:.2}", row.paper_speedup),
+        ]);
+        rows.push(row);
+    }
+    println!("Table 3: Experimental Results of Stencil Benchmark Suite.\n");
+    println!("{}", t.render());
+    let avg = rows.iter().map(|r| r.speedup_sim).sum::<f64>() / rows.len().max(1) as f64;
+    println!(
+        "Average heterogeneous speedup: {} (paper reports {})",
+        ratio(avg),
+        ratio(paper::AVERAGE_SPEEDUP)
+    );
+    println!(
+        "Invariants: DSP equal across designs: {}; resources within baseline budget: {}",
+        rows.iter().all(|r| r.base_res.dsp == r.het_res.dsp),
+        rows.iter().all(|r| r.het_res.within(&r.base_res)),
+    );
+    write_json("table3.json", &rows);
+}

@@ -1,0 +1,30 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each binary prints an aligned text table with **paper-reported vs
+//! reproduced** values side by side and writes machine-readable JSON under
+//! `results/` (override with the `STENCILCL_RESULTS` environment variable):
+//!
+//! | Binary            | Artifact  | Content |
+//! |-------------------|-----------|---------|
+//! | `table1`          | Table 1   | analytical-model parameter glossary |
+//! | `table2`          | Table 2   | benchmark suite description |
+//! | `table3`          | Table 3   | optimal parameters, resources, speedups |
+//! | `figure4`         | Figure 4  | ASCII Gantt traces of kernel schedules |
+//! | `figure6`         | Figure 6  | execution-time breakdowns (Jacobi-2D/3D) |
+//! | `figure7`         | Figure 7  | model validation sweeps over `h` |
+//! | `ablation_pipe`   | —         | pipe sharing on/off at fixed depth |
+//! | `ablation_hiding` | —         | communication latency hiding on/off |
+//! | `ablation_balance`| —         | workload balancing on/off |
+//! | `ablation_launch` | —         | launch-delay modeling (Figure 7's gap) |
+//! | `motivation`      | Figure 1b | redundancy growth vs cone depth and dimension |
+//!
+//! The library half holds the shared pieces: [`paper`] (the numbers printed
+//! in the paper), [`table`] (text-table rendering), and [`runner`] (the
+//! per-benchmark experiment drivers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod paper;
+pub mod runner;
+pub mod table;

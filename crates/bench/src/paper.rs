@@ -1,0 +1,178 @@
+//! The numbers the paper reports, transcribed for side-by-side comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource utilization as printed in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperResources {
+    /// Flip-flops.
+    pub ff: u64,
+    /// Look-up tables.
+    pub lut: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// BRAM blocks.
+    pub bram: u64,
+}
+
+/// One benchmark's Table 3 data: baseline and heterogeneous configurations
+/// and the reported speedup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperTable3Row {
+    /// Benchmark display name.
+    pub name: &'static str,
+    /// Baseline fused-iteration depth.
+    pub base_fused: u64,
+    /// Baseline tile size per dimension.
+    pub base_tile: Vec<usize>,
+    /// Heterogeneous fused-iteration depth.
+    pub het_fused: u64,
+    /// Heterogeneous tile size of the slowest kernel, per dimension.
+    pub het_tile: Vec<usize>,
+    /// Kernel parallelism per dimension (shared by both designs).
+    pub parallelism: Vec<usize>,
+    /// Baseline resources.
+    pub base_res: PaperResources,
+    /// Heterogeneous resources.
+    pub het_res: PaperResources,
+    /// Reported speedup of heterogeneous over baseline.
+    pub speedup: f64,
+}
+
+/// Table 3 as printed in the paper.
+pub fn table3() -> Vec<PaperTable3Row> {
+    fn res(ff: u64, lut: u64, dsp: u64, bram: u64) -> PaperResources {
+        PaperResources { ff, lut, dsp, bram }
+    }
+    vec![
+        PaperTable3Row {
+            name: "Jacobi-1D",
+            base_fused: 128,
+            base_tile: vec![4096],
+            het_fused: 512,
+            het_tile: vec![4096],
+            parallelism: vec![16],
+            base_res: res(54864, 79920, 80, 544),
+            het_res: res(43896, 62580, 80, 396),
+            speedup: 1.19,
+        },
+        PaperTable3Row {
+            name: "Jacobi-2D",
+            base_fused: 32,
+            base_tile: vec![128, 128],
+            het_fused: 63,
+            het_tile: vec![120, 120],
+            parallelism: vec![4, 4],
+            base_res: res(240016, 343184, 1792, 1170),
+            het_res: res(191276, 287955, 1792, 996),
+            speedup: 1.58,
+        },
+        PaperTable3Row {
+            name: "Jacobi-3D",
+            base_fused: 6,
+            base_tile: vec![16, 32, 32],
+            het_fused: 16,
+            het_tile: vec![16, 28, 28],
+            parallelism: vec![4, 2, 2],
+            base_res: res(264026, 367217, 1802, 1170),
+            het_res: res(237846, 335951, 1802, 796),
+            speedup: 2.05,
+        },
+        PaperTable3Row {
+            name: "HotSpot-2D",
+            base_fused: 32,
+            base_tile: vec![256, 256],
+            het_fused: 69,
+            het_tile: vec![248, 248],
+            parallelism: vec![4, 4],
+            base_res: res(259040, 251936, 1920, 1320),
+            het_res: res(233375, 217197, 1920, 1081),
+            speedup: 1.35,
+        },
+        PaperTable3Row {
+            name: "HotSpot-3D",
+            base_fused: 6,
+            base_tile: vec![32, 32, 32],
+            het_fused: 16,
+            het_tile: vec![30, 30, 30],
+            parallelism: vec![4, 2, 2],
+            base_res: res(225259, 236664, 1747, 1260),
+            het_res: res(199625, 207853, 1747, 1162),
+            speedup: 1.97,
+        },
+        PaperTable3Row {
+            name: "FDTD-2D",
+            base_fused: 12,
+            base_tile: vec![64, 64],
+            het_fused: 23,
+            het_tile: vec![60, 60],
+            parallelism: vec![4, 4],
+            base_res: res(104247, 149457, 324, 560),
+            het_res: res(86872, 131102, 324, 427),
+            speedup: 1.48,
+        },
+        PaperTable3Row {
+            name: "FDTD-3D",
+            base_fused: 4,
+            base_tile: vec![16, 32, 16],
+            het_fused: 10,
+            het_tile: vec![14, 32, 15],
+            parallelism: vec![2, 4, 2],
+            base_res: res(149078, 203266, 518, 952),
+            het_res: res(137632, 176874, 518, 835),
+            speedup: 1.90,
+        },
+    ]
+}
+
+/// The paper's average reported speedup (1.65×).
+pub const AVERAGE_SPEEDUP: f64 = 1.65;
+
+/// The paper's reported mean model prediction error (Section 5.6).
+pub const MODEL_MEAN_ERROR: f64 = 0.12;
+
+/// Figure 6(a) observations quoted in Section 5.4: Jacobi-2D baseline spends
+/// ~17% of execution on redundant computation and ~6% on the memory
+/// transfers the heterogeneous design eliminates.
+pub const FIG6_J2D_BASELINE_REDUNDANT: f64 = 0.17;
+/// See [`FIG6_J2D_BASELINE_REDUNDANT`].
+pub const FIG6_J2D_BASELINE_MEMORY: f64 = 0.06;
+
+/// Looks up a Table 3 row by display name.
+pub fn table3_row(name: &str) -> Option<PaperTable3Row> {
+    table3().into_iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_with_matching_dsp() {
+        let t = table3();
+        assert_eq!(t.len(), 7);
+        for r in &t {
+            assert_eq!(r.base_res.dsp, r.het_res.dsp, "{}: DSP equal by construction", r.name);
+            assert!(r.het_res.bram < r.base_res.bram, "{}: BRAM reduced", r.name);
+            assert!(r.het_fused > r.base_fused, "{}: deeper fusion", r.name);
+            assert!(r.speedup > 1.0);
+        }
+    }
+
+    #[test]
+    fn average_speedup_matches_abstract() {
+        let t = table3();
+        let avg: f64 = t.iter().map(|r| r.speedup).sum::<f64>() / t.len() as f64;
+        assert!((avg - AVERAGE_SPEEDUP).abs() < 0.015, "avg {avg}");
+    }
+
+    #[test]
+    fn dimension_speedup_trend_holds_in_paper() {
+        // "the higher dimension the stencil has, the higher performance
+        // speedup" — within each family.
+        let s = |n: &str| table3_row(n).unwrap().speedup;
+        assert!(s("Jacobi-1D") < s("Jacobi-2D") && s("Jacobi-2D") < s("Jacobi-3D"));
+        assert!(s("HotSpot-2D") < s("HotSpot-3D"));
+        assert!(s("FDTD-2D") < s("FDTD-3D"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Scaled-down smoke tests of the experiment drivers: each harness runs end
+//! to end on a shrunken benchmark and produces internally consistent data.
+
+use stencilcl::suite::BenchmarkSpec;
+use stencilcl_bench::runner::{ablation_hiding, figure6, figure7, table3_row};
+use stencilcl_opt::SearchConfig;
+
+fn scaled_spec(name: &str, n: usize, iters: u64) -> BenchmarkSpec {
+    let full = stencilcl::suite::by_name(name).expect("suite benchmark");
+    let program = full.scaled(n, iters);
+    BenchmarkSpec {
+        display: full.display,
+        source: full.source,
+        program,
+        search: SearchConfig {
+            parallelism: full.search.parallelism.clone(),
+            unroll: 4,
+            unroll_candidates: vec![2, 4],
+            max_fused: 16,
+            min_tile: 4,
+        },
+    }
+}
+
+#[test]
+fn table3_driver_produces_consistent_rows() {
+    let spec = scaled_spec("Jacobi-2D", 512, 64);
+    let (report, row) = table3_row(&spec).expect("scaled search succeeds");
+    assert_eq!(row.name, "Jacobi-2D");
+    assert!((row.speedup_sim - report.speedup_simulated()).abs() < 1e-12);
+    assert!(row.het_res.within(&row.base_res));
+    assert_eq!(row.base_res.dsp, row.het_res.dsp);
+    assert!((row.paper_speedup - 1.58).abs() < 1e-9, "paper value wired through");
+}
+
+#[test]
+fn figure6_driver_breakdowns_are_positive_and_normalized() {
+    let spec = scaled_spec("Jacobi-2D", 512, 64);
+    let data = figure6(&spec).expect("scaled run succeeds");
+    for b in [&data.baseline, &data.heterogeneous] {
+        assert!(b.total() > 0.0);
+        let (l, m, u, r, w) = b.fractions();
+        assert!((l + m + u + r + w - 1.0).abs() < 1e-9);
+        assert!(u > 0.0, "useful compute always present");
+    }
+    assert!(
+        data.baseline.compute_redundant > 0.0,
+        "overlapped tiling always recomputes halos"
+    );
+}
+
+#[test]
+fn figure7_driver_sweeps_and_reports_stats() {
+    let spec = scaled_spec("Jacobi-2D", 512, 64);
+    let series = figure7(&spec, &[1, 2, 4, 8, 12]).expect("sweep succeeds");
+    assert!(series.points.len() >= 4, "most sweep points are feasible");
+    for p in &series.points {
+        assert!(p.predicted > 0.0 && p.measured > 0.0);
+    }
+    assert!(series.mean_error() < 0.5, "error {:.2}", series.mean_error());
+    let pred = series.predicted_optimum();
+    let meas = series.measured_optimum();
+    assert!(series.points.iter().any(|p| p.fused == pred));
+    assert!(series.points.iter().any(|p| p.fused == meas));
+}
+
+#[test]
+fn hiding_ablation_never_helps_to_disable() {
+    let spec = scaled_spec("Jacobi-2D", 512, 64);
+    let a = ablation_hiding(&spec).expect("scaled run succeeds");
+    assert!(
+        a.speedup() >= 0.999,
+        "disabling latency hiding must not be faster: {:.3}",
+        a.speedup()
+    );
+}

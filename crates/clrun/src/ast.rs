@@ -1,0 +1,147 @@
+use std::collections::BTreeMap;
+
+/// An expression of the generated subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable / `#define` / parameter reference.
+    Var(String),
+    /// Multi-dimensional array access: `base[idx0][idx1]...`.
+    Index {
+        /// Array name.
+        base: String,
+        /// One expression per dimension.
+        indices: Vec<ClExpr>,
+    },
+    /// Function call: boundary helpers or `fmin`/`fmax`/`fabs`/`sqrt`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<ClExpr>,
+    },
+    /// Unary negation.
+    Neg(Box<ClExpr>),
+    /// Binary operation: `+ - * / <`.
+    Bin {
+        /// Operator symbol.
+        op: char,
+        /// Left operand.
+        lhs: Box<ClExpr>,
+        /// Right operand.
+        rhs: Box<ClExpr>,
+    },
+}
+
+/// A statement of the generated subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClStmt {
+    /// `__local float L_A[16][20];` or `const int cum[2] = {1, 2};`
+    ArrayDecl {
+        /// Array name.
+        name: String,
+        /// Per-dimension lengths.
+        dims: Vec<usize>,
+        /// Optional initializer list (row-major).
+        init: Option<Vec<ClExpr>>,
+    },
+    /// `const int i0 = expr;` / `float next = expr;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: ClExpr,
+    },
+    /// `for (int v = init; v < limit; ++v) { body }`
+    For {
+        /// Loop variable.
+        var: String,
+        /// Initial value.
+        init: ClExpr,
+        /// Exclusive upper bound (`v < limit`) — or inclusive when `le`.
+        limit: ClExpr,
+        /// Whether the condition was `<=`.
+        le: bool,
+        /// Loop body.
+        body: Vec<ClStmt>,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assigned location (Var or Index).
+        lvalue: ClExpr,
+        /// Value.
+        expr: ClExpr,
+    },
+    /// `write_pipe_block(pipe, &loc);`
+    WritePipe {
+        /// Pipe name.
+        pipe: String,
+        /// Source location.
+        loc: ClExpr,
+    },
+    /// `read_pipe_block(pipe, &loc);`
+    ReadPipe {
+        /// Pipe name.
+        pipe: String,
+        /// Destination location.
+        loc: ClExpr,
+    },
+    /// `barrier(...);` — a no-op for single-work-item kernels.
+    Barrier,
+}
+
+/// An `inline int` boundary helper: `name(int it, int s) { ... return expr; }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClHelper {
+    /// Function name (`k0_lo0`, ...).
+    pub name: String,
+    /// Parameter names in order.
+    pub params: Vec<String>,
+    /// Leading const-array declarations (the `cum` tables).
+    pub consts: Vec<ClStmt>,
+    /// The returned expression.
+    pub ret: ClExpr,
+}
+
+/// A generated `__kernel`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClKernel {
+    /// Kernel name (`stencil_k0`, ...).
+    pub name: String,
+    /// Global-array argument names, in order.
+    pub args: Vec<String>,
+    /// Body statements.
+    pub body: Vec<ClStmt>,
+}
+
+/// A parsed generated-OpenCL translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClModule {
+    /// `#define` constants.
+    pub defines: BTreeMap<String, f64>,
+    /// Pipe declarations: name → FIFO depth.
+    pub pipes: BTreeMap<String, usize>,
+    /// Inline boundary helpers by name.
+    pub helpers: BTreeMap<String, ClHelper>,
+    /// The kernels, in declaration order.
+    pub kernels: Vec<ClKernel>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_construct() {
+        let e = ClExpr::Bin {
+            op: '+',
+            lhs: Box::new(ClExpr::Int(1)),
+            rhs: Box::new(ClExpr::Var("x".into())),
+        };
+        let s = ClStmt::Assign { lvalue: ClExpr::Var("y".into()), expr: e };
+        assert!(matches!(s, ClStmt::Assign { .. }));
+    }
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Errors from parsing or executing generated OpenCL.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClError {
+    /// The lexer met a character outside the generated subset.
+    Lex {
+        /// Byte offset into the source.
+        at: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The parser expected one construct and found another.
+    Parse {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A runtime failure (unknown identifier, index out of bounds, pipe
+    /// timeout, ...).
+    Runtime {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The harness was asked to run a design it does not support (multiple
+    /// regions per pass, baseline executor quirks, ...).
+    Unsupported {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl ClError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(detail: impl Into<String>) -> Self {
+        ClError::Parse { detail: detail.into() }
+    }
+
+    /// Convenience constructor for runtime errors.
+    pub fn runtime(detail: impl Into<String>) -> Self {
+        ClError::Runtime { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::Lex { at, found } => {
+                write!(f, "lex error at byte {at}: unexpected {found:?}")
+            }
+            ClError::Parse { detail } => write!(f, "parse error: {detail}"),
+            ClError::Runtime { detail } => write!(f, "runtime error: {detail}"),
+            ClError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ClError::parse("x").to_string().contains('x'));
+        assert!(ClError::runtime("y").to_string().contains('y'));
+        assert!(ClError::Lex { at: 3, found: '$' }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,514 @@
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::ast::{ClExpr, ClKernel, ClModule, ClStmt};
+use crate::ClError;
+
+/// How long a blocked pipe operation may wait before the run is declared
+/// deadlocked (a codegen bug the interpreter is designed to surface).
+const PIPE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Evaluation-step budget per kernel — a backstop against runaway loops in
+/// malformed generated code.
+const STEP_BUDGET: u64 = 1_000_000_000;
+
+/// A kernel's pending global-memory writes: `(buffer, flat index, value)`.
+type GlobalWrites = Vec<(String, usize, f64)>;
+
+/// Executes one launch of every kernel of `module` (one region pass): each
+/// `__kernel` runs on its own thread, pipes are bounded channels with the
+/// declared depth, and the kernels' global writes are merged into `globals`
+/// after all of them return.
+///
+/// `globals` maps each `__global` argument name to its flat row-major
+/// contents (the grid buffers of the generated host program).
+///
+/// # Errors
+///
+/// Returns [`ClError::Runtime`] for unknown identifiers, out-of-bounds
+/// accesses, pipe deadlocks (10 s timeout), or a kernel referencing a global
+/// buffer that was not supplied.
+pub fn run_pass(
+    module: &ClModule,
+    globals: &mut BTreeMap<String, Vec<f64>>,
+) -> Result<(), ClError> {
+    let mut txs: HashMap<String, Sender<f64>> = HashMap::new();
+    let mut rxs: HashMap<String, Receiver<f64>> = HashMap::new();
+    for (name, depth) in &module.pipes {
+        let (tx, rx) = bounded((*depth).max(1));
+        txs.insert(name.clone(), tx);
+        rxs.insert(name.clone(), rx);
+    }
+    for kernel in &module.kernels {
+        for arg in &kernel.args {
+            if !globals.contains_key(arg) {
+                return Err(ClError::runtime(format!(
+                    "kernel {} needs global buffer `{arg}`",
+                    kernel.name
+                )));
+            }
+        }
+    }
+
+    let snapshot = &*globals;
+    let results: Vec<Result<GlobalWrites, ClError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = module
+                .kernels
+                .iter()
+                .map(|kernel| {
+                    let txs = &txs;
+                    let rxs = &rxs;
+                    scope.spawn(move || run_kernel(module, kernel, snapshot, txs, rxs))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ClError::runtime("kernel thread panicked"))
+                    })
+                })
+                .collect()
+        });
+    // A kernel that fails drops its pipe endpoints, making its peers report
+    // timeouts; surface the root cause first.
+    if let Some(root) = results.iter().find_map(|r| match r {
+        Err(e) if !e.to_string().contains("pipe") => Some(e.clone()),
+        _ => None,
+    }) {
+        return Err(root);
+    }
+    for r in results {
+        for (name, idx, value) in r? {
+            let buf = globals
+                .get_mut(&name)
+                .ok_or_else(|| ClError::runtime(format!("no global `{name}`")))?;
+            *buf.get_mut(idx).ok_or_else(|| {
+                ClError::runtime(format!("global `{name}` write at {idx} out of bounds"))
+            })? = value;
+        }
+    }
+    Ok(())
+}
+
+/// A runtime value: the generated subset only ever mixes integers (loop
+/// counters, indices) and floats (stencil data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    I(i64),
+    F(f64),
+}
+
+impl Val {
+    fn as_f64(self) -> f64 {
+        match self {
+            Val::I(v) => v as f64,
+            Val::F(v) => v,
+        }
+    }
+
+    fn as_int(self) -> Result<i64, ClError> {
+        match self {
+            Val::I(v) => Ok(v),
+            Val::F(v) if v.fract() == 0.0 => Ok(v as i64),
+            Val::F(v) => Err(ClError::runtime(format!("{v} used as an integer"))),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Scalar(Val),
+    Array { dims: Vec<usize>, data: Vec<f64> },
+}
+
+struct Env<'m> {
+    module: &'m ClModule,
+    globals: &'m BTreeMap<String, Vec<f64>>,
+    /// Overlay of this kernel's own global writes (merged by the caller).
+    gwrites: HashMap<String, HashMap<usize, f64>>,
+    scopes: Vec<HashMap<String, Slot>>,
+    txs: &'m HashMap<String, Sender<f64>>,
+    rxs: &'m HashMap<String, Receiver<f64>>,
+    steps: u64,
+}
+
+fn run_kernel(
+    module: &ClModule,
+    kernel: &ClKernel,
+    globals: &BTreeMap<String, Vec<f64>>,
+    txs: &HashMap<String, Sender<f64>>,
+    rxs: &HashMap<String, Receiver<f64>>,
+) -> Result<GlobalWrites, ClError> {
+    let mut env = Env {
+        module,
+        globals,
+        gwrites: HashMap::new(),
+        scopes: vec![HashMap::new()],
+        txs,
+        rxs,
+        steps: 0,
+    };
+    env.exec_block(&kernel.body)?;
+    let mut out = Vec::new();
+    for (name, writes) in env.gwrites {
+        for (idx, value) in writes {
+            out.push((name.clone(), idx, value));
+        }
+    }
+    Ok(out)
+}
+
+impl<'m> Env<'m> {
+    fn tick(&mut self) -> Result<(), ClError> {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            return Err(ClError::runtime("evaluation step budget exhausted"));
+        }
+        Ok(())
+    }
+
+    fn exec_block(&mut self, body: &[ClStmt]) -> Result<(), ClError> {
+        self.scopes.push(HashMap::new());
+        let result = body.iter().try_for_each(|s| self.exec(s));
+        self.scopes.pop();
+        result
+    }
+
+    fn exec(&mut self, stmt: &ClStmt) -> Result<(), ClError> {
+        self.tick()?;
+        match stmt {
+            ClStmt::Barrier => Ok(()),
+            ClStmt::ArrayDecl { name, dims, init } => {
+                let len: usize = dims.iter().product();
+                let mut data = vec![0.0; len];
+                if let Some(values) = init {
+                    if values.len() != len {
+                        return Err(ClError::runtime(format!(
+                            "initializer of `{name}` has {} values for {len} slots",
+                            values.len()
+                        )));
+                    }
+                    for (slot, e) in data.iter_mut().zip(values) {
+                        *slot = self.eval(e)?.as_f64();
+                    }
+                }
+                self.declare(name, Slot::Array { dims: dims.clone(), data });
+                Ok(())
+            }
+            ClStmt::VarDecl { name, init } => {
+                let v = self.eval(init)?;
+                self.declare(name, Slot::Scalar(v));
+                Ok(())
+            }
+            ClStmt::For { var, init, limit, le, body } => {
+                let mut v = self.eval(init)?.as_int()?;
+                loop {
+                    let lim = self.eval(limit)?.as_int()?;
+                    let run = if *le { v <= lim } else { v < lim };
+                    if !run {
+                        break;
+                    }
+                    self.scopes.push(HashMap::new());
+                    self.declare(var, Slot::Scalar(Val::I(v)));
+                    let result = body.iter().try_for_each(|s| self.exec(s));
+                    self.scopes.pop();
+                    result?;
+                    v += 1;
+                }
+                Ok(())
+            }
+            ClStmt::Assign { lvalue, expr } => {
+                let value = self.eval(expr)?;
+                self.store(lvalue, value)
+            }
+            ClStmt::WritePipe { pipe, loc } => {
+                let value = self.load(loc)?.as_f64();
+                let tx = self
+                    .txs
+                    .get(pipe)
+                    .ok_or_else(|| ClError::runtime(format!("unknown pipe `{pipe}`")))?;
+                tx.send_timeout(value, PIPE_TIMEOUT)
+                    .map_err(|_| ClError::runtime(format!("pipe `{pipe}` write blocked (deadlock?)")))
+            }
+            ClStmt::ReadPipe { pipe, loc } => {
+                let rx = self
+                    .rxs
+                    .get(pipe)
+                    .ok_or_else(|| ClError::runtime(format!("unknown pipe `{pipe}`")))?;
+                let value = rx
+                    .recv_timeout(PIPE_TIMEOUT)
+                    .map_err(|_| ClError::runtime(format!("pipe `{pipe}` read blocked (deadlock?)")))?;
+                self.store(loc, Val::F(value))
+            }
+        }
+    }
+
+    fn declare(&mut self, name: &str, slot: Slot) {
+        self.scopes
+            .last_mut()
+            .expect("at least the kernel scope exists")
+            .insert(name.to_string(), slot);
+    }
+
+    fn flat_index(dims: &[usize], indices: &[i64], name: &str) -> Result<usize, ClError> {
+        if dims.len() != indices.len() {
+            return Err(ClError::runtime(format!(
+                "`{name}` has {} dimensions, indexed with {}",
+                dims.len(),
+                indices.len()
+            )));
+        }
+        let mut flat = 0usize;
+        for (d, (&len, &idx)) in dims.iter().zip(indices).enumerate() {
+            if idx < 0 || idx as usize >= len {
+                return Err(ClError::runtime(format!(
+                    "`{name}` index {idx} out of bounds along dimension {d} (len {len})"
+                )));
+            }
+            flat = flat * len + idx as usize;
+        }
+        Ok(flat)
+    }
+
+    fn eval_indices(&mut self, indices: &[ClExpr]) -> Result<Vec<i64>, ClError> {
+        indices.iter().map(|e| self.eval(e)?.as_int()).collect()
+    }
+
+    /// Reads through an lvalue expression.
+    fn load(&mut self, e: &ClExpr) -> Result<Val, ClError> {
+        self.eval(e)
+    }
+
+    fn store(&mut self, lvalue: &ClExpr, value: Val) -> Result<(), ClError> {
+        match lvalue {
+            ClExpr::Var(name) => {
+                for scope in self.scopes.iter_mut().rev() {
+                    if let Some(Slot::Scalar(v)) = scope.get_mut(name) {
+                        *v = value;
+                        return Ok(());
+                    }
+                }
+                Err(ClError::runtime(format!("assignment to unknown variable `{name}`")))
+            }
+            ClExpr::Index { base, indices } => {
+                let idx_vals = self.eval_indices(indices)?;
+                for si in (0..self.scopes.len()).rev() {
+                    if let Some(Slot::Array { dims, .. }) = self.scopes[si].get(base) {
+                        let flat = Self::flat_index(&dims.clone(), &idx_vals, base)?;
+                        if let Some(Slot::Array { data, .. }) = self.scopes[si].get_mut(base) {
+                            data[flat] = value.as_f64();
+                        }
+                        return Ok(());
+                    }
+                }
+                if let Some(buf) = self.globals.get(base) {
+                    let flat =
+                        Self::flat_index(&[buf.len()], &idx_vals, base)?;
+                    self.gwrites.entry(base.clone()).or_default().insert(flat, value.as_f64());
+                    return Ok(());
+                }
+                Err(ClError::runtime(format!("assignment to unknown array `{base}`")))
+            }
+            other => Err(ClError::runtime(format!("invalid assignment target {other:?}"))),
+        }
+    }
+
+    fn eval(&mut self, e: &ClExpr) -> Result<Val, ClError> {
+        self.tick()?;
+        match e {
+            ClExpr::Int(v) => Ok(Val::I(*v)),
+            ClExpr::Float(v) => Ok(Val::F(*v)),
+            ClExpr::Neg(inner) => Ok(match self.eval(inner)? {
+                Val::I(v) => Val::I(-v),
+                Val::F(v) => Val::F(-v),
+            }),
+            ClExpr::Var(name) => {
+                for scope in self.scopes.iter().rev() {
+                    if let Some(Slot::Scalar(v)) = scope.get(name) {
+                        return Ok(*v);
+                    }
+                }
+                if let Some(v) = self.module.defines.get(name) {
+                    return Ok(Val::F(*v));
+                }
+                Err(ClError::runtime(format!("unknown identifier `{name}`")))
+            }
+            ClExpr::Index { base, indices } => {
+                let idx_vals = self.eval_indices(indices)?;
+                for scope in self.scopes.iter().rev() {
+                    if let Some(Slot::Array { dims, data }) = scope.get(base) {
+                        let flat = Self::flat_index(dims, &idx_vals, base)?;
+                        return Ok(Val::F(data[flat]));
+                    }
+                }
+                if let Some(buf) = self.globals.get(base) {
+                    let flat = Self::flat_index(&[buf.len()], &idx_vals, base)?;
+                    if let Some(overlay) = self.gwrites.get(base).and_then(|w| w.get(&flat)) {
+                        return Ok(Val::F(*overlay));
+                    }
+                    return Ok(Val::F(buf[flat]));
+                }
+                Err(ClError::runtime(format!("unknown array `{base}`")))
+            }
+            ClExpr::Call { name, args } => {
+                let vals: Vec<Val> =
+                    args.iter().map(|a| self.eval(a)).collect::<Result<_, _>>()?;
+                match name.as_str() {
+                    "min" => Ok(Val::I(vals[0].as_int()?.min(vals[1].as_int()?))),
+                    "max" => Ok(Val::I(vals[0].as_int()?.max(vals[1].as_int()?))),
+                    "fmin" => Ok(Val::F(vals[0].as_f64().min(vals[1].as_f64()))),
+                    "fmax" => Ok(Val::F(vals[0].as_f64().max(vals[1].as_f64()))),
+                    "fabs" => Ok(Val::F(vals[0].as_f64().abs())),
+                    "sqrt" => Ok(Val::F(vals[0].as_f64().sqrt())),
+                    _ => self.call_helper(name, &vals),
+                }
+            }
+            ClExpr::Bin { op, lhs, rhs } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                Ok(match (op, a, b) {
+                    ('+', Val::I(x), Val::I(y)) => Val::I(x + y),
+                    ('-', Val::I(x), Val::I(y)) => Val::I(x - y),
+                    ('*', Val::I(x), Val::I(y)) => Val::I(x * y),
+                    ('+', x, y) => Val::F(x.as_f64() + y.as_f64()),
+                    ('-', x, y) => Val::F(x.as_f64() - y.as_f64()),
+                    ('*', x, y) => Val::F(x.as_f64() * y.as_f64()),
+                    ('/', x, y) => Val::F(x.as_f64() / y.as_f64()),
+                    (op, ..) => {
+                        return Err(ClError::runtime(format!("unsupported operator `{op}`")))
+                    }
+                })
+            }
+        }
+    }
+
+    fn call_helper(&mut self, name: &str, args: &[Val]) -> Result<Val, ClError> {
+        let helper = self
+            .module
+            .helpers
+            .get(name)
+            .ok_or_else(|| ClError::runtime(format!("unknown function `{name}`")))?
+            .clone();
+        if args.len() != helper.params.len() {
+            return Err(ClError::runtime(format!(
+                "`{name}` takes {} arguments, got {}",
+                helper.params.len(),
+                args.len()
+            )));
+        }
+        self.scopes.push(HashMap::new());
+        for (p, v) in helper.params.iter().zip(args) {
+            self.declare(p, Slot::Scalar(*v));
+        }
+        let result = (|| {
+            for c in &helper.consts {
+                self.exec(c)?;
+            }
+            self.eval(&helper.ret)
+        })();
+        self.scopes.pop();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_module;
+
+    fn run(src: &str, globals: &mut BTreeMap<String, Vec<f64>>) {
+        let m = parse_module(src).unwrap();
+        run_pass(&m, globals).unwrap();
+    }
+
+    #[test]
+    fn single_kernel_copies_and_scales() {
+        let src = "
+            #define c 2.0f
+            __kernel void k(__global float *A) {
+                __local float L[4];
+                for (int g = 0; g < 4; ++g) { L[g] = A[g]; }
+                for (int g = 0; g < 4; ++g) { A[g] = c * L[g]; }
+            }";
+        let mut globals = BTreeMap::from([("A".to_string(), vec![1.0, 2.0, 3.0, 4.0])]);
+        run(src, &mut globals);
+        assert_eq!(globals["A"], vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn helpers_and_const_tables_evaluate() {
+        let src = "
+            inline int lo(int it, int s) { const int cum[2] = {1, 2}; return 10 + it * 2 + cum[s]; }
+            __kernel void k(__global float *A) {
+                A[lo(1, 1) - 14] = 7.0f;
+            }";
+        let mut globals = BTreeMap::from([("A".to_string(), vec![0.0, 0.0])]);
+        run(src, &mut globals);
+        assert_eq!(globals["A"], vec![7.0, 0.0]);
+    }
+
+    #[test]
+    fn two_kernels_exchange_through_a_pipe() {
+        let src = "
+            pipe float p_x_0_1 __attribute__((xcl_reqd_pipe_depth(4)));
+            __kernel void k0(__global float *A) {
+                write_pipe_block(p_x_0_1, &A[0]);
+            }
+            __kernel void k1(__global float *A) {
+                __local float L[1];
+                read_pipe_block(p_x_0_1, &L[0]);
+                A[1] = L[0] + 1.0f;
+            }";
+        let mut globals = BTreeMap::from([("A".to_string(), vec![41.0, 0.0])]);
+        run(src, &mut globals);
+        assert_eq!(globals["A"], vec![41.0, 42.0]);
+    }
+
+    #[test]
+    fn intrinsics_evaluate() {
+        let src = "
+            __kernel void k(__global float *A) {
+                A[0] = fmin(fabs(A[0]), sqrt(A[1]));
+                A[1] = fmax(2.0f, 1.0f);
+            }";
+        let mut globals = BTreeMap::from([("A".to_string(), vec![-5.0, 9.0])]);
+        run(src, &mut globals);
+        assert_eq!(globals["A"], vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let src = "__kernel void k(__global float *A) { __local float L[2]; L[5] = 1.0f; }";
+        let m = parse_module(src).unwrap();
+        let mut globals = BTreeMap::from([("A".to_string(), vec![0.0])]);
+        let err = run_pass(&m, &mut globals).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn missing_global_is_reported() {
+        let src = "__kernel void k(__global float *B) { B[0] = 1.0f; }";
+        let m = parse_module(src).unwrap();
+        let mut globals = BTreeMap::new();
+        assert!(run_pass(&m, &mut globals).is_err());
+    }
+
+    #[test]
+    fn scoped_redeclaration_per_iteration() {
+        // `const int i = g * 2;` inside the loop re-declares every iteration.
+        let src = "
+            __kernel void k(__global float *A) {
+                for (int g = 0; g < 3; ++g) {
+                    const int i = g * 2;
+                    A[g] = i + 0.5f;
+                }
+            }";
+        let mut globals = BTreeMap::from([("A".to_string(), vec![0.0; 3])]);
+        run(src, &mut globals);
+        assert_eq!(globals["A"], vec![0.5, 2.5, 4.5]);
+    }
+}

@@ -1,0 +1,158 @@
+use std::collections::BTreeMap;
+
+use stencilcl_codegen::{generate_kernels, CodegenOptions};
+use stencilcl_grid::{Grid, Partition, Point};
+use stencilcl_lang::{GridState, Program};
+
+use crate::{parse_module, run_pass, ClError};
+
+/// Generates the OpenCL design for `partition`, **executes the generated
+/// source text**, and returns the resulting grids — the end-to-end
+/// validation a real toolchain run would provide.
+///
+/// The host side mirrors the generated host program: one launch of all
+/// kernels per fused pass, `⌈H/h⌉` passes. Because the generated kernels
+/// hard-code the canonical region's coordinates, the design's region must
+/// cover the whole grid (`regions_per_pass() == 1`), and `h` must divide the
+/// iteration count (the kernel text always runs `h` fused iterations).
+///
+/// # Errors
+///
+/// Returns [`ClError::Unsupported`] for designs outside that scope and
+/// propagates parse/runtime failures from the generated code.
+pub fn run_design(
+    program: &Program,
+    partition: &Partition,
+    options: &CodegenOptions,
+    mut init: impl FnMut(&str, &Point) -> f64,
+) -> Result<GridState, ClError> {
+    if partition.regions_per_pass() != 1 {
+        return Err(ClError::Unsupported {
+            detail: format!(
+                "generated kernels address one fixed region; this design has {} regions per pass",
+                partition.regions_per_pass()
+            ),
+        });
+    }
+    let fused = partition.design().fused();
+    if !program.iterations.is_multiple_of(fused) {
+        return Err(ClError::Unsupported {
+            detail: format!(
+                "kernel text always fuses {fused} iterations; {} is not a multiple",
+                program.iterations
+            ),
+        });
+    }
+    let source = generate_kernels(program, partition, options)
+        .map_err(|e| ClError::runtime(format!("codegen failed: {e}")))?;
+    let module = parse_module(&source)?;
+
+    let mut state = GridState::new(program, &mut init);
+    let mut globals: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for g in &program.grids {
+        let grid = state
+            .grid(&g.name)
+            .map_err(|e| ClError::runtime(e.to_string()))?;
+        globals.insert(g.name.clone(), grid.as_slice().to_vec());
+    }
+
+    for _ in 0..program.iterations / fused {
+        run_pass(&module, &mut globals)?;
+    }
+
+    for g in &program.grids {
+        let data = globals.remove(&g.name).expect("inserted above");
+        let grid = Grid::from_vec(g.extent, data)
+            .map_err(|e| ClError::runtime(e.to_string()))?;
+        *state.grid_mut(&g.name).map_err(|e| ClError::runtime(e.to_string()))? = grid;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind, Extent};
+    use stencilcl_lang::{programs, Interpreter, StencilFeatures};
+
+    fn init(name: &str, p: &Point) -> f64 {
+        let mut v = name.len() as f64 + 0.25;
+        for d in 0..p.dim() {
+            v = v * 23.0 + p.coord(d) as f64;
+        }
+        (v * 0.0031).sin()
+    }
+
+    fn check(program: &Program, design: Design) {
+        let f = StencilFeatures::extract(program).unwrap();
+        let partition = Partition::new(program.extent(), &design, &f.growth).unwrap();
+        let mut expect = GridState::new(program, init);
+        Interpreter::new(program).run(&mut expect, program.iterations).unwrap();
+        let got = run_design(program, &partition, &CodegenOptions::default(), init)
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        assert_eq!(
+            expect.max_abs_diff(&got).unwrap(),
+            0.0,
+            "{}: generated OpenCL diverged from the reference",
+            program.name
+        );
+    }
+
+    #[test]
+    fn generated_jacobi_1d_executes_exactly() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(48)).with_iterations(6);
+        check(&p, Design::equal(DesignKind::PipeShared, 3, vec![4], vec![12]).unwrap());
+        let p = programs::jacobi_1d().with_extent(Extent::new1(48)).with_iterations(6);
+        check(&p, Design::equal(DesignKind::Baseline, 2, vec![4], vec![12]).unwrap());
+    }
+
+    #[test]
+    fn generated_jacobi_2d_executes_exactly() {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(24, 24)).with_iterations(4);
+        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![12, 12]).unwrap());
+    }
+
+    #[test]
+    fn generated_heterogeneous_design_executes_exactly() {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(24, 24)).with_iterations(4);
+        check(&p, Design::heterogeneous(2, vec![vec![10, 14], vec![14, 10]]).unwrap());
+    }
+
+    #[test]
+    fn generated_fdtd_2d_multi_array_pipes_execute_exactly() {
+        let p = programs::fdtd_2d().with_extent(Extent::new2(16, 16)).with_iterations(4);
+        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap());
+    }
+
+    #[test]
+    fn generated_hotspot_2d_with_params_executes_exactly() {
+        let p = programs::hotspot_2d().with_extent(Extent::new2(16, 16)).with_iterations(4);
+        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap());
+    }
+
+    #[test]
+    fn generated_chambolle_with_intrinsics_executes_exactly() {
+        let p = stencilcl_lang::parse(&programs::chambolle_2d_source(16, 4)).unwrap();
+        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap());
+    }
+
+    #[test]
+    fn multi_region_designs_are_rejected() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(64)).with_iterations(4);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let err = run_design(&p, &partition, &CodegenOptions::default(), init).unwrap_err();
+        assert!(matches!(err, ClError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn partial_last_pass_is_rejected() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(5);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![16]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let err = run_design(&p, &partition, &CodegenOptions::default(), init).unwrap_err();
+        assert!(matches!(err, ClError::Unsupported { .. }), "{err}");
+    }
+}

@@ -1,0 +1,213 @@
+use crate::ClError;
+
+/// Tokens of the generated OpenCL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Hash, // `#` (of `#define`)
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Le,
+    Amp,
+    PlusPlus,
+    Eof,
+}
+
+/// Lexes generated OpenCL, skipping whitespace and `/* ... */` comments.
+pub(crate) fn lex(src: &str) -> Result<Vec<Tok>, ClError> {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == '*' && b[i + 1] == '/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(b[start..i].iter().collect()));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == '.' {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == 'e' || b[i] == 'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < b.len() && (b[i] == '+' || b[i] == '-') {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i].iter().collect();
+                // An `f` suffix marks a float literal either way.
+                if i < b.len() && b[i] == 'f' {
+                    is_float = true;
+                    i += 1;
+                }
+                if is_float {
+                    let v = text.parse().map_err(|_| ClError::Lex { at: start, found: c })?;
+                    out.push(Tok::Float(v));
+                } else {
+                    let v = text.parse().map_err(|_| ClError::Lex { at: start, found: c })?;
+                    out.push(Tok::Int(v));
+                }
+            }
+            '#' => {
+                out.push(Tok::Hash);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Assign);
+                i += 1;
+            }
+            '+' if b.get(i + 1) == Some(&'+') => {
+                out.push(Tok::PlusPlus);
+                i += 2;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '<' if b.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Le);
+                i += 2;
+            }
+            '<' => {
+                out.push(Tok::Lt);
+                i += 1;
+            }
+            '&' => {
+                out.push(Tok::Amp);
+                i += 1;
+            }
+            other => return Err(ClError::Lex { at: i, found: other }),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_generated_fragments() {
+        let toks = lex("L_A[i0 - 1][i1] = 0.25f * A[g0 * 64 + g1]; /* c */ ++a0").unwrap();
+        assert!(toks.contains(&Tok::Ident("L_A".into())));
+        assert!(toks.contains(&Tok::Float(0.25)));
+        assert!(toks.contains(&Tok::Int(64)));
+        assert!(toks.contains(&Tok::PlusPlus));
+    }
+
+    #[test]
+    fn float_suffixes_and_defines() {
+        let toks = lex("#define amb 80f").unwrap();
+        assert_eq!(
+            toks,
+            vec![Tok::Hash, Tok::Ident("define".into()), Tok::Ident("amb".into()), Tok::Float(80.0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        let toks = lex("a / b /* c */ / 2").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Slash).count(), 2);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a < b; it <= 4").unwrap();
+        assert!(toks.contains(&Tok::Lt));
+        assert!(toks.contains(&Tok::Le));
+    }
+
+    #[test]
+    fn rejects_foreign_characters() {
+        assert!(matches!(lex("a ? b").unwrap_err(), ClError::Lex { found: '?', .. }));
+    }
+}

@@ -1,0 +1,57 @@
+//! An interpreter for the OpenCL-C subset `stencilcl-codegen` emits —
+//! the closest substitute for running the generated design through a real
+//! OpenCL toolchain.
+//!
+//! `stencilcl-exec` proves the *architecture* computes the right values at
+//! the IR level; this crate closes the remaining gap by executing the
+//! **generated source text itself**: the `#define`s, pipe declarations,
+//! inline boundary functions, local-buffer declarations, burst loops, fused
+//! iteration loops, staged statement updates, and blocking
+//! `write_pipe_block`/`read_pipe_block` calls. Each generated `__kernel`
+//! runs on its own OS thread; pipes are bounded channels with the declared
+//! FIFO depth, so the blocking semantics (and any deadlock a codegen bug
+//! would introduce) are real.
+//!
+//! Scope: the interpreter executes **one region pass per kernel launch**
+//! (the generated kernels hard-code the canonical region's coordinates), so
+//! the validation harness requires designs whose region covers the whole
+//! grid — which is how `run_design` sets its tests up. Floats are evaluated
+//! in `f64`, matching the DSL reference interpreter, so agreement is exact.
+//!
+//! # Example
+//!
+//! ```
+//! use stencilcl_clrun::run_design;
+//! use stencilcl_codegen::CodegenOptions;
+//! use stencilcl_grid::{Design, DesignKind, Extent, Partition};
+//! use stencilcl_lang::{programs, GridState, StencilFeatures};
+//!
+//! let program = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(4);
+//! let f = StencilFeatures::extract(&program)?;
+//! let design = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![16])?;
+//! let partition = Partition::new(f.extent, &design, &f.growth)?;
+//!
+//! let init = |_: &str, p: &stencilcl_grid::Point| p.coord(0) as f64;
+//! let mut expect = GridState::new(&program, init);
+//! stencilcl_lang::Interpreter::new(&program).run(&mut expect, 4)?;
+//!
+//! let got = run_design(&program, &partition, &CodegenOptions::default(), init)?;
+//! assert_eq!(expect.max_abs_diff(&got)?, 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod ast;
+mod error;
+mod exec;
+mod harness;
+mod lexer;
+mod parser;
+
+pub use ast::{ClExpr, ClKernel, ClModule, ClStmt};
+pub use error::ClError;
+pub use exec::run_pass;
+pub use harness::run_design;
+pub use parser::parse_module;

@@ -1,0 +1,464 @@
+use std::collections::BTreeMap;
+
+use crate::ast::{ClExpr, ClHelper, ClKernel, ClModule, ClStmt};
+use crate::lexer::{lex, Tok};
+use crate::ClError;
+
+/// Parses a generated kernels file (the `kernels` field of
+/// [`GeneratedCode`](stencilcl_codegen::GeneratedCode)) into a [`ClModule`].
+///
+/// # Errors
+///
+/// Returns [`ClError`] for anything outside the generated subset.
+pub fn parse_module(source: &str) -> Result<ClModule, ClError> {
+    let toks = lex(source)?;
+    let mut p = P { toks, i: 0 };
+    let mut module = ClModule {
+        defines: BTreeMap::new(),
+        pipes: BTreeMap::new(),
+        helpers: BTreeMap::new(),
+        kernels: Vec::new(),
+    };
+    loop {
+        match p.peek().clone() {
+            Tok::Eof => break,
+            Tok::Hash => {
+                p.bump();
+                p.expect_ident("define")?;
+                let name = p.ident()?;
+                let neg = p.eat(&Tok::Minus);
+                let v = match p.bump() {
+                    Tok::Float(v) => v,
+                    Tok::Int(v) => v as f64,
+                    t => return Err(ClError::parse(format!("bad #define value {t:?}"))),
+                };
+                module.defines.insert(name, if neg { -v } else { v });
+            }
+            Tok::Ident(w) if w == "pipe" => {
+                p.bump();
+                p.ident()?; // element type
+                let name = p.ident()?;
+                let depth = p.attribute_depth()?;
+                p.expect(&Tok::Semi)?;
+                module.pipes.insert(name, depth);
+            }
+            Tok::Ident(w) if w == "inline" => {
+                let h = p.helper()?;
+                module.helpers.insert(h.name.clone(), h);
+            }
+            Tok::Ident(w) if w == "__attribute__" => p.skip_attribute()?,
+            Tok::Ident(w) if w == "__kernel" => {
+                module.kernels.push(p.kernel()?);
+            }
+            t => return Err(ClError::parse(format!("unexpected top-level token {t:?}"))),
+        }
+    }
+    Ok(module)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    i: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i.min(self.toks.len() - 1)].clone();
+        if self.i < self.toks.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ClError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(ClError::parse(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ClError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => Err(ClError::parse(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), ClError> {
+        let got = self.ident()?;
+        if got == word {
+            Ok(())
+        } else {
+            Err(ClError::parse(format!("expected `{word}`, found `{got}`")))
+        }
+    }
+
+    fn usize_lit(&mut self) -> Result<usize, ClError> {
+        match self.bump() {
+            Tok::Int(v) if v >= 0 => Ok(v as usize),
+            t => Err(ClError::parse(format!("expected array length, found {t:?}"))),
+        }
+    }
+
+    /// Skips a (possibly nested) `__attribute__((...))`; the `__attribute__`
+    /// ident is already current or consumed by the caller.
+    fn skip_attribute(&mut self) -> Result<(), ClError> {
+        self.expect_ident("__attribute__")?;
+        self.expect(&Tok::LParen)?;
+        let mut depth = 1usize;
+        loop {
+            match self.bump() {
+                Tok::LParen => depth += 1,
+                Tok::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Tok::Eof => return Err(ClError::parse("unterminated __attribute__")),
+                _ => {}
+            }
+        }
+    }
+
+    /// Extracts `N` from `__attribute__((xcl_reqd_pipe_depth(N)))`.
+    fn attribute_depth(&mut self) -> Result<usize, ClError> {
+        self.expect_ident("__attribute__")?;
+        self.expect(&Tok::LParen)?;
+        self.expect(&Tok::LParen)?;
+        self.expect_ident("xcl_reqd_pipe_depth")?;
+        self.expect(&Tok::LParen)?;
+        let depth = self.usize_lit()?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::RParen)?;
+        Ok(depth)
+    }
+
+    fn helper(&mut self) -> Result<ClHelper, ClError> {
+        self.expect_ident("inline")?;
+        self.expect_ident("int")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        while !self.eat(&Tok::RParen) {
+            if self.eat(&Tok::Comma) {
+                continue;
+            }
+            self.expect_ident("int")?;
+            params.push(self.ident()?);
+        }
+        self.expect(&Tok::LBrace)?;
+        let mut consts = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::Ident(w) if w == "const" => consts.push(self.decl_stmt()?),
+                Tok::Ident(w) if w == "return" => {
+                    self.bump();
+                    let ret = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    self.expect(&Tok::RBrace)?;
+                    return Ok(ClHelper { name, params, consts, ret });
+                }
+                t => return Err(ClError::parse(format!("unexpected token in helper: {t:?}"))),
+            }
+        }
+    }
+
+    fn kernel(&mut self) -> Result<ClKernel, ClError> {
+        self.expect_ident("__kernel")?;
+        self.expect_ident("void")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        while !self.eat(&Tok::RParen) {
+            if self.eat(&Tok::Comma) {
+                continue;
+            }
+            self.expect_ident("__global")?;
+            self.ident()?; // element type
+            self.expect(&Tok::Star)?;
+            args.push(self.ident()?);
+        }
+        self.expect(&Tok::LBrace)?;
+        let body = self.block_tail()?;
+        Ok(ClKernel { name, args, body })
+    }
+
+    /// Parses statements until the matching `}` (already inside the block).
+    fn block_tail(&mut self) -> Result<Vec<ClStmt>, ClError> {
+        let mut out = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<ClStmt, ClError> {
+        match self.peek().clone() {
+            Tok::Ident(w) if w == "__attribute__" => {
+                self.skip_attribute()?;
+                self.stmt()
+            }
+            Tok::Ident(w) if w == "for" => self.for_stmt(),
+            Tok::Ident(w) if w == "barrier" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                self.ident()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(ClStmt::Barrier)
+            }
+            Tok::Ident(w) if w == "write_pipe_block" || w == "read_pipe_block" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let pipe = self.ident()?;
+                self.expect(&Tok::Comma)?;
+                self.expect(&Tok::Amp)?;
+                let loc = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                if w == "write_pipe_block" {
+                    Ok(ClStmt::WritePipe { pipe, loc })
+                } else {
+                    Ok(ClStmt::ReadPipe { pipe, loc })
+                }
+            }
+            Tok::Ident(w)
+                if w == "__local" || w == "const" || w == "int" || w == "float"
+                    || w == "double" =>
+            {
+                self.decl_stmt()
+            }
+            _ => {
+                // Assignment: lvalue = expr;
+                let lvalue = self.expr()?;
+                self.expect(&Tok::Assign)?;
+                let expr = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(ClStmt::Assign { lvalue, expr })
+            }
+        }
+    }
+
+    /// Parses `[__local|const]* <type> NAME ([N])* [= init];`
+    fn decl_stmt(&mut self) -> Result<ClStmt, ClError> {
+        loop {
+            match self.peek() {
+                Tok::Ident(w) if w == "__local" || w == "const" => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.ident()?; // element type
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            dims.push(self.usize_lit()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        if dims.is_empty() {
+            self.expect(&Tok::Assign)?;
+            let init = self.expr()?;
+            self.expect(&Tok::Semi)?;
+            return Ok(ClStmt::VarDecl { name, init });
+        }
+        let init = if self.eat(&Tok::Assign) {
+            self.expect(&Tok::LBrace)?;
+            let mut values = Vec::new();
+            while !self.eat(&Tok::RBrace) {
+                if self.eat(&Tok::Comma) {
+                    continue;
+                }
+                values.push(self.expr()?);
+            }
+            Some(values)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(ClStmt::ArrayDecl { name, dims, init })
+    }
+
+    fn for_stmt(&mut self) -> Result<ClStmt, ClError> {
+        self.expect_ident("for")?;
+        self.expect(&Tok::LParen)?;
+        self.expect_ident("int")?;
+        let var = self.ident()?;
+        self.expect(&Tok::Assign)?;
+        let init = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        let cond_var = self.ident()?;
+        if cond_var != var {
+            return Err(ClError::parse(format!("loop condition tests `{cond_var}`, not `{var}`")));
+        }
+        let le = match self.bump() {
+            Tok::Lt => false,
+            Tok::Le => true,
+            t => return Err(ClError::parse(format!("expected < or <=, found {t:?}"))),
+        };
+        let limit = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        self.expect(&Tok::PlusPlus)?;
+        let inc_var = self.ident()?;
+        if inc_var != var {
+            return Err(ClError::parse(format!("loop increments `{inc_var}`, not `{var}`")));
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+        let body = self.block_tail()?;
+        Ok(ClStmt::For { var, init, limit, le, body })
+    }
+
+    fn expr(&mut self) -> Result<ClExpr, ClError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => '+',
+                Tok::Minus => '-',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = ClExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<ClExpr, ClError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => '*',
+                Tok::Slash => '/',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = ClExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<ClExpr, ClError> {
+        match self.bump() {
+            Tok::Minus => Ok(ClExpr::Neg(Box::new(self.factor()?))),
+            Tok::Int(v) => Ok(ClExpr::Int(v)),
+            Tok::Float(v) => Ok(ClExpr::Float(v)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    while !self.eat(&Tok::RParen) {
+                        if self.eat(&Tok::Comma) {
+                            continue;
+                        }
+                        args.push(self.expr()?);
+                    }
+                    return Ok(ClExpr::Call { name, args });
+                }
+                if self.peek() == &Tok::LBracket {
+                    let mut indices = Vec::new();
+                    while self.eat(&Tok::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(&Tok::RBracket)?;
+                    }
+                    return Ok(ClExpr::Index { base: name, indices });
+                }
+                Ok(ClExpr::Var(name))
+            }
+            t => Err(ClError::parse(format!("unexpected token in expression: {t:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_kernel() {
+        let src = "
+            /* header */
+            #define c 0.5f
+            pipe float p_A_0_1 __attribute__((xcl_reqd_pipe_depth(16)));
+            inline int k0_lo0(int it, int s) { const int cum[1] = {1}; return -2 + (it - 1) * 1 + cum[s]; }
+            __attribute__((reqd_work_group_size(1, 1, 1)))
+            __kernel void stencil_k0(__global float *A) {
+                __local float L_A[20];
+                for (int g0 = 0; g0 < 20; ++g0) {
+                    L_A[g0 - 0] = A[g0];
+                }
+                for (int it = 1; it <= 2; ++it) {
+                    write_pipe_block(p_A_0_1, &L_A[15]);
+                    read_pipe_block(p_A_0_1, &L_A[16]);
+                }
+            }";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.defines["c"], 0.5);
+        assert_eq!(m.pipes["p_A_0_1"], 16);
+        let h = &m.helpers["k0_lo0"];
+        assert_eq!(h.params, vec!["it", "s"]);
+        assert_eq!(h.consts.len(), 1);
+        let k = &m.kernels[0];
+        assert_eq!(k.args, vec!["A"]);
+        assert_eq!(k.body.len(), 3);
+        match &k.body[2] {
+            ClStmt::For { var, le, body, .. } => {
+                assert_eq!(var, "it");
+                assert!(*le);
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected fused loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_every_generated_suite_design() {
+        use stencilcl_codegen::{generate_kernels, CodegenOptions};
+        use stencilcl_grid::{Design, DesignKind, Partition};
+        use stencilcl_lang::{programs, StencilFeatures};
+
+        for program in programs::all().into_iter().chain(programs::extensions()) {
+            let n = 32usize;
+            let dims = vec![n; program.dim()];
+            let program = program
+                .with_extent(stencilcl_grid::Extent::new(&dims).unwrap())
+                .with_iterations(4);
+            let f = StencilFeatures::extract(&program).unwrap();
+            for kind in [DesignKind::Baseline, DesignKind::PipeShared] {
+                let d = Design::equal(kind, 2, vec![2; f.dim], vec![n / 2; f.dim]).unwrap();
+                let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+                let code = generate_kernels(&program, &p, &CodegenOptions::default()).unwrap();
+                let m = parse_module(&code)
+                    .unwrap_or_else(|e| panic!("{} {kind:?}: {e}\n{code}", program.name));
+                assert_eq!(m.kernels.len(), d.kernel_count());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_loops() {
+        let src = "__kernel void k(__global float *A) { for (int a = 0; b < 4; ++a) { } }";
+        assert!(parse_module(src).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! The *stencil boundary generator* (Section 5.2).
+//!
+//! For each kernel it emits inline helper functions that return the valid
+//! update bounds of a statement at a given fused iteration — "a function of
+//! stencil shape, tile size, and current iteration number", as the paper
+//! specifies. The fused-operation generator calls these in its loop bounds.
+
+use stencilcl_grid::{DesignKind, Growth, TileInfo};
+use stencilcl_lang::StencilFeatures;
+
+use crate::CodeWriter;
+
+/// Per-statement cumulative growths within one fused iteration (statement
+/// chaining), shared by the boundary generator and its tests.
+pub fn cumulative_growths(features: &StencilFeatures) -> Vec<Growth> {
+    let mut acc = Growth::zero(features.dim);
+    features
+        .statements
+        .iter()
+        .map(|s| {
+            acc = acc.checked_add(&s.growth).expect("statement growths share one dimensionality");
+            acc
+        })
+        .collect()
+}
+
+/// Emits the boundary helper functions of kernel `tile.kernel()`.
+///
+/// For every dimension `d` and statement `s` the generated
+/// `k<id>_lo<d>` / `k<id>_hi<d>` functions return the absolute bounds of the
+/// cells the kernel may update at fused iteration `it` (1-based):
+/// expanding faces start at the cone base and shrink by the per-iteration
+/// growth plus the statement's cumulative chain offset; shared and
+/// grid-boundary faces stay pinned to the tile edge. Every bound is clamped
+/// against the statement's global update domain (the grid shrunk by the
+/// statement's own halo), so the generated loops never touch the fixed
+/// boundary ring — the `gmin`/`gmax` tables and integer `max`/`min` calls in
+/// the emitted code.
+pub fn generate_boundary_fns(
+    features: &StencilFeatures,
+    tile: &TileInfo,
+    kind: DesignKind,
+    fused: u64,
+) -> String {
+    let k = tile.kernel();
+    let growth = features.growth;
+    let cone = tile.cone(kind, growth, fused);
+    let cum = cumulative_growths(features);
+    let mut w = CodeWriter::new();
+    w.line(format!(
+        "/* Boundary functions of kernel {k}: valid update bounds per (fused iteration, statement). */"
+    ));
+    for d in 0..features.dim {
+        let tile_lo = tile.rect().lo().coord(d);
+        let tile_hi = tile.rect().hi().coord(d);
+        let cum_lo: Vec<String> = cum.iter().map(|g| g.lo(d).to_string()).collect();
+        let cum_hi: Vec<String> = cum.iter().map(|g| g.hi(d).to_string()).collect();
+        // Per-statement global update domain along d: the grid shrunk by the
+        // statement's own halo.
+        let gmin: Vec<String> =
+            features.statements.iter().map(|s| s.growth.lo(d).to_string()).collect();
+        let gmax: Vec<String> = features
+            .statements
+            .iter()
+            .map(|s| (features.extent.len(d) as i64 - s.growth.hi(d) as i64).to_string())
+            .collect();
+        let n = features.statements.len();
+        if cone.expands_lo(d) {
+            w.line(format!(
+                "inline int k{k}_lo{d}(int it, int s) {{ const int cum[{n}] = {{{c}}}; \
+                 const int gmin[{n}] = {{{gm}}}; \
+                 return max({base} + (it - 1) * {g} + cum[s], gmin[s]); }}",
+                c = cum_lo.join(", "),
+                gm = gmin.join(", "),
+                base = tile_lo - (growth.lo(d) * fused) as i64,
+                g = growth.lo(d),
+            ));
+        } else {
+            w.line(format!(
+                "inline int k{k}_lo{d}(int it, int s) {{ const int gmin[{n}] = {{{gm}}}; \
+                 return max({tile_lo}, gmin[s]); }}",
+                gm = gmin.join(", "),
+            ));
+        }
+        if cone.expands_hi(d) {
+            w.line(format!(
+                "inline int k{k}_hi{d}(int it, int s) {{ const int cum[{n}] = {{{c}}}; \
+                 const int gmax[{n}] = {{{gm}}}; \
+                 return min({base} - (it - 1) * {g} - cum[s], gmax[s]); }}",
+                c = cum_hi.join(", "),
+                gm = gmax.join(", "),
+                base = tile_hi + (growth.hi(d) * fused) as i64,
+                g = growth.hi(d),
+            ));
+        } else {
+            w.line(format!(
+                "inline int k{k}_hi{d}(int it, int s) {{ const int gmax[{n}] = {{{gm}}}; \
+                 return min({tile_hi}, gmax[s]); }}",
+                gm = gmax.join(", "),
+            ));
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, Extent, Partition};
+    use stencilcl_lang::programs;
+
+    fn setup(kind: DesignKind) -> (StencilFeatures, Vec<TileInfo>) {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(64, 64));
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(kind, 4, vec![2, 2], vec![16, 16]).unwrap();
+        let part = Partition::new(f.extent, &d, &f.growth).unwrap();
+        (f, part.canonical_tiles())
+    }
+
+    #[test]
+    fn expanding_faces_get_iteration_dependent_bounds() {
+        let (f, tiles) = setup(DesignKind::Baseline);
+        let code = generate_boundary_fns(&f, &tiles[0], DesignKind::Baseline, 4);
+        assert!(code.contains("(it - 1) * 1"), "{code}");
+        assert!(code.contains("k0_lo0"), "{code}");
+        assert!(code.contains("k0_hi1"), "{code}");
+    }
+
+    #[test]
+    fn shared_faces_pin_to_tile_edge() {
+        let (f, tiles) = setup(DesignKind::PipeShared);
+        // Kernel 0's hi faces are shared: constant bounds (clamped against
+        // the statement's global domain).
+        let code = generate_boundary_fns(&f, &tiles[0], DesignKind::PipeShared, 4);
+        let hi0 = tiles[0].rect().hi().coord(0);
+        assert!(code.contains(&format!("return min({hi0}, gmax[s]);")), "{code}");
+        assert!(!code.contains(&format!("return {hi0} + ")), "shared faces never expand");
+    }
+
+    #[test]
+    fn bounds_are_clamped_to_each_statements_interior() {
+        let (f, tiles) = setup(DesignKind::Baseline);
+        let code = generate_boundary_fns(&f, &tiles[0], DesignKind::Baseline, 4);
+        // Radius-1 Jacobi on a 64-wide grid: gmin 1, gmax 63.
+        assert!(code.contains("const int gmin[1] = {1}"), "{code}");
+        assert!(code.contains("const int gmax[1] = {63}"), "{code}");
+        assert!(code.contains("max(") && code.contains("min("), "{code}");
+    }
+
+    #[test]
+    fn cumulative_growths_chain() {
+        let f = StencilFeatures::extract(&programs::fdtd_2d()).unwrap();
+        let cum = cumulative_growths(&f);
+        assert_eq!(cum.len(), 3);
+        // After all three FDTD statements the chain reaches the full
+        // per-iteration growth.
+        assert_eq!(*cum.last().unwrap(), f.growth);
+    }
+
+    #[test]
+    fn every_dimension_emits_two_functions() {
+        let p = programs::jacobi_3d().with_extent(Extent::new3(16, 16, 16));
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::Baseline, 2, vec![2, 2, 2], vec![4, 4, 4]).unwrap();
+        let part = Partition::new(f.extent, &d, &f.growth).unwrap();
+        let code = generate_boundary_fns(&f, &part.canonical_tiles()[0], DesignKind::Baseline, 2);
+        for d in 0..3 {
+            assert!(code.contains(&format!("k0_lo{d}")));
+            assert!(code.contains(&format!("k0_hi{d}")));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+use std::fmt::Write as _;
+
+/// An indentation-aware text builder for generated C/OpenCL code.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_codegen::CodeWriter;
+///
+/// let mut w = CodeWriter::new();
+/// w.line("int f() {");
+/// w.indent();
+/// w.line("return 1;");
+/// w.dedent();
+/// w.line("}");
+/// assert_eq!(w.finish(), "int f() {\n    return 1;\n}\n");
+/// ```
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    out: String,
+    depth: usize,
+}
+
+impl CodeWriter {
+    /// Creates an empty writer.
+    pub fn new() -> CodeWriter {
+        CodeWriter::default()
+    }
+
+    /// Appends one line at the current indentation.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        if text.is_empty() {
+            self.out.push('\n');
+            return;
+        }
+        for _ in 0..self.depth {
+            self.out.push_str("    ");
+        }
+        let _ = writeln!(self.out, "{text}");
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    /// Increases indentation by one level.
+    pub fn indent(&mut self) {
+        self.depth += 1;
+    }
+
+    /// Decreases indentation by one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics when already at column zero (an emitter bug).
+    pub fn dedent(&mut self) {
+        assert!(self.depth > 0, "dedent below column zero");
+        self.depth -= 1;
+    }
+
+    /// Opens a `{` block: emits the header line plus `{` and indents.
+    pub fn open(&mut self, header: impl AsRef<str>) {
+        self.line(format!("{} {{", header.as_ref()));
+        self.indent();
+    }
+
+    /// Closes a block: dedents and emits `}` (plus an optional suffix).
+    pub fn close(&mut self, suffix: &str) {
+        self.dedent();
+        self.line(format!("}}{suffix}"));
+    }
+
+    /// Whether the accumulated text already contains `needle` (used to avoid
+    /// duplicate declarations).
+    pub fn contains(&self, needle: &str) -> bool {
+        self.out.contains(needle)
+    }
+
+    /// Consumes the writer, returning the accumulated text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_nest() {
+        let mut w = CodeWriter::new();
+        w.open("for (;;)");
+        w.open("if (x)");
+        w.line("y;");
+        w.close("");
+        w.close(" // for");
+        assert_eq!(w.finish(), "for (;;) {\n    if (x) {\n        y;\n    }\n} // for\n");
+    }
+
+    #[test]
+    fn empty_lines_have_no_trailing_spaces() {
+        let mut w = CodeWriter::new();
+        w.indent();
+        w.line("");
+        w.blank();
+        assert_eq!(w.finish(), "\n\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "dedent")]
+    fn dedent_underflow_panics() {
+        CodeWriter::new().dedent();
+    }
+}

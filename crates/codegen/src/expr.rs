@@ -1,0 +1,126 @@
+use stencilcl_lang::{BinOp, ElemType, Expr, Func, UnaryOp};
+
+/// The OpenCL spelling of an element type.
+pub fn c_type(ty: ElemType) -> &'static str {
+    ty.name()
+}
+
+/// Translates an update expression into OpenCL-C source.
+///
+/// Grid accesses become reads of the kernel's local buffers at the iteration
+/// point plus the constant offset: `A[i0-1][i1]` is emitted as
+/// `buf_A[i0 - 1][i1]` (the generator declares the local arrays with matching
+/// dimensions). Iteration variables are `i0..i{D-1}`; parameters keep their
+/// names (emitted as `#define`s or `const` locals by the kernel generator).
+///
+/// Literals are printed with enough precision to round-trip `f64`.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_codegen::c_expr;
+/// use stencilcl_lang::parse;
+///
+/// let p = parse("stencil s { grid A[8][8] : f32; iterations 1;
+///                A[i][j] = 0.25 * (A[i-1][j] + A[i][j+1]); }")?;
+/// let c = c_expr(&p.updates[0].rhs, "buf_");
+/// assert_eq!(c, "(0.25f * (buf_A[i0 - 1][i1] + buf_A[i0][i1 + 1]))");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn c_expr(expr: &Expr, buffer_prefix: &str) -> String {
+    match expr {
+        Expr::Number(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.1}f")
+            } else {
+                format!("{v}f")
+            }
+        }
+        Expr::Param(name) => name.clone(),
+        Expr::Access { grid, offset } => {
+            let mut s = format!("{buffer_prefix}{grid}");
+            for d in 0..offset.dim() {
+                let c = offset.coord(d);
+                match c.cmp(&0) {
+                    std::cmp::Ordering::Equal => s.push_str(&format!("[i{d}]")),
+                    std::cmp::Ordering::Greater => s.push_str(&format!("[i{d} + {c}]")),
+                    std::cmp::Ordering::Less => s.push_str(&format!("[i{d} - {}]", -c)),
+                }
+            }
+            s
+        }
+        Expr::Unary(UnaryOp::Neg, e) => format!("(-{})", c_expr(e, buffer_prefix)),
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("({} {sym} {})", c_expr(a, buffer_prefix), c_expr(b, buffer_prefix))
+        }
+        Expr::Call(func, args) => {
+            let name = match func {
+                Func::Min => "fmin",
+                Func::Max => "fmax",
+                Func::Abs => "fabs",
+                Func::Sqrt => "sqrt",
+            };
+            let args: Vec<String> = args.iter().map(|a| c_expr(a, buffer_prefix)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_lang::parse;
+
+    fn rhs(src_body: &str) -> Expr {
+        let p = parse(&format!(
+            "stencil s {{ grid A[8][8][8] : f32; param c = 2.5; iterations 1;
+             A[i][j][k] = {src_body}; }}"
+        ))
+        .unwrap();
+        p.updates[0].rhs.clone()
+    }
+
+    #[test]
+    fn offsets_translate_with_signs() {
+        let c = c_expr(&rhs("A[i-2][j][k+1]"), "L_");
+        assert_eq!(c, "L_A[i0 - 2][i1][i2 + 1]");
+    }
+
+    #[test]
+    fn params_and_literals() {
+        let c = c_expr(&rhs("c * A[i][j][k] + 1.0"), "");
+        assert_eq!(c, "((c * A[i0][i1][i2]) + 1.0f)");
+    }
+
+    #[test]
+    fn integer_literals_get_float_suffix() {
+        let c = c_expr(&rhs("A[i][j][k] / 2"), "");
+        assert_eq!(c, "(A[i0][i1][i2] / 2.0f)");
+    }
+
+    #[test]
+    fn negation_parenthesized() {
+        let c = c_expr(&rhs("-A[i][j][k]"), "");
+        assert_eq!(c, "(-A[i0][i1][i2])");
+    }
+
+    #[test]
+    fn intrinsics_map_to_opencl_builtins() {
+        let c = c_expr(&rhs("min(A[i][j][k], abs(A[i-1][j][k]))"), "L_");
+        assert_eq!(c, "fmin(L_A[i0][i1][i2], fabs(L_A[i0 - 1][i1][i2]))");
+        let c = c_expr(&rhs("sqrt(max(A[i][j][k], 0.0))"), "");
+        assert_eq!(c, "sqrt(fmax(A[i0][i1][i2], 0.0f))");
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(c_type(ElemType::F32), "float");
+        assert_eq!(c_type(ElemType::F64), "double");
+    }
+}

@@ -1,0 +1,321 @@
+//! The *fused stencil operation generator* (Section 5.2).
+//!
+//! Produces the body of one tile kernel: local-memory buffer declarations
+//! sized to the cone's input footprint, the burst read, the fused-iteration
+//! loop (independent elements first, per Section 3.1's latency hiding), the
+//! translated update statements with unroll/pipeline pragmas, the per-
+//! statement pipe traffic, and the burst write.
+
+use stencilcl_grid::{DesignKind, FaceKind, Growth, Rect, TileInfo};
+use stencilcl_lang::{Program, StencilFeatures};
+
+use crate::pipes::{pipe_name, PipeEdge};
+use crate::{c_expr, CodeWriter};
+
+/// Emits the body of kernel `tile.kernel()` into `w`.
+///
+/// `unroll` is the datapath lane count `N_PE`; buffers are named
+/// `L_<array>` and indexed in buffer-local coordinates.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_body(
+    w: &mut CodeWriter,
+    program: &Program,
+    features: &StencilFeatures,
+    tile: &TileInfo,
+    kind: DesignKind,
+    fused: u64,
+    unroll: u64,
+    grid_rect: &Rect,
+    edges: &[PipeEdge],
+) {
+    let growth = features.growth;
+    let buffer = buffer_rect(tile, kind, &growth, fused, grid_rect);
+    let dim = features.dim;
+
+    w.line(format!(
+        "/* Local buffers: cone input footprint {} ({} elements per array). */",
+        buffer,
+        buffer.volume()
+    ));
+    for g in &program.grids {
+        let dims: String = (0..dim).map(|d| format!("[{}]", buffer.len(d))).collect();
+        w.line(format!("__local {} L_{}{dims};", g.ty.name(), g.name));
+    }
+    // Staging buffers for statements whose target is read at a neighbor
+    // offset: the single work-item loop must not overwrite values its later
+    // elements still read (Figure 3's A_new double buffer).
+    let mut staged: Vec<&str> = Vec::new();
+    for stmt in &program.updates {
+        if statement_needs_staging(program, stmt) && !staged.contains(&stmt.target.as_str()) {
+            staged.push(&stmt.target);
+            let dims: String = (0..dim).map(|d| format!("[{}]", buffer.len(d))).collect();
+            w.line(format!("__local {} S_{}{dims};", program.elem_type().name(), stmt.target));
+        }
+    }
+    w.blank();
+
+    w.line("/* Burst read: coalesced copy of the footprint from global memory. */");
+    emit_transfer(w, program, &buffer, &buffer, grid_rect, true);
+    w.blank();
+
+    w.open(format!("for (int it = 1; it <= {fused}; ++it)"));
+    for (s, stmt) in program.updates.iter().enumerate() {
+        w.line(format!("/* Statement {s}: update of {}. */", stmt.target));
+        let has_dep = kind.uses_pipes() && tile.shared_face_count() > 0;
+        if has_dep {
+            w.line("/* Independent group first: interior elements overlap with pipe traffic. */");
+        }
+        emit_statement_loop(w, program, tile, s, dim, unroll, &buffer);
+        if kind.uses_pipes() {
+            emit_pipe_traffic(w, tile, &program.updates[s].target, &buffer, edges);
+        }
+        let _ = stmt;
+    }
+    w.close(" /* fused iterations */");
+    w.blank();
+
+    w.line("/* Burst write: the tile only (halo results are discarded). */");
+    emit_transfer(w, program, &tile.rect(), &buffer, grid_rect, false);
+}
+
+/// Whether the statement reads its own target at a nonzero offset (in which
+/// case an in-place element loop would corrupt later reads and the update
+/// must stage through a scratch buffer).
+pub fn statement_needs_staging(program: &Program, stmt: &stencilcl_lang::UpdateStmt) -> bool {
+    let _ = program;
+    stmt.rhs.accesses().iter().any(|(grid, offset)| {
+        grid == &stmt.target && (0..offset.dim()).any(|d| offset.coord(d) != 0)
+    })
+}
+
+/// The kernel's buffer footprint: the cone input footprint plus one-iteration
+/// shared-face halos, clipped to the grid (matching `stencilcl-exec`).
+pub fn buffer_rect(
+    tile: &TileInfo,
+    kind: DesignKind,
+    growth: &Growth,
+    fused: u64,
+    grid_rect: &Rect,
+) -> Rect {
+    let cone = tile.cone(kind, *growth, fused);
+    let mut lo = [0i64; stencilcl_grid::MAX_DIM];
+    let mut hi = [0i64; stencilcl_grid::MAX_DIM];
+    if kind.uses_pipes() {
+        for f in tile.faces() {
+            if matches!(f.kind, FaceKind::Shared { .. }) {
+                if f.high {
+                    hi[f.axis] = growth.hi(f.axis) as i64;
+                } else {
+                    lo[f.axis] = growth.lo(f.axis) as i64;
+                }
+            }
+        }
+    }
+    cone.input_footprint()
+        .expand(&lo, &hi)
+        .intersect(grid_rect)
+        .expect("tile geometry shares the grid dimensionality")
+}
+
+fn emit_transfer(
+    w: &mut CodeWriter,
+    program: &Program,
+    rect: &Rect,
+    local_base: &Rect,
+    grid: &Rect,
+    read: bool,
+) {
+    let dim = rect.dim();
+    let arrays: Vec<&str> = if read {
+        program.grids.iter().map(|g| g.name.as_str()).collect()
+    } else {
+        program.updated_grids()
+    };
+    for name in arrays {
+        for d in 0..dim {
+            w.open(format!(
+                "for (int g{d} = {}; g{d} < {}; ++g{d})",
+                rect.lo().coord(d),
+                rect.hi().coord(d)
+            ));
+        }
+        let gidx: String = (0..dim)
+            .map(|d| {
+                let stride: u64 = (d + 1..dim).map(|e| grid.len(e)).product();
+                if stride == 1 {
+                    format!("g{d}")
+                } else {
+                    format!("g{d} * {stride}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let lidx: String =
+            (0..dim).map(|d| format!("[g{d} - {}]", local_base.lo().coord(d))).collect();
+        if read {
+            w.line(format!("L_{name}{lidx} = {name}[{gidx}];"));
+        } else {
+            w.line(format!("{name}[{gidx}] = L_{name}{lidx};"));
+        }
+        for _ in 0..dim {
+            w.close("");
+        }
+    }
+}
+
+fn emit_statement_loop(
+    w: &mut CodeWriter,
+    program: &Program,
+    tile: &TileInfo,
+    s: usize,
+    dim: usize,
+    unroll: u64,
+    buffer: &Rect,
+) {
+    let stmt = &program.updates[s];
+    let staging = statement_needs_staging(program, stmt);
+    let lhs: String = (0..dim).map(|d| format!("[i{d}]")).collect();
+    let rhs = c_expr(&stmt.rhs, "L_");
+    let open_domain_loops = |w: &mut CodeWriter, pipelined: bool| {
+        let k = tile.kernel();
+        if pipelined {
+            w.line("__attribute__((xcl_pipeline_loop))");
+        }
+        for d in 0..dim {
+            if pipelined && d == dim - 1 {
+                w.line(format!("__attribute__((opencl_unroll_hint({unroll})))"));
+            }
+            w.open(format!(
+                "for (int a{d} = k{k}_lo{d}(it, {s}); a{d} < k{k}_hi{d}(it, {s}); ++a{d})"
+            ));
+        }
+        for d in 0..dim {
+            w.line(format!("const int i{d} = a{d} - {};", buffer.lo().coord(d)));
+        }
+    };
+    let close_domain_loops = |w: &mut CodeWriter| {
+        for _ in 0..dim {
+            w.close("");
+        }
+    };
+    if staging {
+        open_domain_loops(w, true);
+        w.line(format!("S_{}{lhs} = {rhs};", stmt.target));
+        close_domain_loops(w);
+        w.line("/* Commit the staged values (Jacobi-style double buffering). */");
+        open_domain_loops(w, false);
+        w.line(format!("L_{t}{lhs} = S_{t}{lhs};", t = stmt.target));
+        close_domain_loops(w);
+    } else {
+        open_domain_loops(w, true);
+        w.line(format!("L_{}{lhs} = {rhs};", stmt.target));
+        close_domain_loops(w);
+    }
+}
+
+fn emit_pipe_traffic(
+    w: &mut CodeWriter,
+    tile: &TileInfo,
+    target: &str,
+    buffer: &Rect,
+    edges: &[PipeEdge],
+) {
+    let k = tile.kernel();
+    let dim = buffer.dim();
+    let nested = |w: &mut CodeWriter, rect: &Rect, body: String| {
+        for d in 0..dim {
+            w.open(format!(
+                "for (int g{d} = {}; g{d} < {}; ++g{d})",
+                rect.lo().coord(d),
+                rect.hi().coord(d)
+            ));
+        }
+        w.line(body);
+        for _ in 0..dim {
+            w.close("");
+        }
+    };
+    let lidx: String = (0..dim).map(|d| format!("[g{d} - {}]", buffer.lo().coord(d))).collect();
+    // Push first, then pull: every FIFO holds a full slab, so the writes
+    // never block and the kernels cannot deadlock.
+    for e in edges.iter().filter(|e| e.from == k && e.array == target) {
+        w.line(format!(
+            "/* Push the {target} boundary slab {} to kernel {}. */",
+            e.overlap, e.to
+        ));
+        nested(
+            w,
+            &e.overlap,
+            format!("write_pipe_block({}, &L_{target}{lidx});", pipe_name(target, k, e.to)),
+        );
+    }
+    for e in edges.iter().filter(|e| e.to == k && e.array == target) {
+        w.line(format!(
+            "/* Pull the {target} halo slab {} from kernel {}. */",
+            e.overlap, e.from
+        ));
+        nested(
+            w,
+            &e.overlap,
+            format!("read_pipe_block({}, &L_{target}{lidx});", pipe_name(target, e.from, k)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, Extent, Partition};
+    use stencilcl_lang::programs;
+
+    fn body(kind: DesignKind) -> String {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(64, 64));
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(kind, 4, vec![2, 2], vec![16, 16]).unwrap();
+        let part = Partition::new(f.extent, &d, &f.growth).unwrap();
+        let grid_rect = Rect::from_extent(&f.extent);
+        let edges = crate::pipes::pipe_edges(&f, &part, &grid_rect);
+        let tile = &part.canonical_tiles()[0];
+        let mut w = CodeWriter::new();
+        generate_body(&mut w, &p, &f, tile, kind, 4, 8, &grid_rect, &edges);
+        w.finish()
+    }
+
+    #[test]
+    fn baseline_body_has_buffers_loops_and_no_pipes() {
+        let code = body(DesignKind::Baseline);
+        assert!(code.contains("__local float L_A"), "{code}");
+        assert!(code.contains("xcl_pipeline_loop"));
+        assert!(code.contains("opencl_unroll_hint(8)"));
+        assert!(code.contains("k0_lo0(it, 0)"));
+        assert!(!code.contains("write_pipe_block"));
+    }
+
+    #[test]
+    fn pipe_body_pushes_and_pulls_slabs() {
+        let code = body(DesignKind::PipeShared);
+        assert!(code.contains("write_pipe_block(p_A_0_"), "{code}");
+        assert!(code.contains("read_pipe_block(p_A_"), "{code}");
+    }
+
+    #[test]
+    fn buffer_sizes_differ_between_designs() {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(64, 64));
+        let f = StencilFeatures::extract(&p).unwrap();
+        let grid_rect = Rect::from_extent(&f.extent);
+        let mk = |kind| {
+            let d = Design::equal(kind, 4, vec![2, 2], vec![16, 16]).unwrap();
+            let part = Partition::new(f.extent, &d, &f.growth).unwrap();
+            buffer_rect(&part.canonical_tiles()[0], kind, &f.growth, 4, &grid_rect).volume()
+        };
+        assert!(mk(DesignKind::PipeShared) < mk(DesignKind::Baseline));
+    }
+
+    #[test]
+    fn transfer_loops_cover_the_footprint() {
+        let code = body(DesignKind::Baseline);
+        // Burst read of the full footprint and burst write of the tile only.
+        assert!(code.contains("L_A[g0 - "), "{code}");
+        assert!(code.contains("A[g0 * 64 + g1] = L_A"), "{code}");
+    }
+}

@@ -1,0 +1,101 @@
+use stencilcl_grid::Partition;
+use stencilcl_lang::Program;
+
+use crate::CodeWriter;
+
+/// Generates the C++ host program: buffer allocation, kernel-argument setup,
+/// the pass/region enqueue loop with its barrier, and result readback —
+/// the code SDAccel's runtime executes around the generated kernels.
+pub fn generate_host(program: &Program, partition: &Partition) -> String {
+    let design = partition.design();
+    let k = design.kernel_count();
+    let passes = program.iterations.div_ceil(design.fused());
+    let regions = partition.regions_per_pass();
+    let mut w = CodeWriter::new();
+    w.line(format!("/* Host program for stencil `{}` ({} design). */", program.name, design.kind()));
+    w.line("#include <CL/cl2.hpp>");
+    w.line("#include <vector>");
+    w.blank();
+    w.open("int main(int argc, char **argv)");
+    w.line("cl::Context context = create_context_from_xclbin(argc, argv);");
+    w.line("cl::CommandQueue queue(context, CL_QUEUE_PROFILING_ENABLE | CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE);");
+    w.blank();
+    let volume = program.extent().volume();
+    for g in &program.grids {
+        let flags = if g.read_only { "CL_MEM_READ_ONLY" } else { "CL_MEM_READ_WRITE" };
+        w.line(format!(
+            "cl::Buffer buf_{name}(context, {flags}, sizeof({ty}) * {volume});",
+            name = g.name,
+            ty = g.ty.name(),
+        ));
+    }
+    w.blank();
+    w.line(format!("std::vector<cl::Kernel> kernels({k});"));
+    w.open(format!("for (int k = 0; k < {k}; ++k)"));
+    w.line("kernels[k] = cl::Kernel(load_program(context), (\"stencil_k\" + std::to_string(k)).c_str());");
+    for (i, g) in program.grids.iter().enumerate() {
+        w.line(format!("kernels[k].setArg({i}, buf_{});", g.name));
+    }
+    w.close("");
+    w.blank();
+    w.line(format!("/* {passes} fused passes x {regions} regions per pass. */"));
+    w.open(format!("for (unsigned long pass = 0; pass < {passes}; ++pass)"));
+    w.open(format!("for (unsigned long region = 0; region < {regions}; ++region)"));
+    w.line("/* The runtime launches the region's kernels sequentially. */");
+    w.open(format!("for (int k = 0; k < {k}; ++k)"));
+    w.line("queue.enqueueTask(kernels[k]);");
+    w.close("");
+    w.line("queue.finish(); /* region barrier: all tiles synchronize */");
+    w.close("");
+    w.close("");
+    w.blank();
+    for g in program.grids.iter().filter(|g| !g.read_only) {
+        w.line(format!(
+            "queue.enqueueReadBuffer(buf_{name}, CL_TRUE, 0, sizeof({ty}) * {volume}, host_{name});",
+            name = g.name,
+            ty = g.ty.name(),
+        ));
+    }
+    w.line("return 0;");
+    w.close("");
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind, Extent, Partition};
+    use stencilcl_lang::{programs, StencilFeatures};
+
+    fn host() -> String {
+        let p = programs::hotspot_2d().with_extent(Extent::new2(64, 64)).with_iterations(10);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![16, 16]).unwrap();
+        let part = Partition::new(f.extent, &d, &f.growth).unwrap();
+        generate_host(&p, &part)
+    }
+
+    #[test]
+    fn host_sets_up_buffers_and_kernels() {
+        let h = host();
+        assert!(h.contains("cl::Buffer buf_temp"), "{h}");
+        assert!(h.contains("CL_MEM_READ_ONLY"), "power map is read-only: {h}");
+        assert!(h.contains("stencil_k"), "{h}");
+    }
+
+    #[test]
+    fn enqueue_loop_matches_pass_and_region_counts() {
+        let h = host();
+        // 10 iterations, h=4 -> 3 passes; 64/32 squared -> 4 regions.
+        assert!(h.contains("pass < 3"), "{h}");
+        assert!(h.contains("region < 4"), "{h}");
+        assert!(h.contains("region barrier"), "{h}");
+    }
+
+    #[test]
+    fn only_writable_buffers_read_back() {
+        let h = host();
+        assert!(h.contains("enqueueReadBuffer(buf_temp"));
+        assert!(!h.contains("enqueueReadBuffer(buf_power"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The *data-sharing pipe generator* (Section 5.2).
+//!
+//! OpenCL pipes are one-directional, so every boundary between adjacent
+//! kernels gets **two** pipes (one per direction) per updated array. Pipe
+//! names encode array, producer, and consumer; the fused-operation generator
+//! emits the matching `write_pipe_block` / `read_pipe_block` calls.
+
+use stencilcl_grid::{FaceKind, Partition, Rect};
+use stencilcl_lang::{Program, StencilFeatures};
+
+use crate::fused::buffer_rect;
+use crate::CodeWriter;
+
+/// The canonical name of the pipe carrying `array` from kernel `from` to
+/// kernel `to`.
+pub fn pipe_name(array: &str, from: usize, to: usize) -> String {
+    format!("p_{array}_{from}_{to}")
+}
+
+/// One directed pipe with its exchange geometry: kernel `from` pushes the
+/// boundary slab of `array` covering `overlap` (absolute coordinates) to
+/// kernel `to` after every update of `array`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipeEdge {
+    /// The exchanged (updated) array.
+    pub array: String,
+    /// Producer kernel id.
+    pub from: usize,
+    /// Consumer kernel id.
+    pub to: usize,
+    /// The absolute region the slab covers (the consumer's halo clipped to
+    /// the producer's buffer); both endpoints traverse it in row-major
+    /// order, so element streams line up.
+    pub overlap: Rect,
+}
+
+/// The directed pipes of the design with their exchange geometry, in
+/// deterministic order.
+pub fn pipe_edges(
+    features: &StencilFeatures,
+    partition: &Partition,
+    grid_rect: &Rect,
+) -> Vec<PipeEdge> {
+    let design = partition.design();
+    if !design.kind().uses_pipes() {
+        return Vec::new();
+    }
+    let tiles = partition.canonical_tiles();
+    let buffers: Vec<Rect> = tiles
+        .iter()
+        .map(|t| buffer_rect(t, design.kind(), &features.growth, design.fused(), grid_rect))
+        .collect();
+    let mut arrays: Vec<&String> = Vec::new();
+    for s in &features.statements {
+        if !arrays.contains(&&s.target) {
+            arrays.push(&s.target);
+        }
+    }
+    let mut edges = Vec::new();
+    for (t, tile) in tiles.iter().enumerate() {
+        for f in tile.faces() {
+            let FaceKind::Shared { neighbor } = f.kind else { continue };
+            // The consumer's halo across this face: its buffer beyond its
+            // tile on the (axis, !high) side.
+            let nb = &buffers[neighbor];
+            let ntile = tiles[neighbor].rect();
+            let (mut lo, mut hi) = (nb.lo(), nb.hi());
+            if f.high {
+                // Our high face is the neighbor's low side.
+                hi = hi.with_coord(f.axis, ntile.lo().coord(f.axis));
+            } else {
+                lo = lo.with_coord(f.axis, ntile.hi().coord(f.axis));
+            }
+            let halo = Rect::new(lo, hi).expect("same dims");
+            let overlap = halo.intersect(&buffers[t]).expect("same dims");
+            if overlap.is_empty() {
+                continue;
+            }
+            for array in &arrays {
+                edges.push(PipeEdge {
+                    array: (*array).clone(),
+                    from: t,
+                    to: neighbor,
+                    overlap,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// All directed pipes of the design: `(array, from, to)` triples, one per
+/// shared face per direction per updated array, deduplicated and sorted.
+pub fn pipe_topology(features: &StencilFeatures, partition: &Partition) -> Vec<(String, usize, usize)> {
+    let mut pipes = Vec::new();
+    if !partition.design().kind().uses_pipes() {
+        return pipes;
+    }
+    let updated: Vec<&String> =
+        features.statements.iter().map(|s| &s.target).collect::<Vec<_>>();
+    let mut arrays: Vec<&String> = Vec::new();
+    for a in updated {
+        if !arrays.contains(&a) {
+            arrays.push(a);
+        }
+    }
+    for tile in partition.canonical_tiles() {
+        for f in tile.faces() {
+            if let FaceKind::Shared { neighbor } = f.kind {
+                for array in &arrays {
+                    pipes.push(((*array).clone(), tile.kernel(), neighbor));
+                }
+            }
+        }
+    }
+    pipes.sort();
+    pipes.dedup();
+    pipes
+}
+
+/// Emits the global pipe declarations for the whole design. Each FIFO is at
+/// least `fifo_depth` deep and always deep enough to hold its full boundary
+/// slab, so producers never block mid-statement.
+pub fn generate_pipe_decls(
+    program: &Program,
+    features: &StencilFeatures,
+    partition: &Partition,
+    fifo_depth: u64,
+) -> String {
+    let mut w = CodeWriter::new();
+    let grid_rect = Rect::from_extent(&program.extent());
+    let edges = pipe_edges(features, partition, &grid_rect);
+    if edges.is_empty() {
+        w.line("/* Baseline design: no inter-kernel pipes. */");
+        return w.finish();
+    }
+    w.line(format!(
+        "/* {} data-sharing pipes: one read + one write pipe per boundary of adjacent kernels. */",
+        edges.len()
+    ));
+    let ty = program.elem_type().name();
+    for e in &edges {
+        let depth = fifo_depth.max(e.overlap.volume());
+        w.line(format!(
+            "pipe {ty} {} __attribute__((xcl_reqd_pipe_depth({depth})));",
+            pipe_name(&e.array, e.from, e.to)
+        ));
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind, Extent};
+    use stencilcl_lang::programs;
+
+    fn setup(kind: DesignKind) -> (Program, StencilFeatures, Partition) {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(64, 64));
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(kind, 4, vec![2, 2], vec![16, 16]).unwrap();
+        let part = Partition::new(f.extent, &d, &f.growth).unwrap();
+        (p, f, part)
+    }
+
+    #[test]
+    fn pipes_come_in_matched_pairs() {
+        let (_, f, part) = setup(DesignKind::PipeShared);
+        let topo = pipe_topology(&f, &part);
+        for (array, from, to) in &topo {
+            assert!(
+                topo.contains(&(array.clone(), *to, *from)),
+                "missing reverse pipe for {array} {from}->{to}"
+            );
+        }
+        // 2x2 kernels: 4 undirected boundaries, 8 directed pipes, 1 array.
+        assert_eq!(topo.len(), 8);
+    }
+
+    #[test]
+    fn baseline_declares_no_pipes() {
+        let (p, f, part) = setup(DesignKind::Baseline);
+        assert!(pipe_topology(&f, &part).is_empty());
+        let code = generate_pipe_decls(&p, &f, &part, 512);
+        assert!(code.contains("no inter-kernel pipes"));
+    }
+
+    #[test]
+    fn declarations_carry_depth_and_type() {
+        let (p, f, part) = setup(DesignKind::PipeShared);
+        let code = generate_pipe_decls(&p, &f, &part, 512);
+        assert!(code.contains("pipe float p_A_0_1"), "{code}");
+        assert!(code.contains("xcl_reqd_pipe_depth(512)"), "{code}");
+    }
+
+    #[test]
+    fn multi_array_programs_get_pipes_per_array() {
+        let p = programs::fdtd_2d().with_extent(Extent::new2(64, 64));
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![16, 16]).unwrap();
+        let part = Partition::new(f.extent, &d, &f.growth).unwrap();
+        let topo = pipe_topology(&f, &part);
+        // Three updated arrays x 8 directed boundaries.
+        assert_eq!(topo.len(), 24);
+        assert!(topo.iter().any(|(a, _, _)| a == "hz"));
+    }
+}

@@ -1,0 +1,334 @@
+//! `stencilcl` — command-line front end to the framework.
+//!
+//! ```text
+//! stencilcl features <file.stencil>
+//!     Parse a stencil program and print the extracted features.
+//!
+//! stencilcl synth <file.stencil> [--parallelism 4x4] [--max-fused N]
+//!                 [--unroll N[,N..]] [--min-tile N] [--out DIR]
+//!     Run the full framework (DSE + codegen + simulation); print the
+//!     Table-3-style summary and write kernels.cl / host.cpp under DIR.
+//!
+//! stencilcl codegen <file.stencil> --kind baseline|pipe|hetero
+//!                 --fused N --parallelism KxK --tile WxW [--out DIR]
+//!     Generate the OpenCL design for an explicit design point.
+//!
+//! stencilcl validate <file.stencil> --fused N --parallelism KxK --tile WxW
+//!     Execute the pipe-shared and baseline architectures functionally and
+//!     compare them against the naive reference (use small inputs).
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stencilcl::prelude::*;
+use stencilcl::Framework;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  stencilcl features <file.stencil>
+  stencilcl synth    <file.stencil> [--parallelism 4x4] [--max-fused N] [--unroll 4,8] [--min-tile N] [--out DIR]
+  stencilcl codegen  <file.stencil> --kind baseline|pipe|hetero --fused N --parallelism KxK --tile WxW [--out DIR]
+  stencilcl validate <file.stencil> --fused N --parallelism KxK --tile WxW";
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "features" => features(rest),
+        "synth" => synth(rest),
+        "codegen" => codegen_cmd(rest),
+        "validate" => validate(rest),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Parses `--flag value` pairs after the input path.
+struct Opts {
+    path: PathBuf,
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let (path, rest) = args.split_first().ok_or("missing input file")?;
+        let mut flags = Vec::new();
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let name = flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        }
+        Ok(Opts { path: PathBuf::from(path), flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn dims(&self, name: &str, dim: usize) -> Result<Option<Vec<usize>>, String> {
+        let Some(raw) = self.get(name) else { return Ok(None) };
+        let v = parse_dims(raw)?;
+        if v.len() != dim {
+            return Err(format!("--{name} `{raw}` has {} fields, program is {dim}-D", v.len()));
+        }
+        Ok(Some(v))
+    }
+
+    fn program(&self) -> Result<Program, String> {
+        let src = std::fs::read_to_string(&self.path)
+            .map_err(|e| format!("cannot read {}: {e}", self.path.display()))?;
+        parse(&src).map_err(|e| e.to_string())
+    }
+}
+
+/// Parses `4x2x2` (or `16`) into a per-dimension vector.
+fn parse_dims(raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(['x', 'X'])
+        .map(|p| p.parse::<usize>().map_err(|_| format!("bad dimension list `{raw}`")))
+        .collect()
+}
+
+fn features(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let program = opts.program()?;
+    let f = StencilFeatures::extract(&program).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "stencil `{}`", f.name);
+    let _ = writeln!(out, "  dimensions : {} {}", f.dim, f.extent);
+    let _ = writeln!(out, "  iterations : {}", f.iterations);
+    let _ = writeln!(out, "  element    : {} bytes", f.elem_bytes);
+    let _ = writeln!(out, "  growth/iter: {}", f.growth);
+    let _ = writeln!(
+        out,
+        "  arrays     : {} updated + {} read-only",
+        f.updated_arrays, f.read_only_arrays
+    );
+    let _ = writeln!(out, "  flops/elem : {}", f.ops.flops());
+    for (i, s) in f.statements.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  statement {i}: {} = f({} reads, growth {})",
+            s.target, s.reads, s.growth
+        );
+    }
+    Ok(out)
+}
+
+fn search_config(opts: &Opts, dim: usize) -> Result<SearchConfig, String> {
+    let mut cfg = SearchConfig::for_dim(dim);
+    if let Some(par) = opts.dims("parallelism", dim)? {
+        cfg.parallelism = par;
+    }
+    if let Some(v) = opts.get("max-fused") {
+        cfg.max_fused = v.parse().map_err(|_| "bad --max-fused")?;
+    }
+    if let Some(v) = opts.get("min-tile") {
+        cfg.min_tile = v.parse().map_err(|_| "bad --min-tile")?;
+    }
+    if let Some(v) = opts.get("unroll") {
+        cfg.unroll_candidates = v
+            .split(',')
+            .map(|p| p.parse::<u64>().map_err(|_| "bad --unroll".to_string()))
+            .collect::<Result<_, _>>()?;
+        cfg.unroll = *cfg.unroll_candidates.first().ok_or("empty --unroll")?;
+    }
+    Ok(cfg)
+}
+
+fn write_design(out_dir: Option<&str>, code: &GeneratedCode) -> Result<String, String> {
+    let Some(dir) = out_dir else { return Ok(String::new()) };
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("kernels.cl"), &code.kernels).map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("host.cpp"), &code.host).map_err(|e| e.to_string())?;
+    Ok(format!("wrote {}/kernels.cl and host.cpp\n", dir.display()))
+}
+
+fn synth(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let program = opts.program()?;
+    let cfg = search_config(&opts, program.dim())?;
+    let report =
+        Framework::new().synthesize(&program, &cfg).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.summary());
+    let _ = writeln!(
+        out,
+        "simulated: baseline {:.3e} cy, heterogeneous {:.3e} cy",
+        report.baseline.sim.total_cycles, report.heterogeneous.sim.total_cycles
+    );
+    out.push_str(&write_design(opts.get("out"), &report.code)?);
+    Ok(out)
+}
+
+fn explicit_design(opts: &Opts, program: &Program) -> Result<(Design, Partition), String> {
+    let dim = program.dim();
+    let fused: u64 =
+        opts.get("fused").ok_or("--fused required")?.parse().map_err(|_| "bad --fused")?;
+    let par = opts.dims("parallelism", dim)?.ok_or("--parallelism required")?;
+    let tile = opts.dims("tile", dim)?.ok_or("--tile required")?;
+    let kind = match opts.get("kind").unwrap_or("pipe") {
+        "baseline" => DesignKind::Baseline,
+        "pipe" => DesignKind::PipeShared,
+        "hetero" | "heterogeneous" => DesignKind::Heterogeneous,
+        other => return Err(format!("unknown --kind `{other}`")),
+    };
+    let design = if kind == DesignKind::Heterogeneous {
+        let f = StencilFeatures::extract(program).map_err(|e| e.to_string())?;
+        let lens = (0..dim)
+            .map(|d| {
+                let region = par[d] * tile[d];
+                let boundary = f.extent.len(d) / region > 1;
+                balance_tiles(region, par[d], &f.growth, d, fused, boundary, 2)
+                    .ok_or_else(|| format!("cannot balance dimension {d}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Design::heterogeneous(fused, lens).map_err(|e| e.to_string())?
+    } else {
+        Design::equal(kind, fused, par, tile).map_err(|e| e.to_string())?
+    };
+    let f = StencilFeatures::extract(program).map_err(|e| e.to_string())?;
+    let partition =
+        Partition::new(f.extent, &design, &f.growth).map_err(|e| e.to_string())?;
+    Ok((design, partition))
+}
+
+fn codegen_cmd(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let program = opts.program()?;
+    let (_, partition) = explicit_design(&opts, &program)?;
+    let code = generate(&program, &partition, &CodegenOptions::default())
+        .map_err(|e| e.to_string())?;
+    let mut out = write_design(opts.get("out"), &code)?;
+    if out.is_empty() {
+        out = code.kernels;
+    }
+    Ok(out)
+}
+
+fn validate(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let program = opts.program()?;
+    if program.extent().volume() > 1 << 22 {
+        return Err("input too large for functional validation; shrink the grid".into());
+    }
+    let (design, partition) = explicit_design(&opts, &program)?;
+    let mut out = String::new();
+    let modes: &[(&str, ExecMode)] = if design.kind() == DesignKind::Baseline {
+        &[("overlapped", ExecMode::Overlapped)]
+    } else {
+        &[("pipe-shared", ExecMode::PipeShared), ("threaded", ExecMode::Threaded)]
+    };
+    for (label, mode) in modes {
+        let diff = verify_design(&program, &partition, *mode, |name, p| {
+            let mut v = name.len() as f64;
+            for d in 0..p.dim() {
+                v = v * 31.0 + p.coord(d) as f64;
+            }
+            (v * 0.001).sin()
+        })
+        .map_err(|e| e.to_string())?;
+        let verdict = if diff == 0.0 { "EXACT" } else { "DIVERGED" };
+        let _ = writeln!(out, "{label:<12} max |diff| vs reference: {diff} [{verdict}]");
+        if diff != 0.0 {
+            return Err(out);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_parse_both_separators_and_scalars() {
+        assert_eq!(parse_dims("4x2X2").unwrap(), vec![4, 2, 2]);
+        assert_eq!(parse_dims("16").unwrap(), vec![16]);
+        assert!(parse_dims("4xx2").is_err());
+        assert!(parse_dims("abc").is_err());
+    }
+
+    #[test]
+    fn opts_collects_flags_and_last_wins() {
+        let args: Vec<String> =
+            ["f.stencil", "--fused", "4", "--fused", "8"].iter().map(|s| s.to_string()).collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.get("fused"), Some("8"));
+        assert_eq!(o.get("missing"), None);
+    }
+
+    #[test]
+    fn opts_rejects_dangling_flags() {
+        let args: Vec<String> = ["f.stencil", "--fused"].iter().map(|s| s.to_string()).collect();
+        assert!(Opts::parse(&args).is_err());
+        let args: Vec<String> = ["f.stencil", "fused", "4"].iter().map(|s| s.to_string()).collect();
+        assert!(Opts::parse(&args).is_err());
+    }
+
+    #[test]
+    fn unknown_command_reports_usage_error() {
+        let args = vec!["fly".to_string()];
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_a_temp_file() {
+        let dir = std::env::temp_dir().join("stencilcl-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("blur.stencil");
+        std::fs::write(
+            &file,
+            "stencil blur { grid A[32][32] : f32; iterations 6;
+             A[i][j] = 0.5 * A[i][j] + 0.125 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }",
+        )
+        .unwrap();
+        let path = file.to_string_lossy().to_string();
+
+        let out = run(&[String::from("features"), path.clone()]).unwrap();
+        assert!(out.contains("dimensions : 2"));
+
+        let out = run(&[
+            "validate".into(),
+            path.clone(),
+            "--fused".into(),
+            "3".into(),
+            "--parallelism".into(),
+            "2x2".into(),
+            "--tile".into(),
+            "8x8".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("EXACT"), "{out}");
+
+        let out = run(&[
+            "codegen".into(),
+            path,
+            "--kind".into(),
+            "baseline".into(),
+            "--fused".into(),
+            "2".into(),
+            "--parallelism".into(),
+            "2x2".into(),
+            "--tile".into(),
+            "8x8".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("__kernel"), "{out}");
+    }
+}

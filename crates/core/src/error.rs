@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Errors surfaced by the top-level [`Framework`](crate::Framework).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FrameworkError {
+    /// The design-space search failed.
+    Opt(stencilcl_opt::OptError),
+    /// The stencil program is malformed.
+    Lang(stencilcl_lang::LangError),
+    /// A geometric operation failed.
+    Grid(stencilcl_grid::GridError),
+    /// Functional validation failed.
+    Exec(stencilcl_exec::ExecError),
+    /// Functional validation found diverging results.
+    ValidationFailed {
+        /// The executor mode that diverged.
+        mode: String,
+        /// Largest absolute difference observed.
+        max_diff: f64,
+    },
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::Opt(e) => write!(f, "optimizer error: {e}"),
+            FrameworkError::Lang(e) => write!(f, "language error: {e}"),
+            FrameworkError::Grid(e) => write!(f, "geometry error: {e}"),
+            FrameworkError::Exec(e) => write!(f, "execution error: {e}"),
+            FrameworkError::ValidationFailed { mode, max_diff } => {
+                write!(f, "functional validation failed for {mode}: max |diff| = {max_diff}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameworkError::Opt(e) => Some(e),
+            FrameworkError::Lang(e) => Some(e),
+            FrameworkError::Grid(e) => Some(e),
+            FrameworkError::Exec(e) => Some(e),
+            FrameworkError::ValidationFailed { .. } => None,
+        }
+    }
+}
+
+impl From<stencilcl_opt::OptError> for FrameworkError {
+    fn from(e: stencilcl_opt::OptError) -> Self {
+        FrameworkError::Opt(e)
+    }
+}
+
+impl From<stencilcl_lang::LangError> for FrameworkError {
+    fn from(e: stencilcl_lang::LangError) -> Self {
+        FrameworkError::Lang(e)
+    }
+}
+
+impl From<stencilcl_grid::GridError> for FrameworkError {
+    fn from(e: stencilcl_grid::GridError) -> Self {
+        FrameworkError::Grid(e)
+    }
+}
+
+impl From<stencilcl_exec::ExecError> for FrameworkError {
+    fn from(e: stencilcl_exec::ExecError) -> Self {
+        FrameworkError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_sub_errors() {
+        use std::error::Error;
+        let e = FrameworkError::from(stencilcl_grid::GridError::EmptyExtent);
+        assert!(e.source().is_some());
+        let v = FrameworkError::ValidationFailed { mode: "pipe".into(), max_diff: 0.5 };
+        assert!(v.to_string().contains("0.5"));
+        assert!(v.source().is_none());
+    }
+}

@@ -1,0 +1,137 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_codegen::GeneratedCode;
+use stencilcl_model::Prediction;
+use stencilcl_opt::DesignPoint;
+use stencilcl_sim::SimReport;
+
+/// One fully evaluated design: search result, model prediction, and
+/// simulated ("measured") execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignEval {
+    /// The design point the optimizer selected.
+    pub point: DesignPoint,
+    /// The simulator's report for that design.
+    pub sim: SimReport,
+}
+
+impl DesignEval {
+    /// The model's prediction (shortcut).
+    pub fn prediction(&self) -> &Prediction {
+        &self.point.prediction
+    }
+
+    /// Relative model error versus the simulated latency:
+    /// `|measured − predicted| / measured`.
+    pub fn model_error(&self) -> f64 {
+        let measured = self.sim.total_cycles;
+        if measured == 0.0 {
+            return 0.0;
+        }
+        (measured - self.point.prediction.total).abs() / measured
+    }
+}
+
+/// Everything [`Framework::synthesize`](crate::Framework::synthesize)
+/// produces for one stencil program — the data behind a Table 3 row plus the
+/// generated OpenCL design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    /// Name of the synthesized program.
+    pub program: String,
+    /// The best baseline (overlapped-tiling) design.
+    pub baseline: DesignEval,
+    /// The best heterogeneous design within the baseline's resource budget.
+    pub heterogeneous: DesignEval,
+    /// Generated OpenCL kernels + host code for the heterogeneous design.
+    pub code: GeneratedCode,
+}
+
+impl SynthesisReport {
+    /// Speedup of the heterogeneous design measured by the simulator —
+    /// Table 3's `Perf.` column.
+    pub fn speedup_simulated(&self) -> f64 {
+        self.baseline.sim.total_cycles / self.heterogeneous.sim.total_cycles
+    }
+
+    /// Speedup predicted by the analytical model.
+    pub fn speedup_predicted(&self) -> f64 {
+        self.baseline.point.prediction.total / self.heterogeneous.point.prediction.total
+    }
+
+    /// A human-readable multi-line summary (one Table 3 row, annotated).
+    pub fn summary(&self) -> String {
+        let b = &self.baseline;
+        let h = &self.heterogeneous;
+        format!(
+            "{name}\n\
+               baseline:      h={bh:>4}  tile={bt:?}  {bres}\n\
+               heterogeneous: h={hh:>4}  tile={ht:?}  {hres}\n\
+               speedup: {s:.2}x simulated ({sp:.2}x predicted)",
+            name = self.program,
+            bh = b.point.design.fused(),
+            bt = (0..b.point.design.dim())
+                .map(|d| b.point.design.max_tile_len(d))
+                .collect::<Vec<_>>(),
+            bres = b.point.hls.resources,
+            hh = h.point.design.fused(),
+            ht = (0..h.point.design.dim())
+                .map(|d| h.point.design.max_tile_len(d))
+                .collect::<Vec<_>>(),
+            hres = h.point.hls.resources,
+            s = self.speedup_simulated(),
+            sp = self.speedup_predicted(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind};
+    use stencilcl_hls::{HlsReport, ResourceUsage};
+    use stencilcl_sim::{Breakdown, PassProfile};
+
+    fn eval(total: f64) -> DesignEval {
+        DesignEval {
+            point: DesignPoint {
+                design: Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap(),
+                hls: HlsReport {
+                    ii: 1,
+                    depth: 5,
+                    unroll: 2,
+                    cycles_per_element: 0.5,
+                    resources: ResourceUsage::zero(),
+                },
+                prediction: Prediction {
+                    regions: 1.0,
+                    read: 0.0,
+                    write: 0.0,
+                    compute: total * 0.9,
+                    launch: 0.0,
+                    per_region: total * 0.9,
+                    total: total * 0.9,
+                },
+            },
+            sim: SimReport {
+                pass: PassProfile { duration: total, kernels: vec![] },
+                regions: 1.0,
+                total_cycles: total,
+                breakdown: Breakdown::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn speedups_and_error() {
+        let r = SynthesisReport {
+            program: "t".into(),
+            baseline: eval(200.0),
+            heterogeneous: eval(100.0),
+            code: GeneratedCode { kernels: String::new(), host: String::new() },
+        };
+        assert_eq!(r.speedup_simulated(), 2.0);
+        assert_eq!(r.speedup_predicted(), 2.0);
+        assert!((r.baseline.model_error() - 0.1).abs() < 1e-12);
+        assert!(r.summary().contains("2.00x"));
+    }
+}

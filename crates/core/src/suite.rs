@@ -1,0 +1,110 @@
+//! The paper's benchmark suite (Table 2) with the search configurations of
+//! its evaluation (Table 3's parallelism column).
+
+use stencilcl_grid::Extent;
+use stencilcl_lang::{programs, Program};
+use stencilcl_opt::SearchConfig;
+
+/// One benchmark of the suite: the paper-scale program, its provenance, and
+/// the kernel parallelism the paper evaluated it at.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Display name as printed in the paper ("Jacobi-2D", ...).
+    pub display: &'static str,
+    /// Source benchmark suite (Polybench / Rodinia / Parboil).
+    pub source: &'static str,
+    /// The paper-scale program (Table 2's input size and iterations).
+    pub program: Program,
+    /// The search configuration (Table 3's parallelism, default unroll).
+    pub search: SearchConfig,
+}
+
+impl BenchmarkSpec {
+    /// The program's internal name (`jacobi_2d`, ...).
+    pub fn name(&self) -> &str {
+        &self.program.name
+    }
+
+    /// A scaled-down variant for functional testing and quick demos: every
+    /// dimension shrunk to `n` cells and `iterations` stencil iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `iterations` is zero.
+    pub fn scaled(&self, n: usize, iterations: u64) -> Program {
+        assert!(n > 0 && iterations > 0);
+        let dims = vec![n; self.program.dim()];
+        self.program
+            .with_extent(Extent::new(&dims).expect("dim validated by program"))
+            .with_iterations(iterations)
+    }
+}
+
+fn spec(
+    display: &'static str,
+    source: &'static str,
+    program: Program,
+    parallelism: Vec<usize>,
+) -> BenchmarkSpec {
+    let search = SearchConfig { parallelism, ..SearchConfig::default() };
+    BenchmarkSpec { display, source, program, search }
+}
+
+/// All seven benchmarks, in Table 2 order, at paper scale with Table 3's
+/// parallelism.
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![
+        spec("Jacobi-1D", "Polybench", programs::jacobi_1d(), vec![16]),
+        spec("Jacobi-2D", "Polybench", programs::jacobi_2d(), vec![4, 4]),
+        spec("Jacobi-3D", "Parboil", programs::jacobi_3d(), vec![4, 2, 2]),
+        spec("HotSpot-2D", "Rodinia", programs::hotspot_2d(), vec![4, 4]),
+        spec("HotSpot-3D", "Rodinia", programs::hotspot_3d(), vec![4, 2, 2]),
+        spec("FDTD-2D", "Polybench", programs::fdtd_2d(), vec![4, 4]),
+        spec("FDTD-3D", "Polybench", programs::fdtd_3d(), vec![2, 4, 2]),
+    ]
+}
+
+/// Looks a benchmark up by internal name (`"hotspot_3d"`) or display name
+/// (`"HotSpot-3D"`).
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    all().into_iter().find(|b| b.name() == name || b.display == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table2() {
+        let suite = all();
+        assert_eq!(suite.len(), 7);
+        let j3 = by_name("Jacobi-3D").unwrap();
+        assert_eq!(j3.program.extent().as_slice(), &[1024, 1024, 1024]);
+        assert_eq!(j3.program.iterations, 1024);
+        assert_eq!(j3.source, "Parboil");
+        let f2 = by_name("fdtd_2d").unwrap();
+        assert_eq!(f2.program.iterations, 500);
+    }
+
+    #[test]
+    fn parallelism_always_16_kernels() {
+        for b in all() {
+            let k: usize = b.search.parallelism.iter().product();
+            assert_eq!(k, 16, "{}", b.display);
+        }
+    }
+
+    #[test]
+    fn scaled_variants_shrink_every_dimension() {
+        let h3 = by_name("hotspot_3d").unwrap();
+        let small = h3.scaled(32, 8);
+        assert_eq!(small.extent().as_slice(), &[32, 32, 32]);
+        assert_eq!(small.iterations, 8);
+        assert!(stencilcl_lang::check(&small).is_ok());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("does-not-exist").is_none());
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+use stencilcl_grid::GridError;
+use stencilcl_lang::LangError;
+
+/// Errors produced by the functional executors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// An underlying language/interpreter error.
+    Lang(LangError),
+    /// An underlying geometry error.
+    Grid(GridError),
+    /// The stencil reads diagonal offsets, which face-only pipe exchange
+    /// cannot serve (see the crate-level limitations).
+    DiagonalAccess {
+        /// The offending statement's target grid.
+        statement: String,
+    },
+    /// The design/partition is inconsistent with the program (e.g. baseline
+    /// executor asked to run a pipe partition).
+    BadConfiguration {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A worker thread of the threaded executor panicked.
+    WorkerPanic {
+        /// Kernel id of the failed worker.
+        kernel: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Lang(e) => write!(f, "language error: {e}"),
+            ExecError::Grid(e) => write!(f, "geometry error: {e}"),
+            ExecError::DiagonalAccess { statement } => write!(
+                f,
+                "statement updating `{statement}` reads diagonal offsets; \
+                 pipe-based execution exchanges face slabs only"
+            ),
+            ExecError::BadConfiguration { detail } => write!(f, "bad configuration: {detail}"),
+            ExecError::WorkerPanic { kernel } => {
+                write!(f, "worker thread for kernel {kernel} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Lang(e) => Some(e),
+            ExecError::Grid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LangError> for ExecError {
+    fn from(e: LangError) -> Self {
+        ExecError::Lang(e)
+    }
+}
+
+impl From<GridError> for ExecError {
+    fn from(e: GridError) -> Self {
+        ExecError::Grid(e)
+    }
+}
+
+impl ExecError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(detail: impl Into<String>) -> Self {
+        ExecError::BadConfiguration { detail: detail.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        use std::error::Error;
+        let e = ExecError::from(GridError::EmptyExtent);
+        assert!(e.source().is_some());
+        let d = ExecError::DiagonalAccess { statement: "A".into() };
+        assert!(d.to_string().contains("diagonal"));
+        assert!(d.source().is_none());
+        assert!(ExecError::config("x").to_string().contains('x'));
+    }
+}

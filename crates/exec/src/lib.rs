@@ -1,0 +1,72 @@
+//! Functional executors validating stencil design semantics.
+//!
+//! The OpenCL designs the framework generates are only useful if they compute
+//! the *same values* as the original stencil algorithm. This crate executes
+//! each accelerator architecture functionally, on real grids:
+//!
+//! * [`run_reference`] — the naive algorithm: every iteration updates the
+//!   whole grid with a global synchronization (Figure 3 of the paper);
+//! * [`run_overlapped`] — the baseline (Nacci et al.): each tile loads its
+//!   expanded cone footprint and computes all fused iterations independently,
+//!   recomputing the overlap with its neighbors;
+//! * [`run_pipe_shared`] — the paper's design: tiles of one region advance in
+//!   lockstep and exchange boundary slabs after every statement, exactly what
+//!   the OpenCL pipes carry (works for both equal and heterogeneous tilings);
+//! * [`run_threaded`] — the pipe design again, but with one OS thread per
+//!   kernel and bounded crossbeam channels as the pipes: a live concurrent
+//!   execution of the dataflow, not a re-simulation.
+//!
+//! Every executor must produce results identical to [`run_reference`] — the
+//! crate's test suite and `tests/equivalence.rs` enforce bit-equality, since
+//! each grid cell's update expression is evaluated with the same operation
+//! order in every mode.
+//!
+//! # Limitations
+//!
+//! Pipe-based executors exchange data across tile *faces* only. Stencils
+//! whose statements read diagonal offsets (more than one nonzero coordinate)
+//! would need corner exchanges and are rejected with
+//! [`ExecError::DiagonalAccess`]; all seven paper benchmarks are star
+//! stencils. (The baseline executor handles any shape.)
+//!
+//! # Example
+//!
+//! ```
+//! use stencilcl_exec::{run_pipe_shared, run_reference};
+//! use stencilcl_grid::{Design, DesignKind, Extent, Partition};
+//! use stencilcl_lang::{programs, GridState, StencilFeatures};
+//!
+//! let program = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(6);
+//! let features = StencilFeatures::extract(&program)?;
+//! let design = Design::equal(DesignKind::PipeShared, 3, vec![2, 2], vec![8, 8])?;
+//! let partition = Partition::new(features.extent, &design, &features.growth)?;
+//!
+//! let init = |_: &str, p: &stencilcl_grid::Point| (p.coord(0) * 31 + p.coord(1)) as f64;
+//! let mut expect = GridState::new(&program, init);
+//! run_reference(&program, &mut expect)?;
+//! let mut got = GridState::new(&program, init);
+//! run_pipe_shared(&program, &partition, &mut got)?;
+//! assert_eq!(expect.max_abs_diff(&got)?, 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod domains;
+mod error;
+mod overlapped;
+mod pipeshare;
+mod reference;
+mod threaded;
+mod verify;
+mod window;
+
+pub use domains::DomainPlan;
+pub use error::ExecError;
+pub use overlapped::run_overlapped;
+pub use pipeshare::run_pipe_shared;
+pub use reference::run_reference;
+pub use threaded::run_threaded;
+pub use verify::{verify_design, ExecMode};
+pub use window::{copy_slab, extract_window, write_back};

@@ -1,0 +1,235 @@
+use stencilcl_grid::{FaceKind, Partition, Rect};
+use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+
+use crate::domains::{reject_diagonals, DomainPlan};
+use crate::overlapped::window_extent;
+use crate::window::{copy_slab, extract_window, write_back};
+use crate::ExecError;
+
+/// Runs the paper's pipe-shared execution (equal or heterogeneous tiling):
+/// the tiles of each region advance through the fused iterations in
+/// lockstep, and after every update statement each tile pushes the freshly
+/// computed boundary slab of the statement's target array to its pipe
+/// neighbors, which splice it into their local halos.
+///
+/// This is the sequential (deterministic) rendition of the dataflow;
+/// [`run_threaded`](crate::run_threaded) executes the same protocol with
+/// real threads and channels. Both must match
+/// [`run_reference`](crate::run_reference) exactly.
+///
+/// # Errors
+///
+/// Returns [`ExecError::BadConfiguration`] for baseline partitions,
+/// [`ExecError::DiagonalAccess`] for non-star stencils, and propagates
+/// geometry/interpreter errors.
+pub fn run_pipe_shared(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+) -> Result<(), ExecError> {
+    let features = StencilFeatures::extract(program)?;
+    if !partition.design().kind().uses_pipes() {
+        return Err(ExecError::config(
+            "run_pipe_shared expects a pipe-shared or heterogeneous design",
+        ));
+    }
+    reject_diagonals(&features)?;
+
+    let kind = partition.design().kind();
+    let fused = partition.design().fused();
+    let grid_rect = Rect::from_extent(&program.extent());
+    let updated: Vec<&str> = program.updated_grids();
+    let mut done = 0u64;
+    while done < program.iterations {
+        let h_eff = fused.min(program.iterations - done);
+        let snapshot = state.clone();
+        for region in partition.region_indices() {
+            let tiles = partition.tiles_for_region(&region);
+            let plans: Vec<DomainPlan> = tiles
+                .iter()
+                .map(|t| DomainPlan::new(&features, t, kind, h_eff, &grid_rect))
+                .collect::<Result<_, _>>()?;
+            let programs: Vec<Program> = plans
+                .iter()
+                .map(|dp| Ok(program.with_extent(window_extent(&dp.buffer())?)))
+                .collect::<Result<_, ExecError>>()?;
+            let mut locals: Vec<GridState> = plans
+                .iter()
+                .zip(&programs)
+                .map(|(dp, lp)| extract_window(&snapshot, program, lp, &dp.buffer()))
+                .collect::<Result<_, _>>()?;
+            let interps: Vec<Interpreter<'_>> =
+                programs.iter().map(Interpreter::new).collect();
+
+            // Directed exchange edges: (from, to, absolute overlap region).
+            let edges: Vec<(usize, usize, Rect)> = tiles
+                .iter()
+                .enumerate()
+                .flat_map(|(t, tile)| {
+                    let plans = &plans;
+                    tile.faces().iter().filter_map(move |f| match f.kind {
+                        FaceKind::Shared { neighbor } => {
+                            let halo = plans[neighbor].halo_rect(f.axis, !f.high);
+                            let overlap = halo
+                                .intersect(&plans[t].buffer())
+                                .expect("region tiles share one dimensionality");
+                            Some((t, neighbor, overlap))
+                        }
+                        _ => None,
+                    })
+                })
+                .collect();
+
+            for i in 1..=h_eff {
+                for s in 0..program.updates.len() {
+                    for t in 0..tiles.len() {
+                        let domain = plans[t].domain(i, s).translate(&-plans[t].buffer().lo())?;
+                        interps[t].apply_statement(&mut locals[t], s, &domain)?;
+                    }
+                    let target = &program.updates[s].target;
+                    for &(from, to, overlap) in &edges {
+                        let (src, dst) = two_mut(&mut locals, from, to);
+                        copy_slab(
+                            src,
+                            &plans[from].buffer().lo(),
+                            dst,
+                            &plans[to].buffer().lo(),
+                            target,
+                            &overlap,
+                        )?;
+                    }
+                }
+            }
+            for (t, tile) in tiles.iter().enumerate() {
+                write_back(state, &locals[t], &updated, &plans[t].buffer().lo(), &tile.rect())?;
+            }
+        }
+        done += h_eff;
+    }
+    Ok(())
+}
+
+/// Disjoint mutable borrows of two vector slots.
+///
+/// # Panics
+///
+/// Panics if `a == b` (a tile is never its own pipe neighbor).
+pub(crate) fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&T, &mut T) {
+    assert_ne!(a, b, "a tile cannot exchange with itself");
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_reference;
+    use stencilcl_grid::{Design, DesignKind, Extent, Point};
+    use stencilcl_lang::programs;
+
+    fn init(name: &str, p: &Point) -> f64 {
+        let mut v = name.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 37.0 + p.coord(d) as f64;
+        }
+        (v * 0.0017).cos()
+    }
+
+    fn check(program: &Program, design: &Design) {
+        let features = StencilFeatures::extract(program).unwrap();
+        let partition = Partition::new(program.extent(), design, &features.growth).unwrap();
+        let mut expect = GridState::new(program, init);
+        run_reference(program, &mut expect).unwrap();
+        let mut got = GridState::new(program, init);
+        run_pipe_shared(program, &partition, &mut got).unwrap();
+        assert_eq!(
+            expect.max_abs_diff(&got).unwrap(),
+            0.0,
+            "{} diverged from reference",
+            program.name
+        );
+    }
+
+    #[test]
+    fn jacobi_1d_pipe_matches_reference() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(64)).with_iterations(9);
+        let d = Design::equal(DesignKind::PipeShared, 3, vec![4], vec![8]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn jacobi_2d_pipe_matches_reference() {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(8);
+        let d = Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![8, 8]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn fdtd_2d_pipe_matches_reference() {
+        let p = programs::fdtd_2d().with_extent(Extent::new2(24, 24)).with_iterations(6);
+        let d = Design::equal(DesignKind::PipeShared, 3, vec![2, 2], vec![6, 6]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn heterogeneous_tiling_matches_reference() {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(6);
+        let d = Design::heterogeneous(3, vec![vec![6, 10], vec![12, 4]]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn hotspot_2d_with_read_only_power_matches() {
+        let p = programs::hotspot_2d().with_extent(Extent::new2(24, 24)).with_iterations(5);
+        let d = Design::equal(DesignKind::PipeShared, 5, vec![2, 2], vec![6, 6]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn jacobi_3d_pipe_matches_reference() {
+        let p = programs::jacobi_3d().with_extent(Extent::new3(12, 12, 12)).with_iterations(4);
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2, 2], vec![3, 3, 3]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn rejects_baseline_partition() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(2);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let mut s = GridState::uniform(&p, 0.0);
+        assert!(run_pipe_shared(&p, &partition, &mut s).is_err());
+    }
+
+    #[test]
+    fn rejects_diagonal_stencils() {
+        let p = stencilcl_lang::parse(
+            "stencil d { grid A[16][16] : f32; iterations 2;
+             A[i][j] = 0.5 * (A[i-1][j-1] + A[i+1][j+1]); }",
+        )
+        .unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![4, 4]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let mut s = GridState::uniform(&p, 0.0);
+        assert!(matches!(
+            run_pipe_shared(&p, &partition, &mut s).unwrap_err(),
+            ExecError::DiagonalAccess { .. }
+        ));
+    }
+
+    #[test]
+    fn two_mut_returns_disjoint_slots() {
+        let mut v = vec![1, 2, 3];
+        let (a, b) = two_mut(&mut v, 0, 2);
+        assert_eq!((*a, *b), (1, 3));
+        let (a, b) = two_mut(&mut v, 2, 0);
+        assert_eq!((*a, *b), (3, 1));
+    }
+}

@@ -1,0 +1,48 @@
+use stencilcl_lang::{GridState, Interpreter, Program};
+
+use crate::ExecError;
+
+/// Runs the naive reference execution: `program.iterations` full-grid stencil
+/// iterations with a global synchronization after each one — the semantics of
+/// Figure 3's pseudo code, and the ground truth every accelerator design is
+/// checked against.
+///
+/// # Errors
+///
+/// Returns [`ExecError::Lang`] if the state lacks one of the program's grids.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_exec::run_reference;
+/// use stencilcl_grid::Extent;
+/// use stencilcl_lang::{programs, GridState};
+///
+/// let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(4);
+/// let mut s = GridState::uniform(&p, 1.0);
+/// run_reference(&p, &mut s)?;
+/// # Ok::<(), stencilcl_exec::ExecError>(())
+/// ```
+pub fn run_reference(program: &Program, state: &mut GridState) -> Result<(), ExecError> {
+    let interp = Interpreter::new(program);
+    interp.run(state, program.iterations)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Extent, Point};
+    use stencilcl_lang::programs;
+
+    #[test]
+    fn reference_runs_all_iterations() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(16)).with_iterations(2);
+        let mut s = GridState::new(&p, |_, pt| if pt.coord(0) == 8 { 1.0 } else { 0.0 });
+        run_reference(&p, &mut s).unwrap();
+        // After two radius-1 iterations the spike has spread two cells.
+        let a = s.grid("A").unwrap();
+        assert!(*a.get(&Point::new1(6)).unwrap() > 0.0);
+        assert_eq!(*a.get(&Point::new1(5)).unwrap(), 0.0);
+    }
+}

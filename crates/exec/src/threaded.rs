@@ -1,0 +1,216 @@
+use std::thread;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use stencilcl_grid::{FaceKind, Partition, Rect};
+use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+
+use crate::domains::{reject_diagonals, DomainPlan};
+use crate::overlapped::window_extent;
+use crate::window::{extract_window, write_back};
+use crate::ExecError;
+
+/// One boundary-slab message: the values of the statement's target array over
+/// the agreed overlap region, tagged with its (iteration, statement) step for
+/// protocol checking.
+#[derive(Debug)]
+struct Slab {
+    step: (u64, usize),
+    values: Vec<f64>,
+}
+
+/// Runs the pipe-shared design with **real concurrency**: one OS thread per
+/// kernel of each region, connected by bounded crossbeam channels that play
+/// the role of the OpenCL pipes. After every update statement each worker
+/// pushes its freshly computed boundary slab downstream and blocks until its
+/// own upstream slabs arrive — the same producer/consumer discipline the
+/// FPGA's FIFOs enforce.
+///
+/// Results must be identical to [`run_pipe_shared`](crate::run_pipe_shared)
+/// (and therefore to the reference): the protocol only moves the same values
+/// through channels instead of memcpys.
+///
+/// # Errors
+///
+/// Same conditions as [`run_pipe_shared`](crate::run_pipe_shared), plus
+/// [`ExecError::WorkerPanic`] if a worker thread dies.
+pub fn run_threaded(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+) -> Result<(), ExecError> {
+    let features = StencilFeatures::extract(program)?;
+    if !partition.design().kind().uses_pipes() {
+        return Err(ExecError::config(
+            "run_threaded expects a pipe-shared or heterogeneous design",
+        ));
+    }
+    reject_diagonals(&features)?;
+
+    let kind = partition.design().kind();
+    let fused = partition.design().fused();
+    let grid_rect = Rect::from_extent(&program.extent());
+    let updated: Vec<&str> = program.updated_grids();
+    let mut done = 0u64;
+    while done < program.iterations {
+        let h_eff = fused.min(program.iterations - done);
+        let snapshot = state.clone();
+        for region in partition.region_indices() {
+            let tiles = partition.tiles_for_region(&region);
+            let plans: Vec<DomainPlan> = tiles
+                .iter()
+                .map(|t| DomainPlan::new(&features, t, kind, h_eff, &grid_rect))
+                .collect::<Result<_, _>>()?;
+            let programs: Vec<Program> = plans
+                .iter()
+                .map(|dp| Ok(program.with_extent(window_extent(&dp.buffer())?)))
+                .collect::<Result<_, ExecError>>()?;
+            let locals: Vec<GridState> = plans
+                .iter()
+                .zip(&programs)
+                .map(|(dp, lp)| extract_window(&snapshot, program, lp, &dp.buffer()))
+                .collect::<Result<_, _>>()?;
+
+            // Build the directed pipe channels. outgoing[t] lists
+            // (sender, overlap); incoming[t] lists (receiver, overlap).
+            let k = tiles.len();
+            let mut outgoing: Vec<Vec<(Sender<Slab>, Rect)>> = (0..k).map(|_| Vec::new()).collect();
+            let mut incoming: Vec<Vec<(Receiver<Slab>, Rect)>> =
+                (0..k).map(|_| Vec::new()).collect();
+            for (t, tile) in tiles.iter().enumerate() {
+                for f in tile.faces() {
+                    if let FaceKind::Shared { neighbor } = f.kind {
+                        let overlap = plans[neighbor]
+                            .halo_rect(f.axis, !f.high)
+                            .intersect(&plans[t].buffer())
+                            .expect("region tiles share one dimensionality");
+                        let (tx, rx) = bounded::<Slab>(2);
+                        outgoing[t].push((tx, overlap));
+                        incoming[neighbor].push((rx, overlap));
+                    }
+                }
+            }
+
+            let mut results: Vec<Option<Result<GridState, ExecError>>> =
+                (0..k).map(|_| None).collect();
+            thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(k);
+                for (t, (mut local, (outs, ins))) in locals
+                    .into_iter()
+                    .zip(outgoing.into_iter().zip(incoming))
+                    .enumerate()
+                {
+                    let plan = &plans[t];
+                    let lp = &programs[t];
+                    let prog = &*program;
+                    handles.push(scope.spawn(move || {
+                        let interp = Interpreter::new(lp);
+                        let origin = plan.buffer().lo();
+                        for i in 1..=h_eff {
+                            for s in 0..prog.updates.len() {
+                                let domain = plan.domain(i, s).translate(&-origin)?;
+                                interp.apply_statement(&mut local, s, &domain)?;
+                                let target = &prog.updates[s].target;
+                                // Produce: push our slab into each pipe.
+                                for (tx, overlap) in &outs {
+                                    let rect = overlap.translate(&-origin)?;
+                                    let values = local.grid(target)?.read_window(&rect)?;
+                                    tx.send(Slab { step: (i, s), values }).map_err(|_| {
+                                        ExecError::config("pipe consumer hung up".to_string())
+                                    })?;
+                                }
+                                // Consume: splice the upstream slabs in.
+                                for (rx, overlap) in &ins {
+                                    let slab = rx.recv().map_err(|_| {
+                                        ExecError::config("pipe producer hung up".to_string())
+                                    })?;
+                                    debug_assert_eq!(slab.step, (i, s), "pipe protocol skew");
+                                    let rect = overlap.translate(&-origin)?;
+                                    local.grid_mut(target)?.write_window(&rect, &slab.values)?;
+                                }
+                            }
+                        }
+                        Ok(local)
+                    }));
+                }
+                for (t, h) in handles.into_iter().enumerate() {
+                    results[t] = Some(h.join().unwrap_or(Err(ExecError::WorkerPanic { kernel: t })));
+                }
+            });
+
+            for (t, tile) in tiles.iter().enumerate() {
+                let local = results[t].take().expect("every worker reports")?;
+                write_back(state, &local, &updated, &plans[t].buffer().lo(), &tile.rect())?;
+            }
+        }
+        done += h_eff;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_pipe_shared, run_reference};
+    use stencilcl_grid::{Design, DesignKind, Extent, Point};
+    use stencilcl_lang::programs;
+
+    fn init(name: &str, p: &Point) -> f64 {
+        let mut v = name.len() as f64 + 1.0;
+        for d in 0..p.dim() {
+            v = v * 29.0 + p.coord(d) as f64;
+        }
+        (v * 0.003).sin()
+    }
+
+    fn check(program: &Program, design: &Design) {
+        let features = StencilFeatures::extract(program).unwrap();
+        let partition = Partition::new(program.extent(), design, &features.growth).unwrap();
+        let mut expect = GridState::new(program, init);
+        run_reference(program, &mut expect).unwrap();
+        let mut threaded = GridState::new(program, init);
+        run_threaded(program, &partition, &mut threaded).unwrap();
+        assert_eq!(expect.max_abs_diff(&threaded).unwrap(), 0.0, "{}", program.name);
+        // Threaded and sequential pipe executions agree bit for bit.
+        let mut sequential = GridState::new(program, init);
+        run_pipe_shared(program, &partition, &mut sequential).unwrap();
+        assert_eq!(sequential.max_abs_diff(&threaded).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn jacobi_2d_threads_match_reference() {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(6);
+        let d = Design::equal(DesignKind::PipeShared, 3, vec![2, 2], vec![8, 8]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn fdtd_2d_threads_match_reference() {
+        let p = programs::fdtd_2d().with_extent(Extent::new2(24, 24)).with_iterations(4);
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![6, 6]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn heterogeneous_threads_match_reference() {
+        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(6);
+        let d = Design::heterogeneous(2, vec![vec![6, 10], vec![10, 6]]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn one_dimensional_pipeline_of_four_workers() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(64)).with_iterations(8);
+        let d = Design::equal(DesignKind::PipeShared, 4, vec![4], vec![16]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
+    fn rejects_baseline_partition() {
+        let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(2);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let mut s = GridState::uniform(&p, 0.0);
+        assert!(run_threaded(&p, &partition, &mut s).is_err());
+    }
+}

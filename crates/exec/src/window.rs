@@ -1,0 +1,190 @@
+use stencilcl_grid::{Extent, Grid, Point, Rect};
+use stencilcl_lang::{GridState, Program};
+
+use crate::ExecError;
+
+/// Extracts the window `rect` (already clipped to the grid) of every array of
+/// `state` into a fresh local [`GridState`] over `local_program` — the
+/// functional analogue of the burst read into a kernel's BRAM buffers.
+///
+/// `local_program` must be `program.with_extent(window extent)`.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when the window is empty or the programs disagree.
+pub fn extract_window(
+    state: &GridState,
+    program: &Program,
+    local_program: &Program,
+    rect: &Rect,
+) -> Result<GridState, ExecError> {
+    if rect.is_empty() {
+        return Err(ExecError::config(format!("empty window {rect}")));
+    }
+    let lens: Vec<usize> = (0..rect.dim()).map(|d| rect.len(d) as usize).collect();
+    let extent = Extent::new(&lens).map_err(ExecError::from)?;
+    if local_program.extent() != extent {
+        return Err(ExecError::config(format!(
+            "local program extent {} does not match window {}",
+            local_program.extent(),
+            extent
+        )));
+    }
+    let mut local = GridState::uniform(local_program, 0.0);
+    for decl in &program.grids {
+        let src = state.grid(&decl.name)?;
+        let values = src.read_window(rect)?;
+        let dst = local.grid_mut(&decl.name)?;
+        *dst = Grid::from_vec(extent, values)?;
+    }
+    Ok(local)
+}
+
+/// Writes the `updated` arrays of `local` (a window rooted at `origin`) back
+/// into `state`, but only the cells inside `target` — the burst write of a
+/// kernel's tile.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when geometry or grid names disagree.
+pub fn write_back(
+    state: &mut GridState,
+    local: &GridState,
+    updated: &[&str],
+    origin: &Point,
+    target: &Rect,
+) -> Result<(), ExecError> {
+    let local_target = target.translate(&-*origin)?;
+    for name in updated {
+        let values = local.grid(name)?.read_window(&local_target)?;
+        state.grid_mut(name)?.write_window(target, &values)?;
+    }
+    Ok(())
+}
+
+/// Copies array `name` over the absolute region `overlap` from one local
+/// window (rooted at `src_origin`) into another (rooted at `dst_origin`) —
+/// one pipe transfer of a boundary slab.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when the overlap falls outside either window.
+pub fn copy_slab(
+    src: &GridState,
+    src_origin: &Point,
+    dst: &mut GridState,
+    dst_origin: &Point,
+    name: &str,
+    overlap: &Rect,
+) -> Result<(), ExecError> {
+    if overlap.is_empty() {
+        return Ok(());
+    }
+    let src_rect = overlap.translate(&-*src_origin)?;
+    let values = src.grid(name)?.read_window(&src_rect)?;
+    if values.len() as u64 != overlap.volume() {
+        return Err(ExecError::config(format!(
+            "slab {overlap} extends outside the source window"
+        )));
+    }
+    let dst_rect = overlap.translate(&-*dst_origin)?;
+    dst.grid_mut(name)?.write_window(&dst_rect, &values)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_lang::parse;
+
+    fn program(n: usize) -> Program {
+        parse(&format!(
+            "stencil w {{ grid A[{n}][{n}] : f32; grid B[{n}][{n}] : f32 read_only;
+             iterations 1; A[i][j] = A[i][j] + B[i][j]; }}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn extract_and_write_back_roundtrip() {
+        let p = program(8);
+        let state = GridState::new(&p, |name, pt| {
+            let tag = if name == "A" { 100.0 } else { 0.0 };
+            tag + (pt.coord(0) * 8 + pt.coord(1)) as f64
+        });
+        let rect = Rect::new(Point::new2(2, 2), Point::new2(6, 6)).unwrap();
+        let local_p = p.with_extent(Extent::new2(4, 4));
+        let local = extract_window(&state, &p, &local_p, &rect).unwrap();
+        assert_eq!(
+            *local.grid("A").unwrap().get(&Point::new2(0, 0)).unwrap(),
+            100.0 + 18.0
+        );
+        // Modify the local window, then write a sub-target back.
+        let mut local = local;
+        local.grid_mut("A").unwrap().set(&Point::new2(1, 1), -1.0).unwrap();
+        let mut state2 = state.clone();
+        let target = Rect::new(Point::new2(3, 3), Point::new2(5, 5)).unwrap();
+        write_back(&mut state2, &local, &["A"], &rect.lo(), &target).unwrap();
+        assert_eq!(*state2.grid("A").unwrap().get(&Point::new2(3, 3)).unwrap(), -1.0);
+        // Outside the target: untouched.
+        assert_eq!(
+            *state2.grid("A").unwrap().get(&Point::new2(2, 2)).unwrap(),
+            100.0 + 18.0
+        );
+        // Read-only array untouched everywhere.
+        assert_eq!(state.grid("B").unwrap(), state2.grid("B").unwrap());
+    }
+
+    #[test]
+    fn extract_rejects_mismatched_local_extent() {
+        let p = program(8);
+        let state = GridState::uniform(&p, 0.0);
+        let rect = Rect::new(Point::new2(0, 0), Point::new2(4, 4)).unwrap();
+        let wrong = p.with_extent(Extent::new2(5, 5));
+        assert!(extract_window(&state, &p, &wrong, &rect).is_err());
+    }
+
+    #[test]
+    fn copy_slab_moves_overlap_between_windows() {
+        let p = program(8);
+        let local_p = p.with_extent(Extent::new2(4, 4));
+        let state = GridState::new(&p, |_, pt| (pt.coord(0) * 8 + pt.coord(1)) as f64);
+        // Window 1 at (0,0), window 2 at (0,3) (overlapping column 3).
+        let r1 = Rect::new(Point::new2(0, 0), Point::new2(4, 4)).unwrap();
+        let r2 = Rect::new(Point::new2(0, 3), Point::new2(4, 7)).unwrap();
+        let w1 = extract_window(&state, &p, &local_p, &r1).unwrap();
+        let mut w2 = extract_window(&state, &p, &local_p, &r2).unwrap();
+        // Zero w2's copy of column 3, then restore it from w1.
+        for x in 0..4 {
+            w2.grid_mut("A").unwrap().set(&Point::new2(x, 0), 0.0).unwrap();
+        }
+        let overlap = Rect::new(Point::new2(0, 3), Point::new2(4, 4)).unwrap();
+        copy_slab(&w1, &r1.lo(), &mut w2, &r2.lo(), "A", &overlap).unwrap();
+        assert_eq!(*w2.grid("A").unwrap().get(&Point::new2(2, 0)).unwrap(), 19.0);
+    }
+
+    #[test]
+    fn copy_slab_rejects_out_of_window_overlap() {
+        let p = program(8);
+        let local_p = p.with_extent(Extent::new2(4, 4));
+        let state = GridState::uniform(&p, 0.0);
+        let r1 = Rect::new(Point::new2(0, 0), Point::new2(4, 4)).unwrap();
+        let w1 = extract_window(&state, &p, &local_p, &r1).unwrap();
+        let mut w2 = w1.clone();
+        let outside = Rect::new(Point::new2(0, 4), Point::new2(4, 5)).unwrap();
+        assert!(copy_slab(&w1, &r1.lo(), &mut w2, &r1.lo(), "A", &outside).is_err());
+    }
+
+    #[test]
+    fn empty_slab_is_noop() {
+        let p = program(8);
+        let local_p = p.with_extent(Extent::new2(4, 4));
+        let state = GridState::uniform(&p, 1.0);
+        let r1 = Rect::new(Point::new2(0, 0), Point::new2(4, 4)).unwrap();
+        let w1 = extract_window(&state, &p, &local_p, &r1).unwrap();
+        let mut w2 = w1.clone();
+        let empty = Rect::new(Point::new2(2, 2), Point::new2(2, 4)).unwrap();
+        copy_slab(&w1, &r1.lo(), &mut w2, &r1.lo(), "A", &empty).unwrap();
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,160 @@
+//! The crate's central property: **every executor matches the reference
+//! bit-for-bit** across randomized stencils, tilings, fusion depths, and
+//! initial data.
+
+use proptest::prelude::*;
+use stencilcl_exec::{verify_design, ExecMode};
+use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
+use stencilcl_lang::{parse, programs, Program, StencilFeatures};
+
+/// Random 2-D split of `total` into `k` positive parts.
+fn split(total: usize, k: usize, skew: usize) -> Vec<usize> {
+    let base = total / k;
+    let mut lens = vec![base; k];
+    let give = skew.min(base.saturating_sub(1));
+    if k >= 2 {
+        lens[0] -= give;
+        lens[k - 1] += give;
+    }
+    let assigned: usize = lens.iter().sum();
+    lens[0] += total - assigned;
+    lens
+}
+
+fn verify(program: &Program, design: &Design, mode: ExecMode, seed: i64) -> f64 {
+    let f = StencilFeatures::extract(program).unwrap();
+    let partition = Partition::new(program.extent(), design, &f.growth).unwrap();
+    verify_design(program, &partition, mode, |name, p: &Point| {
+        let mut v = (name.len() as i64 + seed) as f64;
+        for d in 0..p.dim() {
+            v = v * 13.0 + p.coord(d) as f64;
+        }
+        (v * 0.0021).sin()
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn jacobi2d_pipe_matches_reference_for_random_configs(
+        tiles_per_dim in 1usize..=3,
+        tile in 4usize..=8,
+        regions in 1usize..=2,
+        fused in 1u64..=5,
+        iters in 1u64..=7,
+        skew in 0usize..3,
+        seed in 0i64..1000,
+    ) {
+        let n = tiles_per_dim * tile * regions;
+        let program = programs::jacobi_2d().with_extent(Extent::new2(n, n)).with_iterations(iters);
+        let lens = split(tiles_per_dim * tile, tiles_per_dim, skew);
+        if lens.iter().any(|&w| w < 1) {
+            return Ok(());
+        }
+        let design = Design::heterogeneous(fused, vec![lens.clone(), lens]).unwrap();
+        prop_assert_eq!(verify(&program, &design, ExecMode::PipeShared, seed), 0.0);
+    }
+
+    #[test]
+    fn jacobi1d_all_modes_match_reference(
+        k in 1usize..=4,
+        tile in 3usize..=10,
+        regions in 1usize..=3,
+        fused in 1u64..=6,
+        iters in 1u64..=9,
+        seed in 0i64..1000,
+    ) {
+        let n = k * tile * regions;
+        let program = programs::jacobi_1d().with_extent(Extent::new1(n)).with_iterations(iters);
+        let base = Design::equal(DesignKind::Baseline, fused, vec![k], vec![tile]).unwrap();
+        prop_assert_eq!(verify(&program, &base, ExecMode::Overlapped, seed), 0.0);
+        let pipe = Design::equal(DesignKind::PipeShared, fused, vec![k], vec![tile]).unwrap();
+        prop_assert_eq!(verify(&program, &pipe, ExecMode::PipeShared, seed), 0.0);
+        prop_assert_eq!(verify(&program, &pipe, ExecMode::Threaded, seed), 0.0);
+    }
+
+    #[test]
+    fn random_asymmetric_stencils_stay_exact(
+        lo in 0i64..=2,
+        hi in 0i64..=2,
+        fused in 1u64..=4,
+        iters in 1u64..=5,
+        seed in 0i64..1000,
+    ) {
+        // Asymmetric reach: A[i] = f(A[i-lo], A[i], A[i+hi]).
+        if lo == 0 && hi == 0 {
+            return Ok(());
+        }
+        let n = 48usize;
+        let src = format!(
+            "stencil a {{ grid A[{n}] : f32; iterations {iters};
+             A[i] = 0.4 * A[i] + 0.3 * (A[i-{lo}] + A[i+{hi}]); }}"
+        );
+        let program = parse(&src).unwrap();
+        let tile = 12usize;
+        let reach = lo.max(hi) as usize;
+        if tile < reach {
+            return Ok(());
+        }
+        let design = Design::equal(DesignKind::PipeShared, fused, vec![2], vec![tile]).unwrap();
+        prop_assert_eq!(verify(&program, &design, ExecMode::PipeShared, seed), 0.0);
+        let base = Design::equal(DesignKind::Baseline, fused, vec![2], vec![tile]).unwrap();
+        prop_assert_eq!(verify(&program, &base, ExecMode::Overlapped, seed), 0.0);
+    }
+
+    #[test]
+    fn fdtd2d_chained_statements_stay_exact_threaded(
+        fused in 1u64..=4,
+        iters in 1u64..=6,
+        seed in 0i64..1000,
+    ) {
+        let program = programs::fdtd_2d().with_extent(Extent::new2(24, 24)).with_iterations(iters);
+        let design = Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![6, 6]).unwrap();
+        prop_assert_eq!(verify(&program, &design, ExecMode::Threaded, seed), 0.0);
+    }
+
+    #[test]
+    fn hotspot3d_with_power_map_stays_exact(
+        fused in 1u64..=3,
+        iters in 1u64..=4,
+        seed in 0i64..1000,
+    ) {
+        let program = parse(&programs::hotspot_3d_source(12, 12, 12, iters)).unwrap();
+        let design =
+            Design::equal(DesignKind::PipeShared, fused, vec![2, 2, 1], vec![6, 6, 12]).unwrap();
+        prop_assert_eq!(verify(&program, &design, ExecMode::PipeShared, seed), 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn chambolle_tv_denoising_stays_exact(
+        fused in 1u64..=4,
+        iters in 1u64..=5,
+        seed in 0i64..1000,
+    ) {
+        // Intrinsic-using extension benchmark (abs + division, 3 chained
+        // statements, read-only image).
+        let program = parse(&programs::chambolle_2d_source(24, iters)).unwrap();
+        let design = Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![6, 6]).unwrap();
+        prop_assert_eq!(verify(&program, &design, ExecMode::PipeShared, seed), 0.0);
+        prop_assert_eq!(verify(&program, &design, ExecMode::Threaded, seed), 0.0);
+        let base = Design::equal(DesignKind::Baseline, fused, vec![2, 2], vec![6, 6]).unwrap();
+        prop_assert_eq!(verify(&program, &base, ExecMode::Overlapped, seed), 0.0);
+    }
+
+    #[test]
+    fn erosion_min_filter_stays_exact(
+        fused in 1u64..=4,
+        iters in 1u64..=6,
+        seed in 0i64..1000,
+    ) {
+        let program = parse(&programs::erosion_2d_source(24, iters)).unwrap();
+        let design = Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![6, 6]).unwrap();
+        prop_assert_eq!(verify(&program, &design, ExecMode::PipeShared, seed), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Errors produced by geometric construction and decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// A dimensionality outside `1..=MAX_DIM` was requested.
+    BadDimension(usize),
+    /// Two geometric values with different dimensionalities were combined.
+    DimensionMismatch {
+        /// Dimensionality of the left-hand operand.
+        left: usize,
+        /// Dimensionality of the right-hand operand.
+        right: usize,
+    },
+    /// An extent with a zero-length dimension was constructed.
+    EmptyExtent,
+    /// A point was used to index a grid it does not lie inside.
+    OutOfBounds {
+        /// The offending coordinate values, one per dimension.
+        point: Vec<i64>,
+        /// The grid lengths, one per dimension.
+        extent: Vec<usize>,
+    },
+    /// A partition was requested whose tiles do not evenly cover the grid.
+    UnevenPartition {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A design was constructed with inconsistent parameters.
+    BadDesign {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::BadDimension(d) => {
+                write!(f, "dimensionality {d} outside supported range 1..={}", crate::MAX_DIM)
+            }
+            GridError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            GridError::EmptyExtent => write!(f, "extent has a zero-length dimension"),
+            GridError::OutOfBounds { point, extent } => {
+                write!(f, "point {point:?} outside grid extent {extent:?}")
+            }
+            GridError::UnevenPartition { detail } => write!(f, "uneven partition: {detail}"),
+            GridError::BadDesign { detail } => write!(f, "bad design: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GridError::BadDimension(9);
+        assert!(e.to_string().contains('9'));
+        let e = GridError::DimensionMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+        let e = GridError::OutOfBounds { point: vec![5], extent: vec![4] };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<GridError>();
+    }
+}

@@ -1,0 +1,264 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{check_dim, GridError, Point, MAX_DIM};
+
+/// Per-dimension, per-side halo growth of a fused-iteration cone.
+///
+/// When `h` stencil iterations are fused on chip, producing a tile's output
+/// requires input data reaching `growth × h` cells beyond the tile on every
+/// side that has no pipe neighbor. `Growth` records how far the required
+/// footprint expands *per fused iteration*: `lo[d]` cells toward smaller
+/// coordinates along dimension `d` and `hi[d]` toward larger ones.
+///
+/// For a single symmetric stencil statement (e.g. Jacobi's 5-point star) the
+/// growth equals the stencil radius on both sides. For multi-statement
+/// kernels whose statements chain within one iteration (e.g. FDTD's
+/// `e`-then-`h` updates), growths accumulate across the chain; the
+/// `stencilcl-lang` feature extractor computes this.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_grid::Growth;
+///
+/// let g = Growth::symmetric(2, 1); // radius-1 2-D stencil
+/// assert_eq!(g.lo(0), 1);
+/// assert_eq!(g.hi(1), 1);
+/// assert_eq!(g.max_reach(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Growth {
+    dim: usize,
+    lo: [u64; MAX_DIM],
+    hi: [u64; MAX_DIM],
+}
+
+impl Growth {
+    /// Creates a growth from explicit per-side amounts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadDimension`] for unsupported dimensionality or
+    /// [`GridError::DimensionMismatch`] when the slices differ in length.
+    pub fn new(lo: &[u64], hi: &[u64]) -> Result<Self, GridError> {
+        if lo.len() != hi.len() {
+            return Err(GridError::DimensionMismatch { left: lo.len(), right: hi.len() });
+        }
+        let dim = check_dim(lo.len())?;
+        let mut l = [0u64; MAX_DIM];
+        let mut h = [0u64; MAX_DIM];
+        l[..dim].copy_from_slice(lo);
+        h[..dim].copy_from_slice(hi);
+        Ok(Growth { dim, lo: l, hi: h })
+    }
+
+    /// Creates a growth equal to `radius` on both sides of every dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported `dim`; use [`Growth::new`] for fallible
+    /// construction.
+    pub fn symmetric(dim: usize, radius: u64) -> Self {
+        let r = vec![radius; dim];
+        Growth::new(&r, &r).expect("dim validated by caller contract")
+    }
+
+    /// Zero growth (a pointwise "stencil") of the given dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported `dim`.
+    pub fn zero(dim: usize) -> Self {
+        Growth::symmetric(dim, 0)
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Growth per fused iteration toward smaller coordinates along `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn lo(&self, d: usize) -> u64 {
+        assert!(d < self.dim, "axis {d} out of range for dim {}", self.dim);
+        self.lo[d]
+    }
+
+    /// Growth per fused iteration toward larger coordinates along `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn hi(&self, d: usize) -> u64 {
+        assert!(d < self.dim, "axis {d} out of range for dim {}", self.dim);
+        self.hi[d]
+    }
+
+    /// Total growth along dimension `d` (both sides), the paper's `Δw_d`.
+    pub fn total(&self, d: usize) -> u64 {
+        self.lo(d) + self.hi(d)
+    }
+
+    /// The largest single-side growth over all dimensions.
+    pub fn max_reach(&self) -> u64 {
+        (0..self.dim).map(|d| self.lo[d].max(self.hi[d])).max().unwrap_or(0)
+    }
+
+    /// Whether the growth is zero in every direction.
+    pub fn is_zero(&self) -> bool {
+        (0..self.dim).all(|d| self.lo[d] == 0 && self.hi[d] == 0)
+    }
+
+    /// Component-wise sum of two growths (statement chaining within one
+    /// iteration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
+    pub fn checked_add(&self, other: &Growth) -> Result<Growth, GridError> {
+        if self.dim != other.dim {
+            return Err(GridError::DimensionMismatch { left: self.dim, right: other.dim });
+        }
+        let mut out = *self;
+        for d in 0..self.dim {
+            out.lo[d] += other.lo[d];
+            out.hi[d] += other.hi[d];
+        }
+        Ok(out)
+    }
+
+    /// Component-wise maximum of two growths (independent statements).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
+    pub fn checked_max(&self, other: &Growth) -> Result<Growth, GridError> {
+        if self.dim != other.dim {
+            return Err(GridError::DimensionMismatch { left: self.dim, right: other.dim });
+        }
+        let mut out = *self;
+        for d in 0..self.dim {
+            out.lo[d] = out.lo[d].max(other.lo[d]);
+            out.hi[d] = out.hi[d].max(other.hi[d]);
+        }
+        Ok(out)
+    }
+
+    /// The growth implied by a set of stencil offsets of one statement:
+    /// reading offset `o` along `d` requires `max(0, -o)` cells of low-side
+    /// and `max(0, o)` cells of high-side halo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadDimension`] when `dim` is unsupported or
+    /// [`GridError::DimensionMismatch`] when an offset has a different
+    /// dimensionality.
+    pub fn from_offsets<'a>(
+        dim: usize,
+        offsets: impl IntoIterator<Item = &'a Point>,
+    ) -> Result<Self, GridError> {
+        let mut g = Growth::new(&vec![0; dim], &vec![0; dim])?;
+        for o in offsets {
+            if o.dim() != dim {
+                return Err(GridError::DimensionMismatch { left: dim, right: o.dim() });
+            }
+            for d in 0..dim {
+                let c = o.coord(d);
+                if c < 0 {
+                    g.lo[d] = g.lo[d].max(c.unsigned_abs());
+                } else {
+                    g.hi[d] = g.hi[d].max(c as u64);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Per-side expansion amounts after `steps` fused iterations, as the
+    /// `(lo, hi)` slices [`Rect::expand`](crate::Rect::expand) expects.
+    pub fn amounts(&self, steps: u64) -> ([i64; MAX_DIM], [i64; MAX_DIM]) {
+        let mut lo = [0i64; MAX_DIM];
+        let mut hi = [0i64; MAX_DIM];
+        for d in 0..self.dim {
+            lo[d] = (self.lo[d] * steps) as i64;
+            hi[d] = (self.hi[d] * steps) as i64;
+        }
+        (lo, hi)
+    }
+}
+
+impl fmt::Display for Growth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for d in 0..self.dim {
+            if d > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "-{}/+{}", self.lo[d], self.hi[d])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_growth() {
+        let g = Growth::symmetric(3, 2);
+        for d in 0..3 {
+            assert_eq!(g.lo(d), 2);
+            assert_eq!(g.hi(d), 2);
+            assert_eq!(g.total(d), 4);
+        }
+        assert_eq!(g.max_reach(), 2);
+        assert!(!g.is_zero());
+        assert!(Growth::zero(2).is_zero());
+    }
+
+    #[test]
+    fn mismatched_slices_rejected() {
+        assert!(Growth::new(&[1], &[1, 2]).is_err());
+        assert!(Growth::new(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn from_offsets_separates_sides() {
+        let offs = [Point::new2(-1, 0), Point::new2(0, 2), Point::new2(0, 0)];
+        let g = Growth::from_offsets(2, offs.iter()).unwrap();
+        assert_eq!(g.lo(0), 1);
+        assert_eq!(g.hi(0), 0);
+        assert_eq!(g.lo(1), 0);
+        assert_eq!(g.hi(1), 2);
+    }
+
+    #[test]
+    fn add_and_max_compose() {
+        let a = Growth::new(&[1, 0], &[0, 1]).unwrap();
+        let b = Growth::new(&[0, 1], &[1, 0]).unwrap();
+        let sum = a.checked_add(&b).unwrap();
+        assert_eq!(sum, Growth::symmetric(2, 1));
+        let mx = a.checked_max(&b).unwrap();
+        assert_eq!(mx, Growth::symmetric(2, 1));
+    }
+
+    #[test]
+    fn display_shows_both_sides() {
+        let g = Growth::new(&[1, 0], &[2, 1]).unwrap();
+        assert_eq!(g.to_string(), "[-1/+2, -0/+1]");
+    }
+
+    #[test]
+    fn amounts_scale_with_steps() {
+        let g = Growth::new(&[1, 2], &[0, 1]).unwrap();
+        let (lo, hi) = g.amounts(3);
+        assert_eq!(&lo[..2], &[3, 6]);
+        assert_eq!(&hi[..2], &[0, 3]);
+    }
+}

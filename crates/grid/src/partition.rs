@@ -1,0 +1,609 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{check_dim, Extent, Face, FaceKind, GridError, Growth, Point, Rect, TileInfo};
+
+/// The three accelerator architectures the framework compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignKind {
+    /// Overlapped tiling (Nacci et al., DAC'13): every tile computes its own
+    /// fully expanding cone; neighboring cones overlap and recompute shared
+    /// elements.
+    Baseline,
+    /// Equal-size tiles bridged by OpenCL pipes: boundary slabs are exchanged
+    /// instead of recomputed (Section 3.1 of the paper).
+    PipeShared,
+    /// Pipe-shared design with per-kernel tile sizes chosen to balance the
+    /// workload between boundary and interior kernels (Section 3.2).
+    Heterogeneous,
+}
+
+impl DesignKind {
+    /// Whether tiles exchange boundary data through pipes.
+    pub fn uses_pipes(self) -> bool {
+        !matches!(self, DesignKind::Baseline)
+    }
+
+    /// Short lowercase name used in reports and generated code.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignKind::Baseline => "baseline",
+            DesignKind::PipeShared => "pipe-shared",
+            DesignKind::Heterogeneous => "heterogeneous",
+        }
+    }
+}
+
+impl std::fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A point in the accelerator design space: architecture kind, fused
+/// iteration depth `h`, kernel-grid parallelism, and per-kernel tile lengths.
+///
+/// For [`DesignKind::Baseline`] and [`DesignKind::PipeShared`] all tiles along
+/// a dimension share one length; [`DesignKind::Heterogeneous`] gives each row
+/// and column of the kernel grid its own length so boundary kernels (which
+/// still compute expanding halos toward other regions) can be assigned
+/// smaller tiles.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_grid::{Design, DesignKind};
+///
+/// let d = Design::heterogeneous(8, vec![vec![28, 36, 36, 28], vec![64, 64]])?;
+/// assert_eq!(d.kernel_count(), 8);
+/// assert_eq!(d.region_len(0), 128);
+/// assert!(d.is_heterogeneous());
+/// # Ok::<(), stencilcl_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Design {
+    kind: DesignKind,
+    fused: u64,
+    parallelism: Vec<usize>,
+    tile_lengths: Vec<Vec<usize>>,
+}
+
+impl Design {
+    /// Creates an equal-tile design: `parallelism[d]` tiles of length
+    /// `tile_len[d]` along each dimension, fusing `fused` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadDesign`] when `fused` is zero, any parallelism
+    /// or tile length is zero, or the vectors disagree in dimensionality.
+    pub fn equal(
+        kind: DesignKind,
+        fused: u64,
+        parallelism: Vec<usize>,
+        tile_len: Vec<usize>,
+    ) -> Result<Self, GridError> {
+        if parallelism.len() != tile_len.len() {
+            return Err(GridError::DimensionMismatch {
+                left: parallelism.len(),
+                right: tile_len.len(),
+            });
+        }
+        let tile_lengths = parallelism
+            .iter()
+            .zip(tile_len.iter())
+            .map(|(&k, &w)| vec![w; k])
+            .collect();
+        Design::validated(kind, fused, parallelism, tile_lengths)
+    }
+
+    /// Creates a heterogeneous design from explicit per-kernel tile lengths:
+    /// `tile_lengths[d]` lists the lengths of the `parallelism[d]` tile slots
+    /// along dimension `d` (so parallelism is implied by the list lengths).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadDesign`] when `fused` is zero or any length is
+    /// zero, and [`GridError::BadDimension`] for unsupported dimensionality.
+    pub fn heterogeneous(fused: u64, tile_lengths: Vec<Vec<usize>>) -> Result<Self, GridError> {
+        let parallelism = tile_lengths.iter().map(Vec::len).collect();
+        Design::validated(DesignKind::Heterogeneous, fused, parallelism, tile_lengths)
+    }
+
+    fn validated(
+        kind: DesignKind,
+        fused: u64,
+        parallelism: Vec<usize>,
+        tile_lengths: Vec<Vec<usize>>,
+    ) -> Result<Self, GridError> {
+        check_dim(parallelism.len())?;
+        if fused == 0 {
+            return Err(GridError::BadDesign { detail: "fused iteration depth must be >= 1".into() });
+        }
+        if parallelism.contains(&0) {
+            return Err(GridError::BadDesign { detail: "parallelism must be >= 1 per dimension".into() });
+        }
+        for (d, lens) in tile_lengths.iter().enumerate() {
+            if lens.len() != parallelism[d] {
+                return Err(GridError::BadDesign {
+                    detail: format!(
+                        "dimension {d}: {} tile lengths for parallelism {}",
+                        lens.len(),
+                        parallelism[d]
+                    ),
+                });
+            }
+            if lens.contains(&0) {
+                return Err(GridError::BadDesign {
+                    detail: format!("dimension {d}: zero-length tile"),
+                });
+            }
+        }
+        Ok(Design { kind, fused, parallelism, tile_lengths })
+    }
+
+    /// The architecture kind.
+    pub fn kind(&self) -> DesignKind {
+        self.kind
+    }
+
+    /// The fused iteration depth `h`.
+    pub fn fused(&self) -> u64 {
+        self.fused
+    }
+
+    /// Returns a copy with a different fused depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadDesign`] when `fused` is zero.
+    pub fn with_fused(&self, fused: u64) -> Result<Self, GridError> {
+        Design::validated(self.kind, fused, self.parallelism.clone(), self.tile_lengths.clone())
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.parallelism.len()
+    }
+
+    /// Kernel-grid parallelism per dimension (the paper's `4 × 4` etc.).
+    pub fn parallelism(&self) -> &[usize] {
+        &self.parallelism
+    }
+
+    /// Total number of parallel kernels `K`.
+    pub fn kernel_count(&self) -> usize {
+        self.parallelism.iter().product()
+    }
+
+    /// Tile lengths of the slots along dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn tile_lengths(&self, d: usize) -> &[usize] {
+        &self.tile_lengths[d]
+    }
+
+    /// Length of a region (all tile slots) along dimension `d`.
+    pub fn region_len(&self, d: usize) -> usize {
+        self.tile_lengths[d].iter().sum()
+    }
+
+    /// The largest tile length along dimension `d` — the paper's
+    /// `w_d · f_d^max` for the slowest kernel.
+    pub fn max_tile_len(&self, d: usize) -> usize {
+        *self.tile_lengths[d].iter().max().expect("validated nonempty")
+    }
+
+    /// Whether any dimension uses unequal tile lengths.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.tile_lengths.iter().any(|lens| lens.iter().any(|&w| w != lens[0]))
+    }
+
+    /// Volume of the largest tile.
+    pub fn max_tile_volume(&self) -> u64 {
+        (0..self.dim()).map(|d| self.max_tile_len(d) as u64).product()
+    }
+
+    /// Workload-balancing factors `f_d^k = len_k / mean_len` per dimension.
+    ///
+    /// Equal designs return all-ones.
+    pub fn balancing_factors(&self, d: usize) -> Vec<f64> {
+        let mean = self.region_len(d) as f64 / self.parallelism[d] as f64;
+        self.tile_lengths[d].iter().map(|&w| w as f64 / mean).collect()
+    }
+
+    /// Linear kernel id of a multi-dimensional kernel-grid index (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside the kernel grid.
+    pub fn kernel_id(&self, index: &Point) -> usize {
+        assert_eq!(index.dim(), self.dim());
+        let mut id = 0usize;
+        for d in 0..self.dim() {
+            let c = index.coord(d);
+            assert!(c >= 0 && (c as usize) < self.parallelism[d], "kernel index out of grid");
+            id = id * self.parallelism[d] + c as usize;
+        }
+        id
+    }
+}
+
+/// The decomposition of an input grid into regions and tiles under a
+/// [`Design`], with every tile's faces classified for dependency handling.
+///
+/// See the crate-level docs for the region/tile/cone vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    extent: Extent,
+    design: Design,
+    growth: Growth,
+    regions_per_dim: Vec<usize>,
+}
+
+impl Partition {
+    /// Creates a partition of `extent` under `design` for a stencil with the
+    /// given per-iteration `growth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError`] variants when dimensionalities disagree, regions
+    /// do not evenly cover the grid, or some tile is too narrow to source its
+    /// neighbor's per-iteration halo (which would require multi-hop pipes the
+    /// architecture does not provide).
+    pub fn new(extent: Extent, design: &Design, growth: &Growth) -> Result<Self, GridError> {
+        if extent.dim() != design.dim() {
+            return Err(GridError::DimensionMismatch { left: extent.dim(), right: design.dim() });
+        }
+        if growth.dim() != extent.dim() {
+            return Err(GridError::DimensionMismatch { left: growth.dim(), right: extent.dim() });
+        }
+        let mut regions_per_dim = Vec::with_capacity(extent.dim());
+        for d in 0..extent.dim() {
+            let region = design.region_len(d);
+            if !extent.len(d).is_multiple_of(region) {
+                return Err(GridError::UnevenPartition {
+                    detail: format!(
+                        "dimension {d}: region length {region} does not divide grid length {}",
+                        extent.len(d)
+                    ),
+                });
+            }
+            regions_per_dim.push(extent.len(d) / region);
+            let need = growth.lo(d).max(growth.hi(d)) as usize;
+            if let Some(&w) = design.tile_lengths(d).iter().find(|&&w| w < need) {
+                return Err(GridError::BadDesign {
+                    detail: format!(
+                        "dimension {d}: tile length {w} narrower than per-iteration halo {need}"
+                    ),
+                });
+            }
+        }
+        Ok(Partition { extent, design: design.clone(), growth: *growth, regions_per_dim })
+    }
+
+    /// The partitioned grid's extent.
+    pub fn extent(&self) -> Extent {
+        self.extent
+    }
+
+    /// The design being partitioned for.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The stencil growth the partition was validated against.
+    pub fn growth(&self) -> Growth {
+        self.growth
+    }
+
+    /// Number of parallel kernels per region.
+    pub fn kernel_count(&self) -> usize {
+        self.design.kernel_count()
+    }
+
+    /// Number of regions along dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.extent().dim()`.
+    pub fn regions_along(&self, d: usize) -> usize {
+        self.regions_per_dim[d]
+    }
+
+    /// Number of regions needed to cover the grid once (one fused pass).
+    pub fn regions_per_pass(&self) -> u64 {
+        self.regions_per_dim.iter().map(|&r| r as u64).product()
+    }
+
+    /// Iterates over the multi-dimensional indices of all regions.
+    pub fn region_indices(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        let dims = self.regions_per_dim.clone();
+        let total = self.regions_per_pass();
+        (0..total).map(move |mut lin| {
+            let mut idx = vec![0usize; dims.len()];
+            for d in (0..dims.len()).rev() {
+                idx[d] = (lin % dims[d] as u64) as usize;
+                lin /= dims[d] as u64;
+            }
+            idx
+        })
+    }
+
+    /// The absolute footprint of the region at `region_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `region_index` is out of range.
+    pub fn region_rect(&self, region_index: &[usize]) -> Rect {
+        assert_eq!(region_index.len(), self.extent.dim());
+        let dim = self.extent.dim();
+        let mut lo = Point::origin(dim).expect("validated dim");
+        let mut hi = lo;
+        for (d, (&idx, &count)) in
+            region_index.iter().zip(&self.regions_per_dim).enumerate()
+        {
+            assert!(idx < count, "region index out of range");
+            let origin = (idx * self.design.region_len(d)) as i64;
+            lo = lo.with_coord(d, origin);
+            hi = hi.with_coord(d, origin + self.design.region_len(d) as i64);
+        }
+        Rect::new(lo, hi).expect("dims match")
+    }
+
+    /// The tiles (with classified faces) of the region at `region_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `region_index` is out of range.
+    pub fn tiles_for_region(&self, region_index: &[usize]) -> Vec<TileInfo> {
+        let dim = self.extent.dim();
+        let region = self.region_rect(region_index);
+        let k = self.kernel_count();
+        let mut tiles = Vec::with_capacity(k);
+        for lin in 0..k {
+            let kidx = self.kernel_multi_index(lin);
+            let mut lo = region.lo();
+            let mut hi = lo;
+            for d in 0..dim {
+                let offset: usize =
+                    self.design.tile_lengths(d)[..kidx.coord(d) as usize].iter().sum();
+                let start = region.lo().coord(d) + offset as i64;
+                lo = lo.with_coord(d, start);
+                hi = hi.with_coord(d, start + self.design.tile_lengths(d)[kidx.coord(d) as usize] as i64);
+            }
+            let rect = Rect::new(lo, hi).expect("dims match");
+            let mut faces = Vec::with_capacity(2 * dim);
+            for d in 0..dim {
+                for high in [false, true] {
+                    faces.push(Face {
+                        axis: d,
+                        high,
+                        kind: self.face_kind(&kidx, region_index, d, high),
+                    });
+                }
+            }
+            tiles.push(TileInfo::new(lin, kidx, rect, faces));
+        }
+        tiles
+    }
+
+    /// The tiles of a *canonical interior region*: every outward face is
+    /// treated as a region boundary when more than one region exists along
+    /// that dimension, otherwise as the grid boundary.
+    ///
+    /// The analytical model and the simulator size the worst-case kernel from
+    /// this canonical region, because interior regions dominate the pass count
+    /// for the paper's large inputs.
+    pub fn canonical_tiles(&self) -> Vec<TileInfo> {
+        let interior: Vec<usize> = self
+            .regions_per_dim
+            .iter()
+            .map(|&r| if r > 2 { 1 } else { 0 })
+            .collect();
+        let mut tiles = self.tiles_for_region(&interior);
+        // Reclassify outward faces: RegionBoundary wherever multiple regions
+        // exist along the axis, GridBoundary otherwise.
+        for tile in &mut tiles {
+            let rect = tile.rect();
+            let kidx = tile.kernel_index();
+            let faces: Vec<Face> = tile
+                .faces()
+                .iter()
+                .map(|f| {
+                    let kind = match f.kind {
+                        FaceKind::Shared { neighbor } => FaceKind::Shared { neighbor },
+                        _ => {
+                            if self.regions_per_dim[f.axis] > 1 {
+                                FaceKind::RegionBoundary
+                            } else {
+                                FaceKind::GridBoundary
+                            }
+                        }
+                    };
+                    Face { axis: f.axis, high: f.high, kind }
+                })
+                .collect();
+            *tile = TileInfo::new(tile.kernel(), kidx, rect, faces);
+        }
+        tiles
+    }
+
+    fn kernel_multi_index(&self, mut lin: usize) -> Point {
+        let dim = self.extent.dim();
+        let mut coords = [0i64; crate::MAX_DIM];
+        for d in (0..dim).rev() {
+            coords[d] = (lin % self.design.parallelism()[d]) as i64;
+            lin /= self.design.parallelism()[d];
+        }
+        Point::new(&coords[..dim]).expect("validated dim")
+    }
+
+    fn face_kind(
+        &self,
+        kidx: &Point,
+        region_index: &[usize],
+        axis: usize,
+        high: bool,
+    ) -> FaceKind {
+        let k = kidx.coord(axis);
+        let last_tile = (self.design.parallelism()[axis] - 1) as i64;
+        if (!high && k > 0) || (high && k < last_tile) {
+            let neighbor = kidx.with_coord(axis, if high { k + 1 } else { k - 1 });
+            return FaceKind::Shared { neighbor: self.design.kernel_id(&neighbor) };
+        }
+        // Tile touches the region border on this side.
+        let r = region_index[axis];
+        let last_region = self.regions_per_dim[axis] - 1;
+        if (!high && r > 0) || (high && r < last_region) {
+            FaceKind::RegionBoundary
+        } else {
+            FaceKind::GridBoundary
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design_2x2() -> Design {
+        Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![8, 8]).unwrap()
+    }
+
+    #[test]
+    fn equal_design_accessors() {
+        let d = design_2x2();
+        assert_eq!(d.kernel_count(), 4);
+        assert_eq!(d.region_len(0), 16);
+        assert_eq!(d.max_tile_len(1), 8);
+        assert!(!d.is_heterogeneous());
+        assert_eq!(d.balancing_factors(0), vec![1.0, 1.0]);
+        assert_eq!(d.max_tile_volume(), 64);
+    }
+
+    #[test]
+    fn heterogeneous_design_infers_parallelism() {
+        let d = Design::heterogeneous(2, vec![vec![6, 10], vec![8, 8]]).unwrap();
+        assert_eq!(d.parallelism(), &[2, 2]);
+        assert!(d.is_heterogeneous());
+        assert_eq!(d.region_len(0), 16);
+        assert_eq!(d.max_tile_len(0), 10);
+        let f = d.balancing_factors(0);
+        assert!((f[0] - 0.75).abs() < 1e-12);
+        assert!((f[1] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_validation() {
+        assert!(Design::equal(DesignKind::Baseline, 0, vec![2], vec![8]).is_err());
+        assert!(Design::equal(DesignKind::Baseline, 1, vec![0], vec![8]).is_err());
+        assert!(Design::equal(DesignKind::Baseline, 1, vec![2], vec![0]).is_err());
+        assert!(Design::heterogeneous(1, vec![vec![4, 4], vec![]]).is_err());
+    }
+
+    #[test]
+    fn partition_validates_divisibility() {
+        let d = design_2x2();
+        let g = Growth::symmetric(2, 1);
+        assert!(Partition::new(Extent::new2(32, 32), &d, &g).is_ok());
+        assert!(Partition::new(Extent::new2(33, 32), &d, &g).is_err());
+    }
+
+    #[test]
+    fn partition_rejects_too_narrow_tiles() {
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![2]).unwrap();
+        let g = Growth::symmetric(1, 3);
+        assert!(matches!(
+            Partition::new(Extent::new1(8), &d, &g).unwrap_err(),
+            GridError::BadDesign { .. }
+        ));
+    }
+
+    #[test]
+    fn region_counting() {
+        let d = design_2x2();
+        let p = Partition::new(Extent::new2(64, 32), &d, &Growth::symmetric(2, 1)).unwrap();
+        assert_eq!(p.regions_along(0), 4);
+        assert_eq!(p.regions_along(1), 2);
+        assert_eq!(p.regions_per_pass(), 8);
+        assert_eq!(p.region_indices().count(), 8);
+    }
+
+    #[test]
+    fn tiles_cover_region_without_overlap() {
+        let d = Design::heterogeneous(2, vec![vec![6, 10], vec![4, 12]]).unwrap();
+        let p = Partition::new(Extent::new2(32, 32), &d, &Growth::symmetric(2, 1)).unwrap();
+        let tiles = p.tiles_for_region(&[1, 0]);
+        assert_eq!(tiles.len(), 4);
+        let region = p.region_rect(&[1, 0]);
+        let total: u64 = tiles.iter().map(|t| t.rect().volume()).sum();
+        assert_eq!(total, region.volume());
+        for (i, a) in tiles.iter().enumerate() {
+            assert!(region.contains_rect(&a.rect()));
+            for b in &tiles[i + 1..] {
+                assert!(a.rect().intersect(&b.rect()).unwrap().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn face_classification_for_corner_region() {
+        let d = design_2x2();
+        let p = Partition::new(Extent::new2(32, 32), &d, &Growth::symmetric(2, 1)).unwrap();
+        let tiles = p.tiles_for_region(&[0, 0]);
+        // Kernel (0,0): low faces are grid boundary, high faces shared.
+        let t00 = &tiles[0];
+        assert_eq!(t00.face(0, false).kind, FaceKind::GridBoundary);
+        assert_eq!(t00.face(1, false).kind, FaceKind::GridBoundary);
+        assert!(matches!(t00.face(0, true).kind, FaceKind::Shared { .. }));
+        // Kernel (1,1): high faces border the next region.
+        let t11 = &tiles[3];
+        assert_eq!(t11.face(0, true).kind, FaceKind::RegionBoundary);
+        assert_eq!(t11.face(1, true).kind, FaceKind::RegionBoundary);
+        assert_eq!(t11.face(0, false).kind, FaceKind::Shared { neighbor: 1 });
+    }
+
+    #[test]
+    fn shared_neighbors_are_mutual() {
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap();
+        let p = Partition::new(Extent::new2(16, 16), &d, &Growth::symmetric(2, 1)).unwrap();
+        let tiles = p.tiles_for_region(&[0, 0]);
+        for t in &tiles {
+            for f in t.faces() {
+                if let FaceKind::Shared { neighbor } = f.kind {
+                    let back = tiles[neighbor].face(f.axis, !f.high);
+                    assert_eq!(back.kind, FaceKind::Shared { neighbor: t.kernel() });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_region_marks_outward_faces() {
+        let d = design_2x2();
+        // 64x16: 4 regions along dim 0, 1 region along dim 1.
+        let p = Partition::new(Extent::new2(64, 16), &d, &Growth::symmetric(2, 1)).unwrap();
+        let tiles = p.canonical_tiles();
+        let t00 = &tiles[0];
+        assert_eq!(t00.face(0, false).kind, FaceKind::RegionBoundary);
+        assert_eq!(t00.face(1, false).kind, FaceKind::GridBoundary);
+    }
+
+    #[test]
+    fn kernel_id_row_major() {
+        let d = Design::equal(DesignKind::Baseline, 1, vec![2, 3], vec![4, 4]).unwrap();
+        assert_eq!(d.kernel_id(&Point::new2(0, 0)), 0);
+        assert_eq!(d.kernel_id(&Point::new2(0, 2)), 2);
+        assert_eq!(d.kernel_id(&Point::new2(1, 0)), 3);
+        assert_eq!(d.kernel_id(&Point::new2(1, 2)), 5);
+    }
+
+    #[test]
+    fn with_fused_preserves_everything_else() {
+        let d = design_2x2().with_fused(9).unwrap();
+        assert_eq!(d.fused(), 9);
+        assert_eq!(d.kernel_count(), 4);
+        assert!(d.with_fused(0).is_err());
+    }
+}

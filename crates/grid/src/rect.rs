@@ -1,0 +1,338 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GridError, Point};
+
+/// A half-open axis-aligned N-dimensional box `[lo, hi)`.
+///
+/// `Rect` describes tiles, cone levels, halos, and exchanged boundary slabs.
+/// An empty box (any `hi[d] <= lo[d]`) is representable and has volume zero.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_grid::{Point, Rect};
+///
+/// let tile = Rect::new(Point::new2(8, 8), Point::new2(16, 16))?;
+/// assert_eq!(tile.volume(), 64);
+/// let cone_base = tile.expand_uniform(2);
+/// assert_eq!(cone_base.volume(), 12 * 12);
+/// # Ok::<(), stencilcl_grid::GridError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a box from inclusive lower and exclusive upper corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] when corners differ in
+    /// dimensionality.
+    pub fn new(lo: Point, hi: Point) -> Result<Self, GridError> {
+        if lo.dim() != hi.dim() {
+            return Err(GridError::DimensionMismatch { left: lo.dim(), right: hi.dim() });
+        }
+        Ok(Rect { lo, hi })
+    }
+
+    /// The box covering `[0, extent)`.
+    pub fn from_extent(extent: &crate::Extent) -> Self {
+        let lo = Point::origin(extent.dim()).expect("extent dim validated");
+        let mut hi = lo;
+        for d in 0..extent.dim() {
+            hi = hi.with_coord(d, extent.len(d) as i64);
+        }
+        Rect { lo, hi }
+    }
+
+    /// Inclusive lower corner.
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Exclusive upper corner.
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.lo.dim()
+    }
+
+    /// Length along dimension `d`, zero if inverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.dim()`.
+    pub fn len(&self, d: usize) -> u64 {
+        (self.hi.coord(d) - self.lo.coord(d)).max(0) as u64
+    }
+
+    /// Whether the box contains no points.
+    pub fn is_empty(&self) -> bool {
+        (0..self.dim()).any(|d| self.hi.coord(d) <= self.lo.coord(d))
+    }
+
+    /// Number of points in the box.
+    pub fn volume(&self) -> u64 {
+        (0..self.dim()).map(|d| self.len(d)).product()
+    }
+
+    /// Whether `p` lies inside the box.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.dim() == self.dim()
+            && (0..self.dim()).all(|d| p.coord(d) >= self.lo.coord(d) && p.coord(d) < self.hi.coord(d))
+    }
+
+    /// Whether every point of `other` lies inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.dim() == self.dim()
+                && (0..self.dim()).all(|d| {
+                    other.lo.coord(d) >= self.lo.coord(d) && other.hi.coord(d) <= self.hi.coord(d)
+                }))
+    }
+
+    /// The intersection of two boxes (possibly empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
+    pub fn intersect(&self, other: &Rect) -> Result<Rect, GridError> {
+        if self.dim() != other.dim() {
+            return Err(GridError::DimensionMismatch { left: self.dim(), right: other.dim() });
+        }
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..self.dim() {
+            lo = lo.with_coord(d, self.lo.coord(d).max(other.lo.coord(d)));
+            hi = hi.with_coord(d, self.hi.coord(d).min(other.hi.coord(d)));
+        }
+        Ok(Rect { lo, hi })
+    }
+
+    /// Expands the box by `amount` on every side of every dimension.
+    pub fn expand_uniform(&self, amount: i64) -> Rect {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..self.dim() {
+            lo = lo.with_coord(d, self.lo.coord(d) - amount);
+            hi = hi.with_coord(d, self.hi.coord(d) + amount);
+        }
+        Rect { lo, hi }
+    }
+
+    /// Expands the box by per-dimension, per-side amounts: `lo_amount[d]`
+    /// toward smaller coordinates and `hi_amount[d]` toward larger ones.
+    ///
+    /// Negative amounts shrink the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is shorter than `self.dim()`.
+    pub fn expand(&self, lo_amount: &[i64], hi_amount: &[i64]) -> Rect {
+        assert!(lo_amount.len() >= self.dim() && hi_amount.len() >= self.dim());
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..self.dim() {
+            lo = lo.with_coord(d, self.lo.coord(d) - lo_amount[d]);
+            hi = hi.with_coord(d, self.hi.coord(d) + hi_amount[d]);
+        }
+        Rect { lo, hi }
+    }
+
+    /// The slab of thickness `depth` hugging the inside of the given face.
+    ///
+    /// `axis` selects the dimension and `high` selects the side: `false` is the
+    /// low-coordinate face, `true` the high-coordinate face. Slabs are what
+    /// adjacent tiles exchange through pipes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.dim()`.
+    pub fn face_slab(&self, axis: usize, high: bool, depth: u64) -> Rect {
+        assert!(axis < self.dim(), "axis {axis} out of range");
+        let depth = depth as i64;
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        if high {
+            lo = lo.with_coord(axis, (self.hi.coord(axis) - depth).max(self.lo.coord(axis)));
+        } else {
+            hi = hi.with_coord(axis, (self.lo.coord(axis) + depth).min(self.hi.coord(axis)));
+        }
+        Rect { lo, hi }
+    }
+
+    /// Translates the box by `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
+    pub fn translate(&self, offset: &Point) -> Result<Rect, GridError> {
+        Ok(Rect { lo: self.lo.checked_add(offset)?, hi: self.hi.checked_add(offset)? })
+    }
+
+    /// Iterates over every point of the box in row-major order.
+    pub fn iter(&self) -> RectIter {
+        RectIter { rect: *self, cursor: self.lo, done: self.is_empty() }
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}..{:?}", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Row-major iterator over the points of a [`Rect`], produced by
+/// [`Rect::iter`].
+#[derive(Debug, Clone)]
+pub struct RectIter {
+    rect: Rect,
+    cursor: Point,
+    done: bool,
+}
+
+impl Iterator for RectIter {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.done {
+            return None;
+        }
+        let out = self.cursor;
+        // Advance the cursor, last axis fastest.
+        let dim = self.rect.dim();
+        let mut d = dim;
+        loop {
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+            let next = self.cursor.coord(d) + 1;
+            if next < self.rect.hi.coord(d) {
+                self.cursor = self.cursor.with_coord(d, next);
+                break;
+            }
+            self.cursor = self.cursor.with_coord(d, self.rect.lo.coord(d));
+        }
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        // Remaining = volume of rect minus rank of cursor.
+        let mut rank: u64 = 0;
+        for d in 0..self.rect.dim() {
+            rank = rank * self.rect.len(d) + (self.cursor.coord(d) - self.rect.lo.coord(d)) as u64;
+        }
+        let rem = (self.rect.volume() - rank) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RectIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Extent;
+
+    fn rect2(a: (i64, i64), b: (i64, i64)) -> Rect {
+        Rect::new(Point::new2(a.0, a.1), Point::new2(b.0, b.1)).unwrap()
+    }
+
+    #[test]
+    fn volume_and_emptiness() {
+        let r = rect2((0, 0), (4, 5));
+        assert_eq!(r.volume(), 20);
+        assert!(!r.is_empty());
+        let e = rect2((3, 3), (3, 10));
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0);
+    }
+
+    #[test]
+    fn from_extent_covers_grid() {
+        let r = Rect::from_extent(&Extent::new3(2, 3, 4));
+        assert_eq!(r.volume(), 24);
+        assert!(r.contains(&Point::new3(1, 2, 3)));
+        assert!(!r.contains(&Point::new3(1, 2, 4)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = rect2((0, 0), (4, 4));
+        let b = rect2((2, 1), (6, 3));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, rect2((2, 1), (4, 3)));
+        let disjoint = a.intersect(&rect2((10, 10), (12, 12))).unwrap();
+        assert!(disjoint.is_empty());
+    }
+
+    #[test]
+    fn expand_and_shrink() {
+        let r = rect2((2, 2), (4, 4));
+        assert_eq!(r.expand_uniform(1), rect2((1, 1), (5, 5)));
+        assert_eq!(r.expand(&[1, 0, 0], &[0, 2, 0]), rect2((1, 2), (4, 6)));
+        assert_eq!(r.expand_uniform(-1), rect2((3, 3), (3, 3)));
+    }
+
+    #[test]
+    fn face_slabs() {
+        let r = rect2((0, 0), (4, 4));
+        let west = r.face_slab(1, false, 1);
+        assert_eq!(west, rect2((0, 0), (4, 1)));
+        let east = r.face_slab(1, true, 2);
+        assert_eq!(east, rect2((0, 2), (4, 4)));
+        // Depth larger than the box clamps to the box.
+        let all = r.face_slab(0, false, 10);
+        assert_eq!(all, r);
+    }
+
+    #[test]
+    fn iteration_row_major() {
+        let r = rect2((1, 1), (3, 3));
+        let pts: Vec<_> = r.iter().collect();
+        assert_eq!(
+            pts,
+            vec![Point::new2(1, 1), Point::new2(1, 2), Point::new2(2, 1), Point::new2(2, 2)]
+        );
+        assert_eq!(r.iter().len(), 4);
+    }
+
+    #[test]
+    fn empty_iteration() {
+        let r = rect2((0, 0), (0, 5));
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn contains_rect_cases() {
+        let outer = rect2((0, 0), (8, 8));
+        assert!(outer.contains_rect(&rect2((1, 1), (7, 7))));
+        assert!(outer.contains_rect(&rect2((4, 4), (4, 4)))); // empty
+        assert!(!outer.contains_rect(&rect2((1, 1), (9, 7))));
+    }
+
+    #[test]
+    fn translate_moves_both_corners() {
+        let r = rect2((0, 0), (2, 2)).translate(&Point::new2(3, -1)).unwrap();
+        assert_eq!(r, rect2((3, -1), (5, 1)));
+    }
+}

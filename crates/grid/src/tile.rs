@@ -1,0 +1,202 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Cone, DesignKind, Growth, Point, Rect, MAX_DIM};
+
+/// Classification of one face of a tile, which determines how the data
+/// dependency across that face is satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaceKind {
+    /// The face borders another tile of the same region: boundary slabs are
+    /// exchanged through an OpenCL pipe (FIFO) each fused iteration.
+    Shared {
+        /// Linear kernel id of the neighboring tile within the region.
+        neighbor: usize,
+    },
+    /// The face borders a different region (processed in another pass): the
+    /// kernel must load extra halo and compute it redundantly, exactly like
+    /// the baseline design.
+    RegionBoundary,
+    /// The face lies on the global grid boundary: boundary cells are fixed by
+    /// the problem's boundary condition, so no halo is needed.
+    GridBoundary,
+}
+
+/// One face of a tile: an axis, a side, and how its dependency is satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Face {
+    /// Dimension the face is orthogonal to.
+    pub axis: usize,
+    /// `false` for the low-coordinate side, `true` for the high side.
+    pub high: bool,
+    /// How the dependency across this face is satisfied.
+    pub kind: FaceKind,
+}
+
+/// A tile assigned to one OpenCL kernel: its footprint, its position in the
+/// kernel grid, and the classification of each of its `2 × dim` faces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileInfo {
+    kernel: usize,
+    kernel_index: Point,
+    rect: Rect,
+    faces: Vec<Face>,
+}
+
+impl TileInfo {
+    /// Creates a tile description. `faces` must hold exactly `2 × rect.dim()`
+    /// entries (low and high face per dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the face count is wrong — tiles are built by
+    /// [`Partition`](crate::Partition), so this indicates a library bug.
+    pub fn new(kernel: usize, kernel_index: Point, rect: Rect, faces: Vec<Face>) -> Self {
+        assert_eq!(faces.len(), 2 * rect.dim(), "need one low and one high face per dimension");
+        TileInfo { kernel, kernel_index, rect, faces }
+    }
+
+    /// Linear kernel id within the region (row-major over the kernel grid).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Multi-dimensional position in the kernel grid.
+    pub fn kernel_index(&self) -> Point {
+        self.kernel_index
+    }
+
+    /// The tile's output footprint in absolute grid coordinates.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// All faces of the tile.
+    pub fn faces(&self) -> &[Face] {
+        &self.faces
+    }
+
+    /// The face on the given axis and side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rect().dim()`.
+    pub fn face(&self, axis: usize, high: bool) -> &Face {
+        assert!(axis < self.rect.dim());
+        self.faces
+            .iter()
+            .find(|f| f.axis == axis && f.high == high)
+            .expect("constructor guarantees a full set of faces")
+    }
+
+    /// Kernel ids of all pipe neighbors, in face order.
+    pub fn pipe_neighbors(&self) -> impl Iterator<Item = usize> + '_ {
+        self.faces.iter().filter_map(|f| match f.kind {
+            FaceKind::Shared { neighbor } => Some(neighbor),
+            _ => None,
+        })
+    }
+
+    /// Number of faces exchanged through pipes.
+    pub fn shared_face_count(&self) -> usize {
+        self.pipe_neighbors().count()
+    }
+
+    /// The fusion cone of this tile under the given design.
+    ///
+    /// * `Baseline`: every non-grid-boundary face expands (redundant
+    ///   computation on all inter-tile and inter-region faces).
+    /// * `PipeShared` / `Heterogeneous`: only [`FaceKind::RegionBoundary`]
+    ///   faces expand; shared faces rely on pipes and grid-boundary faces on
+    ///   the boundary condition.
+    pub fn cone(&self, kind: DesignKind, growth: Growth, fused: u64) -> Cone {
+        let mut lo = [false; MAX_DIM];
+        let mut hi = [false; MAX_DIM];
+        for f in &self.faces {
+            let expands = match (kind, f.kind) {
+                (_, FaceKind::GridBoundary) => false,
+                (DesignKind::Baseline, _) => true,
+                (_, FaceKind::RegionBoundary) => true,
+                (_, FaceKind::Shared { .. }) => false,
+            };
+            if f.high {
+                hi[f.axis] = expands;
+            } else {
+                lo[f.axis] = expands;
+            }
+        }
+        Cone::new(self.rect, growth, fused, lo, hi)
+    }
+
+    /// Total elements this kernel computes per region pass under `kind`.
+    pub fn workload(&self, kind: DesignKind, growth: Growth, fused: u64) -> u64 {
+        self.cone(kind, growth, fused).total_compute()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tile() -> TileInfo {
+        let rect = Rect::new(Point::new2(0, 8), Point::new2(8, 16)).unwrap();
+        TileInfo::new(
+            3,
+            Point::new2(0, 1),
+            rect,
+            vec![
+                Face { axis: 0, high: false, kind: FaceKind::GridBoundary },
+                Face { axis: 0, high: true, kind: FaceKind::Shared { neighbor: 5 } },
+                Face { axis: 1, high: false, kind: FaceKind::Shared { neighbor: 2 } },
+                Face { axis: 1, high: true, kind: FaceKind::RegionBoundary },
+            ],
+        )
+    }
+
+    #[test]
+    fn face_lookup() {
+        let t = sample_tile();
+        assert_eq!(t.face(0, false).kind, FaceKind::GridBoundary);
+        assert_eq!(t.face(1, true).kind, FaceKind::RegionBoundary);
+        assert_eq!(t.pipe_neighbors().collect::<Vec<_>>(), vec![5, 2]);
+        assert_eq!(t.shared_face_count(), 2);
+    }
+
+    #[test]
+    fn baseline_cone_expands_everything_but_grid_boundary() {
+        let t = sample_tile();
+        let cone = t.cone(DesignKind::Baseline, Growth::symmetric(2, 1), 2);
+        assert!(!cone.expands_lo(0)); // grid boundary
+        assert!(cone.expands_hi(0)); // shared face still expands in baseline
+        assert!(cone.expands_lo(1));
+        assert!(cone.expands_hi(1));
+    }
+
+    #[test]
+    fn pipe_cone_expands_only_region_boundaries() {
+        let t = sample_tile();
+        let cone = t.cone(DesignKind::PipeShared, Growth::symmetric(2, 1), 2);
+        assert!(!cone.expands_lo(0));
+        assert!(!cone.expands_hi(0));
+        assert!(!cone.expands_lo(1));
+        assert!(cone.expands_hi(1));
+    }
+
+    #[test]
+    fn workload_reflects_cone_shape() {
+        let t = sample_tile();
+        let g = Growth::symmetric(2, 1);
+        let base = t.workload(DesignKind::Baseline, g, 2);
+        let pipe = t.workload(DesignKind::PipeShared, g, 2);
+        assert!(pipe < base, "pipe sharing must reduce computed elements");
+        // Pipe design: only the (1, high) face expands.
+        // i=1: 8 x (8+1) = 72, i=2: 8 x 8 = 64.
+        assert_eq!(pipe, 72 + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "one low and one high face")]
+    fn wrong_face_count_panics() {
+        let rect = Rect::new(Point::new1(0), Point::new1(4)).unwrap();
+        let _ = TileInfo::new(0, Point::new1(0), rect, vec![]);
+    }
+}

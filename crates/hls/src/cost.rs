@@ -1,0 +1,118 @@
+use serde::{Deserialize, Serialize};
+
+/// Per-operator latency and area coefficients of the HLS estimator.
+///
+/// Latencies are pipeline stages at the 200 MHz kernel clock; area
+/// coefficients are per instantiated operator (one instance per unrolled
+/// lane). The kernel-level FF/LUT overheads capture control logic, burst
+/// engines, and the multiplexing that bundles BRAM blocks into large OpenCL
+/// local arrays — the paper observes FF/LUT utilization tracks BRAM count
+/// for exactly that reason (Section 5.5).
+///
+/// Defaults are calibrated against Xilinx 7-series single-precision operator
+/// characterizations and sanity-checked against the magnitudes of the
+/// paper's Table 3 utilization rows; they are deliberately simple, since the
+/// framework only ever compares designs under one consistent model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Latency of a floating add/sub.
+    pub lat_add: u64,
+    /// Latency of a floating multiply.
+    pub lat_mul: u64,
+    /// Latency of a floating divide.
+    pub lat_div: u64,
+    /// Latency of a negation (sign flip).
+    pub lat_neg: u64,
+    /// Latency of a `min`/`max` comparator.
+    pub lat_minmax: u64,
+    /// Latency of `abs`/`sqrt`-class intrinsics.
+    pub lat_special: u64,
+    /// Latency of a local-memory (BRAM) read.
+    pub lat_load: u64,
+    /// DSP slices per adder/subtractor instance.
+    pub dsp_per_add: u64,
+    /// DSP slices per multiplier instance.
+    pub dsp_per_mul: u64,
+    /// DSP slices per divider instance (dividers map to LUTs).
+    pub dsp_per_div: u64,
+    /// LUTs per adder/subtractor instance.
+    pub lut_per_add: u64,
+    /// LUTs per multiplier instance.
+    pub lut_per_mul: u64,
+    /// LUTs per divider instance.
+    pub lut_per_div: u64,
+    /// LUTs per `min`/`max` comparator instance.
+    pub lut_per_minmax: u64,
+    /// LUTs per `abs`/`sqrt` instance (dominated by the rooter).
+    pub lut_per_special: u64,
+    /// FFs per operator instance (pipeline registers), applied per op.
+    pub ff_per_op: u64,
+    /// Baseline FFs per kernel (control FSM, burst engine, counters).
+    pub ff_per_kernel: u64,
+    /// Baseline LUTs per kernel.
+    pub lut_per_kernel: u64,
+    /// FFs per BRAM18 block (banking registers and muxing).
+    pub ff_per_bram: u64,
+    /// LUTs per BRAM18 block (address decode and output muxing).
+    pub lut_per_bram: u64,
+    /// FFs per pipe (both endpoints' handshake registers).
+    pub ff_per_pipe: u64,
+    /// LUTs per pipe (both endpoints).
+    pub lut_per_pipe: u64,
+    /// FIFOs at or below this many bytes map to shift-register LUTs (SRLs)
+    /// instead of BRAM, as Xilinx tools do for shallow pipes.
+    pub srl_fifo_bytes: u64,
+    /// BRAM ports available per bank (7-series BRAM is dual-ported).
+    pub bram_ports: u64,
+    /// Cyclic partition factor applied to local arrays to feed the unrolled
+    /// lanes — bounds the reads available per cycle.
+    pub partition_factor: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            lat_add: 8,
+            lat_mul: 6,
+            lat_div: 28,
+            lat_neg: 1,
+            lat_minmax: 2,
+            lat_special: 16,
+            lat_load: 2,
+            dsp_per_add: 2,
+            dsp_per_mul: 3,
+            dsp_per_div: 0,
+            lut_per_add: 220,
+            lut_per_mul: 130,
+            lut_per_div: 800,
+            lut_per_minmax: 60,
+            lut_per_special: 450,
+            ff_per_op: 320,
+            ff_per_kernel: 3_000,
+            lut_per_kernel: 4_000,
+            ff_per_bram: 55,
+            lut_per_bram: 85,
+            ff_per_pipe: 25,
+            lut_per_pipe: 40,
+            srl_fifo_bytes: 1024,
+            bram_ports: 2,
+            partition_factor: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_ordered() {
+        let c = CostModel::default();
+        assert!(c.lat_div > c.lat_add, "division is the slowest operator");
+        assert!(c.lat_add > c.lat_neg);
+        assert!(c.dsp_per_mul > 0 && c.dsp_per_add > 0);
+        assert_eq!(c.dsp_per_div, 0, "dividers are LUT-mapped");
+        assert!(c.lut_per_div > c.lut_per_add);
+        assert!(c.bram_ports >= 1 && c.partition_factor >= 1);
+    }
+}

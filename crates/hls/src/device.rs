@@ -1,0 +1,133 @@
+use serde::{Deserialize, Serialize};
+
+/// Description of the target FPGA board: reconfigurable resources, clocking,
+/// and the platform constants the performance model profiles off-line
+/// (global-memory bandwidth `BW`, pipe transfer cost `C_pipe`, and the
+/// per-kernel launch delay of the OpenCL runtime).
+///
+/// The default models the paper's platform: an Alpha Data ADM-PCIE-7V3 board
+/// (Xilinx Virtex-7 690T) with 16 GB of device DDR, driven by SDAccel at a
+/// 200 MHz kernel clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Board / part name.
+    pub name: String,
+    /// Available flip-flops.
+    pub ff: u64,
+    /// Available look-up tables.
+    pub lut: u64,
+    /// Available DSP48 slices.
+    pub dsp: u64,
+    /// Available BRAM18 blocks.
+    pub bram: u64,
+    /// Usable bytes per BRAM18 block (18 Kbit = 2304 bytes).
+    pub bram_bytes: u64,
+    /// Kernel clock in MHz.
+    pub clock_mhz: u64,
+    /// Peak global-memory bandwidth in bytes per kernel-clock cycle
+    /// (shared by all concurrently transferring kernels).
+    pub mem_bytes_per_cycle: f64,
+    /// Cycles between consecutive kernel launches within one region pass —
+    /// SDAccel launches the region's kernels sequentially, which the paper's
+    /// model deliberately omits (Section 5.6) and the simulator includes.
+    pub launch_delay: u64,
+    /// Cycles to transfer one element through an on-chip pipe (`C_pipe`).
+    pub pipe_cycles_per_elem: f64,
+    /// Pipe FIFO capacity in elements (sizes the FIFO's BRAM footprint).
+    pub pipe_fifo_depth: u64,
+}
+
+impl Device {
+    /// The paper's platform: ADM-PCIE-7V3 (Virtex-7 690T) at 200 MHz.
+    ///
+    /// Resource capacities are the 690T's published totals (BRAM expressed as
+    /// BRAM18 blocks). `mem_bytes_per_cycle` corresponds to ~10 GB/s
+    /// effective DDR3 bandwidth at 200 MHz; launch delay and `C_pipe` are
+    /// plausibility-calibrated stand-ins for the paper's off-line profiling.
+    pub fn adm_pcie_7v3() -> Device {
+        Device {
+            name: "adm-pcie-7v3 (xc7vx690t)".to_string(),
+            ff: 866_400,
+            lut: 433_200,
+            dsp: 3_600,
+            bram: 2_940,
+            bram_bytes: 2_304,
+            clock_mhz: 200,
+            mem_bytes_per_cycle: 51.2,
+            launch_delay: 2_000,
+            pipe_cycles_per_elem: 1.0,
+            pipe_fifo_depth: 512,
+        }
+    }
+
+    /// A smaller mid-range board: Kintex-7 325T (KC705-class) with slower
+    /// DDR3 — used by the device-sensitivity study to show the optimizer
+    /// adapting designs to a tighter resource and bandwidth envelope.
+    pub fn kc705_kintex7_325t() -> Device {
+        Device {
+            name: "kc705 (xc7k325t)".to_string(),
+            ff: 407_600,
+            lut: 203_800,
+            dsp: 840,
+            bram: 890,
+            bram_bytes: 2_304,
+            clock_mhz: 200,
+            mem_bytes_per_cycle: 32.0,
+            launch_delay: 2_000,
+            pipe_cycles_per_elem: 1.0,
+            pipe_fifo_depth: 512,
+        }
+    }
+
+    /// Peak global-memory bandwidth in GB/s implied by
+    /// [`mem_bytes_per_cycle`](Self::mem_bytes_per_cycle) and the clock.
+    pub fn mem_bandwidth_gbs(&self) -> f64 {
+        self.mem_bytes_per_cycle * self.clock_mhz as f64 * 1e6 / 1e9
+    }
+
+    /// Converts a cycle count at the kernel clock into seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_mhz as f64 * 1e6)
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::adm_pcie_7v3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_papers_board() {
+        let d = Device::default();
+        assert!(d.name.contains("7v3"));
+        assert_eq!(d.clock_mhz, 200);
+        assert_eq!(d.dsp, 3600);
+    }
+
+    #[test]
+    fn small_board_is_strictly_smaller() {
+        let big = Device::adm_pcie_7v3();
+        let small = Device::kc705_kintex7_325t();
+        assert!(small.ff < big.ff && small.lut < big.lut);
+        assert!(small.dsp < big.dsp && small.bram < big.bram);
+        assert!(small.mem_bytes_per_cycle < big.mem_bytes_per_cycle);
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        let d = Device::adm_pcie_7v3();
+        let gbs = d.mem_bandwidth_gbs();
+        assert!((gbs - 10.24).abs() < 1e-9, "{gbs}");
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_200mhz() {
+        let d = Device::adm_pcie_7v3();
+        assert!((d.cycles_to_seconds(200e6) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+use stencilcl_grid::Point;
+use stencilcl_lang::{BinOp, Expr, Func, UnaryOp, UpdateStmt};
+
+use crate::CostModel;
+
+/// One node of a statement's dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfgNode {
+    /// A read of a local-memory array at a constant offset.
+    Load {
+        /// Accessed grid name.
+        grid: String,
+        /// Constant offset from the iteration point.
+        offset: Point,
+    },
+    /// A compile-time constant.
+    Const(f64),
+    /// A scalar parameter (register).
+    Param(String),
+    /// A binary arithmetic operator; operands are node indices.
+    Bin(BinOp, usize, usize),
+    /// A unary operator; the operand is a node index.
+    Un(UnaryOp, usize),
+    /// An intrinsic call; operands are node indices.
+    Call(Func, Vec<usize>),
+}
+
+/// The dataflow graph of one update statement, in topological order (operands
+/// always precede their users; the last node is the statement's result).
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_hls::{CostModel, Dfg};
+/// use stencilcl_lang::parse;
+///
+/// let p = parse("stencil s { grid A[8] : f32; iterations 1;
+///                A[i] = 0.5 * (A[i-1] + A[i+1]); }")?;
+/// let dfg = Dfg::from_statement(&p.updates[0]);
+/// assert_eq!(dfg.load_count(), 2);
+/// assert!(dfg.critical_path(&CostModel::default()) > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dfg {
+    nodes: Vec<DfgNode>,
+}
+
+impl Dfg {
+    /// Builds the graph of a statement's right-hand side. Syntactically
+    /// identical loads are shared (common subexpression elimination for
+    /// loads, mirroring what HLS tools do for array reads).
+    pub fn from_statement(stmt: &UpdateStmt) -> Dfg {
+        let mut dfg = Dfg { nodes: Vec::new() };
+        dfg.build(&stmt.rhs);
+        dfg
+    }
+
+    fn build(&mut self, expr: &Expr) -> usize {
+        match expr {
+            Expr::Number(v) => self.push(DfgNode::Const(*v)),
+            Expr::Param(name) => self.push(DfgNode::Param(name.clone())),
+            Expr::Access { grid, offset } => {
+                let candidate =
+                    DfgNode::Load { grid: grid.clone(), offset: *offset };
+                if let Some(i) = self.nodes.iter().position(|n| *n == candidate) {
+                    i
+                } else {
+                    self.push(candidate)
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let a = self.build(inner);
+                self.push(DfgNode::Un(*op, a))
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let a = self.build(lhs);
+                let b = self.build(rhs);
+                self.push(DfgNode::Bin(*op, a, b))
+            }
+            Expr::Call(func, args) => {
+                let operands: Vec<usize> = args.iter().map(|a| self.build(a)).collect();
+                self.push(DfgNode::Call(*func, operands))
+            }
+        }
+    }
+
+    fn push(&mut self, node: DfgNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// The nodes in topological order.
+    pub fn nodes(&self) -> &[DfgNode] {
+        &self.nodes
+    }
+
+    /// Number of distinct local-memory loads per element.
+    pub fn load_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, DfgNode::Load { .. })).count()
+    }
+
+    /// Number of arithmetic operator nodes.
+    pub fn op_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, DfgNode::Bin(..) | DfgNode::Un(..) | DfgNode::Call(..)))
+            .count()
+    }
+
+    /// ASAP critical path of the statement in cycles under `cost` — the
+    /// pipeline depth contribution of this statement.
+    pub fn critical_path(&self, cost: &CostModel) -> u64 {
+        let mut finish = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            finish[i] = match node {
+                DfgNode::Const(_) | DfgNode::Param(_) => 0,
+                DfgNode::Load { .. } => cost.lat_load,
+                DfgNode::Un(UnaryOp::Neg, a) => finish[*a] + cost.lat_neg,
+                DfgNode::Bin(op, a, b) => {
+                    let lat = match op {
+                        BinOp::Add | BinOp::Sub => cost.lat_add,
+                        BinOp::Mul => cost.lat_mul,
+                        BinOp::Div => cost.lat_div,
+                    };
+                    finish[*a].max(finish[*b]) + lat
+                }
+                DfgNode::Call(func, operands) => {
+                    let lat = match func {
+                        Func::Min | Func::Max => cost.lat_minmax,
+                        Func::Abs | Func::Sqrt => cost.lat_special,
+                    };
+                    operands.iter().map(|&i| finish[i]).max().unwrap_or(0) + lat
+                }
+            };
+        }
+        finish.last().copied().unwrap_or(0)
+    }
+
+    /// Distinct loads per accessed grid, as `(grid, loads)` pairs — the
+    /// quantity that stresses BRAM ports and thus bounds the achievable `II`.
+    pub fn loads_per_grid(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for n in &self.nodes {
+            if let DfgNode::Load { grid, .. } = n {
+                match out.iter_mut().find(|(g, _)| g == grid) {
+                    Some((_, c)) => *c += 1,
+                    None => out.push((grid.clone(), 1)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_lang::parse;
+
+    fn dfg_of(body: &str) -> Dfg {
+        let src = format!(
+            "stencil s {{ grid A[16][16] : f32; grid B[16][16] : f32 read_only;
+             param c = 0.5; iterations 1; A[i][j] = {body}; }}"
+        );
+        let p = parse(&src).unwrap();
+        Dfg::from_statement(&p.updates[0])
+    }
+
+    #[test]
+    fn loads_are_shared() {
+        let d = dfg_of("A[i][j] + A[i][j] * A[i-1][j]");
+        assert_eq!(d.load_count(), 2, "duplicate A[i][j] shares one load node");
+        assert_eq!(d.op_count(), 2);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_chain() {
+        let cost = CostModel::default();
+        // load -> add -> add: 2 + 8 + 8 = 18.
+        let chain = dfg_of("(A[i-1][j] + A[i+1][j]) + A[i][j-1]");
+        assert_eq!(chain.critical_path(&cost), cost.lat_load + 2 * cost.lat_add);
+        // A balanced tree of the same three loads is one add shallower... but
+        // three operands need two adds on the critical path only if chained.
+        let mul = dfg_of("c * A[i][j]");
+        assert_eq!(mul.critical_path(&cost), cost.lat_load + cost.lat_mul);
+    }
+
+    #[test]
+    fn division_dominates_depth() {
+        let cost = CostModel::default();
+        let d = dfg_of("A[i][j] / 3.0");
+        assert_eq!(d.critical_path(&cost), cost.lat_load + cost.lat_div);
+    }
+
+    #[test]
+    fn loads_per_grid_separates_arrays() {
+        let d = dfg_of("A[i][j] + B[i][j] + B[i][j-1]");
+        let mut per = d.loads_per_grid();
+        per.sort();
+        assert_eq!(per, vec![("A".to_string(), 1), ("B".to_string(), 2)]);
+    }
+
+    #[test]
+    fn constants_and_params_are_free() {
+        let cost = CostModel::default();
+        let d = dfg_of("c * 2.0");
+        assert_eq!(d.critical_path(&cost), cost.lat_mul);
+        assert_eq!(d.load_count(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! HLS estimation engine: dataflow graphs, pipeline scheduling, initiation
+//! intervals, and FPGA resource models.
+//!
+//! The paper obtains the initiation interval `II` of the stencil computation
+//! pipeline from the FlexCL analytical framework and resource utilization
+//! from SDAccel reports. Neither tool exists in this environment, so this
+//! crate supplies the same quantities from first principles:
+//!
+//! * [`Device`] describes the target board (defaults model the paper's
+//!   Alpha Data ADM-PCIE-7V3 with a Virtex-7 at 200 MHz);
+//! * [`CostModel`] holds per-operator latency/area coefficients, calibrated
+//!   so full-design estimates land in the ballpark of the paper's Table 3
+//!   utilization rows;
+//! * [`Dfg`] builds the dataflow graph of an update statement and computes
+//!   its critical path (pipeline depth);
+//! * [`schedule`] derives the pipeline: `II` from memory-port and recurrence
+//!   constraints, depth from the critical path, and the per-element cycle
+//!   count `C_element = II / N_PE` of the paper's Eq. 9;
+//! * [`estimate_resources`] sizes a complete accelerator (all kernels' cone
+//!   buffers, datapaths, and pipe FIFOs) as FF/LUT/DSP/BRAM.
+//!
+//! # Example
+//!
+//! ```
+//! use stencilcl_hls::{synthesize, CostModel, Device};
+//! use stencilcl_lang::{programs, StencilFeatures};
+//! use stencilcl_grid::{Design, DesignKind, Partition};
+//!
+//! let program = programs::jacobi_2d();
+//! let features = StencilFeatures::extract(&program)?;
+//! let design = Design::equal(DesignKind::Baseline, 32, vec![4, 4], vec![128, 128])?;
+//! let partition = Partition::new(features.extent, &design, &features.growth)?;
+//! let report = synthesize(&program, &partition, 8, &CostModel::default(), &Device::default());
+//! assert_eq!(report.ii, 1);
+//! assert!(report.resources.dsp > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod cost;
+mod device;
+mod dfg;
+mod report;
+mod resources;
+mod schedule;
+
+pub use cost::CostModel;
+pub use device::Device;
+pub use dfg::{Dfg, DfgNode};
+pub use report::{synthesize, HlsReport};
+pub use resources::{estimate_resources, ResourceUsage};
+pub use schedule::{schedule, PipelineSchedule};

@@ -1,0 +1,105 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_grid::Partition;
+use stencilcl_lang::{Program, StencilFeatures};
+
+use crate::{estimate_resources, schedule, CostModel, Device, PipelineSchedule, ResourceUsage};
+
+/// Everything the rest of the framework reads out of "the HLS report": the
+/// pipeline (`II`, depth, unroll) and the full-design resource estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HlsReport {
+    /// Achieved initiation interval in cycles.
+    pub ii: u64,
+    /// Pipeline fill depth in cycles.
+    pub depth: u64,
+    /// Unrolled lanes per kernel (`N_PE`).
+    pub unroll: u64,
+    /// Cycles per element (`C_element = II / N_PE`, Eq. 9).
+    pub cycles_per_element: f64,
+    /// Whole-accelerator resource estimate.
+    pub resources: ResourceUsage,
+}
+
+impl HlsReport {
+    /// The schedule part of the report.
+    pub fn schedule(&self) -> PipelineSchedule {
+        PipelineSchedule { ii: self.ii, depth: self.depth, unroll: self.unroll }
+    }
+}
+
+/// Runs the full HLS estimation for one design point: schedules the element
+/// pipeline of `program` and sizes the accelerator's resources under
+/// `partition` (which carries the design kind, fused depth, and tile
+/// lengths).
+///
+/// # Panics
+///
+/// Panics if `unroll` is zero or `program` fails feature extraction (i.e.
+/// was never checked).
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_hls::{synthesize, CostModel, Device};
+/// use stencilcl_lang::{programs, StencilFeatures};
+/// use stencilcl_grid::{Design, DesignKind, Partition};
+///
+/// let program = programs::jacobi_2d();
+/// let f = StencilFeatures::extract(&program)?;
+/// let d = Design::equal(DesignKind::PipeShared, 8, vec![4, 4], vec![64, 64])?;
+/// let p = Partition::new(f.extent, &d, &f.growth)?;
+/// let report = synthesize(&program, &p, 4, &CostModel::default(), &Device::default());
+/// assert_eq!(report.ii, 1);
+/// assert!((report.cycles_per_element - 0.25).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn synthesize(
+    program: &Program,
+    partition: &Partition,
+    unroll: u64,
+    cost: &CostModel,
+    device: &Device,
+) -> HlsReport {
+    let features =
+        StencilFeatures::extract(program).expect("synthesize requires a checked program");
+    let sched = schedule(program, cost, unroll);
+    let resources = estimate_resources(&features, partition, unroll, cost, device);
+    HlsReport {
+        ii: sched.ii,
+        depth: sched.depth,
+        unroll,
+        cycles_per_element: sched.cycles_per_element(),
+        resources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind, Partition};
+    use stencilcl_lang::programs;
+
+    #[test]
+    fn synthesize_produces_consistent_report() {
+        let program = programs::hotspot_2d();
+        let f = StencilFeatures::extract(&program).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 8, vec![4, 4], vec![64, 64]).unwrap();
+        let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+        let r = synthesize(&program, &p, 4, &CostModel::default(), &Device::default());
+        assert_eq!(r.ii, 1);
+        assert_eq!(r.unroll, 4);
+        assert!((r.cycles_per_element - 0.25).abs() < 1e-12);
+        assert!(r.resources.bram > 0);
+        assert_eq!(r.schedule().depth, r.depth);
+    }
+
+    #[test]
+    fn heterogeneous_partition_synthesizes() {
+        let program = programs::jacobi_2d();
+        let f = StencilFeatures::extract(&program).unwrap();
+        let d = Design::heterogeneous(8, vec![vec![120, 136, 136, 120]; 2]).unwrap();
+        let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+        let r = synthesize(&program, &p, 8, &CostModel::default(), &Device::default());
+        assert!(r.resources.fits(&Device::default()));
+    }
+}

@@ -1,0 +1,255 @@
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+use stencilcl_grid::Partition;
+use stencilcl_lang::StencilFeatures;
+
+use crate::{CostModel, Device};
+
+/// FPGA resource consumption of a design (or capacity of a device).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Flip-flops.
+    pub ff: u64,
+    /// Look-up tables.
+    pub lut: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+    /// BRAM18 blocks.
+    pub bram: u64,
+}
+
+impl ResourceUsage {
+    /// The zero usage.
+    pub fn zero() -> ResourceUsage {
+        ResourceUsage::default()
+    }
+
+    /// Whether the design fits on `device`.
+    pub fn fits(&self, device: &Device) -> bool {
+        self.ff <= device.ff
+            && self.lut <= device.lut
+            && self.dsp <= device.dsp
+            && self.bram <= device.bram
+    }
+
+    /// Whether every component is at most `budget`'s — the paper's
+    /// "constrained by the hardware size of the baseline" comparison rule.
+    pub fn within(&self, budget: &ResourceUsage) -> bool {
+        self.ff <= budget.ff
+            && self.lut <= budget.lut
+            && self.dsp <= budget.dsp
+            && self.bram <= budget.bram
+    }
+
+    /// Largest utilization fraction across the four resource classes.
+    pub fn peak_utilization(&self, device: &Device) -> f64 {
+        [
+            self.ff as f64 / device.ff as f64,
+            self.lut as f64 / device.lut as f64,
+            self.dsp as f64 / device.dsp as f64,
+            self.bram as f64 / device.bram as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            ff: self.ff + rhs.ff,
+            lut: self.lut + rhs.lut,
+            dsp: self.dsp + rhs.dsp,
+            bram: self.bram + rhs.bram,
+        }
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FF={} LUT={} DSP={} BRAM={}", self.ff, self.lut, self.dsp, self.bram)
+    }
+}
+
+/// Estimates the resources of the complete accelerator described by
+/// `partition` (one kernel per tile of the canonical region), with `unroll`
+/// datapath lanes per kernel.
+///
+/// Per kernel the estimate covers:
+///
+/// * **BRAM** — one local buffer per program array sized to the kernel's cone
+///   *input footprint* (baseline kernels buffer the full overlapped halo;
+///   pipe-shared kernels only their own tile plus any region-boundary halo),
+///   plus one FIFO per pipe endpoint;
+/// * **DSP/LUT datapath** — one operator set per unrolled lane;
+/// * **FF/LUT overhead** — kernel control plus the per-BRAM banking/muxing
+///   the paper identifies as the driver of FF/LUT utilization.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_hls::{estimate_resources, CostModel, Device};
+/// use stencilcl_lang::{programs, StencilFeatures};
+/// use stencilcl_grid::{Design, DesignKind, Partition};
+///
+/// let f = StencilFeatures::extract(&programs::jacobi_2d())?;
+/// let mk = |kind| {
+///     let d = Design::equal(kind, 16, vec![4, 4], vec![128, 128]).unwrap();
+///     let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+///     estimate_resources(&f, &p, 8, &CostModel::default(), &Device::default())
+/// };
+/// let base = mk(DesignKind::Baseline);
+/// let pipe = mk(DesignKind::PipeShared);
+/// assert!(pipe.bram < base.bram, "pipe sharing saves halo BRAM");
+/// assert_eq!(pipe.dsp, base.dsp, "same parallelism, same datapath");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate_resources(
+    features: &StencilFeatures,
+    partition: &Partition,
+    unroll: u64,
+    cost: &CostModel,
+    device: &Device,
+) -> ResourceUsage {
+    let design = partition.design();
+    let arrays = (features.updated_arrays + features.read_only_arrays) as u64;
+    let ops = &features.ops;
+    let op_instances = ops.flops();
+    let dsp_per_lane = (ops.add + ops.sub) * cost.dsp_per_add
+        + ops.mul * cost.dsp_per_mul
+        + ops.div * cost.dsp_per_div;
+    let lut_per_lane = (ops.add + ops.sub) * cost.lut_per_add
+        + ops.mul * cost.lut_per_mul
+        + ops.div * cost.lut_per_div
+        + ops.minmax * cost.lut_per_minmax
+        + ops.special * cost.lut_per_special;
+    let mut total = ResourceUsage::zero();
+    for tile in partition.canonical_tiles() {
+        let cone = tile.cone(design.kind(), features.growth, design.fused());
+        let buffer_elems = cone.input_footprint().volume();
+        let buffer_bram = arrays * (buffer_elems * features.elem_bytes).div_ceil(device.bram_bytes);
+        // One directional pipe per shared face per updated array. Each FIFO
+        // is sized to its boundary slab (capped at the platform depth);
+        // shallow FIFOs map to SRLs rather than BRAM.
+        let mut pipes = 0u64;
+        let mut pipe_bram = 0u64;
+        if design.kind().uses_pipes() {
+            for f in tile.faces() {
+                if !matches!(f.kind, stencilcl_grid::FaceKind::Shared { .. }) {
+                    continue;
+                }
+                let depth = if f.high {
+                    features.growth.lo(f.axis)
+                } else {
+                    features.growth.hi(f.axis)
+                };
+                if depth == 0 {
+                    continue;
+                }
+                let slab_elems = tile.rect().face_slab(f.axis, f.high, depth).volume();
+                let fifo_elems = slab_elems.min(device.pipe_fifo_depth);
+                let fifo_bytes = fifo_elems * features.elem_bytes;
+                pipes += features.updated_arrays as u64;
+                if fifo_bytes > cost.srl_fifo_bytes {
+                    pipe_bram += features.updated_arrays as u64
+                        * fifo_bytes.div_ceil(device.bram_bytes);
+                }
+            }
+        }
+        let bram = buffer_bram + pipe_bram;
+        let dsp = unroll * dsp_per_lane;
+        let ff = cost.ff_per_kernel
+            + unroll * op_instances * cost.ff_per_op
+            + bram * cost.ff_per_bram
+            + pipes * cost.ff_per_pipe;
+        let lut = cost.lut_per_kernel
+            + unroll * lut_per_lane
+            + bram * cost.lut_per_bram
+            + pipes * cost.lut_per_pipe;
+        total = total + ResourceUsage { ff, lut, dsp, bram };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind};
+    use stencilcl_lang::programs;
+
+    fn usage(kind: DesignKind, fused: u64, unroll: u64) -> ResourceUsage {
+        let f = StencilFeatures::extract(&programs::jacobi_2d()).unwrap();
+        let d = Design::equal(kind, fused, vec![4, 4], vec![128, 128]).unwrap();
+        let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+        estimate_resources(&f, &p, unroll, &CostModel::default(), &Device::default())
+    }
+
+    #[test]
+    fn within_and_fits() {
+        let small = ResourceUsage { ff: 1, lut: 1, dsp: 1, bram: 1 };
+        let big = ResourceUsage { ff: 2, lut: 2, dsp: 2, bram: 2 };
+        assert!(small.within(&big));
+        assert!(!big.within(&small));
+        assert!(small.fits(&Device::default()));
+        let over = ResourceUsage { dsp: 10_000, ..ResourceUsage::zero() };
+        assert!(!over.fits(&Device::default()));
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = ResourceUsage { ff: 1, lut: 2, dsp: 3, bram: 4 };
+        let b = a + a;
+        assert_eq!(b, ResourceUsage { ff: 2, lut: 4, dsp: 6, bram: 8 });
+    }
+
+    #[test]
+    fn deeper_fusion_costs_more_bram_in_baseline() {
+        let shallow = usage(DesignKind::Baseline, 8, 4);
+        let deep = usage(DesignKind::Baseline, 32, 4);
+        assert!(deep.bram > shallow.bram, "halo grows with fusion depth");
+    }
+
+    #[test]
+    fn pipe_design_saves_bram_and_matching_dsp() {
+        let base = usage(DesignKind::Baseline, 16, 8);
+        let pipe = usage(DesignKind::PipeShared, 16, 8);
+        assert!(pipe.bram < base.bram);
+        assert!(pipe.ff < base.ff, "fewer BRAM means fewer banking FFs");
+        assert_eq!(pipe.dsp, base.dsp);
+    }
+
+    #[test]
+    fn unroll_scales_dsp_linearly() {
+        let u4 = usage(DesignKind::Baseline, 8, 4);
+        let u8 = usage(DesignKind::Baseline, 8, 8);
+        assert_eq!(u8.dsp, 2 * u4.dsp);
+    }
+
+    #[test]
+    fn jacobi2d_baseline_magnitude_matches_table3_ballpark() {
+        // Paper Table 3, Jacobi-2D baseline: FF 240016, LUT 343184,
+        // DSP 1792, BRAM 1170 at h=32, tile 128x128, 4x4 kernels.
+        let u = usage(DesignKind::Baseline, 32, 8);
+        assert!(u.bram > 500 && u.bram < 2_000, "BRAM {}", u.bram);
+        assert!(u.dsp > 800 && u.dsp < 2_500, "DSP {}", u.dsp);
+        assert!(u.ff > 100_000 && u.ff < 500_000, "FF {}", u.ff);
+        assert!(u.lut > 100_000 && u.lut < 600_000, "LUT {}", u.lut);
+    }
+
+    #[test]
+    fn peak_utilization_uses_binding_resource() {
+        let dev = Device::default();
+        let u = ResourceUsage { ff: 0, lut: 0, dsp: dev.dsp / 2, bram: dev.bram / 4 };
+        assert!((u.peak_utilization(&dev) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_all_components() {
+        let s = ResourceUsage { ff: 1, lut: 2, dsp: 3, bram: 4 }.to_string();
+        assert!(s.contains("FF=1") && s.contains("BRAM=4"));
+    }
+}

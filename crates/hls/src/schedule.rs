@@ -1,0 +1,148 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_lang::{Program, StencilFeatures};
+
+use crate::{CostModel, Dfg};
+
+/// The pipeline a stencil kernel's element loop compiles to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSchedule {
+    /// Achieved initiation interval in cycles.
+    pub ii: u64,
+    /// Pipeline depth (fill latency) in cycles: the sum of all statements'
+    /// critical paths, since chained statements execute back to back.
+    pub depth: u64,
+    /// Number of unrolled lanes (`N_PE`): elements entering per initiation.
+    pub unroll: u64,
+}
+
+impl PipelineSchedule {
+    /// Cycles per element, the paper's Eq. 9: `C_element = II / N_PE`.
+    pub fn cycles_per_element(&self) -> f64 {
+        self.ii as f64 / self.unroll as f64
+    }
+
+    /// Cycles to stream `elements` through the pipeline, including fill.
+    pub fn cycles_for(&self, elements: u64) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        let initiations = elements.div_ceil(self.unroll);
+        self.depth + initiations.saturating_sub(1) * self.ii + self.ii
+    }
+
+    /// Cycles to stream `elements` through an already-filled pipeline (no
+    /// fill latency) — the continuation cost of a dependent group scheduled
+    /// right after the independent group of the same iteration.
+    pub fn cycles_for_warm(&self, elements: u64) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        elements.div_ceil(self.unroll) * self.ii
+    }
+}
+
+/// Schedules a stencil program's element pipeline under `cost` with `unroll`
+/// lanes, reproducing what the paper reads out of FlexCL / HLS reports.
+///
+/// The initiation interval is the maximum of:
+///
+/// * the **recurrence bound** — 1 for checked stencil programs, because
+///   statement-level double buffering removes loop-carried dependences
+///   between elements of one iteration;
+/// * the **memory-port bound** — the most-read array must deliver
+///   `reads × unroll` words per initiation from
+///   `partition_factor × unroll` banks with `bram_ports` ports each.
+///
+/// # Panics
+///
+/// Panics if `unroll` is zero or `program` fails feature extraction
+/// (i.e. was never checked).
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_hls::{schedule, CostModel};
+/// use stencilcl_lang::programs;
+///
+/// let s = schedule(&programs::jacobi_3d(), &CostModel::default(), 8);
+/// assert_eq!(s.ii, 1);
+/// assert_eq!(s.unroll, 8);
+/// assert!(s.depth > 0);
+/// ```
+pub fn schedule(program: &Program, cost: &CostModel, unroll: u64) -> PipelineSchedule {
+    assert!(unroll >= 1, "unroll must be at least 1");
+    StencilFeatures::extract(program).expect("schedule requires a checked program");
+    let mut depth = 0u64;
+    let mut port_ii = 1u64;
+    for stmt in &program.updates {
+        let dfg = Dfg::from_statement(stmt);
+        depth += dfg.critical_path(cost);
+        for (_, loads) in dfg.loads_per_grid() {
+            // words needed per initiation / words available per cycle
+            let need = loads as u64 * unroll;
+            let avail = cost.partition_factor * unroll * cost.bram_ports;
+            port_ii = port_ii.max(need.div_ceil(avail));
+        }
+    }
+    PipelineSchedule { ii: port_ii.max(1), depth, unroll }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_lang::{parse, programs};
+
+    #[test]
+    fn jacobi_benchmarks_achieve_ii_one() {
+        let cost = CostModel::default();
+        for p in programs::all() {
+            let s = schedule(&p, &cost, 4);
+            assert_eq!(s.ii, 1, "{} should pipeline at II=1", p.name);
+        }
+    }
+
+    #[test]
+    fn port_pressure_raises_ii() {
+        // 17 distinct loads from one array with partition_factor 1 and one
+        // unroll lane: 17 words needed vs 2 available per cycle.
+        let body: Vec<String> = (0..17).map(|k| format!("A[i+{k}]")).collect();
+        let src = format!(
+            "stencil wide {{ grid A[64] : f32; iterations 1; A[i] = {}; }}",
+            body.join(" + ")
+        );
+        let p = parse(&src).unwrap();
+        let cost = CostModel { partition_factor: 1, ..CostModel::default() };
+        let s = schedule(&p, &cost, 1);
+        assert_eq!(s.ii, 17u64.div_ceil(2));
+    }
+
+    #[test]
+    fn depth_accumulates_across_statements() {
+        let cost = CostModel::default();
+        let single = schedule(&programs::jacobi_2d(), &cost, 1).depth;
+        let multi = schedule(&programs::fdtd_2d(), &cost, 1).depth;
+        assert!(multi > single, "three chained FDTD statements are deeper");
+    }
+
+    #[test]
+    fn cycles_per_element_divides_by_unroll() {
+        let s = PipelineSchedule { ii: 2, depth: 30, unroll: 8 };
+        assert!((s.cycles_per_element() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_for_includes_fill_and_drain() {
+        let s = PipelineSchedule { ii: 1, depth: 10, unroll: 2 };
+        assert_eq!(s.cycles_for(0), 0);
+        // 8 elements = 4 initiations: depth + 3*ii + ii.
+        assert_eq!(s.cycles_for(8), 10 + 3 + 1);
+        // 7 elements still needs 4 initiations.
+        assert_eq!(s.cycles_for(7), 10 + 3 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll")]
+    fn zero_unroll_panics() {
+        let _ = schedule(&programs::jacobi_1d(), &CostModel::default(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the HLS estimator.
+
+use proptest::prelude::*;
+use stencilcl_grid::{Design, DesignKind, Extent, Partition};
+use stencilcl_hls::{estimate_resources, schedule, CostModel, Device};
+use stencilcl_lang::{programs, StencilFeatures};
+
+fn partition(kind: DesignKind, fused: u64, tile: usize) -> Option<(StencilFeatures, Partition)> {
+    let n = tile * 4 * 2;
+    let program = programs::jacobi_2d().with_extent(Extent::new2(n, n));
+    let f = StencilFeatures::extract(&program).ok()?;
+    let d = Design::equal(kind, fused, vec![4, 4], vec![tile, tile]).ok()?;
+    let p = Partition::new(f.extent, &d, &f.growth).ok()?;
+    Some((f, p))
+}
+
+proptest! {
+    #[test]
+    fn resources_monotone_in_unroll(
+        fused in 1u64..16, tile in 4usize..32, unroll in 1u64..16,
+    ) {
+        let Some((f, p)) = partition(DesignKind::Baseline, fused, tile) else { return Ok(()); };
+        let cost = CostModel::default();
+        let device = Device::default();
+        let a = estimate_resources(&f, &p, unroll, &cost, &device);
+        let b = estimate_resources(&f, &p, unroll + 1, &cost, &device);
+        prop_assert!(b.dsp >= a.dsp && b.ff >= a.ff && b.lut >= a.lut);
+        prop_assert_eq!(b.bram, a.bram, "unroll does not change buffering");
+    }
+
+    #[test]
+    fn baseline_bram_monotone_in_fusion_depth(
+        fused in 1u64..24, tile in 6usize..24,
+    ) {
+        let Some((f, pa)) = partition(DesignKind::Baseline, fused, tile) else { return Ok(()); };
+        let Some((_, pb)) = partition(DesignKind::Baseline, fused + 1, tile) else { return Ok(()); };
+        let cost = CostModel::default();
+        let device = Device::default();
+        let a = estimate_resources(&f, &pa, 4, &cost, &device);
+        let b = estimate_resources(&f, &pb, 4, &cost, &device);
+        prop_assert!(b.bram >= a.bram, "deeper cones need at least as much halo");
+    }
+
+    #[test]
+    fn pipe_designs_never_buffer_more(
+        fused in 1u64..16, tile in 6usize..24, unroll in 1u64..8,
+    ) {
+        let Some((f, pb)) = partition(DesignKind::Baseline, fused, tile) else { return Ok(()); };
+        let Some((_, pp)) = partition(DesignKind::PipeShared, fused, tile) else { return Ok(()); };
+        let cost = CostModel::default();
+        let device = Device::default();
+        let base = estimate_resources(&f, &pb, unroll, &cost, &device);
+        let pipe = estimate_resources(&f, &pp, unroll, &cost, &device);
+        prop_assert!(pipe.bram <= base.bram);
+        prop_assert_eq!(pipe.dsp, base.dsp);
+    }
+
+    #[test]
+    fn schedule_ii_at_least_one_and_depth_positive(unroll in 1u64..32) {
+        for program in programs::all() {
+            let s = schedule(&program, &CostModel::default(), unroll);
+            prop_assert!(s.ii >= 1);
+            prop_assert!(s.depth > 0);
+            prop_assert_eq!(s.unroll, unroll);
+            prop_assert!((s.cycles_per_element() - s.ii as f64 / unroll as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pipeline_cycles_scale_with_elements(
+        ii in 1u64..4, depth in 1u64..64, unroll in 1u64..8, elems in 1u64..10_000,
+    ) {
+        let s = stencilcl_hls::PipelineSchedule { ii, depth, unroll };
+        let one = s.cycles_for(elems);
+        let two = s.cycles_for(elems * 2);
+        prop_assert!(two >= one, "more elements never take fewer cycles");
+        prop_assert!(s.cycles_for_warm(elems) <= one, "warm pipeline skips the fill");
+        // Fill amortizes: per-element cost approaches II/unroll from above.
+        let per = one as f64 / elems as f64;
+        prop_assert!(per + 1e-12 >= ii as f64 / unroll as f64);
+    }
+}

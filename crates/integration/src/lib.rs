@@ -1,0 +1,2 @@
+//! This crate exists to host the workspace-level integration tests in
+//! `/tests`; it exports nothing.

@@ -1,0 +1,346 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use stencilcl_grid::{Extent, Point};
+
+/// Element type of a grid, which fixes the transferred bit size `Δs` of the
+/// performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElemType {
+    /// IEEE-754 single precision (4 bytes).
+    F32,
+    /// IEEE-754 double precision (8 bytes).
+    F64,
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            ElemType::F32 => 4,
+            ElemType::F64 => 8,
+        }
+    }
+
+    /// The DSL / OpenCL spelling of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElemType::F32 => "float",
+            ElemType::F64 => "double",
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Declaration of a grid (a global-memory array on the accelerator).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridDecl {
+    /// The grid's name.
+    pub name: String,
+    /// Its size per dimension.
+    pub extent: Extent,
+    /// Element type.
+    pub ty: ElemType,
+    /// Read-only grids (e.g. HotSpot's power map) are never written by update
+    /// statements and need no write-back or pipe traffic.
+    pub read_only: bool,
+}
+
+/// A named scalar constant usable in update expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDecl {
+    /// The parameter's name.
+    pub name: String,
+    /// Its value.
+    pub value: f64,
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinOp {
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Built-in intrinsic functions (OpenCL's `fmin`/`fmax`/`fabs`/`sqrt`).
+///
+/// These cover the stencils of the paper's application references beyond the
+/// benchmark suite — e.g. the Chambolle total-variation algorithm [refs 2,
+/// 20] needs `abs`, and morphological filters need `min`/`max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Func {
+    /// Two-argument minimum.
+    Min,
+    /// Two-argument maximum.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+}
+
+impl Func {
+    /// The DSL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Min => "min",
+            Func::Max => "max",
+            Func::Abs => "abs",
+            Func::Sqrt => "sqrt",
+        }
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Min | Func::Max => 2,
+            Func::Abs | Func::Sqrt => 1,
+        }
+    }
+
+    /// Looks an intrinsic up by its DSL spelling.
+    pub fn by_name(name: &str) -> Option<Func> {
+        match name {
+            "min" => Some(Func::Min),
+            "max" => Some(Func::Max),
+            "abs" => Some(Func::Abs),
+            "sqrt" => Some(Func::Sqrt),
+            _ => None,
+        }
+    }
+}
+
+/// An arithmetic expression over grid accesses, parameters and literals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A floating-point literal.
+    Number(f64),
+    /// A named parameter reference.
+    Param(String),
+    /// A grid access at a constant offset from the iteration point, e.g.
+    /// `A[i-1][j]` has offset `(-1, 0)`.
+    Access {
+        /// Name of the accessed grid.
+        grid: String,
+        /// Constant offset from the iteration point.
+        offset: Point,
+    },
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// An intrinsic function call, e.g. `min(a, b)`.
+    Call(Func, Vec<Expr>),
+}
+
+impl Expr {
+    /// Visits every grid access in the expression.
+    pub fn for_each_access(&self, f: &mut impl FnMut(&str, &Point)) {
+        match self {
+            Expr::Number(_) | Expr::Param(_) => {}
+            Expr::Access { grid, offset } => f(grid, offset),
+            Expr::Unary(_, e) => e.for_each_access(f),
+            Expr::Binary(_, a, b) => {
+                a.for_each_access(f);
+                b.for_each_access(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.for_each_access(f);
+                }
+            }
+        }
+    }
+
+    /// All grid accesses as `(grid, offset)` pairs, in evaluation order.
+    pub fn accesses(&self) -> Vec<(String, Point)> {
+        let mut out = Vec::new();
+        self.for_each_access(&mut |g, o| out.push((g.to_string(), *o)));
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number(v) => write!(f, "{v}"),
+            Expr::Param(p) => f.write_str(p),
+            Expr::Access { grid, offset } => {
+                f.write_str(grid)?;
+                for d in 0..offset.dim() {
+                    let c = offset.coord(d);
+                    let var = ["i", "j", "k"][d];
+                    match c.cmp(&0) {
+                        std::cmp::Ordering::Equal => write!(f, "[{var}]")?,
+                        std::cmp::Ordering::Greater => write!(f, "[{var}+{c}]")?,
+                        std::cmp::Ordering::Less => write!(f, "[{var}{c}]")?,
+                    }
+                }
+                Ok(())
+            }
+            Expr::Unary(UnaryOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One update statement: `target[i][j] = expr;`.
+///
+/// Statements execute in program order within each stencil iteration, each
+/// with snapshot semantics: the right-hand side reads the state left by the
+/// previous statement, and all writes of one statement commit atomically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateStmt {
+    /// Name of the written grid.
+    pub target: String,
+    /// Names of the iteration variables bound by the left-hand side, one per
+    /// dimension (e.g. `["i", "j"]`).
+    pub index_vars: Vec<String>,
+    /// The update expression.
+    pub rhs: Expr,
+}
+
+/// A checked stencil program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The program's name (from `stencil <name> { ... }`).
+    pub name: String,
+    /// All grid declarations.
+    pub grids: Vec<GridDecl>,
+    /// All parameter declarations.
+    pub params: Vec<ParamDecl>,
+    /// Total number of stencil iterations `H`.
+    pub iterations: u64,
+    /// Update statements, in execution order.
+    pub updates: Vec<UpdateStmt>,
+}
+
+impl Program {
+    /// Looks up a grid declaration by name.
+    pub fn grid(&self, name: &str) -> Option<&GridDecl> {
+        self.grids.iter().find(|g| g.name == name)
+    }
+
+    /// Looks up a parameter value by name.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|p| p.name == name).map(|p| p.value)
+    }
+
+    /// The extent shared by all grids (validated by [`check`](crate::check)).
+    pub fn extent(&self) -> Extent {
+        self.grids.first().expect("checked programs have at least one grid").extent
+    }
+
+    /// Number of spatial dimensions.
+    pub fn dim(&self) -> usize {
+        self.extent().dim()
+    }
+
+    /// The element type shared by all grids.
+    pub fn elem_type(&self) -> ElemType {
+        self.grids.first().expect("checked programs have at least one grid").ty
+    }
+
+    /// Names of grids written by update statements.
+    pub fn updated_grids(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for u in &self.updates {
+            if !names.contains(&u.target.as_str()) {
+                names.push(&u.target);
+            }
+        }
+        names
+    }
+
+    /// Returns a copy with a different shared grid extent (all grids resized)
+    /// — used to shrink paper-scale inputs for functional testing.
+    pub fn with_extent(&self, extent: Extent) -> Program {
+        let mut p = self.clone();
+        for g in &mut p.grids {
+            g.extent = extent;
+        }
+        p
+    }
+
+    /// Returns a copy with a different iteration count `H`.
+    pub fn with_iterations(&self, iterations: u64) -> Program {
+        let mut p = self.clone();
+        p.iterations = iterations;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_type_sizes() {
+        assert_eq!(ElemType::F32.bytes(), 4);
+        assert_eq!(ElemType::F64.bytes(), 8);
+        assert_eq!(ElemType::F32.to_string(), "float");
+    }
+
+    #[test]
+    fn expr_accesses_collects_in_order() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Access { grid: "A".into(), offset: Point::new1(-1) }),
+            Box::new(Expr::Access { grid: "B".into(), offset: Point::new1(1) }),
+        );
+        let acc = e.accesses();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].0, "A");
+        assert_eq!(acc[1].1, Point::new1(1));
+    }
+
+    #[test]
+    fn expr_display_roundtrips_shape() {
+        let e = Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::Number(0.5)),
+            Box::new(Expr::Access { grid: "A".into(), offset: Point::new2(-1, 2) }),
+        );
+        assert_eq!(e.to_string(), "(0.5 * A[i-1][j+2])");
+    }
+}

@@ -1,0 +1,263 @@
+use std::collections::HashSet;
+
+use crate::ast::{Expr, Program};
+use crate::LangError;
+
+/// Validates the semantic rules of a stencil [`Program`].
+///
+/// Rules enforced:
+///
+/// 1. at least one grid and at least one update statement are declared;
+/// 2. grid and parameter names are unique and do not shadow each other;
+/// 3. every grid shares one extent and one element type (the framework tiles
+///    all arrays identically, as the paper's benchmarks do);
+/// 4. `iterations` is at least 1;
+/// 5. update targets are declared, writable (not `read_only`) grids and are
+///    indexed with exactly as many iteration variables as the grid has
+///    dimensions;
+/// 6. every grid access references a declared grid of matching
+///    dimensionality, and every parameter reference is declared.
+///
+/// [`parse`](crate::parse) runs this automatically; it is public for
+/// programs constructed directly as ASTs.
+///
+/// # Errors
+///
+/// Returns [`LangError::Semantic`] describing the first violated rule.
+pub fn check(program: &Program) -> Result<(), LangError> {
+    if program.grids.is_empty() {
+        return Err(LangError::semantic("program declares no grids"));
+    }
+    if program.updates.is_empty() {
+        return Err(LangError::semantic("program declares no update statements"));
+    }
+    if program.iterations == 0 {
+        return Err(LangError::semantic("`iterations` must be at least 1"));
+    }
+
+    let mut names = HashSet::new();
+    for g in &program.grids {
+        if !names.insert(g.name.as_str()) {
+            return Err(LangError::semantic(format!("duplicate declaration of `{}`", g.name)));
+        }
+    }
+    for p in &program.params {
+        if !names.insert(p.name.as_str()) {
+            return Err(LangError::semantic(format!("duplicate declaration of `{}`", p.name)));
+        }
+    }
+
+    let first = &program.grids[0];
+    for g in &program.grids[1..] {
+        if g.extent != first.extent {
+            return Err(LangError::semantic(format!(
+                "grid `{}` has extent {} but `{}` has {}; all grids must share one extent",
+                g.name, g.extent, first.name, first.extent
+            )));
+        }
+        if g.ty != first.ty {
+            return Err(LangError::semantic(format!(
+                "grid `{}` has element type {} but `{}` has {}",
+                g.name, g.ty, first.name, first.ty
+            )));
+        }
+    }
+
+    for (si, stmt) in program.updates.iter().enumerate() {
+        let target = program.grid(&stmt.target).ok_or_else(|| {
+            LangError::semantic(format!("statement {si}: unknown update target `{}`", stmt.target))
+        })?;
+        if target.read_only {
+            return Err(LangError::semantic(format!(
+                "statement {si}: `{}` is read_only and cannot be updated",
+                stmt.target
+            )));
+        }
+        if stmt.index_vars.len() != target.extent.dim() {
+            return Err(LangError::semantic(format!(
+                "statement {si}: `{}` is {}-dimensional but is indexed by {} variables",
+                stmt.target,
+                target.extent.dim(),
+                stmt.index_vars.len()
+            )));
+        }
+        let mut seen_vars = HashSet::new();
+        for v in &stmt.index_vars {
+            if !seen_vars.insert(v.as_str()) {
+                return Err(LangError::semantic(format!(
+                    "statement {si}: iteration variable `{v}` used twice"
+                )));
+            }
+        }
+        check_expr(program, si, &stmt.rhs)?;
+    }
+    Ok(())
+}
+
+fn check_expr(program: &Program, si: usize, expr: &Expr) -> Result<(), LangError> {
+    match expr {
+        Expr::Number(v) => {
+            if !v.is_finite() {
+                return Err(LangError::semantic(format!(
+                    "statement {si}: non-finite literal {v}"
+                )));
+            }
+            Ok(())
+        }
+        Expr::Param(name) => {
+            if program.param(name).is_none() {
+                return Err(LangError::semantic(format!(
+                    "statement {si}: unknown parameter `{name}`"
+                )));
+            }
+            Ok(())
+        }
+        Expr::Access { grid, offset } => {
+            let decl = program.grid(grid).ok_or_else(|| {
+                LangError::semantic(format!("statement {si}: unknown grid `{grid}`"))
+            })?;
+            if decl.extent.dim() != offset.dim() {
+                return Err(LangError::semantic(format!(
+                    "statement {si}: grid `{grid}` is {}-dimensional but accessed with {} indices",
+                    decl.extent.dim(),
+                    offset.dim()
+                )));
+            }
+            Ok(())
+        }
+        Expr::Unary(_, e) => check_expr(program, si, e),
+        Expr::Binary(_, a, b) => {
+            check_expr(program, si, a)?;
+            check_expr(program, si, b)
+        }
+        Expr::Call(func, args) => {
+            if args.len() != func.arity() {
+                return Err(LangError::semantic(format!(
+                    "statement {si}: `{}` takes {} argument(s), got {}",
+                    func.name(),
+                    func.arity(),
+                    args.len()
+                )));
+            }
+            for a in args {
+                check_expr(program, si, a)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, ElemType, GridDecl, ParamDecl, UpdateStmt};
+    use stencilcl_grid::{Extent, Point};
+
+    fn minimal() -> Program {
+        Program {
+            name: "t".into(),
+            grids: vec![GridDecl {
+                name: "A".into(),
+                extent: Extent::new1(8),
+                ty: ElemType::F32,
+                read_only: false,
+            }],
+            params: vec![],
+            iterations: 1,
+            updates: vec![UpdateStmt {
+                target: "A".into(),
+                index_vars: vec!["i".into()],
+                rhs: Expr::Access { grid: "A".into(), offset: Point::new1(0) },
+            }],
+        }
+    }
+
+    #[test]
+    fn minimal_program_checks() {
+        assert!(check(&minimal()).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_programs() {
+        let mut p = minimal();
+        p.updates.clear();
+        assert!(check(&p).is_err());
+        let mut p = minimal();
+        p.grids.clear();
+        assert!(check(&p).is_err());
+        let mut p = minimal();
+        p.iterations = 0;
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut p = minimal();
+        p.params.push(ParamDecl { name: "A".into(), value: 1.0 });
+        let err = check(&p).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_extents() {
+        let mut p = minimal();
+        p.grids.push(GridDecl {
+            name: "B".into(),
+            extent: Extent::new1(9),
+            ty: ElemType::F32,
+            read_only: true,
+        });
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_elem_types() {
+        let mut p = minimal();
+        p.grids.push(GridDecl {
+            name: "B".into(),
+            extent: Extent::new1(8),
+            ty: ElemType::F64,
+            read_only: true,
+        });
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_read_only_target() {
+        let mut p = minimal();
+        p.grids[0].read_only = true;
+        let err = check(&p).unwrap_err();
+        assert!(err.to_string().contains("read_only"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_param_and_grid() {
+        let mut p = minimal();
+        p.updates[0].rhs = Expr::Param("nope".into());
+        assert!(check(&p).is_err());
+        let mut p = minimal();
+        p.updates[0].rhs = Expr::Access { grid: "B".into(), offset: Point::new1(0) };
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_index_vars() {
+        let mut p = minimal();
+        p.grids[0].extent = Extent::new2(8, 8);
+        p.updates[0].index_vars = vec!["i".into(), "i".into()];
+        p.updates[0].rhs = Expr::Access { grid: "A".into(), offset: Point::new2(0, 0) };
+        let err = check(&p).unwrap_err();
+        assert!(err.to_string().contains("used twice"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_literals() {
+        let mut p = minimal();
+        p.updates[0].rhs = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Number(f64::NAN)),
+            Box::new(Expr::Number(1.0)),
+        );
+        assert!(check(&p).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+use std::fmt;
+
+use crate::token::Span;
+
+/// Errors produced while lexing, parsing, checking, extracting features from,
+/// or interpreting a stencil program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// An unexpected character was encountered while lexing.
+    Lex {
+        /// Where in the source the character occurred.
+        span: Span,
+        /// The offending character.
+        found: char,
+    },
+    /// The parser expected one construct but found another.
+    Parse {
+        /// Where in the source the mismatch occurred.
+        span: Span,
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// A semantic rule was violated (undeclared grids, read-only writes,
+    /// non-constant offsets, mismatched dimensionality, ...).
+    Semantic {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// An underlying geometric operation failed.
+    Grid(stencilcl_grid::GridError),
+    /// A runtime evaluation error (missing grid in a state, division by zero
+    /// guard, ...).
+    Eval {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { span, found } => {
+                write!(f, "lex error at {span}: unexpected character {found:?}")
+            }
+            LangError::Parse { span, expected, found } => {
+                write!(f, "parse error at {span}: expected {expected}, found {found}")
+            }
+            LangError::Semantic { detail } => write!(f, "semantic error: {detail}"),
+            LangError::Grid(e) => write!(f, "geometry error: {e}"),
+            LangError::Eval { detail } => write!(f, "evaluation error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Grid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stencilcl_grid::GridError> for LangError {
+    fn from(e: stencilcl_grid::GridError) -> Self {
+        LangError::Grid(e)
+    }
+}
+
+impl LangError {
+    /// Convenience constructor for semantic errors.
+    pub fn semantic(detail: impl Into<String>) -> Self {
+        LangError::Semantic { detail: detail.into() }
+    }
+
+    /// Convenience constructor for evaluation errors.
+    pub fn eval(detail: impl Into<String>) -> Self {
+        LangError::Eval { detail: detail.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_location() {
+        let e = LangError::Lex { span: Span { line: 3, col: 7 }, found: '$' };
+        let s = e.to_string();
+        assert!(s.contains("3:7"), "{s}");
+        assert!(s.contains('$'), "{s}");
+    }
+
+    #[test]
+    fn grid_error_is_source() {
+        use std::error::Error;
+        let e = LangError::from(stencilcl_grid::GridError::EmptyExtent);
+        assert!(e.source().is_some());
+    }
+}

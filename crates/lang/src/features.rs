@@ -1,0 +1,284 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_grid::{Extent, Growth, Point};
+
+use crate::ast::{Expr, Program};
+use crate::LangError;
+
+/// Arithmetic operation counts of an update expression, used by the HLS
+/// estimator to size the processing-element datapath.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Additions.
+    pub add: u64,
+    /// Subtractions.
+    pub sub: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions.
+    pub div: u64,
+    /// Negations.
+    pub neg: u64,
+    /// `min`/`max` comparisons.
+    pub minmax: u64,
+    /// Other intrinsics (`abs`, `sqrt`).
+    pub special: u64,
+}
+
+impl OpCounts {
+    /// Total floating-point operations per element update.
+    pub fn flops(&self) -> u64 {
+        self.add + self.sub + self.mul + self.div + self.neg + self.minmax + self.special
+    }
+
+    /// Component-wise sum.
+    pub fn combined(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            add: self.add + other.add,
+            sub: self.sub + other.sub,
+            mul: self.mul + other.mul,
+            div: self.div + other.div,
+            neg: self.neg + other.neg,
+            minmax: self.minmax + other.minmax,
+            special: self.special + other.special,
+        }
+    }
+
+    fn of_expr(expr: &Expr) -> OpCounts {
+        let mut c = OpCounts::default();
+        fn walk(e: &Expr, c: &mut OpCounts) {
+            match e {
+                Expr::Number(_) | Expr::Param(_) | Expr::Access { .. } => {}
+                Expr::Unary(crate::ast::UnaryOp::Neg, inner) => {
+                    c.neg += 1;
+                    walk(inner, c);
+                }
+                Expr::Binary(op, a, b) => {
+                    match op {
+                        crate::ast::BinOp::Add => c.add += 1,
+                        crate::ast::BinOp::Sub => c.sub += 1,
+                        crate::ast::BinOp::Mul => c.mul += 1,
+                        crate::ast::BinOp::Div => c.div += 1,
+                    }
+                    walk(a, c);
+                    walk(b, c);
+                }
+                Expr::Call(func, args) => {
+                    match func {
+                        crate::ast::Func::Min | crate::ast::Func::Max => c.minmax += 1,
+                        crate::ast::Func::Abs | crate::ast::Func::Sqrt => c.special += 1,
+                    }
+                    for a in args {
+                        walk(a, c);
+                    }
+                }
+            }
+        }
+        walk(expr, &mut c);
+        c
+    }
+}
+
+/// Features of one update statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatementFeatures {
+    /// The written grid.
+    pub target: String,
+    /// Unique `(grid, offset)` accesses of the right-hand side.
+    pub accesses: Vec<(String, Point)>,
+    /// The halo this statement alone requires.
+    pub growth: Growth,
+    /// Arithmetic operation counts.
+    pub ops: OpCounts,
+    /// Total (non-unique) grid reads per element.
+    pub reads: usize,
+}
+
+/// The application-specific stencil configuration the paper's *feature
+/// extractor* derives from source: dimension, shape, per-iteration halo
+/// growth, and operation mix.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_lang::{programs, StencilFeatures};
+///
+/// let f = StencilFeatures::extract(&programs::jacobi_2d())?;
+/// assert_eq!(f.dim, 2);
+/// assert_eq!(f.growth.total(0), 2); // radius-1 star, both sides
+/// assert_eq!(f.statements.len(), 1);
+/// # Ok::<(), stencilcl_lang::LangError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StencilFeatures {
+    /// Program name.
+    pub name: String,
+    /// Number of spatial dimensions `D`.
+    pub dim: usize,
+    /// Shared grid extent (`W_d` per dimension).
+    pub extent: Extent,
+    /// Total stencil iterations `H`.
+    pub iterations: u64,
+    /// Bytes per element (`Δs`).
+    pub elem_bytes: u64,
+    /// Per-fused-iteration halo growth (`Δw_d` totals per dimension) —
+    /// statement growths chained in program order.
+    pub growth: Growth,
+    /// Per-statement features, in execution order.
+    pub statements: Vec<StatementFeatures>,
+    /// Combined operation counts of one full element update (all statements).
+    pub ops: OpCounts,
+    /// Number of grids written by updates.
+    pub updated_arrays: usize,
+    /// Number of `read_only` grids.
+    pub read_only_arrays: usize,
+}
+
+impl StencilFeatures {
+    /// Extracts features from a checked program.
+    ///
+    /// Per-iteration growth is the *chained* sum of per-statement growths:
+    /// when statement `s+1` reads what statement `s` wrote (FDTD's
+    /// `e`-then-`h` pattern), halos accumulate across the chain. For
+    /// independent statements this is conservative, which only ever enlarges
+    /// cones (correctness is preserved; efficiency is the optimizer's
+    /// concern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Semantic`] if the program fails
+    /// [`check`](crate::check).
+    pub fn extract(program: &Program) -> Result<StencilFeatures, LangError> {
+        crate::check(program)?;
+        let dim = program.dim();
+        let mut statements = Vec::with_capacity(program.updates.len());
+        let mut growth = Growth::zero(dim);
+        let mut ops = OpCounts::default();
+        for stmt in &program.updates {
+            let all = stmt.rhs.accesses();
+            let mut unique: Vec<(String, Point)> = Vec::new();
+            for a in &all {
+                if !unique.contains(a) {
+                    unique.push(a.clone());
+                }
+            }
+            let stmt_growth = Growth::from_offsets(dim, unique.iter().map(|(_, o)| o))?;
+            growth = growth.checked_add(&stmt_growth)?;
+            let stmt_ops = OpCounts::of_expr(&stmt.rhs);
+            ops = ops.combined(&stmt_ops);
+            statements.push(StatementFeatures {
+                target: stmt.target.clone(),
+                accesses: unique,
+                growth: stmt_growth,
+                ops: stmt_ops,
+                reads: all.len(),
+            });
+        }
+        Ok(StencilFeatures {
+            name: program.name.clone(),
+            dim,
+            extent: program.extent(),
+            iterations: program.iterations,
+            elem_bytes: program.elem_type().bytes(),
+            growth,
+            statements,
+            ops,
+            updated_arrays: program.updated_grids().len(),
+            read_only_arrays: program.grids.iter().filter(|g| g.read_only).count(),
+        })
+    }
+
+    /// Maximum single-side halo reach per fused iteration — the slab depth
+    /// adjacent tiles exchange through pipes each iteration.
+    pub fn pipe_depth(&self) -> u64 {
+        self.growth.max_reach()
+    }
+
+    /// Elements transferred to/from global memory per grid point per pass:
+    /// one read and one write per updated array, one read per read-only
+    /// array.
+    pub fn global_traffic_per_point(&self) -> u64 {
+        (2 * self.updated_arrays + self.read_only_arrays) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn jacobi_like_features() {
+        let p = parse(
+            "stencil j { grid A[16][16] : f32; iterations 8;
+             A[i][j] = 0.2 * (A[i][j] + A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }",
+        )
+        .unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        assert_eq!(f.dim, 2);
+        assert_eq!(f.growth, Growth::symmetric(2, 1));
+        assert_eq!(f.ops.add, 4);
+        assert_eq!(f.ops.mul, 1);
+        assert_eq!(f.statements[0].reads, 5);
+        assert_eq!(f.updated_arrays, 1);
+        assert_eq!(f.elem_bytes, 4);
+        assert_eq!(f.pipe_depth(), 1);
+        assert_eq!(f.global_traffic_per_point(), 2);
+    }
+
+    #[test]
+    fn chained_statements_accumulate_growth() {
+        let p = parse(
+            "stencil fdtd { grid E[16][16] : f32; grid H[16][16] : f32; iterations 2;
+             E[i][j] = E[i][j] - 0.5 * (H[i][j] - H[i-1][j]);
+             H[i][j] = H[i][j] - 0.7 * (E[i+1][j] - E[i][j]); }",
+        )
+        .unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        // E reads one low-side neighbor, H reads one high-side neighbor:
+        // chained growth is 1 on each side of dimension 0.
+        assert_eq!(f.growth.lo(0), 1);
+        assert_eq!(f.growth.hi(0), 1);
+        assert_eq!(f.growth.total(1), 0);
+        assert_eq!(f.statements.len(), 2);
+        assert_eq!(f.updated_arrays, 2);
+    }
+
+    #[test]
+    fn duplicate_accesses_deduplicated_for_shape() {
+        let p = parse(
+            "stencil d { grid A[8] : f32; iterations 1;
+             A[i] = A[i] + A[i] * A[i-1]; }",
+        )
+        .unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        assert_eq!(f.statements[0].accesses.len(), 2);
+        assert_eq!(f.statements[0].reads, 3);
+    }
+
+    #[test]
+    fn read_only_arrays_counted() {
+        let p = parse(
+            "stencil hs { grid T[8] : f32; grid P[8] : f32 read_only; iterations 1;
+             T[i] = T[i] + P[i]; }",
+        )
+        .unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        assert_eq!(f.read_only_arrays, 1);
+        assert_eq!(f.updated_arrays, 1);
+        assert_eq!(f.global_traffic_per_point(), 3);
+    }
+
+    #[test]
+    fn op_counts_include_div_and_neg() {
+        let p = parse(
+            "stencil o { grid A[8] : f32; iterations 1;
+             A[i] = -A[i] / 2.0 - 1.0; }",
+        )
+        .unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        assert_eq!(f.ops.neg, 1);
+        assert_eq!(f.ops.div, 1);
+        assert_eq!(f.ops.sub, 1);
+        assert_eq!(f.ops.flops(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+use crate::token::{Span, Token, TokenKind};
+use crate::LangError;
+
+/// Lexes stencil DSL source text into a token stream (terminated by
+/// [`TokenKind::Eof`]).
+///
+/// Line comments start with `//` and run to end of line.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on any character outside the DSL alphabet.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_lang::{tokenize, TokenKind};
+///
+/// let toks = tokenize("grid A[8] : f32;")?;
+/// assert!(matches!(toks[0].kind, TokenKind::Ident(ref s) if s == "grid"));
+/// assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+/// # Ok::<(), stencilcl_lang::LangError>(())
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let advance = |pos: &mut usize, line: &mut u32, col: &mut u32| {
+        if chars.get(*pos) == Some(&'\n') {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *pos += 1;
+    };
+
+    while pos < chars.len() {
+        let c = chars[pos];
+        let span = Span { line, col };
+        match c {
+            c if c.is_whitespace() => {
+                advance(&mut pos, &mut line, &mut col);
+            }
+            '/' if chars.get(pos + 1) == Some(&'/') => {
+                while pos < chars.len() && chars[pos] != '\n' {
+                    advance(&mut pos, &mut line, &mut col);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while pos < chars.len() && (chars[pos].is_ascii_alphanumeric() || chars[pos] == '_')
+                {
+                    ident.push(chars[pos]);
+                    advance(&mut pos, &mut line, &mut col);
+                }
+                tokens.push(Token { kind: TokenKind::Ident(ident), span });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while pos < chars.len() && chars[pos].is_ascii_digit() {
+                    text.push(chars[pos]);
+                    advance(&mut pos, &mut line, &mut col);
+                }
+                if pos < chars.len()
+                    && chars[pos] == '.'
+                    && chars.get(pos + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    text.push('.');
+                    advance(&mut pos, &mut line, &mut col);
+                    while pos < chars.len() && chars[pos].is_ascii_digit() {
+                        text.push(chars[pos]);
+                        advance(&mut pos, &mut line, &mut col);
+                    }
+                }
+                if pos < chars.len() && (chars[pos] == 'e' || chars[pos] == 'E') {
+                    is_float = true;
+                    text.push('e');
+                    advance(&mut pos, &mut line, &mut col);
+                    if pos < chars.len() && (chars[pos] == '+' || chars[pos] == '-') {
+                        text.push(chars[pos]);
+                        advance(&mut pos, &mut line, &mut col);
+                    }
+                    while pos < chars.len() && chars[pos].is_ascii_digit() {
+                        text.push(chars[pos]);
+                        advance(&mut pos, &mut line, &mut col);
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LangError::Lex { span, found: c })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LangError::Lex { span, found: c })?)
+                };
+                tokens.push(Token { kind, span });
+            }
+            _ => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '=' => TokenKind::Equals,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '/' => TokenKind::Slash,
+                    ':' => TokenKind::Colon,
+                    ';' => TokenKind::Semicolon,
+                    ',' => TokenKind::Comma,
+                    other => return Err(LangError::Lex { span, found: other }),
+                };
+                advance(&mut pos, &mut line, &mut col);
+                tokens.push(Token { kind, span });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, span: Span { line, col } });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        let k = kinds("grid A [ 8 ] : f32 ;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("grid".into()),
+                TokenKind::Ident("A".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(8),
+                TokenKind::RBracket,
+                TokenKind::Colon,
+                TokenKind::Ident("f32".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_and_scientific() {
+        assert_eq!(kinds("0.25")[0], TokenKind::Float(0.25));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Float(1e-3));
+        assert_eq!(kinds("2.5E2")[0], TokenKind::Float(250.0));
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+    }
+
+    #[test]
+    fn integer_then_field_access_not_float() {
+        // "1.x" should not parse the dot as part of the number.
+        let e = tokenize("1.x").unwrap_err();
+        assert!(matches!(e, LangError::Lex { found: '.', .. }));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("a // comment + * /\nb");
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[0], TokenKind::Ident("a".into()));
+        assert_eq!(k[1], TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(tokenize("a $ b").unwrap_err(), LangError::Lex { found: '$', .. }));
+    }
+
+    #[test]
+    fn minus_is_its_own_token() {
+        let k = kinds("i-1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("i".into()),
+                TokenKind::Minus,
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,458 @@
+use stencilcl_grid::{Extent, Point, MAX_DIM};
+
+use crate::ast::{BinOp, ElemType, Expr, Func, GridDecl, ParamDecl, Program, UnaryOp, UpdateStmt};
+use crate::check::check;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use crate::LangError;
+
+/// Parses (and [`check`]s) stencil DSL source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] / [`LangError::Parse`] for malformed source and
+/// [`LangError::Semantic`] when the program violates a semantic rule.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_lang::parse;
+///
+/// let p = parse(
+///     "stencil j1 { grid A[16] : f32; iterations 2;
+///      A[i] = 0.5 * (A[i-1] + A[i+1]); }",
+/// )?;
+/// assert_eq!(p.name, "j1");
+/// assert_eq!(p.updates.len(), 1);
+/// # Ok::<(), stencilcl_lang::LangError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let program = parser.program()?;
+    check(&program)?;
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, expected: &str) -> Result<T, LangError> {
+        let t = self.peek();
+        Err(LangError::Parse {
+            span: t.span,
+            expected: expected.to_string(),
+            found: t.kind.to_string(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), LangError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(what)
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), LangError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == word => {
+                self.bump();
+                Ok(())
+            }
+            _ => self.error(&format!("keyword `{word}`")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.error(what),
+        }
+    }
+
+    fn integer(&mut self, what: &str) -> Result<u64, LangError> {
+        match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            _ => self.error(what),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        self.expect_keyword("stencil")?;
+        let name = self.ident("program name")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut grids = Vec::new();
+        let mut params = Vec::new();
+        let mut iterations: Option<u64> = None;
+        let mut updates = Vec::new();
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Ident(word) => match word.as_str() {
+                    "grid" => grids.push(self.grid_decl()?),
+                    "param" => params.push(self.param_decl()?),
+                    "iterations" => {
+                        self.bump();
+                        iterations = Some(self.integer("iteration count")?);
+                        self.expect(&TokenKind::Semicolon, "`;`")?;
+                    }
+                    _ => updates.push(self.update_stmt()?),
+                },
+                _ => return self.error("declaration, update statement, or `}`"),
+            }
+        }
+        self.expect(&TokenKind::Eof, "end of input")?;
+        let iterations = iterations
+            .ok_or_else(|| LangError::semantic("program must declare `iterations N;`"))?;
+        Ok(Program { name, grids, params, iterations, updates })
+    }
+
+    fn grid_decl(&mut self) -> Result<GridDecl, LangError> {
+        self.expect_keyword("grid")?;
+        let name = self.ident("grid name")?;
+        let mut lens = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            lens.push(self.integer("dimension length")? as usize);
+            self.expect(&TokenKind::RBracket, "`]`")?;
+        }
+        if lens.is_empty() || lens.len() > MAX_DIM {
+            return Err(LangError::semantic(format!(
+                "grid `{name}` must have 1..={MAX_DIM} dimensions, got {}",
+                lens.len()
+            )));
+        }
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let ty = match self.ident("element type (`f32` or `f64`)")?.as_str() {
+            "f32" => ElemType::F32,
+            "f64" => ElemType::F64,
+            other => {
+                return Err(LangError::semantic(format!(
+                    "unknown element type `{other}` for grid `{name}`"
+                )))
+            }
+        };
+        let read_only = if matches!(&self.peek().kind, TokenKind::Ident(s) if s == "read_only") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        let extent = Extent::new(&lens).map_err(LangError::from)?;
+        Ok(GridDecl { name, extent, ty, read_only })
+    }
+
+    fn param_decl(&mut self) -> Result<ParamDecl, LangError> {
+        self.expect_keyword("param")?;
+        let name = self.ident("parameter name")?;
+        self.expect(&TokenKind::Equals, "`=`")?;
+        let negative = if self.peek().kind == TokenKind::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let value = match self.peek().kind {
+            TokenKind::Float(v) => {
+                self.bump();
+                v
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                v as f64
+            }
+            _ => return self.error("numeric parameter value"),
+        };
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        Ok(ParamDecl { name, value: if negative { -value } else { value } })
+    }
+
+    fn update_stmt(&mut self) -> Result<UpdateStmt, LangError> {
+        let target = self.ident("update target grid")?;
+        let mut index_vars = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            index_vars.push(self.ident("iteration variable")?);
+            self.expect(&TokenKind::RBracket, "`]`")?;
+        }
+        if index_vars.is_empty() || index_vars.len() > MAX_DIM {
+            return Err(LangError::semantic(format!(
+                "update of `{target}` must index 1..={MAX_DIM} dimensions"
+            )));
+        }
+        self.expect(&TokenKind::Equals, "`=`")?;
+        let rhs = self.expr(&index_vars)?;
+        self.expect(&TokenKind::Semicolon, "`;`")?;
+        Ok(UpdateStmt { target, index_vars, rhs })
+    }
+
+    fn expr(&mut self, vars: &[String]) -> Result<Expr, LangError> {
+        let mut lhs = self.term(vars)?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term(vars)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self, vars: &[String]) -> Result<Expr, LangError> {
+        let mut lhs = self.factor(vars)?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor(vars)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self, vars: &[String]) -> Result<Expr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.factor(vars)?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr(vars)?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Number(v))
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Number(v as f64))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek().kind == TokenKind::LBracket {
+                    let offset = self.access_offsets(&name, vars)?;
+                    Ok(Expr::Access { grid: name, offset })
+                } else if self.peek().kind == TokenKind::LParen {
+                    let func = Func::by_name(&name).ok_or_else(|| {
+                        LangError::semantic(format!(
+                            "unknown function `{name}` (supported: min, max, abs, sqrt)"
+                        ))
+                    })?;
+                    self.bump(); // `(`
+                    let mut args = vec![self.expr(vars)?];
+                    while self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                        args.push(self.expr(vars)?);
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Param(name))
+                }
+            }
+            _ => self.error("expression"),
+        }
+    }
+
+    fn access_offsets(&mut self, grid: &str, vars: &[String]) -> Result<Point, LangError> {
+        let mut offsets = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let var = self.ident("iteration variable")?;
+            let d = offsets.len();
+            match vars.get(d) {
+                Some(expected) if *expected == var => {}
+                Some(expected) => {
+                    return Err(LangError::semantic(format!(
+                        "access `{grid}` dimension {d} indexed by `{var}`, expected `{expected}` \
+                         (indices must use the statement's iteration variables in order)"
+                    )))
+                }
+                None => {
+                    return Err(LangError::semantic(format!(
+                        "access `{grid}` has more dimensions than the update target"
+                    )))
+                }
+            }
+            let off = match self.peek().kind {
+                TokenKind::Plus => {
+                    self.bump();
+                    self.integer("constant offset")? as i64
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    -(self.integer("constant offset")? as i64)
+                }
+                _ => 0,
+            };
+            offsets.push(off);
+            self.expect(&TokenKind::RBracket, "`]`")?;
+        }
+        if offsets.len() != vars.len() {
+            return Err(LangError::semantic(format!(
+                "access `{grid}` has {} indices but the statement iterates over {} dimensions",
+                offsets.len(),
+                vars.len()
+            )));
+        }
+        Point::new(&offsets).map_err(LangError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_jacobi_1d() {
+        let p = parse(
+            "stencil j1 { grid A[16] : f32; iterations 4;
+             A[i] = 0.33 * (A[i-1] + A[i] + A[i+1]); }",
+        )
+        .unwrap();
+        assert_eq!(p.name, "j1");
+        assert_eq!(p.grids.len(), 1);
+        assert_eq!(p.iterations, 4);
+        let acc = p.updates[0].rhs.accesses();
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc[0].1, Point::new1(-1));
+    }
+
+    #[test]
+    fn parses_params_and_read_only() {
+        let p = parse(
+            "stencil hs { grid T[8][8] : f32; grid P[8][8] : f32 read_only;
+             param cap = 0.5; param amb = -80.0; iterations 1;
+             T[i][j] = T[i][j] + cap * (P[i][j] + amb); }",
+        )
+        .unwrap();
+        assert!(p.grid("P").unwrap().read_only);
+        assert_eq!(p.param("amb"), Some(-80.0));
+        assert_eq!(p.param("cap"), Some(0.5));
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let p = parse(
+            "stencil e { grid A[8] : f32; iterations 1;
+             A[i] = 1.0 + 2.0 * 3.0; }",
+        )
+        .unwrap();
+        match &p.updates[0].rhs {
+            Expr::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_negation() {
+        let p = parse(
+            "stencil e { grid A[8] : f32; iterations 1;
+             A[i] = -A[i] + 1.0; }",
+        )
+        .unwrap();
+        match &p.updates[0].rhs {
+            Expr::Binary(BinOp::Add, lhs, _) => {
+                assert!(matches!(**lhs, Expr::Unary(UnaryOp::Neg, _)));
+            }
+            other => panic!("unexpected tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_index_var() {
+        let err = parse(
+            "stencil e { grid A[8][8] : f32; iterations 1;
+             A[i][j] = A[j][i]; }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Semantic { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_constant_offsets() {
+        // `A[i*2]` is not in the grammar at all.
+        let err = parse(
+            "stencil e { grid A[8] : f32; iterations 1;
+             A[i] = A[i * 2]; }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_iterations() {
+        let err = parse("stencil e { grid A[8] : f32; A[i] = A[i]; }").unwrap_err();
+        assert!(err.to_string().contains("iterations"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_in_access() {
+        let err = parse(
+            "stencil e { grid A[8][8] : f32; iterations 1;
+             A[i][j] = A[i]; }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Semantic { .. }), "{err}");
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = parse("stencil e { grid A[8] : f32; iterations 1; A[i] = ; }").unwrap_err();
+        match err {
+            LangError::Parse { span, .. } => assert_eq!(span.line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_literals_allowed_in_expressions() {
+        let p = parse(
+            "stencil e { grid A[8] : f32; iterations 1;
+             A[i] = A[i] / 2; }",
+        )
+        .unwrap();
+        match &p.updates[0].rhs {
+            Expr::Binary(BinOp::Div, _, rhs) => assert!(matches!(**rhs, Expr::Number(v) if v == 2.0)),
+            other => panic!("unexpected tree: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The seven stencil benchmarks of the paper's Table 2, written in the DSL.
+//!
+//! | Benchmark  | Source    | Input size             | Iterations |
+//! |------------|-----------|------------------------|------------|
+//! | Jacobi-1D  | Polybench | 131072                 | 1024       |
+//! | Jacobi-2D  | Polybench | 2048 × 2048            | 1024       |
+//! | Jacobi-3D  | Parboil   | 1024 × 1024 × 1024     | 1024       |
+//! | HotSpot-2D | Rodinia   | 4096 × 4096            | 1000       |
+//! | HotSpot-3D | Rodinia   | 4096 × 4096 × 128      | 1000       |
+//! | FDTD-2D    | Polybench | 2048 × 2048            | 500        |
+//! | FDTD-3D    | Polybench | 2048 × 2048 × 2048     | 500        |
+//!
+//! Each constructor returns the paper-scale program; use
+//! [`Program::with_extent`] and [`Program::with_iterations`] to shrink them
+//! for functional testing (the update expressions are size-independent).
+
+use crate::{parse, Program};
+
+/// DSL source of Jacobi-1D (Polybench): 3-point average.
+pub fn jacobi_1d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil jacobi_1d {{
+            grid A[{n}] : f32;
+            iterations {iterations};
+            A[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+        }}"
+    )
+}
+
+/// Jacobi-1D at the paper's input size (131072 elements, 1024 iterations).
+pub fn jacobi_1d() -> Program {
+    parse(&jacobi_1d_source(131072, 1024)).expect("builtin benchmark parses")
+}
+
+/// DSL source of Jacobi-2D (Polybench): 5-point star.
+pub fn jacobi_2d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil jacobi_2d {{
+            grid A[{n}][{n}] : f32;
+            iterations {iterations};
+            A[i][j] = 0.2 * (A[i][j] + A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]);
+        }}"
+    )
+}
+
+/// Jacobi-2D at the paper's input size (2048², 1024 iterations).
+pub fn jacobi_2d() -> Program {
+    parse(&jacobi_2d_source(2048, 1024)).expect("builtin benchmark parses")
+}
+
+/// DSL source of Jacobi-3D (Parboil): 7-point star.
+pub fn jacobi_3d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil jacobi_3d {{
+            grid A[{n}][{n}][{n}] : f32;
+            param c0 = 0.4;
+            param c1 = 0.1;
+            iterations {iterations};
+            A[i][j][k] = c0 * A[i][j][k]
+                       + c1 * (A[i-1][j][k] + A[i+1][j][k]
+                             + A[i][j-1][k] + A[i][j+1][k]
+                             + A[i][j][k-1] + A[i][j][k+1]);
+        }}"
+    )
+}
+
+/// Jacobi-3D at the paper's input size (1024³, 1024 iterations).
+pub fn jacobi_3d() -> Program {
+    parse(&jacobi_3d_source(1024, 1024)).expect("builtin benchmark parses")
+}
+
+/// DSL source of HotSpot-2D (Rodinia): thermal simulation with a read-only
+/// power map.
+pub fn hotspot_2d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil hotspot_2d {{
+            grid temp[{n}][{n}] : f32;
+            grid power[{n}][{n}] : f32 read_only;
+            param cap = 0.5;
+            param rx = 0.1;
+            param ry = 0.1;
+            param rz = 0.0625;
+            param amb = 80.0;
+            iterations {iterations};
+            temp[i][j] = temp[i][j] + cap * (power[i][j]
+                       + (temp[i+1][j] + temp[i-1][j] - 2.0 * temp[i][j]) * ry
+                       + (temp[i][j+1] + temp[i][j-1] - 2.0 * temp[i][j]) * rx
+                       + (amb - temp[i][j]) * rz);
+        }}"
+    )
+}
+
+/// HotSpot-2D at the paper's input size (4096², 1000 iterations).
+pub fn hotspot_2d() -> Program {
+    parse(&hotspot_2d_source(4096, 1000)).expect("builtin benchmark parses")
+}
+
+/// DSL source of HotSpot-3D (Rodinia): `nx × ny × nz` thermal simulation.
+pub fn hotspot_3d_source(nx: usize, ny: usize, nz: usize, iterations: u64) -> String {
+    format!(
+        "stencil hotspot_3d {{
+            grid temp[{nx}][{ny}][{nz}] : f32;
+            grid power[{nx}][{ny}][{nz}] : f32 read_only;
+            param cap = 0.5;
+            param rx = 0.1;
+            param ry = 0.1;
+            param rz = 0.05;
+            param rc = 0.0625;
+            param amb = 80.0;
+            iterations {iterations};
+            temp[i][j][k] = temp[i][j][k] + cap * (power[i][j][k]
+                          + (temp[i+1][j][k] + temp[i-1][j][k] - 2.0 * temp[i][j][k]) * rx
+                          + (temp[i][j+1][k] + temp[i][j-1][k] - 2.0 * temp[i][j][k]) * ry
+                          + (temp[i][j][k+1] + temp[i][j][k-1] - 2.0 * temp[i][j][k]) * rz
+                          + (amb - temp[i][j][k]) * rc);
+        }}"
+    )
+}
+
+/// HotSpot-3D at the paper's input size (4096 × 4096 × 128, 1000 iterations).
+pub fn hotspot_3d() -> Program {
+    parse(&hotspot_3d_source(4096, 4096, 128, 1000)).expect("builtin benchmark parses")
+}
+
+/// DSL source of FDTD-2D (Polybench): electric fields `ex`/`ey` updated from
+/// the magnetic field `hz`, then `hz` from the fresh fields — statements
+/// chain within one iteration.
+pub fn fdtd_2d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil fdtd_2d {{
+            grid ey[{n}][{n}] : f32;
+            grid ex[{n}][{n}] : f32;
+            grid hz[{n}][{n}] : f32;
+            iterations {iterations};
+            ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+            ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+            hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+        }}"
+    )
+}
+
+/// FDTD-2D at the paper's input size (2048², 500 iterations).
+pub fn fdtd_2d() -> Program {
+    parse(&fdtd_2d_source(2048, 500)).expect("builtin benchmark parses")
+}
+
+/// DSL source of FDTD-3D (Polybench): the natural 3-D extension with one
+/// electric and one magnetic field, preserving FDTD-2D's chained
+/// low-side/high-side access structure.
+pub fn fdtd_3d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil fdtd_3d {{
+            grid e[{n}][{n}][{n}] : f32;
+            grid h[{n}][{n}][{n}] : f32;
+            iterations {iterations};
+            e[i][j][k] = e[i][j][k] - 0.5 * (3.0 * h[i][j][k]
+                       - h[i-1][j][k] - h[i][j-1][k] - h[i][j][k-1]);
+            h[i][j][k] = h[i][j][k] - 0.7 * (e[i+1][j][k] + e[i][j+1][k]
+                       + e[i][j][k+1] - 3.0 * e[i][j][k]);
+        }}"
+    )
+}
+
+/// FDTD-3D at the paper's input size (2048³, 500 iterations).
+pub fn fdtd_3d() -> Program {
+    parse(&fdtd_3d_source(2048, 500)).expect("builtin benchmark parses")
+}
+
+/// DSL source of a Chambolle-style total-variation denoising step — the
+/// algorithm of the paper's application references [2, 20] (Akin et al.,
+/// DATE'11; Beretta et al., TECS'16), which Nacci et al. also used to
+/// evaluate the baseline architecture. The dual fields `px`/`py` are
+/// projected with an anisotropic norm, exercising the `abs` intrinsic,
+/// division, a read-only input image, and three chained statements.
+pub fn chambolle_2d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil chambolle_2d {{
+            grid dv[{n}][{n}] : f32;
+            grid px[{n}][{n}] : f32;
+            grid py[{n}][{n}] : f32;
+            grid g[{n}][{n}] : f32 read_only;
+            param tau = 0.25;
+            param invlam = 0.1;
+            iterations {iterations};
+            dv[i][j] = px[i][j] - px[i][j-1] + py[i][j] - py[i-1][j] - invlam * g[i][j];
+            px[i][j] = (px[i][j] + tau * (dv[i][j+1] - dv[i][j]))
+                     / (1.0 + tau * abs(dv[i][j+1] - dv[i][j]));
+            py[i][j] = (py[i][j] + tau * (dv[i+1][j] - dv[i][j]))
+                     / (1.0 + tau * abs(dv[i+1][j] - dv[i][j]));
+        }}"
+    )
+}
+
+/// Chambolle-style TV denoising at a representative scale (512 x 512, 100
+/// iterations). An extension benchmark, not part of Table 2.
+pub fn chambolle_2d() -> Program {
+    parse(&chambolle_2d_source(512, 100)).expect("builtin benchmark parses")
+}
+
+/// DSL source of grayscale morphological erosion (a min-filter over the
+/// 4-neighborhood), exercising the `min` intrinsic.
+pub fn erosion_2d_source(n: usize, iterations: u64) -> String {
+    format!(
+        "stencil erosion_2d {{
+            grid A[{n}][{n}] : f32;
+            iterations {iterations};
+            A[i][j] = min(A[i][j], min(min(A[i-1][j], A[i+1][j]), min(A[i][j-1], A[i][j+1])));
+        }}"
+    )
+}
+
+/// Morphological erosion at a representative scale (1024 x 1024, 64
+/// iterations). An extension benchmark, not part of Table 2.
+pub fn erosion_2d() -> Program {
+    parse(&erosion_2d_source(1024, 64)).expect("builtin benchmark parses")
+}
+
+/// Extension benchmarks beyond Table 2 (intrinsic-using stencils from the
+/// paper's application references).
+pub fn extensions() -> Vec<Program> {
+    vec![chambolle_2d(), erosion_2d()]
+}
+
+/// All seven benchmarks at paper scale, in Table 2 order.
+pub fn all() -> Vec<Program> {
+    vec![jacobi_1d(), jacobi_2d(), jacobi_3d(), hotspot_2d(), hotspot_3d(), fdtd_2d(), fdtd_3d()]
+}
+
+/// Looks a benchmark up by its program name (e.g. `"jacobi_2d"`), searching
+/// the Table 2 suite and the extensions.
+pub fn by_name(name: &str) -> Option<Program> {
+    all().into_iter().chain(extensions()).find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StencilFeatures;
+    use stencilcl_grid::Growth;
+
+    #[test]
+    fn all_benchmarks_parse_and_check() {
+        let programs = all();
+        assert_eq!(programs.len(), 7);
+        for p in &programs {
+            assert!(crate::check(p).is_ok(), "{} fails check", p.name);
+        }
+    }
+
+    #[test]
+    fn table2_sizes_match_paper() {
+        let j1 = jacobi_1d();
+        assert_eq!(j1.extent().as_slice(), &[131072]);
+        assert_eq!(j1.iterations, 1024);
+        let j3 = jacobi_3d();
+        assert_eq!(j3.extent().as_slice(), &[1024, 1024, 1024]);
+        let h3 = hotspot_3d();
+        assert_eq!(h3.extent().as_slice(), &[4096, 4096, 128]);
+        assert_eq!(h3.iterations, 1000);
+        let f3 = fdtd_3d();
+        assert_eq!(f3.extent().as_slice(), &[2048, 2048, 2048]);
+        assert_eq!(f3.iterations, 500);
+    }
+
+    #[test]
+    fn jacobi_growths_are_radius_one() {
+        for p in [jacobi_1d(), jacobi_2d(), jacobi_3d()] {
+            let f = StencilFeatures::extract(&p).unwrap();
+            assert_eq!(f.growth, Growth::symmetric(p.dim(), 1), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn hotspot_has_read_only_power() {
+        let f = StencilFeatures::extract(&hotspot_2d()).unwrap();
+        assert_eq!(f.read_only_arrays, 1);
+        assert_eq!(f.updated_arrays, 1);
+        assert_eq!(f.growth, Growth::symmetric(2, 1));
+    }
+
+    #[test]
+    fn fdtd_chained_growth_is_one_per_side() {
+        let f2 = StencilFeatures::extract(&fdtd_2d()).unwrap();
+        assert_eq!(f2.growth, Growth::symmetric(2, 1));
+        assert_eq!(f2.updated_arrays, 3);
+        let f3 = StencilFeatures::extract(&fdtd_3d()).unwrap();
+        assert_eq!(f3.growth, Growth::symmetric(3, 1));
+        assert_eq!(f3.updated_arrays, 2);
+    }
+
+    #[test]
+    fn by_name_finds_benchmarks() {
+        assert!(by_name("hotspot_3d").is_some());
+        assert!(by_name("chambolle_2d").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn chambolle_uses_abs_and_division() {
+        let f = StencilFeatures::extract(&chambolle_2d()).unwrap();
+        assert_eq!(f.statements.len(), 3);
+        assert_eq!(f.ops.special, 2, "two abs calls");
+        assert_eq!(f.ops.div, 2);
+        assert_eq!(f.read_only_arrays, 1);
+        // Chained growth: dv reads lo sides, px/py read dv at hi sides.
+        assert_eq!(f.growth, Growth::symmetric(2, 1));
+    }
+
+    #[test]
+    fn erosion_is_a_pure_min_stencil() {
+        let f = StencilFeatures::extract(&erosion_2d()).unwrap();
+        assert_eq!(f.ops.minmax, 4);
+        assert_eq!(f.ops.add + f.ops.sub + f.ops.mul + f.ops.div, 0);
+        assert_eq!(f.growth, Growth::symmetric(2, 1));
+    }
+
+    #[test]
+    fn shrunk_variants_still_check() {
+        use stencilcl_grid::Extent;
+        let p = jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(8);
+        assert!(crate::check(&p).is_ok());
+        assert_eq!(p.extent().as_slice(), &[32, 32]);
+        assert_eq!(p.iterations, 8);
+    }
+}

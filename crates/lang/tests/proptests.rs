@@ -1,0 +1,123 @@
+//! Property-based tests for the DSL front end and interpreter.
+
+use proptest::prelude::*;
+use stencilcl_grid::{Extent, Point, Rect};
+use stencilcl_lang::{parse, tokenize, GridState, Interpreter, StencilFeatures};
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(src in "[ -~\n]{0,160}") {
+        let _ = tokenize(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9\\[\\]{}()+\\-*/;:=. \n]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn random_symmetric_stencils_parse_and_extract(
+        radius in 1i64..3,
+        weight in 0.01f64..0.49,
+        n in 8usize..24,
+        iters in 1u64..6,
+    ) {
+        let src = format!(
+            "stencil s {{ grid A[{n}] : f32; iterations {iters};
+             A[i] = {c} * A[i] + {w} * (A[i-{radius}] + A[i+{radius}]); }}",
+            c = 1.0 - 2.0 * weight,
+            w = weight,
+        );
+        let p = parse(&src).unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        prop_assert_eq!(f.growth.lo(0), radius as u64);
+        prop_assert_eq!(f.growth.hi(0), radius as u64);
+        prop_assert_eq!(f.iterations, iters);
+    }
+
+    #[test]
+    fn averaging_stencils_respect_maximum_principle(
+        n in 8usize..20,
+        iters in 1u64..8,
+        seed in 0u64..1_000,
+    ) {
+        // A convex-combination stencil can never exceed the initial range.
+        let src = format!(
+            "stencil avg {{ grid A[{n}] : f32; iterations {iters};
+             A[i] = 0.5 * A[i] + 0.25 * (A[i-1] + A[i+1]); }}"
+        );
+        let p = parse(&src).unwrap();
+        let interp = Interpreter::new(&p);
+        let mut s = GridState::new(&p, |_, pt| {
+            let x = (pt.coord(0) as u64).wrapping_mul(seed.wrapping_add(17)) % 1000;
+            x as f64 / 1000.0
+        });
+        let before = s.clone();
+        interp.run(&mut s, iters).unwrap();
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for (_, &v) in before.grid("A").unwrap().iter() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        for (_, &v) in s.grid("A").unwrap().iter() {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "value {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn stepping_twice_equals_running_two_iterations(
+        n in 8usize..16,
+        seed in 0i64..100,
+    ) {
+        let src = format!(
+            "stencil j {{ grid A[{n}][{n}] : f32; iterations 2;
+             A[i][j] = 0.2 * (A[i][j] + A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }}"
+        );
+        let p = parse(&src).unwrap();
+        let interp = Interpreter::new(&p);
+        let init = |_: &str, pt: &Point| ((pt.coord(0) * 7 + pt.coord(1) * 3 + seed) % 11) as f64;
+        let mut a = GridState::new(&p, init);
+        interp.run(&mut a, 2).unwrap();
+        let mut b = GridState::new(&p, init);
+        let full = Rect::from_extent(&Extent::new2(n, n));
+        interp.step(&mut b, &full).unwrap();
+        interp.step(&mut b, &full).unwrap();
+        prop_assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn boundary_ring_is_never_touched(
+        n in 6usize..16,
+        iters in 1u64..5,
+        seed in 0i64..50,
+    ) {
+        let src = format!(
+            "stencil j {{ grid A[{n}] : f32; iterations {iters};
+             A[i] = A[i-1] + A[i+1]; }}"
+        );
+        let p = parse(&src).unwrap();
+        let interp = Interpreter::new(&p);
+        let init = |_: &str, pt: &Point| (pt.coord(0) + seed) as f64;
+        let mut s = GridState::new(&p, init);
+        interp.run(&mut s, iters).unwrap();
+        let a = s.grid("A").unwrap();
+        prop_assert_eq!(*a.get(&Point::new1(0)).unwrap(), seed as f64);
+        prop_assert_eq!(
+            *a.get(&Point::new1(n as i64 - 1)).unwrap(),
+            (n as i64 - 1 + seed) as f64
+        );
+    }
+
+    #[test]
+    fn features_are_deterministic(
+        n in 8usize..32,
+        iters in 1u64..100,
+    ) {
+        let p = stencilcl_lang::programs::jacobi_2d()
+            .with_extent(Extent::new2(n, n))
+            .with_iterations(iters);
+        let f1 = StencilFeatures::extract(&p).unwrap();
+        let f2 = StencilFeatures::extract(&p).unwrap();
+        prop_assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Computation latency — Eqs. 7–9.
+
+use crate::share::overlap_lambda;
+use crate::ModelInputs;
+
+/// Eq. 8 — cycles the slowest kernel needs for the computation of fused
+/// iteration `i` (1-based):
+/// `L_iter_i = C_element · ∏ (w_d f_d^max + Δw_d (h − i))`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `i` is outside `1..=h`.
+pub fn iter_latency(m: &ModelInputs, i: u64) -> f64 {
+    m.cycles_per_element * m.cone_volume(i)
+}
+
+/// Eq. 7 — total computation latency of the slowest kernel over a region
+/// pass, including the non-hidden fraction of pipe traffic:
+/// `L_comp = Σ_i (1 + λ_i) · L_iter_i`.
+///
+/// For the baseline design there is no pipe traffic and every `λ_i` is zero.
+pub fn compute_latency(m: &ModelInputs) -> f64 {
+    (1..=m.fused)
+        .map(|i| {
+            let l_iter = iter_latency(m, i);
+            (1.0 + overlap_lambda(m, i)) * l_iter
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic;
+    use stencilcl_grid::DesignKind;
+
+    #[test]
+    fn iter_latency_shrinks_toward_tile() {
+        let m = synthetic(DesignKind::Baseline, 4);
+        // i=1: (32+2*3)^2 * 0.25, i=4: 32^2 * 0.25.
+        assert_eq!(iter_latency(&m, 1), 38.0 * 38.0 * 0.25);
+        assert_eq!(iter_latency(&m, 4), 1024.0 * 0.25);
+        assert!(iter_latency(&m, 1) > iter_latency(&m, 2));
+    }
+
+    #[test]
+    fn baseline_compute_is_plain_sum() {
+        let m = synthetic(DesignKind::Baseline, 3);
+        let by_hand: f64 = (1..=3).map(|i| iter_latency(&m, i)).sum();
+        assert_eq!(compute_latency(&m), by_hand);
+    }
+
+    #[test]
+    fn pipe_design_computes_fewer_cycles_per_pass() {
+        let base = synthetic(DesignKind::Baseline, 4);
+        let pipe = synthetic(DesignKind::PipeShared, 4);
+        assert!(compute_latency(&pipe) < compute_latency(&base));
+    }
+
+    #[test]
+    fn compute_scales_with_cycles_per_element() {
+        let mut m = synthetic(DesignKind::Baseline, 4);
+        let c1 = compute_latency(&m);
+        m.cycles_per_element = 0.5;
+        assert!((compute_latency(&m) - 2.0 * c1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Global-memory transfer latency — Eqs. 4–6.
+//!
+//! Burst reads and writes are coalesced; when the `K` kernels transfer
+//! simultaneously the peak bandwidth `BW` is shared evenly, so each kernel
+//! sees `BW / K` bytes per cycle.
+
+use crate::ModelInputs;
+
+/// Eq. 5 — cycles the slowest kernel spends reading its cone's input
+/// footprint from global memory:
+/// `L_read = Δs · n_read · ∏ (w_d f_d^max + Δw_d h) / (BW / K)`.
+pub fn read_latency(m: &ModelInputs) -> f64 {
+    let bytes = m.elem_bytes as f64 * m.read_arrays as f64 * m.input_volume();
+    bytes / (m.bandwidth / m.kernels as f64)
+}
+
+/// Eq. 6 — cycles the slowest kernel spends writing its tile back:
+/// `L_write = Δs · n_write · ∏ (w_d f_d^max) / (BW / K)`.
+pub fn write_latency(m: &ModelInputs) -> f64 {
+    let bytes = m.elem_bytes as f64 * m.write_arrays as f64 * m.tile_volume();
+    bytes / (m.bandwidth / m.kernels as f64)
+}
+
+/// Eq. 4 — total global-memory latency per region pass:
+/// `L_mem = L_read + L_write`.
+pub fn memory_latency(m: &ModelInputs) -> f64 {
+    read_latency(m) + write_latency(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic;
+    use stencilcl_grid::DesignKind;
+
+    #[test]
+    fn read_includes_halo_write_does_not() {
+        let m = synthetic(DesignKind::Baseline, 4);
+        // Input footprint (32 + 2*4)^2 = 1600, tile 1024.
+        let per_kernel_bw = 64.0 / 4.0;
+        assert_eq!(read_latency(&m), 4.0 * 1600.0 / per_kernel_bw);
+        assert_eq!(write_latency(&m), 4.0 * 1024.0 / per_kernel_bw);
+        assert_eq!(memory_latency(&m), read_latency(&m) + write_latency(&m));
+    }
+
+    #[test]
+    fn pipe_design_reads_less() {
+        let base = synthetic(DesignKind::Baseline, 4);
+        let pipe = synthetic(DesignKind::PipeShared, 4);
+        assert!(read_latency(&pipe) < read_latency(&base));
+        assert_eq!(write_latency(&pipe), write_latency(&base));
+    }
+
+    #[test]
+    fn deeper_fusion_grows_read_only_via_halo() {
+        let shallow = synthetic(DesignKind::Baseline, 2);
+        let deep = synthetic(DesignKind::Baseline, 8);
+        assert!(read_latency(&deep) > read_latency(&shallow));
+        assert_eq!(write_latency(&deep), write_latency(&shallow));
+    }
+
+    #[test]
+    fn bandwidth_shared_across_kernels() {
+        let mut m = synthetic(DesignKind::Baseline, 4);
+        let solo = {
+            m.kernels = 1;
+            read_latency(&m)
+        };
+        m.kernels = 4;
+        assert_eq!(read_latency(&m), 4.0 * solo);
+    }
+}

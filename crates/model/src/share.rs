@@ -1,0 +1,106 @@
+//! Inter-tile data sharing through pipes — Eqs. 10–11.
+
+use crate::compute::iter_latency;
+use crate::ModelInputs;
+
+/// Eq. 10 — cycles the slowest kernel needs to push all boundary data
+/// through its pipes at fused iteration `i`:
+/// `L_share_i = C_pipe · Σ_j ∏_{d≠j} (w_d f_d^max − Δw_d (h − i))`,
+/// scaled by the number of pipe-connected faces (zero for the baseline,
+/// which shares nothing).
+///
+/// The product term is the area of one shared face at iteration `i`; as the
+/// printed equation does, shrinking below zero is clamped.
+pub fn share_latency(m: &ModelInputs, i: u64) -> f64 {
+    if m.shared_faces == 0 {
+        return 0.0;
+    }
+    let mut face_area_sum = 0.0;
+    for j in 0..m.dim {
+        let mut area = 1.0;
+        for d in 0..m.dim {
+            if d == j {
+                continue;
+            }
+            let len =
+                m.tile_lens[d] as f64 - (m.delta_w[d] * (m.fused - i)) as f64;
+            area *= len.max(0.0);
+        }
+        face_area_sum += area;
+    }
+    // Distribute the slowest kernel's shared faces over the dimensions the
+    // sum already enumerates (one face per dimension): scale by the average
+    // shared faces per dimension.
+    let faces_per_dim = m.shared_faces as f64 / m.dim as f64;
+    m.pipe_cycles * face_area_sum * faces_per_dim
+}
+
+/// Eq. 11 — the fraction of pipe traffic **not** hidden behind computation
+/// at fused iteration `i`:
+///
+/// ```text
+/// λ_i = 0                                   if L_share_i ≤ L_iter_i
+/// λ_i = (L_share_i − L_iter_i) / L_iter_i   otherwise
+/// ```
+///
+/// The scheduler of Section 3.1 processes pipe-independent elements first,
+/// so transfers overlap with computation and only the excess is exposed.
+pub fn overlap_lambda(m: &ModelInputs, i: u64) -> f64 {
+    let share = share_latency(m, i);
+    let iter = iter_latency(m, i);
+    if share <= iter || iter == 0.0 {
+        0.0
+    } else {
+        (share - iter) / iter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic;
+    use stencilcl_grid::DesignKind;
+
+    #[test]
+    fn baseline_never_shares() {
+        let m = synthetic(DesignKind::Baseline, 4);
+        for i in 1..=4 {
+            assert_eq!(share_latency(&m, i), 0.0);
+            assert_eq!(overlap_lambda(&m, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn share_volume_positive_for_pipe_design() {
+        let m = synthetic(DesignKind::PipeShared, 4);
+        assert!(share_latency(&m, 4) > 0.0);
+    }
+
+    #[test]
+    fn lambda_zero_when_computation_dominates() {
+        // 32x32 tile: L_iter ~ 256 cycles, share ~ 32 elements.
+        let m = synthetic(DesignKind::PipeShared, 4);
+        for i in 1..=4 {
+            assert_eq!(overlap_lambda(&m, i), 0.0, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn lambda_positive_when_pipes_dominate() {
+        let mut m = synthetic(DesignKind::PipeShared, 2);
+        m.pipe_cycles = 1_000.0; // absurdly slow pipes
+        assert!(overlap_lambda(&m, 2) > 0.0);
+        // Continuity: exactly at the crossover λ is 0.
+        let iter = iter_latency(&m, 2);
+        let share = share_latency(&m, 2);
+        let lambda = overlap_lambda(&m, 2);
+        assert!((lambda - (share - iter) / iter).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_clamps_negative_face_lengths() {
+        let mut m = synthetic(DesignKind::PipeShared, 64);
+        m.tile_lens = vec![4, 4]; // Δw (h−1) far exceeds the tile
+        assert_eq!(share_latency(&m, 1), 0.0);
+    }
+}

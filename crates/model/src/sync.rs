@@ -1,0 +1,125 @@
+//! Inter-kernel synchronization and the top-level latency — Eqs. 1–3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{compute_latency, read_latency, write_latency, ModelInputs};
+
+/// The model's output: total predicted latency and its per-region breakdown,
+/// all in kernel-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Number of region passes `N_region` (Eq. 2, with the `h` correction).
+    pub regions: f64,
+    /// Slowest kernel's read latency per region (Eq. 5).
+    pub read: f64,
+    /// Slowest kernel's write latency per region (Eq. 6).
+    pub write: f64,
+    /// Slowest kernel's compute latency per region, including exposed pipe
+    /// traffic (Eq. 7).
+    pub compute: f64,
+    /// Launch overhead per region (single charge — the model's documented
+    /// underestimate versus the sequential launches of the real runtime).
+    pub launch: f64,
+    /// Slowest kernel's total latency per region (Eq. 3).
+    pub per_region: f64,
+    /// Total predicted latency `L` (Eq. 1).
+    pub total: f64,
+}
+
+/// Eq. 2 (corrected) — number of region passes:
+/// `N_region = ⌈H / h⌉ · ∏ W_d / region_volume`.
+pub fn region_count(m: &ModelInputs) -> f64 {
+    let passes = m.iterations.div_ceil(m.fused) as f64;
+    let grid: f64 = m.input_lens.iter().map(|&w| w as f64).product();
+    let region: f64 = m.region_lens.iter().map(|&w| w as f64).product();
+    passes * grid / region
+}
+
+/// Eqs. 1 and 3 — evaluates the full model.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_grid::DesignKind;
+/// use stencilcl_model::{predict, ModelInputs};
+///
+/// let m = ModelInputs {
+///     dim: 1,
+///     input_lens: vec![1024],
+///     iterations: 16,
+///     elem_bytes: 4,
+///     delta_w: vec![2],
+///     read_arrays: 1,
+///     write_arrays: 1,
+///     fused: 4,
+///     kernels: 4,
+///     tile_lens: vec![64],
+///     region_lens: vec![256],
+///     kind: DesignKind::Baseline,
+///     shared_faces: 0,
+///     cycles_per_element: 0.5,
+///     bandwidth: 64.0,
+///     pipe_cycles: 1.0,
+///     launch_overhead: 100.0,
+/// };
+/// let p = predict(&m);
+/// assert_eq!(p.regions, 16.0); // 4 passes x 4 regions
+/// assert!(p.total > 0.0);
+/// ```
+pub fn predict(m: &ModelInputs) -> Prediction {
+    let regions = region_count(m);
+    let read = read_latency(m);
+    let write = write_latency(m);
+    let compute = compute_latency(m);
+    let launch = m.launch_overhead;
+    let per_region = read + write + compute + launch;
+    Prediction { regions, read, write, compute, launch, per_region, total: regions * per_region }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic;
+    use stencilcl_grid::DesignKind;
+
+    #[test]
+    fn region_count_divides_grid_and_iterations() {
+        let m = synthetic(DesignKind::Baseline, 4);
+        // 64 iterations / 4 fused = 16 passes; 256^2 grid / 64^2 region = 16.
+        assert_eq!(region_count(&m), 16.0 * 16.0);
+    }
+
+    #[test]
+    fn region_count_rounds_partial_pass_up() {
+        let mut m = synthetic(DesignKind::Baseline, 5);
+        m.iterations = 64; // 64/5 -> 13 passes
+        assert_eq!(region_count(&m), 13.0 * 16.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_per_region() {
+        let m = synthetic(DesignKind::PipeShared, 4);
+        let p = predict(&m);
+        let sum = p.read + p.write + p.compute + p.launch;
+        assert!((p.per_region - sum).abs() < 1e-9);
+        assert!((p.total - p.regions * p.per_region).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipe_design_beats_baseline_at_same_depth() {
+        let base = predict(&synthetic(DesignKind::Baseline, 4));
+        let pipe = predict(&synthetic(DesignKind::PipeShared, 4));
+        assert!(pipe.total < base.total);
+    }
+
+    #[test]
+    fn deeper_fusion_reduces_memory_share() {
+        // With fixed tiles, more fused iterations -> fewer passes; the
+        // memory time per useful iteration must fall.
+        let shallow = predict(&synthetic(DesignKind::PipeShared, 2));
+        let deep = predict(&synthetic(DesignKind::PipeShared, 8));
+        let mem_per_iter_shallow = shallow.regions * (shallow.read + shallow.write) / 64.0;
+        let mem_per_iter_deep = deep.regions * (deep.read + deep.write) / 64.0;
+        assert!(mem_per_iter_deep < mem_per_iter_shallow);
+    }
+}

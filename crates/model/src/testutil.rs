@@ -1,0 +1,29 @@
+//! Shared synthetic model inputs for unit tests.
+
+use stencilcl_grid::DesignKind;
+
+use crate::ModelInputs;
+
+/// A hand-sized 2-D design point: 256x256 grid, 64 iterations, 2x2 kernels
+/// of 32x32 tiles, radius-1 stencil.
+pub(crate) fn synthetic(kind: DesignKind, fused: u64) -> ModelInputs {
+    ModelInputs {
+        dim: 2,
+        input_lens: vec![256, 256],
+        iterations: 64,
+        elem_bytes: 4,
+        delta_w: if kind == DesignKind::Baseline { vec![2, 2] } else { vec![1, 1] },
+        read_arrays: 1,
+        write_arrays: 1,
+        fused,
+        kernels: 4,
+        tile_lens: vec![32, 32],
+        region_lens: vec![64, 64],
+        kind,
+        shared_faces: if kind == DesignKind::Baseline { 0 } else { 2 },
+        cycles_per_element: 0.25,
+        bandwidth: 64.0,
+        pipe_cycles: 1.0,
+        launch_overhead: 100.0,
+    }
+}

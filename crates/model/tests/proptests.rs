@@ -1,0 +1,121 @@
+//! Property-based tests for the analytical model's structural identities.
+
+use proptest::prelude::*;
+use stencilcl_grid::DesignKind;
+use stencilcl_model::{
+    compute_latency, iter_latency, overlap_lambda, predict, read_latency, region_count,
+    share_latency, write_latency, ModelInputs,
+};
+
+fn inputs(
+    kind: DesignKind,
+    fused: u64,
+    tile: u64,
+    kernels: u64,
+    cpe: f64,
+    bw: f64,
+    pipe: f64,
+) -> ModelInputs {
+    ModelInputs {
+        dim: 2,
+        input_lens: vec![tile * kernels * 4, tile * kernels * 4],
+        iterations: 64,
+        elem_bytes: 4,
+        delta_w: if kind == DesignKind::Baseline { vec![2, 2] } else { vec![1, 1] },
+        read_arrays: 1,
+        write_arrays: 1,
+        fused,
+        kernels: kernels * kernels,
+        tile_lens: vec![tile, tile],
+        region_lens: vec![tile * kernels, tile * kernels],
+        kind,
+        shared_faces: if kind == DesignKind::Baseline { 0 } else { 2 },
+        cycles_per_element: cpe,
+        bandwidth: bw,
+        pipe_cycles: pipe,
+        launch_overhead: 1000.0,
+    }
+}
+
+proptest! {
+    #[test]
+    fn breakdown_always_sums(
+        fused in 1u64..32, tile in 4u64..64, kernels in 1u64..4,
+        cpe in 0.05f64..2.0, bw in 4.0f64..128.0,
+    ) {
+        let m = inputs(DesignKind::PipeShared, fused, tile, kernels, cpe, bw, 1.0);
+        let p = predict(&m);
+        let sum = p.read + p.write + p.compute + p.launch;
+        prop_assert!((p.per_region - sum).abs() < 1e-9);
+        prop_assert!((p.total - p.regions * p.per_region).abs() < p.total * 1e-12 + 1e-9);
+        prop_assert!(p.total.is_finite() && p.total > 0.0);
+    }
+
+    #[test]
+    fn iter_latency_is_monotone_in_level(
+        fused in 2u64..32, tile in 4u64..64,
+    ) {
+        let m = inputs(DesignKind::Baseline, fused, tile, 2, 0.5, 32.0, 1.0);
+        for i in 1..fused {
+            prop_assert!(iter_latency(&m, i) >= iter_latency(&m, i + 1));
+        }
+    }
+
+    #[test]
+    fn lambda_is_continuous_at_the_crossover(
+        fused in 1u64..16, tile in 4u64..64, pipe in 0.01f64..100.0,
+    ) {
+        let m = inputs(DesignKind::PipeShared, fused, tile, 2, 0.25, 32.0, pipe);
+        for i in 1..=fused {
+            let lambda = overlap_lambda(&m, i);
+            prop_assert!(lambda >= 0.0);
+            let share = share_latency(&m, i);
+            let iter = iter_latency(&m, i);
+            if share <= iter {
+                prop_assert_eq!(lambda, 0.0);
+            } else {
+                prop_assert!((lambda - (share - iter) / iter).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pipe_design_never_predicted_slower_at_same_point(
+        fused in 1u64..24, tile in 8u64..64, cpe in 0.1f64..1.0,
+    ) {
+        let base = inputs(DesignKind::Baseline, fused, tile, 2, cpe, 32.0, 1.0);
+        let pipe = inputs(DesignKind::PipeShared, fused, tile, 2, cpe, 32.0, 1.0);
+        prop_assert!(predict(&pipe).total <= predict(&base).total + 1e-9);
+    }
+
+    #[test]
+    fn memory_terms_scale_with_bandwidth(
+        fused in 1u64..16, tile in 8u64..64, bw in 2.0f64..64.0,
+    ) {
+        let slow = inputs(DesignKind::Baseline, fused, tile, 2, 0.5, bw, 1.0);
+        let fast = inputs(DesignKind::Baseline, fused, tile, 2, 0.5, bw * 2.0, 1.0);
+        prop_assert!((read_latency(&slow) / read_latency(&fast) - 2.0).abs() < 1e-9);
+        prop_assert!((write_latency(&slow) / write_latency(&fast) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_count_times_region_work_covers_grid(
+        fused in 1u64..16, tile in 4u64..32, kernels in 1u64..4,
+    ) {
+        let m = inputs(DesignKind::Baseline, fused, tile, kernels, 0.5, 32.0, 1.0);
+        // Whole-grid sweeps x passes = N_region x region volume.
+        let grid: f64 = m.input_lens.iter().map(|&w| w as f64).product();
+        let region: f64 = m.region_lens.iter().map(|&w| w as f64).product();
+        let passes = m.iterations.div_ceil(m.fused) as f64;
+        prop_assert!((region_count(&m) - passes * grid / region).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_latency_bounded_below_by_useful_work(
+        fused in 1u64..16, tile in 4u64..32,
+    ) {
+        let m = inputs(DesignKind::PipeShared, fused, tile, 2, 0.5, 32.0, 1.0);
+        let useful = m.fused as f64 * (tile * tile) as f64 * m.cycles_per_element;
+        prop_assert!(compute_latency(&m) >= useful - 1e-9);
+    }
+}

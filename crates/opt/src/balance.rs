@@ -1,0 +1,168 @@
+use stencilcl_grid::Growth;
+
+/// Computes workload-balanced tile lengths along one dimension —
+/// Section 3.2's heterogeneous tiling.
+///
+/// After pipe sharing removes the overlap between *adjacent* tiles, the
+/// first and last tile slots of a dimension still compute an expanding halo
+/// toward the neighboring regions (when the input spans more than one region
+/// along that dimension), so with equal tiles they gate the iteration
+/// barrier. Over a fused pass of depth `h`, slot `j`'s work along this
+/// dimension is proportional to
+///
+/// ```text
+/// Σ_{i=1..h} (w_j + e_j · (h − i))  =  h · w_j + e_j · h(h−1)/2
+/// ```
+///
+/// where `e_j` is the slot's outward per-iteration expansion. Balancing
+/// therefore assigns `w_j = mean + (ē − e_j) · (h−1)/2`, rounded to integers
+/// that sum to `region_len` with every slot at least `min_tile` wide.
+///
+/// Returns `None` when `kernels` is zero, the region is too small to give
+/// every slot `min_tile` cells, or no rebalancing is possible (e.g. a single
+/// slot).
+pub fn balance_tiles(
+    region_len: usize,
+    kernels: usize,
+    growth: &Growth,
+    dim: usize,
+    h: u64,
+    boundary_expands: bool,
+    min_tile: usize,
+) -> Option<Vec<usize>> {
+    if kernels == 0 || region_len < kernels * min_tile {
+        return None;
+    }
+    let mean = region_len as f64 / kernels as f64;
+    // Outward expansion per slot: only the first and last slots touch the
+    // region boundary along this dimension.
+    let expansion: Vec<f64> = (0..kernels)
+        .map(|j| {
+            if !boundary_expands {
+                0.0
+            } else {
+                let mut e = 0.0;
+                if j == 0 {
+                    e += growth.lo(dim) as f64;
+                }
+                if j == kernels - 1 {
+                    e += growth.hi(dim) as f64;
+                }
+                e
+            }
+        })
+        .collect();
+    let mean_e = expansion.iter().sum::<f64>() / kernels as f64;
+    let half_span = (h.saturating_sub(1)) as f64 / 2.0;
+    let ideal: Vec<f64> =
+        expansion.iter().map(|e| mean + (mean_e - e) * half_span).collect();
+
+    // Round while preserving the exact sum: floor everything, then hand the
+    // leftover cells to the slots with the largest fractional parts.
+    let mut lens: Vec<usize> =
+        ideal.iter().map(|&v| (v.floor().max(min_tile as f64)) as usize).collect();
+    let mut assigned: usize = lens.iter().sum();
+    if assigned > region_len {
+        // Shrink the largest slots back toward min_tile.
+        while assigned > region_len {
+            let j = (0..kernels).max_by_key(|&j| lens[j])?;
+            if lens[j] <= min_tile {
+                return None;
+            }
+            lens[j] -= 1;
+            assigned -= 1;
+        }
+    } else {
+        let mut order: Vec<usize> = (0..kernels).collect();
+        order.sort_by(|&a, &b| {
+            (ideal[b] - ideal[b].floor()).total_cmp(&(ideal[a] - ideal[a].floor()))
+        });
+        let mut cursor = 0;
+        while assigned < region_len {
+            lens[order[cursor % kernels]] += 1;
+            cursor += 1;
+            assigned += 1;
+        }
+    }
+    debug_assert_eq!(lens.iter().sum::<usize>(), region_len);
+    Some(lens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(lens: &[usize], growth: u64, h: u64) -> Vec<f64> {
+        let half = (h - 1) as f64 / 2.0;
+        lens.iter()
+            .enumerate()
+            .map(|(j, &w)| {
+                let mut e = 0.0;
+                if j == 0 {
+                    e += growth as f64;
+                }
+                if j == lens.len() - 1 {
+                    e += growth as f64;
+                }
+                w as f64 + e * half
+            })
+            .collect()
+    }
+
+    #[test]
+    fn boundary_slots_shrink() {
+        let lens = balance_tiles(128, 4, &Growth::symmetric(1, 1), 0, 16, true, 4).unwrap();
+        assert_eq!(lens.iter().sum::<usize>(), 128);
+        assert!(lens[0] < lens[1], "{lens:?}");
+        assert!(lens[3] < lens[2], "{lens:?}");
+        // Balanced work: spread under 2 cells of slack.
+        let w = work(&lens, 1, 16);
+        let (min, max) = (w.iter().fold(f64::MAX, |a, &b| a.min(b)), w.iter().fold(0.0f64, |a, &b| a.max(b)));
+        assert!(max - min <= 2.0, "{w:?}");
+    }
+
+    #[test]
+    fn no_expansion_keeps_tiles_equal() {
+        let lens = balance_tiles(64, 4, &Growth::symmetric(1, 1), 0, 8, false, 4).unwrap();
+        assert_eq!(lens, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn h_of_one_needs_no_balancing() {
+        let lens = balance_tiles(64, 4, &Growth::symmetric(1, 1), 0, 1, true, 4).unwrap();
+        assert_eq!(lens, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn respects_min_tile() {
+        // Deep fusion would push boundary slots below min width.
+        let lens = balance_tiles(32, 4, &Growth::symmetric(1, 1), 0, 32, true, 4).unwrap();
+        assert!(lens.iter().all(|&w| w >= 4), "{lens:?}");
+        assert_eq!(lens.iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    fn infeasible_regions_rejected() {
+        assert!(balance_tiles(8, 4, &Growth::symmetric(1, 1), 0, 4, true, 4).is_none());
+        assert!(balance_tiles(8, 0, &Growth::symmetric(1, 1), 0, 4, true, 4).is_none());
+    }
+
+    #[test]
+    fn sum_always_preserved() {
+        for h in [2, 5, 9, 33] {
+            for k in [2, 3, 5] {
+                if let Some(lens) =
+                    balance_tiles(97, k, &Growth::symmetric(1, 2), 0, h, true, 3)
+                {
+                    assert_eq!(lens.iter().sum::<usize>(), 97, "h={h} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_slot_gets_whole_region() {
+        let lens = balance_tiles(32, 1, &Growth::symmetric(1, 1), 0, 8, true, 4).unwrap();
+        assert_eq!(lens, vec![32]);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by the design-space explorer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// No design in the search space satisfied the constraints.
+    NoFeasibleDesign {
+        /// What was being searched (for diagnostics).
+        detail: String,
+    },
+    /// An underlying geometry error.
+    Grid(stencilcl_grid::GridError),
+    /// An underlying language error.
+    Lang(stencilcl_lang::LangError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::NoFeasibleDesign { detail } => {
+                write!(f, "no feasible design: {detail}")
+            }
+            OptError::Grid(e) => write!(f, "geometry error: {e}"),
+            OptError::Lang(e) => write!(f, "language error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Grid(e) => Some(e),
+            OptError::Lang(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stencilcl_grid::GridError> for OptError {
+    fn from(e: stencilcl_grid::GridError) -> Self {
+        OptError::Grid(e)
+    }
+}
+
+impl From<stencilcl_lang::LangError> for OptError {
+    fn from(e: stencilcl_lang::LangError) -> Self {
+        OptError::Lang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = OptError::NoFeasibleDesign { detail: "empty space".into() };
+        assert!(e.to_string().contains("empty space"));
+        assert!(e.source().is_none());
+        let g = OptError::from(stencilcl_grid::GridError::EmptyExtent);
+        assert!(g.source().is_some());
+    }
+}

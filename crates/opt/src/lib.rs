@@ -1,0 +1,51 @@
+//! Design-space exploration and workload balancing — the paper's
+//! *performance optimizer* (Section 5.1).
+//!
+//! The optimizer wires the other crates together: for every candidate design
+//! point it asks `stencilcl-hls` for the pipeline and resource estimate,
+//! feeds the analytical model of `stencilcl-model`, and keeps the design
+//! with the lowest predicted latency. Two searches reproduce the paper's
+//! methodology (Section 5.4):
+//!
+//! * [`optimize_baseline`] explores the overlapped-tiling design space of
+//!   Nacci et al. — iteration-fusion depth and tile size at a fixed kernel
+//!   parallelism — constrained only by the device's capacity;
+//! * [`optimize_heterogeneous`] explores the paper's design — fusion depth
+//!   plus per-kernel workload-balancing factors — **constrained by the
+//!   baseline's resource consumption** and at the same parallelism, so any
+//!   speedup comes from the architecture, not extra silicon.
+//!
+//! [`optimize_pair`] runs both and is what the Table 3 harness calls;
+//! [`balance_tiles`] implements Section 3.2's balancing rule (shrink the
+//! boundary tiles that still compute outward halos, grow the interior ones,
+//! equalizing per-kernel work over the fused pass).
+//!
+//! # Example
+//!
+//! ```
+//! use stencilcl_hls::{CostModel, Device};
+//! use stencilcl_lang::programs;
+//! use stencilcl_opt::{optimize_pair, SearchConfig};
+//!
+//! let program = programs::jacobi_2d();
+//! let cfg = SearchConfig { parallelism: vec![4, 4], ..SearchConfig::default() };
+//! let pair = optimize_pair(&program, &Device::default(), &CostModel::default(), &cfg)?;
+//! assert!(pair.heterogeneous.prediction.total <= pair.baseline.prediction.total);
+//! assert!(pair.heterogeneous.hls.resources.within(&pair.baseline.hls.resources));
+//! # Ok::<(), stencilcl_opt::OptError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod balance;
+mod error;
+mod result;
+mod search;
+mod space;
+
+pub use balance::balance_tiles;
+pub use error::OptError;
+pub use result::{DesignPoint, OptimizedPair};
+pub use search::{evaluate, optimize_baseline, optimize_heterogeneous, optimize_pair};
+pub use space::{fused_candidates, tile_candidates, SearchConfig};

@@ -1,0 +1,76 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_grid::Design;
+use stencilcl_hls::HlsReport;
+use stencilcl_model::Prediction;
+
+/// One evaluated point of the design space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The design (kind, fused depth, parallelism, tile lengths).
+    pub design: Design,
+    /// Its HLS report (pipeline + resources).
+    pub hls: HlsReport,
+    /// Its predicted latency breakdown.
+    pub prediction: Prediction,
+}
+
+impl DesignPoint {
+    /// Predicted latency in cycles (the search objective).
+    pub fn predicted_cycles(&self) -> f64 {
+        self.prediction.total
+    }
+}
+
+/// The Table 3 comparison pair: the best baseline design and the best
+/// heterogeneous design under the baseline's resource budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizedPair {
+    /// Best overlapped-tiling design (the state of the art being compared
+    /// against).
+    pub baseline: DesignPoint,
+    /// Best pipe-shared heterogeneous design within the baseline's budget.
+    pub heterogeneous: DesignPoint,
+}
+
+impl OptimizedPair {
+    /// Predicted speedup of the heterogeneous design over the baseline.
+    pub fn predicted_speedup(&self) -> f64 {
+        self.baseline.prediction.total / self.heterogeneous.prediction.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::DesignKind;
+    use stencilcl_hls::ResourceUsage;
+
+    fn point(total: f64) -> DesignPoint {
+        DesignPoint {
+            design: Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap(),
+            hls: HlsReport {
+                ii: 1,
+                depth: 10,
+                unroll: 4,
+                cycles_per_element: 0.25,
+                resources: ResourceUsage::zero(),
+            },
+            prediction: Prediction {
+                regions: 1.0,
+                read: 0.0,
+                write: 0.0,
+                compute: total,
+                launch: 0.0,
+                per_region: total,
+                total,
+            },
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_heterogeneous() {
+        let pair = OptimizedPair { baseline: point(200.0), heterogeneous: point(100.0) };
+        assert_eq!(pair.predicted_speedup(), 2.0);
+        assert_eq!(pair.baseline.predicted_cycles(), 200.0);
+    }
+}

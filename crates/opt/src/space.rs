@@ -1,0 +1,133 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_lang::StencilFeatures;
+
+/// Knobs of the design-space search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Kernel-grid parallelism per dimension (the paper treats `K` as a
+    /// user-defined input to the optimizer, Section 5.1).
+    pub parallelism: Vec<usize>,
+    /// Datapath lanes per kernel (`N_PE`) used when a caller fixes the
+    /// unroll (e.g. [`evaluate`](crate::evaluate) helpers and code
+    /// generation defaults).
+    pub unroll: u64,
+    /// Candidate lane counts the baseline search may choose from — the
+    /// designer's unroll pragma is part of the design space, and wide
+    /// datapaths do not fit 16 kernels for every benchmark.
+    pub unroll_candidates: Vec<u64>,
+    /// Largest iteration-fusion depth to consider.
+    pub max_fused: u64,
+    /// Smallest tile length worth considering per dimension.
+    pub min_tile: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            parallelism: vec![4, 4],
+            unroll: 8,
+            unroll_candidates: vec![2, 4, 8, 16],
+            max_fused: 512,
+            min_tile: 4,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A configuration matching the paper's per-benchmark parallelism
+    /// (Table 3): 16 kernels arranged by dimensionality.
+    pub fn for_dim(dim: usize) -> SearchConfig {
+        let parallelism = match dim {
+            1 => vec![16],
+            2 => vec![4, 4],
+            _ => vec![4, 2, 2],
+        };
+        SearchConfig { parallelism, ..SearchConfig::default() }
+    }
+}
+
+/// Candidate iteration-fusion depths: dense at the shallow end where the
+/// optimum usually lies, then geometrically thinning out to `max_fused`
+/// (capped by the input's iteration count).
+pub fn fused_candidates(features: &StencilFeatures, max_fused: u64) -> Vec<u64> {
+    let cap = max_fused.min(features.iterations);
+    let mut out = Vec::new();
+    let mut h = 1u64;
+    while h <= cap.min(16) {
+        out.push(h);
+        h += 1;
+    }
+    let mut h = 20u64;
+    while h <= cap.min(64) {
+        out.push(h);
+        h += 4;
+    }
+    let mut h = 80u64;
+    while h <= cap {
+        out.push(h);
+        h += 16;
+    }
+    out
+}
+
+/// Candidate tile lengths along one dimension: every divisor `w` of
+/// `input_len / kernels` with `w >= min_tile` (so `kernels × w` regions tile
+/// the input exactly), ascending.
+pub fn tile_candidates(input_len: usize, kernels: usize, min_tile: usize) -> Vec<usize> {
+    if !input_len.is_multiple_of(kernels) {
+        return Vec::new();
+    }
+    let quota = input_len / kernels;
+    (1..=quota)
+        .filter(|w| quota.is_multiple_of(*w) && *w >= min_tile)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_lang::programs;
+
+    #[test]
+    fn fused_candidates_dense_then_sparse() {
+        let f = StencilFeatures::extract(&programs::jacobi_2d()).unwrap();
+        let c = fused_candidates(&f, 512);
+        assert_eq!(&c[..4], &[1, 2, 3, 4]);
+        assert!(c.contains(&16));
+        assert!(c.contains(&64));
+        assert!(c.contains(&512));
+        assert!(!c.contains(&17));
+        // Strictly increasing.
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fused_candidates_capped_by_iterations() {
+        let f =
+            StencilFeatures::extract(&programs::jacobi_2d().with_iterations(10)).unwrap();
+        let c = fused_candidates(&f, 512);
+        assert_eq!(c.last(), Some(&10));
+    }
+
+    #[test]
+    fn tile_candidates_are_exact_divisors() {
+        let c = tile_candidates(2048, 4, 8);
+        assert!(c.contains(&8) && c.contains(&128) && c.contains(&512));
+        assert!(!c.contains(&4));
+        for w in &c {
+            assert_eq!(512 % w, 0);
+        }
+    }
+
+    #[test]
+    fn tile_candidates_empty_when_indivisible() {
+        assert!(tile_candidates(100, 3, 4).is_empty());
+    }
+
+    #[test]
+    fn per_dim_defaults_match_paper_parallelism() {
+        assert_eq!(SearchConfig::for_dim(1).parallelism, vec![16]);
+        assert_eq!(SearchConfig::for_dim(2).parallelism, vec![4, 4]);
+        assert_eq!(SearchConfig::for_dim(3).parallelism, vec![4, 2, 2]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for workload balancing and the search space.
+
+use proptest::prelude::*;
+use stencilcl_grid::Growth;
+use stencilcl_lang::{programs, StencilFeatures};
+use stencilcl_opt::{balance_tiles, fused_candidates, tile_candidates};
+
+proptest! {
+    #[test]
+    fn balanced_tiles_partition_the_region(
+        region in 8usize..200,
+        k in 1usize..8,
+        lo in 0u64..3,
+        hi in 0u64..3,
+        h in 1u64..64,
+        boundary in any::<bool>(),
+    ) {
+        let growth = Growth::new(&[lo], &[hi]).unwrap_or_else(|_| Growth::zero(1));
+        let min_tile = 2usize;
+        if let Some(lens) = balance_tiles(region, k, &growth, 0, h, boundary, min_tile) {
+            prop_assert_eq!(lens.len(), k);
+            prop_assert_eq!(lens.iter().sum::<usize>(), region);
+            prop_assert!(lens.iter().all(|&w| w >= min_tile));
+        }
+    }
+
+    #[test]
+    fn balancing_reduces_worst_slot_work(
+        region in 24usize..160,
+        k in 3usize..6,
+        h in 4u64..48,
+    ) {
+        let growth = Growth::symmetric(1, 1);
+        let Some(lens) = balance_tiles(region, k, &growth, 0, h, true, 2) else {
+            return Ok(());
+        };
+        let half = (h - 1) as f64 / 2.0;
+        let work = |lens: &[usize]| -> f64 {
+            lens.iter()
+                .enumerate()
+                .map(|(j, &w)| {
+                    let e = f64::from(u8::from(j == 0)) + f64::from(u8::from(j == lens.len() - 1));
+                    w as f64 + e * half
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let equal = vec![region / k + usize::from(region % k != 0); k];
+        prop_assert!(work(&lens) <= work(&equal) + 1.0,
+            "balanced {:?} worse than equal {:?}", lens, equal);
+    }
+
+    #[test]
+    fn tile_candidates_always_divide(
+        len_pow in 4u32..12, k in 1usize..6, min_tile in 1usize..16,
+    ) {
+        let input = 1usize << len_pow;
+        for w in tile_candidates(input, k, min_tile) {
+            prop_assert!(w >= min_tile);
+            prop_assert_eq!(input % (k * w), 0);
+        }
+    }
+
+    #[test]
+    fn fused_candidates_sorted_unique_and_capped(max in 1u64..600) {
+        let f = StencilFeatures::extract(&programs::jacobi_2d()).unwrap();
+        let c = fused_candidates(&f, max);
+        prop_assert!(!c.is_empty());
+        prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(*c.last().unwrap() <= max.min(f.iterations));
+        prop_assert_eq!(c[0], 1);
+    }
+}

@@ -1,0 +1,199 @@
+use crate::Time;
+
+/// Epsilon (in bytes) below which a transfer counts as finished, absorbing
+/// floating-point drift from rate updates.
+const DONE_EPS: f64 = 1e-6;
+
+/// The shared global-memory channel, modeled as an egalitarian
+/// processor-sharing resource: `n` concurrent burst transfers each progress
+/// at `BW / n` bytes per cycle, matching the paper's assumption that "the
+/// global memory bandwidth is evenly shared among different kernels"
+/// (Section 4.2).
+///
+/// The channel is advanced lazily: every mutation first applies the progress
+/// accumulated since the previous mutation at the then-current rate. A
+/// generation counter lets the engine discard completion events that were
+/// scheduled before the active-transfer set changed.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_sim::{SharedChannel, Time};
+///
+/// let mut ch = SharedChannel::new(8.0); // 8 bytes/cycle
+/// ch.begin(Time::ZERO, 0, 80.0);
+/// ch.begin(Time::ZERO, 1, 40.0);
+/// // Sharing: owner 1 finishes its 40 bytes at t=10 (4 B/cy each).
+/// let (t, owner) = ch.next_completion().unwrap();
+/// assert_eq!((t, owner), (Time::cycles(10.0), 1));
+/// let done = ch.collect_finished(t);
+/// assert_eq!(done, vec![1]);
+/// // Owner 0 has 40 bytes left and the full 8 B/cy: done at t=15.
+/// assert_eq!(ch.next_completion().unwrap(), (Time::cycles(15.0), 0));
+/// ```
+#[derive(Debug)]
+pub struct SharedChannel {
+    bandwidth: f64,
+    active: Vec<(usize, f64)>,
+    last_update: Time,
+    generation: u64,
+}
+
+impl SharedChannel {
+    /// Creates a channel with `bandwidth` bytes per cycle of total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bandwidth` is positive and finite.
+    pub fn new(bandwidth: f64) -> SharedChannel {
+        assert!(bandwidth.is_finite() && bandwidth > 0.0, "bandwidth must be positive");
+        SharedChannel { bandwidth, active: Vec::new(), last_update: Time::ZERO, generation: 0 }
+    }
+
+    /// Current per-transfer rate in bytes per cycle.
+    pub fn rate(&self) -> f64 {
+        if self.active.is_empty() {
+            self.bandwidth
+        } else {
+            self.bandwidth / self.active.len() as f64
+        }
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active_transfers(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Generation counter; bumped whenever the active set changes, so
+    /// completion events scheduled under an older generation are stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn advance(&mut self, now: Time) {
+        debug_assert!(now >= self.last_update, "channel time must be monotonic");
+        let elapsed = now.since(self.last_update);
+        if elapsed > 0.0 && !self.active.is_empty() {
+            let progressed = elapsed * self.rate();
+            for (_, remaining) in &mut self.active {
+                *remaining -= progressed;
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Starts a burst transfer of `bytes` for `owner` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` already has an in-flight transfer or `bytes` is not
+    /// positive.
+    pub fn begin(&mut self, now: Time, owner: usize, bytes: f64) {
+        assert!(bytes > 0.0, "transfers must move at least one byte");
+        assert!(
+            self.active.iter().all(|(o, _)| *o != owner),
+            "owner {owner} already has a transfer in flight"
+        );
+        self.advance(now);
+        self.active.push((owner, bytes));
+        self.generation += 1;
+    }
+
+    /// When (and for whom) the next completion occurs, given no further
+    /// changes to the active set.
+    pub fn next_completion(&self) -> Option<(Time, usize)> {
+        let rate = self.rate();
+        self.active
+            .iter()
+            .map(|&(owner, remaining)| {
+                (self.last_update + (remaining.max(0.0) / rate), owner)
+            })
+            .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+    }
+
+    /// Advances to `now` and removes every finished transfer, returning the
+    /// owners in insertion order. Bumps the generation when anything
+    /// finished.
+    pub fn collect_finished(&mut self, now: Time) -> Vec<usize> {
+        self.advance(now);
+        let mut done = Vec::new();
+        self.active.retain(|&(owner, remaining)| {
+            if remaining <= DONE_EPS {
+                done.push(owner);
+                false
+            } else {
+                true
+            }
+        });
+        if !done.is_empty() {
+            self.generation += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_transfer_uses_full_bandwidth() {
+        let mut ch = SharedChannel::new(4.0);
+        ch.begin(Time::ZERO, 7, 100.0);
+        assert_eq!(ch.next_completion(), Some((Time::cycles(25.0), 7)));
+        assert_eq!(ch.collect_finished(Time::cycles(25.0)), vec![7]);
+        assert_eq!(ch.active_transfers(), 0);
+    }
+
+    #[test]
+    fn concurrent_transfers_share_evenly() {
+        let mut ch = SharedChannel::new(10.0);
+        ch.begin(Time::ZERO, 0, 100.0);
+        ch.begin(Time::ZERO, 1, 100.0);
+        // Each gets 5 B/cy: both finish at t=20.
+        let (t, _) = ch.next_completion().unwrap();
+        assert_eq!(t, Time::cycles(20.0));
+        let done = ch.collect_finished(t);
+        assert_eq!(done, vec![0, 1]);
+    }
+
+    #[test]
+    fn late_joiner_slows_everyone() {
+        let mut ch = SharedChannel::new(10.0);
+        ch.begin(Time::ZERO, 0, 100.0);
+        // After 5 cycles owner 0 has 50 bytes left; owner 1 joins.
+        ch.begin(Time::cycles(5.0), 1, 50.0);
+        // Both now at 5 B/cy with 50 bytes: finish at t=15.
+        let (t, _) = ch.next_completion().unwrap();
+        assert_eq!(t, Time::cycles(15.0));
+        assert_eq!(ch.collect_finished(t).len(), 2);
+    }
+
+    #[test]
+    fn generation_tracks_changes() {
+        let mut ch = SharedChannel::new(1.0);
+        let g0 = ch.generation();
+        ch.begin(Time::ZERO, 0, 10.0);
+        assert!(ch.generation() > g0);
+        let g1 = ch.generation();
+        let none = ch.collect_finished(Time::cycles(1.0));
+        assert!(none.is_empty());
+        assert_eq!(ch.generation(), g1, "no completion, no bump");
+        ch.collect_finished(Time::cycles(10.0));
+        assert!(ch.generation() > g1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a transfer")]
+    fn double_begin_rejected() {
+        let mut ch = SharedChannel::new(1.0);
+        ch.begin(Time::ZERO, 0, 10.0);
+        ch.begin(Time::ZERO, 0, 10.0);
+    }
+
+    #[test]
+    fn empty_channel_has_no_completion() {
+        let ch = SharedChannel::new(1.0);
+        assert_eq!(ch.next_completion(), None);
+    }
+}

@@ -1,0 +1,524 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_grid::Partition;
+use stencilcl_hls::{Device, PipelineSchedule};
+use stencilcl_lang::StencilFeatures;
+
+use crate::plan::build_plans_opts;
+use crate::trace::{Trace, TracePhase, TraceSpan};
+use crate::{Breakdown, EventQueue, KernelPlan, KernelProfile, PassProfile, SharedChannel, Time};
+
+/// The simulated execution of a full stencil run: one canonical region pass,
+/// scaled by the number of region passes the input requires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The simulated region pass.
+    pub pass: PassProfile,
+    /// Number of region passes (`⌈H/h⌉ ×` regions per grid sweep).
+    pub regions: f64,
+    /// Total "measured" latency in cycles: `pass.duration × regions`.
+    pub total_cycles: f64,
+    /// Whole-run breakdown (mean-per-kernel pass breakdown × regions).
+    pub breakdown: Breakdown,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The host runtime finished launching kernel `0`'s field.
+    LaunchDone(usize),
+    /// The shared memory channel may have completed transfers.
+    ChannelCheck { generation: u64 },
+    /// A compute phase of kernel `0`'s field finished.
+    PhaseDone(usize),
+    /// A boundary slab arrived at `to` for consumption at fused iteration
+    /// `consume_level`.
+    Arrival { to: usize, consume_level: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum KState {
+    WaitLaunch,
+    Reading,
+    Indep(u64),
+    WaitData(u64),
+    Dep(u64),
+    Writing,
+    Done,
+}
+
+struct KernelRt<'p> {
+    plan: &'p KernelPlan,
+    state: KState,
+    profile: KernelProfile,
+    /// Arrivals received per consume level (index = level - 1).
+    arrivals: Vec<u32>,
+    /// Arrivals expected per consume level.
+    expected: Vec<u32>,
+    transfer_start: Time,
+    indep_end: Time,
+    done_at: Time,
+}
+
+/// Optional span recorder for [`simulate_pass_traced`].
+struct Recorder {
+    enabled: bool,
+    spans: Vec<TraceSpan>,
+    open: Vec<(TracePhase, Time)>,
+}
+
+impl Recorder {
+    fn new(enabled: bool, kernels: usize) -> Recorder {
+        Recorder {
+            enabled,
+            spans: Vec::new(),
+            open: vec![(TracePhase::Launch, Time::ZERO); kernels],
+        }
+    }
+
+    /// Closes kernel `k`'s current span at `now` and opens `next`.
+    fn transition(&mut self, k: usize, now: Time, next: TracePhase) {
+        if !self.enabled {
+            return;
+        }
+        let (phase, start) = self.open[k];
+        if now > start {
+            self.spans.push(TraceSpan { kernel: k, phase, start: start.as_f64(), end: now.as_f64() });
+        }
+        self.open[k] = (next, now);
+    }
+
+    fn finish(mut self, end: Time) -> Vec<TraceSpan> {
+        if self.enabled {
+            for k in 0..self.open.len() {
+                self.transition(k, end, TracePhase::Barrier);
+            }
+            self.spans.sort_by(|a, b| (a.kernel, a.start).partial_cmp(&(b.kernel, b.start)).expect("finite times"));
+        }
+        self.spans
+    }
+}
+
+/// Simulates one region pass of the accelerator described by `plans`.
+///
+/// Kernels launch sequentially (`device.launch_delay` apart), burst-transfer
+/// over a bandwidth-shared channel, compute their fused iterations with the
+/// independent-first scheduling of Section 3.1, exchange boundary slabs
+/// through pipes (`device.pipe_cycles_per_elem` per element), and release at
+/// the barrier together.
+///
+/// # Panics
+///
+/// Panics if `plans` is empty.
+pub fn simulate_pass(
+    plans: &[KernelPlan],
+    sched: &PipelineSchedule,
+    device: &Device,
+) -> PassProfile {
+    run_pass(plans, sched, device, false).0
+}
+
+/// [`simulate_pass`] plus the full event [`Trace`] — the executable Figure 4.
+///
+/// # Panics
+///
+/// Panics if `plans` is empty.
+pub fn simulate_pass_traced(
+    plans: &[KernelPlan],
+    sched: &PipelineSchedule,
+    device: &Device,
+) -> (PassProfile, Trace) {
+    let (pass, trace) = run_pass(plans, sched, device, true);
+    (pass, trace.expect("tracing was enabled"))
+}
+
+fn run_pass(
+    plans: &[KernelPlan],
+    sched: &PipelineSchedule,
+    device: &Device,
+    traced: bool,
+) -> (PassProfile, Option<Trace>) {
+    assert!(!plans.is_empty(), "a pass needs at least one kernel");
+    let fused = plans[0].iterations.len() as u64;
+    let mut expected = vec![vec![0u32; fused as usize]; plans.len()];
+    for p in plans {
+        for it in &p.iterations {
+            for s in &it.sends {
+                expected[s.to][it.level as usize] += 1; // consumed at level+1 (index level)
+            }
+        }
+    }
+
+    let mut kernels: Vec<KernelRt<'_>> = plans
+        .iter()
+        .enumerate()
+        .map(|(k, plan)| KernelRt {
+            plan,
+            state: KState::WaitLaunch,
+            profile: KernelProfile::default(),
+            arrivals: vec![0; fused as usize],
+            expected: expected[k].clone(),
+            transfer_start: Time::ZERO,
+            indep_end: Time::ZERO,
+            done_at: Time::ZERO,
+        })
+        .collect();
+
+    let mut queue = EventQueue::new();
+    let mut channel = SharedChannel::new(device.mem_bytes_per_cycle);
+    for k in 0..kernels.len() {
+        let at = Time::cycles((k as f64 + 1.0) * device.launch_delay as f64);
+        queue.schedule(at, Event::LaunchDone(k));
+    }
+
+    let mut remaining = kernels.len();
+    let mut pass_end = Time::ZERO;
+    let mut rec = Recorder::new(traced, kernels.len());
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::LaunchDone(k) => {
+                let kr = &mut kernels[k];
+                debug_assert_eq!(kr.state, KState::WaitLaunch);
+                kr.profile.launch = now.as_f64();
+                kr.state = KState::Reading;
+                kr.transfer_start = now;
+                rec.transition(k, now, TracePhase::Read);
+                channel.begin(now, k, kr.plan.read_bytes.max(1.0));
+                reschedule_channel(&mut queue, &channel);
+            }
+            Event::ChannelCheck { generation } => {
+                if generation != channel.generation() {
+                    continue; // stale: the active set changed since scheduling
+                }
+                for k in channel.collect_finished(now) {
+                    match kernels[k].state {
+                        KState::Reading => {
+                            kernels[k].profile.read = now.since(kernels[k].transfer_start);
+                            start_iteration(&mut kernels, k, 1, now, &mut queue, sched, &mut rec);
+                        }
+                        KState::Writing => {
+                            kernels[k].profile.write = now.since(kernels[k].transfer_start);
+                            kernels[k].state = KState::Done;
+                            kernels[k].done_at = now;
+                            rec.transition(k, now, TracePhase::Barrier);
+                            remaining -= 1;
+                            if remaining == 0 {
+                                pass_end = now;
+                            }
+                        }
+                        other => unreachable!("transfer completion in state {other:?}"),
+                    }
+                }
+                reschedule_channel(&mut queue, &channel);
+            }
+            Event::PhaseDone(k) => match kernels[k].state {
+                KState::Indep(i) => {
+                    kernels[k].indep_end = now;
+                    let it = &kernels[k].plan.iterations[i as usize - 1];
+                    if it.dep_elems == 0 {
+                        finish_iteration(
+                            &mut kernels, k, i, now, &mut queue, sched, &mut channel,
+                            device.pipe_cycles_per_elem, &mut rec,
+                        );
+                    } else if kernels[k].arrivals[i as usize - 1]
+                        >= kernels[k].expected[i as usize - 1]
+                    {
+                        start_dep(&mut kernels, k, i, now, &mut queue, sched, &mut rec);
+                    } else {
+                        kernels[k].state = KState::WaitData(i);
+                        rec.transition(k, now, TracePhase::PipeWait { iteration: i });
+                    }
+                }
+                KState::Dep(i) => {
+                    finish_iteration(
+                        &mut kernels, k, i, now, &mut queue, sched, &mut channel,
+                        device.pipe_cycles_per_elem, &mut rec,
+                    );
+                }
+                other => unreachable!("phase completion in state {other:?}"),
+            },
+            Event::Arrival { to, consume_level } => {
+                let idx = consume_level as usize - 1;
+                if idx >= kernels[to].arrivals.len() {
+                    continue;
+                }
+                kernels[to].arrivals[idx] += 1;
+                if kernels[to].state == KState::WaitData(consume_level)
+                    && kernels[to].arrivals[idx] >= kernels[to].expected[idx]
+                {
+                    let waited = now.since(kernels[to].indep_end);
+                    kernels[to].profile.pipe_wait += waited;
+                    start_dep(&mut kernels, to, consume_level, now, &mut queue, sched, &mut rec);
+                }
+            }
+        }
+    }
+
+    let mut profiles = Vec::with_capacity(kernels.len());
+    for kr in &mut kernels {
+        kr.profile.barrier_wait = pass_end.since(kr.done_at);
+        profiles.push(kr.profile);
+    }
+    let trace = traced
+        .then(|| Trace::new(rec.finish(pass_end), pass_end.as_f64(), profiles.len()));
+    (PassProfile { duration: pass_end.as_f64(), kernels: profiles }, trace)
+}
+
+fn reschedule_channel(queue: &mut EventQueue<Event>, channel: &SharedChannel) {
+    if let Some((at, _)) = channel.next_completion() {
+        queue.schedule(at, Event::ChannelCheck { generation: channel.generation() });
+    }
+}
+
+fn start_iteration(
+    kernels: &mut [KernelRt<'_>],
+    k: usize,
+    i: u64,
+    now: Time,
+    queue: &mut EventQueue<Event>,
+    sched: &PipelineSchedule,
+    rec: &mut Recorder,
+) {
+    let kr = &mut kernels[k];
+    let it = &kr.plan.iterations[i as usize - 1];
+    kr.state = KState::Indep(i);
+    rec.transition(k, now, TracePhase::Compute { iteration: i });
+    let dur = sched.cycles_for(it.indep_elems()) as f64;
+    attribute_compute(kr, it.indep_elems(), it, dur);
+    queue.schedule(now + dur, Event::PhaseDone(k));
+}
+
+fn start_dep(
+    kernels: &mut [KernelRt<'_>],
+    k: usize,
+    i: u64,
+    now: Time,
+    queue: &mut EventQueue<Event>,
+    sched: &PipelineSchedule,
+    rec: &mut Recorder,
+) {
+    let kr = &mut kernels[k];
+    let it = &kr.plan.iterations[i as usize - 1];
+    kr.state = KState::Dep(i);
+    rec.transition(k, now, TracePhase::Dependent { iteration: i });
+    // The dependent group continues through the still-warm pipeline — unless
+    // there was no independent group at all (latency hiding disabled), in
+    // which case the pipeline starts cold.
+    let dur = if it.indep_elems() == 0 {
+        sched.cycles_for(it.dep_elems) as f64
+    } else {
+        sched.cycles_for_warm(it.dep_elems) as f64
+    };
+    attribute_compute(kr, it.dep_elems, it, dur);
+    queue.schedule(now + dur, Event::PhaseDone(k));
+}
+
+/// Splits a phase's cycles between useful and redundant computation in
+/// proportion to the iteration's element mix.
+fn attribute_compute(
+    kr: &mut KernelRt<'_>,
+    phase_elems: u64,
+    it: &crate::IterationPlan,
+    dur: f64,
+) {
+    if it.total_elems == 0 || phase_elems == 0 {
+        return;
+    }
+    let useful_frac = it.useful_elems as f64 / it.total_elems as f64;
+    kr.profile.compute_useful += dur * useful_frac;
+    kr.profile.compute_redundant += dur * (1.0 - useful_frac);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_iteration(
+    kernels: &mut [KernelRt<'_>],
+    k: usize,
+    i: u64,
+    now: Time,
+    queue: &mut EventQueue<Event>,
+    sched: &PipelineSchedule,
+    channel: &mut SharedChannel,
+    pipe_rate: f64,
+    rec: &mut Recorder,
+) {
+    let pipe_cost = kernels[k].plan.iterations[i as usize - 1]
+        .sends
+        .iter()
+        .map(|s| (s.to, s.elems))
+        .collect::<Vec<_>>();
+    for (to, elems) in pipe_cost {
+        // Pipes deliver at C_pipe per element, concurrently with compute.
+        let arrival = now + pipe_rate * elems as f64;
+        queue.schedule(arrival, Event::Arrival { to, consume_level: i + 1 });
+    }
+    let fused = kernels[k].plan.iterations.len() as u64;
+    if i < fused {
+        start_iteration(kernels, k, i + 1, now, queue, sched, rec);
+    } else {
+        let kr = &mut kernels[k];
+        kr.state = KState::Writing;
+        kr.transfer_start = now;
+        rec.transition(k, now, TracePhase::Write);
+        channel.begin(now, k, kr.plan.write_bytes.max(1.0));
+        reschedule_channel(queue, channel);
+    }
+}
+
+/// Simulates a full run of the design behind `partition`: builds the kernel
+/// plans, simulates the canonical region pass, and scales by the number of
+/// passes.
+///
+/// # Example
+///
+/// See the crate-level documentation.
+pub fn simulate(
+    features: &StencilFeatures,
+    partition: &Partition,
+    sched: &PipelineSchedule,
+    device: &Device,
+) -> SimReport {
+    simulate_opts(features, partition, sched, device, true)
+}
+
+/// [`simulate`] with Section 3.1's latency hiding made optional — the
+/// `ablation_hiding` experiment runs both settings.
+pub fn simulate_opts(
+    features: &StencilFeatures,
+    partition: &Partition,
+    sched: &PipelineSchedule,
+    device: &Device,
+    latency_hiding: bool,
+) -> SimReport {
+    let plans = build_plans_opts(features, partition, latency_hiding);
+    let pass = simulate_pass(&plans, sched, device);
+    let passes = features.iterations.div_ceil(partition.design().fused()) as f64;
+    let regions = passes * partition.regions_per_pass() as f64;
+    let breakdown = pass.breakdown().scaled(regions);
+    SimReport { total_cycles: pass.duration * regions, pass, regions, breakdown }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plans;
+    use stencilcl_grid::{Design, DesignKind, Extent};
+    use stencilcl_lang::programs;
+
+    fn setup(
+        kind: DesignKind,
+        fused: u64,
+        tile: usize,
+        par: usize,
+    ) -> (StencilFeatures, Partition) {
+        let n = tile * par * 4;
+        let program = programs::jacobi_2d()
+            .with_extent(Extent::new2(n, n))
+            .with_iterations(64);
+        let f = StencilFeatures::extract(&program).unwrap();
+        let d = Design::equal(kind, fused, vec![par, par], vec![tile, tile]).unwrap();
+        let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+        (f, p)
+    }
+
+    fn sched() -> PipelineSchedule {
+        PipelineSchedule { ii: 1, depth: 20, unroll: 4 }
+    }
+
+    #[test]
+    fn single_kernel_pass_is_sum_of_phases() {
+        let (f, p) = setup(DesignKind::Baseline, 2, 16, 1);
+        let device = Device { launch_delay: 100, ..Device::default() };
+        let plans = build_plans(&f, &p);
+        let s = sched();
+        let pass = simulate_pass(&plans, &s, &device);
+        let plan = &plans[0];
+        let read = plan.read_bytes / device.mem_bytes_per_cycle;
+        let write = plan.write_bytes / device.mem_bytes_per_cycle;
+        let compute: f64 = plan
+            .iterations
+            .iter()
+            .map(|it| s.cycles_for(it.total_elems) as f64)
+            .sum();
+        let expected = 100.0 + read + compute + write;
+        assert!(
+            (pass.duration - expected).abs() < 1e-6,
+            "duration {} vs expected {expected}",
+            pass.duration
+        );
+        let k = &pass.kernels[0];
+        assert_eq!(k.barrier_wait, 0.0);
+        assert_eq!(k.pipe_wait, 0.0);
+        assert!((k.total() - pass.duration).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profiles_account_for_full_pass() {
+        let (f, p) = setup(DesignKind::PipeShared, 4, 16, 2);
+        let device = Device::default();
+        let plans = build_plans(&f, &p);
+        let pass = simulate_pass(&plans, &sched(), &device);
+        for (i, k) in pass.kernels.iter().enumerate() {
+            assert!(
+                (k.total() - pass.duration).abs() < 1e-6,
+                "kernel {i}: accounted {} vs duration {}",
+                k.total(),
+                pass.duration
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_launches_stagger_kernels() {
+        let (f, p) = setup(DesignKind::Baseline, 2, 16, 2);
+        let device = Device { launch_delay: 500, ..Device::default() };
+        let plans = build_plans(&f, &p);
+        let pass = simulate_pass(&plans, &sched(), &device);
+        assert_eq!(pass.kernels[0].launch, 500.0);
+        assert_eq!(pass.kernels[3].launch, 2000.0);
+        // The last-launched kernel gates the barrier: earlier kernels wait.
+        assert!(pass.kernels[0].barrier_wait > 0.0);
+    }
+
+    #[test]
+    fn baseline_has_redundant_compute_pipe_design_less() {
+        let device = Device::default();
+        let (f, p) = setup(DesignKind::Baseline, 4, 16, 2);
+        let base = simulate(&f, &p, &sched(), &device);
+        let (f2, p2) = setup(DesignKind::PipeShared, 4, 16, 2);
+        let pipe = simulate(&f2, &p2, &sched(), &device);
+        assert!(base.breakdown.compute_redundant > 0.0);
+        assert!(pipe.breakdown.compute_redundant < base.breakdown.compute_redundant);
+        assert!(pipe.total_cycles < base.total_cycles);
+    }
+
+    #[test]
+    fn slow_pipes_cause_waits() {
+        let (f, p) = setup(DesignKind::PipeShared, 4, 16, 2);
+        let device = Device { pipe_cycles_per_elem: 500.0, ..Device::default() };
+        let report = simulate(&f, &p, &sched(), &device);
+        let total_wait: f64 = report.pass.kernels.iter().map(|k| k.pipe_wait).sum();
+        assert!(total_wait > 0.0, "absurdly slow pipes must stall dependents");
+        let fast = simulate(&f, &p, &sched(), &Device::default());
+        let fast_wait: f64 = fast.pass.kernels.iter().map(|k| k.pipe_wait).sum();
+        assert!(fast_wait < total_wait);
+    }
+
+    #[test]
+    fn region_scaling_multiplies_pass() {
+        let (f, p) = setup(DesignKind::Baseline, 4, 16, 2);
+        let device = Device::default();
+        let r = simulate(&f, &p, &sched(), &device);
+        // 64 iterations / 4 fused = 16 passes; grid 128^2 / region 32^2 = 16.
+        assert_eq!(r.regions, 16.0 * 16.0);
+        assert!((r.total_cycles - r.pass.duration * r.regions).abs() < 1e-6);
+        assert!((r.breakdown.total() - r.pass.breakdown().total() * r.regions).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let (f, p) = setup(DesignKind::PipeShared, 6, 16, 2);
+        let device = Device::default();
+        let a = simulate(&f, &p, &sched(), &device);
+        let b = simulate(&f, &p, &sched(), &device);
+        assert_eq!(a, b);
+    }
+}

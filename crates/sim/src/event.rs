@@ -1,0 +1,126 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// Generic over the event payload; the engine drains it with
+/// [`pop`](Self::pop) until empty. Events scheduled at equal times are
+/// delivered in scheduling order, which keeps the simulation deterministic.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::cycles(5.0), "late");
+/// q.schedule(Time::cycles(1.0), "early");
+/// q.schedule(Time::cycles(1.0), "early-second");
+/// assert_eq!(q.pop(), Some((Time::cycles(1.0), "early")));
+/// assert_eq!(q.pop(), Some((Time::cycles(1.0), "early-second")));
+/// assert_eq!(q.pop(), Some((Time::cycles(5.0), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Time, u64, EventBox<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper making the payload inert for ordering purposes.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse((t, _, EventBox(e)))| (t, e))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::cycles(3.0), 3);
+        q.schedule(Time::cycles(1.0), 1);
+        q.schedule(Time::cycles(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Time::cycles(7.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::cycles(4.0), ());
+        q.schedule(Time::cycles(2.0), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::cycles(2.0)));
+    }
+}

@@ -1,0 +1,309 @@
+use serde::{Deserialize, Serialize};
+use stencilcl_grid::{FaceKind, Partition};
+use stencilcl_lang::StencilFeatures;
+
+/// A boundary-slab transfer pushed to one pipe neighbor at the end of a
+/// fused iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeSend {
+    /// Receiving kernel id.
+    pub to: usize,
+    /// Elements transferred (slab volume × updated arrays).
+    pub elems: u64,
+}
+
+/// The workload of one fused iteration of one kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationPlan {
+    /// 1-based fused iteration index.
+    pub level: u64,
+    /// Elements computed this iteration (cone level volume).
+    pub total_elems: u64,
+    /// Elements that land inside the kernel's own tile (useful work).
+    pub useful_elems: u64,
+    /// Elements in the *dependent group*: they read neighbor data produced
+    /// last iteration and can only start once the pipes have delivered it.
+    /// Zero for the first iteration (its halo arrives with the burst read)
+    /// and for pipeless designs.
+    pub dep_elems: u64,
+    /// Boundary slabs pushed to neighbors when this iteration completes.
+    pub sends: Vec<PipeSend>,
+}
+
+impl IterationPlan {
+    /// Elements computable without waiting on pipes this iteration.
+    pub fn indep_elems(&self) -> u64 {
+        self.total_elems - self.dep_elems
+    }
+
+    /// Elements computed beyond the kernel's tile (redundant work).
+    pub fn redundant_elems(&self) -> u64 {
+        self.total_elems - self.useful_elems
+    }
+}
+
+/// Everything the engine needs to execute one kernel through a region pass:
+/// burst sizes, per-iteration workloads, and pipe topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelPlan {
+    /// Kernel id (index into the region's tile list).
+    pub kernel: usize,
+    /// Bytes burst-read from global memory at pass start.
+    pub read_bytes: f64,
+    /// Bytes burst-written at pass end.
+    pub write_bytes: f64,
+    /// One entry per fused iteration, in order.
+    pub iterations: Vec<IterationPlan>,
+    /// Kernels this one receives boundary slabs from.
+    pub pipe_in: Vec<usize>,
+}
+
+impl KernelPlan {
+    /// Total elements computed over the pass.
+    pub fn total_compute(&self) -> u64 {
+        self.iterations.iter().map(|it| it.total_elems).sum()
+    }
+
+    /// Total redundant elements over the pass.
+    pub fn total_redundant(&self) -> u64 {
+        self.iterations.iter().map(|it| it.redundant_elems()).sum()
+    }
+}
+
+/// Builds the per-kernel execution plans for the canonical interior region of
+/// `partition`.
+///
+/// Geometry rules (matching Sections 1 and 3 of the paper):
+///
+/// * every kernel computes its tile's fusion [`Cone`](stencilcl_grid::Cone):
+///   under the baseline all non-grid faces expand; under pipe designs only
+///   region-boundary faces do;
+/// * the burst read covers the cone's input footprint, plus — for pipe
+///   designs — a one-iteration halo on shared faces so the *first* fused
+///   iteration needs no pipe traffic;
+/// * from iteration 2 on, cells within the stencil's reach of a shared face
+///   form the dependent group, gated on the neighbor's end-of-previous-
+///   iteration boundary slab;
+/// * each iteration ends by pushing to every pipe neighbor the slab that
+///   neighbor will read next iteration (depth = the neighbor's reach across
+///   the face), for every updated array.
+pub fn build_plans(features: &StencilFeatures, partition: &Partition) -> Vec<KernelPlan> {
+    build_plans_opts(features, partition, true)
+}
+
+/// [`build_plans`] with Section 3.1's latency hiding made optional: with
+/// `latency_hiding` off, *every* element of iterations 2+ joins the
+/// dependent group, so no computation overlaps the pipe traffic — the
+/// ablation the paper's λ (Eq. 11) quantifies.
+pub fn build_plans_opts(
+    features: &StencilFeatures,
+    partition: &Partition,
+    latency_hiding: bool,
+) -> Vec<KernelPlan> {
+    let design = partition.design();
+    let kind = design.kind();
+    let fused = design.fused();
+    let growth = features.growth;
+    let tiles = partition.canonical_tiles();
+
+    tiles
+        .iter()
+        .map(|tile| {
+            let cone = tile.cone(kind, growth, fused);
+            // Shared-face one-iteration halo included in the burst read.
+            let mut halo_lo = [0i64; stencilcl_grid::MAX_DIM];
+            let mut halo_hi = [0i64; stencilcl_grid::MAX_DIM];
+            let mut pipe_in = Vec::new();
+            for f in tile.faces() {
+                if let FaceKind::Shared { neighbor } = f.kind {
+                    if kind.uses_pipes() {
+                        if f.high {
+                            halo_hi[f.axis] = growth.hi(f.axis) as i64;
+                        } else {
+                            halo_lo[f.axis] = growth.lo(f.axis) as i64;
+                        }
+                        if !pipe_in.contains(&neighbor) {
+                            pipe_in.push(neighbor);
+                        }
+                    }
+                }
+            }
+            let read_rect = cone.input_footprint().expand(&halo_lo, &halo_hi);
+            let read_bytes =
+                (read_rect.volume() * features.elem_bytes * features.read_arrays()) as f64;
+            let write_bytes =
+                (tile.rect().volume() * features.elem_bytes * features.write_arrays()) as f64;
+
+            let iterations = (1..=fused)
+                .map(|i| {
+                    let level = cone.level(i);
+                    let total_elems = level.volume();
+                    let useful_elems = tile.rect().volume();
+                    // Dependent group: level cells within reach of a shared face.
+                    let dep_elems = if i >= 2 && kind.uses_pipes() && !pipe_in.is_empty() && !latency_hiding {
+                        total_elems
+                    } else if i >= 2 && kind.uses_pipes() {
+                        let mut shrink_lo = [0i64; stencilcl_grid::MAX_DIM];
+                        let mut shrink_hi = [0i64; stencilcl_grid::MAX_DIM];
+                        for f in tile.faces() {
+                            if matches!(f.kind, FaceKind::Shared { .. }) {
+                                if f.high {
+                                    shrink_hi[f.axis] = -(growth.hi(f.axis) as i64);
+                                } else {
+                                    shrink_lo[f.axis] = -(growth.lo(f.axis) as i64);
+                                }
+                            }
+                        }
+                        let indep = level.expand(&shrink_lo, &shrink_hi);
+                        total_elems - indep.volume().min(total_elems)
+                    } else {
+                        0
+                    };
+                    // Sends feeding the neighbors' iteration i+1.
+                    let sends = if i < fused && kind.uses_pipes() {
+                        tile.faces()
+                            .iter()
+                            .filter_map(|f| match f.kind {
+                                FaceKind::Shared { neighbor } => {
+                                    let depth = if f.high {
+                                        growth.lo(f.axis)
+                                    } else {
+                                        growth.hi(f.axis)
+                                    };
+                                    if depth == 0 {
+                                        return None;
+                                    }
+                                    let slab = level.face_slab(f.axis, f.high, depth);
+                                    let elems =
+                                        slab.volume() * features.updated_arrays as u64;
+                                    Some(PipeSend { to: neighbor, elems })
+                                }
+                                _ => None,
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    IterationPlan { level: i, total_elems, useful_elems, dep_elems, sends }
+                })
+                .collect();
+
+            KernelPlan {
+                kernel: tile.kernel(),
+                read_bytes,
+                write_bytes,
+                iterations,
+                pipe_in,
+            }
+        })
+        .collect()
+}
+
+/// Convenience accessors the plan builder needs on features.
+trait FeatureExt {
+    fn read_arrays(&self) -> u64;
+    fn write_arrays(&self) -> u64;
+}
+
+impl FeatureExt for StencilFeatures {
+    fn read_arrays(&self) -> u64 {
+        (self.updated_arrays + self.read_only_arrays) as u64
+    }
+
+    fn write_arrays(&self) -> u64 {
+        self.updated_arrays as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind};
+    use stencilcl_lang::programs;
+
+    fn plans(kind: DesignKind, fused: u64) -> Vec<KernelPlan> {
+        let f = StencilFeatures::extract(
+            &programs::jacobi_2d().with_extent(stencilcl_grid::Extent::new2(256, 256)),
+        )
+        .unwrap();
+        let d = Design::equal(kind, fused, vec![2, 2], vec![32, 32]).unwrap();
+        let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+        build_plans(&f, &p)
+    }
+
+    #[test]
+    fn baseline_has_no_pipes_and_full_halos() {
+        let ps = plans(DesignKind::Baseline, 4);
+        assert_eq!(ps.len(), 4);
+        for p in &ps {
+            assert!(p.pipe_in.is_empty());
+            for it in &p.iterations {
+                assert_eq!(it.dep_elems, 0);
+                assert!(it.sends.is_empty());
+            }
+            // Read covers (32 + 2*4)^2 elements of one f32 array.
+            assert_eq!(p.read_bytes, (40.0 * 40.0) * 4.0);
+            assert_eq!(p.write_bytes, 1024.0 * 4.0);
+            assert_eq!(p.total_redundant(), p.total_compute() - 4 * 1024);
+            assert!(p.total_redundant() > 0);
+        }
+    }
+
+    #[test]
+    fn pipe_plans_exchange_with_neighbors() {
+        let ps = plans(DesignKind::PipeShared, 4);
+        for p in &ps {
+            // 2x2 kernel grid: every kernel has exactly two pipe neighbors.
+            assert_eq!(p.pipe_in.len(), 2, "kernel {}", p.kernel);
+            // First iteration never waits on pipes.
+            assert_eq!(p.iterations[0].dep_elems, 0);
+            // Later iterations have a dependent group.
+            assert!(p.iterations[1].dep_elems > 0);
+            // The last iteration sends nothing (no consumer).
+            assert!(p.iterations.last().unwrap().sends.is_empty());
+            assert!(!p.iterations[0].sends.is_empty());
+        }
+    }
+
+    #[test]
+    fn pipe_read_includes_one_iteration_shared_halo() {
+        let ps = plans(DesignKind::PipeShared, 4);
+        // Corner kernel of the canonical region: one region-boundary face and
+        // one shared face per dimension. Footprint: (32 + 4 + 1)^2.
+        let corner = &ps[0];
+        assert_eq!(corner.read_bytes, (37.0 * 37.0) * 4.0);
+    }
+
+    #[test]
+    fn pipe_sharing_reduces_total_compute() {
+        let base: u64 = plans(DesignKind::Baseline, 4).iter().map(|p| p.total_compute()).sum();
+        let pipe: u64 =
+            plans(DesignKind::PipeShared, 4).iter().map(|p| p.total_compute()).sum();
+        assert!(pipe < base);
+    }
+
+    #[test]
+    fn send_volumes_match_slab_geometry() {
+        let ps = plans(DesignKind::PipeShared, 4);
+        let corner = &ps[0];
+        // After iteration 1 the cone level is the tile expanded by 3 on the
+        // two region-boundary (outward) sides: 35 x 35. Slabs toward the two
+        // shared faces are 1 x 35 and 35 x 1.
+        let sends = &corner.iterations[0].sends;
+        assert_eq!(sends.len(), 2);
+        let total: u64 = sends.iter().map(|s| s.elems).sum();
+        assert_eq!(total, 35 + 35);
+    }
+
+    #[test]
+    fn dep_group_is_reach_wide_shell() {
+        let ps = plans(DesignKind::PipeShared, 4);
+        let corner = &ps[0];
+        // Iteration 2 level with fused depth 4 expands by (4-2)=2 on the two
+        // outward faces: 34 x 34. The dependent shell is one cell deep along
+        // each of the two shared faces, so the independent core is 33 x 33.
+        let it = &corner.iterations[1];
+        let expected = it.total_elems - 33 * 33;
+        assert_eq!(it.dep_elems, expected);
+    }
+}

@@ -1,0 +1,170 @@
+use serde::{Deserialize, Serialize};
+
+/// Where one kernel's cycles went during a region pass — the simulator's
+/// answer to SDAccel's dynamic profiling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Cycles from pass start until the host runtime finished launching this
+    /// kernel (sequential launches stagger the kernels).
+    pub launch: f64,
+    /// Cycles spent burst-reading from global memory.
+    pub read: f64,
+    /// Cycles spent computing elements that land inside the kernel's tile.
+    pub compute_useful: f64,
+    /// Cycles spent computing halo elements another kernel also produces —
+    /// the redundant work pipe sharing eliminates.
+    pub compute_redundant: f64,
+    /// Cycles stalled waiting for neighbor boundary slabs (pipe waits).
+    pub pipe_wait: f64,
+    /// Cycles spent burst-writing results back.
+    pub write: f64,
+    /// Cycles idling at the region barrier after finishing.
+    pub barrier_wait: f64,
+}
+
+impl KernelProfile {
+    /// Total accounted cycles (equals the pass duration for every kernel).
+    pub fn total(&self) -> f64 {
+        self.launch
+            + self.read
+            + self.compute_useful
+            + self.compute_redundant
+            + self.pipe_wait
+            + self.write
+            + self.barrier_wait
+    }
+}
+
+/// Aggregated cycle breakdown, either of one pass (mean over kernels) or of
+/// an entire run (scaled by the region count) — the data behind Figure 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Launch cycles.
+    pub launch: f64,
+    /// Global-memory transfer cycles (read + write).
+    pub memory: f64,
+    /// Useful computation cycles.
+    pub compute_useful: f64,
+    /// Redundant computation cycles.
+    pub compute_redundant: f64,
+    /// Pipe- and barrier-wait cycles.
+    pub wait: f64,
+}
+
+impl Breakdown {
+    /// Sum of all categories.
+    pub fn total(&self) -> f64 {
+        self.launch + self.memory + self.compute_useful + self.compute_redundant + self.wait
+    }
+
+    /// Mean breakdown over a set of kernel profiles.
+    pub fn mean_of(kernels: &[KernelProfile]) -> Breakdown {
+        let n = kernels.len().max(1) as f64;
+        let mut b = Breakdown::default();
+        for k in kernels {
+            b.launch += k.launch / n;
+            b.memory += (k.read + k.write) / n;
+            b.compute_useful += k.compute_useful / n;
+            b.compute_redundant += k.compute_redundant / n;
+            b.wait += (k.pipe_wait + k.barrier_wait) / n;
+        }
+        b
+    }
+
+    /// This breakdown scaled by a constant (e.g. the region count).
+    pub fn scaled(&self, by: f64) -> Breakdown {
+        Breakdown {
+            launch: self.launch * by,
+            memory: self.memory * by,
+            compute_useful: self.compute_useful * by,
+            compute_redundant: self.compute_redundant * by,
+            wait: self.wait * by,
+        }
+    }
+
+    /// Fraction of the total spent in each category, in the order
+    /// `(launch, memory, useful, redundant, wait)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let t = self.total().max(f64::MIN_POSITIVE);
+        (
+            self.launch / t,
+            self.memory / t,
+            self.compute_useful / t,
+            self.compute_redundant / t,
+            self.wait / t,
+        )
+    }
+}
+
+/// The simulated execution of one region pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassProfile {
+    /// Pass duration in cycles (barrier release time).
+    pub duration: f64,
+    /// Per-kernel cycle accounting.
+    pub kernels: Vec<KernelProfile>,
+}
+
+impl PassProfile {
+    /// Mean per-kernel breakdown of the pass.
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown::mean_of(&self.kernels)
+    }
+
+    /// The profile of the kernel that finished last (before barrier wait).
+    pub fn slowest(&self) -> &KernelProfile {
+        self.kernels
+            .iter()
+            .min_by(|a, b| a.barrier_wait.total_cmp(&b.barrier_wait))
+            .expect("passes simulate at least one kernel")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelProfile {
+        KernelProfile {
+            launch: 10.0,
+            read: 20.0,
+            compute_useful: 50.0,
+            compute_redundant: 5.0,
+            pipe_wait: 3.0,
+            write: 10.0,
+            barrier_wait: 2.0,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let k = sample();
+        assert_eq!(k.total(), 100.0);
+        let b = Breakdown::mean_of(&[k, k]);
+        assert!((b.total() - 100.0).abs() < 1e-12);
+        assert_eq!(b.memory, 30.0);
+        assert_eq!(b.wait, 5.0);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let b = Breakdown::mean_of(&[sample()]).scaled(3.0);
+        assert!((b.total() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = Breakdown::mean_of(&[sample()]);
+        let (l, m, u, r, w) = b.fractions();
+        assert!((l + m + u + r + w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowest_kernel_has_least_barrier_wait() {
+        let mut fast = sample();
+        fast.barrier_wait = 40.0;
+        let slow = sample();
+        let pass = PassProfile { duration: 100.0, kernels: vec![fast, slow] };
+        assert_eq!(pass.slowest().barrier_wait, 2.0);
+    }
+}

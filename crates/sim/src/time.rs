@@ -1,0 +1,124 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in kernel-clock cycles.
+///
+/// Stored as `f64` (bandwidth sharing produces fractional completion times)
+/// with a total order via [`f64::total_cmp`] so it can key the event queue.
+/// Constructors reject NaN, which keeps the total order meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Time(f64);
+
+impl Time {
+    /// Time zero.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time from a cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is NaN or negative.
+    pub fn cycles(cycles: f64) -> Time {
+        assert!(!cycles.is_nan(), "simulation time cannot be NaN");
+        assert!(cycles >= 0.0, "simulation time cannot be negative: {cycles}");
+        Time(cycles)
+    }
+
+    /// The cycle count.
+    pub fn as_f64(&self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating difference in cycles (`0` when `earlier` is later).
+    pub fn since(&self, earlier: Time) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for Time {
+    type Output = Time;
+
+    fn add(self, cycles: f64) -> Time {
+        Time::cycles(self.0 + cycles)
+    }
+}
+
+impl AddAssign<f64> for Time {
+    fn add_assign(&mut self, cycles: f64) {
+        *self = *self + cycles;
+    }
+}
+
+impl Sub for Time {
+    type Output = f64;
+
+    fn sub(self, rhs: Time) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_max() {
+        let a = Time::cycles(1.0);
+        let b = Time::cycles(2.5);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::cycles(10.0) + 5.0;
+        assert_eq!(t.as_f64(), 15.0);
+        assert_eq!(t - Time::cycles(3.0), 12.0);
+        assert_eq!(Time::cycles(3.0).since(t), 0.0);
+        assert_eq!(t.since(Time::cycles(3.0)), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Time::cycles(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_rejected() {
+        let _ = Time::cycles(-1.0);
+    }
+}

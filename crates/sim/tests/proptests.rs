@@ -1,0 +1,180 @@
+//! Property-based tests for the discrete-event simulator.
+
+use proptest::prelude::*;
+use stencilcl_grid::{Design, DesignKind, Extent, Partition};
+use stencilcl_hls::{Device, PipelineSchedule};
+use stencilcl_lang::{programs, StencilFeatures};
+use stencilcl_sim::{build_plans, simulate, simulate_pass, SharedChannel, Time};
+
+fn setup(
+    kind: DesignKind,
+    fused: u64,
+    tile: usize,
+    par: usize,
+) -> Option<(StencilFeatures, Partition)> {
+    let n = tile * par * 2;
+    let program = programs::jacobi_2d().with_extent(Extent::new2(n, n)).with_iterations(32);
+    let f = StencilFeatures::extract(&program).ok()?;
+    let d = Design::equal(kind, fused, vec![par, par], vec![tile, tile]).ok()?;
+    let p = Partition::new(f.extent, &d, &f.growth).ok()?;
+    Some((f, p))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_kernel_accounts_for_the_full_pass(
+        kind_pick in 0u8..3,
+        fused in 1u64..8,
+        tile in 4usize..12,
+        par in 1usize..3,
+        ii in 1u64..3,
+        depth in 1u64..40,
+        unroll in 1u64..8,
+    ) {
+        let kind = match kind_pick {
+            0 => DesignKind::Baseline,
+            1 => DesignKind::PipeShared,
+            _ => DesignKind::Heterogeneous,
+        };
+        let Some((f, p)) = setup(kind, fused, tile, par) else { return Ok(()); };
+        let sched = PipelineSchedule { ii, depth, unroll };
+        let device = Device::default();
+        let pass = simulate_pass(&build_plans(&f, &p), &sched, &device);
+        prop_assert!(pass.duration > 0.0);
+        for (k, prof) in pass.kernels.iter().enumerate() {
+            prop_assert!(
+                (prof.total() - pass.duration).abs() < 1e-6,
+                "kernel {} accounts {} of {}", k, prof.total(), pass.duration
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        fused in 1u64..8, tile in 4usize..10, par in 1usize..3,
+    ) {
+        let Some((f, p)) = setup(DesignKind::PipeShared, fused, tile, par) else {
+            return Ok(());
+        };
+        let sched = PipelineSchedule { ii: 1, depth: 12, unroll: 2 };
+        let device = Device::default();
+        let a = simulate(&f, &p, &sched, &device);
+        let b = simulate(&f, &p, &sched, &device);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipe_design_never_slower_than_baseline_at_same_point(
+        fused in 1u64..8, tile in 6usize..12, par in 2usize..3,
+    ) {
+        let Some((fb, pb)) = setup(DesignKind::Baseline, fused, tile, par) else {
+            return Ok(());
+        };
+        let Some((fp, pp)) = setup(DesignKind::PipeShared, fused, tile, par) else {
+            return Ok(());
+        };
+        let sched = PipelineSchedule { ii: 1, depth: 12, unroll: 2 };
+        let device = Device::default();
+        let base = simulate(&fb, &pb, &sched, &device);
+        let pipe = simulate(&fp, &pp, &sched, &device);
+        prop_assert!(
+            pipe.total_cycles <= base.total_cycles * 1.0001,
+            "pipe {} vs baseline {}", pipe.total_cycles, base.total_cycles
+        );
+    }
+
+    #[test]
+    fn faster_memory_never_hurts(
+        fused in 1u64..6, tile in 4usize..10,
+        bw in 1.0f64..64.0,
+    ) {
+        let Some((f, p)) = setup(DesignKind::Baseline, fused, tile, 2) else {
+            return Ok(());
+        };
+        let sched = PipelineSchedule { ii: 1, depth: 12, unroll: 2 };
+        let slow = Device { mem_bytes_per_cycle: bw, ..Device::default() };
+        let fast = Device { mem_bytes_per_cycle: bw * 2.0, ..Device::default() };
+        let a = simulate(&f, &p, &sched, &slow);
+        let b = simulate(&f, &p, &sched, &fast);
+        prop_assert!(b.total_cycles <= a.total_cycles + 1e-6);
+    }
+
+    #[test]
+    fn channel_conserves_bytes(
+        bandwidth in 1.0f64..32.0,
+        sizes in prop::collection::vec(1.0f64..500.0, 1..6),
+    ) {
+        // All transfers started at t=0: the last completion time must equal
+        // total bytes / bandwidth (processor sharing is work-conserving).
+        let mut ch = SharedChannel::new(bandwidth);
+        for (i, &s) in sizes.iter().enumerate() {
+            ch.begin(Time::ZERO, i, s);
+        }
+        let total: f64 = sizes.iter().sum();
+        let mut finished = 0usize;
+        let mut last = Time::ZERO;
+        while let Some((t, _)) = ch.next_completion() {
+            let done = ch.collect_finished(t);
+            finished += done.len();
+            last = t;
+            if done.is_empty() {
+                break;
+            }
+        }
+        prop_assert_eq!(finished, sizes.len());
+        prop_assert!((last.as_f64() - total / bandwidth).abs() < 1e-6,
+            "work conservation: last completion {} vs {}", last.as_f64(), total / bandwidth);
+    }
+
+    #[test]
+    fn region_scaling_is_exact(
+        fused in 1u64..6, tile in 4usize..10,
+    ) {
+        let Some((f, p)) = setup(DesignKind::PipeShared, fused, tile, 2) else {
+            return Ok(());
+        };
+        let sched = PipelineSchedule { ii: 1, depth: 10, unroll: 2 };
+        let r = simulate(&f, &p, &sched, &Device::default());
+        let passes = (32u64).div_ceil(fused) as f64;
+        prop_assert_eq!(r.regions, passes * p.regions_per_pass() as f64);
+        prop_assert!((r.total_cycles - r.pass.duration * r.regions).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn trace_spans_tile_each_kernel_exactly(
+        fused in 1u64..6, tile in 4usize..10, par in 1usize..3,
+    ) {
+        use stencilcl_sim::simulate_pass_traced;
+        let Some((f, p)) = setup(DesignKind::PipeShared, fused, tile, par) else {
+            return Ok(());
+        };
+        let sched = PipelineSchedule { ii: 1, depth: 12, unroll: 2 };
+        let device = Device::default();
+        let plans = build_plans(&f, &p);
+        let (pass, trace) = simulate_pass_traced(&plans, &sched, &device);
+        prop_assert_eq!(trace.duration(), pass.duration);
+        for k in 0..pass.kernels.len() {
+            let spans: Vec<_> = trace.kernel_spans(k).collect();
+            prop_assert!(!spans.is_empty());
+            // Spans are contiguous from 0 to the pass end.
+            prop_assert_eq!(spans[0].start, 0.0);
+            for w in spans.windows(2) {
+                prop_assert!((w[0].end - w[1].start).abs() < 1e-9,
+                    "gap between spans: {:?} -> {:?}", w[0], w[1]);
+            }
+            prop_assert!((spans.last().unwrap().end - pass.duration).abs() < 1e-9);
+            // Total span time equals the profile's accounted time.
+            let total: f64 = spans.iter().map(|s| s.end - s.start).sum();
+            prop_assert!((total - pass.kernels[k].total()).abs() < 1e-6);
+        }
+        // The Gantt renders without panicking and has one row per kernel.
+        let g = trace.gantt(72);
+        prop_assert_eq!(g.lines().filter(|l| l.starts_with('k')).count(), pass.kernels.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Design-space exploration, visualized as text: how fused depth, tile size,
+//! and architecture interact for Jacobi-2D — the search the paper's
+//! performance optimizer automates.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use stencilcl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = programs::jacobi_2d();
+    let features = StencilFeatures::extract(&program)?;
+    let device = Device::default();
+    let cost = CostModel::default();
+
+    println!("Jacobi-2D on {} — predicted latency (cycles) per design point\n", device.name);
+    println!("{:>6} | {:>14} {:>14} {:>14} | {:>9} {:>9}", "h", "baseline", "pipe-shared", "heterogeneous", "base BRAM", "het BRAM");
+    println!("{}", "-".repeat(80));
+
+    let tile = 128usize;
+    for h in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+        let eval = |design: Design| {
+            stencilcl_opt::evaluate(&program, &features, design, &device, &cost, 8).ok()
+        };
+        let base = eval(Design::equal(DesignKind::Baseline, h, vec![4, 4], vec![tile; 2])?);
+        let pipe = eval(Design::equal(DesignKind::PipeShared, h, vec![4, 4], vec![tile; 2])?);
+        let het = (0..2)
+            .map(|d| balance_tiles_for(&features, tile * 4, 4, d, h))
+            .collect::<Option<Vec<_>>>()
+            .and_then(|lens| Design::heterogeneous(h, lens).ok())
+            .and_then(eval);
+        let fmt = |p: &Option<DesignPoint>, f: fn(&DesignPoint) -> String| {
+            p.as_ref().map_or_else(|| "-".to_string(), f)
+        };
+        println!(
+            "{h:>6} | {:>14} {:>14} {:>14} | {:>9} {:>9}",
+            fmt(&base, |p| format!("{:.3e}", p.prediction.total)),
+            fmt(&pipe, |p| format!("{:.3e}", p.prediction.total)),
+            fmt(&het, |p| format!("{:.3e}", p.prediction.total)),
+            fmt(&base, |p| p.hls.resources.bram.to_string()),
+            fmt(&het, |p| p.hls.resources.bram.to_string()),
+        );
+    }
+
+    println!("\nNow let the optimizer pick (paper methodology):");
+    let cfg = SearchConfig {
+        parallelism: vec![4, 4],
+        ..SearchConfig::default()
+    };
+    let pair = optimize_pair(&program, &device, &cost, &cfg)?;
+    println!(
+        "  baseline optimum:      h={:<4} tile={:?}  {}",
+        pair.baseline.design.fused(),
+        (0..2).map(|d| pair.baseline.design.max_tile_len(d)).collect::<Vec<_>>(),
+        pair.baseline.hls.resources
+    );
+    println!(
+        "  heterogeneous optimum: h={:<4} tile={:?}  {}",
+        pair.heterogeneous.design.fused(),
+        (0..2).map(|d| pair.heterogeneous.design.max_tile_len(d)).collect::<Vec<_>>(),
+        pair.heterogeneous.hls.resources
+    );
+    println!("  predicted speedup: {:.2}x", pair.predicted_speedup());
+    Ok(())
+}
+
+fn balance_tiles_for(
+    features: &StencilFeatures,
+    region: usize,
+    k: usize,
+    dim: usize,
+    h: u64,
+) -> Option<Vec<usize>> {
+    let boundary = features.extent.len(dim) / region > 1;
+    balance_tiles(region, k, &features.growth, dim, h, boundary, 8)
+}

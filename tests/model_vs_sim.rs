@@ -1,0 +1,115 @@
+//! Figure 7's property at test scale: the analytical model tracks the
+//! simulator across fused depths, finds the same optimum, and the error
+//! stays within a band.
+
+use stencilcl::prelude::*;
+
+fn sweep(kind: DesignKind, hs: &[u64]) -> Vec<(u64, f64, f64)> {
+    // 128-wide tiles keep the sweep compute-dominated, like the paper's
+    // configurations.
+    let program = programs::jacobi_2d().with_extent(Extent::new2(512, 512)).with_iterations(64);
+    let f = StencilFeatures::extract(&program).unwrap();
+    let device = Device::default();
+    let cost = CostModel::default();
+    hs.iter()
+        .filter_map(|&h| {
+            let design = Design::equal(kind, h, vec![4, 4], vec![128, 128]).ok()?;
+            let point =
+                stencilcl_opt::evaluate(&program, &f, design.clone(), &device, &cost, 8).ok()?;
+            let partition = Partition::new(f.extent, &design, &f.growth).ok()?;
+            let sim = simulate(&f, &partition, &point.hls.schedule(), &device);
+            Some((h, point.prediction.total, sim.total_cycles))
+        })
+        .collect()
+}
+
+const HS: [u64; 8] = [1, 2, 4, 8, 12, 16, 24, 48];
+
+#[test]
+fn model_tracks_simulator_for_baseline() {
+    let pts = sweep(DesignKind::Baseline, &HS);
+    assert_eq!(pts.len(), HS.len());
+    // Shallow depths are launch-dominated, where the single-charge launch
+    // model is weakest (the paper's own Section 5.6 caveat) — so bound the
+    // sweep's mean error and keep a loose cap per point.
+    let mean: f64 =
+        pts.iter().map(|(_, p, m)| (m - p).abs() / m).sum::<f64>() / pts.len() as f64;
+    assert!(mean < 0.35, "mean error {mean:.2}");
+    for (h, pred, meas) in &pts {
+        let err = (meas - pred).abs() / meas;
+        assert!(err < 0.9, "h={h}: predicted {pred:.3e} vs measured {meas:.3e} ({err:.2})");
+        if *h >= 8 {
+            assert!(err < 0.35, "h={h}: deep-fusion error {err:.2} too large");
+        }
+    }
+}
+
+#[test]
+fn model_and_simulator_agree_on_the_optimum() {
+    for kind in [DesignKind::Baseline, DesignKind::PipeShared] {
+        let pts = sweep(kind, &HS);
+        let best_pred = pts.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+        let best_meas = pts.iter().min_by(|a, b| a.2.total_cmp(&b.2)).unwrap().0;
+        // The paper reports exact matches; allow the optimum to land on a
+        // neighboring candidate since the curves are flat near the minimum.
+        let idx = |h: u64| HS.iter().position(|&x| x == h).unwrap();
+        assert!(
+            idx(best_pred).abs_diff(idx(best_meas)) <= 1,
+            "{kind:?}: predicted optimum h={best_pred}, measured h={best_meas}"
+        );
+    }
+}
+
+#[test]
+fn both_curves_show_the_fusion_sweet_spot() {
+    // Latency first falls with h (fewer passes), then rises (halo work):
+    // the minimum must be strictly inside the sweep for the baseline.
+    let pts = sweep(DesignKind::Baseline, &HS);
+    let first = pts.first().unwrap();
+    let last = pts.last().unwrap();
+    let min_meas = pts.iter().map(|p| p.2).fold(f64::MAX, f64::min);
+    assert!(min_meas < first.2, "h=1 should not be optimal");
+    assert!(min_meas < last.2, "deepest fusion should overshoot");
+}
+
+#[test]
+fn launch_delay_pushes_measurement_above_prediction() {
+    // With an exaggerated launch delay the unmodeled sequential launches
+    // dominate: the model must underestimate everywhere (Section 5.6).
+    let program = programs::jacobi_2d().with_extent(Extent::new2(512, 512)).with_iterations(64);
+    let f = StencilFeatures::extract(&program).unwrap();
+    let device = Device { launch_delay: 50_000, ..Device::default() };
+    let cost = CostModel::default();
+    for h in [2u64, 8, 16] {
+        let design = Design::equal(DesignKind::PipeShared, h, vec![4, 4], vec![32, 32]).unwrap();
+        let point =
+            stencilcl_opt::evaluate(&program, &f, design.clone(), &device, &cost, 8).unwrap();
+        let partition = Partition::new(f.extent, &design, &f.growth).unwrap();
+        let sim = simulate(&f, &partition, &point.hls.schedule(), &device);
+        assert!(
+            point.prediction.total < sim.total_cycles,
+            "h={h}: model {:.3e} should underestimate measured {:.3e}",
+            point.prediction.total,
+            sim.total_cycles
+        );
+    }
+}
+
+#[test]
+fn prediction_scales_linearly_with_iteration_count() {
+    let device = Device::default();
+    let cost = CostModel::default();
+    let mk = |iters: u64| {
+        let program =
+            programs::jacobi_2d().with_extent(Extent::new2(256, 256)).with_iterations(iters);
+        let f = StencilFeatures::extract(&program).unwrap();
+        let design = Design::equal(DesignKind::Baseline, 4, vec![2, 2], vec![32, 32]).unwrap();
+        stencilcl_opt::evaluate(&program, &f, design, &device, &cost, 4)
+            .unwrap()
+            .prediction
+            .total
+    };
+    let l1 = mk(16);
+    let l2 = mk(32);
+    assert!((l2 / l1 - 2.0).abs() < 1e-9, "doubling H doubles L: {l1} vs {l2}");
+}

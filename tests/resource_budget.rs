@@ -1,0 +1,99 @@
+//! Table 3's resource property: the heterogeneous design the optimizer
+//! returns never exceeds the baseline's FF/LUT/DSP/BRAM, and both fit the
+//! device.
+
+use stencilcl::prelude::*;
+
+fn scaled(name: &str, n: usize, iters: u64) -> (Program, SearchConfig) {
+    let spec = stencilcl::suite::by_name(name).unwrap();
+    let program = spec.scaled(n, iters);
+    let cfg = SearchConfig {
+        parallelism: spec.search.parallelism.clone(),
+        unroll: 4,
+        unroll_candidates: vec![2, 4, 8],
+        max_fused: 32,
+        min_tile: 4,
+    };
+    (program, cfg)
+}
+
+#[test]
+fn heterogeneous_never_exceeds_baseline_budget() {
+    let device = Device::default();
+    let cost = CostModel::default();
+    for (name, n) in [("Jacobi-2D", 512), ("HotSpot-2D", 512), ("FDTD-2D", 512)] {
+        let (program, cfg) = scaled(name, n, 64);
+        let pair = optimize_pair(&program, &device, &cost, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = pair.baseline.hls.resources;
+        let h = pair.heterogeneous.hls.resources;
+        assert!(h.within(&b), "{name}: {h} exceeds baseline {b}");
+        assert!(b.fits(&device), "{name}: baseline over capacity");
+        assert_eq!(b.dsp, h.dsp, "{name}: DSP must match at equal parallelism+unroll");
+    }
+}
+
+#[test]
+fn pipe_sharing_reduces_bram_at_equal_depth() {
+    // The architectural claim behind Table 3's BRAM column, checked directly
+    // on the resource model at matched design points.
+    let device = Device::default();
+    let cost = CostModel::default();
+    let program = programs::jacobi_2d();
+    let f = StencilFeatures::extract(&program).unwrap();
+    for h in [8u64, 16, 32] {
+        let usage = |kind| {
+            let d = Design::equal(kind, h, vec![4, 4], vec![128, 128]).unwrap();
+            let p = Partition::new(f.extent, &d, &f.growth).unwrap();
+            estimate_resources(&f, &p, 8, &cost, &device)
+        };
+        let base = usage(DesignKind::Baseline);
+        let pipe = usage(DesignKind::PipeShared);
+        assert!(pipe.bram < base.bram, "h={h}: {} !< {}", pipe.bram, base.bram);
+        assert!(pipe.ff <= base.ff, "h={h}: FF must not grow");
+        assert!(pipe.lut <= base.lut, "h={h}: LUT must not grow");
+    }
+}
+
+#[test]
+fn budget_constraint_is_actually_binding() {
+    // Shrinking the budget below the baseline must change (or break) the
+    // heterogeneous search result — proving the constraint is enforced.
+    let device = Device::default();
+    let cost = CostModel::default();
+    let (program, cfg) = scaled("Jacobi-2D", 512, 64);
+    let pair = optimize_pair(&program, &device, &cost, &cfg).unwrap();
+    let unroll = pair.baseline.hls.unroll;
+    let full = pair.heterogeneous.hls.resources;
+    let squeezed = ResourceUsage { bram: full.bram / 2, ..full };
+    match optimize_heterogeneous(&program, &device, &cost, &cfg, &squeezed, unroll) {
+        Ok(point) => assert!(
+            point.hls.resources.bram <= squeezed.bram,
+            "result must respect the squeezed budget"
+        ),
+        Err(OptErrorAlias::NoFeasibleDesign { .. }) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+use stencilcl_opt::OptError as OptErrorAlias;
+
+#[test]
+fn device_capacity_bounds_the_baseline() {
+    // A miniature device forces the baseline search to shallow designs or
+    // reports infeasibility — never returns something over capacity.
+    let tiny_device = Device {
+        ff: 120_000,
+        lut: 90_000,
+        dsp: 500,
+        bram: 200,
+        ..Device::default()
+    };
+    let cost = CostModel::default();
+    let (program, cfg) = scaled("Jacobi-2D", 512, 64);
+    match optimize_baseline(&program, &tiny_device, &cost, &cfg) {
+        Ok(point) => assert!(point.hls.resources.fits(&tiny_device)),
+        Err(OptErrorAlias::NoFeasibleDesign { .. }) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}

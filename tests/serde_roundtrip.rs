@@ -1,0 +1,81 @@
+//! Every configuration and report type serializes to JSON and back without
+//! loss — the experiment binaries persist them under `results/`, and
+//! downstream tooling consumes that JSON.
+
+use stencilcl::prelude::*;
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value, "JSON roundtrip changed the value:\n{json}");
+}
+
+#[test]
+fn geometry_types_roundtrip() {
+    roundtrip(&Point::new3(-1, 2, 3));
+    roundtrip(&Extent::new3(4, 5, 6));
+    roundtrip(&Rect::new(Point::new2(1, 2), Point::new2(5, 6)).unwrap());
+    roundtrip(&Growth::new(&[1, 0], &[2, 1]).unwrap());
+    roundtrip(&Design::heterogeneous(8, vec![vec![6, 10], vec![8, 8]]).unwrap());
+    roundtrip(&Design::equal(DesignKind::Baseline, 4, vec![4, 4], vec![32, 32]).unwrap());
+}
+
+#[test]
+fn programs_roundtrip_including_intrinsics() {
+    for p in programs::all().into_iter().chain(programs::extensions()) {
+        roundtrip(&p);
+    }
+}
+
+#[test]
+fn partition_and_tiles_roundtrip() {
+    let f = StencilFeatures::extract(&programs::jacobi_2d()).unwrap();
+    roundtrip(&f);
+    let d = Design::equal(DesignKind::PipeShared, 8, vec![4, 4], vec![128, 128]).unwrap();
+    let partition = Partition::new(f.extent, &d, &f.growth).unwrap();
+    roundtrip(&partition);
+    for tile in partition.canonical_tiles() {
+        roundtrip(&tile);
+    }
+}
+
+#[test]
+fn device_cost_and_reports_roundtrip() {
+    roundtrip(&Device::adm_pcie_7v3());
+    roundtrip(&Device::kc705_kintex7_325t());
+    roundtrip(&CostModel::default());
+    let program = programs::jacobi_2d();
+    let f = StencilFeatures::extract(&program).unwrap();
+    let d = Design::equal(DesignKind::PipeShared, 8, vec![4, 4], vec![128, 128]).unwrap();
+    let partition = Partition::new(f.extent, &d, &f.growth).unwrap();
+    let device = Device::default();
+    let hls = synthesize(&program, &partition, 8, &CostModel::default(), &device);
+    roundtrip(&hls);
+    let inputs = ModelInputs::gather(&f, &partition, &hls, &device);
+    roundtrip(&inputs);
+    roundtrip(&predict(&inputs));
+    let sim = simulate(&f, &partition, &hls.schedule(), &device);
+    roundtrip(&sim);
+}
+
+#[test]
+fn search_results_roundtrip() {
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(256, 256))
+        .with_iterations(32);
+    let cfg = SearchConfig {
+        parallelism: vec![2, 2],
+        unroll: 4,
+        unroll_candidates: vec![4],
+        max_fused: 8,
+        min_tile: 8,
+    };
+    roundtrip(&cfg);
+    let pair =
+        optimize_pair(&program, &Device::default(), &CostModel::default(), &cfg).unwrap();
+    roundtrip(&pair);
+    roundtrip(&pair.baseline);
+}
