@@ -12,21 +12,16 @@ fn bench_evaluate_point(c: &mut Criterion) {
     let cost = CostModel::default();
     c.bench_function("dse/evaluate_point/jacobi2d", |b| {
         b.iter(|| {
-            stencilcl_opt::evaluate(
-                black_box(&program),
-                &f,
-                design.clone(),
-                &device,
-                &cost,
-                8,
-            )
-            .unwrap()
+            stencilcl_opt::evaluate(black_box(&program), &f, design.clone(), &device, &cost, 8)
+                .unwrap()
         })
     });
 }
 
 fn bench_full_search(c: &mut Criterion) {
-    let program = programs::jacobi_2d().with_extent(Extent::new2(512, 512)).with_iterations(64);
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(512, 512))
+        .with_iterations(64);
     let device = Device::default();
     let cost = CostModel::default();
     let cfg = SearchConfig {

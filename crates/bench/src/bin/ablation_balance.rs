@@ -42,11 +42,15 @@ fn main() {
         let features = StencilFeatures::extract(&spec.program).expect("checked program");
         // Equal-tile variant at the same fused depth and region lengths.
         let k = &spec.search.parallelism;
-        let equal_tiles: Vec<usize> =
-            (0..het.design.dim()).map(|d| het.design.region_len(d) / k[d]).collect();
-        let Ok(equal_design) =
-            Design::equal(DesignKind::PipeShared, het.design.fused(), k.clone(), equal_tiles)
-        else {
+        let equal_tiles: Vec<usize> = (0..het.design.dim())
+            .map(|d| het.design.region_len(d) / k[d])
+            .collect();
+        let Ok(equal_design) = Design::equal(
+            DesignKind::PipeShared,
+            het.design.fused(),
+            k.clone(),
+            equal_tiles,
+        ) else {
             continue;
         };
         let Ok(equal) = stencilcl_opt::evaluate(
@@ -59,8 +63,12 @@ fn main() {
         ) else {
             continue;
         };
-        let eq_eval = fw.evaluate(&spec.program, equal).expect("simulate equal tiles");
-        let bal_eval = fw.evaluate(&spec.program, het).expect("simulate balanced tiles");
+        let eq_eval = fw
+            .evaluate(&spec.program, equal)
+            .expect("simulate equal tiles");
+        let bal_eval = fw
+            .evaluate(&spec.program, het)
+            .expect("simulate balanced tiles");
         let row = Row {
             name: spec.display.to_string(),
             fused: bal_eval.point.design.fused(),

@@ -10,8 +10,12 @@ use stencilcl_bench::table::{ratio, Table};
 
 fn main() {
     let mut rows: Vec<Ablation> = Vec::new();
-    let mut t =
-        Table::new(vec!["Benchmark", "Hiding off (cy)", "Hiding on (cy)", "Benefit"]);
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "Hiding off (cy)",
+        "Hiding on (cy)",
+        "Benefit",
+    ]);
     for spec in stencilcl::suite::all() {
         eprintln!("[ablation_hiding] {} ...", spec.display);
         match ablation_hiding(&spec) {

@@ -41,14 +41,18 @@ fn main() {
         let partition = Partition::new(features.extent, &het.design, &features.growth)
             .expect("search designs partition");
         let with = simulate(&features, &partition, &het.hls.schedule(), &fw.device);
-        let without = simulate(&features, &partition, &het.hls.schedule(), &no_launch_device);
+        let without = simulate(
+            &features,
+            &partition,
+            &het.hls.schedule(),
+            &no_launch_device,
+        );
         let row = Row {
             name: spec.display.to_string(),
             predicted: het.prediction.total,
             measured: with.total_cycles,
             measured_no_launch: without.total_cycles,
-            error_with_launch: (with.total_cycles - het.prediction.total).abs()
-                / with.total_cycles,
+            error_with_launch: (with.total_cycles - het.prediction.total).abs() / with.total_cycles,
             error_without_launch: (without.total_cycles - het.prediction.total).abs()
                 / without.total_cycles,
         };
@@ -65,6 +69,9 @@ fn main() {
     );
     println!("{}", t.render());
     let under = rows.iter().filter(|r| r.predicted <= r.measured).count();
-    println!("Model underestimates the launch-inclusive measurement on {under}/{} benchmarks.", rows.len());
+    println!(
+        "Model underestimates the launch-inclusive measurement on {under}/{} benchmarks.",
+        rows.len()
+    );
     write_json("ablation_launch.json", &rows);
 }

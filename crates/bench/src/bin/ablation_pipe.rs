@@ -24,16 +24,22 @@ struct Row {
 fn main() {
     let fw = Framework::new();
     let mut rows = Vec::new();
-    let mut t = Table::new(vec!["Benchmark", "h", "Baseline (cy)", "Pipe-shared (cy)", "Speedup"]);
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "h",
+        "Baseline (cy)",
+        "Pipe-shared (cy)",
+        "Speedup",
+    ]);
     for spec in suite::all() {
         eprintln!("[ablation_pipe] {} ...", spec.display);
-        let Ok(base) = optimize_baseline(&spec.program, &fw.device, &fw.cost, &spec.search)
-        else {
+        let Ok(base) = optimize_baseline(&spec.program, &fw.device, &fw.cost, &spec.search) else {
             continue;
         };
         let features = StencilFeatures::extract(&spec.program).expect("checked program");
-        let tiles: Vec<usize> =
-            (0..base.design.dim()).map(|d| base.design.max_tile_len(d)).collect();
+        let tiles: Vec<usize> = (0..base.design.dim())
+            .map(|d| base.design.max_tile_len(d))
+            .collect();
         let pipe_design = Design::equal(
             DesignKind::PipeShared,
             base.design.fused(),
@@ -52,7 +58,9 @@ fn main() {
             continue;
         };
         let base_eval = fw.evaluate(&spec.program, base).expect("simulate baseline");
-        let pipe_eval = fw.evaluate(&spec.program, pipe).expect("simulate pipe design");
+        let pipe_eval = fw
+            .evaluate(&spec.program, pipe)
+            .expect("simulate pipe design");
         let row = Row {
             name: spec.display.to_string(),
             fused: base_eval.point.design.fused(),

@@ -14,10 +14,17 @@ fn trace(kind: DesignKind, lens: Vec<Vec<usize>>) {
     };
     let p = Partition::new(f.extent, &design, &f.growth).expect("divisible");
     let device = Device::default();
-    let sched = stencilcl_hls::PipelineSchedule { ii: 1, depth: 24, unroll: 4 };
+    let sched = stencilcl_hls::PipelineSchedule {
+        ii: 1,
+        depth: 24,
+        unroll: 4,
+    };
     let plans = stencilcl_sim::build_plans(&f, &p);
     let (_, trace) = simulate_pass_traced(&plans, &sched, &device);
-    println!("--- {} design (Jacobi-2D, h=8, 4x1 kernels) ---", design.kind());
+    println!(
+        "--- {} design (Jacobi-2D, h=8, 4x1 kernels) ---",
+        design.kind()
+    );
     println!("{}", trace.gantt(100));
 }
 
@@ -26,8 +33,7 @@ fn main() {
     trace(DesignKind::Baseline, vec![]);
     trace(DesignKind::PipeShared, vec![]);
     let f = StencilFeatures::extract(&programs::jacobi_2d()).expect("checked program");
-    let balanced =
-        balance_tiles(128, 4, &f.growth, 0, 8, true, 4).expect("balance feasible");
+    let balanced = balance_tiles(128, 4, &f.growth, 0, 8, true, 4).expect("balance feasible");
     trace(DesignKind::Heterogeneous, vec![balanced, vec![128]]);
     println!(
         "The baseline kernels run independently (all `#`); the pipe-shared design\n\

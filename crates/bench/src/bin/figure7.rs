@@ -7,8 +7,14 @@ use stencilcl_bench::paper;
 use stencilcl_bench::runner::{figure7, write_json, Figure7Series};
 use stencilcl_bench::table::{cycles, percent, Table};
 
-const PANELS: [&str; 6] =
-    ["Jacobi-2D", "Jacobi-3D", "HotSpot-2D", "HotSpot-3D", "FDTD-2D", "FDTD-3D"];
+const PANELS: [&str; 6] = [
+    "Jacobi-2D",
+    "Jacobi-3D",
+    "HotSpot-2D",
+    "HotSpot-3D",
+    "FDTD-2D",
+    "FDTD-3D",
+];
 
 fn sweep_values(max: u64) -> Vec<u64> {
     let mut out = vec![1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128];
@@ -28,7 +34,12 @@ fn main() {
                 continue;
             }
         };
-        let mut t = Table::new(vec!["#Fused Iter.", "Predicted (cy)", "Measured (cy)", "Error"]);
+        let mut t = Table::new(vec![
+            "#Fused Iter.",
+            "Predicted (cy)",
+            "Measured (cy)",
+            "Error",
+        ]);
         for p in &series.points {
             t.row(vec![
                 p.fused.to_string(),
@@ -54,7 +65,8 @@ fn main() {
         );
         all.push(series);
     }
-    let mean: f64 = all.iter().map(Figure7Series::mean_error).sum::<f64>() / all.len().max(1) as f64;
+    let mean: f64 =
+        all.iter().map(Figure7Series::mean_error).sum::<f64>() / all.len().max(1) as f64;
     let matches = all
         .iter()
         .filter(|s| s.predicted_optimum() == s.measured_optimum())

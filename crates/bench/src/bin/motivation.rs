@@ -32,11 +32,15 @@ fn main() {
     for dim in 1..=3 {
         let mut cells = vec![format!("{dim}-D ({tile_len}^D tile)")];
         for fused in [2u64, 4, 8, 16, 32] {
-            let cone =
-                Cone::fully_expanding(tile(dim, tile_len), Growth::symmetric(dim, 1), fused);
+            let cone = Cone::fully_expanding(tile(dim, tile_len), Growth::symmetric(dim, 1), fused);
             let frac = cone.redundant_elements() as f64 / cone.total_compute() as f64;
             cells.push(percent(frac));
-            rows.push(Row { dim, fused, tile_len: tile_len as u64, redundant_fraction: frac });
+            rows.push(Row {
+                dim,
+                fused,
+                tile_len: tile_len as u64,
+                redundant_fraction: frac,
+            });
         }
         t.row(cells);
     }

@@ -3,9 +3,9 @@
 //! the paper's input sizes, with the paper's reported values alongside.
 
 use stencilcl::suite;
+use stencilcl_bench::paper;
 use stencilcl_bench::runner::{table3_row, write_json, Table3Row};
 use stencilcl_bench::table::{ratio, Table};
-use stencilcl_bench::paper;
 
 fn main() {
     let mut rows: Vec<Table3Row> = Vec::new();
@@ -31,7 +31,12 @@ fn main() {
                 continue;
             }
         };
-        let tiles = |v: &[usize]| v.iter().map(ToString::to_string).collect::<Vec<_>>().join("x");
+        let tiles = |v: &[usize]| {
+            v.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x")
+        };
         let par = tiles(&row.parallelism);
         t.row(vec![
             row.name.clone(),

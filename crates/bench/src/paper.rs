@@ -152,7 +152,11 @@ mod tests {
         let t = table3();
         assert_eq!(t.len(), 7);
         for r in &t {
-            assert_eq!(r.base_res.dsp, r.het_res.dsp, "{}: DSP equal by construction", r.name);
+            assert_eq!(
+                r.base_res.dsp, r.het_res.dsp,
+                "{}: DSP equal by construction",
+                r.name
+            );
             assert!(r.het_res.bram < r.base_res.bram, "{}: BRAM reduced", r.name);
             assert!(r.het_fused > r.base_fused, "{}: deeper fusion", r.name);
             assert!(r.speedup > 1.0);

@@ -2,13 +2,15 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use stencilcl::suite::BenchmarkSpec;
 use stencilcl::{Framework, FrameworkError, SynthesisReport};
-use stencilcl_grid::{Design, Partition};
+use stencilcl_exec::{run_pipe_shared, run_reference, run_threaded, ExecError};
+use stencilcl_grid::{Design, Partition, Point};
 use stencilcl_hls::ResourceUsage;
-use stencilcl_lang::StencilFeatures;
+use stencilcl_lang::{GridState, Program, StencilFeatures};
 use stencilcl_opt::{balance_tiles, evaluate, optimize_pair};
 use stencilcl_sim::{simulate, simulate_opts, Breakdown};
 
@@ -52,11 +54,15 @@ pub fn table3_row(spec: &BenchmarkSpec) -> Result<(SynthesisReport, Table3Row), 
     let row = Table3Row {
         name: spec.display.to_string(),
         base_fused: b.design.fused(),
-        base_tile: (0..b.design.dim()).map(|d| b.design.max_tile_len(d)).collect(),
+        base_tile: (0..b.design.dim())
+            .map(|d| b.design.max_tile_len(d))
+            .collect(),
         parallelism: spec.search.parallelism.clone(),
         base_res: b.hls.resources,
         het_fused: h.design.fused(),
-        het_tile: (0..h.design.dim()).map(|d| h.design.max_tile_len(d)).collect(),
+        het_tile: (0..h.design.dim())
+            .map(|d| h.design.max_tile_len(d))
+            .collect(),
         het_res: h.hls.resources,
         speedup_sim: report.speedup_simulated(),
         speedup_pred: report.speedup_predicted(),
@@ -116,7 +122,10 @@ impl Figure7Series {
     /// Mean relative error `|measured − predicted| / measured`.
     pub fn mean_error(&self) -> f64 {
         let n = self.points.len().max(1) as f64;
-        self.points.iter().map(|p| (p.measured - p.predicted).abs() / p.measured).sum::<f64>()
+        self.points
+            .iter()
+            .map(|p| (p.measured - p.predicted).abs() / p.measured)
+            .sum::<f64>()
             / n
     }
 
@@ -143,7 +152,11 @@ impl Figure7Series {
     /// launches).
     pub fn underestimation_rate(&self) -> f64 {
         let n = self.points.len().max(1) as f64;
-        self.points.iter().filter(|p| p.predicted <= p.measured).count() as f64 / n
+        self.points
+            .iter()
+            .filter(|p| p.predicted <= p.measured)
+            .count() as f64
+            / n
     }
 }
 
@@ -171,7 +184,15 @@ pub fn figure7(spec: &BenchmarkSpec, h_values: &[u64]) -> Result<Figure7Series, 
                 .search
                 .min_tile
                 .max(features.growth.lo(d).max(features.growth.hi(d)) as usize);
-            match balance_tiles(region, k, &features.growth, d, h, boundary_expands, min_tile) {
+            match balance_tiles(
+                region,
+                k,
+                &features.growth,
+                d,
+                h,
+                boundary_expands,
+                min_tile,
+            ) {
                 Some(v) => lens.push(v),
                 None => {
                     ok = false;
@@ -182,11 +203,18 @@ pub fn figure7(spec: &BenchmarkSpec, h_values: &[u64]) -> Result<Figure7Series, 
         if !ok {
             continue;
         }
-        let Ok(design) = Design::heterogeneous(h, lens) else { continue };
+        let Ok(design) = Design::heterogeneous(h, lens) else {
+            continue;
+        };
         let unroll = pair.heterogeneous.hls.unroll;
-        let Ok(point) =
-            evaluate(&spec.program, &features, design.clone(), &fw.device, &fw.cost, unroll)
-        else {
+        let Ok(point) = evaluate(
+            &spec.program,
+            &features,
+            design.clone(),
+            &fw.device,
+            &fw.cost,
+            unroll,
+        ) else {
             continue;
         };
         let partition = Partition::new(features.extent, &design, &features.growth)?;
@@ -197,7 +225,10 @@ pub fn figure7(spec: &BenchmarkSpec, h_values: &[u64]) -> Result<Figure7Series, 
             measured: sim.total_cycles,
         });
     }
-    Ok(Figure7Series { name: spec.display.to_string(), points })
+    Ok(Figure7Series {
+        name: spec.display.to_string(),
+        points,
+    })
 }
 
 /// Result of one ablation comparison: latencies of the two settings.
@@ -242,6 +273,81 @@ pub fn ablation_hiding(spec: &BenchmarkSpec) -> Result<Ablation, FrameworkError>
     })
 }
 
+/// Wall-clock medians (milliseconds) of the functional executors on one
+/// program/partition — the host-side companion to the simulated cycle
+/// counts, used to report executor-rework speedups in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecTiming {
+    /// Label for the timed configuration.
+    pub name: String,
+    /// Median wall time of `run_reference`.
+    pub reference_ms: f64,
+    /// Median wall time of `run_pipe_shared`.
+    pub pipe_shared_ms: f64,
+    /// Median wall time of `run_threaded`.
+    pub threaded_ms: f64,
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn time_ms(
+    samples: usize,
+    mut run: impl FnMut() -> Result<(), ExecError>,
+) -> Result<f64, ExecError> {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        run()?;
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok(median_ms(&mut times))
+}
+
+/// Times the three exact executors over `samples` runs each and returns the
+/// per-executor median wall time.
+///
+/// # Errors
+///
+/// Propagates executor failures; `samples` must be at least 1.
+pub fn time_executors(
+    name: &str,
+    program: &Program,
+    partition: &Partition,
+    samples: usize,
+) -> Result<ExecTiming, ExecError> {
+    if samples == 0 {
+        return Err(ExecError::config("timing needs at least one sample"));
+    }
+    let init = |n: &str, p: &Point| {
+        let mut v = n.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    };
+    let reference_ms = time_ms(samples, || {
+        let mut s = GridState::new(program, init);
+        run_reference(program, &mut s)
+    })?;
+    let pipe_shared_ms = time_ms(samples, || {
+        let mut s = GridState::new(program, init);
+        run_pipe_shared(program, partition, &mut s)
+    })?;
+    let threaded_ms = time_ms(samples, || {
+        let mut s = GridState::new(program, init);
+        run_threaded(program, partition, &mut s)
+    })?;
+    Ok(ExecTiming {
+        name: name.to_string(),
+        reference_ms,
+        pipe_shared_ms,
+        threaded_ms,
+    })
+}
+
 /// Directory where experiment binaries drop their JSON
 /// (`$STENCILCL_RESULTS`, default `results/`).
 pub fn results_dir() -> PathBuf {
@@ -272,9 +378,21 @@ mod tests {
         let s = Figure7Series {
             name: "t".into(),
             points: vec![
-                Figure7Point { fused: 1, predicted: 90.0, measured: 100.0 },
-                Figure7Point { fused: 2, predicted: 70.0, measured: 80.0 },
-                Figure7Point { fused: 4, predicted: 95.0, measured: 110.0 },
+                Figure7Point {
+                    fused: 1,
+                    predicted: 90.0,
+                    measured: 100.0,
+                },
+                Figure7Point {
+                    fused: 2,
+                    predicted: 70.0,
+                    measured: 80.0,
+                },
+                Figure7Point {
+                    fused: 4,
+                    predicted: 95.0,
+                    measured: 110.0,
+                },
             ],
         };
         assert_eq!(s.predicted_optimum(), 2);
@@ -282,6 +400,21 @@ mod tests {
         assert_eq!(s.underestimation_rate(), 1.0);
         let expect = (0.1 + 0.125 + 15.0 / 110.0) / 3.0;
         assert!((s.mean_error() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn executor_timing_runs_and_is_positive() {
+        use stencilcl_grid::DesignKind;
+        use stencilcl_lang::programs;
+        let p = programs::jacobi_2d()
+            .with_extent(stencilcl_grid::Extent::new2(16, 16))
+            .with_iterations(4);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![4, 4]).unwrap();
+        let partition = Partition::new(f.extent, &d, &f.growth).unwrap();
+        let t = time_executors("jacobi2d_16", &p, &partition, 3).unwrap();
+        assert!(t.reference_ms > 0.0 && t.pipe_shared_ms > 0.0 && t.threaded_ms > 0.0);
+        assert!(time_executors("none", &p, &partition, 0).is_err());
     }
 
     #[test]

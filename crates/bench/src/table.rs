@@ -22,7 +22,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<&str>) -> Table {
-        Table { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -31,7 +34,11 @@ impl Table {
     ///
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
     }
 

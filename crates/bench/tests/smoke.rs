@@ -30,7 +30,10 @@ fn table3_driver_produces_consistent_rows() {
     assert!((row.speedup_sim - report.speedup_simulated()).abs() < 1e-12);
     assert!(row.het_res.within(&row.base_res));
     assert_eq!(row.base_res.dsp, row.het_res.dsp);
-    assert!((row.paper_speedup - 1.58).abs() < 1e-9, "paper value wired through");
+    assert!(
+        (row.paper_speedup - 1.58).abs() < 1e-9,
+        "paper value wired through"
+    );
 }
 
 #[test]
@@ -57,7 +60,11 @@ fn figure7_driver_sweeps_and_reports_stats() {
     for p in &series.points {
         assert!(p.predicted > 0.0 && p.measured > 0.0);
     }
-    assert!(series.mean_error() < 0.5, "error {:.2}", series.mean_error());
+    assert!(
+        series.mean_error() < 0.5,
+        "error {:.2}",
+        series.mean_error()
+    );
     let pred = series.predicted_optimum();
     let meas = series.measured_optimum();
     assert!(series.points.iter().any(|p| p.fused == pred));

@@ -141,7 +141,10 @@ mod tests {
             lhs: Box::new(ClExpr::Int(1)),
             rhs: Box::new(ClExpr::Var("x".into())),
         };
-        let s = ClStmt::Assign { lvalue: ClExpr::Var("y".into()), expr: e };
+        let s = ClStmt::Assign {
+            lvalue: ClExpr::Var("y".into()),
+            expr: e,
+        };
         assert!(matches!(s, ClStmt::Assign { .. }));
     }
 }

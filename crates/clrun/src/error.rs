@@ -33,12 +33,16 @@ pub enum ClError {
 impl ClError {
     /// Convenience constructor for parse errors.
     pub fn parse(detail: impl Into<String>) -> Self {
-        ClError::Parse { detail: detail.into() }
+        ClError::Parse {
+            detail: detail.into(),
+        }
     }
 
     /// Convenience constructor for runtime errors.
     pub fn runtime(detail: impl Into<String>) -> Self {
-        ClError::Runtime { detail: detail.into() }
+        ClError::Runtime {
+            detail: detail.into(),
+        }
     }
 }
 

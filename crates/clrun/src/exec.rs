@@ -53,26 +53,24 @@ pub fn run_pass(
     }
 
     let snapshot = &*globals;
-    let results: Vec<Result<GlobalWrites, ClError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = module
-                .kernels
-                .iter()
-                .map(|kernel| {
-                    let txs = &txs;
-                    let rxs = &rxs;
-                    scope.spawn(move || run_kernel(module, kernel, snapshot, txs, rxs))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(ClError::runtime("kernel thread panicked"))
-                    })
-                })
-                .collect()
-        });
+    let results: Vec<Result<GlobalWrites, ClError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = module
+            .kernels
+            .iter()
+            .map(|kernel| {
+                let txs = &txs;
+                let rxs = &rxs;
+                scope.spawn(move || run_kernel(module, kernel, snapshot, txs, rxs))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(ClError::runtime("kernel thread panicked")))
+            })
+            .collect()
+    });
     // A kernel that fails drops its pipe endpoints, making its peers report
     // timeouts; surface the root cause first.
     if let Some(root) = results.iter().find_map(|r| match r {
@@ -196,7 +194,13 @@ impl<'m> Env<'m> {
                         *slot = self.eval(e)?.as_f64();
                     }
                 }
-                self.declare(name, Slot::Array { dims: dims.clone(), data });
+                self.declare(
+                    name,
+                    Slot::Array {
+                        dims: dims.clone(),
+                        data,
+                    },
+                );
                 Ok(())
             }
             ClStmt::VarDecl { name, init } => {
@@ -204,7 +208,13 @@ impl<'m> Env<'m> {
                 self.declare(name, Slot::Scalar(v));
                 Ok(())
             }
-            ClStmt::For { var, init, limit, le, body } => {
+            ClStmt::For {
+                var,
+                init,
+                limit,
+                le,
+                body,
+            } => {
                 let mut v = self.eval(init)?.as_int()?;
                 loop {
                     let lim = self.eval(limit)?.as_int()?;
@@ -231,17 +241,18 @@ impl<'m> Env<'m> {
                     .txs
                     .get(pipe)
                     .ok_or_else(|| ClError::runtime(format!("unknown pipe `{pipe}`")))?;
-                tx.send_timeout(value, PIPE_TIMEOUT)
-                    .map_err(|_| ClError::runtime(format!("pipe `{pipe}` write blocked (deadlock?)")))
+                tx.send_timeout(value, PIPE_TIMEOUT).map_err(|_| {
+                    ClError::runtime(format!("pipe `{pipe}` write blocked (deadlock?)"))
+                })
             }
             ClStmt::ReadPipe { pipe, loc } => {
                 let rx = self
                     .rxs
                     .get(pipe)
                     .ok_or_else(|| ClError::runtime(format!("unknown pipe `{pipe}`")))?;
-                let value = rx
-                    .recv_timeout(PIPE_TIMEOUT)
-                    .map_err(|_| ClError::runtime(format!("pipe `{pipe}` read blocked (deadlock?)")))?;
+                let value = rx.recv_timeout(PIPE_TIMEOUT).map_err(|_| {
+                    ClError::runtime(format!("pipe `{pipe}` read blocked (deadlock?)"))
+                })?;
                 self.store(loc, Val::F(value))
             }
         }
@@ -292,7 +303,9 @@ impl<'m> Env<'m> {
                         return Ok(());
                     }
                 }
-                Err(ClError::runtime(format!("assignment to unknown variable `{name}`")))
+                Err(ClError::runtime(format!(
+                    "assignment to unknown variable `{name}`"
+                )))
             }
             ClExpr::Index { base, indices } => {
                 let idx_vals = self.eval_indices(indices)?;
@@ -306,14 +319,20 @@ impl<'m> Env<'m> {
                     }
                 }
                 if let Some(buf) = self.globals.get(base) {
-                    let flat =
-                        Self::flat_index(&[buf.len()], &idx_vals, base)?;
-                    self.gwrites.entry(base.clone()).or_default().insert(flat, value.as_f64());
+                    let flat = Self::flat_index(&[buf.len()], &idx_vals, base)?;
+                    self.gwrites
+                        .entry(base.clone())
+                        .or_default()
+                        .insert(flat, value.as_f64());
                     return Ok(());
                 }
-                Err(ClError::runtime(format!("assignment to unknown array `{base}`")))
+                Err(ClError::runtime(format!(
+                    "assignment to unknown array `{base}`"
+                )))
             }
-            other => Err(ClError::runtime(format!("invalid assignment target {other:?}"))),
+            other => Err(ClError::runtime(format!(
+                "invalid assignment target {other:?}"
+            ))),
         }
     }
 
@@ -355,8 +374,10 @@ impl<'m> Env<'m> {
                 Err(ClError::runtime(format!("unknown array `{base}`")))
             }
             ClExpr::Call { name, args } => {
-                let vals: Vec<Val> =
-                    args.iter().map(|a| self.eval(a)).collect::<Result<_, _>>()?;
+                let vals: Vec<Val> = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<_, _>>()?;
                 match name.as_str() {
                     "min" => Ok(Val::I(vals[0].as_int()?.min(vals[1].as_int()?))),
                     "max" => Ok(Val::I(vals[0].as_int()?.max(vals[1].as_int()?))),

@@ -62,9 +62,10 @@ pub fn run_design(
 
     for g in &program.grids {
         let data = globals.remove(&g.name).expect("inserted above");
-        let grid = Grid::from_vec(g.extent, data)
-            .map_err(|e| ClError::runtime(e.to_string()))?;
-        *state.grid_mut(&g.name).map_err(|e| ClError::runtime(e.to_string()))? = grid;
+        let grid = Grid::from_vec(g.extent, data).map_err(|e| ClError::runtime(e.to_string()))?;
+        *state
+            .grid_mut(&g.name)
+            .map_err(|e| ClError::runtime(e.to_string()))? = grid;
     }
     Ok(state)
 }
@@ -87,7 +88,9 @@ mod tests {
         let f = StencilFeatures::extract(program).unwrap();
         let partition = Partition::new(program.extent(), &design, &f.growth).unwrap();
         let mut expect = GridState::new(program, init);
-        Interpreter::new(program).run(&mut expect, program.iterations).unwrap();
+        Interpreter::new(program)
+            .run(&mut expect, program.iterations)
+            .unwrap();
         let got = run_design(program, &partition, &CodegenOptions::default(), init)
             .unwrap_or_else(|e| panic!("{}: {e}", program.name));
         assert_eq!(
@@ -100,45 +103,80 @@ mod tests {
 
     #[test]
     fn generated_jacobi_1d_executes_exactly() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(48)).with_iterations(6);
-        check(&p, Design::equal(DesignKind::PipeShared, 3, vec![4], vec![12]).unwrap());
-        let p = programs::jacobi_1d().with_extent(Extent::new1(48)).with_iterations(6);
-        check(&p, Design::equal(DesignKind::Baseline, 2, vec![4], vec![12]).unwrap());
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(48))
+            .with_iterations(6);
+        check(
+            &p,
+            Design::equal(DesignKind::PipeShared, 3, vec![4], vec![12]).unwrap(),
+        );
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(48))
+            .with_iterations(6);
+        check(
+            &p,
+            Design::equal(DesignKind::Baseline, 2, vec![4], vec![12]).unwrap(),
+        );
     }
 
     #[test]
     fn generated_jacobi_2d_executes_exactly() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(24, 24)).with_iterations(4);
-        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![12, 12]).unwrap());
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(4);
+        check(
+            &p,
+            Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![12, 12]).unwrap(),
+        );
     }
 
     #[test]
     fn generated_heterogeneous_design_executes_exactly() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(24, 24)).with_iterations(4);
-        check(&p, Design::heterogeneous(2, vec![vec![10, 14], vec![14, 10]]).unwrap());
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(4);
+        check(
+            &p,
+            Design::heterogeneous(2, vec![vec![10, 14], vec![14, 10]]).unwrap(),
+        );
     }
 
     #[test]
     fn generated_fdtd_2d_multi_array_pipes_execute_exactly() {
-        let p = programs::fdtd_2d().with_extent(Extent::new2(16, 16)).with_iterations(4);
-        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap());
+        let p = programs::fdtd_2d()
+            .with_extent(Extent::new2(16, 16))
+            .with_iterations(4);
+        check(
+            &p,
+            Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap(),
+        );
     }
 
     #[test]
     fn generated_hotspot_2d_with_params_executes_exactly() {
-        let p = programs::hotspot_2d().with_extent(Extent::new2(16, 16)).with_iterations(4);
-        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap());
+        let p = programs::hotspot_2d()
+            .with_extent(Extent::new2(16, 16))
+            .with_iterations(4);
+        check(
+            &p,
+            Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap(),
+        );
     }
 
     #[test]
     fn generated_chambolle_with_intrinsics_executes_exactly() {
         let p = stencilcl_lang::parse(&programs::chambolle_2d_source(16, 4)).unwrap();
-        check(&p, Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap());
+        check(
+            &p,
+            Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap(),
+        );
     }
 
     #[test]
     fn multi_region_designs_are_rejected() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(64)).with_iterations(4);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(64))
+            .with_iterations(4);
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![8]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
@@ -148,7 +186,9 @@ mod tests {
 
     #[test]
     fn partial_last_pass_is_rejected() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(5);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(32))
+            .with_iterations(5);
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![16]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();

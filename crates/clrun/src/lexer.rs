@@ -89,10 +89,16 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Tok>, ClError> {
                     i += 1;
                 }
                 if is_float {
-                    let v = text.parse().map_err(|_| ClError::Lex { at: start, found: c })?;
+                    let v = text.parse().map_err(|_| ClError::Lex {
+                        at: start,
+                        found: c,
+                    })?;
                     out.push(Tok::Float(v));
                 } else {
-                    let v = text.parse().map_err(|_| ClError::Lex { at: start, found: c })?;
+                    let v = text.parse().map_err(|_| ClError::Lex {
+                        at: start,
+                        found: c,
+                    })?;
                     out.push(Tok::Int(v));
                 }
             }
@@ -164,7 +170,12 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Tok>, ClError> {
                 out.push(Tok::Amp);
                 i += 1;
             }
-            other => return Err(ClError::Lex { at: i, found: other }),
+            other => {
+                return Err(ClError::Lex {
+                    at: i,
+                    found: other,
+                })
+            }
         }
     }
     out.push(Tok::Eof);
@@ -189,7 +200,13 @@ mod tests {
         let toks = lex("#define amb 80f").unwrap();
         assert_eq!(
             toks,
-            vec![Tok::Hash, Tok::Ident("define".into()), Tok::Ident("amb".into()), Tok::Float(80.0), Tok::Eof]
+            vec![
+                Tok::Hash,
+                Tok::Ident("define".into()),
+                Tok::Ident("amb".into()),
+                Tok::Float(80.0),
+                Tok::Eof
+            ]
         );
     }
 
@@ -208,6 +225,9 @@ mod tests {
 
     #[test]
     fn rejects_foreign_characters() {
-        assert!(matches!(lex("a ? b").unwrap_err(), ClError::Lex { found: '?', .. }));
+        assert!(matches!(
+            lex("a ? b").unwrap_err(),
+            ClError::Lex { found: '?', .. }
+        ));
     }
 }

@@ -87,7 +87,10 @@ impl P {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(ClError::parse(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(ClError::parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -110,7 +113,9 @@ impl P {
     fn usize_lit(&mut self) -> Result<usize, ClError> {
         match self.bump() {
             Tok::Int(v) if v >= 0 => Ok(v as usize),
-            t => Err(ClError::parse(format!("expected array length, found {t:?}"))),
+            t => Err(ClError::parse(format!(
+                "expected array length, found {t:?}"
+            ))),
         }
     }
 
@@ -172,7 +177,12 @@ impl P {
                     let ret = self.expr()?;
                     self.expect(&Tok::Semi)?;
                     self.expect(&Tok::RBrace)?;
-                    return Ok(ClHelper { name, params, consts, ret });
+                    return Ok(ClHelper {
+                        name,
+                        params,
+                        consts,
+                        ret,
+                    });
                 }
                 t => return Err(ClError::parse(format!("unexpected token in helper: {t:?}"))),
             }
@@ -239,7 +249,10 @@ impl P {
                 }
             }
             Tok::Ident(w)
-                if w == "__local" || w == "const" || w == "int" || w == "float"
+                if w == "__local"
+                    || w == "const"
+                    || w == "int"
+                    || w == "float"
                     || w == "double" =>
             {
                 self.decl_stmt()
@@ -305,7 +318,9 @@ impl P {
         self.expect(&Tok::Semi)?;
         let cond_var = self.ident()?;
         if cond_var != var {
-            return Err(ClError::parse(format!("loop condition tests `{cond_var}`, not `{var}`")));
+            return Err(ClError::parse(format!(
+                "loop condition tests `{cond_var}`, not `{var}`"
+            )));
         }
         let le = match self.bump() {
             Tok::Lt => false,
@@ -317,12 +332,20 @@ impl P {
         self.expect(&Tok::PlusPlus)?;
         let inc_var = self.ident()?;
         if inc_var != var {
-            return Err(ClError::parse(format!("loop increments `{inc_var}`, not `{var}`")));
+            return Err(ClError::parse(format!(
+                "loop increments `{inc_var}`, not `{var}`"
+            )));
         }
         self.expect(&Tok::RParen)?;
         self.expect(&Tok::LBrace)?;
         let body = self.block_tail()?;
-        Ok(ClStmt::For { var, init, limit, le, body })
+        Ok(ClStmt::For {
+            var,
+            init,
+            limit,
+            le,
+            body,
+        })
     }
 
     fn expr(&mut self) -> Result<ClExpr, ClError> {
@@ -335,7 +358,11 @@ impl P {
             };
             self.bump();
             let rhs = self.term()?;
-            lhs = ClExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ClExpr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -350,7 +377,11 @@ impl P {
             };
             self.bump();
             let rhs = self.factor()?;
-            lhs = ClExpr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = ClExpr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -382,11 +413,16 @@ impl P {
                         indices.push(self.expr()?);
                         self.expect(&Tok::RBracket)?;
                     }
-                    return Ok(ClExpr::Index { base: name, indices });
+                    return Ok(ClExpr::Index {
+                        base: name,
+                        indices,
+                    });
                 }
                 Ok(ClExpr::Var(name))
             }
-            t => Err(ClError::parse(format!("unexpected token in expression: {t:?}"))),
+            t => Err(ClError::parse(format!(
+                "unexpected token in expression: {t:?}"
+            ))),
         }
     }
 }

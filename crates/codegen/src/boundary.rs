@@ -18,7 +18,9 @@ pub fn cumulative_growths(features: &StencilFeatures) -> Vec<Growth> {
         .statements
         .iter()
         .map(|s| {
-            acc = acc.checked_add(&s.growth).expect("statement growths share one dimensionality");
+            acc = acc
+                .checked_add(&s.growth)
+                .expect("statement growths share one dimensionality");
             acc
         })
         .collect()
@@ -57,8 +59,11 @@ pub fn generate_boundary_fns(
         let cum_hi: Vec<String> = cum.iter().map(|g| g.hi(d).to_string()).collect();
         // Per-statement global update domain along d: the grid shrunk by the
         // statement's own halo.
-        let gmin: Vec<String> =
-            features.statements.iter().map(|s| s.growth.lo(d).to_string()).collect();
+        let gmin: Vec<String> = features
+            .statements
+            .iter()
+            .map(|s| s.growth.lo(d).to_string())
+            .collect();
         let gmax: Vec<String> = features
             .statements
             .iter()
@@ -133,8 +138,14 @@ mod tests {
         // the statement's global domain).
         let code = generate_boundary_fns(&f, &tiles[0], DesignKind::PipeShared, 4);
         let hi0 = tiles[0].rect().hi().coord(0);
-        assert!(code.contains(&format!("return min({hi0}, gmax[s]);")), "{code}");
-        assert!(!code.contains(&format!("return {hi0} + ")), "shared faces never expand");
+        assert!(
+            code.contains(&format!("return min({hi0}, gmax[s]);")),
+            "{code}"
+        );
+        assert!(
+            !code.contains(&format!("return {hi0} + ")),
+            "shared faces never expand"
+        );
     }
 
     #[test]

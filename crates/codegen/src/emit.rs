@@ -96,7 +96,10 @@ mod tests {
         w.line("y;");
         w.close("");
         w.close(" // for");
-        assert_eq!(w.finish(), "for (;;) {\n    if (x) {\n        y;\n    }\n} // for\n");
+        assert_eq!(
+            w.finish(),
+            "for (;;) {\n    if (x) {\n        y;\n    }\n} // for\n"
+        );
     }
 
     #[test]

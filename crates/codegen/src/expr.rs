@@ -57,7 +57,11 @@ pub fn c_expr(expr: &Expr, buffer_prefix: &str) -> String {
                 BinOp::Mul => "*",
                 BinOp::Div => "/",
             };
-            format!("({} {sym} {})", c_expr(a, buffer_prefix), c_expr(b, buffer_prefix))
+            format!(
+                "({} {sym} {})",
+                c_expr(a, buffer_prefix),
+                c_expr(b, buffer_prefix)
+            )
         }
         Expr::Call(func, args) => {
             let name = match func {

@@ -49,7 +49,11 @@ pub fn generate_body(
         if statement_needs_staging(program, stmt) && !staged.contains(&stmt.target.as_str()) {
             staged.push(&stmt.target);
             let dims: String = (0..dim).map(|d| format!("[{}]", buffer.len(d))).collect();
-            w.line(format!("__local {} S_{}{dims};", program.elem_type().name(), stmt.target));
+            w.line(format!(
+                "__local {} S_{}{dims};",
+                program.elem_type().name(),
+                stmt.target
+            ));
         }
     }
     w.blank();
@@ -150,8 +154,9 @@ fn emit_transfer(
             })
             .collect::<Vec<_>>()
             .join(" + ");
-        let lidx: String =
-            (0..dim).map(|d| format!("[g{d} - {}]", local_base.lo().coord(d))).collect();
+        let lidx: String = (0..dim)
+            .map(|d| format!("[g{d} - {}]", local_base.lo().coord(d)))
+            .collect();
         if read {
             w.line(format!("L_{name}{lidx} = {name}[{gidx}];"));
         } else {
@@ -235,7 +240,9 @@ fn emit_pipe_traffic(
             w.close("");
         }
     };
-    let lidx: String = (0..dim).map(|d| format!("[g{d} - {}]", buffer.lo().coord(d))).collect();
+    let lidx: String = (0..dim)
+        .map(|d| format!("[g{d} - {}]", buffer.lo().coord(d)))
+        .collect();
     // Push first, then pull: every FIFO holds a full slab, so the writes
     // never block and the kernels cannot deadlock.
     for e in edges.iter().filter(|e| e.from == k && e.array == target) {
@@ -246,7 +253,10 @@ fn emit_pipe_traffic(
         nested(
             w,
             &e.overlap,
-            format!("write_pipe_block({}, &L_{target}{lidx});", pipe_name(target, k, e.to)),
+            format!(
+                "write_pipe_block({}, &L_{target}{lidx});",
+                pipe_name(target, k, e.to)
+            ),
         );
     }
     for e in edges.iter().filter(|e| e.to == k && e.array == target) {
@@ -257,7 +267,10 @@ fn emit_pipe_traffic(
         nested(
             w,
             &e.overlap,
-            format!("read_pipe_block({}, &L_{target}{lidx});", pipe_name(target, e.from, k)),
+            format!(
+                "read_pipe_block({}, &L_{target}{lidx});",
+                pipe_name(target, e.from, k)
+            ),
         );
     }
 }

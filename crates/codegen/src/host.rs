@@ -12,7 +12,11 @@ pub fn generate_host(program: &Program, partition: &Partition) -> String {
     let passes = program.iterations.div_ceil(design.fused());
     let regions = partition.regions_per_pass();
     let mut w = CodeWriter::new();
-    w.line(format!("/* Host program for stencil `{}` ({} design). */", program.name, design.kind()));
+    w.line(format!(
+        "/* Host program for stencil `{}` ({} design). */",
+        program.name,
+        design.kind()
+    ));
     w.line("#include <CL/cl2.hpp>");
     w.line("#include <vector>");
     w.blank();
@@ -22,7 +26,11 @@ pub fn generate_host(program: &Program, partition: &Partition) -> String {
     w.blank();
     let volume = program.extent().volume();
     for g in &program.grids {
-        let flags = if g.read_only { "CL_MEM_READ_ONLY" } else { "CL_MEM_READ_WRITE" };
+        let flags = if g.read_only {
+            "CL_MEM_READ_ONLY"
+        } else {
+            "CL_MEM_READ_WRITE"
+        };
         w.line(format!(
             "cl::Buffer buf_{name}(context, {flags}, sizeof({ty}) * {volume});",
             name = g.name,
@@ -38,9 +46,15 @@ pub fn generate_host(program: &Program, partition: &Partition) -> String {
     }
     w.close("");
     w.blank();
-    w.line(format!("/* {passes} fused passes x {regions} regions per pass. */"));
-    w.open(format!("for (unsigned long pass = 0; pass < {passes}; ++pass)"));
-    w.open(format!("for (unsigned long region = 0; region < {regions}; ++region)"));
+    w.line(format!(
+        "/* {passes} fused passes x {regions} regions per pass. */"
+    ));
+    w.open(format!(
+        "for (unsigned long pass = 0; pass < {passes}; ++pass)"
+    ));
+    w.open(format!(
+        "for (unsigned long region = 0; region < {regions}; ++region)"
+    ));
     w.line("/* The runtime launches the region's kernels sequentially. */");
     w.open(format!("for (int k = 0; k < {k}; ++k)"));
     w.line("queue.enqueueTask(kernels[k]);");
@@ -68,7 +82,9 @@ mod tests {
     use stencilcl_lang::{programs, StencilFeatures};
 
     fn host() -> String {
-        let p = programs::hotspot_2d().with_extent(Extent::new2(64, 64)).with_iterations(10);
+        let p = programs::hotspot_2d()
+            .with_extent(Extent::new2(64, 64))
+            .with_iterations(10);
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![16, 16]).unwrap();
         let part = Partition::new(f.extent, &d, &f.growth).unwrap();
@@ -79,7 +95,10 @@ mod tests {
     fn host_sets_up_buffers_and_kernels() {
         let h = host();
         assert!(h.contains("cl::Buffer buf_temp"), "{h}");
-        assert!(h.contains("CL_MEM_READ_ONLY"), "power map is read-only: {h}");
+        assert!(
+            h.contains("CL_MEM_READ_ONLY"),
+            "power map is read-only: {h}"
+        );
         assert!(h.contains("stencil_k"), "{h}");
     }
 

@@ -48,7 +48,15 @@ pub fn pipe_edges(
     let tiles = partition.canonical_tiles();
     let buffers: Vec<Rect> = tiles
         .iter()
-        .map(|t| buffer_rect(t, design.kind(), &features.growth, design.fused(), grid_rect))
+        .map(|t| {
+            buffer_rect(
+                t,
+                design.kind(),
+                &features.growth,
+                design.fused(),
+                grid_rect,
+            )
+        })
         .collect();
     let mut arrays: Vec<&String> = Vec::new();
     for s in &features.statements {
@@ -59,7 +67,9 @@ pub fn pipe_edges(
     let mut edges = Vec::new();
     for (t, tile) in tiles.iter().enumerate() {
         for f in tile.faces() {
-            let FaceKind::Shared { neighbor } = f.kind else { continue };
+            let FaceKind::Shared { neighbor } = f.kind else {
+                continue;
+            };
             // The consumer's halo across this face: its buffer beyond its
             // tile on the (axis, !high) side.
             let nb = &buffers[neighbor];
@@ -91,13 +101,19 @@ pub fn pipe_edges(
 
 /// All directed pipes of the design: `(array, from, to)` triples, one per
 /// shared face per direction per updated array, deduplicated and sorted.
-pub fn pipe_topology(features: &StencilFeatures, partition: &Partition) -> Vec<(String, usize, usize)> {
+pub fn pipe_topology(
+    features: &StencilFeatures,
+    partition: &Partition,
+) -> Vec<(String, usize, usize)> {
     let mut pipes = Vec::new();
     if !partition.design().kind().uses_pipes() {
         return pipes;
     }
-    let updated: Vec<&String> =
-        features.statements.iter().map(|s| &s.target).collect::<Vec<_>>();
+    let updated: Vec<&String> = features
+        .statements
+        .iter()
+        .map(|s| &s.target)
+        .collect::<Vec<_>>();
     let mut arrays: Vec<&String> = Vec::new();
     for a in updated {
         if !arrays.contains(&a) {

@@ -69,22 +69,36 @@ impl Opts {
         let mut flags = Vec::new();
         let mut it = rest.iter();
         while let Some(flag) = it.next() {
-            let name = flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.push((name.to_string(), value.clone()));
         }
-        Ok(Opts { path: PathBuf::from(path), flags })
+        Ok(Opts {
+            path: PathBuf::from(path),
+            flags,
+        })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn dims(&self, name: &str, dim: usize) -> Result<Option<Vec<usize>>, String> {
-        let Some(raw) = self.get(name) else { return Ok(None) };
+        let Some(raw) = self.get(name) else {
+            return Ok(None);
+        };
         let v = parse_dims(raw)?;
         if v.len() != dim {
-            return Err(format!("--{name} `{raw}` has {} fields, program is {dim}-D", v.len()));
+            return Err(format!(
+                "--{name} `{raw}` has {} fields, program is {dim}-D",
+                v.len()
+            ));
         }
         Ok(Some(v))
     }
@@ -99,7 +113,10 @@ impl Opts {
 /// Parses `4x2x2` (or `16`) into a per-dimension vector.
 fn parse_dims(raw: &str) -> Result<Vec<usize>, String> {
     raw.split(['x', 'X'])
-        .map(|p| p.parse::<usize>().map_err(|_| format!("bad dimension list `{raw}`")))
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| format!("bad dimension list `{raw}`"))
+        })
         .collect()
 }
 
@@ -151,7 +168,9 @@ fn search_config(opts: &Opts, dim: usize) -> Result<SearchConfig, String> {
 }
 
 fn write_design(out_dir: Option<&str>, code: &GeneratedCode) -> Result<String, String> {
-    let Some(dir) = out_dir else { return Ok(String::new()) };
+    let Some(dir) = out_dir else {
+        return Ok(String::new());
+    };
     let dir = PathBuf::from(dir);
     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     std::fs::write(dir.join("kernels.cl"), &code.kernels).map_err(|e| e.to_string())?;
@@ -163,8 +182,9 @@ fn synth(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let program = opts.program()?;
     let cfg = search_config(&opts, program.dim())?;
-    let report =
-        Framework::new().synthesize(&program, &cfg).map_err(|e| e.to_string())?;
+    let report = Framework::new()
+        .synthesize(&program, &cfg)
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "{}", report.summary());
     let _ = writeln!(
@@ -178,9 +198,14 @@ fn synth(args: &[String]) -> Result<String, String> {
 
 fn explicit_design(opts: &Opts, program: &Program) -> Result<(Design, Partition), String> {
     let dim = program.dim();
-    let fused: u64 =
-        opts.get("fused").ok_or("--fused required")?.parse().map_err(|_| "bad --fused")?;
-    let par = opts.dims("parallelism", dim)?.ok_or("--parallelism required")?;
+    let fused: u64 = opts
+        .get("fused")
+        .ok_or("--fused required")?
+        .parse()
+        .map_err(|_| "bad --fused")?;
+    let par = opts
+        .dims("parallelism", dim)?
+        .ok_or("--parallelism required")?;
     let tile = opts.dims("tile", dim)?.ok_or("--tile required")?;
     let kind = match opts.get("kind").unwrap_or("pipe") {
         "baseline" => DesignKind::Baseline,
@@ -203,8 +228,7 @@ fn explicit_design(opts: &Opts, program: &Program) -> Result<(Design, Partition)
         Design::equal(kind, fused, par, tile).map_err(|e| e.to_string())?
     };
     let f = StencilFeatures::extract(program).map_err(|e| e.to_string())?;
-    let partition =
-        Partition::new(f.extent, &design, &f.growth).map_err(|e| e.to_string())?;
+    let partition = Partition::new(f.extent, &design, &f.growth).map_err(|e| e.to_string())?;
     Ok((design, partition))
 }
 
@@ -212,8 +236,8 @@ fn codegen_cmd(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let program = opts.program()?;
     let (_, partition) = explicit_design(&opts, &program)?;
-    let code = generate(&program, &partition, &CodegenOptions::default())
-        .map_err(|e| e.to_string())?;
+    let code =
+        generate(&program, &partition, &CodegenOptions::default()).map_err(|e| e.to_string())?;
     let mut out = write_design(opts.get("out"), &code)?;
     if out.is_empty() {
         out = code.kernels;
@@ -232,7 +256,10 @@ fn validate(args: &[String]) -> Result<String, String> {
     let modes: &[(&str, ExecMode)] = if design.kind() == DesignKind::Baseline {
         &[("overlapped", ExecMode::Overlapped)]
     } else {
-        &[("pipe-shared", ExecMode::PipeShared), ("threaded", ExecMode::Threaded)]
+        &[
+            ("pipe-shared", ExecMode::PipeShared),
+            ("threaded", ExecMode::Threaded),
+        ]
     };
     for (label, mode) in modes {
         let diff = verify_design(&program, &partition, *mode, |name, p| {
@@ -244,7 +271,10 @@ fn validate(args: &[String]) -> Result<String, String> {
         })
         .map_err(|e| e.to_string())?;
         let verdict = if diff == 0.0 { "EXACT" } else { "DIVERGED" };
-        let _ = writeln!(out, "{label:<12} max |diff| vs reference: {diff} [{verdict}]");
+        let _ = writeln!(
+            out,
+            "{label:<12} max |diff| vs reference: {diff} [{verdict}]"
+        );
         if diff != 0.0 {
             return Err(out);
         }
@@ -266,8 +296,10 @@ mod tests {
 
     #[test]
     fn opts_collects_flags_and_last_wins() {
-        let args: Vec<String> =
-            ["f.stencil", "--fused", "4", "--fused", "8"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["f.stencil", "--fused", "4", "--fused", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let o = Opts::parse(&args).unwrap();
         assert_eq!(o.get("fused"), Some("8"));
         assert_eq!(o.get("missing"), None);
@@ -275,9 +307,15 @@ mod tests {
 
     #[test]
     fn opts_rejects_dangling_flags() {
-        let args: Vec<String> = ["f.stencil", "--fused"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["f.stencil", "--fused"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(Opts::parse(&args).is_err());
-        let args: Vec<String> = ["f.stencil", "fused", "4"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["f.stencil", "fused", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(Opts::parse(&args).is_err());
     }
 

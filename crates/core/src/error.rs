@@ -29,7 +29,10 @@ impl fmt::Display for FrameworkError {
             FrameworkError::Grid(e) => write!(f, "geometry error: {e}"),
             FrameworkError::Exec(e) => write!(f, "execution error: {e}"),
             FrameworkError::ValidationFailed { mode, max_diff } => {
-                write!(f, "functional validation failed for {mode}: max |diff| = {max_diff}")
+                write!(
+                    f,
+                    "functional validation failed for {mode}: max |diff| = {max_diff}"
+                )
             }
         }
     }
@@ -80,7 +83,10 @@ mod tests {
         use std::error::Error;
         let e = FrameworkError::from(stencilcl_grid::GridError::EmptyExtent);
         assert!(e.source().is_some());
-        let v = FrameworkError::ValidationFailed { mode: "pipe".into(), max_diff: 0.5 };
+        let v = FrameworkError::ValidationFailed {
+            mode: "pipe".into(),
+            max_diff: 0.5,
+        };
         assert!(v.to_string().contains("0.5"));
         assert!(v.source().is_none());
     }

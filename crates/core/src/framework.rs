@@ -46,8 +46,10 @@ impl Framework {
         let baseline = self.evaluate(program, pair.baseline)?;
         let heterogeneous = self.evaluate(program, pair.heterogeneous)?;
         let partition = self.partition(program, &heterogeneous.point)?;
-        let options =
-            CodegenOptions { unroll: heterogeneous.point.hls.unroll, ..self.codegen.clone() };
+        let options = CodegenOptions {
+            unroll: heterogeneous.point.hls.unroll,
+            ..self.codegen.clone()
+        };
         let code = generate(program, &partition, &options)?;
         Ok(SynthesisReport {
             program: program.name.clone(),
@@ -109,7 +111,11 @@ impl Framework {
         point: &DesignPoint,
     ) -> Result<Partition, FrameworkError> {
         let features = StencilFeatures::extract(program)?;
-        Ok(Partition::new(features.extent, &point.design, &features.growth)?)
+        Ok(Partition::new(
+            features.extent,
+            &point.design,
+            &features.growth,
+        )?)
     }
 }
 
@@ -121,7 +127,9 @@ mod tests {
     use stencilcl_lang::programs;
 
     fn scaled_jacobi2d() -> Program {
-        programs::jacobi_2d().with_extent(Extent::new2(256, 256)).with_iterations(64)
+        programs::jacobi_2d()
+            .with_extent(Extent::new2(256, 256))
+            .with_iterations(64)
     }
 
     fn cfg() -> SearchConfig {
@@ -140,7 +148,11 @@ mod tests {
         let p = scaled_jacobi2d();
         let r = fw.synthesize(&p, &cfg()).unwrap();
         assert_eq!(r.program, "jacobi_2d");
-        assert!(r.speedup_simulated() > 1.0, "speedup {}", r.speedup_simulated());
+        assert!(
+            r.speedup_simulated() > 1.0,
+            "speedup {}",
+            r.speedup_simulated()
+        );
         assert!(r
             .heterogeneous
             .point
@@ -148,7 +160,11 @@ mod tests {
             .resources
             .within(&r.baseline.point.hls.resources));
         assert!(r.code.kernels.contains("__kernel"));
-        assert!(r.baseline.model_error() < 0.5, "error {}", r.baseline.model_error());
+        assert!(
+            r.baseline.model_error() < 0.5,
+            "error {}",
+            r.baseline.model_error()
+        );
     }
 
     #[test]
@@ -157,7 +173,9 @@ mod tests {
         let fw = Framework::new();
         // Small enough for functional execution (resource budgets are
         // meaningless at toy scale, so designs are picked directly).
-        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(8);
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(8);
         let f = StencilFeatures::extract(&p).unwrap();
         let eval = |design: Design| {
             stencilcl_opt::evaluate(&p, &f, design, &fw.device, &fw.cost, 2).unwrap()

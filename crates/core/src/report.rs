@@ -113,7 +113,10 @@ mod tests {
                 },
             },
             sim: SimReport {
-                pass: PassProfile { duration: total, kernels: vec![] },
+                pass: PassProfile {
+                    duration: total,
+                    kernels: vec![],
+                },
                 regions: 1.0,
                 total_cycles: total,
                 breakdown: Breakdown::default(),
@@ -127,7 +130,10 @@ mod tests {
             program: "t".into(),
             baseline: eval(200.0),
             heterogeneous: eval(100.0),
-            code: GeneratedCode { kernels: String::new(), host: String::new() },
+            code: GeneratedCode {
+                kernels: String::new(),
+                host: String::new(),
+            },
         };
         assert_eq!(r.speedup_simulated(), 2.0);
         assert_eq!(r.speedup_predicted(), 2.0);

@@ -46,8 +46,16 @@ fn spec(
     program: Program,
     parallelism: Vec<usize>,
 ) -> BenchmarkSpec {
-    let search = SearchConfig { parallelism, ..SearchConfig::default() };
-    BenchmarkSpec { display, source, program, search }
+    let search = SearchConfig {
+        parallelism,
+        ..SearchConfig::default()
+    };
+    BenchmarkSpec {
+        display,
+        source,
+        program,
+        search,
+    }
 }
 
 /// All seven benchmarks, in Table 2 order, at paper scale with Table 3's
@@ -58,7 +66,12 @@ pub fn all() -> Vec<BenchmarkSpec> {
         spec("Jacobi-2D", "Polybench", programs::jacobi_2d(), vec![4, 4]),
         spec("Jacobi-3D", "Parboil", programs::jacobi_3d(), vec![4, 2, 2]),
         spec("HotSpot-2D", "Rodinia", programs::hotspot_2d(), vec![4, 4]),
-        spec("HotSpot-3D", "Rodinia", programs::hotspot_3d(), vec![4, 2, 2]),
+        spec(
+            "HotSpot-3D",
+            "Rodinia",
+            programs::hotspot_3d(),
+            vec![4, 2, 2],
+        ),
         spec("FDTD-2D", "Polybench", programs::fdtd_2d(), vec![4, 4]),
         spec("FDTD-3D", "Polybench", programs::fdtd_3d(), vec![2, 4, 2]),
     ]
@@ -67,7 +80,9 @@ pub fn all() -> Vec<BenchmarkSpec> {
 /// Looks a benchmark up by internal name (`"hotspot_3d"`) or display name
 /// (`"HotSpot-3D"`).
 pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
-    all().into_iter().find(|b| b.name() == name || b.display == name)
+    all()
+        .into_iter()
+        .find(|b| b.name() == name || b.display == name)
 }
 
 #[cfg(test)]

@@ -79,7 +79,14 @@ impl DomainPlan {
             .input_footprint()
             .expand(&halo_lo, &halo_hi)
             .intersect(grid_rect)?;
-        Ok(DomainPlan { cone, buffer, total, cumulative, global_domains, fused })
+        Ok(DomainPlan {
+            cone,
+            buffer,
+            total,
+            cumulative,
+            global_domains,
+            fused,
+        })
     }
 
     /// The local buffer footprint (burst-read window), clipped to the grid.
@@ -100,7 +107,11 @@ impl DomainPlan {
     ///
     /// Panics if `i` is outside `1..=fused` or `s` is out of range.
     pub fn domain(&self, i: u64, s: usize) -> Rect {
-        assert!(i >= 1 && i <= self.fused, "iteration {i} outside 1..={}", self.fused);
+        assert!(
+            i >= 1 && i <= self.fused,
+            "iteration {i} outside 1..={}",
+            self.fused
+        );
         let cum = &self.cumulative[s];
         let mut lo = [0i64; MAX_DIM];
         let mut hi = [0i64; MAX_DIM];
@@ -150,7 +161,9 @@ pub fn reject_diagonals(features: &StencilFeatures) -> Result<(), ExecError> {
         for (_, offset) in &s.accesses {
             let nonzero = (0..offset.dim()).filter(|&d| offset.coord(d) != 0).count();
             if nonzero > 1 {
-                return Err(ExecError::DiagonalAccess { statement: s.target.clone() });
+                return Err(ExecError::DiagonalAccess {
+                    statement: s.target.clone(),
+                });
             }
         }
     }
@@ -204,7 +217,10 @@ mod tests {
         let dp = &plans[0];
         let d = dp.domain(2, 0);
         assert_eq!(d.hi(), dp.tile().hi(), "shared faces never shrink");
-        assert!(d.lo().coord(0) < dp.tile().lo().coord(0), "outward halo still valid");
+        assert!(
+            d.lo().coord(0) < dp.tile().lo().coord(0),
+            "outward halo still valid"
+        );
     }
 
     #[test]

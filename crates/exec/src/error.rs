@@ -28,6 +28,14 @@ pub enum ExecError {
         /// Kernel id of the failed worker.
         kernel: usize,
     },
+    /// The threaded executor's watchdog saw no progress: a worker failed to
+    /// report its pass within the deadline, indicating a wedged pipe
+    /// exchange. The stalled workers are abandoned (their threads leak
+    /// until process exit) rather than blocking the caller forever.
+    PipeStall {
+        /// Kernel id of the first worker that failed to report.
+        kernel: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -43,6 +51,13 @@ impl fmt::Display for ExecError {
             ExecError::BadConfiguration { detail } => write!(f, "bad configuration: {detail}"),
             ExecError::WorkerPanic { kernel } => {
                 write!(f, "worker thread for kernel {kernel} panicked")
+            }
+            ExecError::PipeStall { kernel } => {
+                write!(
+                    f,
+                    "pipe executor stalled: worker for kernel {kernel} made no \
+                     progress before the watchdog deadline"
+                )
             }
         }
     }
@@ -73,7 +88,9 @@ impl From<GridError> for ExecError {
 impl ExecError {
     /// Convenience constructor for configuration errors.
     pub fn config(detail: impl Into<String>) -> Self {
-        ExecError::BadConfiguration { detail: detail.into() }
+        ExecError::BadConfiguration {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -86,9 +103,14 @@ mod tests {
         use std::error::Error;
         let e = ExecError::from(GridError::EmptyExtent);
         assert!(e.source().is_some());
-        let d = ExecError::DiagonalAccess { statement: "A".into() };
+        let d = ExecError::DiagonalAccess {
+            statement: "A".into(),
+        };
         assert!(d.to_string().contains("diagonal"));
         assert!(d.source().is_none());
         assert!(ExecError::config("x").to_string().contains('x'));
+        let stall = ExecError::PipeStall { kernel: 3 };
+        assert!(stall.to_string().contains("kernel 3"));
+        assert!(stall.source().is_none());
     }
 }

@@ -12,9 +12,16 @@
 //! * [`run_pipe_shared`] — the paper's design: tiles of one region advance in
 //!   lockstep and exchange boundary slabs after every statement, exactly what
 //!   the OpenCL pipes carry (works for both equal and heterogeneous tilings);
-//! * [`run_threaded`] — the pipe design again, but with one OS thread per
-//!   kernel and bounded crossbeam channels as the pipes: a live concurrent
-//!   execution of the dataflow, not a re-simulation.
+//! * [`run_threaded`] — the pipe design again, but with a persistent pool of
+//!   one OS thread per kernel and bounded crossbeam channels as the pipes: a
+//!   live concurrent execution of the dataflow, not a re-simulation.
+//!
+//! Both pipe executors share one per-run pipeline plan: geometry is
+//! planned once, each tile keeps a persistent local window whose halo ring
+//! is refreshed incrementally between fused blocks, and the global grid is
+//! double-buffered instead of snapshot-cloned per block. The threaded
+//! executor keeps its workers and channels alive for the whole run, guarded
+//! by a watchdog that turns a wedged pipeline into [`ExecError::PipeStall`].
 //!
 //! Every executor must produce results identical to [`run_reference`] — the
 //! crate's test suite and `tests/equivalence.rs` enforce bit-equality, since
@@ -57,6 +64,7 @@ mod domains;
 mod error;
 mod overlapped;
 mod pipeshare;
+mod pool;
 mod reference;
 mod threaded;
 mod verify;
@@ -69,4 +77,4 @@ pub use pipeshare::run_pipe_shared;
 pub use reference::run_reference;
 pub use threaded::run_threaded;
 pub use verify::{verify_design, ExecMode};
-pub use window::{copy_slab, extract_window, write_back};
+pub use window::{copy_slab, extract_window, halo_ring, refresh_ring, write_back};

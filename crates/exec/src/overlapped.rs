@@ -38,8 +38,9 @@ pub fn run_overlapped(
     run_fused(program, partition, state)
 }
 
-/// Shared pass/region/tile driver for the overlapped executor (and reused by
-/// the pipe executor for its outer loop structure).
+/// Pass/region/tile driver for the overlapped executor. (The pipe executors
+/// no longer share this loop: they plan once per run and keep persistent
+/// windows — see `crate::pool`.)
 pub(crate) fn run_fused(
     program: &Program,
     partition: &Partition,
@@ -59,8 +60,7 @@ pub(crate) fn run_fused(
                 let dp = DomainPlan::new(&features, &tile, kind, h_eff, &grid_rect)?;
                 let buffer = dp.buffer();
                 let local_program = program.with_extent(window_extent(&buffer)?);
-                let mut local =
-                    extract_window(&snapshot, program, &local_program, &buffer)?;
+                let mut local = extract_window(&snapshot, program, &local_program, &buffer)?;
                 let interp = Interpreter::new(&local_program);
                 let origin = buffer.lo();
                 for i in 1..=h_eff {
@@ -114,21 +114,27 @@ mod tests {
 
     #[test]
     fn jacobi_1d_matches_reference() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(64)).with_iterations(10);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(64))
+            .with_iterations(10);
         let d = Design::equal(DesignKind::Baseline, 3, vec![4], vec![8]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn jacobi_2d_matches_reference() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(7);
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(7);
         let d = Design::equal(DesignKind::Baseline, 3, vec![2, 2], vec![8, 8]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn fdtd_2d_multi_statement_matches_reference() {
-        let p = programs::fdtd_2d().with_extent(Extent::new2(24, 24)).with_iterations(5);
+        let p = programs::fdtd_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(5);
         let d = Design::equal(DesignKind::Baseline, 2, vec![2, 2], vec![6, 6]).unwrap();
         check(&p, &d);
     }
@@ -143,14 +149,18 @@ mod tests {
     #[test]
     fn partial_last_pass_handled() {
         // 10 iterations with h=4: passes of 4, 4, 2.
-        let p = programs::jacobi_1d().with_extent(Extent::new1(48)).with_iterations(10);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(48))
+            .with_iterations(10);
         let d = Design::equal(DesignKind::Baseline, 4, vec![2], vec![12]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn rejects_pipe_designs() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(2);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(32))
+            .with_iterations(2);
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![8]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();

@@ -1,9 +1,8 @@
-use stencilcl_grid::{FaceKind, Partition, Rect};
-use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+use stencilcl_grid::Partition;
+use stencilcl_lang::{GridState, Interpreter, Program};
 
-use crate::domains::{reject_diagonals, DomainPlan};
-use crate::overlapped::window_extent;
-use crate::window::{copy_slab, extract_window, write_back};
+use crate::pool::{apply_statement_split, Edge, PipelinePlan};
+use crate::window::{extract_window, refresh_ring, write_back};
 use crate::ExecError;
 
 /// Runs the paper's pipe-shared execution (equal or heterogeneous tiling):
@@ -13,9 +12,15 @@ use crate::ExecError;
 /// neighbors, which splice it into their local halos.
 ///
 /// This is the sequential (deterministic) rendition of the dataflow;
-/// [`run_threaded`](crate::run_threaded) executes the same protocol with
-/// real threads and channels. Both must match
+/// [`run_threaded`](crate::run_threaded) executes the same protocol with a
+/// persistent pool of worker threads and channels. Both must match
 /// [`run_reference`](crate::run_reference) exactly.
+///
+/// All geometry is planned once per run ([`PipelinePlan`]); each tile's
+/// local window persists across fused blocks with only its halo ring
+/// refreshed, and the global grid is double-buffered (reads from `cur`,
+/// tile write-backs into `next`, swap per block) instead of cloned per
+/// block.
 ///
 /// # Errors
 ///
@@ -27,102 +32,109 @@ pub fn run_pipe_shared(
     partition: &Partition,
     state: &mut GridState,
 ) -> Result<(), ExecError> {
-    let features = StencilFeatures::extract(program)?;
-    if !partition.design().kind().uses_pipes() {
-        return Err(ExecError::config(
-            "run_pipe_shared expects a pipe-shared or heterogeneous design",
-        ));
+    let plan = PipelinePlan::new(program, partition)?;
+    if plan.depths.is_empty() {
+        return Ok(());
     }
-    reject_diagonals(&features)?;
+    let updated: Vec<&str> = plan.updated.iter().map(String::as_str).collect();
+    let region_count = plan.regions.len();
+    let kernels = plan.tiles.first().map_or(0, Vec::len);
 
-    let kind = partition.design().kind();
-    let fused = partition.design().fused();
-    let grid_rect = Rect::from_extent(&program.extent());
-    let updated: Vec<&str> = program.updated_grids();
+    // Double buffer: `cur` holds every value as of the block start, `next`
+    // receives the tile write-backs. Tiles partition the grid, so after a
+    // block `next`'s updated arrays are fully written and the roles swap.
+    let mut cur = state.clone();
+    let mut next = state.clone();
+    // Persistent local windows, one per (region, kernel), created lazily on
+    // the first block and halo-refreshed afterwards.
+    let mut locals: Vec<Vec<Option<GridState>>> =
+        vec![(0..kernels).map(|_| None).collect(); region_count];
+    let interps: Vec<Vec<Interpreter<'_>>> = plan
+        .local_programs
+        .iter()
+        .map(|region| region.iter().map(Interpreter::new).collect())
+        .collect();
+
     let mut done = 0u64;
-    while done < program.iterations {
-        let h_eff = fused.min(program.iterations - done);
-        let snapshot = state.clone();
-        for region in partition.region_indices() {
-            let tiles = partition.tiles_for_region(&region);
-            let plans: Vec<DomainPlan> = tiles
-                .iter()
-                .map(|t| DomainPlan::new(&features, t, kind, h_eff, &grid_rect))
-                .collect::<Result<_, _>>()?;
-            let programs: Vec<Program> = plans
-                .iter()
-                .map(|dp| Ok(program.with_extent(window_extent(&dp.buffer())?)))
-                .collect::<Result<_, ExecError>>()?;
-            let mut locals: Vec<GridState> = plans
-                .iter()
-                .zip(&programs)
-                .map(|(dp, lp)| extract_window(&snapshot, program, lp, &dp.buffer()))
-                .collect::<Result<_, _>>()?;
-            let interps: Vec<Interpreter<'_>> =
-                programs.iter().map(Interpreter::new).collect();
-
-            // Directed exchange edges: (from, to, absolute overlap region).
-            let edges: Vec<(usize, usize, Rect)> = tiles
-                .iter()
-                .enumerate()
-                .flat_map(|(t, tile)| {
-                    let plans = &plans;
-                    tile.faces().iter().filter_map(move |f| match f.kind {
-                        FaceKind::Shared { neighbor } => {
-                            let halo = plans[neighbor].halo_rect(f.axis, !f.high);
-                            let overlap = halo
-                                .intersect(&plans[t].buffer())
-                                .expect("region tiles share one dimensionality");
-                            Some((t, neighbor, overlap))
-                        }
-                        _ => None,
-                    })
-                })
-                .collect();
-
-            for i in 1..=h_eff {
-                for s in 0..program.updates.len() {
-                    for t in 0..tiles.len() {
-                        let domain = plans[t].domain(i, s).translate(&-plans[t].buffer().lo())?;
-                        interps[t].apply_statement(&mut locals[t], s, &domain)?;
+    while done < plan.iterations {
+        let h = plan.fused.min(plan.iterations - done);
+        let depth = &plan.depths[plan.depth_index(h)];
+        for r in 0..region_count {
+            for (k, slot) in locals[r].iter_mut().enumerate() {
+                match slot {
+                    slot @ None => {
+                        *slot = Some(extract_window(
+                            &cur,
+                            program,
+                            &plan.local_programs[r][k],
+                            &plan.windows[r][k],
+                        )?);
                     }
-                    let target = &program.updates[s].target;
-                    for &(from, to, overlap) in &edges {
-                        let (src, dst) = two_mut(&mut locals, from, to);
-                        copy_slab(
-                            src,
-                            &plans[from].buffer().lo(),
-                            dst,
-                            &plans[to].buffer().lo(),
-                            target,
-                            &overlap,
+                    Some(local) => refresh_ring(
+                        local,
+                        &cur,
+                        &plan.rings[r][k],
+                        &plan.windows[r][k].lo(),
+                        &updated,
+                    )?,
+                }
+            }
+            // Per-kernel outgoing edges and their local-coordinate source
+            // rects are iteration- and statement-invariant.
+            let mut out_edges: Vec<Vec<&Edge>> = vec![Vec::new(); kernels];
+            let mut out_rects: Vec<Vec<_>> = vec![Vec::new(); kernels];
+            for e in &depth.edges[r] {
+                out_edges[e.from].push(e);
+                out_rects[e.from].push(e.overlap.translate(&-plan.windows[r][e.from].lo())?);
+            }
+            for i in 1..=h {
+                for s in 0..program.updates.len() {
+                    // Compute every tile's statement against its own
+                    // pre-splice window, buffering the emitted slabs...
+                    let mut slabs = Vec::with_capacity(depth.edges[r].len());
+                    for k in 0..kernels {
+                        let origin = plan.windows[r][k].lo();
+                        let domain = depth.plans[r][k].domain(i, s).translate(&-origin)?;
+                        let local = locals[r][k].as_mut().expect("window extracted");
+                        let edges = &out_edges[k];
+                        apply_statement_split(
+                            &interps[r][k],
+                            local,
+                            s,
+                            &domain,
+                            &out_rects[k],
+                            |e, values| {
+                                slabs.push((edges[e].to, edges[e].overlap, values));
+                                Ok(())
+                            },
                         )?;
+                    }
+                    // ...then splice them all, in edge-discovery order (the
+                    // same per-receiver order the threaded pool uses).
+                    let target = &program.updates[s].target;
+                    for (to, overlap, values) in slabs {
+                        let dst_rect = overlap.translate(&-plan.windows[r][to].lo())?;
+                        let dst = locals[r][to].as_mut().expect("window extracted");
+                        dst.grid_mut(target)?.write_window(&dst_rect, &values)?;
                     }
                 }
             }
-            for (t, tile) in tiles.iter().enumerate() {
-                write_back(state, &locals[t], &updated, &plans[t].buffer().lo(), &tile.rect())?;
+            for (k, slot) in locals[r].iter().enumerate() {
+                let local = slot.as_ref().expect("window extracted");
+                write_back(
+                    &mut next,
+                    local,
+                    &updated,
+                    &plan.windows[r][k].lo(),
+                    &plan.tiles[r][k],
+                )?;
             }
         }
-        done += h_eff;
+        std::mem::swap(&mut cur, &mut next);
+        done += h;
     }
+    *state = cur;
     Ok(())
-}
-
-/// Disjoint mutable borrows of two vector slots.
-///
-/// # Panics
-///
-/// Panics if `a == b` (a tile is never its own pipe neighbor).
-pub(crate) fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&T, &mut T) {
-    assert_ne!(a, b, "a tile cannot exchange with itself");
-    if a < b {
-        let (lo, hi) = v.split_at_mut(b);
-        (&lo[a], &mut hi[0])
-    } else {
-        let (lo, hi) = v.split_at_mut(a);
-        (&hi[0], &mut lo[b])
-    }
 }
 
 #[cfg(test)]
@@ -130,7 +142,7 @@ mod tests {
     use super::*;
     use crate::run_reference;
     use stencilcl_grid::{Design, DesignKind, Extent, Point};
-    use stencilcl_lang::programs;
+    use stencilcl_lang::{programs, StencilFeatures};
 
     fn init(name: &str, p: &Point) -> f64 {
         let mut v = name.len() as f64;
@@ -157,49 +169,74 @@ mod tests {
 
     #[test]
     fn jacobi_1d_pipe_matches_reference() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(64)).with_iterations(9);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(64))
+            .with_iterations(9);
         let d = Design::equal(DesignKind::PipeShared, 3, vec![4], vec![8]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn jacobi_2d_pipe_matches_reference() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(8);
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(8);
         let d = Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![8, 8]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn fdtd_2d_pipe_matches_reference() {
-        let p = programs::fdtd_2d().with_extent(Extent::new2(24, 24)).with_iterations(6);
+        let p = programs::fdtd_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(6);
         let d = Design::equal(DesignKind::PipeShared, 3, vec![2, 2], vec![6, 6]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn heterogeneous_tiling_matches_reference() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(6);
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(6);
         let d = Design::heterogeneous(3, vec![vec![6, 10], vec![12, 4]]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn hotspot_2d_with_read_only_power_matches() {
-        let p = programs::hotspot_2d().with_extent(Extent::new2(24, 24)).with_iterations(5);
+        let p = programs::hotspot_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(5);
         let d = Design::equal(DesignKind::PipeShared, 5, vec![2, 2], vec![6, 6]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn jacobi_3d_pipe_matches_reference() {
-        let p = programs::jacobi_3d().with_extent(Extent::new3(12, 12, 12)).with_iterations(4);
+        let p = programs::jacobi_3d()
+            .with_extent(Extent::new3(12, 12, 12))
+            .with_iterations(4);
         let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2, 2], vec![3, 3, 3]).unwrap();
         check(&p, &d);
     }
 
     #[test]
+    fn partial_final_block_reuses_the_deep_windows() {
+        // 10 iterations with h=4: blocks of 4, 4, 2 — the depth-2 pass must
+        // run inside windows sized for depth 4.
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(10);
+        let d = Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![8, 8]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
     fn rejects_baseline_partition() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(2);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(32))
+            .with_iterations(2);
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
@@ -222,14 +259,5 @@ mod tests {
             run_pipe_shared(&p, &partition, &mut s).unwrap_err(),
             ExecError::DiagonalAccess { .. }
         ));
-    }
-
-    #[test]
-    fn two_mut_returns_disjoint_slots() {
-        let mut v = vec![1, 2, 3];
-        let (a, b) = two_mut(&mut v, 0, 2);
-        assert_eq!((*a, *b), (1, 3));
-        let (a, b) = two_mut(&mut v, 2, 0);
-        assert_eq!((*a, *b), (3, 1));
     }
 }

@@ -1,0 +1,410 @@
+use stencilcl_grid::{FaceKind, Partition, Rect};
+use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+
+use crate::domains::{reject_diagonals, DomainPlan};
+use crate::overlapped::window_extent;
+use crate::window::halo_ring;
+use crate::ExecError;
+
+/// Bounded capacity of each pipe channel — the stand-in for the FPGA FIFO
+/// depth. Capacity 2 lets a producer run one statement ahead of a slow
+/// consumer without unbounded buffering.
+pub(crate) const PIPE_CAPACITY: usize = 2;
+
+/// One boundary-slab message: the values of the statement's target array
+/// over the agreed overlap region, tagged with its global
+/// `(iteration, statement)` step for protocol checking. The iteration
+/// component counts from the start of the run (`done + i`), so reusing one
+/// channel across every fused block and region still detects skew.
+#[derive(Debug)]
+pub(crate) struct Slab {
+    pub step: (u64, usize),
+    pub values: Vec<f64>,
+}
+
+/// A directed slab exchange within one region: after every statement,
+/// kernel `from` sends the target array's values over `overlap` (absolute
+/// coordinates) to kernel `to`, which splices them into its halo.
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub from: usize,
+    pub to: usize,
+    pub overlap: Rect,
+}
+
+/// Geometry for one distinct fused-block depth. A run has at most two: the
+/// design's fused depth and the remainder of the final partial block.
+#[derive(Debug)]
+pub(crate) struct DepthPlans {
+    /// The fused depth these plans describe.
+    pub h: u64,
+    /// `plans[region][kernel]`.
+    pub plans: Vec<Vec<DomainPlan>>,
+    /// `edges[region]`, in discovery order (kernel-major, then face order).
+    /// Splice order must match between the sequential and threaded
+    /// executors: halo corners can be covered by two neighbors' slabs, so
+    /// the last writer decides the (unconsumed but compared) value.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Everything the pipe executors precompute once per run.
+///
+/// The plan fixes the invariants the persistent-window executors rely on:
+///
+/// * `windows[r][k]` is the buffer of the **deepest** pass; every
+///   shallower pass's buffer, domains, and overlaps are contained in it,
+///   so one local window per `(region, kernel)` — sized and rooted at the
+///   deepest buffer — serves every block of the run.
+/// * `rings[r][k]` decomposes `window ∖ tile`; those are exactly the local
+///   cells whose values a block leaves stale (intermediate trapezoid
+///   values), so refreshing them from the global grid restores the full
+///   pre-block window without re-reading the tile interior.
+/// * `edges` are identical across depths in *structure* (which pairs
+///   exchange); only the overlap rects differ, so channels keyed by the
+///   directed pair can be created once and reused for the whole run.
+#[derive(Debug)]
+pub(crate) struct PipelinePlan {
+    /// Region indices in execution order.
+    pub regions: Vec<Vec<usize>>,
+    /// `tiles[region][kernel]`: the output footprint written back per block.
+    pub tiles: Vec<Vec<Rect>>,
+    /// `windows[region][kernel]`: deepest-pass buffer, the persistent local
+    /// window's absolute footprint (its `lo()` is the window origin).
+    pub windows: Vec<Vec<Rect>>,
+    /// `rings[region][kernel]`: `window ∖ tile` as disjoint rects.
+    pub rings: Vec<Vec<Vec<Rect>>>,
+    /// `local_programs[region][kernel]`: the program re-extented to the
+    /// window, for building interpreters over local windows.
+    pub local_programs: Vec<Vec<Program>>,
+    /// Distinct pass depths, deepest first.
+    pub depths: Vec<DepthPlans>,
+    /// Every directed kernel pair with an edge in any region (the set is
+    /// depth-independent), in deterministic discovery order.
+    pub pairs: Vec<(usize, usize)>,
+    /// Names of the grids update statements write.
+    pub updated: Vec<String>,
+    /// Total stencil iterations of the run.
+    pub iterations: u64,
+    /// The design's fused depth clamped to the run length.
+    pub fused: u64,
+}
+
+/// The sequence of distinct fused-block depths for a run: the clamped
+/// design depth, then the final partial block's remainder if any.
+pub(crate) fn pass_depths(fused: u64, iterations: u64) -> Vec<u64> {
+    if iterations == 0 {
+        return Vec::new();
+    }
+    let deepest = fused.min(iterations);
+    let rem = iterations % deepest;
+    if rem == 0 {
+        vec![deepest]
+    } else {
+        vec![deepest, rem]
+    }
+}
+
+impl PipelinePlan {
+    /// Builds the full per-run plan, validating the design kind and stencil
+    /// shape exactly like the original per-pass executors did.
+    pub fn new(program: &Program, partition: &Partition) -> Result<Self, ExecError> {
+        let features = StencilFeatures::extract(program)?;
+        if !partition.design().kind().uses_pipes() {
+            return Err(ExecError::config(
+                "pipe executors expect a pipe-shared or heterogeneous design",
+            ));
+        }
+        reject_diagonals(&features)?;
+
+        let kind = partition.design().kind();
+        let grid_rect = Rect::from_extent(&program.extent());
+        let updated: Vec<String> = program
+            .updated_grids()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let iterations = program.iterations;
+        let hs = pass_depths(partition.design().fused(), iterations);
+        let regions: Vec<Vec<usize>> = partition.region_indices().collect();
+
+        let mut depths = Vec::with_capacity(hs.len());
+        for &h in &hs {
+            let mut plans = Vec::with_capacity(regions.len());
+            let mut edges = Vec::with_capacity(regions.len());
+            for region in &regions {
+                let tiles = partition.tiles_for_region(region);
+                let region_plans: Vec<DomainPlan> = tiles
+                    .iter()
+                    .map(|t| DomainPlan::new(&features, t, kind, h, &grid_rect))
+                    .collect::<Result<_, _>>()?;
+                let mut region_edges = Vec::new();
+                for (t, tile) in tiles.iter().enumerate() {
+                    for f in tile.faces() {
+                        if let FaceKind::Shared { neighbor } = f.kind {
+                            let overlap = region_plans[neighbor]
+                                .halo_rect(f.axis, !f.high)
+                                .intersect(&region_plans[t].buffer())?;
+                            region_edges.push(Edge {
+                                from: t,
+                                to: neighbor,
+                                overlap,
+                            });
+                        }
+                    }
+                }
+                plans.push(region_plans);
+                edges.push(region_edges);
+            }
+            depths.push(DepthPlans { h, plans, edges });
+        }
+
+        let (mut tiles, mut windows, mut rings, mut local_programs, mut pairs) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        if let Some(deepest) = depths.first() {
+            for (r, region) in regions.iter().enumerate() {
+                let region_tiles: Vec<Rect> = partition
+                    .tiles_for_region(region)
+                    .iter()
+                    .map(|t| t.rect())
+                    .collect();
+                let region_windows: Vec<Rect> =
+                    deepest.plans[r].iter().map(DomainPlan::buffer).collect();
+                let region_rings: Vec<Vec<Rect>> = region_windows
+                    .iter()
+                    .zip(&region_tiles)
+                    .map(|(w, t)| halo_ring(w, t))
+                    .collect::<Result<_, _>>()?;
+                let region_programs: Vec<Program> = region_windows
+                    .iter()
+                    .map(|w| Ok(program.with_extent(window_extent(w)?)))
+                    .collect::<Result<_, ExecError>>()?;
+                for e in &deepest.edges[r] {
+                    if !pairs.contains(&(e.from, e.to)) {
+                        pairs.push((e.from, e.to));
+                    }
+                }
+                tiles.push(region_tiles);
+                windows.push(region_windows);
+                rings.push(region_rings);
+                local_programs.push(region_programs);
+            }
+        }
+
+        Ok(PipelinePlan {
+            regions,
+            tiles,
+            windows,
+            rings,
+            local_programs,
+            depths,
+            pairs,
+            updated,
+            iterations,
+            fused: hs.first().copied().unwrap_or(0),
+        })
+    }
+
+    /// Index into [`Self::depths`] for a block of depth `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not one of the run's pass depths (an executor bug).
+    pub fn depth_index(&self, h: u64) -> usize {
+        self.depths
+            .iter()
+            .position(|d| d.h == h)
+            .expect("block depth was planned")
+    }
+}
+
+/// Verifies a received slab carries the expected global
+/// `(iteration, statement)` tag. A mismatch means the pipe protocol skewed
+/// — a real executor bug, so this is a hard runtime error, not a debug
+/// assertion.
+pub(crate) fn check_slab_step(
+    kernel: usize,
+    got: (u64, usize),
+    expected: (u64, usize),
+) -> Result<(), ExecError> {
+    if got == expected {
+        Ok(())
+    } else {
+        Err(ExecError::config(format!(
+            "kernel {kernel}: pipe protocol skew: received slab tagged \
+             (iteration {}, statement {}) but expected (iteration {}, statement {})",
+            got.0, got.1, expected.0, expected.1
+        )))
+    }
+}
+
+/// Applies statement `s` over `domain` (local coordinates) with the paper's
+/// latency-hiding element ordering (Section 3.1): the cells feeding
+/// outgoing slabs are evaluated first — against the pristine pre-statement
+/// state — and each slab is handed to `emit` before any interior work, so
+/// downstream kernels can start consuming while this kernel computes its
+/// interior. All writes commit only after every evaluation, preserving the
+/// snapshot semantics (and therefore bit-exactness with
+/// [`Interpreter::apply_statement`]).
+///
+/// `outs[e]` is the local-coordinate source rect of outgoing slab `e`;
+/// `emit(e, values)` receives the post-statement values of the target array
+/// over that rect.
+pub(crate) fn apply_statement_split(
+    interp: &Interpreter<'_>,
+    local: &mut GridState,
+    s: usize,
+    domain: &Rect,
+    outs: &[Rect],
+    mut emit: impl FnMut(usize, Vec<f64>) -> Result<(), ExecError>,
+) -> Result<(), ExecError> {
+    let stmt = &interp.program().updates[s];
+    let clipped = domain.intersect(&interp.statement_domain(s))?;
+    // Boundary cells are evaluated exactly once; the interior pass reuses
+    // the cached values, keyed by the cell's linear index inside `clipped`
+    // (an O(1) slot lookup, cheap enough to pay on every interior cell).
+    let dim = clipped.dim();
+    let mut strides = vec![0u64; dim];
+    let mut acc = 1u64;
+    for d in (0..dim).rev() {
+        strides[d] = acc;
+        acc *= clipped.len(d);
+    }
+    let lo = clipped.lo();
+    let lin = |p: &stencilcl_grid::Point| -> usize {
+        let mut i = 0u64;
+        for (d, &stride) in strides.iter().enumerate() {
+            i += (p.coord(d) - lo.coord(d)) as u64 * stride;
+        }
+        i as usize
+    };
+    let mut cached: Vec<Option<f64>> = vec![None; clipped.volume() as usize];
+    for (e, overlap) in outs.iter().enumerate() {
+        let mut values = local.grid(&stmt.target)?.read_window(overlap)?;
+        if !clipped.is_empty() {
+            for (slot, p) in overlap.iter().enumerate() {
+                if clipped.contains(&p) {
+                    let i = lin(&p);
+                    let v = match cached[i] {
+                        Some(v) => v,
+                        None => {
+                            let v = interp.eval(&stmt.rhs, local, &p)?;
+                            cached[i] = Some(v);
+                            v
+                        }
+                    };
+                    values[slot] = v;
+                }
+            }
+        }
+        emit(e, values)?;
+    }
+    if clipped.is_empty() {
+        return Ok(());
+    }
+    let mut values = Vec::with_capacity(clipped.volume() as usize);
+    for p in clipped.iter() {
+        let v = match cached[lin(&p)] {
+            Some(v) => v,
+            None => interp.eval(&stmt.rhs, local, &p)?,
+        };
+        values.push(v);
+    }
+    let target = local.grid_mut(&stmt.target)?;
+    for (p, v) in clipped.iter().zip(values) {
+        target.set(&p, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind, Extent};
+    use stencilcl_lang::programs;
+
+    #[test]
+    fn pass_depths_cover_the_run() {
+        assert_eq!(pass_depths(4, 10), vec![4, 2]);
+        assert_eq!(pass_depths(4, 8), vec![4]);
+        assert_eq!(pass_depths(4, 3), vec![3]);
+        assert_eq!(pass_depths(1, 5), vec![1]);
+        assert!(pass_depths(4, 0).is_empty());
+    }
+
+    #[test]
+    fn slab_step_mismatch_is_a_hard_error() {
+        assert!(check_slab_step(0, (3, 1), (3, 1)).is_ok());
+        let err = check_slab_step(2, (3, 0), (3, 1)).unwrap_err();
+        assert!(matches!(err, ExecError::BadConfiguration { .. }));
+        assert!(err.to_string().contains("protocol skew"));
+        assert!(err.to_string().contains("kernel 2"));
+        assert!(check_slab_step(1, (4, 0), (3, 0)).is_err());
+    }
+
+    fn plan_for(fused: u64, iterations: u64) -> PipelinePlan {
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(iterations);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![8, 8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        PipelinePlan::new(&p, &partition).unwrap()
+    }
+
+    #[test]
+    fn shallower_pass_geometry_nests_in_the_deepest_window() {
+        let plan = plan_for(4, 10); // depths 4 and 2
+        assert_eq!(plan.depths.len(), 2);
+        for (di, depth) in plan.depths.iter().enumerate() {
+            for (r, region_plans) in depth.plans.iter().enumerate() {
+                for (k, dp) in region_plans.iter().enumerate() {
+                    assert!(
+                        plan.windows[r][k].contains_rect(&dp.buffer()),
+                        "depth {di} buffer escapes the persistent window"
+                    );
+                }
+                for e in &depth.edges[r] {
+                    assert!(plan.windows[r][e.from].contains_rect(&e.overlap));
+                    assert!(plan.windows[r][e.to].contains_rect(&e.overlap));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_pair_set_is_depth_independent() {
+        let plan = plan_for(3, 7); // depths 3 and 1
+        for depth in &plan.depths {
+            for region_edges in &depth.edges {
+                for e in region_edges {
+                    assert!(plan.pairs.contains(&(e.from, e.to)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rings_tile_the_window_exactly() {
+        let plan = plan_for(3, 6);
+        for r in 0..plan.regions.len() {
+            for k in 0..plan.tiles[r].len() {
+                let ring_volume: u64 = plan.rings[r][k].iter().map(Rect::volume).sum();
+                assert_eq!(
+                    ring_volume + plan.tiles[r][k].volume(),
+                    plan.windows[r][k].volume()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_baseline_designs() {
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(32))
+            .with_iterations(2);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        assert!(PipelinePlan::new(&p, &partition).is_err());
+    }
+}

@@ -37,7 +37,9 @@ mod tests {
 
     #[test]
     fn reference_runs_all_iterations() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(16)).with_iterations(2);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(16))
+            .with_iterations(2);
         let mut s = GridState::new(&p, |_, pt| if pt.coord(0) == 8 { 1.0 } else { 0.0 });
         run_reference(&p, &mut s).unwrap();
         // After two radius-1 iterations the spike has spread two cells.

@@ -1,148 +1,363 @@
+use std::sync::{Arc, PoisonError, RwLock};
 use std::thread;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use stencilcl_grid::{FaceKind, Partition, Rect};
-use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use stencilcl_grid::{Partition, Rect};
+use stencilcl_lang::{GridState, Interpreter, Program};
 
-use crate::domains::{reject_diagonals, DomainPlan};
-use crate::overlapped::window_extent;
-use crate::window::{extract_window, write_back};
+use crate::pool::{apply_statement_split, check_slab_step, PipelinePlan, Slab, PIPE_CAPACITY};
+use crate::window::{extract_window, refresh_ring, write_back};
 use crate::ExecError;
 
-/// One boundary-slab message: the values of the statement's target array over
-/// the agreed overlap region, tagged with its (iteration, statement) step for
-/// protocol checking.
-#[derive(Debug)]
-struct Slab {
-    step: (u64, usize),
-    values: Vec<f64>,
+/// How long the main thread waits for any worker to report a fused block
+/// before declaring the pipeline wedged ([`ExecError::PipeStall`]).
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// After one worker has already failed, how long to wait for the cascade to
+/// flush the remaining workers' reports before giving up on them.
+const DRAIN: Duration = Duration::from_secs(2);
+
+/// One block-execution order from the main thread to every worker.
+#[derive(Debug, Clone, Copy)]
+enum Command {
+    /// Run one fused block: depth `plan.depths[depth]`, tagging slabs with
+    /// global iterations starting at `step_base`, reading from buffer `src`
+    /// and writing the tile back into buffer `1 - src`.
+    Pass {
+        depth: usize,
+        step_base: u64,
+        src: usize,
+    },
 }
 
-/// Runs the pipe-shared design with **real concurrency**: one OS thread per
-/// kernel of each region, connected by bounded crossbeam channels that play
-/// the role of the OpenCL pipes. After every update statement each worker
-/// pushes its freshly computed boundary slab downstream and blocks until its
-/// own upstream slabs arrive — the same producer/consumer discipline the
-/// FPGA's FIFOs enforce.
+/// A worker's end-of-block report: `(kernel, outcome)`.
+type Done = (usize, Result<(), ExecError>);
+
+/// One endpoint of a directed kernel-pair pipe, keyed by `(from, to)`.
+type PairEndpoint<T> = ((usize, usize), T);
+
+/// A worker's per-`(depth, region)` routing table: which of its pipe
+/// endpoints serve each planned edge, and the overlap rects in local window
+/// coordinates. Out entries keep the plan's edge-discovery order, which is
+/// also the order `apply_statement_split` emits slabs in.
+struct Route {
+    out_chans: Vec<usize>,
+    out_rects: Vec<Rect>,
+    in_chans: Vec<usize>,
+    in_rects: Vec<Rect>,
+}
+
+/// Runs the pipe-shared design with **real concurrency**: a persistent pool
+/// of one OS thread per tile kernel, alive for the whole run, connected by
+/// bounded crossbeam channels that play the role of the OpenCL pipes
+/// (created once per directed kernel pair and reused across every region
+/// and fused block).
+///
+/// Per fused block the main thread broadcasts a single [`Command::Pass`];
+/// each worker then walks all of its regions — refreshing only the halo
+/// ring of its persistent local window, computing the block with a
+/// latency-hiding element order (boundary cells feeding the pipes are
+/// evaluated and sent before the interior, Section 3.1 of the paper), and
+/// writing its tile back into the spare global buffer. The two global
+/// buffers alternate roles per block (read `src`, write `1 - src`), so no
+/// full-grid snapshot is ever cloned.
 ///
 /// Results must be identical to [`run_pipe_shared`](crate::run_pipe_shared)
-/// (and therefore to the reference): the protocol only moves the same values
-/// through channels instead of memcpys.
+/// (and therefore to the reference): the protocol only moves the same
+/// values through channels instead of memcpys.
 ///
 /// # Errors
 ///
 /// Same conditions as [`run_pipe_shared`](crate::run_pipe_shared), plus
-/// [`ExecError::WorkerPanic`] if a worker thread dies.
+/// [`ExecError::WorkerPanic`] if a worker thread dies and
+/// [`ExecError::PipeStall`] if the watchdog sees no progress within its
+/// deadline (stalled workers are abandoned; their threads leak until
+/// process exit).
 pub fn run_threaded(
     program: &Program,
     partition: &Partition,
     state: &mut GridState,
 ) -> Result<(), ExecError> {
-    let features = StencilFeatures::extract(program)?;
-    if !partition.design().kind().uses_pipes() {
-        return Err(ExecError::config(
-            "run_threaded expects a pipe-shared or heterogeneous design",
-        ));
+    let plan = PipelinePlan::new(program, partition)?;
+    if plan.depths.is_empty() {
+        return Ok(());
     }
-    reject_diagonals(&features)?;
+    let kernels = plan.tiles.first().map_or(0, Vec::len);
+    let plan = Arc::new(plan);
 
-    let kind = partition.design().kind();
-    let fused = partition.design().fused();
-    let grid_rect = Rect::from_extent(&program.extent());
-    let updated: Vec<&str> = program.updated_grids();
-    let mut done = 0u64;
-    while done < program.iterations {
-        let h_eff = fused.min(program.iterations - done);
-        let snapshot = state.clone();
-        for region in partition.region_indices() {
-            let tiles = partition.tiles_for_region(&region);
-            let plans: Vec<DomainPlan> = tiles
-                .iter()
-                .map(|t| DomainPlan::new(&features, t, kind, h_eff, &grid_rect))
-                .collect::<Result<_, _>>()?;
-            let programs: Vec<Program> = plans
-                .iter()
-                .map(|dp| Ok(program.with_extent(window_extent(&dp.buffer())?)))
-                .collect::<Result<_, ExecError>>()?;
-            let locals: Vec<GridState> = plans
-                .iter()
-                .zip(&programs)
-                .map(|(dp, lp)| extract_window(&snapshot, program, lp, &dp.buffer()))
-                .collect::<Result<_, _>>()?;
+    // Double buffer shared by the pool; workers read `src` (shared lock)
+    // and write disjoint tiles into `1 - src` (short exclusive locks).
+    let buffers = [
+        Arc::new(RwLock::new(state.clone())),
+        Arc::new(RwLock::new(state.clone())),
+    ];
 
-            // Build the directed pipe channels. outgoing[t] lists
-            // (sender, overlap); incoming[t] lists (receiver, overlap).
-            let k = tiles.len();
-            let mut outgoing: Vec<Vec<(Sender<Slab>, Rect)>> = (0..k).map(|_| Vec::new()).collect();
-            let mut incoming: Vec<Vec<(Receiver<Slab>, Rect)>> =
-                (0..k).map(|_| Vec::new()).collect();
-            for (t, tile) in tiles.iter().enumerate() {
-                for f in tile.faces() {
-                    if let FaceKind::Shared { neighbor } = f.kind {
-                        let overlap = plans[neighbor]
-                            .halo_rect(f.axis, !f.high)
-                            .intersect(&plans[t].buffer())
-                            .expect("region tiles share one dimensionality");
-                        let (tx, rx) = bounded::<Slab>(2);
-                        outgoing[t].push((tx, overlap));
-                        incoming[neighbor].push((rx, overlap));
-                    }
-                }
-            }
+    // One bounded channel per directed kernel pair, for the whole run.
+    let mut outs: Vec<Vec<PairEndpoint<Sender<Slab>>>> = (0..kernels).map(|_| Vec::new()).collect();
+    let mut ins: Vec<Vec<PairEndpoint<Receiver<Slab>>>> =
+        (0..kernels).map(|_| Vec::new()).collect();
+    for &(from, to) in &plan.pairs {
+        let (tx, rx) = bounded::<Slab>(PIPE_CAPACITY);
+        outs[from].push(((from, to), tx));
+        ins[to].push(((from, to), rx));
+    }
 
-            let mut results: Vec<Option<Result<GridState, ExecError>>> =
-                (0..k).map(|_| None).collect();
-            thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(k);
-                for (t, (mut local, (outs, ins))) in locals
-                    .into_iter()
-                    .zip(outgoing.into_iter().zip(incoming))
-                    .enumerate()
-                {
-                    let plan = &plans[t];
-                    let lp = &programs[t];
-                    let prog = &*program;
-                    handles.push(scope.spawn(move || {
-                        let interp = Interpreter::new(lp);
-                        let origin = plan.buffer().lo();
-                        for i in 1..=h_eff {
-                            for s in 0..prog.updates.len() {
-                                let domain = plan.domain(i, s).translate(&-origin)?;
-                                interp.apply_statement(&mut local, s, &domain)?;
-                                let target = &prog.updates[s].target;
-                                // Produce: push our slab into each pipe.
-                                for (tx, overlap) in &outs {
-                                    let rect = overlap.translate(&-origin)?;
-                                    let values = local.grid(target)?.read_window(&rect)?;
-                                    tx.send(Slab { step: (i, s), values }).map_err(|_| {
-                                        ExecError::config("pipe consumer hung up".to_string())
-                                    })?;
-                                }
-                                // Consume: splice the upstream slabs in.
-                                for (rx, overlap) in &ins {
-                                    let slab = rx.recv().map_err(|_| {
-                                        ExecError::config("pipe producer hung up".to_string())
-                                    })?;
-                                    debug_assert_eq!(slab.step, (i, s), "pipe protocol skew");
-                                    let rect = overlap.translate(&-origin)?;
-                                    local.grid_mut(target)?.write_window(&rect, &slab.values)?;
-                                }
-                            }
-                        }
-                        Ok(local)
-                    }));
-                }
-                for (t, h) in handles.into_iter().enumerate() {
-                    results[t] = Some(h.join().unwrap_or(Err(ExecError::WorkerPanic { kernel: t })));
-                }
+    let (done_tx, done_rx) = unbounded::<Done>();
+    let mut cmd_txs = Vec::with_capacity(kernels);
+    let mut handles = Vec::with_capacity(kernels);
+    for (k, (k_outs, k_ins)) in outs.into_iter().zip(ins).enumerate() {
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let plan = Arc::clone(&plan);
+        let buffers = [Arc::clone(&buffers[0]), Arc::clone(&buffers[1])];
+        let done_tx = done_tx.clone();
+        let handle = thread::Builder::new()
+            .name(format!("stencil-worker-{k}"))
+            .spawn(move || worker_loop(k, &plan, buffers, k_outs, k_ins, &cmd_rx, &done_tx))
+            .map_err(|e| ExecError::config(format!("failed to spawn worker {k}: {e}")))?;
+        cmd_txs.push(cmd_tx);
+        handles.push(handle);
+    }
+    drop(done_tx);
+
+    let mut src = 0usize;
+    let mut done_iters = 0u64;
+    let mut outcome: Result<(), ExecError> = Ok(());
+    while done_iters < plan.iterations {
+        let h = plan.fused.min(plan.iterations - done_iters);
+        let depth = plan.depth_index(h);
+        for tx in &cmd_txs {
+            // A send can only fail if the worker already died; the collector
+            // below will classify that as a panic or surface its error.
+            let _ = tx.send(Command::Pass {
+                depth,
+                step_base: done_iters,
+                src,
             });
+        }
+        if let Err(e) = collect_block(&done_rx, kernels, WATCHDOG, |k| handles[k].is_finished()) {
+            outcome = Err(e);
+            break;
+        }
+        done_iters += h;
+        src ^= 1;
+    }
 
-            for (t, tile) in tiles.iter().enumerate() {
-                let local = results[t].take().expect("every worker reports")?;
-                write_back(state, &local, &updated, &plans[t].buffer().lo(), &tile.rect())?;
+    drop(cmd_txs);
+    if outcome.is_ok() {
+        for (k, handle) in handles.into_iter().enumerate() {
+            if handle.join().is_err() && outcome.is_ok() {
+                outcome = Err(ExecError::WorkerPanic { kernel: k });
             }
         }
-        done += h_eff;
+    }
+    // On error, wedged workers (if any) are abandoned rather than joined.
+    outcome?;
+
+    let [b0, b1] = buffers;
+    let last = if src == 0 { b0 } else { b1 };
+    *state = match Arc::try_unwrap(last) {
+        Ok(lock) => lock.into_inner().unwrap_or_else(PoisonError::into_inner),
+        Err(arc) => arc.read().unwrap_or_else(PoisonError::into_inner).clone(),
+    };
+    Ok(())
+}
+
+/// Waits for every worker's end-of-block report, with a watchdog: if no
+/// report arrives within `deadline`, the lowest-numbered silent worker is
+/// blamed — [`ExecError::WorkerPanic`] if its thread already exited
+/// (a panic never reports), [`ExecError::PipeStall`] if it is still wedged.
+/// When some workers fail and others report hang-up cascades, the
+/// root-cause error (non-cascade, lowest kernel) wins.
+fn collect_block(
+    done_rx: &Receiver<Done>,
+    workers: usize,
+    deadline: Duration,
+    worker_finished: impl Fn(usize) -> bool,
+) -> Result<(), ExecError> {
+    let mut reported = vec![false; workers];
+    let mut failures: Vec<(usize, ExecError)> = Vec::new();
+    while let Some(silent) = reported.iter().position(|r| !r) {
+        let wait = if failures.is_empty() { deadline } else { DRAIN };
+        match done_rx.recv_timeout(wait) {
+            Ok((k, Ok(()))) => reported[k] = true,
+            Ok((k, Err(e))) => {
+                reported[k] = true;
+                failures.push((k, e));
+            }
+            Err(_) => {
+                let e = if worker_finished(silent) {
+                    ExecError::WorkerPanic { kernel: silent }
+                } else {
+                    ExecError::PipeStall { kernel: silent }
+                };
+                failures.push((silent, e));
+                break;
+            }
+        }
+    }
+    match failures
+        .into_iter()
+        .min_by_key(|(k, e)| (is_cascade(e), *k))
+    {
+        None => Ok(()),
+        Some((_, e)) => Err(e),
+    }
+}
+
+/// A hang-up error only tells us a partner died first; prefer reporting the
+/// partner's own failure.
+fn is_cascade(e: &ExecError) -> bool {
+    matches!(e, ExecError::BadConfiguration { detail } if detail.contains("hung up"))
+}
+
+/// Body of one pool worker: build interpreters and routing tables once,
+/// then serve [`Command::Pass`] orders until the command channel closes.
+/// The first error is reported on the done channel and ends the worker;
+/// dropping its pipe endpoints unblocks any partners waiting on it.
+fn worker_loop(
+    kernel: usize,
+    plan: &PipelinePlan,
+    buffers: [Arc<RwLock<GridState>>; 2],
+    outs: Vec<PairEndpoint<Sender<Slab>>>,
+    ins: Vec<PairEndpoint<Receiver<Slab>>>,
+    cmd_rx: &Receiver<Command>,
+    done_tx: &Sender<Done>,
+) {
+    let regions = plan.regions.len();
+    let setup = || -> Result<(Vec<Interpreter<'_>>, Vec<Vec<Route>>), ExecError> {
+        let interps = (0..regions)
+            .map(|r| Interpreter::new(&plan.local_programs[r][kernel]))
+            .collect();
+        let missing = || ExecError::config("no pipe endpoint for a planned edge");
+        let mut routes = Vec::with_capacity(plan.depths.len());
+        for depth in &plan.depths {
+            let mut per_region = Vec::with_capacity(regions);
+            for r in 0..regions {
+                let origin = plan.windows[r][kernel].lo();
+                let mut route = Route {
+                    out_chans: Vec::new(),
+                    out_rects: Vec::new(),
+                    in_chans: Vec::new(),
+                    in_rects: Vec::new(),
+                };
+                for e in &depth.edges[r] {
+                    if e.from == kernel {
+                        let pos = outs.iter().position(|(p, _)| *p == (e.from, e.to));
+                        route.out_chans.push(pos.ok_or_else(missing)?);
+                        route.out_rects.push(e.overlap.translate(&-origin)?);
+                    }
+                    if e.to == kernel {
+                        let pos = ins.iter().position(|(p, _)| *p == (e.from, e.to));
+                        route.in_chans.push(pos.ok_or_else(missing)?);
+                        route.in_rects.push(e.overlap.translate(&-origin)?);
+                    }
+                }
+                per_region.push(route);
+            }
+            routes.push(per_region);
+        }
+        Ok((interps, routes))
+    };
+    let (interps, routes) = match setup() {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = done_tx.send((kernel, Err(e)));
+            return;
+        }
+    };
+    let updated: Vec<&str> = plan.updated.iter().map(String::as_str).collect();
+    // Persistent local windows, one per region, alive across every block.
+    let mut locals: Vec<Option<GridState>> = vec![None; regions];
+    while let Ok(Command::Pass {
+        depth,
+        step_base,
+        src,
+    }) = cmd_rx.recv()
+    {
+        let result = run_pass(
+            kernel,
+            plan,
+            &buffers,
+            &outs,
+            &ins,
+            &interps,
+            &routes[depth],
+            &updated,
+            &mut locals,
+            depth,
+            step_base,
+            src,
+        );
+        let failed = result.is_err();
+        if done_tx.send((kernel, result)).is_err() || failed {
+            return;
+        }
+    }
+}
+
+/// One worker's share of one fused block, across all of its regions.
+#[allow(clippy::too_many_arguments)]
+fn run_pass(
+    kernel: usize,
+    plan: &PipelinePlan,
+    buffers: &[Arc<RwLock<GridState>>; 2],
+    outs: &[PairEndpoint<Sender<Slab>>],
+    ins: &[PairEndpoint<Receiver<Slab>>],
+    interps: &[Interpreter<'_>],
+    routes: &[Route],
+    updated: &[&str],
+    locals: &mut [Option<GridState>],
+    depth: usize,
+    step_base: u64,
+    src: usize,
+) -> Result<(), ExecError> {
+    let dp = &plan.depths[depth];
+    let cur = buffers[src].read().unwrap_or_else(PoisonError::into_inner);
+    for r in 0..plan.regions.len() {
+        let origin = plan.windows[r][kernel].lo();
+        let lp = &plan.local_programs[r][kernel];
+        match &mut locals[r] {
+            slot @ None => {
+                *slot = Some(extract_window(&cur, lp, lp, &plan.windows[r][kernel])?);
+            }
+            Some(local) => refresh_ring(local, &cur, &plan.rings[r][kernel], &origin, updated)?,
+        }
+        let local = locals[r].as_mut().expect("window extracted");
+        let route = &routes[r];
+        for i in 1..=dp.h {
+            for s in 0..lp.updates.len() {
+                let domain = dp.plans[r][kernel].domain(i, s).translate(&-origin)?;
+                let step = (step_base + i, s);
+                // Produce first (boundary cells against the pristine
+                // pre-state), so downstream kernels are fed before we turn
+                // to the interior...
+                apply_statement_split(&interps[r], local, s, &domain, &route.out_rects, {
+                    let out_chans = &route.out_chans;
+                    move |e, values| {
+                        outs[out_chans[e]]
+                            .1
+                            .send(Slab { step, values })
+                            .map_err(|_| ExecError::config("pipe consumer hung up"))
+                    }
+                })?;
+                // ...then consume: splice the upstream slabs in, in the
+                // plan's edge order.
+                let target = &lp.updates[s].target;
+                for (chan, dst) in route.in_chans.iter().zip(&route.in_rects) {
+                    let slab = ins[*chan]
+                        .1
+                        .recv()
+                        .map_err(|_| ExecError::config("pipe producer hung up"))?;
+                    check_slab_step(kernel, slab.step, step)?;
+                    local.grid_mut(target)?.write_window(dst, &slab.values)?;
+                }
+            }
+        }
+        let mut next = buffers[1 - src]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        write_back(&mut next, local, updated, &origin, &plan.tiles[r][kernel])?;
     }
     Ok(())
 }
@@ -152,7 +367,7 @@ mod tests {
     use super::*;
     use crate::{run_pipe_shared, run_reference};
     use stencilcl_grid::{Design, DesignKind, Extent, Point};
-    use stencilcl_lang::programs;
+    use stencilcl_lang::{programs, StencilFeatures};
 
     fn init(name: &str, p: &Point) -> f64 {
         let mut v = name.len() as f64 + 1.0;
@@ -169,7 +384,12 @@ mod tests {
         run_reference(program, &mut expect).unwrap();
         let mut threaded = GridState::new(program, init);
         run_threaded(program, &partition, &mut threaded).unwrap();
-        assert_eq!(expect.max_abs_diff(&threaded).unwrap(), 0.0, "{}", program.name);
+        assert_eq!(
+            expect.max_abs_diff(&threaded).unwrap(),
+            0.0,
+            "{}",
+            program.name
+        );
         // Threaded and sequential pipe executions agree bit for bit.
         let mut sequential = GridState::new(program, init);
         run_pipe_shared(program, &partition, &mut sequential).unwrap();
@@ -178,39 +398,90 @@ mod tests {
 
     #[test]
     fn jacobi_2d_threads_match_reference() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(6);
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(6);
         let d = Design::equal(DesignKind::PipeShared, 3, vec![2, 2], vec![8, 8]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn fdtd_2d_threads_match_reference() {
-        let p = programs::fdtd_2d().with_extent(Extent::new2(24, 24)).with_iterations(4);
+        let p = programs::fdtd_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(4);
         let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![6, 6]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn heterogeneous_threads_match_reference() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(6);
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(6);
         let d = Design::heterogeneous(2, vec![vec![6, 10], vec![10, 6]]).unwrap();
         check(&p, &d);
     }
 
     #[test]
     fn one_dimensional_pipeline_of_four_workers() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(64)).with_iterations(8);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(64))
+            .with_iterations(8);
         let d = Design::equal(DesignKind::PipeShared, 4, vec![4], vec![16]).unwrap();
         check(&p, &d);
     }
 
     #[test]
+    fn partial_final_block_runs_in_the_same_pool() {
+        // 7 iterations at depth 3: the pool serves blocks of 3, 3, 1 without
+        // being torn down, reusing windows and channels across depths.
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(7);
+        let d = Design::equal(DesignKind::PipeShared, 3, vec![2, 2], vec![8, 8]).unwrap();
+        check(&p, &d);
+    }
+
+    #[test]
     fn rejects_baseline_partition() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(32)).with_iterations(2);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(32))
+            .with_iterations(2);
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
         let mut s = GridState::uniform(&p, 0.0);
         assert!(run_threaded(&p, &partition, &mut s).is_err());
+    }
+
+    #[test]
+    fn watchdog_reports_a_stall_with_the_kernel_id() {
+        let (done_tx, done_rx) = unbounded::<Done>();
+        done_tx.send((0, Ok(()))).unwrap();
+        let err = collect_block(&done_rx, 2, Duration::from_millis(50), |_| false).unwrap_err();
+        assert_eq!(err, ExecError::PipeStall { kernel: 1 });
+    }
+
+    #[test]
+    fn watchdog_reports_a_panic_when_the_silent_worker_is_dead() {
+        let (done_tx, done_rx) = unbounded::<Done>();
+        drop(done_tx);
+        let err = collect_block(&done_rx, 1, Duration::from_millis(50), |_| true).unwrap_err();
+        assert_eq!(err, ExecError::WorkerPanic { kernel: 0 });
+    }
+
+    #[test]
+    fn root_cause_errors_outrank_hangup_cascades() {
+        let (done_tx, done_rx) = unbounded::<Done>();
+        done_tx
+            .send((0, Err(ExecError::config("pipe producer hung up"))))
+            .unwrap();
+        done_tx
+            .send((1, Err(ExecError::config("kernel 1: pipe protocol skew"))))
+            .unwrap();
+        done_tx.send((2, Ok(()))).unwrap();
+        let err = collect_block(&done_rx, 3, Duration::from_secs(5), |_| false).unwrap_err();
+        assert!(err.to_string().contains("protocol skew"));
     }
 }

@@ -16,7 +16,11 @@ pub enum ExecMode {
 
 impl ExecMode {
     /// All executor modes.
-    pub const ALL: [ExecMode; 3] = [ExecMode::Overlapped, ExecMode::PipeShared, ExecMode::Threaded];
+    pub const ALL: [ExecMode; 3] = [
+        ExecMode::Overlapped,
+        ExecMode::PipeShared,
+        ExecMode::Threaded,
+    ];
 }
 
 /// Runs `mode` under `partition` and the naive reference side by side from
@@ -69,7 +73,9 @@ mod tests {
 
     #[test]
     fn verify_covers_all_modes() {
-        let p = programs::jacobi_2d().with_extent(Extent::new2(16, 16)).with_iterations(4);
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(16, 16))
+            .with_iterations(4);
         let f = stencilcl_lang::StencilFeatures::extract(&p).unwrap();
         for mode in ExecMode::ALL {
             let kind = match mode {
@@ -78,16 +84,19 @@ mod tests {
             };
             let d = Design::equal(kind, 2, vec![2, 2], vec![4, 4]).unwrap();
             let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
-            let diff =
-                verify_design(&p, &partition, mode, |_, pt| (pt.coord(0) + pt.coord(1)) as f64)
-                    .unwrap();
+            let diff = verify_design(&p, &partition, mode, |_, pt| {
+                (pt.coord(0) + pt.coord(1)) as f64
+            })
+            .unwrap();
             assert_eq!(diff, 0.0, "{mode:?}");
         }
     }
 
     #[test]
     fn mismatched_mode_and_design_error() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(16)).with_iterations(2);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(16))
+            .with_iterations(2);
         let f = stencilcl_lang::StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![4]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();

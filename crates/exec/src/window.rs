@@ -62,6 +62,63 @@ pub fn write_back(
     Ok(())
 }
 
+/// Decomposes `window ∖ tile` into at most `2 · dim` disjoint rects — the
+/// halo ring a persistent tile window must refresh from the global grid
+/// between fused blocks (the tile interior keeps the values the kernel
+/// itself computed and wrote back).
+///
+/// # Errors
+///
+/// Returns [`ExecError::BadConfiguration`] unless `tile` lies inside
+/// `window`.
+pub fn halo_ring(window: &Rect, tile: &Rect) -> Result<Vec<Rect>, ExecError> {
+    if !window.contains_rect(tile) {
+        return Err(ExecError::config(format!(
+            "tile {tile} escapes its window {window}"
+        )));
+    }
+    let mut ring = Vec::new();
+    let mut core = *window;
+    for d in 0..window.dim() {
+        if core.lo().coord(d) < tile.lo().coord(d) {
+            let slab = Rect::new(core.lo(), core.hi().with_coord(d, tile.lo().coord(d)))?;
+            ring.push(slab);
+            core = Rect::new(core.lo().with_coord(d, tile.lo().coord(d)), core.hi())?;
+        }
+        if core.hi().coord(d) > tile.hi().coord(d) {
+            let slab = Rect::new(core.lo().with_coord(d, tile.hi().coord(d)), core.hi())?;
+            ring.push(slab);
+            core = Rect::new(core.lo(), core.hi().with_coord(d, tile.hi().coord(d)))?;
+        }
+    }
+    Ok(ring)
+}
+
+/// Refreshes the `names` arrays of a persistent local window (rooted at
+/// `origin`) over the absolute `ring` rects from the global state — the
+/// incremental replacement for re-extracting the whole window every block.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when a ring rect falls outside the local window
+/// or a named grid is missing.
+pub fn refresh_ring(
+    local: &mut GridState,
+    global: &GridState,
+    ring: &[Rect],
+    origin: &Point,
+    names: &[&str],
+) -> Result<(), ExecError> {
+    for rect in ring {
+        let local_rect = rect.translate(&-*origin)?;
+        for name in names {
+            let values = global.grid(name)?.read_window(rect)?;
+            local.grid_mut(name)?.write_window(&local_rect, &values)?;
+        }
+    }
+    Ok(())
+}
+
 /// Copies array `name` over the absolute region `overlap` from one local
 /// window (rooted at `src_origin`) into another (rooted at `dst_origin`) —
 /// one pipe transfer of a boundary slab.
@@ -121,11 +178,18 @@ mod tests {
         );
         // Modify the local window, then write a sub-target back.
         let mut local = local;
-        local.grid_mut("A").unwrap().set(&Point::new2(1, 1), -1.0).unwrap();
+        local
+            .grid_mut("A")
+            .unwrap()
+            .set(&Point::new2(1, 1), -1.0)
+            .unwrap();
         let mut state2 = state.clone();
         let target = Rect::new(Point::new2(3, 3), Point::new2(5, 5)).unwrap();
         write_back(&mut state2, &local, &["A"], &rect.lo(), &target).unwrap();
-        assert_eq!(*state2.grid("A").unwrap().get(&Point::new2(3, 3)).unwrap(), -1.0);
+        assert_eq!(
+            *state2.grid("A").unwrap().get(&Point::new2(3, 3)).unwrap(),
+            -1.0
+        );
         // Outside the target: untouched.
         assert_eq!(
             *state2.grid("A").unwrap().get(&Point::new2(2, 2)).unwrap(),
@@ -156,11 +220,17 @@ mod tests {
         let mut w2 = extract_window(&state, &p, &local_p, &r2).unwrap();
         // Zero w2's copy of column 3, then restore it from w1.
         for x in 0..4 {
-            w2.grid_mut("A").unwrap().set(&Point::new2(x, 0), 0.0).unwrap();
+            w2.grid_mut("A")
+                .unwrap()
+                .set(&Point::new2(x, 0), 0.0)
+                .unwrap();
         }
         let overlap = Rect::new(Point::new2(0, 3), Point::new2(4, 4)).unwrap();
         copy_slab(&w1, &r1.lo(), &mut w2, &r2.lo(), "A", &overlap).unwrap();
-        assert_eq!(*w2.grid("A").unwrap().get(&Point::new2(2, 0)).unwrap(), 19.0);
+        assert_eq!(
+            *w2.grid("A").unwrap().get(&Point::new2(2, 0)).unwrap(),
+            19.0
+        );
     }
 
     #[test]
@@ -173,6 +243,61 @@ mod tests {
         let mut w2 = w1.clone();
         let outside = Rect::new(Point::new2(0, 4), Point::new2(4, 5)).unwrap();
         assert!(copy_slab(&w1, &r1.lo(), &mut w2, &r1.lo(), "A", &outside).is_err());
+    }
+
+    #[test]
+    fn halo_ring_partitions_window_minus_tile() {
+        let window = Rect::new(Point::new2(2, 1), Point::new2(10, 9)).unwrap();
+        let tile = Rect::new(Point::new2(4, 3), Point::new2(8, 7)).unwrap();
+        let ring = halo_ring(&window, &tile).unwrap();
+        let ring_volume: u64 = ring.iter().map(Rect::volume).sum();
+        assert_eq!(ring_volume + tile.volume(), window.volume());
+        for (a, ra) in ring.iter().enumerate() {
+            assert!(ra.intersect(&tile).unwrap().is_empty());
+            for rb in &ring[a + 1..] {
+                assert!(ra.intersect(rb).unwrap().is_empty(), "{ra} overlaps {rb}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_ring_is_empty_when_tile_fills_window() {
+        let r = Rect::new(Point::new2(0, 0), Point::new2(4, 4)).unwrap();
+        assert!(halo_ring(&r, &r).unwrap().is_empty());
+        let outside = Rect::new(Point::new2(0, 0), Point::new2(5, 4)).unwrap();
+        assert!(halo_ring(&r, &outside).is_err());
+    }
+
+    #[test]
+    fn refresh_ring_restores_stale_halo_only() {
+        let p = program(8);
+        let local_p = p.with_extent(Extent::new2(4, 4));
+        let global = GridState::new(&p, |_, pt| (pt.coord(0) * 8 + pt.coord(1)) as f64);
+        let window = Rect::new(Point::new2(2, 2), Point::new2(6, 6)).unwrap();
+        let tile = Rect::new(Point::new2(3, 3), Point::new2(5, 5)).unwrap();
+        let mut local = extract_window(&global, &p, &local_p, &window).unwrap();
+        // Scribble over the whole local window, then refresh the ring.
+        for x in 0..4 {
+            for y in 0..4 {
+                local
+                    .grid_mut("A")
+                    .unwrap()
+                    .set(&Point::new2(x, y), -1.0)
+                    .unwrap();
+            }
+        }
+        let ring = halo_ring(&window, &tile).unwrap();
+        refresh_ring(&mut local, &global, &ring, &window.lo(), &["A"]).unwrap();
+        // Ring cells restored from the global grid.
+        assert_eq!(
+            *local.grid("A").unwrap().get(&Point::new2(0, 0)).unwrap(),
+            18.0
+        );
+        // Tile interior untouched by the refresh.
+        assert_eq!(
+            *local.grid("A").unwrap().get(&Point::new2(1, 1)).unwrap(),
+            -1.0
+        );
     }
 
     #[test]

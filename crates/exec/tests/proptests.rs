@@ -3,9 +3,9 @@
 //! initial data.
 
 use proptest::prelude::*;
-use stencilcl_exec::{verify_design, ExecMode};
+use stencilcl_exec::{run_pipe_shared, run_reference, run_threaded, verify_design, ExecMode};
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
-use stencilcl_lang::{parse, programs, Program, StencilFeatures};
+use stencilcl_lang::{parse, programs, GridState, Program, StencilFeatures};
 
 /// Random 2-D split of `total` into `k` positive parts.
 fn split(total: usize, k: usize, skew: usize) -> Vec<usize> {
@@ -156,5 +156,60 @@ proptest! {
         let program = parse(&programs::erosion_2d_source(24, iters)).unwrap();
         let design = Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![6, 6]).unwrap();
         prop_assert_eq!(verify(&program, &design, ExecMode::PipeShared, seed), 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The persistent-pool executors agree **with each other and with the
+    // reference**, bit for bit, over random star stencils, both partition
+    // families, and fused depths that exercise partial final blocks.
+    #[test]
+    fn random_star_stencils_agree_across_all_executors(
+        li in 0i64..=2, hi in 0i64..=2, lj in 0i64..=2, hj in 0i64..=2,
+        c in 1u64..=4,
+        t in 4usize..=8,
+        regions in 1usize..=2,
+        hetero in 0usize..=1,
+        skew in 0usize..2,
+        fused in 1u64..=3,
+        iters in 1u64..=6,
+        seed in 0i64..1000,
+    ) {
+        if li + hi + lj + hj == 0 {
+            return Ok(()); // pointwise, no halo exchange to test
+        }
+        let n = 2 * t * regions;
+        let c0 = c as f64 * 0.05;
+        let src = format!(
+            "stencil star {{ grid A[{n}][{n}] : f32; iterations {iters};
+             A[i][j] = {c0:.2} * A[i][j] + 0.2 * (A[i-{li}][j] + A[i+{hi}][j]) \
+                     + 0.15 * (A[i][j-{lj}] + A[i][j+{hj}]); }}"
+        );
+        let program = parse(&src).unwrap();
+        let design = if hetero == 1 {
+            let lens = split(2 * t, 2, skew);
+            Design::heterogeneous(fused, vec![lens.clone(), lens]).unwrap()
+        } else {
+            Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![t, t]).unwrap()
+        };
+        let f = StencilFeatures::extract(&program).unwrap();
+        let partition = Partition::new(program.extent(), &design, &f.growth).unwrap();
+        let init = |name: &str, p: &Point| {
+            let mut v = (name.len() as i64 + seed) as f64;
+            for d in 0..p.dim() {
+                v = v * 17.0 + p.coord(d) as f64;
+            }
+            (v * 0.0013).cos()
+        };
+        let mut reference = GridState::new(&program, init);
+        run_reference(&program, &mut reference).unwrap();
+        let mut pipe = GridState::new(&program, init);
+        run_pipe_shared(&program, &partition, &mut pipe).unwrap();
+        let mut threaded = GridState::new(&program, init);
+        run_threaded(&program, &partition, &mut threaded).unwrap();
+        prop_assert_eq!(reference.max_abs_diff(&pipe).unwrap(), 0.0);
+        prop_assert_eq!(pipe.max_abs_diff(&threaded).unwrap(), 0.0);
     }
 }

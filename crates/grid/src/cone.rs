@@ -52,7 +52,13 @@ impl Cone {
         expand_lo: [bool; MAX_DIM],
         expand_hi: [bool; MAX_DIM],
     ) -> Self {
-        Cone { tile, growth, fused, expand_lo, expand_hi }
+        Cone {
+            tile,
+            growth,
+            fused,
+            expand_lo,
+            expand_hi,
+        }
     }
 
     /// A cone expanding on every face (the baseline overlapped-tiling cone).
@@ -107,7 +113,11 @@ impl Cone {
     ///
     /// Panics if `level > self.fused()`.
     pub fn level(&self, level: u64) -> Rect {
-        assert!(level <= self.fused, "cone level {level} beyond fused depth {}", self.fused);
+        assert!(
+            level <= self.fused,
+            "cone level {level} beyond fused depth {}",
+            self.fused
+        );
         let steps = self.fused - level;
         let (mut lo, mut hi) = self.growth.amounts(steps);
         for d in 0..self.tile.dim() {
@@ -133,7 +143,11 @@ impl Cone {
     ///
     /// Panics if `i == 0` or `i > self.fused()`.
     pub fn compute_at(&self, i: u64) -> u64 {
-        assert!(i >= 1 && i <= self.fused, "iteration {i} outside 1..={}", self.fused);
+        assert!(
+            i >= 1 && i <= self.fused,
+            "iteration {i} outside 1..={}",
+            self.fused
+        );
         self.level(i).volume()
     }
 

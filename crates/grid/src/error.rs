@@ -38,7 +38,11 @@ impl fmt::Display for GridError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GridError::BadDimension(d) => {
-                write!(f, "dimensionality {d} outside supported range 1..={}", crate::MAX_DIM)
+                write!(
+                    f,
+                    "dimensionality {d} outside supported range 1..={}",
+                    crate::MAX_DIM
+                )
             }
             GridError::DimensionMismatch { left, right } => {
                 write!(f, "dimension mismatch: {left} vs {right}")
@@ -65,7 +69,10 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e = GridError::DimensionMismatch { left: 2, right: 3 };
         assert!(e.to_string().contains("2 vs 3"));
-        let e = GridError::OutOfBounds { point: vec![5], extent: vec![4] };
+        let e = GridError::OutOfBounds {
+            point: vec![5],
+            extent: vec![4],
+        };
         assert!(e.to_string().contains('5'));
     }
 

@@ -129,7 +129,10 @@ impl Extent {
     ///
     /// Panics if `idx >= self.volume()`.
     pub fn delinearize(&self, idx: usize) -> Point {
-        assert!((idx as u64) < self.volume(), "linear index {idx} out of range");
+        assert!(
+            (idx as u64) < self.volume(),
+            "linear index {idx} out of range"
+        );
         let mut coords = [0i64; MAX_DIM];
         let mut rest = idx;
         for d in (0..self.dim).rev() {
@@ -141,7 +144,11 @@ impl Extent {
 
     /// Iterates over all points of the extent in row-major order.
     pub fn iter(&self) -> ExtentIter {
-        ExtentIter { extent: *self, next: 0, total: self.volume() as usize }
+        ExtentIter {
+            extent: *self,
+            next: 0,
+            total: self.volume() as usize,
+        }
     }
 }
 

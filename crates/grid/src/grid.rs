@@ -27,7 +27,10 @@ pub struct Grid<T> {
 impl<T: Clone> Grid<T> {
     /// Creates a grid with every element set to `value`.
     pub fn filled(extent: Extent, value: T) -> Self {
-        Grid { extent, data: vec![value; extent.volume() as usize] }
+        Grid {
+            extent,
+            data: vec![value; extent.volume() as usize],
+        }
     }
 }
 

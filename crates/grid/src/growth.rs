@@ -44,7 +44,10 @@ impl Growth {
     /// [`GridError::DimensionMismatch`] when the slices differ in length.
     pub fn new(lo: &[u64], hi: &[u64]) -> Result<Self, GridError> {
         if lo.len() != hi.len() {
-            return Err(GridError::DimensionMismatch { left: lo.len(), right: hi.len() });
+            return Err(GridError::DimensionMismatch {
+                left: lo.len(),
+                right: hi.len(),
+            });
         }
         let dim = check_dim(lo.len())?;
         let mut l = [0u64; MAX_DIM];
@@ -106,7 +109,10 @@ impl Growth {
 
     /// The largest single-side growth over all dimensions.
     pub fn max_reach(&self) -> u64 {
-        (0..self.dim).map(|d| self.lo[d].max(self.hi[d])).max().unwrap_or(0)
+        (0..self.dim)
+            .map(|d| self.lo[d].max(self.hi[d]))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether the growth is zero in every direction.
@@ -122,7 +128,10 @@ impl Growth {
     /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
     pub fn checked_add(&self, other: &Growth) -> Result<Growth, GridError> {
         if self.dim != other.dim {
-            return Err(GridError::DimensionMismatch { left: self.dim, right: other.dim });
+            return Err(GridError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
         }
         let mut out = *self;
         for d in 0..self.dim {
@@ -139,7 +148,10 @@ impl Growth {
     /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
     pub fn checked_max(&self, other: &Growth) -> Result<Growth, GridError> {
         if self.dim != other.dim {
-            return Err(GridError::DimensionMismatch { left: self.dim, right: other.dim });
+            return Err(GridError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
         }
         let mut out = *self;
         for d in 0..self.dim {
@@ -165,7 +177,10 @@ impl Growth {
         let mut g = Growth::new(&vec![0; dim], &vec![0; dim])?;
         for o in offsets {
             if o.dim() != dim {
-                return Err(GridError::DimensionMismatch { left: dim, right: o.dim() });
+                return Err(GridError::DimensionMismatch {
+                    left: dim,
+                    right: o.dim(),
+                });
             }
             for d in 0..dim {
                 let c = o.coord(d);

@@ -116,10 +116,14 @@ impl Design {
     ) -> Result<Self, GridError> {
         check_dim(parallelism.len())?;
         if fused == 0 {
-            return Err(GridError::BadDesign { detail: "fused iteration depth must be >= 1".into() });
+            return Err(GridError::BadDesign {
+                detail: "fused iteration depth must be >= 1".into(),
+            });
         }
         if parallelism.contains(&0) {
-            return Err(GridError::BadDesign { detail: "parallelism must be >= 1 per dimension".into() });
+            return Err(GridError::BadDesign {
+                detail: "parallelism must be >= 1 per dimension".into(),
+            });
         }
         for (d, lens) in tile_lengths.iter().enumerate() {
             if lens.len() != parallelism[d] {
@@ -137,7 +141,12 @@ impl Design {
                 });
             }
         }
-        Ok(Design { kind, fused, parallelism, tile_lengths })
+        Ok(Design {
+            kind,
+            fused,
+            parallelism,
+            tile_lengths,
+        })
     }
 
     /// The architecture kind.
@@ -156,7 +165,12 @@ impl Design {
     ///
     /// Returns [`GridError::BadDesign`] when `fused` is zero.
     pub fn with_fused(&self, fused: u64) -> Result<Self, GridError> {
-        Design::validated(self.kind, fused, self.parallelism.clone(), self.tile_lengths.clone())
+        Design::validated(
+            self.kind,
+            fused,
+            self.parallelism.clone(),
+            self.tile_lengths.clone(),
+        )
     }
 
     /// Number of dimensions.
@@ -191,17 +205,24 @@ impl Design {
     /// The largest tile length along dimension `d` — the paper's
     /// `w_d · f_d^max` for the slowest kernel.
     pub fn max_tile_len(&self, d: usize) -> usize {
-        *self.tile_lengths[d].iter().max().expect("validated nonempty")
+        *self.tile_lengths[d]
+            .iter()
+            .max()
+            .expect("validated nonempty")
     }
 
     /// Whether any dimension uses unequal tile lengths.
     pub fn is_heterogeneous(&self) -> bool {
-        self.tile_lengths.iter().any(|lens| lens.iter().any(|&w| w != lens[0]))
+        self.tile_lengths
+            .iter()
+            .any(|lens| lens.iter().any(|&w| w != lens[0]))
     }
 
     /// Volume of the largest tile.
     pub fn max_tile_volume(&self) -> u64 {
-        (0..self.dim()).map(|d| self.max_tile_len(d) as u64).product()
+        (0..self.dim())
+            .map(|d| self.max_tile_len(d) as u64)
+            .product()
     }
 
     /// Workload-balancing factors `f_d^k = len_k / mean_len` per dimension.
@@ -209,7 +230,10 @@ impl Design {
     /// Equal designs return all-ones.
     pub fn balancing_factors(&self, d: usize) -> Vec<f64> {
         let mean = self.region_len(d) as f64 / self.parallelism[d] as f64;
-        self.tile_lengths[d].iter().map(|&w| w as f64 / mean).collect()
+        self.tile_lengths[d]
+            .iter()
+            .map(|&w| w as f64 / mean)
+            .collect()
     }
 
     /// Linear kernel id of a multi-dimensional kernel-grid index (row-major).
@@ -222,7 +246,10 @@ impl Design {
         let mut id = 0usize;
         for d in 0..self.dim() {
             let c = index.coord(d);
-            assert!(c >= 0 && (c as usize) < self.parallelism[d], "kernel index out of grid");
+            assert!(
+                c >= 0 && (c as usize) < self.parallelism[d],
+                "kernel index out of grid"
+            );
             id = id * self.parallelism[d] + c as usize;
         }
         id
@@ -253,10 +280,16 @@ impl Partition {
     /// architecture does not provide).
     pub fn new(extent: Extent, design: &Design, growth: &Growth) -> Result<Self, GridError> {
         if extent.dim() != design.dim() {
-            return Err(GridError::DimensionMismatch { left: extent.dim(), right: design.dim() });
+            return Err(GridError::DimensionMismatch {
+                left: extent.dim(),
+                right: design.dim(),
+            });
         }
         if growth.dim() != extent.dim() {
-            return Err(GridError::DimensionMismatch { left: growth.dim(), right: extent.dim() });
+            return Err(GridError::DimensionMismatch {
+                left: growth.dim(),
+                right: extent.dim(),
+            });
         }
         let mut regions_per_dim = Vec::with_capacity(extent.dim());
         for d in 0..extent.dim() {
@@ -279,7 +312,12 @@ impl Partition {
                 });
             }
         }
-        Ok(Partition { extent, design: design.clone(), growth: *growth, regions_per_dim })
+        Ok(Partition {
+            extent,
+            design: design.clone(),
+            growth: *growth,
+            regions_per_dim,
+        })
     }
 
     /// The partitioned grid's extent.
@@ -340,9 +378,7 @@ impl Partition {
         let dim = self.extent.dim();
         let mut lo = Point::origin(dim).expect("validated dim");
         let mut hi = lo;
-        for (d, (&idx, &count)) in
-            region_index.iter().zip(&self.regions_per_dim).enumerate()
-        {
+        for (d, (&idx, &count)) in region_index.iter().zip(&self.regions_per_dim).enumerate() {
             assert!(idx < count, "region index out of range");
             let origin = (idx * self.design.region_len(d)) as i64;
             lo = lo.with_coord(d, origin);
@@ -366,11 +402,15 @@ impl Partition {
             let mut lo = region.lo();
             let mut hi = lo;
             for d in 0..dim {
-                let offset: usize =
-                    self.design.tile_lengths(d)[..kidx.coord(d) as usize].iter().sum();
+                let offset: usize = self.design.tile_lengths(d)[..kidx.coord(d) as usize]
+                    .iter()
+                    .sum();
                 let start = region.lo().coord(d) + offset as i64;
                 lo = lo.with_coord(d, start);
-                hi = hi.with_coord(d, start + self.design.tile_lengths(d)[kidx.coord(d) as usize] as i64);
+                hi = hi.with_coord(
+                    d,
+                    start + self.design.tile_lengths(d)[kidx.coord(d) as usize] as i64,
+                );
             }
             let rect = Rect::new(lo, hi).expect("dims match");
             let mut faces = Vec::with_capacity(2 * dim);
@@ -421,7 +461,11 @@ impl Partition {
                             }
                         }
                     };
-                    Face { axis: f.axis, high: f.high, kind }
+                    Face {
+                        axis: f.axis,
+                        high: f.high,
+                        kind,
+                    }
                 })
                 .collect();
             *tile = TileInfo::new(tile.kernel(), kidx, rect, faces);
@@ -439,18 +483,14 @@ impl Partition {
         Point::new(&coords[..dim]).expect("validated dim")
     }
 
-    fn face_kind(
-        &self,
-        kidx: &Point,
-        region_index: &[usize],
-        axis: usize,
-        high: bool,
-    ) -> FaceKind {
+    fn face_kind(&self, kidx: &Point, region_index: &[usize], axis: usize, high: bool) -> FaceKind {
         let k = kidx.coord(axis);
         let last_tile = (self.design.parallelism()[axis] - 1) as i64;
         if (!high && k > 0) || (high && k < last_tile) {
             let neighbor = kidx.with_coord(axis, if high { k + 1 } else { k - 1 });
-            return FaceKind::Shared { neighbor: self.design.kernel_id(&neighbor) };
+            return FaceKind::Shared {
+                neighbor: self.design.kernel_id(&neighbor),
+            };
         }
         // Tile touches the region border on this side.
         let r = region_index[axis];
@@ -573,7 +613,12 @@ mod tests {
             for f in t.faces() {
                 if let FaceKind::Shared { neighbor } = f.kind {
                     let back = tiles[neighbor].face(f.axis, !f.high);
-                    assert_eq!(back.kind, FaceKind::Shared { neighbor: t.kernel() });
+                    assert_eq!(
+                        back.kind,
+                        FaceKind::Shared {
+                            neighbor: t.kernel()
+                        }
+                    );
                 }
             }
         }

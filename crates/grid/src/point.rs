@@ -43,17 +43,26 @@ impl Point {
 
     /// Creates a 1-D point.
     pub fn new1(x: i64) -> Self {
-        Point { dim: 1, coords: [x, 0, 0] }
+        Point {
+            dim: 1,
+            coords: [x, 0, 0],
+        }
     }
 
     /// Creates a 2-D point.
     pub fn new2(x: i64, y: i64) -> Self {
-        Point { dim: 2, coords: [x, y, 0] }
+        Point {
+            dim: 2,
+            coords: [x, y, 0],
+        }
     }
 
     /// Creates a 3-D point.
     pub fn new3(x: i64, y: i64, z: i64) -> Self {
-        Point { dim: 3, coords: [x, y, z] }
+        Point {
+            dim: 3,
+            coords: [x, y, z],
+        }
     }
 
     /// Creates the origin (all-zero point) of the given dimensionality.
@@ -63,7 +72,10 @@ impl Point {
     /// Returns [`GridError::BadDimension`] for unsupported `dim`.
     pub fn origin(dim: usize) -> Result<Self, GridError> {
         let dim = check_dim(dim)?;
-        Ok(Point { dim, coords: [0; MAX_DIM] })
+        Ok(Point {
+            dim,
+            coords: [0; MAX_DIM],
+        })
     }
 
     /// Number of dimensions of this point.
@@ -77,7 +89,11 @@ impl Point {
     ///
     /// Panics if `d >= self.dim()`.
     pub fn coord(&self, d: usize) -> i64 {
-        assert!(d < self.dim, "coordinate axis {d} out of range for dim {}", self.dim);
+        assert!(
+            d < self.dim,
+            "coordinate axis {d} out of range for dim {}",
+            self.dim
+        );
         self.coords[d]
     }
 
@@ -92,7 +108,11 @@ impl Point {
     ///
     /// Panics if `d >= self.dim()`.
     pub fn with_coord(mut self, d: usize, value: i64) -> Self {
-        assert!(d < self.dim, "coordinate axis {d} out of range for dim {}", self.dim);
+        assert!(
+            d < self.dim,
+            "coordinate axis {d} out of range for dim {}",
+            self.dim
+        );
         self.coords[d] = value;
         self
     }
@@ -104,13 +124,19 @@ impl Point {
     /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
     pub fn checked_add(&self, other: &Point) -> Result<Point, GridError> {
         if self.dim != other.dim {
-            return Err(GridError::DimensionMismatch { left: self.dim, right: other.dim });
+            return Err(GridError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
         }
         let mut coords = self.coords;
         for (c, o) in coords.iter_mut().zip(other.coords.iter()).take(self.dim) {
             *c += o;
         }
-        Ok(Point { dim: self.dim, coords })
+        Ok(Point {
+            dim: self.dim,
+            coords,
+        })
     }
 
     /// Checked component-wise subtraction.
@@ -120,20 +146,30 @@ impl Point {
     /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
     pub fn checked_sub(&self, other: &Point) -> Result<Point, GridError> {
         if self.dim != other.dim {
-            return Err(GridError::DimensionMismatch { left: self.dim, right: other.dim });
+            return Err(GridError::DimensionMismatch {
+                left: self.dim,
+                right: other.dim,
+            });
         }
         let mut coords = self.coords;
         for (c, o) in coords.iter_mut().zip(other.coords.iter()).take(self.dim) {
             *c -= o;
         }
-        Ok(Point { dim: self.dim, coords })
+        Ok(Point {
+            dim: self.dim,
+            coords,
+        })
     }
 
     /// The L∞ norm (Chebyshev radius) of this point viewed as an offset.
     ///
     /// This is the per-element "reach" of a stencil offset, used to size halos.
     pub fn chebyshev(&self) -> u64 {
-        self.as_slice().iter().map(|c| c.unsigned_abs()).max().unwrap_or(0)
+        self.as_slice()
+            .iter()
+            .map(|c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 }
 

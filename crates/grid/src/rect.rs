@@ -35,7 +35,10 @@ impl Rect {
     /// dimensionality.
     pub fn new(lo: Point, hi: Point) -> Result<Self, GridError> {
         if lo.dim() != hi.dim() {
-            return Err(GridError::DimensionMismatch { left: lo.dim(), right: hi.dim() });
+            return Err(GridError::DimensionMismatch {
+                left: lo.dim(),
+                right: hi.dim(),
+            });
         }
         Ok(Rect { lo, hi })
     }
@@ -87,7 +90,8 @@ impl Rect {
     /// Whether `p` lies inside the box.
     pub fn contains(&self, p: &Point) -> bool {
         p.dim() == self.dim()
-            && (0..self.dim()).all(|d| p.coord(d) >= self.lo.coord(d) && p.coord(d) < self.hi.coord(d))
+            && (0..self.dim())
+                .all(|d| p.coord(d) >= self.lo.coord(d) && p.coord(d) < self.hi.coord(d))
     }
 
     /// Whether every point of `other` lies inside `self`.
@@ -106,7 +110,10 @@ impl Rect {
     /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
     pub fn intersect(&self, other: &Rect) -> Result<Rect, GridError> {
         if self.dim() != other.dim() {
-            return Err(GridError::DimensionMismatch { left: self.dim(), right: other.dim() });
+            return Err(GridError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
         }
         let mut lo = self.lo;
         let mut hi = self.hi;
@@ -175,12 +182,19 @@ impl Rect {
     ///
     /// Returns [`GridError::DimensionMismatch`] when dimensionalities differ.
     pub fn translate(&self, offset: &Point) -> Result<Rect, GridError> {
-        Ok(Rect { lo: self.lo.checked_add(offset)?, hi: self.hi.checked_add(offset)? })
+        Ok(Rect {
+            lo: self.lo.checked_add(offset)?,
+            hi: self.hi.checked_add(offset)?,
+        })
     }
 
     /// Iterates over every point of the box in row-major order.
     pub fn iter(&self) -> RectIter {
-        RectIter { rect: *self, cursor: self.lo, done: self.is_empty() }
+        RectIter {
+            rect: *self,
+            cursor: self.lo,
+            done: self.is_empty(),
+        }
     }
 }
 
@@ -311,7 +325,12 @@ mod tests {
         let pts: Vec<_> = r.iter().collect();
         assert_eq!(
             pts,
-            vec![Point::new2(1, 1), Point::new2(1, 2), Point::new2(2, 1), Point::new2(2, 2)]
+            vec![
+                Point::new2(1, 1),
+                Point::new2(1, 2),
+                Point::new2(2, 1),
+                Point::new2(2, 2)
+            ]
         );
         assert_eq!(r.iter().len(), 4);
     }
@@ -332,7 +351,9 @@ mod tests {
 
     #[test]
     fn translate_moves_both_corners() {
-        let r = rect2((0, 0), (2, 2)).translate(&Point::new2(3, -1)).unwrap();
+        let r = rect2((0, 0), (2, 2))
+            .translate(&Point::new2(3, -1))
+            .unwrap();
         assert_eq!(r, rect2((3, -1), (5, 1)));
     }
 }

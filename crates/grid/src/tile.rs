@@ -51,8 +51,17 @@ impl TileInfo {
     /// Panics when the face count is wrong — tiles are built by
     /// [`Partition`](crate::Partition), so this indicates a library bug.
     pub fn new(kernel: usize, kernel_index: Point, rect: Rect, faces: Vec<Face>) -> Self {
-        assert_eq!(faces.len(), 2 * rect.dim(), "need one low and one high face per dimension");
-        TileInfo { kernel, kernel_index, rect, faces }
+        assert_eq!(
+            faces.len(),
+            2 * rect.dim(),
+            "need one low and one high face per dimension"
+        );
+        TileInfo {
+            kernel,
+            kernel_index,
+            rect,
+            faces,
+        }
     }
 
     /// Linear kernel id within the region (row-major over the kernel grid).
@@ -144,10 +153,26 @@ mod tests {
             Point::new2(0, 1),
             rect,
             vec![
-                Face { axis: 0, high: false, kind: FaceKind::GridBoundary },
-                Face { axis: 0, high: true, kind: FaceKind::Shared { neighbor: 5 } },
-                Face { axis: 1, high: false, kind: FaceKind::Shared { neighbor: 2 } },
-                Face { axis: 1, high: true, kind: FaceKind::RegionBoundary },
+                Face {
+                    axis: 0,
+                    high: false,
+                    kind: FaceKind::GridBoundary,
+                },
+                Face {
+                    axis: 0,
+                    high: true,
+                    kind: FaceKind::Shared { neighbor: 5 },
+                },
+                Face {
+                    axis: 1,
+                    high: false,
+                    kind: FaceKind::Shared { neighbor: 2 },
+                },
+                Face {
+                    axis: 1,
+                    high: true,
+                    kind: FaceKind::RegionBoundary,
+                },
             ],
         )
     }

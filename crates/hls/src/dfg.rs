@@ -61,8 +61,10 @@ impl Dfg {
             Expr::Number(v) => self.push(DfgNode::Const(*v)),
             Expr::Param(name) => self.push(DfgNode::Param(name.clone())),
             Expr::Access { grid, offset } => {
-                let candidate =
-                    DfgNode::Load { grid: grid.clone(), offset: *offset };
+                let candidate = DfgNode::Load {
+                    grid: grid.clone(),
+                    offset: *offset,
+                };
                 if let Some(i) = self.nodes.iter().position(|n| *n == candidate) {
                     i
                 } else {
@@ -97,7 +99,10 @@ impl Dfg {
 
     /// Number of distinct local-memory loads per element.
     pub fn load_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, DfgNode::Load { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, DfgNode::Load { .. }))
+            .count()
     }
 
     /// Number of arithmetic operator nodes.

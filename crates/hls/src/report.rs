@@ -23,7 +23,11 @@ pub struct HlsReport {
 impl HlsReport {
     /// The schedule part of the report.
     pub fn schedule(&self) -> PipelineSchedule {
-        PipelineSchedule { ii: self.ii, depth: self.depth, unroll: self.unroll }
+        PipelineSchedule {
+            ii: self.ii,
+            depth: self.depth,
+            unroll: self.unroll,
+        }
     }
 }
 

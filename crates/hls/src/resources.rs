@@ -71,7 +71,11 @@ impl Add for ResourceUsage {
 
 impl fmt::Display for ResourceUsage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FF={} LUT={} DSP={} BRAM={}", self.ff, self.lut, self.dsp, self.bram)
+        write!(
+            f,
+            "FF={} LUT={} DSP={} BRAM={}",
+            self.ff, self.lut, self.dsp, self.bram
+        )
     }
 }
 
@@ -155,8 +159,8 @@ pub fn estimate_resources(
                 let fifo_bytes = fifo_elems * features.elem_bytes;
                 pipes += features.updated_arrays as u64;
                 if fifo_bytes > cost.srl_fifo_bytes {
-                    pipe_bram += features.updated_arrays as u64
-                        * fifo_bytes.div_ceil(device.bram_bytes);
+                    pipe_bram +=
+                        features.updated_arrays as u64 * fifo_bytes.div_ceil(device.bram_bytes);
                 }
             }
         }
@@ -190,20 +194,46 @@ mod tests {
 
     #[test]
     fn within_and_fits() {
-        let small = ResourceUsage { ff: 1, lut: 1, dsp: 1, bram: 1 };
-        let big = ResourceUsage { ff: 2, lut: 2, dsp: 2, bram: 2 };
+        let small = ResourceUsage {
+            ff: 1,
+            lut: 1,
+            dsp: 1,
+            bram: 1,
+        };
+        let big = ResourceUsage {
+            ff: 2,
+            lut: 2,
+            dsp: 2,
+            bram: 2,
+        };
         assert!(small.within(&big));
         assert!(!big.within(&small));
         assert!(small.fits(&Device::default()));
-        let over = ResourceUsage { dsp: 10_000, ..ResourceUsage::zero() };
+        let over = ResourceUsage {
+            dsp: 10_000,
+            ..ResourceUsage::zero()
+        };
         assert!(!over.fits(&Device::default()));
     }
 
     #[test]
     fn add_is_componentwise() {
-        let a = ResourceUsage { ff: 1, lut: 2, dsp: 3, bram: 4 };
+        let a = ResourceUsage {
+            ff: 1,
+            lut: 2,
+            dsp: 3,
+            bram: 4,
+        };
         let b = a + a;
-        assert_eq!(b, ResourceUsage { ff: 2, lut: 4, dsp: 6, bram: 8 });
+        assert_eq!(
+            b,
+            ResourceUsage {
+                ff: 2,
+                lut: 4,
+                dsp: 6,
+                bram: 8
+            }
+        );
     }
 
     #[test]
@@ -243,13 +273,24 @@ mod tests {
     #[test]
     fn peak_utilization_uses_binding_resource() {
         let dev = Device::default();
-        let u = ResourceUsage { ff: 0, lut: 0, dsp: dev.dsp / 2, bram: dev.bram / 4 };
+        let u = ResourceUsage {
+            ff: 0,
+            lut: 0,
+            dsp: dev.dsp / 2,
+            bram: dev.bram / 4,
+        };
         assert!((u.peak_utilization(&dev) - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn display_lists_all_components() {
-        let s = ResourceUsage { ff: 1, lut: 2, dsp: 3, bram: 4 }.to_string();
+        let s = ResourceUsage {
+            ff: 1,
+            lut: 2,
+            dsp: 3,
+            bram: 4,
+        }
+        .to_string();
         assert!(s.contains("FF=1") && s.contains("BRAM=4"));
     }
 }

@@ -84,7 +84,11 @@ pub fn schedule(program: &Program, cost: &CostModel, unroll: u64) -> PipelineSch
             port_ii = port_ii.max(need.div_ceil(avail));
         }
     }
-    PipelineSchedule { ii: port_ii.max(1), depth, unroll }
+    PipelineSchedule {
+        ii: port_ii.max(1),
+        depth,
+        unroll,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +115,10 @@ mod tests {
             body.join(" + ")
         );
         let p = parse(&src).unwrap();
-        let cost = CostModel { partition_factor: 1, ..CostModel::default() };
+        let cost = CostModel {
+            partition_factor: 1,
+            ..CostModel::default()
+        };
         let s = schedule(&p, &cost, 1);
         assert_eq!(s.ii, 17u64.div_ceil(2));
     }
@@ -126,13 +133,21 @@ mod tests {
 
     #[test]
     fn cycles_per_element_divides_by_unroll() {
-        let s = PipelineSchedule { ii: 2, depth: 30, unroll: 8 };
+        let s = PipelineSchedule {
+            ii: 2,
+            depth: 30,
+            unroll: 8,
+        };
         assert!((s.cycles_per_element() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn cycles_for_includes_fill_and_drain() {
-        let s = PipelineSchedule { ii: 1, depth: 10, unroll: 2 };
+        let s = PipelineSchedule {
+            ii: 1,
+            depth: 10,
+            unroll: 2,
+        };
         assert_eq!(s.cycles_for(0), 0);
         // 8 elements = 4 initiations: depth + 3*ii + ii.
         assert_eq!(s.cycles_for(8), 10 + 3 + 1);

@@ -268,7 +268,10 @@ impl Program {
 
     /// The extent shared by all grids (validated by [`check`](crate::check)).
     pub fn extent(&self) -> Extent {
-        self.grids.first().expect("checked programs have at least one grid").extent
+        self.grids
+            .first()
+            .expect("checked programs have at least one grid")
+            .extent
     }
 
     /// Number of spatial dimensions.
@@ -278,7 +281,10 @@ impl Program {
 
     /// The element type shared by all grids.
     pub fn elem_type(&self) -> ElemType {
-        self.grids.first().expect("checked programs have at least one grid").ty
+        self.grids
+            .first()
+            .expect("checked programs have at least one grid")
+            .ty
     }
 
     /// Names of grids written by update statements.
@@ -325,8 +331,14 @@ mod tests {
     fn expr_accesses_collects_in_order() {
         let e = Expr::Binary(
             BinOp::Add,
-            Box::new(Expr::Access { grid: "A".into(), offset: Point::new1(-1) }),
-            Box::new(Expr::Access { grid: "B".into(), offset: Point::new1(1) }),
+            Box::new(Expr::Access {
+                grid: "A".into(),
+                offset: Point::new1(-1),
+            }),
+            Box::new(Expr::Access {
+                grid: "B".into(),
+                offset: Point::new1(1),
+            }),
         );
         let acc = e.accesses();
         assert_eq!(acc.len(), 2);
@@ -339,7 +351,10 @@ mod tests {
         let e = Expr::Binary(
             BinOp::Mul,
             Box::new(Expr::Number(0.5)),
-            Box::new(Expr::Access { grid: "A".into(), offset: Point::new2(-1, 2) }),
+            Box::new(Expr::Access {
+                grid: "A".into(),
+                offset: Point::new2(-1, 2),
+            }),
         );
         assert_eq!(e.to_string(), "(0.5 * A[i-1][j+2])");
     }

@@ -38,12 +38,18 @@ pub fn check(program: &Program) -> Result<(), LangError> {
     let mut names = HashSet::new();
     for g in &program.grids {
         if !names.insert(g.name.as_str()) {
-            return Err(LangError::semantic(format!("duplicate declaration of `{}`", g.name)));
+            return Err(LangError::semantic(format!(
+                "duplicate declaration of `{}`",
+                g.name
+            )));
         }
     }
     for p in &program.params {
         if !names.insert(p.name.as_str()) {
-            return Err(LangError::semantic(format!("duplicate declaration of `{}`", p.name)));
+            return Err(LangError::semantic(format!(
+                "duplicate declaration of `{}`",
+                p.name
+            )));
         }
     }
 
@@ -65,7 +71,10 @@ pub fn check(program: &Program) -> Result<(), LangError> {
 
     for (si, stmt) in program.updates.iter().enumerate() {
         let target = program.grid(&stmt.target).ok_or_else(|| {
-            LangError::semantic(format!("statement {si}: unknown update target `{}`", stmt.target))
+            LangError::semantic(format!(
+                "statement {si}: unknown update target `{}`",
+                stmt.target
+            ))
         })?;
         if target.read_only {
             return Err(LangError::semantic(format!(
@@ -167,7 +176,10 @@ mod tests {
             updates: vec![UpdateStmt {
                 target: "A".into(),
                 index_vars: vec!["i".into()],
-                rhs: Expr::Access { grid: "A".into(), offset: Point::new1(0) },
+                rhs: Expr::Access {
+                    grid: "A".into(),
+                    offset: Point::new1(0),
+                },
             }],
         }
     }
@@ -193,7 +205,10 @@ mod tests {
     #[test]
     fn rejects_duplicate_names() {
         let mut p = minimal();
-        p.params.push(ParamDecl { name: "A".into(), value: 1.0 });
+        p.params.push(ParamDecl {
+            name: "A".into(),
+            value: 1.0,
+        });
         let err = check(&p).unwrap_err();
         assert!(err.to_string().contains("duplicate"), "{err}");
     }
@@ -236,7 +251,10 @@ mod tests {
         p.updates[0].rhs = Expr::Param("nope".into());
         assert!(check(&p).is_err());
         let mut p = minimal();
-        p.updates[0].rhs = Expr::Access { grid: "B".into(), offset: Point::new1(0) };
+        p.updates[0].rhs = Expr::Access {
+            grid: "B".into(),
+            offset: Point::new1(0),
+        };
         assert!(check(&p).is_err());
     }
 
@@ -245,7 +263,10 @@ mod tests {
         let mut p = minimal();
         p.grids[0].extent = Extent::new2(8, 8);
         p.updates[0].index_vars = vec!["i".into(), "i".into()];
-        p.updates[0].rhs = Expr::Access { grid: "A".into(), offset: Point::new2(0, 0) };
+        p.updates[0].rhs = Expr::Access {
+            grid: "A".into(),
+            offset: Point::new2(0, 0),
+        };
         let err = check(&p).unwrap_err();
         assert!(err.to_string().contains("used twice"), "{err}");
     }

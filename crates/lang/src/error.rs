@@ -45,8 +45,15 @@ impl fmt::Display for LangError {
             LangError::Lex { span, found } => {
                 write!(f, "lex error at {span}: unexpected character {found:?}")
             }
-            LangError::Parse { span, expected, found } => {
-                write!(f, "parse error at {span}: expected {expected}, found {found}")
+            LangError::Parse {
+                span,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "parse error at {span}: expected {expected}, found {found}"
+                )
             }
             LangError::Semantic { detail } => write!(f, "semantic error: {detail}"),
             LangError::Grid(e) => write!(f, "geometry error: {e}"),
@@ -73,12 +80,16 @@ impl From<stencilcl_grid::GridError> for LangError {
 impl LangError {
     /// Convenience constructor for semantic errors.
     pub fn semantic(detail: impl Into<String>) -> Self {
-        LangError::Semantic { detail: detail.into() }
+        LangError::Semantic {
+            detail: detail.into(),
+        }
     }
 
     /// Convenience constructor for evaluation errors.
     pub fn eval(detail: impl Into<String>) -> Self {
-        LangError::Eval { detail: detail.into() }
+        LangError::Eval {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -88,7 +99,10 @@ mod tests {
 
     #[test]
     fn display_mentions_location() {
-        let e = LangError::Lex { span: Span { line: 3, col: 7 }, found: '$' };
+        let e = LangError::Lex {
+            span: Span { line: 3, col: 7 },
+            found: '$',
+        };
         let s = e.to_string();
         assert!(s.contains("3:7"), "{s}");
         assert!(s.contains('$'), "{s}");

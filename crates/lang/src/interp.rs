@@ -18,7 +18,12 @@ impl GridState {
         let grids = program
             .grids
             .iter()
-            .map(|g| (g.name.clone(), Grid::from_fn(g.extent, |p| init(&g.name, p))))
+            .map(|g| {
+                (
+                    g.name.clone(),
+                    Grid::from_fn(g.extent, |p| init(&g.name, p)),
+                )
+            })
             .collect();
         GridState { grids }
     }
@@ -34,7 +39,9 @@ impl GridState {
     ///
     /// Returns [`LangError::Eval`] when the grid does not exist.
     pub fn grid(&self, name: &str) -> Result<&Grid<f64>, LangError> {
-        self.grids.get(name).ok_or_else(|| LangError::eval(format!("no grid named `{name}`")))
+        self.grids
+            .get(name)
+            .ok_or_else(|| LangError::eval(format!("no grid named `{name}`")))
     }
 
     /// Mutable borrow of a grid by name.
@@ -43,7 +50,9 @@ impl GridState {
     ///
     /// Returns [`LangError::Eval`] when the grid does not exist.
     pub fn grid_mut(&mut self, name: &str) -> Result<&mut Grid<f64>, LangError> {
-        self.grids.get_mut(name).ok_or_else(|| LangError::eval(format!("no grid named `{name}`")))
+        self.grids
+            .get_mut(name)
+            .ok_or_else(|| LangError::eval(format!("no grid named `{name}`")))
     }
 
     /// Names of all grids, sorted.
@@ -124,8 +133,16 @@ impl<'p> Interpreter<'p> {
                 full.expand(&lo, &hi)
             })
             .collect();
-        let params = program.params.iter().map(|p| (p.name.as_str(), p.value)).collect();
-        Interpreter { program, params, domains }
+        let params = program
+            .params
+            .iter()
+            .map(|p| (p.name.as_str(), p.value))
+            .collect();
+        Interpreter {
+            program,
+            params,
+            domains,
+        }
     }
 
     /// The program being interpreted.
@@ -277,7 +294,10 @@ mod tests {
         interp.run(&mut s, 4).unwrap();
         // A linear ramp is a fixed point.
         for i in 0..16 {
-            assert_eq!(*s.grid("A").unwrap().get(&Point::new1(i)).unwrap(), i as f64);
+            assert_eq!(
+                *s.grid("A").unwrap().get(&Point::new1(i)).unwrap(),
+                i as f64
+            );
         }
     }
 
@@ -338,7 +358,10 @@ mod tests {
         // Point 2 was inside; neighbors were all 1.0, so unchanged value.
         assert_eq!(*s.grid("A").unwrap().get(&Point::new1(2)).unwrap(), 1.0);
         // Point 3 saw the 9.0 neighbor: 0.25*1 + 0.5*1 + 0.25*9.
-        assert_eq!(*s.grid("A").unwrap().get(&Point::new1(3)).unwrap(), 0.75 + 0.25 * 9.0);
+        assert_eq!(
+            *s.grid("A").unwrap().get(&Point::new1(3)).unwrap(),
+            0.75 + 0.25 * 9.0
+        );
     }
 
     #[test]

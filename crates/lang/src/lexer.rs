@@ -56,7 +56,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                     ident.push(chars[pos]);
                     advance(&mut pos, &mut line, &mut col);
                 }
-                tokens.push(Token { kind: TokenKind::Ident(ident), span });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    span,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -91,9 +94,15 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                     }
                 }
                 let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|_| LangError::Lex { span, found: c })?)
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| LangError::Lex { span, found: c })?,
+                    )
                 } else {
-                    TokenKind::Int(text.parse().map_err(|_| LangError::Lex { span, found: c })?)
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| LangError::Lex { span, found: c })?,
+                    )
                 };
                 tokens.push(Token { kind, span });
             }
@@ -120,7 +129,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, span: Span { line, col } });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span { line, col },
+    });
     Ok(tokens)
 }
 
@@ -183,7 +195,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_characters() {
-        assert!(matches!(tokenize("a $ b").unwrap_err(), LangError::Lex { found: '$', .. }));
+        assert!(matches!(
+            tokenize("a $ b").unwrap_err(),
+            LangError::Lex { found: '$', .. }
+        ));
     }
 
     #[test]

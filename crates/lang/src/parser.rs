@@ -130,7 +130,13 @@ impl Parser {
         self.expect(&TokenKind::Eof, "end of input")?;
         let iterations = iterations
             .ok_or_else(|| LangError::semantic("program must declare `iterations N;`"))?;
-        Ok(Program { name, grids, params, iterations, updates })
+        Ok(Program {
+            name,
+            grids,
+            params,
+            iterations,
+            updates,
+        })
     }
 
     fn grid_decl(&mut self) -> Result<GridDecl, LangError> {
@@ -166,7 +172,12 @@ impl Parser {
         };
         self.expect(&TokenKind::Semicolon, "`;`")?;
         let extent = Extent::new(&lens).map_err(LangError::from)?;
-        Ok(GridDecl { name, extent, ty, read_only })
+        Ok(GridDecl {
+            name,
+            extent,
+            ty,
+            read_only,
+        })
     }
 
     fn param_decl(&mut self) -> Result<ParamDecl, LangError> {
@@ -191,7 +202,10 @@ impl Parser {
             _ => return self.error("numeric parameter value"),
         };
         self.expect(&TokenKind::Semicolon, "`;`")?;
-        Ok(ParamDecl { name, value: if negative { -value } else { value } })
+        Ok(ParamDecl {
+            name,
+            value: if negative { -value } else { value },
+        })
     }
 
     fn update_stmt(&mut self) -> Result<UpdateStmt, LangError> {
@@ -210,7 +224,11 @@ impl Parser {
         self.expect(&TokenKind::Equals, "`=`")?;
         let rhs = self.expr(&index_vars)?;
         self.expect(&TokenKind::Semicolon, "`;`")?;
-        Ok(UpdateStmt { target, index_vars, rhs })
+        Ok(UpdateStmt {
+            target,
+            index_vars,
+            rhs,
+        })
     }
 
     fn expr(&mut self, vars: &[String]) -> Result<Expr, LangError> {
@@ -451,7 +469,9 @@ mod tests {
         )
         .unwrap();
         match &p.updates[0].rhs {
-            Expr::Binary(BinOp::Div, _, rhs) => assert!(matches!(**rhs, Expr::Number(v) if v == 2.0)),
+            Expr::Binary(BinOp::Div, _, rhs) => {
+                assert!(matches!(**rhs, Expr::Number(v) if v == 2.0))
+            }
             other => panic!("unexpected tree: {other:?}"),
         }
     }

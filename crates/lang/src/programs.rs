@@ -223,13 +223,24 @@ pub fn extensions() -> Vec<Program> {
 
 /// All seven benchmarks at paper scale, in Table 2 order.
 pub fn all() -> Vec<Program> {
-    vec![jacobi_1d(), jacobi_2d(), jacobi_3d(), hotspot_2d(), hotspot_3d(), fdtd_2d(), fdtd_3d()]
+    vec![
+        jacobi_1d(),
+        jacobi_2d(),
+        jacobi_3d(),
+        hotspot_2d(),
+        hotspot_3d(),
+        fdtd_2d(),
+        fdtd_3d(),
+    ]
 }
 
 /// Looks a benchmark up by its program name (e.g. `"jacobi_2d"`), searching
 /// the Table 2 suite and the extensions.
 pub fn by_name(name: &str) -> Option<Program> {
-    all().into_iter().chain(extensions()).find(|p| p.name == name)
+    all()
+        .into_iter()
+        .chain(extensions())
+        .find(|p| p.name == name)
 }
 
 #[cfg(test)]
@@ -317,7 +328,9 @@ mod tests {
     #[test]
     fn shrunk_variants_still_check() {
         use stencilcl_grid::Extent;
-        let p = jacobi_2d().with_extent(Extent::new2(32, 32)).with_iterations(8);
+        let p = jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(8);
         assert!(crate::check(&p).is_ok());
         assert_eq!(p.extent().as_slice(), &[32, 32]);
         assert_eq!(p.iterations, 8);

@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn kind_display_examples() {
-        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "identifier `abc`");
+        assert_eq!(
+            TokenKind::Ident("abc".into()).to_string(),
+            "identifier `abc`"
+        );
         assert_eq!(TokenKind::LBrace.to_string(), "`{`");
     }
 }

@@ -46,30 +46,128 @@ pub struct ParamInfo {
 pub fn parameter_glossary() -> Vec<ParamInfo> {
     use Provenance::*;
     vec![
-        ParamInfo { symbol: "L", definition: "Execution latency of entire stencil algorithm", provenance: Model },
-        ParamInfo { symbol: "N_region", definition: "Number of regions given an input size", provenance: SourceAnalysis },
-        ParamInfo { symbol: "L_tile_krnl_k", definition: "Execution latency of kth kernel to execute a tile", provenance: Model },
-        ParamInfo { symbol: "H", definition: "Number of input stencil iterations", provenance: SourceAnalysis },
-        ParamInfo { symbol: "h", definition: "Number of fused iterations", provenance: DeterminedByModel },
-        ParamInfo { symbol: "D", definition: "Number of input stencil dimensions", provenance: SourceAnalysis },
-        ParamInfo { symbol: "K", definition: "Number of kernels working in parallel", provenance: SourceAnalysis },
-        ParamInfo { symbol: "f_d_k", definition: "Workload balancing factor of kth kernel in the dth dimension", provenance: DeterminedByModel },
-        ParamInfo { symbol: "W_d", definition: "Length of input stencil array along dth dimension", provenance: SourceAnalysis },
-        ParamInfo { symbol: "w_d", definition: "Length of tile along dth dimension", provenance: SourceAnalysis },
-        ParamInfo { symbol: "Δw_d", definition: "Incremental length of tile along dth dimension per fused iteration", provenance: SourceAnalysis },
-        ParamInfo { symbol: "L_mem_krnl_k", definition: "Latency of kth kernel consumed by global memory access within a region", provenance: Model },
-        ParamInfo { symbol: "L_comp_krnl_k", definition: "Latency of kth kernel consumed by computation within a region", provenance: Model },
-        ParamInfo { symbol: "L_launch_krnl_k", definition: "Latency of kth kernel consumed by kernel launches within a region", provenance: Model },
-        ParamInfo { symbol: "L_read/L_write", definition: "Latency of kth kernel consumed by read from / write to global memory", provenance: Model },
-        ParamInfo { symbol: "Size_read/Size_write", definition: "Size of data of one work-group to be read from / written to global memory", provenance: SourceAnalysis },
-        ParamInfo { symbol: "BW", definition: "Peak bandwidth of global memory", provenance: OfflineProfiling },
-        ParamInfo { symbol: "Δs", definition: "Bit size of transferred data", provenance: SourceAnalysis },
-        ParamInfo { symbol: "L_iter_i", definition: "Latency of kth kernel to complete the computation workload of ith iteration", provenance: Model },
-        ParamInfo { symbol: "C_element", definition: "Number of clock cycles per element", provenance: SourceAnalysis },
-        ParamInfo { symbol: "II", definition: "Initiation interval of pipeline", provenance: HlsReport },
-        ParamInfo { symbol: "N_unroll", definition: "Loop unrolling number in stencil benchmark", provenance: SourceAnalysis },
-        ParamInfo { symbol: "L_share_i", definition: "Latency of kth kernel to transfer all the data through pipes in ith iteration", provenance: Model },
-        ParamInfo { symbol: "C_pipe", definition: "Number of clock cycles consumed to transfer one data element", provenance: OfflineProfiling },
+        ParamInfo {
+            symbol: "L",
+            definition: "Execution latency of entire stencil algorithm",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "N_region",
+            definition: "Number of regions given an input size",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "L_tile_krnl_k",
+            definition: "Execution latency of kth kernel to execute a tile",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "H",
+            definition: "Number of input stencil iterations",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "h",
+            definition: "Number of fused iterations",
+            provenance: DeterminedByModel,
+        },
+        ParamInfo {
+            symbol: "D",
+            definition: "Number of input stencil dimensions",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "K",
+            definition: "Number of kernels working in parallel",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "f_d_k",
+            definition: "Workload balancing factor of kth kernel in the dth dimension",
+            provenance: DeterminedByModel,
+        },
+        ParamInfo {
+            symbol: "W_d",
+            definition: "Length of input stencil array along dth dimension",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "w_d",
+            definition: "Length of tile along dth dimension",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "Δw_d",
+            definition: "Incremental length of tile along dth dimension per fused iteration",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "L_mem_krnl_k",
+            definition: "Latency of kth kernel consumed by global memory access within a region",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "L_comp_krnl_k",
+            definition: "Latency of kth kernel consumed by computation within a region",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "L_launch_krnl_k",
+            definition: "Latency of kth kernel consumed by kernel launches within a region",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "L_read/L_write",
+            definition: "Latency of kth kernel consumed by read from / write to global memory",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "Size_read/Size_write",
+            definition: "Size of data of one work-group to be read from / written to global memory",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "BW",
+            definition: "Peak bandwidth of global memory",
+            provenance: OfflineProfiling,
+        },
+        ParamInfo {
+            symbol: "Δs",
+            definition: "Bit size of transferred data",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "L_iter_i",
+            definition:
+                "Latency of kth kernel to complete the computation workload of ith iteration",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "C_element",
+            definition: "Number of clock cycles per element",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "II",
+            definition: "Initiation interval of pipeline",
+            provenance: HlsReport,
+        },
+        ParamInfo {
+            symbol: "N_unroll",
+            definition: "Loop unrolling number in stencil benchmark",
+            provenance: SourceAnalysis,
+        },
+        ParamInfo {
+            symbol: "L_share_i",
+            definition:
+                "Latency of kth kernel to transfer all the data through pipes in ith iteration",
+            provenance: Model,
+        },
+        ParamInfo {
+            symbol: "C_pipe",
+            definition: "Number of clock cycles consumed to transfer one data element",
+            provenance: OfflineProfiling,
+        },
     ]
 }
 

@@ -60,13 +60,13 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod compute;
-#[cfg(test)]
-pub(crate) mod testutil;
 mod glossary;
 mod memory;
 mod params;
 mod share;
 mod sync;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use compute::{compute_latency, iter_latency};
 pub use glossary::{parameter_glossary, ParamInfo, Provenance};

@@ -86,7 +86,12 @@ impl ModelInputs {
         };
         ModelInputs {
             dim,
-            input_lens: features.extent.as_slice().iter().map(|&l| l as u64).collect(),
+            input_lens: features
+                .extent
+                .as_slice()
+                .iter()
+                .map(|&l| l as u64)
+                .collect(),
             iterations: features.iterations,
             elem_bytes: features.elem_bytes,
             delta_w,

@@ -22,8 +22,7 @@ pub fn share_latency(m: &ModelInputs, i: u64) -> f64 {
             if d == j {
                 continue;
             }
-            let len =
-                m.tile_lens[d] as f64 - (m.delta_w[d] * (m.fused - i)) as f64;
+            let len = m.tile_lens[d] as f64 - (m.delta_w[d] * (m.fused - i)) as f64;
             area *= len.max(0.0);
         }
         face_area_sum += area;

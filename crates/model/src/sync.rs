@@ -73,7 +73,15 @@ pub fn predict(m: &ModelInputs) -> Prediction {
     let compute = compute_latency(m);
     let launch = m.launch_overhead;
     let per_region = read + write + compute + launch;
-    Prediction { regions, read, write, compute, launch, per_region, total: regions * per_region }
+    Prediction {
+        regions,
+        read,
+        write,
+        compute,
+        launch,
+        per_region,
+        total: regions * per_region,
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@ pub(crate) fn synthetic(kind: DesignKind, fused: u64) -> ModelInputs {
         input_lens: vec![256, 256],
         iterations: 64,
         elem_bytes: 4,
-        delta_w: if kind == DesignKind::Baseline { vec![2, 2] } else { vec![1, 1] },
+        delta_w: if kind == DesignKind::Baseline {
+            vec![2, 2]
+        } else {
+            vec![1, 1]
+        },
         read_arrays: 1,
         write_arrays: 1,
         fused,

@@ -21,7 +21,11 @@ fn inputs(
         input_lens: vec![tile * kernels * 4, tile * kernels * 4],
         iterations: 64,
         elem_bytes: 4,
-        delta_w: if kind == DesignKind::Baseline { vec![2, 2] } else { vec![1, 1] },
+        delta_w: if kind == DesignKind::Baseline {
+            vec![2, 2]
+        } else {
+            vec![1, 1]
+        },
         read_arrays: 1,
         write_arrays: 1,
         fused,

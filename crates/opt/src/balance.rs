@@ -54,13 +54,17 @@ pub fn balance_tiles(
         .collect();
     let mean_e = expansion.iter().sum::<f64>() / kernels as f64;
     let half_span = (h.saturating_sub(1)) as f64 / 2.0;
-    let ideal: Vec<f64> =
-        expansion.iter().map(|e| mean + (mean_e - e) * half_span).collect();
+    let ideal: Vec<f64> = expansion
+        .iter()
+        .map(|e| mean + (mean_e - e) * half_span)
+        .collect();
 
     // Round while preserving the exact sum: floor everything, then hand the
     // leftover cells to the slots with the largest fractional parts.
-    let mut lens: Vec<usize> =
-        ideal.iter().map(|&v| (v.floor().max(min_tile as f64)) as usize).collect();
+    let mut lens: Vec<usize> = ideal
+        .iter()
+        .map(|&v| (v.floor().max(min_tile as f64)) as usize)
+        .collect();
     let mut assigned: usize = lens.iter().sum();
     if assigned > region_len {
         // Shrink the largest slots back toward min_tile.
@@ -117,7 +121,10 @@ mod tests {
         assert!(lens[3] < lens[2], "{lens:?}");
         // Balanced work: spread under 2 cells of slack.
         let w = work(&lens, 1, 16);
-        let (min, max) = (w.iter().fold(f64::MAX, |a, &b| a.min(b)), w.iter().fold(0.0f64, |a, &b| a.max(b)));
+        let (min, max) = (
+            w.iter().fold(f64::MAX, |a, &b| a.min(b)),
+            w.iter().fold(0.0f64, |a, &b| a.max(b)),
+        );
         assert!(max - min <= 2.0, "{w:?}");
     }
 
@@ -151,9 +158,7 @@ mod tests {
     fn sum_always_preserved() {
         for h in [2, 5, 9, 33] {
             for k in [2, 3, 5] {
-                if let Some(lens) =
-                    balance_tiles(97, k, &Growth::symmetric(1, 2), 0, h, true, 3)
-                {
+                if let Some(lens) = balance_tiles(97, k, &Growth::symmetric(1, 2), 0, h, true, 3) {
                     assert_eq!(lens.iter().sum::<usize>(), 97, "h={h} k={k}");
                 }
             }

@@ -56,7 +56,9 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e = OptError::NoFeasibleDesign { detail: "empty space".into() };
+        let e = OptError::NoFeasibleDesign {
+            detail: "empty space".into(),
+        };
         assert!(e.to_string().contains("empty space"));
         assert!(e.source().is_none());
         let g = OptError::from(stencilcl_grid::GridError::EmptyExtent);

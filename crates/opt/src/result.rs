@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn speedup_is_baseline_over_heterogeneous() {
-        let pair = OptimizedPair { baseline: point(200.0), heterogeneous: point(100.0) };
+        let pair = OptimizedPair {
+            baseline: point(200.0),
+            heterogeneous: point(100.0),
+        };
         assert_eq!(pair.predicted_speedup(), 2.0);
         assert_eq!(pair.baseline.predicted_cycles(), 200.0);
     }

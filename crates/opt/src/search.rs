@@ -33,7 +33,11 @@ pub fn evaluate(
     };
     let inputs = ModelInputs::gather(features, &partition, &hls, device);
     let prediction = predict(&inputs);
-    Ok(DesignPoint { design, hls, prediction })
+    Ok(DesignPoint {
+        design,
+        hls,
+        prediction,
+    })
 }
 
 /// Explores the overlapped-tiling (baseline) design space: every candidate
@@ -66,14 +70,16 @@ pub fn optimize_baseline(
                 ) else {
                     continue;
                 };
-                let Ok(point) = evaluate(program, &features, design, device, cost, unroll)
-                else {
+                let Ok(point) = evaluate(program, &features, design, device, cost, unroll) else {
                     continue;
                 };
                 if !point.hls.resources.fits(device) {
                     continue;
                 }
-                if best.as_ref().is_none_or(|b| point.prediction.total < b.prediction.total) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| point.prediction.total < b.prediction.total)
+                {
                     best = Some(point);
                 }
             }
@@ -112,8 +118,10 @@ pub fn optimize_heterogeneous(
                 let k = cfg.parallelism[d];
                 let region = k * tile_len;
                 let boundary_expands = features.extent.len(d) / region > 1;
-                let min_tile =
-                    cfg.min_tile.max(growth.lo(d).max(growth.hi(d)) as usize).max(1);
+                let min_tile = cfg
+                    .min_tile
+                    .max(growth.lo(d).max(growth.hi(d)) as usize)
+                    .max(1);
                 match balance_tiles(region, k, &growth, d, h, boundary_expands, min_tile) {
                     Some(v) => lens.push(v),
                     None => {
@@ -141,21 +149,26 @@ pub fn optimize_heterogeneous(
                 candidates.push(d);
             }
             for design in candidates {
-                let Ok(point) = evaluate(program, &features, design, device, cost, unroll)
-                else {
+                let Ok(point) = evaluate(program, &features, design, device, cost, unroll) else {
                     continue;
                 };
                 if !point.hls.resources.within(budget) {
                     continue;
                 }
-                if best.as_ref().is_none_or(|b| point.prediction.total < b.prediction.total) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| point.prediction.total < b.prediction.total)
+                {
                     best = Some(point);
                 }
             }
         }
     }
     best.ok_or_else(|| OptError::NoFeasibleDesign {
-        detail: format!("heterogeneous search for `{}` within budget {budget}", program.name),
+        detail: format!(
+            "heterogeneous search for `{}` within budget {budget}",
+            program.name
+        ),
     })
 }
 
@@ -177,15 +190,16 @@ pub fn optimize_pair(
     let budget = baseline.hls.resources;
     let unroll = baseline.hls.unroll;
     let heterogeneous = optimize_heterogeneous(program, device, cost, cfg, &budget, unroll)?;
-    Ok(OptimizedPair { baseline, heterogeneous })
+    Ok(OptimizedPair {
+        baseline,
+        heterogeneous,
+    })
 }
 
 /// Cartesian product of per-dimension tile candidates.
 fn tile_combos(features: &StencilFeatures, cfg: &SearchConfig) -> Vec<Vec<usize>> {
     let per_dim: Vec<Vec<usize>> = (0..features.dim)
-        .map(|d| {
-            tile_candidates(features.extent.len(d), cfg.parallelism[d], cfg.min_tile)
-        })
+        .map(|d| tile_candidates(features.extent.len(d), cfg.parallelism[d], cfg.min_tile))
         .collect();
     let mut combos = vec![Vec::new()];
     for options in &per_dim {
@@ -213,7 +227,9 @@ mod tests {
     use stencilcl_lang::programs;
 
     fn small_jacobi2d() -> Program {
-        programs::jacobi_2d().with_extent(Extent::new2(512, 512)).with_iterations(128)
+        programs::jacobi_2d()
+            .with_extent(Extent::new2(512, 512))
+            .with_iterations(128)
     }
 
     fn cfg() -> SearchConfig {
@@ -229,8 +245,8 @@ mod tests {
     #[test]
     fn baseline_search_finds_a_fitting_design() {
         let p = small_jacobi2d();
-        let best = optimize_baseline(&p, &Device::default(), &CostModel::default(), &cfg())
-            .unwrap();
+        let best =
+            optimize_baseline(&p, &Device::default(), &CostModel::default(), &cfg()).unwrap();
         assert_eq!(best.design.kind(), DesignKind::Baseline);
         assert!(best.hls.resources.fits(&Device::default()));
         assert!(best.design.fused() >= 1);
@@ -240,9 +256,12 @@ mod tests {
     #[test]
     fn heterogeneous_beats_baseline_within_budget() {
         let p = small_jacobi2d();
-        let pair =
-            optimize_pair(&p, &Device::default(), &CostModel::default(), &cfg()).unwrap();
-        assert!(pair.heterogeneous.hls.resources.within(&pair.baseline.hls.resources));
+        let pair = optimize_pair(&p, &Device::default(), &CostModel::default(), &cfg()).unwrap();
+        assert!(pair
+            .heterogeneous
+            .hls
+            .resources
+            .within(&pair.baseline.hls.resources));
         assert!(
             pair.predicted_speedup() >= 1.0,
             "speedup {} should not regress",
@@ -259,8 +278,7 @@ mod tests {
     fn heterogeneous_uses_deeper_fusion() {
         // Table 3's pattern: the budget freed by pipe sharing buys depth.
         let p = small_jacobi2d();
-        let pair =
-            optimize_pair(&p, &Device::default(), &CostModel::default(), &cfg()).unwrap();
+        let pair = optimize_pair(&p, &Device::default(), &CostModel::default(), &cfg()).unwrap();
         assert!(
             pair.heterogeneous.design.fused() >= pair.baseline.design.fused(),
             "hetero h {} vs baseline h {}",
@@ -272,7 +290,12 @@ mod tests {
     #[test]
     fn infeasible_budget_reported() {
         let p = small_jacobi2d();
-        let tiny = ResourceUsage { ff: 1, lut: 1, dsp: 1, bram: 1 };
+        let tiny = ResourceUsage {
+            ff: 1,
+            lut: 1,
+            dsp: 1,
+            bram: 1,
+        };
         let err = optimize_heterogeneous(
             &p,
             &Device::default(),
@@ -298,7 +321,9 @@ mod tests {
 
     #[test]
     fn one_dimensional_search_works() {
-        let p = programs::jacobi_1d().with_extent(Extent::new1(65536)).with_iterations(256);
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(65536))
+            .with_iterations(256);
         let cfg = SearchConfig {
             parallelism: vec![16],
             unroll: 8,

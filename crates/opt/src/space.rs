@@ -42,7 +42,10 @@ impl SearchConfig {
             2 => vec![4, 4],
             _ => vec![4, 2, 2],
         };
-        SearchConfig { parallelism, ..SearchConfig::default() }
+        SearchConfig {
+            parallelism,
+            ..SearchConfig::default()
+        }
     }
 }
 
@@ -103,8 +106,7 @@ mod tests {
 
     #[test]
     fn fused_candidates_capped_by_iterations() {
-        let f =
-            StencilFeatures::extract(&programs::jacobi_2d().with_iterations(10)).unwrap();
+        let f = StencilFeatures::extract(&programs::jacobi_2d().with_iterations(10)).unwrap();
         let c = fused_candidates(&f, 512);
         assert_eq!(c.last(), Some(&10));
     }

@@ -46,8 +46,16 @@ impl SharedChannel {
     ///
     /// Panics unless `bandwidth` is positive and finite.
     pub fn new(bandwidth: f64) -> SharedChannel {
-        assert!(bandwidth.is_finite() && bandwidth > 0.0, "bandwidth must be positive");
-        SharedChannel { bandwidth, active: Vec::new(), last_update: Time::ZERO, generation: 0 }
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
+        SharedChannel {
+            bandwidth,
+            active: Vec::new(),
+            last_update: Time::ZERO,
+            generation: 0,
+        }
     }
 
     /// Current per-transfer rate in bytes per cycle.
@@ -105,9 +113,7 @@ impl SharedChannel {
         let rate = self.rate();
         self.active
             .iter()
-            .map(|&(owner, remaining)| {
-                (self.last_update + (remaining.max(0.0) / rate), owner)
-            })
+            .map(|&(owner, remaining)| (self.last_update + (remaining.max(0.0) / rate), owner))
             .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
     }
 

@@ -81,7 +81,12 @@ impl Recorder {
         }
         let (phase, start) = self.open[k];
         if now > start {
-            self.spans.push(TraceSpan { kernel: k, phase, start: start.as_f64(), end: now.as_f64() });
+            self.spans.push(TraceSpan {
+                kernel: k,
+                phase,
+                start: start.as_f64(),
+                end: now.as_f64(),
+            });
         }
         self.open[k] = (next, now);
     }
@@ -91,7 +96,11 @@ impl Recorder {
             for k in 0..self.open.len() {
                 self.transition(k, end, TracePhase::Barrier);
             }
-            self.spans.sort_by(|a, b| (a.kernel, a.start).partial_cmp(&(b.kernel, b.start)).expect("finite times"));
+            self.spans.sort_by(|a, b| {
+                (a.kernel, a.start)
+                    .partial_cmp(&(b.kernel, b.start))
+                    .expect("finite times")
+            });
         }
         self.spans
     }
@@ -216,8 +225,15 @@ fn run_pass(
                     let it = &kernels[k].plan.iterations[i as usize - 1];
                     if it.dep_elems == 0 {
                         finish_iteration(
-                            &mut kernels, k, i, now, &mut queue, sched, &mut channel,
-                            device.pipe_cycles_per_elem, &mut rec,
+                            &mut kernels,
+                            k,
+                            i,
+                            now,
+                            &mut queue,
+                            sched,
+                            &mut channel,
+                            device.pipe_cycles_per_elem,
+                            &mut rec,
                         );
                     } else if kernels[k].arrivals[i as usize - 1]
                         >= kernels[k].expected[i as usize - 1]
@@ -230,8 +246,15 @@ fn run_pass(
                 }
                 KState::Dep(i) => {
                     finish_iteration(
-                        &mut kernels, k, i, now, &mut queue, sched, &mut channel,
-                        device.pipe_cycles_per_elem, &mut rec,
+                        &mut kernels,
+                        k,
+                        i,
+                        now,
+                        &mut queue,
+                        sched,
+                        &mut channel,
+                        device.pipe_cycles_per_elem,
+                        &mut rec,
                     );
                 }
                 other => unreachable!("phase completion in state {other:?}"),
@@ -247,7 +270,15 @@ fn run_pass(
                 {
                     let waited = now.since(kernels[to].indep_end);
                     kernels[to].profile.pipe_wait += waited;
-                    start_dep(&mut kernels, to, consume_level, now, &mut queue, sched, &mut rec);
+                    start_dep(
+                        &mut kernels,
+                        to,
+                        consume_level,
+                        now,
+                        &mut queue,
+                        sched,
+                        &mut rec,
+                    );
                 }
             }
         }
@@ -258,14 +289,24 @@ fn run_pass(
         kr.profile.barrier_wait = pass_end.since(kr.done_at);
         profiles.push(kr.profile);
     }
-    let trace = traced
-        .then(|| Trace::new(rec.finish(pass_end), pass_end.as_f64(), profiles.len()));
-    (PassProfile { duration: pass_end.as_f64(), kernels: profiles }, trace)
+    let trace = traced.then(|| Trace::new(rec.finish(pass_end), pass_end.as_f64(), profiles.len()));
+    (
+        PassProfile {
+            duration: pass_end.as_f64(),
+            kernels: profiles,
+        },
+        trace,
+    )
 }
 
 fn reschedule_channel(queue: &mut EventQueue<Event>, channel: &SharedChannel) {
     if let Some((at, _)) = channel.next_completion() {
-        queue.schedule(at, Event::ChannelCheck { generation: channel.generation() });
+        queue.schedule(
+            at,
+            Event::ChannelCheck {
+                generation: channel.generation(),
+            },
+        );
     }
 }
 
@@ -314,12 +355,7 @@ fn start_dep(
 
 /// Splits a phase's cycles between useful and redundant computation in
 /// proportion to the iteration's element mix.
-fn attribute_compute(
-    kr: &mut KernelRt<'_>,
-    phase_elems: u64,
-    it: &crate::IterationPlan,
-    dur: f64,
-) {
+fn attribute_compute(kr: &mut KernelRt<'_>, phase_elems: u64, it: &crate::IterationPlan, dur: f64) {
     if it.total_elems == 0 || phase_elems == 0 {
         return;
     }
@@ -348,7 +384,13 @@ fn finish_iteration(
     for (to, elems) in pipe_cost {
         // Pipes deliver at C_pipe per element, concurrently with compute.
         let arrival = now + pipe_rate * elems as f64;
-        queue.schedule(arrival, Event::Arrival { to, consume_level: i + 1 });
+        queue.schedule(
+            arrival,
+            Event::Arrival {
+                to,
+                consume_level: i + 1,
+            },
+        );
     }
     let fused = kernels[k].plan.iterations.len() as u64;
     if i < fused {
@@ -393,7 +435,12 @@ pub fn simulate_opts(
     let passes = features.iterations.div_ceil(partition.design().fused()) as f64;
     let regions = passes * partition.regions_per_pass() as f64;
     let breakdown = pass.breakdown().scaled(regions);
-    SimReport { total_cycles: pass.duration * regions, pass, regions, breakdown }
+    SimReport {
+        total_cycles: pass.duration * regions,
+        pass,
+        regions,
+        breakdown,
+    }
 }
 
 #[cfg(test)]
@@ -420,13 +467,20 @@ mod tests {
     }
 
     fn sched() -> PipelineSchedule {
-        PipelineSchedule { ii: 1, depth: 20, unroll: 4 }
+        PipelineSchedule {
+            ii: 1,
+            depth: 20,
+            unroll: 4,
+        }
     }
 
     #[test]
     fn single_kernel_pass_is_sum_of_phases() {
         let (f, p) = setup(DesignKind::Baseline, 2, 16, 1);
-        let device = Device { launch_delay: 100, ..Device::default() };
+        let device = Device {
+            launch_delay: 100,
+            ..Device::default()
+        };
         let plans = build_plans(&f, &p);
         let s = sched();
         let pass = simulate_pass(&plans, &s, &device);
@@ -469,7 +523,10 @@ mod tests {
     #[test]
     fn sequential_launches_stagger_kernels() {
         let (f, p) = setup(DesignKind::Baseline, 2, 16, 2);
-        let device = Device { launch_delay: 500, ..Device::default() };
+        let device = Device {
+            launch_delay: 500,
+            ..Device::default()
+        };
         let plans = build_plans(&f, &p);
         let pass = simulate_pass(&plans, &sched(), &device);
         assert_eq!(pass.kernels[0].launch, 500.0);
@@ -493,10 +550,16 @@ mod tests {
     #[test]
     fn slow_pipes_cause_waits() {
         let (f, p) = setup(DesignKind::PipeShared, 4, 16, 2);
-        let device = Device { pipe_cycles_per_elem: 500.0, ..Device::default() };
+        let device = Device {
+            pipe_cycles_per_elem: 500.0,
+            ..Device::default()
+        };
         let report = simulate(&f, &p, &sched(), &device);
         let total_wait: f64 = report.pass.kernels.iter().map(|k| k.pipe_wait).sum();
-        assert!(total_wait > 0.0, "absurdly slow pipes must stall dependents");
+        assert!(
+            total_wait > 0.0,
+            "absurdly slow pipes must stall dependents"
+        );
         let fast = simulate(&f, &p, &sched(), &Device::default());
         let fast_wait: f64 = fast.pass.kernels.iter().map(|k| k.pipe_wait).sum();
         assert!(fast_wait < total_wait);

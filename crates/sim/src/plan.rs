@@ -140,25 +140,26 @@ pub fn build_plans_opts(
                     let total_elems = level.volume();
                     let useful_elems = tile.rect().volume();
                     // Dependent group: level cells within reach of a shared face.
-                    let dep_elems = if i >= 2 && kind.uses_pipes() && !pipe_in.is_empty() && !latency_hiding {
-                        total_elems
-                    } else if i >= 2 && kind.uses_pipes() {
-                        let mut shrink_lo = [0i64; stencilcl_grid::MAX_DIM];
-                        let mut shrink_hi = [0i64; stencilcl_grid::MAX_DIM];
-                        for f in tile.faces() {
-                            if matches!(f.kind, FaceKind::Shared { .. }) {
-                                if f.high {
-                                    shrink_hi[f.axis] = -(growth.hi(f.axis) as i64);
-                                } else {
-                                    shrink_lo[f.axis] = -(growth.lo(f.axis) as i64);
+                    let dep_elems =
+                        if i >= 2 && kind.uses_pipes() && !pipe_in.is_empty() && !latency_hiding {
+                            total_elems
+                        } else if i >= 2 && kind.uses_pipes() {
+                            let mut shrink_lo = [0i64; stencilcl_grid::MAX_DIM];
+                            let mut shrink_hi = [0i64; stencilcl_grid::MAX_DIM];
+                            for f in tile.faces() {
+                                if matches!(f.kind, FaceKind::Shared { .. }) {
+                                    if f.high {
+                                        shrink_hi[f.axis] = -(growth.hi(f.axis) as i64);
+                                    } else {
+                                        shrink_lo[f.axis] = -(growth.lo(f.axis) as i64);
+                                    }
                                 }
                             }
-                        }
-                        let indep = level.expand(&shrink_lo, &shrink_hi);
-                        total_elems - indep.volume().min(total_elems)
-                    } else {
-                        0
-                    };
+                            let indep = level.expand(&shrink_lo, &shrink_hi);
+                            total_elems - indep.volume().min(total_elems)
+                        } else {
+                            0
+                        };
                     // Sends feeding the neighbors' iteration i+1.
                     let sends = if i < fused && kind.uses_pipes() {
                         tile.faces()
@@ -174,9 +175,11 @@ pub fn build_plans_opts(
                                         return None;
                                     }
                                     let slab = level.face_slab(f.axis, f.high, depth);
-                                    let elems =
-                                        slab.volume() * features.updated_arrays as u64;
-                                    Some(PipeSend { to: neighbor, elems })
+                                    let elems = slab.volume() * features.updated_arrays as u64;
+                                    Some(PipeSend {
+                                        to: neighbor,
+                                        elems,
+                                    })
                                 }
                                 _ => None,
                             })
@@ -184,7 +187,13 @@ pub fn build_plans_opts(
                     } else {
                         Vec::new()
                     };
-                    IterationPlan { level: i, total_elems, useful_elems, dep_elems, sends }
+                    IterationPlan {
+                        level: i,
+                        total_elems,
+                        useful_elems,
+                        dep_elems,
+                        sends,
+                    }
                 })
                 .collect();
 
@@ -276,9 +285,14 @@ mod tests {
 
     #[test]
     fn pipe_sharing_reduces_total_compute() {
-        let base: u64 = plans(DesignKind::Baseline, 4).iter().map(|p| p.total_compute()).sum();
-        let pipe: u64 =
-            plans(DesignKind::PipeShared, 4).iter().map(|p| p.total_compute()).sum();
+        let base: u64 = plans(DesignKind::Baseline, 4)
+            .iter()
+            .map(|p| p.total_compute())
+            .sum();
+        let pipe: u64 = plans(DesignKind::PipeShared, 4)
+            .iter()
+            .map(|p| p.total_compute())
+            .sum();
         assert!(pipe < base);
     }
 

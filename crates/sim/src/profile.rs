@@ -164,7 +164,10 @@ mod tests {
         let mut fast = sample();
         fast.barrier_wait = 40.0;
         let slow = sample();
-        let pass = PassProfile { duration: 100.0, kernels: vec![fast, slow] };
+        let pass = PassProfile {
+            duration: 100.0,
+            kernels: vec![fast, slow],
+        };
         assert_eq!(pass.slowest().barrier_wait, 2.0);
     }
 }

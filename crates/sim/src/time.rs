@@ -22,7 +22,10 @@ impl Time {
     /// Panics if `cycles` is NaN or negative.
     pub fn cycles(cycles: f64) -> Time {
         assert!(!cycles.is_nan(), "simulation time cannot be NaN");
-        assert!(cycles >= 0.0, "simulation time cannot be negative: {cycles}");
+        assert!(
+            cycles >= 0.0,
+            "simulation time cannot be negative: {cycles}"
+        );
         Time(cycles)
     }
 

@@ -72,7 +72,11 @@ pub struct Trace {
 
 impl Trace {
     pub(crate) fn new(spans: Vec<TraceSpan>, duration: f64, kernels: usize) -> Trace {
-        Trace { spans, duration, kernels }
+        Trace {
+            spans,
+            duration,
+            kernels,
+        }
     }
 
     /// All spans, ordered by kernel then time.
@@ -130,16 +134,36 @@ mod tests {
     fn sample() -> Trace {
         Trace::new(
             vec![
-                TraceSpan { kernel: 0, phase: TracePhase::Launch, start: 0.0, end: 10.0 },
-                TraceSpan { kernel: 0, phase: TracePhase::Read, start: 10.0, end: 30.0 },
+                TraceSpan {
+                    kernel: 0,
+                    phase: TracePhase::Launch,
+                    start: 0.0,
+                    end: 10.0,
+                },
+                TraceSpan {
+                    kernel: 0,
+                    phase: TracePhase::Read,
+                    start: 10.0,
+                    end: 30.0,
+                },
                 TraceSpan {
                     kernel: 0,
                     phase: TracePhase::Compute { iteration: 1 },
                     start: 30.0,
                     end: 80.0,
                 },
-                TraceSpan { kernel: 0, phase: TracePhase::Write, start: 80.0, end: 100.0 },
-                TraceSpan { kernel: 1, phase: TracePhase::Launch, start: 0.0, end: 20.0 },
+                TraceSpan {
+                    kernel: 0,
+                    phase: TracePhase::Write,
+                    start: 80.0,
+                    end: 100.0,
+                },
+                TraceSpan {
+                    kernel: 1,
+                    phase: TracePhase::Launch,
+                    start: 0.0,
+                    end: 20.0,
+                },
                 TraceSpan {
                     kernel: 1,
                     phase: TracePhase::PipeWait { iteration: 2 },

@@ -13,7 +13,9 @@ fn setup(
     par: usize,
 ) -> Option<(StencilFeatures, Partition)> {
     let n = tile * par * 2;
-    let program = programs::jacobi_2d().with_extent(Extent::new2(n, n)).with_iterations(32);
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(n, n))
+        .with_iterations(32);
     let f = StencilFeatures::extract(&program).ok()?;
     let d = Design::equal(kind, fused, vec![par, par], vec![tile, tile]).ok()?;
     let p = Partition::new(f.extent, &d, &f.growth).ok()?;

@@ -2,7 +2,7 @@
 //! benchmark and design point of your choice.
 //!
 //! ```sh
-//! cargo run --release --example codegen_dump [benchmark] [fused] 
+//! cargo run --release --example codegen_dump [benchmark] [fused]
 //! # e.g.
 //! cargo run --release --example codegen_dump jacobi_2d 8
 //! ```
@@ -14,8 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = args.next().unwrap_or_else(|| "jacobi_2d".to_string());
     let fused: u64 = args.next().map_or(8, |s| s.parse().expect("fused depth"));
 
-    let spec = stencilcl::suite::by_name(&name)
-        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let spec =
+        stencilcl::suite::by_name(&name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
     // Work on a moderate instance so the dump stays readable.
     let program = spec.scaled(256, 64);
     let features = StencilFeatures::extract(&program)?;

@@ -79,8 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let py = state.grid("py")?;
     let denoised = |p: &Point| {
         let at = |grid: &Grid<f64>, q: Point| grid.get(&q).copied().unwrap_or(0.0);
-        let div = at(px, *p) - at(px, p.with_coord(1, p.coord(1) - 1))
-            + at(py, *p)
+        let div = at(px, *p) - at(px, p.with_coord(1, p.coord(1) - 1)) + at(py, *p)
             - at(py, p.with_coord(0, p.coord(0) - 1));
         at(g, *p) - LAMBDA * div
     };

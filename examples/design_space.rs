@@ -14,8 +14,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device::default();
     let cost = CostModel::default();
 
-    println!("Jacobi-2D on {} — predicted latency (cycles) per design point\n", device.name);
-    println!("{:>6} | {:>14} {:>14} {:>14} | {:>9} {:>9}", "h", "baseline", "pipe-shared", "heterogeneous", "base BRAM", "het BRAM");
+    println!(
+        "Jacobi-2D on {} — predicted latency (cycles) per design point\n",
+        device.name
+    );
+    println!(
+        "{:>6} | {:>14} {:>14} {:>14} | {:>9} {:>9}",
+        "h", "baseline", "pipe-shared", "heterogeneous", "base BRAM", "het BRAM"
+    );
     println!("{}", "-".repeat(80));
 
     let tile = 128usize;
@@ -23,8 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let eval = |design: Design| {
             stencilcl_opt::evaluate(&program, &features, design, &device, &cost, 8).ok()
         };
-        let base = eval(Design::equal(DesignKind::Baseline, h, vec![4, 4], vec![tile; 2])?);
-        let pipe = eval(Design::equal(DesignKind::PipeShared, h, vec![4, 4], vec![tile; 2])?);
+        let base = eval(Design::equal(
+            DesignKind::Baseline,
+            h,
+            vec![4, 4],
+            vec![tile; 2],
+        )?);
+        let pipe = eval(Design::equal(
+            DesignKind::PipeShared,
+            h,
+            vec![4, 4],
+            vec![tile; 2],
+        )?);
         let het = (0..2)
             .map(|d| balance_tiles_for(&features, tile * 4, 4, d, h))
             .collect::<Option<Vec<_>>>()
@@ -52,13 +68,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  baseline optimum:      h={:<4} tile={:?}  {}",
         pair.baseline.design.fused(),
-        (0..2).map(|d| pair.baseline.design.max_tile_len(d)).collect::<Vec<_>>(),
+        (0..2)
+            .map(|d| pair.baseline.design.max_tile_len(d))
+            .collect::<Vec<_>>(),
         pair.baseline.hls.resources
     );
     println!(
         "  heterogeneous optimum: h={:<4} tile={:?}  {}",
         pair.heterogeneous.design.fused(),
-        (0..2).map(|d| pair.heterogeneous.design.max_tile_len(d)).collect::<Vec<_>>(),
+        (0..2)
+            .map(|d| pair.heterogeneous.design.max_tile_len(d))
+            .collect::<Vec<_>>(),
         pair.heterogeneous.hls.resources
     );
     println!("  predicted speedup: {:.2}x", pair.predicted_speedup());

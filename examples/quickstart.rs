@@ -74,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. And the architecture is functionally exact: validate a scaled-down
     //    version against the naive reference.
-    let tiny = program.with_extent(Extent::new2(64, 64)).with_iterations(12);
+    let tiny = program
+        .with_extent(Extent::new2(64, 64))
+        .with_iterations(12);
     let tiny_features = StencilFeatures::extract(&tiny)?;
     let design = Design::equal(DesignKind::PipeShared, 4, vec![2, 2], vec![16, 16])?;
     let partition = Partition::new(tiny_features.extent, &design, &tiny_features.growth)?;

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         features.growth
     );
     for (i, s) in features.statements.iter().enumerate() {
-        println!("  statement {i}: writes {} ({} reads, growth {:?})", s.target, s.reads, s.growth);
+        println!(
+            "  statement {i}: writes {} ({} reads, growth {:?})",
+            s.target, s.reads, s.growth
+        );
     }
 
     // A Gaussian pulse in hz at the center; fields start at rest.
@@ -41,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Accelerate with every executor and demand exactness.
     for (label, kind, mode) in [
-        ("overlapped baseline", DesignKind::Baseline, ExecMode::Overlapped),
+        (
+            "overlapped baseline",
+            DesignKind::Baseline,
+            ExecMode::Overlapped,
+        ),
         ("pipe-shared", DesignKind::PipeShared, ExecMode::PipeShared),
         ("threaded pipes", DesignKind::PipeShared, ExecMode::Threaded),
     ] {
@@ -58,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hz = after.grid("hz")?;
     let center = *hz.get(&Point::new2((N / 2) as i64, (N / 2) as i64))?;
     println!("\nhz at source after {STEPS} steps: {center:.4} (started at 1.0)");
-    assert!(center.abs() < 1.0, "the wave must radiate away from the source");
+    assert!(
+        center.abs() < 1.0,
+        "the wave must radiate away from the source"
+    );
 
     // Ring energy: sample a circle of radius 16 around the source.
     let ring: f64 = (0..360)

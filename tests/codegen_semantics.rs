@@ -6,7 +6,9 @@ use stencilcl_codegen::boundary::cumulative_growths;
 use stencilcl_codegen::pipes::pipe_topology;
 
 fn generated(kind: DesignKind) -> (Program, Partition, GeneratedCode) {
-    let program = programs::jacobi_2d().with_extent(Extent::new2(128, 128)).with_iterations(32);
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(128, 128))
+        .with_iterations(32);
     let f = StencilFeatures::extract(&program).unwrap();
     let d = Design::equal(kind, 4, vec![2, 2], vec![16, 16]).unwrap();
     let p = Partition::new(f.extent, &d, &f.growth).unwrap();
@@ -18,10 +20,14 @@ fn generated(kind: DesignKind) -> (Program, Partition, GeneratedCode) {
 fn one_kernel_per_tile_with_all_arrays_as_arguments() {
     let (program, partition, code) = generated(DesignKind::PipeShared);
     for k in 0..partition.kernel_count() {
-        assert!(code.kernels.contains(&format!("__kernel void stencil_k{k}(")));
+        assert!(code
+            .kernels
+            .contains(&format!("__kernel void stencil_k{k}(")));
     }
     for g in &program.grids {
-        assert!(code.kernels.contains(&format!("__global float *{}", g.name)));
+        assert!(code
+            .kernels
+            .contains(&format!("__global float *{}", g.name)));
     }
 }
 
@@ -39,7 +45,10 @@ fn pipe_topology_matches_partition_adjacency() {
         assert!(["ex", "ey", "hz"].contains(&array.as_str()));
         let has_face = tiles[*from].pipe_neighbors().any(|n| n == *to);
         assert!(has_face, "pipe {array} {from}->{to} has no matching face");
-        assert!(topo.contains(&(array.clone(), *to, *from)), "missing reverse pipe");
+        assert!(
+            topo.contains(&(array.clone(), *to, *from)),
+            "missing reverse pipe"
+        );
     }
     // 2x2 grid: 4 undirected adjacencies x 2 directions x 3 arrays.
     assert_eq!(topo.len(), 24);
@@ -64,7 +73,8 @@ fn boundary_functions_encode_the_cone_geometry() {
     if cone.expands_lo(0) {
         let base = t0.rect().lo().coord(0) - 4;
         assert!(
-            code.kernels.contains(&format!("return max({base} + (it - 1) * 1")),
+            code.kernels
+                .contains(&format!("return max({base} + (it - 1) * 1")),
             "boundary base {base} missing from:\n{}",
             &code.kernels[..2000]
         );
@@ -76,7 +86,11 @@ fn cumulative_growths_match_feature_extraction() {
     let f = StencilFeatures::extract(&programs::fdtd_2d()).unwrap();
     let cum = cumulative_growths(&f);
     assert_eq!(cum.len(), f.statements.len());
-    assert_eq!(*cum.last().unwrap(), f.growth, "chain totals the per-iteration growth");
+    assert_eq!(
+        *cum.last().unwrap(),
+        f.growth,
+        "chain totals the per-iteration growth"
+    );
     // Monotone accumulation.
     for w in cum.windows(2) {
         for d in 0..f.dim {
@@ -91,7 +105,10 @@ fn generated_expression_matches_ast_structure() {
     let program = programs::jacobi_2d();
     let c = stencilcl_codegen::c_expr(&program.updates[0].rhs, "L_");
     // Same accesses as the AST, translated to buffer indexing.
-    assert_eq!(c.matches("L_A[").count(), program.updates[0].rhs.accesses().len());
+    assert_eq!(
+        c.matches("L_A[").count(),
+        program.updates[0].rhs.accesses().len()
+    );
     assert!(c.contains("L_A[i0 - 1][i1]"));
     assert!(c.contains("L_A[i0][i1 + 1]"));
     assert!(c.starts_with('(') && c.ends_with(')'));
@@ -102,8 +119,12 @@ fn host_enqueues_every_kernel_each_region() {
     let (program, partition, code) = generated(DesignKind::PipeShared);
     let passes = program.iterations.div_ceil(partition.design().fused());
     assert!(code.host.contains(&format!("pass < {passes}")));
-    assert!(code.host.contains(&format!("region < {}", partition.regions_per_pass())));
-    assert!(code.host.contains(&format!("k < {}", partition.kernel_count())));
+    assert!(code
+        .host
+        .contains(&format!("region < {}", partition.regions_per_pass())));
+    assert!(code
+        .host
+        .contains(&format!("k < {}", partition.kernel_count())));
 }
 
 #[test]
@@ -115,8 +136,14 @@ fn heterogeneous_kernels_have_distinct_buffer_sizes() {
     let code = generate(&program, &p, &CodegenOptions::default()).unwrap();
     // Tile 0 is 12x20 (+halos), tile 3 is 20x12 (+halos): local buffer
     // declarations must differ between kernels.
-    let decls: Vec<&str> =
-        code.kernels.lines().filter(|l| l.contains("__local float L_A")).collect();
+    let decls: Vec<&str> = code
+        .kernels
+        .lines()
+        .filter(|l| l.contains("__local float L_A"))
+        .collect();
     assert_eq!(decls.len(), 4);
-    assert!(decls.iter().any(|d| *d != decls[0]), "buffers should differ: {decls:?}");
+    assert!(
+        decls.iter().any(|d| *d != decls[0]),
+        "buffers should differ: {decls:?}"
+    );
 }

@@ -25,15 +25,26 @@ fn run(name: &str, n: usize, iters: u64) -> SynthesisReport {
 #[test]
 fn jacobi_2d_flow_produces_consistent_report() {
     let r = run("Jacobi-2D", 512, 64);
-    assert!(r.speedup_simulated() >= 1.0, "speedup {}", r.speedup_simulated());
-    assert!(r.heterogeneous.point.hls.resources.within(&r.baseline.point.hls.resources));
+    assert!(
+        r.speedup_simulated() >= 1.0,
+        "speedup {}",
+        r.speedup_simulated()
+    );
+    assert!(r
+        .heterogeneous
+        .point
+        .hls
+        .resources
+        .within(&r.baseline.point.hls.resources));
     assert_eq!(
-        r.baseline.point.hls.resources.dsp,
-        r.heterogeneous.point.hls.resources.dsp,
+        r.baseline.point.hls.resources.dsp, r.heterogeneous.point.hls.resources.dsp,
         "same parallelism and unroll imply the same DSP datapath"
     );
     assert!(r.code.kernels.contains("__kernel void stencil_k0"));
-    assert!(r.code.kernels.contains("pipe "), "heterogeneous designs use pipes");
+    assert!(
+        r.code.kernels.contains("pipe "),
+        "heterogeneous designs use pipes"
+    );
     assert!(r.code.host.contains("enqueueTask"));
     // One kernel per tile.
     let kernels = r.code.kernels.matches("__kernel void").count();
@@ -73,7 +84,11 @@ fn reports_model_accuracy_within_reason() {
     let r = run("Jacobi-2D", 512, 64);
     // The analytical model should land within 50% of the simulator on both
     // designs at this scale (the paper reports 12% against hardware).
-    assert!(r.baseline.model_error() < 0.5, "baseline error {}", r.baseline.model_error());
+    assert!(
+        r.baseline.model_error() < 0.5,
+        "baseline error {}",
+        r.baseline.model_error()
+    );
     assert!(
         r.heterogeneous.model_error() < 0.5,
         "heterogeneous error {}",

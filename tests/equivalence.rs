@@ -21,7 +21,11 @@ fn assert_equivalent(program: &Program, design: &Design, mode: ExecMode) {
         .unwrap_or_else(|e| panic!("{}: {e}", program.name));
     let diff = verify_design(program, &partition, mode, init)
         .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", program.name));
-    assert_eq!(diff, 0.0, "{} under {mode:?} diverged by {diff}", program.name);
+    assert_eq!(
+        diff, 0.0,
+        "{} under {mode:?} diverged by {diff}",
+        program.name
+    );
 }
 
 fn tiny(name: &str, n: usize, iters: u64) -> Program {

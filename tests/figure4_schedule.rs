@@ -6,7 +6,9 @@ use stencilcl::prelude::*;
 use stencilcl_sim::{build_plans, simulate_pass};
 
 fn setup(kind: DesignKind, fused: u64) -> (StencilFeatures, Partition) {
-    let program = programs::jacobi_2d().with_extent(Extent::new2(128, 128)).with_iterations(32);
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(128, 128))
+        .with_iterations(32);
     let f = StencilFeatures::extract(&program).unwrap();
     let d = Design::equal(kind, fused, vec![2, 2], vec![16, 16]).unwrap();
     let p = Partition::new(f.extent, &d, &f.growth).unwrap();
@@ -14,13 +16,20 @@ fn setup(kind: DesignKind, fused: u64) -> (StencilFeatures, Partition) {
 }
 
 fn sched() -> stencilcl_hls::PipelineSchedule {
-    stencilcl_hls::PipelineSchedule { ii: 1, depth: 20, unroll: 4 }
+    stencilcl_hls::PipelineSchedule {
+        ii: 1,
+        depth: 20,
+        unroll: 4,
+    }
 }
 
 #[test]
 fn kernels_launch_sequentially_with_fixed_delay() {
     let (f, p) = setup(DesignKind::Baseline, 4);
-    let device = Device { launch_delay: 777, ..Device::default() };
+    let device = Device {
+        launch_delay: 777,
+        ..Device::default()
+    };
     let pass = simulate_pass(&build_plans(&f, &p), &sched(), &device);
     for (k, prof) in pass.kernels.iter().enumerate() {
         assert_eq!(prof.launch, 777.0 * (k as f64 + 1.0), "kernel {k}");
@@ -43,8 +52,15 @@ fn all_kernels_release_at_the_barrier_together() {
         );
     }
     // At least one kernel (the slowest) has ~zero barrier wait.
-    let min_wait = pass.kernels.iter().map(|p| p.barrier_wait).fold(f64::MAX, f64::min);
-    assert!(min_wait < 1e-6, "slowest kernel gates the barrier, wait {min_wait}");
+    let min_wait = pass
+        .kernels
+        .iter()
+        .map(|p| p.barrier_wait)
+        .fold(f64::MAX, f64::min);
+    assert!(
+        min_wait < 1e-6,
+        "slowest kernel gates the barrier, wait {min_wait}"
+    );
 }
 
 #[test]
@@ -55,18 +71,27 @@ fn heterogeneous_tiling_reduces_barrier_wait() {
     // Four tile slots along dim 0 so interior and boundary kernels differ
     // (with two slots per dimension every tile touches a boundary and no
     // rebalancing is possible).
-    let program = programs::jacobi_2d().with_extent(Extent::new2(256, 256)).with_iterations(32);
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(256, 256))
+        .with_iterations(32);
     let f = StencilFeatures::extract(&program).unwrap();
     let device = Device::default();
     let total_wait = |design: &Design| {
         let p = Partition::new(f.extent, design, &f.growth).unwrap();
         let pass = simulate_pass(&build_plans(&f, &p), &sched(), &device);
-        pass.kernels.iter().map(|k| k.barrier_wait + k.pipe_wait).sum::<f64>()
+        pass.kernels
+            .iter()
+            .map(|k| k.barrier_wait + k.pipe_wait)
+            .sum::<f64>()
     };
     let equal = Design::equal(DesignKind::PipeShared, 8, vec![4, 1], vec![16, 64]).unwrap();
-    let balanced_dim0 = stencilcl_opt::balance_tiles(64, 4, &f.growth, 0, 8, true, 4)
-        .expect("balance feasible");
-    assert_ne!(balanced_dim0, vec![16; 4], "balancing must actually move cells");
+    let balanced_dim0 =
+        stencilcl_opt::balance_tiles(64, 4, &f.growth, 0, 8, true, 4).expect("balance feasible");
+    assert_ne!(
+        balanced_dim0,
+        vec![16; 4],
+        "balancing must actually move cells"
+    );
     let balanced = Design::heterogeneous(8, vec![balanced_dim0, vec![64]]).unwrap();
     assert!(
         total_wait(&balanced) < total_wait(&equal),
@@ -92,7 +117,10 @@ fn memory_transfers_separate_computation_rounds() {
 
 #[test]
 fn pipe_waits_appear_only_in_pipe_designs() {
-    let device = Device { pipe_cycles_per_elem: 2_000.0, ..Device::default() };
+    let device = Device {
+        pipe_cycles_per_elem: 2_000.0,
+        ..Device::default()
+    };
     let (fb, pb) = setup(DesignKind::Baseline, 6);
     let base = simulate_pass(&build_plans(&fb, &pb), &sched(), &device);
     assert!(base.kernels.iter().all(|k| k.pipe_wait == 0.0));

@@ -7,7 +7,9 @@ use stencilcl::prelude::*;
 fn sweep(kind: DesignKind, hs: &[u64]) -> Vec<(u64, f64, f64)> {
     // 128-wide tiles keep the sweep compute-dominated, like the paper's
     // configurations.
-    let program = programs::jacobi_2d().with_extent(Extent::new2(512, 512)).with_iterations(64);
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(512, 512))
+        .with_iterations(64);
     let f = StencilFeatures::extract(&program).unwrap();
     let device = Device::default();
     let cost = CostModel::default();
@@ -32,12 +34,14 @@ fn model_tracks_simulator_for_baseline() {
     // Shallow depths are launch-dominated, where the single-charge launch
     // model is weakest (the paper's own Section 5.6 caveat) — so bound the
     // sweep's mean error and keep a loose cap per point.
-    let mean: f64 =
-        pts.iter().map(|(_, p, m)| (m - p).abs() / m).sum::<f64>() / pts.len() as f64;
+    let mean: f64 = pts.iter().map(|(_, p, m)| (m - p).abs() / m).sum::<f64>() / pts.len() as f64;
     assert!(mean < 0.35, "mean error {mean:.2}");
     for (h, pred, meas) in &pts {
         let err = (meas - pred).abs() / meas;
-        assert!(err < 0.9, "h={h}: predicted {pred:.3e} vs measured {meas:.3e} ({err:.2})");
+        assert!(
+            err < 0.9,
+            "h={h}: predicted {pred:.3e} vs measured {meas:.3e} ({err:.2})"
+        );
         if *h >= 8 {
             assert!(err < 0.35, "h={h}: deep-fusion error {err:.2} too large");
         }
@@ -76,9 +80,14 @@ fn both_curves_show_the_fusion_sweet_spot() {
 fn launch_delay_pushes_measurement_above_prediction() {
     // With an exaggerated launch delay the unmodeled sequential launches
     // dominate: the model must underestimate everywhere (Section 5.6).
-    let program = programs::jacobi_2d().with_extent(Extent::new2(512, 512)).with_iterations(64);
+    let program = programs::jacobi_2d()
+        .with_extent(Extent::new2(512, 512))
+        .with_iterations(64);
     let f = StencilFeatures::extract(&program).unwrap();
-    let device = Device { launch_delay: 50_000, ..Device::default() };
+    let device = Device {
+        launch_delay: 50_000,
+        ..Device::default()
+    };
     let cost = CostModel::default();
     for h in [2u64, 8, 16] {
         let design = Design::equal(DesignKind::PipeShared, h, vec![4, 4], vec![32, 32]).unwrap();
@@ -100,8 +109,9 @@ fn prediction_scales_linearly_with_iteration_count() {
     let device = Device::default();
     let cost = CostModel::default();
     let mk = |iters: u64| {
-        let program =
-            programs::jacobi_2d().with_extent(Extent::new2(256, 256)).with_iterations(iters);
+        let program = programs::jacobi_2d()
+            .with_extent(Extent::new2(256, 256))
+            .with_iterations(iters);
         let f = StencilFeatures::extract(&program).unwrap();
         let design = Design::equal(DesignKind::Baseline, 4, vec![2, 2], vec![32, 32]).unwrap();
         stencilcl_opt::evaluate(&program, &f, design, &device, &cost, 4)
@@ -111,5 +121,8 @@ fn prediction_scales_linearly_with_iteration_count() {
     };
     let l1 = mk(16);
     let l2 = mk(32);
-    assert!((l2 / l1 - 2.0).abs() < 1e-9, "doubling H doubles L: {l1} vs {l2}");
+    assert!(
+        (l2 / l1 - 2.0).abs() < 1e-9,
+        "doubling H doubles L: {l1} vs {l2}"
+    );
 }

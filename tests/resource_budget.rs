@@ -23,13 +23,16 @@ fn heterogeneous_never_exceeds_baseline_budget() {
     let cost = CostModel::default();
     for (name, n) in [("Jacobi-2D", 512), ("HotSpot-2D", 512), ("FDTD-2D", 512)] {
         let (program, cfg) = scaled(name, n, 64);
-        let pair = optimize_pair(&program, &device, &cost, &cfg)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let pair =
+            optimize_pair(&program, &device, &cost, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
         let b = pair.baseline.hls.resources;
         let h = pair.heterogeneous.hls.resources;
         assert!(h.within(&b), "{name}: {h} exceeds baseline {b}");
         assert!(b.fits(&device), "{name}: baseline over capacity");
-        assert_eq!(b.dsp, h.dsp, "{name}: DSP must match at equal parallelism+unroll");
+        assert_eq!(
+            b.dsp, h.dsp,
+            "{name}: DSP must match at equal parallelism+unroll"
+        );
     }
 }
 
@@ -49,7 +52,12 @@ fn pipe_sharing_reduces_bram_at_equal_depth() {
         };
         let base = usage(DesignKind::Baseline);
         let pipe = usage(DesignKind::PipeShared);
-        assert!(pipe.bram < base.bram, "h={h}: {} !< {}", pipe.bram, base.bram);
+        assert!(
+            pipe.bram < base.bram,
+            "h={h}: {} !< {}",
+            pipe.bram,
+            base.bram
+        );
         assert!(pipe.ff <= base.ff, "h={h}: FF must not grow");
         assert!(pipe.lut <= base.lut, "h={h}: LUT must not grow");
     }
@@ -65,7 +73,10 @@ fn budget_constraint_is_actually_binding() {
     let pair = optimize_pair(&program, &device, &cost, &cfg).unwrap();
     let unroll = pair.baseline.hls.unroll;
     let full = pair.heterogeneous.hls.resources;
-    let squeezed = ResourceUsage { bram: full.bram / 2, ..full };
+    let squeezed = ResourceUsage {
+        bram: full.bram / 2,
+        ..full
+    };
     match optimize_heterogeneous(&program, &device, &cost, &cfg, &squeezed, unroll) {
         Ok(point) => assert!(
             point.hls.resources.bram <= squeezed.bram,

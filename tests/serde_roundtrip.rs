@@ -74,8 +74,7 @@ fn search_results_roundtrip() {
         min_tile: 8,
     };
     roundtrip(&cfg);
-    let pair =
-        optimize_pair(&program, &Device::default(), &CostModel::default(), &cfg).unwrap();
+    let pair = optimize_pair(&program, &Device::default(), &CostModel::default(), &cfg).unwrap();
     roundtrip(&pair);
     roundtrip(&pair.baseline);
 }

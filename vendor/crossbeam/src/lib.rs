@@ -1,0 +1,360 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the [`channel`] subset this workspace uses: bounded and
+//! unbounded MPMC channels with blocking, timeout, and hangup-aware
+//! send/receive, built on `std::sync::{Mutex, Condvar}`.
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels (`crossbeam-channel` subset).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The message could not be delivered because all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("send timed out"),
+                SendTimeoutError::Disconnected(_) => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendTimeoutError<T> {}
+
+    /// Receiving failed because the channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Timed send failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The operation timed out; the message is returned.
+        Timeout(T),
+        /// All receivers disconnected; the message is returned.
+        Disconnected(T),
+    }
+
+    /// Timed receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The operation timed out.
+        Timeout,
+        /// The channel is empty and all senders disconnected.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("receive timed out"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Creates a bounded channel: sends block while `capacity` messages are
+    /// in flight (capacity 0 is bumped to 1; this stand-in has no rendezvous
+    /// mode).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(capacity.max(1)))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Inner<T> {
+        fn full(&self, len: usize) -> bool {
+            self.capacity.is_some_and(|cap| len >= cap)
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] when every receiver has been dropped.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex is poisoned.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let inner = &*self.inner;
+            let mut queue = inner.queue.lock().expect("channel lock");
+            loop {
+                if inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                if !inner.full(queue.len()) {
+                    queue.push_back(msg);
+                    inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = inner.not_full.wait(queue).expect("channel lock");
+            }
+        }
+
+        /// Blocks until the message is enqueued or `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendTimeoutError`] on timeout or receiver hangup.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex is poisoned.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let inner = &*self.inner;
+            let deadline = Instant::now() + timeout;
+            let mut queue = inner.queue.lock().expect("channel lock");
+            loop {
+                if inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                if !inner.full(queue.len()) {
+                    queue.push_back(msg);
+                    inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(SendTimeoutError::Timeout(msg));
+                };
+                let (guard, result) = inner
+                    .not_full
+                    .wait_timeout(queue, left)
+                    .expect("channel lock");
+                queue = guard;
+                if result.timed_out() && inner.full(queue.len()) {
+                    return Err(SendTimeoutError::Timeout(msg));
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every sender
+        /// has been dropped.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex is poisoned.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let inner = &*self.inner;
+            let mut queue = inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = inner.not_empty.wait(queue).expect("channel lock");
+            }
+        }
+
+        /// Blocks until a message arrives or `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError`] on timeout or sender hangup.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex is poisoned.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let inner = &*self.inner;
+            let deadline = Instant::now() + timeout;
+            let mut queue = inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = inner
+                    .not_empty
+                    .wait_timeout(queue, left)
+                    .expect("channel lock");
+                queue = guard;
+                if result.timed_out() && queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Removes an available message without blocking, if any.
+        pub fn try_recv(&self) -> Option<T> {
+            let inner = &*self.inner;
+            let mut queue = inner.queue.lock().expect("channel lock");
+            let msg = queue.pop_front();
+            if msg.is_some() {
+                inner.not_full.notify_one();
+            }
+            msg
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // the hangup.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_blocks_and_delivers_in_order() {
+        let (tx, rx) = bounded(2);
+        let sender = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        sender.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hangup_is_observable() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn send_timeout_expires_when_full() {
+        let (tx, _rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        assert!(tx.send_timeout(2, Duration::from_millis(10)).is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate provides the subset of serde's surface the workspace uses: the
+//! [`Serialize`] / [`Deserialize`] traits (value-tree based rather than
+//! visitor based), derive macros for plain structs and enums, and the
+//! primitive/container impls the workspace's types are built from.
+//!
+//! The serialized representation follows serde's JSON conventions so the
+//! artifacts under `results/` look like what stock serde_json would emit:
+//! structs become objects, unit enum variants become strings, data-carrying
+//! variants become single-key objects.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer that does not fit `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: key/value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] cannot be decoded into the requested type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// A "wrong shape" error naming what was expected.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::new(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization-side re-exports mirroring serde's module layout.
+pub mod de {
+    /// Owned deserialization (serde's `DeserializeOwned`); with a value-tree
+    /// model every [`Deserialize`](crate::Deserialize) type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new(format!("{i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new(format!("{u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new(format!("{i} out of range"))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new(format!("{u} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    // Non-finite floats serialize as null (serde_json's rule).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the decoded string; only suitable for test fixtures
+    /// deserializing `&'static str` fields a bounded number of times.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(DeError::expected("fixed-size array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let tuple = ($(
+                            {
+                                let _ = $idx;
+                                $name::from_value(
+                                    it.next().ok_or_else(|| DeError::new("tuple too short"))?,
+                                )?
+                            },
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::new("tuple too long"));
+                        }
+                        Ok(tuple)
+                    }
+                    other => Err(DeError::expected("tuple array", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<usize> = vec![1, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1i64, "x".to_string());
+        assert_eq!(<(i64, String)>::from_value(&t.to_value()).unwrap(), t);
+        let arr = [3i64, 1, 2];
+        assert_eq!(<[i64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn option_and_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::Int(7)).unwrap(), Some(7));
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+}

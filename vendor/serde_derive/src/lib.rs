@@ -1,0 +1,392 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! The macros parse the item's token stream directly (the build environment
+//! has no `syn`/`quote`) and support exactly the shapes this workspace uses:
+//! non-generic structs with named fields, tuple structs, and enums whose
+//! variants are unit, tuple, or struct-like. Generated impls follow serde's
+//! JSON conventions: structs serialize as objects, unit variants as strings,
+//! data-carrying variants as single-key objects, newtypes transparently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed item: its name plus its shape.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{
+                     fn to_value(&self) -> serde::Value {{
+                         serde::Value::Object(vec![{pairs}])
+                     }}
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("serde::Value::Array(vec![{items}])")
+            };
+            format!(
+                "impl serde::Serialize for {name} {{
+                     fn to_value(&self) -> serde::Value {{ {body} }}
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+                    }
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let pat = binds.join(", ");
+                        let payload = if *arity == 1 {
+                            "serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{items}])")
+                        };
+                        format!(
+                            "{name}::{vn}({pat}) => serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), {payload})]),"
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let pat = fields.join(", ");
+                        let pairs: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {pat} }} => serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), serde::Value::Object(vec![{pairs}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{
+                     fn to_value(&self) -> serde::Value {{
+                         match self {{ {arms} }}
+                     }}
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get(\"{f}\")\
+                             .ok_or_else(|| serde::DeError::new(\
+                                 \"missing field `{f}` of {name}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{
+                         match v {{
+                             serde::Value::Object(_) => Ok({name} {{ {inits} }}),
+                             other => Err(serde::DeError::expected(\"object for {name}\", other)),
+                         }}
+                     }}
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+            } else {
+                let gets: String = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "match v {{
+                         serde::Value::Array(items) if items.len() == {arity} =>
+                             Ok({name}({gets})),
+                         other => Err(serde::DeError::expected(\"array for {name}\", other)),
+                     }}"
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!("\"{vn}\" => Ok({name}::{vn}),")),
+                    _ => None,
+                })
+                .collect();
+            let keyed_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, arity) => {
+                        let body = if *arity == 1 {
+                            format!("Ok({name}::{vn}(serde::Deserialize::from_value(payload)?))")
+                        } else {
+                            let gets: String = (0..*arity)
+                                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?,"))
+                                .collect();
+                            format!(
+                                "match payload {{
+                                     serde::Value::Array(items) if items.len() == {arity} =>
+                                         Ok({name}::{vn}({gets})),
+                                     other => Err(serde::DeError::expected(
+                                         \"array payload for {name}::{vn}\", other)),
+                                 }}"
+                            )
+                        };
+                        Some(format!("\"{vn}\" => {{ {body} }}"))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(payload.get(\"{f}\")\
+                                         .ok_or_else(|| serde::DeError::new(\
+                                             \"missing field `{f}` of {name}::{vn}\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {inits} }}),"))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{
+                         match v {{
+                             serde::Value::Str(s) => match s.as_str() {{
+                                 {unit_arms}
+                                 other => Err(serde::DeError::new(format!(
+                                     \"unknown variant `{{other}}` of {name}\"))),
+                             }},
+                             serde::Value::Object(fields) if fields.len() == 1 => {{
+                                 let (key, payload) = &fields[0];
+                                 match key.as_str() {{
+                                     {keyed_arms}
+                                     other => Err(serde::DeError::new(format!(
+                                         \"unknown variant `{{other}}` of {name}\"))),
+                                 }}
+                             }}
+                             other => Err(serde::DeError::expected(\"variant of {name}\", other)),
+                         }}
+                     }}
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            _ => Item::Struct {
+                name,
+                fields: Vec::new(),
+            },
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("derive: enum `{name}` has no body"),
+        },
+        other => panic!("derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips tokens until a comma at angle-bracket depth zero (field separators;
+/// commas inside `BTreeMap<K, V>` style generics don't count, commas inside
+/// grouped trees like tuples are invisible at this level).
+fn skip_to_field_separator(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        // `:` then the type, up to the next top-level comma.
+        skip_to_field_separator(&tokens, &mut pos);
+        pos += 1; // the comma itself
+    }
+    fields
+}
+
+/// Counts `Type, Type, ...` entries of a tuple struct/variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_field_separator(&tokens, &mut pos);
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, count_top_level_fields(g.stream())));
+                pos += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(g.stream())));
+                pos += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_field_separator(&tokens, &mut pos);
+        pos += 1;
+    }
+    variants
+}
