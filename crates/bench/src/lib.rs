@@ -16,6 +16,7 @@
 //! | `ablation_hiding` | —         | communication latency hiding on/off |
 //! | `ablation_balance`| —         | workload balancing on/off |
 //! | `ablation_launch` | —         | launch-delay modeling (Figure 7's gap) |
+//! | `ablation_chaos`  | —         | supervised recovery under injected faults (needs `--features chaos`) |
 //! | `motivation`      | Figure 1b | redundancy growth vs cone depth and dimension |
 //!
 //! The library half holds the shared pieces: [`paper`] (the numbers printed

@@ -2,12 +2,14 @@
 
 use std::fs;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use stencilcl::suite::BenchmarkSpec;
 use stencilcl::{Framework, FrameworkError, SynthesisReport};
-use stencilcl_exec::{run_pipe_shared, run_reference, run_threaded, ExecError};
+use stencilcl_exec::{
+    run_pipe_shared, run_reference, run_supervised, run_threaded_with, ExecError, ExecPolicy,
+};
 use stencilcl_grid::{Design, Partition, Point};
 use stencilcl_hls::ResourceUsage;
 use stencilcl_lang::{GridState, Program, StencilFeatures};
@@ -284,8 +286,37 @@ pub struct ExecTiming {
     pub reference_ms: f64,
     /// Median wall time of `run_pipe_shared`.
     pub pipe_shared_ms: f64,
-    /// Median wall time of `run_threaded`.
+    /// Median wall time of `run_threaded` (under the caller's policy).
     pub threaded_ms: f64,
+    /// Median wall time of `run_supervised` — the fault-free supervision
+    /// overhead over `threaded_ms`.
+    pub supervised_ms: f64,
+}
+
+/// Reads a millisecond [`Duration`] override from the environment, keeping
+/// `default` when the variable is unset or unparseable.
+fn env_ms(var: &str, default: Duration) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(default, Duration::from_millis)
+}
+
+/// Builds the [`ExecPolicy`] for bench runs, starting from the defaults and
+/// applying environment overrides: `STENCILCL_WATCHDOG_MS`,
+/// `STENCILCL_DRAIN_MS`, and `STENCILCL_MAX_RETRIES`. Unset or malformed
+/// variables keep the defaults, so plain invocations need no setup.
+pub fn exec_policy_from_env() -> ExecPolicy {
+    let default = ExecPolicy::default();
+    ExecPolicy {
+        watchdog: env_ms("STENCILCL_WATCHDOG_MS", default.watchdog),
+        drain: env_ms("STENCILCL_DRAIN_MS", default.drain),
+        max_retries: std::env::var("STENCILCL_MAX_RETRIES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default.max_retries),
+        ..default
+    }
 }
 
 fn median_ms(samples: &mut [f64]) -> f64 {
@@ -306,8 +337,10 @@ fn time_ms(
     Ok(median_ms(&mut times))
 }
 
-/// Times the three exact executors over `samples` runs each and returns the
-/// per-executor median wall time.
+/// Times the exact executors (reference, pipe-shared, threaded, supervised)
+/// over `samples` runs each and returns the per-executor median wall time.
+/// The threaded and supervised runs use `policy` — see
+/// [`exec_policy_from_env`] for the bench binaries' policy source.
 ///
 /// # Errors
 ///
@@ -317,6 +350,7 @@ pub fn time_executors(
     program: &Program,
     partition: &Partition,
     samples: usize,
+    policy: &ExecPolicy,
 ) -> Result<ExecTiming, ExecError> {
     if samples == 0 {
         return Err(ExecError::config("timing needs at least one sample"));
@@ -338,13 +372,18 @@ pub fn time_executors(
     })?;
     let threaded_ms = time_ms(samples, || {
         let mut s = GridState::new(program, init);
-        run_threaded(program, partition, &mut s)
+        run_threaded_with(program, partition, &mut s, policy)
+    })?;
+    let supervised_ms = time_ms(samples, || {
+        let mut s = GridState::new(program, init);
+        run_supervised(program, partition, &mut s, policy).map(|_| ())
     })?;
     Ok(ExecTiming {
         name: name.to_string(),
         reference_ms,
         pipe_shared_ms,
         threaded_ms,
+        supervised_ms,
     })
 }
 
@@ -412,9 +451,26 @@ mod tests {
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![4, 4]).unwrap();
         let partition = Partition::new(f.extent, &d, &f.growth).unwrap();
-        let t = time_executors("jacobi2d_16", &p, &partition, 3).unwrap();
+        let policy = ExecPolicy::default();
+        let t = time_executors("jacobi2d_16", &p, &partition, 3, &policy).unwrap();
         assert!(t.reference_ms > 0.0 && t.pipe_shared_ms > 0.0 && t.threaded_ms > 0.0);
-        assert!(time_executors("none", &p, &partition, 0).is_err());
+        assert!(t.supervised_ms > 0.0);
+        assert!(time_executors("none", &p, &partition, 0, &policy).is_err());
+    }
+
+    #[test]
+    fn env_policy_falls_back_to_defaults() {
+        // The override variables are unset in the test environment, so the
+        // builder must reproduce the library defaults exactly.
+        let policy = exec_policy_from_env();
+        let default = ExecPolicy::default();
+        assert_eq!(policy.watchdog, default.watchdog);
+        assert_eq!(policy.drain, default.drain);
+        assert_eq!(policy.max_retries, default.max_retries);
+        assert_eq!(
+            env_ms("STENCILCL_NOT_SET", Duration::from_millis(7)).as_millis(),
+            7
+        );
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub use report::{DesignEval, SynthesisReport};
 pub mod prelude {
     pub use stencilcl_codegen::{generate, CodegenOptions, GeneratedCode};
     pub use stencilcl_exec::{
-        run_overlapped, run_pipe_shared, run_reference, run_threaded, verify_design, ExecMode,
+        live_workers, run_overlapped, run_pipe_shared, run_reference, run_supervised, run_threaded,
+        run_threaded_with, verify_design, ExecMode, ExecPolicy, RecoveryPath, RunReport,
     };
     pub use stencilcl_grid::{
         Cone, Design, DesignKind, Extent, Grid, Growth, Partition, Point, Rect,

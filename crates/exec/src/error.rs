@@ -30,11 +30,24 @@ pub enum ExecError {
     },
     /// The threaded executor's watchdog saw no progress: a worker failed to
     /// report its pass within the deadline, indicating a wedged pipe
-    /// exchange. The stalled workers are abandoned (their threads leak
-    /// until process exit) rather than blocking the caller forever.
+    /// exchange. The pool is then cancelled cooperatively and joined, so
+    /// the stall does not leak worker threads.
     PipeStall {
         /// Kernel id of the first worker that failed to report.
         kernel: usize,
+    },
+    /// A worker exited because its pool was cancelled during teardown.
+    /// Never the root cause of a failure — the error that triggered the
+    /// teardown is reported instead.
+    Cancelled,
+    /// Supervised execution spent its whole retry budget on transient
+    /// faults and was configured without a sequential fallback.
+    RetriesExhausted {
+        /// Threaded attempts made (first attempt plus retries).
+        attempts: u32,
+        /// The classified fault of the final attempt (also available via
+        /// [`std::error::Error::source`]).
+        last: Box<ExecError>,
     },
 }
 
@@ -59,6 +72,16 @@ impl fmt::Display for ExecError {
                      progress before the watchdog deadline"
                 )
             }
+            ExecError::Cancelled => {
+                write!(f, "worker exited on pool cancellation during teardown")
+            }
+            ExecError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "supervised execution failed after {attempts} threaded \
+                     attempt(s); last fault: {last}"
+                )
+            }
         }
     }
 }
@@ -68,6 +91,7 @@ impl std::error::Error for ExecError {
         match self {
             ExecError::Lang(e) => Some(e),
             ExecError::Grid(e) => Some(e),
+            ExecError::RetriesExhausted { last, .. } => Some(&**last),
             _ => None,
         }
     }
@@ -112,5 +136,20 @@ mod tests {
         let stall = ExecError::PipeStall { kernel: 3 };
         assert!(stall.to_string().contains("kernel 3"));
         assert!(stall.source().is_none());
+    }
+
+    #[test]
+    fn retries_exhausted_chains_to_the_last_fault() {
+        use std::error::Error;
+        let e = ExecError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ExecError::PipeStall { kernel: 1 }),
+        };
+        assert!(e.to_string().contains("3 threaded attempt"));
+        assert!(e.to_string().contains("kernel 1"));
+        let src = e.source().expect("chained source");
+        assert!(src.to_string().contains("stalled"));
+        assert!(ExecError::Cancelled.to_string().contains("cancellation"));
+        assert!(ExecError::Cancelled.source().is_none());
     }
 }

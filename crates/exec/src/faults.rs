@@ -1,0 +1,192 @@
+//! Deterministic fault injection for the threaded pipe executor.
+//!
+//! A [`FaultPlan`] triggers faults by **kernel id × fused-block index** —
+//! no randomness, no seeds: the same plan reproduces the same failure in
+//! every run, which is what makes supervised-recovery tests meaningful.
+//! Each injected fault fires exactly **once**: a retried attempt observes
+//! the fault on first encounter and a clean pipeline afterwards, the
+//! transient-fault shape [`run_supervised`](crate::run_supervised) is
+//! built to absorb (inject the same trigger several times to fail several
+//! consecutive attempts).
+//!
+//! The armed implementation is compiled only under the `fault-injection`
+//! cargo feature. Without it [`FaultPlan`] is a zero-sized type whose
+//! trigger check inlines to `None`, so production builds pay nothing for
+//! the hooks threaded through the executor.
+
+use std::fmt;
+
+/// What an injected fault makes the targeted worker do at the start of the
+/// triggering fused block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The worker thread panics — the watchdog must classify the silent,
+    /// dead worker as [`ExecError::WorkerPanic`](crate::ExecError).
+    WorkerPanic,
+    /// The worker wedges silently (never reports the block) until the pool
+    /// is cancelled — the executor-level shape of a stuck FIFO, classified
+    /// as [`ExecError::PipeStall`](crate::ExecError).
+    PipeStall,
+    /// The worker delays the block by this many milliseconds before
+    /// computing. Below the watchdog deadline the run must absorb the
+    /// delay without any recovery; above it, the delay is indistinguishable
+    /// from a stall and handled as one.
+    DelayedSlab(u64),
+    /// The worker corrupts the `(iteration, statement)` step tag of every
+    /// slab it emits during the block, tripping the receiving kernel's
+    /// pipe-protocol check.
+    CorruptStepTag,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::WorkerPanic => f.write_str("worker panic"),
+            FaultKind::PipeStall => f.write_str("pipe stall"),
+            FaultKind::DelayedSlab(ms) => write!(f, "delayed slab ({ms} ms)"),
+            FaultKind::CorruptStepTag => f.write_str("corrupted slab step tag"),
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod plan {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use super::FaultKind;
+
+    /// One armed fault: a one-shot `fired` latch on its trigger.
+    #[derive(Debug)]
+    struct Armed {
+        kernel: usize,
+        block: u64,
+        kind: FaultKind,
+        fired: AtomicBool,
+    }
+
+    /// A deterministic schedule of executor faults (see the module docs).
+    ///
+    /// Built with [`FaultPlan::inject`] and handed to
+    /// [`run_supervised_injected`](crate::run_supervised_injected); workers
+    /// consult it at every fused-block start. Duplicate triggers are
+    /// legitimate: each entry fires once, in insertion order.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan {
+        faults: Vec<Armed>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan: no faults ever fire.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Adds a one-shot fault fired by worker `kernel` when it begins
+        /// global fused block `block` (block indices count from 0 across
+        /// the whole supervised run, surviving checkpointed retries).
+        #[must_use]
+        pub fn inject(mut self, kernel: usize, block: u64, kind: FaultKind) -> Self {
+            self.faults.push(Armed {
+                kernel,
+                block,
+                kind,
+                fired: AtomicBool::new(false),
+            });
+            self
+        }
+
+        /// Number of injected faults.
+        pub fn len(&self) -> usize {
+            self.faults.len()
+        }
+
+        /// Whether the plan is empty.
+        pub fn is_empty(&self) -> bool {
+            self.faults.is_empty()
+        }
+
+        /// How many faults have fired so far.
+        pub fn fired(&self) -> usize {
+            self.faults
+                .iter()
+                .filter(|f| f.fired.load(Ordering::SeqCst))
+                .count()
+        }
+
+        /// One-shot trigger check, called by worker `kernel` at the start
+        /// of fused block `block`. At most one armed entry fires per call.
+        pub(crate) fn fire(&self, kernel: usize, block: u64) -> Option<FaultKind> {
+            self.faults.iter().find_map(|f| {
+                (f.kernel == kernel
+                    && f.block == block
+                    && f.fired
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok())
+                .then_some(f.kind)
+            })
+        }
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+mod plan {
+    use super::FaultKind;
+
+    /// Zero-cost stand-in compiled without the `fault-injection` feature:
+    /// the trigger check inlines to `None` and the whole fault path folds
+    /// away.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan;
+
+    impl FaultPlan {
+        /// An empty plan: no faults ever fire.
+        pub fn new() -> Self {
+            FaultPlan
+        }
+
+        #[inline]
+        pub(crate) fn fire(&self, _kernel: usize, _block: u64) -> Option<FaultKind> {
+            None
+        }
+    }
+}
+
+pub use plan::FaultPlan;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_display() {
+        assert_eq!(FaultKind::PipeStall.to_string(), "pipe stall");
+        assert!(FaultKind::DelayedSlab(40).to_string().contains("40 ms"));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn faults_fire_exactly_once_on_their_trigger() {
+        let plan = FaultPlan::new().inject(1, 2, FaultKind::PipeStall).inject(
+            1,
+            2,
+            FaultKind::WorkerPanic,
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fire(0, 2), None);
+        assert_eq!(plan.fire(1, 0), None);
+        // Duplicate triggers fire in insertion order, one per call.
+        assert_eq!(plan.fire(1, 2), Some(FaultKind::PipeStall));
+        assert_eq!(plan.fire(1, 2), Some(FaultKind::WorkerPanic));
+        assert_eq!(plan.fire(1, 2), None);
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::new();
+        assert_eq!(plan.fire(0, 0), None);
+        assert_eq!(plan.fire(3, 7), None);
+    }
+}

@@ -21,7 +21,20 @@
 //! is refreshed incrementally between fused blocks, and the global grid is
 //! double-buffered instead of snapshot-cloned per block. The threaded
 //! executor keeps its workers and channels alive for the whole run, guarded
-//! by a watchdog that turns a wedged pipeline into [`ExecError::PipeStall`].
+//! by a watchdog that turns a wedged pipeline into [`ExecError::PipeStall`];
+//! its deadlines come from an [`ExecPolicy`] and a failed pool is torn down
+//! through a cooperative cancellation token, so worker threads never
+//! outlive the call.
+//!
+//! On top of the threaded executor, [`run_supervised`] adds production
+//! robustness: the double-buffered grid is a checkpoint at every
+//! fused-block barrier, transient faults (panics, stalls, pipe-protocol
+//! skew) trigger checkpointed retries with exponential backoff, and once
+//! [`ExecPolicy::max_retries`] is spent the run degrades to the sequential
+//! executor — every attempt recorded in a [`RunReport`]. The
+//! `fault-injection` cargo feature arms a deterministic fault plan
+//! (`FaultPlan`) for chaos-testing these paths; without the feature the
+//! hooks compile to nothing.
 //!
 //! Every executor must produce results identical to [`run_reference`] — the
 //! crate's test suite and `tests/equivalence.rs` enforce bit-equality, since
@@ -62,19 +75,27 @@
 
 mod domains;
 mod error;
+mod faults;
 mod overlapped;
 mod pipeshare;
 mod pool;
 mod reference;
+mod supervise;
 mod threaded;
 mod verify;
 mod window;
 
 pub use domains::DomainPlan;
 pub use error::ExecError;
+pub use faults::FaultKind;
+#[cfg(feature = "fault-injection")]
+pub use faults::FaultPlan;
 pub use overlapped::run_overlapped;
 pub use pipeshare::run_pipe_shared;
 pub use reference::run_reference;
-pub use threaded::run_threaded;
+#[cfg(feature = "fault-injection")]
+pub use supervise::run_supervised_injected;
+pub use supervise::{run_supervised, Attempt, AttemptMode, ExecPolicy, RecoveryPath, RunReport};
+pub use threaded::{live_workers, run_threaded, run_threaded_with};
 pub use verify::{verify_design, ExecMode};
 pub use window::{copy_slab, extract_window, halo_ring, refresh_ring, write_back};

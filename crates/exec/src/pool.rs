@@ -22,6 +22,21 @@ pub(crate) struct Slab {
     pub values: Vec<f64>,
 }
 
+impl Slab {
+    /// Builds a slab for the given `(iteration, statement)` step. With
+    /// `corrupt` set (the `CorruptStepTag` injected fault), the iteration
+    /// component is skewed by one so the receiver's [`check_slab_step`]
+    /// protocol check must trip.
+    pub fn tagged(step: (u64, usize), values: Vec<f64>, corrupt: bool) -> Slab {
+        let step = if corrupt {
+            (step.0.wrapping_add(1), step.1)
+        } else {
+            step
+        };
+        Slab { step, values }
+    }
+}
+
 /// A directed slab exchange within one region: after every statement,
 /// kernel `from` sends the target array's values over `overlap` (absolute
 /// coordinates) to kernel `to`, which splices them into its halo.

@@ -1,0 +1,421 @@
+//! Supervised execution: checkpointed retry with graceful degradation.
+//!
+//! [`run_supervised`] wraps the threaded pipe executor in a recovery loop.
+//! The double-buffered global grid already *is* a checkpoint: workers only
+//! ever read the `cur` buffer of a fused block and write the spare one, so
+//! when a block fails, `cur` still holds the exact grid as of the last
+//! fused-block barrier. The supervisor tears the pool down through a
+//! cooperative [`CancelToken`] (no worker thread outlives the run), rolls
+//! back to that barrier, and retries the remaining iterations with bounded
+//! exponential backoff. After [`ExecPolicy::max_retries`] failed retries it
+//! degrades to the sequential [`run_pipe_shared`](crate::run_pipe_shared)
+//! executor — provably equivalent, since both executors are bit-exact
+//! against the reference for any iteration count, and stencil iteration
+//! composes: `reference(n − k) ∘ reference(k) = reference(n)`.
+//!
+//! Every attempt is recorded in the returned [`RunReport`]: which executor
+//! ran, from which iteration, what fault ended it, wall time, and whether
+//! any worker thread had to be abandoned (with cooperative cancellation
+//! none should be).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stencilcl_grid::Partition;
+use stencilcl_lang::{GridState, Program};
+
+use crate::faults::FaultPlan;
+use crate::threaded::pool_run;
+use crate::ExecError;
+
+/// Cooperative cancellation handle shared between a pool run and its
+/// workers: every potentially-blocking pipe operation re-checks it on a
+/// short tick, so a cancelled pool drains within one tick of each worker's
+/// current compute finishing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Orders every worker observing this token to exit.
+    pub(crate) fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Deadlines and recovery limits governing the threaded executor and
+/// [`run_supervised`] — the replacement for the watchdog/drain constants
+/// that used to be hardcoded in the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// How long the collector waits for any worker to report a fused block
+    /// before declaring the pipeline wedged
+    /// ([`ExecError::PipeStall`](crate::ExecError)).
+    pub watchdog: Duration,
+    /// After one worker has already failed, how long to wait for the
+    /// cascade to flush the remaining workers' reports.
+    pub drain: Duration,
+    /// On error teardown, how long to wait for cancelled workers to exit
+    /// before abandoning (leaking) the stragglers.
+    pub teardown_grace: Duration,
+    /// Checkpointed retries allowed after the first failed threaded
+    /// attempt before degrading (or giving up).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_max: Duration,
+    /// Whether to degrade to the sequential pipe executor once retries are
+    /// exhausted; when `false`, [`run_supervised`] returns
+    /// [`ExecError::RetriesExhausted`](crate::ExecError) instead.
+    pub sequential_fallback: bool,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            watchdog: Duration::from_secs(30),
+            drain: Duration::from_secs(2),
+            teardown_grace: Duration::from_secs(5),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            sequential_fallback: true,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Exponential backoff before 0-based retry `retry`, clamped to
+    /// [`Self::backoff_max`].
+    pub fn backoff(&self, retry: u32) -> Duration {
+        (self.backoff_base * (1u32 << retry.min(20))).min(self.backoff_max)
+    }
+}
+
+/// Which executor a supervised attempt ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptMode {
+    /// The concurrent worker-pool executor.
+    Threaded,
+    /// The sequential pipe executor (degradation path).
+    Sequential,
+}
+
+/// One attempt of a supervised run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attempt {
+    /// Which executor ran.
+    pub mode: AttemptMode,
+    /// Global iteration the attempt resumed from (its checkpoint).
+    pub start_iteration: u64,
+    /// Iterations the attempt completed and checkpointed.
+    pub iterations_completed: u64,
+    /// The classified fault that ended the attempt, `None` on success.
+    pub fault: Option<ExecError>,
+    /// Wall time of the attempt, including pool teardown.
+    pub wall: Duration,
+    /// Worker threads that outlived the teardown grace period and were
+    /// abandoned (zero under cooperative cancellation).
+    pub leaked_workers: usize,
+}
+
+/// How a supervised run ultimately completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPath {
+    /// The first threaded attempt succeeded.
+    Threaded,
+    /// A checkpointed threaded retry succeeded.
+    Retried,
+    /// The run degraded to the sequential executor.
+    Sequential,
+}
+
+/// The full story of one [`run_supervised`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Every attempt, in order; the last one completed the run.
+    pub attempts: Vec<Attempt>,
+    /// Which rung of the degradation ladder finished the run.
+    pub path: RecoveryPath,
+}
+
+impl RunReport {
+    /// Failed attempts that the run recovered from.
+    pub fn recoveries(&self) -> usize {
+        self.attempts.iter().filter(|a| a.fault.is_some()).count()
+    }
+
+    /// The classified faults of the failed attempts, in order.
+    pub fn faults_seen(&self) -> Vec<&ExecError> {
+        self.attempts
+            .iter()
+            .filter_map(|a| a.fault.as_ref())
+            .collect()
+    }
+
+    /// Whether the run fell back to the sequential executor.
+    pub fn degraded(&self) -> bool {
+        self.path == RecoveryPath::Sequential
+    }
+
+    /// Worker threads abandoned across all attempts.
+    pub fn leaked_workers(&self) -> usize {
+        self.attempts.iter().map(|a| a.leaked_workers).sum()
+    }
+
+    /// Total wall time across all attempts (excluding retry backoff).
+    pub fn total_wall(&self) -> Duration {
+        self.attempts.iter().map(|a| a.wall).sum()
+    }
+}
+
+/// Runs the pipe design under supervision: threaded execution with
+/// checkpointed retry on transient faults, then graceful degradation to the
+/// sequential executor (see the module docs for the recovery ladder).
+///
+/// The grid in `state` is identical to what
+/// [`run_threaded`](crate::run_threaded) would have produced fault-free —
+/// recovery never changes the computed values, only how they are computed.
+///
+/// # Errors
+///
+/// Non-transient errors (bad configuration, diagonal stencils, interpreter
+/// failures) are returned immediately — retrying cannot fix them. Transient
+/// faults ([`ExecError::WorkerPanic`](crate::ExecError),
+/// [`ExecError::PipeStall`](crate::ExecError), pipe-protocol skew) only
+/// surface as [`ExecError::RetriesExhausted`](crate::ExecError) when the
+/// retry budget is spent and [`ExecPolicy::sequential_fallback`] is off.
+pub fn run_supervised(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    policy: &ExecPolicy,
+) -> Result<RunReport, ExecError> {
+    supervised(
+        program,
+        partition,
+        state,
+        policy,
+        &Arc::new(FaultPlan::new()),
+    )
+}
+
+/// [`run_supervised`] with a deterministic [`FaultPlan`] injected into the
+/// worker pool — the chaos-testing entry point. Pass the plan in an [`Arc`]
+/// and keep a clone to inspect [`FaultPlan::fired`] afterwards.
+///
+/// # Errors
+///
+/// Same conditions as [`run_supervised`].
+#[cfg(feature = "fault-injection")]
+pub fn run_supervised_injected(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    policy: &ExecPolicy,
+    faults: &Arc<FaultPlan>,
+) -> Result<RunReport, ExecError> {
+    supervised(program, partition, state, policy, faults)
+}
+
+fn supervised(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    policy: &ExecPolicy,
+    faults: &Arc<FaultPlan>,
+) -> Result<RunReport, ExecError> {
+    let total = program.iterations;
+    let mut attempts: Vec<Attempt> = Vec::new();
+    let mut done = 0u64; // iterations completed and checkpointed in `state`
+    let mut blocks = 0u64; // global fused-block index for fault triggers
+    let mut failures = 0u32;
+    loop {
+        let rest = program.with_iterations(total - done);
+        let start = Instant::now();
+        match pool_run(&rest, partition, state, policy, faults, blocks) {
+            Ok(run) => {
+                attempts.push(Attempt {
+                    mode: AttemptMode::Threaded,
+                    start_iteration: done,
+                    iterations_completed: run.iterations,
+                    fault: None,
+                    wall: start.elapsed(),
+                    leaked_workers: run.leaked,
+                });
+                let path = if failures == 0 {
+                    RecoveryPath::Threaded
+                } else {
+                    RecoveryPath::Retried
+                };
+                return Ok(RunReport { attempts, path });
+            }
+            Err((e, run)) => {
+                done += run.iterations;
+                blocks += run.blocks;
+                attempts.push(Attempt {
+                    mode: AttemptMode::Threaded,
+                    start_iteration: done - run.iterations,
+                    iterations_completed: run.iterations,
+                    fault: Some(e.clone()),
+                    wall: start.elapsed(),
+                    leaked_workers: run.leaked,
+                });
+                if !transient(&e) {
+                    return Err(e);
+                }
+                if failures >= policy.max_retries {
+                    if !policy.sequential_fallback {
+                        return Err(ExecError::RetriesExhausted {
+                            attempts: failures + 1,
+                            last: Box::new(e),
+                        });
+                    }
+                    // Degrade: finish the remaining iterations sequentially
+                    // from the checkpoint. No pool, no pipes to wedge.
+                    let rest = program.with_iterations(total - done);
+                    let start = Instant::now();
+                    crate::run_pipe_shared(&rest, partition, state)?;
+                    attempts.push(Attempt {
+                        mode: AttemptMode::Sequential,
+                        start_iteration: done,
+                        iterations_completed: total - done,
+                        fault: None,
+                        wall: start.elapsed(),
+                        leaked_workers: 0,
+                    });
+                    return Ok(RunReport {
+                        attempts,
+                        path: RecoveryPath::Sequential,
+                    });
+                }
+                failures += 1;
+                thread::sleep(policy.backoff(failures - 1));
+            }
+        }
+    }
+}
+
+/// Whether a failure is plausibly transient — worth a checkpointed retry.
+/// Configuration, geometry, and interpreter errors are deterministic and
+/// retrying them would reproduce the same failure.
+fn transient(e: &ExecError) -> bool {
+    match e {
+        ExecError::WorkerPanic { .. } | ExecError::PipeStall { .. } | ExecError::Cancelled => true,
+        ExecError::BadConfiguration { detail } => {
+            detail.contains("protocol skew") || detail.contains("hung up")
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_reference;
+    use stencilcl_grid::{Design, DesignKind, Extent, Point};
+    use stencilcl_lang::{programs, StencilFeatures};
+
+    fn init(name: &str, p: &Point) -> f64 {
+        let mut v = name.len() as f64 + 2.0;
+        for d in 0..p.dim() {
+            v = v * 23.0 + p.coord(d) as f64;
+        }
+        (v * 0.004).sin()
+    }
+
+    #[test]
+    fn fault_free_supervision_is_a_single_threaded_attempt() {
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(7);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 3, vec![2, 2], vec![8, 8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let mut expect = GridState::new(&p, init);
+        run_reference(&p, &mut expect).unwrap();
+        let mut got = GridState::new(&p, init);
+        let report = run_supervised(&p, &partition, &mut got, &ExecPolicy::default()).unwrap();
+        assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+        assert_eq!(report.path, RecoveryPath::Threaded);
+        assert_eq!(report.attempts.len(), 1);
+        assert_eq!(report.recoveries(), 0);
+        assert!(!report.degraded());
+        assert_eq!(report.leaked_workers(), 0);
+        assert_eq!(report.attempts[0].iterations_completed, 7);
+        assert_eq!(report.attempts[0].mode, AttemptMode::Threaded);
+    }
+
+    #[test]
+    fn single_iteration_supervision_matches_reference() {
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(32))
+            .with_iterations(1);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2], vec![8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let mut expect = GridState::new(&p, init);
+        run_reference(&p, &mut expect).unwrap();
+        let mut got = GridState::new(&p, init);
+        let report = run_supervised(&p, &partition, &mut got, &ExecPolicy::default()).unwrap();
+        assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+        assert_eq!(report.attempts[0].iterations_completed, 1);
+    }
+
+    #[test]
+    fn configuration_errors_are_not_retried() {
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(32))
+            .with_iterations(2);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let mut s = GridState::uniform(&p, 0.0);
+        let err = run_supervised(&p, &partition, &mut s, &ExecPolicy::default()).unwrap_err();
+        assert!(matches!(err, ExecError::BadConfiguration { .. }));
+    }
+
+    #[test]
+    fn backoff_doubles_and_clamps() {
+        let policy = ExecPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(35),
+            ..ExecPolicy::default()
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2), Duration::from_millis(35));
+        assert_eq!(policy.backoff(31), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn transient_classification_matches_the_fault_taxonomy() {
+        assert!(transient(&ExecError::PipeStall { kernel: 0 }));
+        assert!(transient(&ExecError::WorkerPanic { kernel: 1 }));
+        assert!(transient(&ExecError::Cancelled));
+        assert!(transient(&ExecError::config(
+            "kernel 2: pipe protocol skew"
+        )));
+        assert!(transient(&ExecError::config("pipe producer hung up")));
+        assert!(!transient(&ExecError::config("bad partition")));
+        assert!(!transient(&ExecError::DiagonalAccess {
+            statement: "A".into()
+        }));
+    }
+
+    #[test]
+    fn cancel_token_round_trip() {
+        let t = CancelToken::default();
+        assert!(!t.is_cancelled());
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+}

@@ -1,33 +1,73 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
+};
 use stencilcl_grid::{Partition, Rect};
 use stencilcl_lang::{GridState, Interpreter, Program};
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::pool::{apply_statement_split, check_slab_step, PipelinePlan, Slab, PIPE_CAPACITY};
+use crate::supervise::{CancelToken, ExecPolicy};
 use crate::window::{extract_window, refresh_ring, write_back};
 use crate::ExecError;
 
-/// How long the main thread waits for any worker to report a fused block
-/// before declaring the pipeline wedged ([`ExecError::PipeStall`]).
-const WATCHDOG: Duration = Duration::from_secs(30);
+/// Granularity at which blocked pipe operations re-check the cancellation
+/// token: a cancelled pool drains within one tick of each worker's current
+/// compute finishing.
+const TICK: Duration = Duration::from_millis(10);
 
-/// After one worker has already failed, how long to wait for the cascade to
-/// flush the remaining workers' reports before giving up on them.
-const DRAIN: Duration = Duration::from_secs(2);
+/// Process-wide gauge of live pipe-executor worker threads (incremented at
+/// spawn, decremented when a worker exits, including by panic unwind).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of pipe-executor worker threads currently alive in the process —
+/// an operational gauge: after every executor call returns cleanly this
+/// settles back to its previous value, because teardown joins the pool.
+pub fn live_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// RAII registration of one worker in the process-wide and per-run gauges.
+/// Dropping (normal return or panic unwind) deregisters, so the gauges
+/// never overcount dead threads.
+struct WorkerGuard {
+    run: Arc<AtomicUsize>,
+}
+
+impl WorkerGuard {
+    fn register(run: &Arc<AtomicUsize>) -> Self {
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        run.fetch_add(1, Ordering::SeqCst);
+        WorkerGuard {
+            run: Arc::clone(run),
+        }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+        self.run.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// One block-execution order from the main thread to every worker.
 #[derive(Debug, Clone, Copy)]
 enum Command {
     /// Run one fused block: depth `plan.depths[depth]`, tagging slabs with
     /// global iterations starting at `step_base`, reading from buffer `src`
-    /// and writing the tile back into buffer `1 - src`.
+    /// and writing the tile back into buffer `1 - src`. `block` is the
+    /// global fused-block index (offset by the supervisor across retries),
+    /// used only as the fault-injection trigger.
     Pass {
         depth: usize,
         step_base: u64,
         src: usize,
+        block: u64,
     },
 }
 
@@ -46,6 +86,36 @@ struct Route {
     out_rects: Vec<Rect>,
     in_chans: Vec<usize>,
     in_rects: Vec<Rect>,
+}
+
+/// Everything a worker thread owns for the whole run.
+struct WorkerCtx {
+    kernel: usize,
+    plan: Arc<PipelinePlan>,
+    buffers: [Arc<RwLock<GridState>>; 2],
+    outs: Vec<PairEndpoint<Sender<Slab>>>,
+    ins: Vec<PairEndpoint<Receiver<Slab>>>,
+    token: CancelToken,
+    faults: Arc<FaultPlan>,
+}
+
+/// What one pool run accomplished before returning: completed (and
+/// checkpointed) iterations, fused blocks, and worker threads that had to
+/// be abandoned at teardown.
+pub(crate) struct PoolRun {
+    pub iterations: u64,
+    pub blocks: u64,
+    pub leaked: usize,
+}
+
+impl PoolRun {
+    fn empty() -> Self {
+        PoolRun {
+            iterations: 0,
+            blocks: 0,
+            leaked: 0,
+        }
+    }
 }
 
 /// Runs the pipe-shared design with **real concurrency**: a persistent pool
@@ -67,24 +137,77 @@ struct Route {
 /// (and therefore to the reference): the protocol only moves the same
 /// values through channels instead of memcpys.
 ///
+/// Uses the default [`ExecPolicy`] deadlines; see [`run_threaded_with`] to
+/// tune them and [`run_supervised`](crate::run_supervised) for automatic
+/// recovery.
+///
 /// # Errors
 ///
 /// Same conditions as [`run_pipe_shared`](crate::run_pipe_shared), plus
 /// [`ExecError::WorkerPanic`] if a worker thread dies and
 /// [`ExecError::PipeStall`] if the watchdog sees no progress within its
-/// deadline (stalled workers are abandoned; their threads leak until
-/// process exit).
+/// deadline. On error the pool is cancelled cooperatively and joined —
+/// worker threads do not outlive the call — and `state` is rolled back to
+/// the last consistent fused-block barrier.
 pub fn run_threaded(
     program: &Program,
     partition: &Partition,
     state: &mut GridState,
 ) -> Result<(), ExecError> {
-    let plan = PipelinePlan::new(program, partition)?;
+    run_threaded_with(program, partition, state, &ExecPolicy::default())
+}
+
+/// [`run_threaded`] with explicit [`ExecPolicy`] deadlines.
+///
+/// # Errors
+///
+/// Same conditions as [`run_threaded`].
+pub fn run_threaded_with(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    policy: &ExecPolicy,
+) -> Result<(), ExecError> {
+    match pool_run(
+        program,
+        partition,
+        state,
+        policy,
+        &Arc::new(FaultPlan::new()),
+        0,
+    ) {
+        Ok(_) => Ok(()),
+        Err((e, _)) => Err(e),
+    }
+}
+
+/// One complete pool lifecycle: spawn, run every fused block, tear down.
+///
+/// On failure the pool is cancelled via the [`CancelToken`], workers are
+/// joined (or, past `policy.teardown_grace`, abandoned and counted in
+/// [`PoolRun::leaked`]), and `state` receives the grid as of the **last
+/// consistent fused-block barrier** — the supervisor's checkpoint — along
+/// with how many iterations that checkpoint represents.
+///
+/// `block_base` offsets the fused-block indices used as fault-injection
+/// triggers, so a supervised retry continues the global block numbering
+/// instead of restarting it.
+pub(crate) fn pool_run(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    policy: &ExecPolicy,
+    faults: &Arc<FaultPlan>,
+    block_base: u64,
+) -> Result<PoolRun, (ExecError, PoolRun)> {
+    let plan = PipelinePlan::new(program, partition).map_err(|e| (e, PoolRun::empty()))?;
     if plan.depths.is_empty() {
-        return Ok(());
+        return Ok(PoolRun::empty());
     }
     let kernels = plan.tiles.first().map_or(0, Vec::len);
     let plan = Arc::new(plan);
+    let token = CancelToken::default();
+    let live = Arc::new(AtomicUsize::new(0));
 
     // Double buffer shared by the pool; workers read `src` (shared lock)
     // and write disjoint tiles into `1 - src` (short exclusive locks).
@@ -108,13 +231,29 @@ pub fn run_threaded(
     let mut handles = Vec::with_capacity(kernels);
     for (k, (k_outs, k_ins)) in outs.into_iter().zip(ins).enumerate() {
         let (cmd_tx, cmd_rx) = unbounded::<Command>();
-        let plan = Arc::clone(&plan);
-        let buffers = [Arc::clone(&buffers[0]), Arc::clone(&buffers[1])];
+        let ctx = WorkerCtx {
+            kernel: k,
+            plan: Arc::clone(&plan),
+            buffers: [Arc::clone(&buffers[0]), Arc::clone(&buffers[1])],
+            outs: k_outs,
+            ins: k_ins,
+            token: token.clone(),
+            faults: Arc::clone(faults),
+        };
         let done_tx = done_tx.clone();
+        let guard = WorkerGuard::register(&live);
         let handle = thread::Builder::new()
             .name(format!("stencil-worker-{k}"))
-            .spawn(move || worker_loop(k, &plan, buffers, k_outs, k_ins, &cmd_rx, &done_tx))
-            .map_err(|e| ExecError::config(format!("failed to spawn worker {k}: {e}")))?;
+            .spawn(move || {
+                let _guard = guard;
+                worker_loop(&ctx, &cmd_rx, &done_tx);
+            })
+            .map_err(|e| {
+                (
+                    ExecError::config(format!("failed to spawn worker {k}: {e}")),
+                    PoolRun::empty(),
+                )
+            })?;
         cmd_txs.push(cmd_tx);
         handles.push(handle);
     }
@@ -122,6 +261,7 @@ pub fn run_threaded(
 
     let mut src = 0usize;
     let mut done_iters = 0u64;
+    let mut done_blocks = 0u64;
     let mut outcome: Result<(), ExecError> = Ok(());
     while done_iters < plan.iterations {
         let h = plan.fused.min(plan.iterations - done_iters);
@@ -133,34 +273,70 @@ pub fn run_threaded(
                 depth,
                 step_base: done_iters,
                 src,
+                block: block_base + done_blocks,
             });
         }
-        if let Err(e) = collect_block(&done_rx, kernels, WATCHDOG, |k| handles[k].is_finished()) {
+        if let Err(e) = collect_block(&done_rx, kernels, policy.watchdog, policy.drain, |k| {
+            handles[k].is_finished()
+        }) {
             outcome = Err(e);
             break;
         }
         done_iters += h;
+        done_blocks += 1;
         src ^= 1;
     }
 
     drop(cmd_txs);
+    let mut leaked = 0usize;
     if outcome.is_ok() {
         for (k, handle) in handles.into_iter().enumerate() {
             if handle.join().is_err() && outcome.is_ok() {
                 outcome = Err(ExecError::WorkerPanic { kernel: k });
             }
         }
+    } else {
+        // Cooperative teardown: every blocking pipe operation re-checks the
+        // token within one TICK, so wedged workers exit promptly instead of
+        // leaking until process exit.
+        token.cancel();
+        let deadline = Instant::now() + policy.teardown_grace;
+        while live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Gauge at zero means every worker is past its guard drop and join
+        // returns immediately (`is_finished()` can lag the drop by the
+        // thread's final exit, so it is not the signal to wait on here).
+        let drained = live.load(Ordering::SeqCst) == 0;
+        for handle in handles {
+            if drained || handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                // Still mid-compute past the grace period: abandon it (the
+                // thread exits on its own at its next cancellation check).
+                leaked += 1;
+            }
+        }
     }
-    // On error, wedged workers (if any) are abandoned rather than joined.
-    outcome?;
 
+    // `buffers[src]` always holds the last consistent fused-block barrier:
+    // the final grid on success, the supervisor's checkpoint on failure
+    // (the failed block only wrote into `1 - src`).
     let [b0, b1] = buffers;
     let last = if src == 0 { b0 } else { b1 };
     *state = match Arc::try_unwrap(last) {
         Ok(lock) => lock.into_inner().unwrap_or_else(PoisonError::into_inner),
         Err(arc) => arc.read().unwrap_or_else(PoisonError::into_inner).clone(),
     };
-    Ok(())
+    let run = PoolRun {
+        iterations: done_iters,
+        blocks: done_blocks,
+        leaked,
+    };
+    match outcome {
+        Ok(()) => Ok(run),
+        Err(e) => Err((e, run)),
+    }
 }
 
 /// Waits for every worker's end-of-block report, with a watchdog: if no
@@ -173,12 +349,13 @@ fn collect_block(
     done_rx: &Receiver<Done>,
     workers: usize,
     deadline: Duration,
+    drain: Duration,
     worker_finished: impl Fn(usize) -> bool,
 ) -> Result<(), ExecError> {
     let mut reported = vec![false; workers];
     let mut failures: Vec<(usize, ExecError)> = Vec::new();
     while let Some(silent) = reported.iter().position(|r| !r) {
-        let wait = if failures.is_empty() { deadline } else { DRAIN };
+        let wait = if failures.is_empty() { deadline } else { drain };
         match done_rx.recv_timeout(wait) {
             Ok((k, Ok(()))) => reported[k] = true,
             Ok((k, Err(e))) => {
@@ -205,25 +382,67 @@ fn collect_block(
     }
 }
 
-/// A hang-up error only tells us a partner died first; prefer reporting the
-/// partner's own failure.
+/// A hang-up or cancellation error only tells us the pool was already going
+/// down; prefer reporting the root cause.
 fn is_cascade(e: &ExecError) -> bool {
-    matches!(e, ExecError::BadConfiguration { detail } if detail.contains("hung up"))
+    matches!(e, ExecError::Cancelled)
+        || matches!(e, ExecError::BadConfiguration { detail } if detail.contains("hung up"))
+}
+
+/// Sends one slab, re-checking the cancellation token every [`TICK`] while
+/// the pipe is full.
+fn pipe_send(tx: &Sender<Slab>, mut slab: Slab, token: &CancelToken) -> Result<(), ExecError> {
+    loop {
+        if token.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        match tx.send_timeout(slab, TICK) {
+            Ok(()) => return Ok(()),
+            Err(SendTimeoutError::Timeout(s)) => slab = s,
+            Err(SendTimeoutError::Disconnected(_)) => {
+                return Err(ExecError::config("pipe consumer hung up"))
+            }
+        }
+    }
+}
+
+/// Receives one slab, re-checking the cancellation token every [`TICK`]
+/// while the pipe is empty.
+fn pipe_recv(rx: &Receiver<Slab>, token: &CancelToken) -> Result<Slab, ExecError> {
+    loop {
+        if token.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        match rx.recv_timeout(TICK) {
+            Ok(slab) => return Ok(slab),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(ExecError::config("pipe producer hung up"))
+            }
+        }
+    }
+}
+
+/// Sleeps for `total`, waking early if the pool is cancelled.
+fn sleep_cancellable(token: &CancelToken, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !token.is_cancelled() {
+        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+            return;
+        };
+        thread::sleep(left.min(TICK));
+    }
 }
 
 /// Body of one pool worker: build interpreters and routing tables once,
 /// then serve [`Command::Pass`] orders until the command channel closes.
 /// The first error is reported on the done channel and ends the worker;
-/// dropping its pipe endpoints unblocks any partners waiting on it.
-fn worker_loop(
-    kernel: usize,
-    plan: &PipelinePlan,
-    buffers: [Arc<RwLock<GridState>>; 2],
-    outs: Vec<PairEndpoint<Sender<Slab>>>,
-    ins: Vec<PairEndpoint<Receiver<Slab>>>,
-    cmd_rx: &Receiver<Command>,
-    done_tx: &Sender<Done>,
-) {
+/// dropping its pipe endpoints unblocks any partners waiting on it. Every
+/// potentially-blocking operation observes the pool's cancellation token,
+/// so a teardown is never blocked on this thread.
+fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Done>) {
+    let kernel = ctx.kernel;
+    let plan = &ctx.plan;
     let regions = plan.regions.len();
     let setup = || -> Result<(Vec<Interpreter<'_>>, Vec<Vec<Route>>), ExecError> {
         let interps = (0..regions)
@@ -243,12 +462,12 @@ fn worker_loop(
                 };
                 for e in &depth.edges[r] {
                     if e.from == kernel {
-                        let pos = outs.iter().position(|(p, _)| *p == (e.from, e.to));
+                        let pos = ctx.outs.iter().position(|(p, _)| *p == (e.from, e.to));
                         route.out_chans.push(pos.ok_or_else(missing)?);
                         route.out_rects.push(e.overlap.translate(&-origin)?);
                     }
                     if e.to == kernel {
-                        let pos = ins.iter().position(|(p, _)| *p == (e.from, e.to));
+                        let pos = ctx.ins.iter().position(|(p, _)| *p == (e.from, e.to));
                         route.in_chans.push(pos.ok_or_else(missing)?);
                         route.in_rects.push(e.overlap.translate(&-origin)?);
                     }
@@ -273,14 +492,30 @@ fn worker_loop(
         depth,
         step_base,
         src,
+        block,
     }) = cmd_rx.recv()
     {
+        let mut corrupt_tags = false;
+        match ctx.faults.fire(kernel, block) {
+            None => {}
+            Some(FaultKind::WorkerPanic) => {
+                panic!("injected worker panic (kernel {kernel}, block {block})")
+            }
+            Some(FaultKind::PipeStall) => {
+                // Wedge silently — never report this block — until the
+                // supervisor cancels the pool, then exit cleanly.
+                while !ctx.token.is_cancelled() {
+                    thread::sleep(TICK);
+                }
+                return;
+            }
+            Some(FaultKind::DelayedSlab(ms)) => {
+                sleep_cancellable(&ctx.token, Duration::from_millis(ms));
+            }
+            Some(FaultKind::CorruptStepTag) => corrupt_tags = true,
+        }
         let result = run_pass(
-            kernel,
-            plan,
-            &buffers,
-            &outs,
-            &ins,
+            ctx,
             &interps,
             &routes[depth],
             &updated,
@@ -288,6 +523,7 @@ fn worker_loop(
             depth,
             step_base,
             src,
+            corrupt_tags,
         );
         let failed = result.is_err();
         if done_tx.send((kernel, result)).is_err() || failed {
@@ -299,11 +535,7 @@ fn worker_loop(
 /// One worker's share of one fused block, across all of its regions.
 #[allow(clippy::too_many_arguments)]
 fn run_pass(
-    kernel: usize,
-    plan: &PipelinePlan,
-    buffers: &[Arc<RwLock<GridState>>; 2],
-    outs: &[PairEndpoint<Sender<Slab>>],
-    ins: &[PairEndpoint<Receiver<Slab>>],
+    ctx: &WorkerCtx,
     interps: &[Interpreter<'_>],
     routes: &[Route],
     updated: &[&str],
@@ -311,9 +543,14 @@ fn run_pass(
     depth: usize,
     step_base: u64,
     src: usize,
+    corrupt_tags: bool,
 ) -> Result<(), ExecError> {
+    let kernel = ctx.kernel;
+    let plan = &ctx.plan;
     let dp = &plan.depths[depth];
-    let cur = buffers[src].read().unwrap_or_else(PoisonError::into_inner);
+    let cur = ctx.buffers[src]
+        .read()
+        .unwrap_or_else(PoisonError::into_inner);
     for r in 0..plan.regions.len() {
         let origin = plan.windows[r][kernel].lo();
         let lp = &plan.local_programs[r][kernel];
@@ -335,26 +572,24 @@ fn run_pass(
                 apply_statement_split(&interps[r], local, s, &domain, &route.out_rects, {
                     let out_chans = &route.out_chans;
                     move |e, values| {
-                        outs[out_chans[e]]
-                            .1
-                            .send(Slab { step, values })
-                            .map_err(|_| ExecError::config("pipe consumer hung up"))
+                        pipe_send(
+                            &ctx.outs[out_chans[e]].1,
+                            Slab::tagged(step, values, corrupt_tags),
+                            &ctx.token,
+                        )
                     }
                 })?;
                 // ...then consume: splice the upstream slabs in, in the
                 // plan's edge order.
                 let target = &lp.updates[s].target;
                 for (chan, dst) in route.in_chans.iter().zip(&route.in_rects) {
-                    let slab = ins[*chan]
-                        .1
-                        .recv()
-                        .map_err(|_| ExecError::config("pipe producer hung up"))?;
+                    let slab = pipe_recv(&ctx.ins[*chan].1, &ctx.token)?;
                     check_slab_step(kernel, slab.step, step)?;
                     local.grid_mut(target)?.write_window(dst, &slab.values)?;
                 }
             }
         }
-        let mut next = buffers[1 - src]
+        let mut next = ctx.buffers[1 - src]
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         write_back(&mut next, local, updated, &origin, &plan.tiles[r][kernel])?;
@@ -444,6 +679,26 @@ mod tests {
     }
 
     #[test]
+    fn custom_policy_deadlines_stay_bit_exact() {
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(5);
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let policy = ExecPolicy {
+            watchdog: Duration::from_secs(5),
+            drain: Duration::from_millis(200),
+            ..ExecPolicy::default()
+        };
+        let mut expect = GridState::new(&p, init);
+        run_reference(&p, &mut expect).unwrap();
+        let mut got = GridState::new(&p, init);
+        run_threaded_with(&p, &partition, &mut got, &policy).unwrap();
+        assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    }
+
+    #[test]
     fn rejects_baseline_partition() {
         let p = programs::jacobi_1d()
             .with_extent(Extent::new1(32))
@@ -459,7 +714,14 @@ mod tests {
     fn watchdog_reports_a_stall_with_the_kernel_id() {
         let (done_tx, done_rx) = unbounded::<Done>();
         done_tx.send((0, Ok(()))).unwrap();
-        let err = collect_block(&done_rx, 2, Duration::from_millis(50), |_| false).unwrap_err();
+        let err = collect_block(
+            &done_rx,
+            2,
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+            |_| false,
+        )
+        .unwrap_err();
         assert_eq!(err, ExecError::PipeStall { kernel: 1 });
     }
 
@@ -467,12 +729,19 @@ mod tests {
     fn watchdog_reports_a_panic_when_the_silent_worker_is_dead() {
         let (done_tx, done_rx) = unbounded::<Done>();
         drop(done_tx);
-        let err = collect_block(&done_rx, 1, Duration::from_millis(50), |_| true).unwrap_err();
+        let err = collect_block(
+            &done_rx,
+            1,
+            Duration::from_millis(50),
+            Duration::from_millis(50),
+            |_| true,
+        )
+        .unwrap_err();
         assert_eq!(err, ExecError::WorkerPanic { kernel: 0 });
     }
 
     #[test]
-    fn root_cause_errors_outrank_hangup_cascades() {
+    fn root_cause_errors_outrank_hangup_and_cancel_cascades() {
         let (done_tx, done_rx) = unbounded::<Done>();
         done_tx
             .send((0, Err(ExecError::config("pipe producer hung up"))))
@@ -480,8 +749,35 @@ mod tests {
         done_tx
             .send((1, Err(ExecError::config("kernel 1: pipe protocol skew"))))
             .unwrap();
-        done_tx.send((2, Ok(()))).unwrap();
-        let err = collect_block(&done_rx, 3, Duration::from_secs(5), |_| false).unwrap_err();
+        done_tx.send((2, Err(ExecError::Cancelled))).unwrap();
+        let err = collect_block(
+            &done_rx,
+            3,
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+            |_| false,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("protocol skew"));
+    }
+
+    #[test]
+    fn pipe_helpers_observe_cancellation() {
+        let (tx, rx) = bounded::<Slab>(1);
+        let token = CancelToken::default();
+        token.cancel();
+        assert_eq!(pipe_recv(&rx, &token).unwrap_err(), ExecError::Cancelled);
+        let slab = Slab::tagged((1, 0), vec![0.0], false);
+        assert_eq!(
+            pipe_send(&tx, slab, &token).unwrap_err(),
+            ExecError::Cancelled
+        );
+        // Without cancellation, a hung-up partner is still classified.
+        let fresh = CancelToken::default();
+        drop(tx);
+        assert!(pipe_recv(&rx, &fresh)
+            .unwrap_err()
+            .to_string()
+            .contains("hung up"));
     }
 }

@@ -1,0 +1,285 @@
+//! Chaos suite (requires the `fault-injection` feature): every injected
+//! fault kind is recovered from, recovery never changes the computed grid,
+//! and no worker thread outlives a supervised run.
+#![cfg(feature = "fault-injection")]
+
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use stencilcl_exec::{
+    run_reference, run_supervised_injected, AttemptMode, ExecError, ExecPolicy, FaultKind,
+    FaultPlan, RecoveryPath,
+};
+use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
+use stencilcl_lang::{programs, GridState, Program, StencilFeatures};
+
+/// Keeps injected worker panics out of the test output without hiding real
+/// ones (assertion failures, executor bugs).
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("injected worker panic"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// A chaos-test policy: deadlines short enough to classify injected stalls
+/// quickly, backoff short enough to keep the suite fast.
+fn chaos_policy() -> ExecPolicy {
+    ExecPolicy {
+        watchdog: Duration::from_millis(250),
+        drain: Duration::from_millis(100),
+        teardown_grace: Duration::from_secs(2),
+        max_retries: 2,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(8),
+        sequential_fallback: true,
+    }
+}
+
+fn init(name: &str, p: &Point) -> f64 {
+    let mut v = name.len() as f64 + 3.0;
+    for d in 0..p.dim() {
+        v = v * 19.0 + p.coord(d) as f64;
+    }
+    (v * 0.0019).cos()
+}
+
+/// Jacobi-2D, 6 iterations fused 2 (3 fused blocks), 2×2 kernels.
+fn scenario() -> (Program, Partition) {
+    let p = programs::jacobi_2d()
+        .with_extent(Extent::new2(32, 32))
+        .with_iterations(6);
+    let f = StencilFeatures::extract(&p).unwrap();
+    let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![8, 8]).unwrap();
+    let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+    (p, partition)
+}
+
+fn reference_grid(p: &Program) -> GridState {
+    let mut expect = GridState::new(p, init);
+    run_reference(p, &mut expect).unwrap();
+    expect
+}
+
+#[test]
+fn pipe_stall_at_block_1_recovers_checkpointed_and_bit_exact() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(0, 1, FaultKind::PipeStall));
+    let mut got = GridState::new(&p, init);
+    let report =
+        run_supervised_injected(&p, &partition, &mut got, &chaos_policy(), &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(faults.fired(), 1);
+    assert!(report.recoveries() >= 1, "no recovery recorded: {report:?}");
+    assert_eq!(report.path, RecoveryPath::Retried);
+    // The first attempt completed block 0 (2 iterations) and checkpointed
+    // there; the retry resumed from iteration 2, not from scratch.
+    assert_eq!(report.attempts[0].iterations_completed, 2);
+    assert!(matches!(
+        report.attempts[0].fault,
+        Some(ExecError::PipeStall { .. })
+    ));
+    assert_eq!(report.attempts[1].start_iteration, 2);
+    // Cooperative cancellation: the stalled pool was joined, not abandoned.
+    assert_eq!(
+        report.leaked_workers(),
+        0,
+        "worker threads outlived the run"
+    );
+}
+
+#[test]
+fn worker_panic_is_classified_and_recovered() {
+    quiet_injected_panics();
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(2, 0, FaultKind::WorkerPanic));
+    let mut got = GridState::new(&p, init);
+    let report =
+        run_supervised_injected(&p, &partition, &mut got, &chaos_policy(), &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(report.path, RecoveryPath::Retried);
+    assert!(report
+        .faults_seen()
+        .iter()
+        .any(|e| matches!(e, ExecError::WorkerPanic { .. })));
+    // The panic hit block 0: nothing was checkpointed before the retry.
+    assert_eq!(report.attempts[0].iterations_completed, 0);
+    assert_eq!(report.leaked_workers(), 0);
+}
+
+#[test]
+fn delayed_slab_below_the_watchdog_is_absorbed_without_recovery() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(1, 1, FaultKind::DelayedSlab(60)));
+    let mut got = GridState::new(&p, init);
+    let report =
+        run_supervised_injected(&p, &partition, &mut got, &chaos_policy(), &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(faults.fired(), 1);
+    // 60 ms < 250 ms watchdog: the delay is ordinary pipeline jitter.
+    assert_eq!(report.recoveries(), 0);
+    assert_eq!(report.path, RecoveryPath::Threaded);
+}
+
+#[test]
+fn delayed_slab_past_the_watchdog_is_handled_as_a_stall() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(1, 1, FaultKind::DelayedSlab(2_000)));
+    let mut got = GridState::new(&p, init);
+    let report =
+        run_supervised_injected(&p, &partition, &mut got, &chaos_policy(), &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(report.path, RecoveryPath::Retried);
+    // Which kernel the watchdog blames depends on scheduling (neighbours of
+    // the sleeping worker wedge on full pipes too) — the class is what
+    // matters.
+    assert!(matches!(
+        report.attempts[0].fault,
+        Some(ExecError::PipeStall { .. })
+    ));
+    assert_eq!(report.leaked_workers(), 0);
+}
+
+#[test]
+fn corrupted_step_tag_trips_the_protocol_check_and_recovers() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(0, 0, FaultKind::CorruptStepTag));
+    let mut got = GridState::new(&p, init);
+    let report =
+        run_supervised_injected(&p, &partition, &mut got, &chaos_policy(), &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(report.path, RecoveryPath::Retried);
+    assert!(
+        report
+            .faults_seen()
+            .iter()
+            .any(|e| e.to_string().contains("protocol skew")),
+        "expected a protocol-skew fault, saw {:?}",
+        report.faults_seen()
+    );
+    assert_eq!(report.leaked_workers(), 0);
+}
+
+#[test]
+fn persistent_stalls_degrade_gracefully_to_the_sequential_executor() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let policy = chaos_policy();
+    // One stall per allowed threaded attempt (1 + max_retries), always at
+    // the first block the attempt runs: no threaded attempt ever finishes.
+    let mut plan = FaultPlan::new();
+    for _ in 0..=policy.max_retries {
+        plan = plan.inject(3, 0, FaultKind::PipeStall);
+    }
+    let faults = Arc::new(plan);
+    let mut got = GridState::new(&p, init);
+    let report = run_supervised_injected(&p, &partition, &mut got, &policy, &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(report.path, RecoveryPath::Sequential);
+    assert!(report.degraded());
+    assert_eq!(
+        report.attempts.len() as u32,
+        policy.max_retries + 2,
+        "threaded attempts plus the sequential fallback"
+    );
+    let last = report.attempts.last().unwrap();
+    assert_eq!(last.mode, AttemptMode::Sequential);
+    assert_eq!(last.iterations_completed, 6);
+    assert_eq!(report.leaked_workers(), 0);
+}
+
+#[test]
+fn without_fallback_the_retry_budget_surfaces_as_retries_exhausted() {
+    let (p, partition) = scenario();
+    let policy = ExecPolicy {
+        max_retries: 1,
+        sequential_fallback: false,
+        ..chaos_policy()
+    };
+    let faults = Arc::new(FaultPlan::new().inject(0, 0, FaultKind::PipeStall).inject(
+        0,
+        0,
+        FaultKind::PipeStall,
+    ));
+    let mut got = GridState::new(&p, init);
+    let err = run_supervised_injected(&p, &partition, &mut got, &policy, &faults).unwrap_err();
+    let ExecError::RetriesExhausted { attempts, last } = &err else {
+        panic!("expected RetriesExhausted, got {err}");
+    };
+    assert_eq!(*attempts, 2);
+    assert!(matches!(**last, ExecError::PipeStall { .. }));
+    // source() chains to the final classified fault.
+    let source = std::error::Error::source(&err).expect("chained source");
+    assert!(source.to_string().contains("stalled"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The robustness property: under arbitrary injected faults, supervised
+    // execution still produces the reference grid bit for bit — recovery
+    // and degradation never corrupt the computation — and never leaks a
+    // worker thread.
+    #[test]
+    fn supervised_runs_under_random_faults_stay_bit_exact(
+        iters in 2u64..=6,
+        fused in 1u64..=3,
+        n_faults in 1usize..=3,
+        kind_sel in prop::collection::vec(0usize..4, 3),
+        kernel_sel in prop::collection::vec(0usize..4, 3),
+        block_sel in prop::collection::vec(0u64..3, 3),
+        seed in 0i64..1000,
+    ) {
+        quiet_injected_panics();
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(iters);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![8, 8]).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let init = |name: &str, pt: &Point| {
+            let mut v = (name.len() as i64 + seed) as f64;
+            for dd in 0..pt.dim() {
+                v = v * 11.0 + pt.coord(dd) as f64;
+            }
+            (v * 0.0023).sin()
+        };
+        let mut plan = FaultPlan::new();
+        let blocks = iters.div_ceil(fused);
+        for i in 0..n_faults {
+            let kind = match kind_sel[i] {
+                0 => FaultKind::WorkerPanic,
+                1 => FaultKind::PipeStall,
+                2 => FaultKind::DelayedSlab(40),
+                _ => FaultKind::CorruptStepTag,
+            };
+            plan = plan.inject(kernel_sel[i], block_sel[i] % blocks, kind);
+        }
+        let faults = Arc::new(plan);
+        // Enough retries that even three hard faults cannot exhaust the
+        // budget; the sequential fallback stays armed regardless.
+        let policy = ExecPolicy { max_retries: 3, ..chaos_policy() };
+        let mut expect = GridState::new(&p, init);
+        run_reference(&p, &mut expect).unwrap();
+        let mut got = GridState::new(&p, init);
+        let report =
+            run_supervised_injected(&p, &partition, &mut got, &policy, &faults).unwrap();
+        prop_assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+        prop_assert_eq!(report.leaked_workers(), 0);
+    }
+}

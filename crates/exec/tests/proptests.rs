@@ -3,7 +3,10 @@
 //! initial data.
 
 use proptest::prelude::*;
-use stencilcl_exec::{run_pipe_shared, run_reference, run_threaded, verify_design, ExecMode};
+use stencilcl_exec::{
+    run_pipe_shared, run_reference, run_supervised, run_threaded, verify_design, ExecMode,
+    ExecPolicy, RecoveryPath,
+};
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
 use stencilcl_lang::{parse, programs, GridState, Program, StencilFeatures};
 
@@ -209,7 +212,16 @@ proptest! {
         run_pipe_shared(&program, &partition, &mut pipe).unwrap();
         let mut threaded = GridState::new(&program, init);
         run_threaded(&program, &partition, &mut threaded).unwrap();
+        let mut supervised = GridState::new(&program, init);
+        let report =
+            run_supervised(&program, &partition, &mut supervised, &ExecPolicy::default())
+                .unwrap();
         prop_assert_eq!(reference.max_abs_diff(&pipe).unwrap(), 0.0);
         prop_assert_eq!(pipe.max_abs_diff(&threaded).unwrap(), 0.0);
+        // Supervision is transparent when nothing goes wrong: same grid,
+        // one clean threaded attempt, nothing leaked.
+        prop_assert_eq!(reference.max_abs_diff(&supervised).unwrap(), 0.0);
+        prop_assert_eq!(report.path, RecoveryPath::Threaded);
+        prop_assert_eq!(report.leaked_workers(), 0);
     }
 }
