@@ -1,0 +1,105 @@
+//! Ablation: **AST interpreter vs compiled flat-bytecode kernels**.
+//!
+//! Every executor lowers each update statement to a postfix tape with dense
+//! grid slots and pre-resolved linear-index neighbor deltas, then sweeps
+//! contiguous rows — the host-side analogue of the paper's per-tile kernel
+//! specialization. This binary A/B-times both engines on the same programs
+//! and executors, checks the final grids are identical to the bit, and
+//! writes `results/BENCH_compiled.json`.
+//!
+//! Knobs (environment): `STENCILCL_BENCH_N` (grid side, default 256),
+//! `STENCILCL_BENCH_ITERS` (iterations, default 16),
+//! `STENCILCL_BENCH_SAMPLES` (timing samples, default 5) — lowered by CI to
+//! smoke-test the binary on small grids.
+
+use stencilcl_bench::runner::{exec_policy_from_env, time_compiled_ab, write_json, CompiledTiming};
+use stencilcl_bench::table::{ratio, Table};
+use stencilcl_exec::{run_pipe_shared, run_reference, run_threaded_with};
+use stencilcl_grid::{Design, DesignKind, Extent, Partition};
+use stencilcl_lang::{programs, Program, StencilFeatures};
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("STENCILCL_BENCH_N", 256);
+    let iters = env_usize("STENCILCL_BENCH_ITERS", 16) as u64;
+    let samples = env_usize("STENCILCL_BENCH_SAMPLES", 5);
+    let policy = exec_policy_from_env();
+
+    // The paper's 2-D heat benchmark (HotSpot) and the Jacobi blur.
+    let benches: Vec<(&str, Program)> = vec![
+        (
+            "hotspot_2d (heat)",
+            programs::hotspot_2d()
+                .with_extent(Extent::new2(n, n))
+                .with_iterations(iters),
+        ),
+        (
+            "jacobi_2d (blur)",
+            programs::jacobi_2d()
+                .with_extent(Extent::new2(n, n))
+                .with_iterations(iters),
+        ),
+    ];
+
+    let mut rows: Vec<CompiledTiming> = Vec::new();
+    let mut t = Table::new(vec![
+        "Benchmark",
+        "Executor",
+        "Interpreted (ms)",
+        "Compiled (ms)",
+        "Speedup",
+        "Max |diff|",
+    ]);
+    for (name, program) in &benches {
+        eprintln!("[ablation_compiled] {name} ...");
+        let features = StencilFeatures::extract(program).expect("star stencil features");
+        let tile = (n / 4).max(1);
+        let design = Design::equal(
+            DesignKind::PipeShared,
+            4.min(iters),
+            vec![2, 2],
+            vec![tile, tile],
+        )
+        .expect("pipe design");
+        let partition =
+            Partition::new(features.extent, &design, &features.growth).expect("partition");
+        let timings = [
+            time_compiled_ab(name, "reference", program, samples, |p, s| {
+                run_reference(p, s)
+            }),
+            time_compiled_ab(name, "pipe_shared", program, samples, |p, s| {
+                run_pipe_shared(p, &partition, s)
+            }),
+            time_compiled_ab(name, "threaded", program, samples, |p, s| {
+                run_threaded_with(p, &partition, s, &policy)
+            }),
+        ];
+        for timing in timings {
+            let row = timing.expect("executor run");
+            assert_eq!(
+                row.max_abs_diff, 0.0,
+                "{} via {} diverged between engines",
+                row.name, row.executor
+            );
+            t.row(vec![
+                row.name.clone(),
+                row.executor.clone(),
+                format!("{:.3}", row.interpreted_ms),
+                format!("{:.3}", row.compiled_ms),
+                ratio(row.speedup()),
+                format!("{:.1e}", row.max_abs_diff),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!("Ablation: compiled bytecode kernels vs the AST interpreter.\n");
+    println!("{}", t.render());
+    write_json("BENCH_compiled.json", &rows);
+}

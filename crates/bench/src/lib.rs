@@ -17,6 +17,7 @@
 //! | `ablation_balance`| —         | workload balancing on/off |
 //! | `ablation_launch` | —         | launch-delay modeling (Figure 7's gap) |
 //! | `ablation_chaos`  | —         | supervised recovery under injected faults (needs `--features chaos`) |
+//! | `ablation_compiled` | —       | compiled bytecode kernels vs the AST interpreter (`BENCH_compiled.json`) |
 //! | `motivation`      | Figure 1b | redundancy growth vs cone depth and dimension |
 //!
 //! The library half holds the shared pieces: [`paper`] (the numbers printed

@@ -387,6 +387,89 @@ pub fn time_executors(
     })
 }
 
+/// One A/B row of the compiled-bytecode ablation: the same program driven
+/// through the same executor, once with the AST interpreter
+/// (`STENCILCL_INTERPRET=1`) and once with the compiled flat-bytecode
+/// kernels (the default). `max_abs_diff` must be exactly `0.0` — the two
+/// engines perform the same `f64` operations in the same order per cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledTiming {
+    /// Benchmark display name.
+    pub name: String,
+    /// Executor driven for this row (`reference`, `pipe_shared`, ...).
+    pub executor: String,
+    /// Median wall time through the AST interpreter.
+    pub interpreted_ms: f64,
+    /// Median wall time through the compiled bytecode kernels.
+    pub compiled_ms: f64,
+    /// Maximum absolute difference between the two final grids (must be 0).
+    pub max_abs_diff: f64,
+}
+
+impl CompiledTiming {
+    /// Speedup of the compiled path over the interpreter.
+    pub fn speedup(&self) -> f64 {
+        self.interpreted_ms / self.compiled_ms
+    }
+}
+
+/// Times `run` in both engine modes by toggling `STENCILCL_INTERPRET`
+/// around it (interpreter first, then compiled, leaving the variable unset
+/// on return), with one untimed warm-up per mode whose final grid feeds the
+/// bit-exactness check. Only the executor call is inside the timer; state
+/// construction is not.
+///
+/// The engine choice is read once per run on the calling thread, so this
+/// helper is meant for single-threaded bench binaries, not parallel tests.
+///
+/// # Errors
+///
+/// Propagates executor failures; `samples` must be at least 1.
+pub fn time_compiled_ab(
+    name: &str,
+    executor: &str,
+    program: &Program,
+    samples: usize,
+    mut run: impl FnMut(&Program, &mut GridState) -> Result<(), ExecError>,
+) -> Result<CompiledTiming, ExecError> {
+    if samples == 0 {
+        return Err(ExecError::config("timing needs at least one sample"));
+    }
+    let init = |n: &str, p: &Point| {
+        let mut v = n.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    };
+    let mut time_mode = |interpret: bool| -> Result<(f64, GridState), ExecError> {
+        if interpret {
+            std::env::set_var("STENCILCL_INTERPRET", "1");
+        } else {
+            std::env::remove_var("STENCILCL_INTERPRET");
+        }
+        let mut result = GridState::new(program, init);
+        run(program, &mut result)?;
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut s = GridState::new(program, init);
+            let start = Instant::now();
+            run(program, &mut s)?;
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        Ok((median_ms(&mut times), result))
+    };
+    let (interpreted_ms, a) = time_mode(true)?;
+    let (compiled_ms, b) = time_mode(false)?;
+    Ok(CompiledTiming {
+        name: name.to_string(),
+        executor: executor.to_string(),
+        interpreted_ms,
+        compiled_ms,
+        max_abs_diff: a.max_abs_diff(&b)?,
+    })
+}
+
 /// Directory where experiment binaries drop their JSON
 /// (`$STENCILCL_RESULTS`, default `results/`).
 pub fn results_dir() -> PathBuf {

@@ -61,7 +61,9 @@ pub mod prelude {
     pub use stencilcl_hls::{
         estimate_resources, schedule, synthesize, CostModel, Device, HlsReport, ResourceUsage,
     };
-    pub use stencilcl_lang::{parse, programs, GridState, Interpreter, Program, StencilFeatures};
+    pub use stencilcl_lang::{
+        parse, programs, CompiledProgram, GridState, Interpreter, Program, StencilFeatures,
+    };
     pub use stencilcl_model::{predict, ModelInputs, Prediction};
     pub use stencilcl_opt::{
         balance_tiles, optimize_baseline, optimize_heterogeneous, optimize_pair, DesignPoint,

@@ -41,6 +41,13 @@
 //! each grid cell's update expression is evaluated with the same operation
 //! order in every mode.
 //!
+//! By default every executor evaluates update statements through flat
+//! bytecode kernels (`stencilcl_lang::CompiledProgram`) compiled once per
+//! run — per (region, kernel) for the pipe executors. Setting
+//! `STENCILCL_INTERPRET=1` switches the run back to the tree-walking AST
+//! interpreter (the differential-test oracle); `STENCILCL_UNROLL=<U>`
+//! selects the compiled row-sweep unroll factor. Both modes are bit-exact.
+//!
 //! # Limitations
 //!
 //! Pipe-based executors exchange data across tile *faces* only. Stencils
@@ -74,6 +81,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod domains;
+mod engine;
 mod error;
 mod faults;
 mod overlapped;

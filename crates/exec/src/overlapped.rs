@@ -2,6 +2,7 @@ use stencilcl_grid::{DesignKind, Extent, Partition, Rect};
 use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
 
 use crate::domains::DomainPlan;
+use crate::engine::{compile_with_env_unroll, interpret_from_env, Engine};
 use crate::window::{extract_window, write_back};
 use crate::ExecError;
 
@@ -51,6 +52,7 @@ pub(crate) fn run_fused(
     let fused = partition.design().fused();
     let grid_rect = Rect::from_extent(&program.extent());
     let updated: Vec<&str> = program.updated_grids();
+    let interpret = interpret_from_env();
     let mut done = 0u64;
     while done < program.iterations {
         let h_eff = fused.min(program.iterations - done);
@@ -61,12 +63,18 @@ pub(crate) fn run_fused(
                 let buffer = dp.buffer();
                 let local_program = program.with_extent(window_extent(&buffer)?);
                 let mut local = extract_window(&snapshot, program, &local_program, &buffer)?;
-                let interp = Interpreter::new(&local_program);
+                let compiled;
+                let engine = if interpret {
+                    Engine::Interpreted(Interpreter::new(&local_program))
+                } else {
+                    compiled = compile_with_env_unroll(&local_program)?;
+                    Engine::Compiled(&compiled)
+                };
                 let origin = buffer.lo();
                 for i in 1..=h_eff {
                     for s in 0..program.updates.len() {
                         let domain = dp.domain(i, s).translate(&-origin)?;
-                        interp.apply_statement(&mut local, s, &domain)?;
+                        engine.apply_statement(&mut local, s, &domain)?;
                     }
                 }
                 write_back(state, &local, &updated, &origin, &tile.rect())?;

@@ -1,7 +1,8 @@
-use stencilcl_grid::Partition;
+use stencilcl_grid::{Partition, Rect};
 use stencilcl_lang::{GridState, Interpreter, Program};
 
-use crate::pool::{apply_statement_split, Edge, PipelinePlan};
+use crate::engine::{interpret_from_env, Engine};
+use crate::pool::{apply_statement_split, Edge, PipelinePlan, SplitScratch};
 use crate::window::{extract_window, refresh_ring, write_back};
 use crate::ExecError;
 
@@ -49,16 +50,47 @@ pub fn run_pipe_shared(
     // the first block and halo-refreshed afterwards.
     let mut locals: Vec<Vec<Option<GridState>>> =
         vec![(0..kernels).map(|_| None).collect(); region_count];
-    let interps: Vec<Vec<Interpreter<'_>>> = plan
-        .local_programs
-        .iter()
-        .map(|region| region.iter().map(Interpreter::new).collect())
+    // One engine per (region, kernel): the region's compiled bytecode by
+    // default, the AST interpreter when `STENCILCL_INTERPRET` asks for it.
+    let interpret = interpret_from_env();
+    let engines: Vec<Vec<Engine<'_>>> = (0..region_count)
+        .map(|r| {
+            (0..kernels)
+                .map(|k| {
+                    if interpret {
+                        Engine::Interpreted(Interpreter::new(&plan.local_programs[r][k]))
+                    } else {
+                        Engine::Compiled(&plan.compiled[r][k])
+                    }
+                })
+                .collect()
+        })
         .collect();
+    let mut scratch = SplitScratch::new();
+
+    // Per-kernel outgoing edges and their local-coordinate source rects are
+    // iteration- and statement-invariant: route once per (depth, region).
+    type Routing<'e> = (Vec<Vec<&'e Edge>>, Vec<Vec<Rect>>);
+    let mut routes: Vec<Vec<Routing<'_>>> = Vec::with_capacity(plan.depths.len());
+    for depth in &plan.depths {
+        let mut per_region = Vec::with_capacity(region_count);
+        for r in 0..region_count {
+            let mut out_edges: Vec<Vec<&Edge>> = vec![Vec::new(); kernels];
+            let mut out_rects: Vec<Vec<Rect>> = vec![Vec::new(); kernels];
+            for e in &depth.edges[r] {
+                out_edges[e.from].push(e);
+                out_rects[e.from].push(e.overlap.translate(&-plan.windows[r][e.from].lo())?);
+            }
+            per_region.push((out_edges, out_rects));
+        }
+        routes.push(per_region);
+    }
 
     let mut done = 0u64;
     while done < plan.iterations {
         let h = plan.fused.min(plan.iterations - done);
-        let depth = &plan.depths[plan.depth_index(h)];
+        let di = plan.depth_index(h);
+        let depth = &plan.depths[di];
         for r in 0..region_count {
             for (k, slot) in locals[r].iter_mut().enumerate() {
                 match slot {
@@ -79,30 +111,23 @@ pub fn run_pipe_shared(
                     )?,
                 }
             }
-            // Per-kernel outgoing edges and their local-coordinate source
-            // rects are iteration- and statement-invariant.
-            let mut out_edges: Vec<Vec<&Edge>> = vec![Vec::new(); kernels];
-            let mut out_rects: Vec<Vec<_>> = vec![Vec::new(); kernels];
-            for e in &depth.edges[r] {
-                out_edges[e.from].push(e);
-                out_rects[e.from].push(e.overlap.translate(&-plan.windows[r][e.from].lo())?);
-            }
+            let (out_edges, out_rects) = &routes[di][r];
             for i in 1..=h {
                 for s in 0..program.updates.len() {
                     // Compute every tile's statement against its own
                     // pre-splice window, buffering the emitted slabs...
                     let mut slabs = Vec::with_capacity(depth.edges[r].len());
                     for k in 0..kernels {
-                        let origin = plan.windows[r][k].lo();
-                        let domain = depth.plans[r][k].domain(i, s).translate(&-origin)?;
+                        let domain = depth.local_domain(r, k, i, s, plan.stmts);
                         let local = locals[r][k].as_mut().expect("window extracted");
                         let edges = &out_edges[k];
                         apply_statement_split(
-                            &interps[r][k],
+                            &engines[r][k],
                             local,
                             s,
-                            &domain,
+                            domain,
                             &out_rects[k],
+                            &mut scratch,
                             |e, values| {
                                 slabs.push((edges[e].to, edges[e].overlap, values));
                                 Ok(())

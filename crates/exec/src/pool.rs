@@ -1,7 +1,8 @@
 use stencilcl_grid::{FaceKind, Partition, Rect};
-use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+use stencilcl_lang::{CompiledProgram, GridState, Program, StencilFeatures};
 
 use crate::domains::{reject_diagonals, DomainPlan};
+use crate::engine::{compile_with_env_unroll, Engine};
 use crate::overlapped::window_extent;
 use crate::window::halo_ring;
 use crate::ExecError;
@@ -60,6 +61,29 @@ pub(crate) struct DepthPlans {
     /// executors: halo corners can be covered by two neighbors' slabs, so
     /// the last writer decides the (unconsumed but compared) value.
     pub edges: Vec<Vec<Edge>>,
+    /// `domains[region][kernel][(i - 1) * stmts + s]`: the statement domain
+    /// of fused level `i`, statement `s` — already translated into the
+    /// kernel's local window **and clipped to the statement's updatable
+    /// interior**. Hoisting the per-statement
+    /// `domain.intersect(statement_domain)` here means it happens once per
+    /// run instead of once per fused block.
+    pub domains: Vec<Vec<Vec<Rect>>>,
+}
+
+impl DepthPlans {
+    /// The pre-clipped local domain of fused level `i` (1-based), statement
+    /// `s`, for `(region, kernel)`. `stmts` is the program's statement
+    /// count.
+    pub fn local_domain(
+        &self,
+        region: usize,
+        kernel: usize,
+        i: u64,
+        s: usize,
+        stmts: usize,
+    ) -> &Rect {
+        &self.domains[region][kernel][(i as usize - 1) * stmts + s]
+    }
 }
 
 /// Everything the pipe executors precompute once per run.
@@ -91,6 +115,12 @@ pub(crate) struct PipelinePlan {
     /// `local_programs[region][kernel]`: the program re-extented to the
     /// window, for building interpreters over local windows.
     pub local_programs: Vec<Vec<Program>>,
+    /// `compiled[region][kernel]`: the local program lowered to bytecode
+    /// kernels, once per run — the functional analogue of the code
+    /// generator's per-tile kernel specialization.
+    pub compiled: Vec<Vec<CompiledProgram>>,
+    /// Number of update statements per iteration.
+    pub stmts: usize,
     /// Distinct pass depths, deepest first.
     pub depths: Vec<DepthPlans>,
     /// Every directed kernel pair with an edge in any region (the set is
@@ -170,11 +200,22 @@ impl PipelinePlan {
                 plans.push(region_plans);
                 edges.push(region_edges);
             }
-            depths.push(DepthPlans { h, plans, edges });
+            depths.push(DepthPlans {
+                h,
+                plans,
+                edges,
+                domains: Vec::new(),
+            });
         }
 
-        let (mut tiles, mut windows, mut rings, mut local_programs, mut pairs) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut tiles, mut windows, mut rings, mut local_programs, mut compiled, mut pairs) = (
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
         if let Some(deepest) = depths.first() {
             for (r, region) in regions.iter().enumerate() {
                 let region_tiles: Vec<Rect> = partition
@@ -193,6 +234,10 @@ impl PipelinePlan {
                     .iter()
                     .map(|w| Ok(program.with_extent(window_extent(w)?)))
                     .collect::<Result<_, ExecError>>()?;
+                let region_compiled: Vec<CompiledProgram> = region_programs
+                    .iter()
+                    .map(compile_with_env_unroll)
+                    .collect::<Result<_, _>>()?;
                 for e in &deepest.edges[r] {
                     if !pairs.contains(&(e.from, e.to)) {
                         pairs.push((e.from, e.to));
@@ -202,7 +247,35 @@ impl PipelinePlan {
                 windows.push(region_windows);
                 rings.push(region_rings);
                 local_programs.push(region_programs);
+                compiled.push(region_compiled);
             }
+        }
+
+        // Second pass: translate every (depth, level, statement) domain into
+        // its local window and clip it to the statement's updatable interior
+        // once, instead of per fused block. The local statement domains are
+        // identical between the compiled and interpreted engines (both are
+        // derived from the per-statement halo growth over the window
+        // extent), so the hoisted rects serve either mode.
+        let stmts = program.updates.len();
+        for depth in &mut depths {
+            let mut domains = Vec::with_capacity(regions.len());
+            for r in 0..regions.len() {
+                let mut per_kernel = Vec::with_capacity(compiled[r].len());
+                for (k, cp) in compiled[r].iter().enumerate() {
+                    let origin = windows[r][k].lo();
+                    let mut v = Vec::with_capacity(depth.h as usize * stmts);
+                    for i in 1..=depth.h {
+                        for s in 0..stmts {
+                            let local = depth.plans[r][k].domain(i, s).translate(&-origin)?;
+                            v.push(local.intersect(&cp.statement_domain(s))?);
+                        }
+                    }
+                    per_kernel.push(v);
+                }
+                domains.push(per_kernel);
+            }
+            depth.domains = domains;
         }
 
         Ok(PipelinePlan {
@@ -211,6 +284,8 @@ impl PipelinePlan {
             windows,
             rings,
             local_programs,
+            compiled,
+            stmts,
             depths,
             pairs,
             updated,
@@ -252,81 +327,162 @@ pub(crate) fn check_slab_step(
     }
 }
 
-/// Applies statement `s` over `domain` (local coordinates) with the paper's
-/// latency-hiding element ordering (Section 3.1): the cells feeding
-/// outgoing slabs are evaluated first — against the pristine pre-statement
-/// state — and each slab is handed to `emit` before any interior work, so
-/// downstream kernels can start consuming while this kernel computes its
-/// interior. All writes commit only after every evaluation, preserving the
-/// snapshot semantics (and therefore bit-exactness with
-/// [`Interpreter::apply_statement`]).
+/// Reusable per-run scratch for [`apply_statement_split`]: the boundary
+/// cache (values + occupancy, keyed by the cell's linear index inside the
+/// clipped domain), the committed-values buffer, and the compiled engine's
+/// value stack. Hoisting these into one allocation per run (instead of
+/// fresh vectors per fused block and statement) removes the allocator from
+/// the inner loop.
+#[derive(Debug, Default)]
+pub(crate) struct SplitScratch {
+    cached: Vec<f64>,
+    have: Vec<bool>,
+    values: Vec<f64>,
+    stack: Vec<f64>,
+}
+
+impl SplitScratch {
+    pub fn new() -> Self {
+        SplitScratch::default()
+    }
+
+    fn reset(&mut self, volume: usize) {
+        self.cached.clear();
+        self.cached.resize(volume, 0.0);
+        self.have.clear();
+        self.have.resize(volume, false);
+        self.values.clear();
+    }
+}
+
+/// Clipped-domain linear index of `p` (row-major over `clipped`), the key
+/// of the boundary cache.
+fn clipped_lin(clipped: &Rect, p: &stencilcl_grid::Point) -> usize {
+    let lo = clipped.lo();
+    let mut i = 0u64;
+    for d in 0..clipped.dim() {
+        i = i * clipped.len(d) + (p.coord(d) - lo.coord(d)) as u64;
+    }
+    i as usize
+}
+
+/// Applies statement `s` over the **pre-clipped** local domain `clipped`
+/// (already intersected with the statement's updatable interior — see
+/// [`DepthPlans::local_domain`]) with the paper's latency-hiding element
+/// ordering (Section 3.1): the cells feeding outgoing slabs are evaluated
+/// first — against the pristine pre-statement state — and each slab is
+/// handed to `emit` before any interior work, so downstream kernels can
+/// start consuming while this kernel computes its interior. All writes
+/// commit only after every evaluation, preserving the snapshot semantics
+/// (and therefore bit-exactness with the reference execution in either
+/// engine mode).
+///
+/// With a compiled engine both the boundary cache and the interior are
+/// evaluated through the statement's bytecode tape; the interior is a
+/// row-major sweep over contiguous rows with per-cell cache reuse, no
+/// `Point` construction, and bounds proven once per row.
 ///
 /// `outs[e]` is the local-coordinate source rect of outgoing slab `e`;
 /// `emit(e, values)` receives the post-statement values of the target array
 /// over that rect.
 pub(crate) fn apply_statement_split(
-    interp: &Interpreter<'_>,
+    engine: &Engine<'_>,
     local: &mut GridState,
     s: usize,
-    domain: &Rect,
+    clipped: &Rect,
     outs: &[Rect],
+    scratch: &mut SplitScratch,
     mut emit: impl FnMut(usize, Vec<f64>) -> Result<(), ExecError>,
 ) -> Result<(), ExecError> {
-    let stmt = &interp.program().updates[s];
-    let clipped = domain.intersect(&interp.statement_domain(s))?;
-    // Boundary cells are evaluated exactly once; the interior pass reuses
-    // the cached values, keyed by the cell's linear index inside `clipped`
-    // (an O(1) slot lookup, cheap enough to pay on every interior cell).
-    let dim = clipped.dim();
-    let mut strides = vec![0u64; dim];
-    let mut acc = 1u64;
-    for d in (0..dim).rev() {
-        strides[d] = acc;
-        acc *= clipped.len(d);
-    }
-    let lo = clipped.lo();
-    let lin = |p: &stencilcl_grid::Point| -> usize {
-        let mut i = 0u64;
-        for (d, &stride) in strides.iter().enumerate() {
-            i += (p.coord(d) - lo.coord(d)) as u64 * stride;
-        }
-        i as usize
-    };
-    let mut cached: Vec<Option<f64>> = vec![None; clipped.volume() as usize];
-    for (e, overlap) in outs.iter().enumerate() {
-        let mut values = local.grid(&stmt.target)?.read_window(overlap)?;
-        if !clipped.is_empty() {
-            for (slot, p) in overlap.iter().enumerate() {
-                if clipped.contains(&p) {
-                    let i = lin(&p);
-                    let v = match cached[i] {
-                        Some(v) => v,
-                        None => {
-                            let v = interp.eval(&stmt.rhs, local, &p)?;
-                            cached[i] = Some(v);
-                            v
+    scratch.reset(clipped.volume() as usize);
+    match engine {
+        Engine::Interpreted(interp) => {
+            let stmt = &interp.program().updates[s];
+            for (e, overlap) in outs.iter().enumerate() {
+                let mut values = local.grid(&stmt.target)?.read_window(overlap)?;
+                if !clipped.is_empty() {
+                    for (slot, p) in overlap.iter().enumerate() {
+                        if clipped.contains(&p) {
+                            let i = clipped_lin(clipped, &p);
+                            let v = if scratch.have[i] {
+                                scratch.cached[i]
+                            } else {
+                                let v = interp.eval(&stmt.rhs, local, &p)?;
+                                scratch.cached[i] = v;
+                                scratch.have[i] = true;
+                                v
+                            };
+                            values[slot] = v;
                         }
-                    };
-                    values[slot] = v;
+                    }
+                }
+                emit(e, values)?;
+            }
+            if clipped.is_empty() {
+                return Ok(());
+            }
+            for p in clipped.iter() {
+                let i = clipped_lin(clipped, &p);
+                let v = if scratch.have[i] {
+                    scratch.cached[i]
+                } else {
+                    interp.eval(&stmt.rhs, local, &p)?
+                };
+                scratch.values.push(v);
+            }
+            let target = local.grid_mut(&stmt.target)?;
+            target.write_window(clipped, &scratch.values)?;
+        }
+        Engine::Compiled(cp) => {
+            let target = cp.kernel(s).target();
+            {
+                let views = cp.views(local)?;
+                for (e, overlap) in outs.iter().enumerate() {
+                    let mut values = local.grid(target)?.read_window(overlap)?;
+                    if !clipped.is_empty() {
+                        for (slot, p) in overlap.iter().enumerate() {
+                            if clipped.contains(&p) {
+                                let i = clipped_lin(clipped, &p);
+                                let v = if scratch.have[i] {
+                                    scratch.cached[i]
+                                } else {
+                                    let idx = cp.extent().linearize(&p)?;
+                                    let v = cp.eval_idx(s, &views, idx, &mut scratch.stack);
+                                    scratch.cached[i] = v;
+                                    scratch.have[i] = true;
+                                    v
+                                };
+                                values[slot] = v;
+                            }
+                        }
+                    }
+                    emit(e, values)?;
+                }
+                if clipped.is_empty() {
+                    return Ok(());
+                }
+                // Interior sweep: contiguous rows, the cell's linear index
+                // advancing by one per cell — no per-cell Point or bounds
+                // checks beyond slice indexing.
+                let row_len = clipped.len(clipped.dim() - 1) as usize;
+                let mut crow = 0usize;
+                for start in clipped.row_starts() {
+                    let base = cp.extent().linearize(&start)?;
+                    for j in 0..row_len {
+                        let ci = crow + j;
+                        let v = if scratch.have[ci] {
+                            scratch.cached[ci]
+                        } else {
+                            cp.eval_idx(s, &views, base + j, &mut scratch.stack)
+                        };
+                        scratch.values.push(v);
+                    }
+                    crow += row_len;
                 }
             }
+            let target_grid = local.grid_mut(target)?;
+            target_grid.write_window(clipped, &scratch.values)?;
         }
-        emit(e, values)?;
-    }
-    if clipped.is_empty() {
-        return Ok(());
-    }
-    let mut values = Vec::with_capacity(clipped.volume() as usize);
-    for p in clipped.iter() {
-        let v = match cached[lin(&p)] {
-            Some(v) => v,
-            None => interp.eval(&stmt.rhs, local, &p)?,
-        };
-        values.push(v);
-    }
-    let target = local.grid_mut(&stmt.target)?;
-    for (p, v) in clipped.iter().zip(values) {
-        target.set(&p, v)?;
     }
     Ok(())
 }

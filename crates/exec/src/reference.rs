@@ -1,11 +1,16 @@
 use stencilcl_lang::{GridState, Interpreter, Program};
 
+use crate::engine::{compile_with_env_unroll, interpret_from_env};
 use crate::ExecError;
 
 /// Runs the naive reference execution: `program.iterations` full-grid stencil
 /// iterations with a global synchronization after each one — the semantics of
 /// Figure 3's pseudo code, and the ground truth every accelerator design is
 /// checked against.
+///
+/// By default the program is lowered to flat bytecode kernels once and
+/// executed with branch-free row sweeps; `STENCILCL_INTERPRET=1` selects the
+/// tree-walking AST interpreter instead. Both are bit-exact.
 ///
 /// # Errors
 ///
@@ -24,8 +29,11 @@ use crate::ExecError;
 /// # Ok::<(), stencilcl_exec::ExecError>(())
 /// ```
 pub fn run_reference(program: &Program, state: &mut GridState) -> Result<(), ExecError> {
-    let interp = Interpreter::new(program);
-    interp.run(state, program.iterations)?;
+    if interpret_from_env() {
+        Interpreter::new(program).run(state, program.iterations)?;
+    } else {
+        compile_with_env_unroll(program)?.run(state, program.iterations)?;
+    }
     Ok(())
 }
 

@@ -9,8 +9,11 @@ use crossbeam::channel::{
 use stencilcl_grid::{Partition, Rect};
 use stencilcl_lang::{GridState, Interpreter, Program};
 
+use crate::engine::{interpret_from_env, Engine};
 use crate::faults::{FaultKind, FaultPlan};
-use crate::pool::{apply_statement_split, check_slab_step, PipelinePlan, Slab, PIPE_CAPACITY};
+use crate::pool::{
+    apply_statement_split, check_slab_step, PipelinePlan, Slab, SplitScratch, PIPE_CAPACITY,
+};
 use crate::supervise::{CancelToken, ExecPolicy};
 use crate::window::{extract_window, refresh_ring, write_back};
 use crate::ExecError;
@@ -97,6 +100,10 @@ struct WorkerCtx {
     ins: Vec<PairEndpoint<Receiver<Slab>>>,
     token: CancelToken,
     faults: Arc<FaultPlan>,
+    /// Whether this run evaluates through the AST interpreter — decided
+    /// once on the main thread (`STENCILCL_INTERPRET`), handed to workers
+    /// as plain data.
+    interpret: bool,
 }
 
 /// What one pool run accomplished before returning: completed (and
@@ -206,6 +213,7 @@ pub(crate) fn pool_run(
     }
     let kernels = plan.tiles.first().map_or(0, Vec::len);
     let plan = Arc::new(plan);
+    let interpret = interpret_from_env();
     let token = CancelToken::default();
     let live = Arc::new(AtomicUsize::new(0));
 
@@ -239,6 +247,7 @@ pub(crate) fn pool_run(
             ins: k_ins,
             token: token.clone(),
             faults: Arc::clone(faults),
+            interpret,
         };
         let done_tx = done_tx.clone();
         let guard = WorkerGuard::register(&live);
@@ -434,19 +443,26 @@ fn sleep_cancellable(token: &CancelToken, total: Duration) {
     }
 }
 
-/// Body of one pool worker: build interpreters and routing tables once,
-/// then serve [`Command::Pass`] orders until the command channel closes.
-/// The first error is reported on the done channel and ends the worker;
-/// dropping its pipe endpoints unblocks any partners waiting on it. Every
-/// potentially-blocking operation observes the pool's cancellation token,
-/// so a teardown is never blocked on this thread.
+/// Body of one pool worker: build its evaluation engines (the plan's
+/// compiled bytecode by default, AST interpreters in oracle mode) and
+/// routing tables once, then serve [`Command::Pass`] orders until the
+/// command channel closes. The first error is reported on the done channel
+/// and ends the worker; dropping its pipe endpoints unblocks any partners
+/// waiting on it. Every potentially-blocking operation observes the pool's
+/// cancellation token, so a teardown is never blocked on this thread.
 fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Done>) {
     let kernel = ctx.kernel;
     let plan = &ctx.plan;
     let regions = plan.regions.len();
-    let setup = || -> Result<(Vec<Interpreter<'_>>, Vec<Vec<Route>>), ExecError> {
-        let interps = (0..regions)
-            .map(|r| Interpreter::new(&plan.local_programs[r][kernel]))
+    let setup = || -> Result<(Vec<Engine<'_>>, Vec<Vec<Route>>), ExecError> {
+        let engines = (0..regions)
+            .map(|r| {
+                if ctx.interpret {
+                    Engine::Interpreted(Interpreter::new(&plan.local_programs[r][kernel]))
+                } else {
+                    Engine::Compiled(&plan.compiled[r][kernel])
+                }
+            })
             .collect();
         let missing = || ExecError::config("no pipe endpoint for a planned edge");
         let mut routes = Vec::with_capacity(plan.depths.len());
@@ -476,9 +492,9 @@ fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Don
             }
             routes.push(per_region);
         }
-        Ok((interps, routes))
+        Ok((engines, routes))
     };
-    let (interps, routes) = match setup() {
+    let (engines, routes) = match setup() {
         Ok(v) => v,
         Err(e) => {
             let _ = done_tx.send((kernel, Err(e)));
@@ -488,6 +504,7 @@ fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Don
     let updated: Vec<&str> = plan.updated.iter().map(String::as_str).collect();
     // Persistent local windows, one per region, alive across every block.
     let mut locals: Vec<Option<GridState>> = vec![None; regions];
+    let mut scratch = SplitScratch::new();
     while let Ok(Command::Pass {
         depth,
         step_base,
@@ -516,10 +533,11 @@ fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Don
         }
         let result = run_pass(
             ctx,
-            &interps,
+            &engines,
             &routes[depth],
             &updated,
             &mut locals,
+            &mut scratch,
             depth,
             step_base,
             src,
@@ -536,10 +554,11 @@ fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Don
 #[allow(clippy::too_many_arguments)]
 fn run_pass(
     ctx: &WorkerCtx,
-    interps: &[Interpreter<'_>],
+    engines: &[Engine<'_>],
     routes: &[Route],
     updated: &[&str],
     locals: &mut [Option<GridState>],
+    scratch: &mut SplitScratch,
     depth: usize,
     step_base: u64,
     src: usize,
@@ -564,12 +583,12 @@ fn run_pass(
         let route = &routes[r];
         for i in 1..=dp.h {
             for s in 0..lp.updates.len() {
-                let domain = dp.plans[r][kernel].domain(i, s).translate(&-origin)?;
+                let domain = dp.local_domain(r, kernel, i, s, plan.stmts);
                 let step = (step_base + i, s);
                 // Produce first (boundary cells against the pristine
                 // pre-state), so downstream kernels are fed before we turn
                 // to the interior...
-                apply_statement_split(&interps[r], local, s, &domain, &route.out_rects, {
+                apply_statement_split(&engines[r], local, s, domain, &route.out_rects, scratch, {
                     let out_chans = &route.out_chans;
                     move |e, values| {
                         pipe_send(

@@ -42,7 +42,8 @@ pub fn extract_window(
 
 /// Writes the `updated` arrays of `local` (a window rooted at `origin`) back
 /// into `state`, but only the cells inside `target` — the burst write of a
-/// kernel's tile.
+/// kernel's tile. Rows are copied slice to slice, with no intermediate
+/// vector.
 ///
 /// # Errors
 ///
@@ -56,8 +57,10 @@ pub fn write_back(
 ) -> Result<(), ExecError> {
     let local_target = target.translate(&-*origin)?;
     for name in updated {
-        let values = local.grid(name)?.read_window(&local_target)?;
-        state.grid_mut(name)?.write_window(target, &values)?;
+        let src = local.grid(name)?;
+        state
+            .grid_mut(name)?
+            .copy_window_from(target, src, &local_target)?;
     }
     Ok(())
 }
@@ -97,6 +100,7 @@ pub fn halo_ring(window: &Rect, tile: &Rect) -> Result<Vec<Rect>, ExecError> {
 /// Refreshes the `names` arrays of a persistent local window (rooted at
 /// `origin`) over the absolute `ring` rects from the global state — the
 /// incremental replacement for re-extracting the whole window every block.
+/// Rows are copied slice to slice, with no intermediate vector.
 ///
 /// # Errors
 ///
@@ -112,8 +116,10 @@ pub fn refresh_ring(
     for rect in ring {
         let local_rect = rect.translate(&-*origin)?;
         for name in names {
-            let values = global.grid(name)?.read_window(rect)?;
-            local.grid_mut(name)?.write_window(&local_rect, &values)?;
+            let src = global.grid(name)?;
+            local
+                .grid_mut(name)?
+                .copy_window_from(&local_rect, src, rect)?;
         }
     }
     Ok(())

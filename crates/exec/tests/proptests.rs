@@ -7,8 +7,10 @@ use stencilcl_exec::{
     run_pipe_shared, run_reference, run_supervised, run_threaded, verify_design, ExecMode,
     ExecPolicy, RecoveryPath,
 };
-use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
-use stencilcl_lang::{parse, programs, GridState, Program, StencilFeatures};
+use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point, Rect};
+use stencilcl_lang::{
+    parse, programs, CompiledProgram, GridState, Interpreter, Program, StencilFeatures,
+};
 
 /// Random 2-D split of `total` into `k` positive parts.
 fn split(total: usize, k: usize, skew: usize) -> Vec<usize> {
@@ -208,6 +210,12 @@ proptest! {
         };
         let mut reference = GridState::new(&program, init);
         run_reference(&program, &mut reference).unwrap();
+        // The executors run compiled bytecode by default; the tree-walking
+        // AST interpreter is the independent oracle they must match bit for
+        // bit (same f64 operations in the same order per cell).
+        let mut oracle = GridState::new(&program, init);
+        Interpreter::new(&program).run(&mut oracle, program.iterations).unwrap();
+        prop_assert_eq!(oracle.max_abs_diff(&reference).unwrap(), 0.0);
         let mut pipe = GridState::new(&program, init);
         run_pipe_shared(&program, &partition, &mut pipe).unwrap();
         let mut threaded = GridState::new(&program, init);
@@ -223,5 +231,65 @@ proptest! {
         prop_assert_eq!(reference.max_abs_diff(&supervised).unwrap(), 0.0);
         prop_assert_eq!(report.path, RecoveryPath::Threaded);
         prop_assert_eq!(report.leaked_workers(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The compiled bytecode path is **bit-exact** with the AST interpreter:
+    // full runs agree for every unroll factor, and partial-domain
+    // applications (the shapes the tiled executors feed it) agree too.
+    // Equality is `to_bits`-level (max_abs_diff == 0.0), not epsilon.
+    #[test]
+    fn compiled_kernels_bit_exact_with_ast_interpreter(
+        li in 0i64..=2, hi in 0i64..=2, lj in 0i64..=2, hj in 0i64..=2,
+        nx in 8usize..=20, ny in 8usize..=20,
+        unroll in 1usize..=9,
+        iters in 1u64..=4,
+        sx in 0u64..6, sy in 0u64..6, wx in 1u64..8, wy in 1u64..8,
+        seed in 0i64..1000,
+    ) {
+        // Two coupled statements: a star update reading both arrays plus a
+        // pointwise accumulate with a division, so the tape covers loads
+        // from several slots, asymmetric deltas, and non-commutative ops.
+        let src = format!(
+            "stencil diff {{ grid A[{nx}][{ny}] : f32; grid B[{nx}][{ny}] : f32;
+             iterations {iters};
+             A[i][j] = 0.25 * (A[i-{li}][j] + A[i+{hi}][j] + B[i][j-{lj}] + A[i][j+{hj}]);
+             B[i][j] = B[i][j] + A[i][j] / 3.0; }}"
+        );
+        let program = parse(&src).unwrap();
+        let init = |name: &str, p: &Point| {
+            let mut v = (name.len() as i64 * 7 + seed) as f64;
+            for d in 0..p.dim() {
+                v = v * 19.0 + p.coord(d) as f64;
+            }
+            (v * 0.0017).sin() + 1.5
+        };
+        let interp = Interpreter::new(&program);
+        let compiled = CompiledProgram::compile(&program).unwrap().with_unroll(unroll);
+
+        // Full runs, every iteration and statement.
+        let mut a = GridState::new(&program, init);
+        interp.run(&mut a, program.iterations).unwrap();
+        let mut b = GridState::new(&program, init);
+        compiled.run(&mut b, program.iterations).unwrap();
+        prop_assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+
+        // A partial domain (clipped internally by both engines), per
+        // statement — the shape the tiled executors drive.
+        let window = Rect::new(
+            Point::new2(sx as i64, sy as i64),
+            Point::new2((sx + wx) as i64, (sy + wy) as i64),
+        )
+        .unwrap();
+        let mut a = GridState::new(&program, init);
+        let mut b = GridState::new(&program, init);
+        for s in 0..program.updates.len() {
+            interp.apply_statement(&mut a, s, &window).unwrap();
+            compiled.apply_statement(&mut b, s, &window).unwrap();
+        }
+        prop_assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
     }
 }

@@ -129,8 +129,13 @@ impl<T: Clone> Grid<T> {
     pub fn read_window(&self, window: &Rect) -> Result<Vec<T>, GridError> {
         let clipped = Rect::from_extent(&self.extent).intersect(window)?;
         let mut out = Vec::with_capacity(clipped.volume() as usize);
-        for p in clipped.iter() {
-            out.push(self.get(&p)?.clone());
+        if clipped.is_empty() {
+            return Ok(out);
+        }
+        let row_len = clipped.len(clipped.dim() - 1) as usize;
+        for start in clipped.row_starts() {
+            let base = self.extent.linearize(&start)?;
+            out.extend_from_slice(&self.data[base..base + row_len]);
         }
         Ok(out)
     }
@@ -154,8 +159,55 @@ impl<T: Clone> Grid<T> {
                 ),
             });
         }
-        for (p, v) in clipped.iter().zip(values.iter()) {
-            self.set(&p, v.clone())?;
+        if clipped.is_empty() {
+            return Ok(());
+        }
+        let row_len = clipped.len(clipped.dim() - 1) as usize;
+        let mut off = 0usize;
+        for start in clipped.row_starts() {
+            let base = self.extent.linearize(&start)?;
+            self.data[base..base + row_len].clone_from_slice(&values[off..off + row_len]);
+            off += row_len;
+        }
+        Ok(())
+    }
+
+    /// Copies `src_window` of `src` into `dst_window` of `self`, row slice
+    /// by row slice — the burst transfer without the intermediate vector
+    /// that a [`read_window`](Self::read_window) +
+    /// [`write_window`](Self::write_window) pair materializes. Both windows
+    /// are clipped to their grids first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] for mismatched window
+    /// dimensionality, or [`GridError::UnevenPartition`] when the clipped
+    /// windows have different shapes.
+    pub fn copy_window_from(
+        &mut self,
+        dst_window: &Rect,
+        src: &Grid<T>,
+        src_window: &Rect,
+    ) -> Result<(), GridError> {
+        let dst_clip = Rect::from_extent(&self.extent).intersect(dst_window)?;
+        let src_clip = Rect::from_extent(&src.extent).intersect(src_window)?;
+        if dst_clip.dim() != src_clip.dim()
+            || (0..dst_clip.dim()).any(|d| dst_clip.len(d) != src_clip.len(d))
+        {
+            return Err(GridError::UnevenPartition {
+                detail: format!(
+                    "cannot copy window {src_clip} into differently shaped window {dst_clip}"
+                ),
+            });
+        }
+        if dst_clip.is_empty() {
+            return Ok(());
+        }
+        let row_len = dst_clip.len(dst_clip.dim() - 1) as usize;
+        for (dst_start, src_start) in dst_clip.row_starts().zip(src_clip.row_starts()) {
+            let d = self.extent.linearize(&dst_start)?;
+            let s = src.extent.linearize(&src_start)?;
+            self.data[d..d + row_len].clone_from_slice(&src.data[s..s + row_len]);
         }
         Ok(())
     }
@@ -242,6 +294,35 @@ mod tests {
         let mut g = Grid::filled(Extent::new1(4), 0u8);
         let w = Rect::new(Point::new1(0), Point::new1(2)).unwrap();
         assert!(g.write_window(&w, &[1]).is_err());
+    }
+
+    #[test]
+    fn copy_window_between_grids_without_intermediate() {
+        let src = Grid::from_fn(Extent::new2(4, 4), |p| p.coord(0) * 4 + p.coord(1));
+        let mut dst = Grid::filled(Extent::new2(3, 3), -1);
+        let src_w = Rect::new(Point::new2(1, 1), Point::new2(3, 3)).unwrap();
+        let dst_w = Rect::new(Point::new2(0, 0), Point::new2(2, 2)).unwrap();
+        dst.copy_window_from(&dst_w, &src, &src_w).unwrap();
+        assert_eq!(*dst.get(&Point::new2(0, 0)).unwrap(), 5);
+        assert_eq!(*dst.get(&Point::new2(1, 1)).unwrap(), 10);
+        assert_eq!(*dst.get(&Point::new2(2, 2)).unwrap(), -1); // outside dst window
+                                                               // Matches the two-step read + write path exactly.
+        let mut two_step = Grid::filled(Extent::new2(3, 3), -1);
+        let vals = src.read_window(&src_w).unwrap();
+        two_step.write_window(&dst_w, &vals).unwrap();
+        assert_eq!(dst.as_slice(), two_step.as_slice());
+    }
+
+    #[test]
+    fn copy_window_rejects_shape_mismatch() {
+        let src = Grid::filled(Extent::new2(4, 4), 1u8);
+        let mut dst = Grid::filled(Extent::new2(4, 4), 0u8);
+        let a = Rect::new(Point::new2(0, 0), Point::new2(2, 2)).unwrap();
+        let b = Rect::new(Point::new2(0, 0), Point::new2(2, 3)).unwrap();
+        assert!(dst.copy_window_from(&a, &src, &b).is_err());
+        // Equal shapes after clipping are fine, including empty ones.
+        let empty = Rect::new(Point::new2(2, 2), Point::new2(2, 4)).unwrap();
+        dst.copy_window_from(&empty, &src, &empty).unwrap();
     }
 
     #[test]

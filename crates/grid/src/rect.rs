@@ -188,6 +188,24 @@ impl Rect {
         })
     }
 
+    /// Iterates over the first point of every contiguous row of the box —
+    /// the points whose last coordinate equals `lo`, in row-major order.
+    /// Each row holds `len(dim - 1)` consecutive cells, which lets callers
+    /// process a box as contiguous slices of row-major storage. Empty boxes
+    /// yield no rows.
+    pub fn row_starts(&self) -> RectIter {
+        let last = self.dim() - 1;
+        let collapsed = Rect {
+            lo: self.lo,
+            hi: self.hi.with_coord(last, self.lo.coord(last) + 1),
+        };
+        RectIter {
+            rect: collapsed,
+            cursor: collapsed.lo,
+            done: self.is_empty(),
+        }
+    }
+
     /// Iterates over every point of the box in row-major order.
     pub fn iter(&self) -> RectIter {
         RectIter {
@@ -333,6 +351,22 @@ mod tests {
             ]
         );
         assert_eq!(r.iter().len(), 4);
+    }
+
+    #[test]
+    fn row_starts_walk_leading_points() {
+        let r = rect2((1, 2), (4, 6));
+        let starts: Vec<_> = r.row_starts().collect();
+        assert_eq!(
+            starts,
+            vec![Point::new2(1, 2), Point::new2(2, 2), Point::new2(3, 2)]
+        );
+        // 1-D boxes have a single row.
+        let line = Rect::new(Point::new1(3), Point::new1(9)).unwrap();
+        assert_eq!(line.row_starts().collect::<Vec<_>>(), vec![Point::new1(3)]);
+        // Empty boxes (along any axis) have none.
+        assert_eq!(rect2((0, 0), (0, 5)).row_starts().count(), 0);
+        assert_eq!(rect2((0, 0), (5, 0)).row_starts().count(), 0);
     }
 
     #[test]

@@ -1,0 +1,758 @@
+//! Bytecode compilation of stencil update statements.
+//!
+//! [`Interpreter::eval`](crate::Interpreter::eval) walks the update AST per
+//! cell, doing a `BTreeMap` grid lookup and heap `Point` arithmetic for every
+//! neighbor access. That per-cell overhead is pure host-side interpreter
+//! cost: the paper's performance model (Section 4, Eqs. 5–7) assumes each
+//! tile kernel sustains one cell per `II` cycles with an unroll factor `U`,
+//! which only holds when the update is lowered to a fixed datapath — exactly
+//! what HLS does when it compiles the OpenCL kernel.
+//!
+//! [`CompiledProgram`] is that lowering for the functional executors: each
+//! statement's expression becomes a flat postfix [`Op`] tape in which
+//!
+//! * grid names are resolved to dense slot indices over the sorted grid list
+//!   (matching [`GridState`]'s `BTreeMap` order),
+//! * neighbor offsets are pre-resolved to **linear-index deltas** for one
+//!   fixed [`Extent`] (row-major strides), so a neighbor access is a single
+//!   slice index `data[idx + delta]`,
+//! * parameters are resolved to constants and constant subexpressions are
+//!   folded at compile time — with the *same* `f64` operations evaluation
+//!   would perform, so folding is bit-exact.
+//!
+//! Execution sweeps each statement's clipped domain row by row (last axis
+//! contiguous), evaluating the tape on a reusable value stack with no
+//! per-cell `Point` construction or bounds checks beyond slice indexing that
+//! is proven in range once per row. An optional `U`-way unroll chunks the
+//! row loop, mirroring the paper's unroll knob; per-cell arithmetic is
+//! unchanged, so every unroll factor is bit-exact with `U = 1`.
+//!
+//! The AST interpreter remains the semantic oracle: `CompiledProgram`
+//! reproduces its results **bit for bit** (same operation order per cell),
+//! which the differential proptests in `stencilcl-lang` and `stencilcl-exec`
+//! enforce.
+
+use stencilcl_grid::{Extent, Rect};
+
+use crate::ast::{BinOp, Expr, Func, Program, UnaryOp};
+use crate::interp::GridState;
+use crate::LangError;
+
+/// One postfix bytecode operation of a compiled update expression.
+///
+/// The tape is evaluated left to right over a value stack; the stack effect
+/// of each op matches the interpreter's evaluation order exactly (binary
+/// operands are pushed left then right).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push a literal (folded constants and resolved parameters included).
+    Const(f64),
+    /// Push `grids[slot][idx + delta]`, where `idx` is the linear index of
+    /// the cell being computed and `delta` encodes the neighbor offset for
+    /// the compiled extent.
+    Load {
+        /// Dense index into the sorted grid list.
+        slot: u32,
+        /// Row-major linear-index offset of the access.
+        delta: i64,
+    },
+    /// Pop `b`, pop `a`, push `a + b`.
+    Add,
+    /// Pop `b`, pop `a`, push `a - b`.
+    Sub,
+    /// Pop `b`, pop `a`, push `a * b`.
+    Mul,
+    /// Pop `b`, pop `a`, push `a / b`.
+    Div,
+    /// Negate the top of stack.
+    Neg,
+    /// Pop `b`, pop `a`, push `a.min(b)`.
+    Min,
+    /// Pop `b`, pop `a`, push `a.max(b)`.
+    Max,
+    /// Replace the top of stack with its absolute value.
+    Abs,
+    /// Replace the top of stack with its square root.
+    Sqrt,
+}
+
+/// One update statement lowered to a flat op tape.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Name of the grid the statement writes.
+    target: String,
+    /// Slot of the target grid in the sorted grid list.
+    target_slot: u32,
+    /// The postfix tape; evaluating it leaves exactly one value.
+    tape: Box<[Op]>,
+    /// Maximum stack depth the tape reaches.
+    stack_need: usize,
+}
+
+impl CompiledKernel {
+    /// Name of the grid this kernel writes.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Slot of the target grid in the compiled program's grid list.
+    pub fn target_slot(&self) -> usize {
+        self.target_slot as usize
+    }
+
+    /// The kernel's postfix op tape.
+    pub fn tape(&self) -> &[Op] {
+        &self.tape
+    }
+
+    /// Maximum value-stack depth evaluation reaches.
+    pub fn stack_need(&self) -> usize {
+        self.stack_need
+    }
+}
+
+/// A whole stencil program compiled to bytecode kernels for one fixed grid
+/// extent — the functional analogue of the per-tile kernel specialization
+/// the framework's code generator performs when it emits one OpenCL kernel
+/// per tile.
+///
+/// # Example
+///
+/// ```
+/// use stencilcl_lang::{parse, CompiledProgram, GridState, Interpreter};
+///
+/// let p = parse(
+///     "stencil avg { grid A[8] : f32; iterations 3;
+///      A[i] = 0.5 * (A[i-1] + A[i+1]); }",
+/// )?;
+/// let compiled = CompiledProgram::compile(&p)?;
+/// let init = |_: &str, pt: &stencilcl_grid::Point| pt.coord(0) as f64;
+/// let mut fast = GridState::new(&p, init);
+/// compiled.run(&mut fast, p.iterations)?;
+/// // Bit-exact with the AST interpreter.
+/// let mut slow = GridState::new(&p, init);
+/// Interpreter::new(&p).run(&mut slow, p.iterations)?;
+/// assert_eq!(fast, slow);
+/// # Ok::<(), stencilcl_lang::LangError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    extent: Extent,
+    /// Sorted grid names; slot `i` of a view vector is `slots[i]`.
+    slots: Vec<String>,
+    kernels: Vec<CompiledKernel>,
+    /// Per-statement updatable interior (grid shrunk by the statement's
+    /// halo), identical to the interpreter's statement domains.
+    domains: Vec<Rect>,
+    unroll: usize,
+}
+
+/// A lowered expression fragment: its ops, plus the folded value when the
+/// whole fragment is a compile-time constant.
+struct Frag {
+    ops: Vec<Op>,
+    konst: Option<f64>,
+}
+
+impl Frag {
+    fn konst(v: f64) -> Frag {
+        Frag {
+            ops: vec![Op::Const(v)],
+            konst: Some(v),
+        }
+    }
+}
+
+impl CompiledProgram {
+    /// Compiles every update statement of `program` for its declared extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] when the program references unknown grids or
+    /// parameters (programs built via [`parse`](crate::parse) never do).
+    pub fn compile(program: &Program) -> Result<Self, LangError> {
+        let features = crate::StencilFeatures::extract(program)?;
+        let extent = program.extent();
+        let mut slots: Vec<String> = program.grids.iter().map(|g| g.name.clone()).collect();
+        slots.sort();
+        // Row-major strides of the compiled extent, last axis fastest.
+        let mut strides = vec![0i64; extent.dim()];
+        let mut acc = 1i64;
+        for d in (0..extent.dim()).rev() {
+            strides[d] = acc;
+            acc *= extent.len(d) as i64;
+        }
+        let params: std::collections::BTreeMap<&str, f64> = program
+            .params
+            .iter()
+            .map(|p| (p.name.as_str(), p.value))
+            .collect();
+        let kernels = program
+            .updates
+            .iter()
+            .map(|stmt| {
+                let frag = lower(&stmt.rhs, &slots, &params, &strides)?;
+                let target_slot = slot_of(&slots, &stmt.target)? as u32;
+                let stack_need = stack_need(&frag.ops);
+                Ok(CompiledKernel {
+                    target: stmt.target.clone(),
+                    target_slot,
+                    tape: frag.ops.into_boxed_slice(),
+                    stack_need,
+                })
+            })
+            .collect::<Result<Vec<_>, LangError>>()?;
+        // Statement domains, computed exactly like Interpreter::new.
+        let full = Rect::from_extent(&extent);
+        let domains = features
+            .statements
+            .iter()
+            .map(|s| {
+                let (mut lo, mut hi) = s.growth.amounts(1);
+                for v in lo.iter_mut().chain(hi.iter_mut()) {
+                    *v = -*v;
+                }
+                full.expand(&lo, &hi)
+            })
+            .collect();
+        Ok(CompiledProgram {
+            extent,
+            slots,
+            kernels,
+            domains,
+            unroll: 1,
+        })
+    }
+
+    /// Returns the program recompiled with a `U`-way unrolled row loop.
+    /// Values are identical for every `unroll` (per-cell arithmetic is
+    /// unchanged); zero is treated as one.
+    #[must_use]
+    pub fn with_unroll(mut self, unroll: usize) -> Self {
+        self.unroll = unroll.max(1);
+        self
+    }
+
+    /// The unroll factor of the interior row sweep.
+    pub fn unroll(&self) -> usize {
+        self.unroll
+    }
+
+    /// The extent the kernels were compiled for.
+    pub fn extent(&self) -> Extent {
+        self.extent
+    }
+
+    /// Number of compiled update statements.
+    pub fn statement_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The sorted grid names backing the dense slot indices: `Op::Load`'s
+    /// `slot` field `i` reads the grid named `slots()[i]`.
+    pub fn slots(&self) -> &[String] {
+        &self.slots
+    }
+
+    /// The compiled kernel of statement `si`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is out of range.
+    pub fn kernel(&self, si: usize) -> &CompiledKernel {
+        &self.kernels[si]
+    }
+
+    /// The domain statement `si` may update — identical to
+    /// [`Interpreter::statement_domain`](crate::Interpreter::statement_domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is out of range.
+    pub fn statement_domain(&self, si: usize) -> Rect {
+        self.domains[si]
+    }
+
+    /// Borrows every grid of `state` as a dense slice, in slot order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when `state` lacks a grid or holds one
+    /// with a different extent than the program was compiled for (linear
+    /// deltas would silently read the wrong cells).
+    pub fn views<'a>(&self, state: &'a GridState) -> Result<Vec<&'a [f64]>, LangError> {
+        self.slots
+            .iter()
+            .map(|name| {
+                let grid = state.grid(name)?;
+                if grid.extent() != self.extent {
+                    return Err(LangError::eval(format!(
+                        "grid `{name}` has extent {} but the program was compiled for {}",
+                        grid.extent(),
+                        self.extent
+                    )));
+                }
+                Ok(grid.as_slice())
+            })
+            .collect()
+    }
+
+    /// Evaluates statement `si`'s tape at linear cell index `idx`.
+    ///
+    /// `views` must come from [`Self::views`] and every access of the cell
+    /// must be in bounds (guaranteed when `idx` lies inside
+    /// [`Self::statement_domain`]); `stack` is reused scratch and is grown
+    /// as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is out of range or an access leaves the grid (a caller
+    /// domain bug, like the interpreter's out-of-bounds eval error).
+    pub fn eval_idx(&self, si: usize, views: &[&[f64]], idx: usize, stack: &mut Vec<f64>) -> f64 {
+        let kernel = &self.kernels[si];
+        if stack.len() < kernel.stack_need {
+            stack.resize(kernel.stack_need, 0.0);
+        }
+        eval_tape(&kernel.tape, views, idx, stack)
+    }
+
+    /// Applies statement `si` to every point of `domain` (clipped to the
+    /// statement's updatable interior) with snapshot semantics — the
+    /// compiled equivalent of
+    /// [`Interpreter::apply_statement`](crate::Interpreter::apply_statement),
+    /// bit-exact with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when the state lacks a referenced grid or
+    /// holds mismatched extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is out of range.
+    pub fn apply_statement(
+        &self,
+        state: &mut GridState,
+        si: usize,
+        domain: &Rect,
+    ) -> Result<(), LangError> {
+        let clipped = domain.intersect(&self.domains[si])?;
+        if clipped.is_empty() {
+            return Ok(());
+        }
+        let kernel = &self.kernels[si];
+        let mut values = Vec::with_capacity(clipped.volume() as usize);
+        {
+            let views = self.views(state)?;
+            let mut stack = vec![0.0f64; kernel.stack_need];
+            let row_len = clipped.len(clipped.dim() - 1) as usize;
+            for start in clipped.row_starts() {
+                let base = self.extent.linearize(&start)?;
+                self.eval_row(kernel, &views, base, row_len, &mut stack, &mut values);
+            }
+        }
+        let target = state.grid_mut(&kernel.target)?;
+        target.write_window(&clipped, &values)?;
+        Ok(())
+    }
+
+    /// Evaluates one contiguous row of `row_len` cells starting at linear
+    /// index `base`, appending the results to `values`. The row loop is
+    /// chunked by the unroll factor; per-cell arithmetic is identical, so
+    /// results do not depend on `U`.
+    pub(crate) fn eval_row(
+        &self,
+        kernel: &CompiledKernel,
+        views: &[&[f64]],
+        base: usize,
+        row_len: usize,
+        stack: &mut [f64],
+        values: &mut Vec<f64>,
+    ) {
+        let u = self.unroll;
+        let mut j = 0usize;
+        while j + u <= row_len {
+            for step in 0..u {
+                values.push(eval_tape(&kernel.tape, views, base + j + step, stack));
+            }
+            j += u;
+        }
+        while j < row_len {
+            values.push(eval_tape(&kernel.tape, views, base + j, stack));
+            j += 1;
+        }
+    }
+
+    /// Runs one full stencil iteration (all statements in order) over
+    /// `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when the state lacks a referenced grid.
+    pub fn step(&self, state: &mut GridState, domain: &Rect) -> Result<(), LangError> {
+        for si in 0..self.kernels.len() {
+            self.apply_statement(state, si, domain)?;
+        }
+        Ok(())
+    }
+
+    /// Runs `iterations` full-grid stencil iterations — the compiled
+    /// counterpart of [`Interpreter::run`](crate::Interpreter::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when the state lacks a referenced grid.
+    pub fn run(&self, state: &mut GridState, iterations: u64) -> Result<(), LangError> {
+        let full = Rect::from_extent(&self.extent);
+        for _ in 0..iterations {
+            self.step(state, &full)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a tape at linear index `idx` with a manually managed stack
+/// pointer; `stack` must be at least the tape's `stack_need` long.
+#[inline]
+fn eval_tape(tape: &[Op], views: &[&[f64]], idx: usize, stack: &mut [f64]) -> f64 {
+    let mut sp = 0usize;
+    for op in tape {
+        match *op {
+            Op::Const(v) => {
+                stack[sp] = v;
+                sp += 1;
+            }
+            Op::Load { slot, delta } => {
+                // In-domain cells have every per-dimension neighbor
+                // coordinate in bounds, so the linear form cannot wrap a
+                // row: `idx + delta` is the exact row-major index.
+                let at = idx as i64 + delta;
+                stack[sp] = views[slot as usize][at as usize];
+                sp += 1;
+            }
+            Op::Add => {
+                sp -= 1;
+                stack[sp - 1] += stack[sp];
+            }
+            Op::Sub => {
+                sp -= 1;
+                stack[sp - 1] -= stack[sp];
+            }
+            Op::Mul => {
+                sp -= 1;
+                stack[sp - 1] *= stack[sp];
+            }
+            Op::Div => {
+                sp -= 1;
+                stack[sp - 1] /= stack[sp];
+            }
+            Op::Neg => stack[sp - 1] = -stack[sp - 1],
+            Op::Min => {
+                sp -= 1;
+                stack[sp - 1] = stack[sp - 1].min(stack[sp]);
+            }
+            Op::Max => {
+                sp -= 1;
+                stack[sp - 1] = stack[sp - 1].max(stack[sp]);
+            }
+            Op::Abs => stack[sp - 1] = stack[sp - 1].abs(),
+            Op::Sqrt => stack[sp - 1] = stack[sp - 1].sqrt(),
+        }
+    }
+    stack[0]
+}
+
+fn slot_of(slots: &[String], name: &str) -> Result<usize, LangError> {
+    slots
+        .binary_search_by(|s| s.as_str().cmp(name))
+        .map_err(|_| LangError::eval(format!("no grid named `{name}`")))
+}
+
+/// Lowers `expr` to postfix ops, folding constant subtrees with the same
+/// `f64` operations evaluation would perform (so folding is bit-exact).
+/// Evaluation order is preserved: left operand ops precede right operand
+/// ops, which precede the operator — the interpreter's exact order.
+fn lower(
+    expr: &Expr,
+    slots: &[String],
+    params: &std::collections::BTreeMap<&str, f64>,
+    strides: &[i64],
+) -> Result<Frag, LangError> {
+    match expr {
+        Expr::Number(v) => Ok(Frag::konst(*v)),
+        Expr::Param(name) => params
+            .get(name.as_str())
+            .copied()
+            .map(Frag::konst)
+            .ok_or_else(|| LangError::eval(format!("unknown parameter `{name}`"))),
+        Expr::Access { grid, offset } => {
+            if offset.dim() != strides.len() {
+                return Err(LangError::eval(format!(
+                    "access to `{grid}` has {} index(es) but the grid is {}-dimensional",
+                    offset.dim(),
+                    strides.len()
+                )));
+            }
+            let slot = slot_of(slots, grid)? as u32;
+            let delta: i64 = (0..offset.dim())
+                .map(|d| offset.coord(d) * strides[d])
+                .sum();
+            Ok(Frag {
+                ops: vec![Op::Load { slot, delta }],
+                konst: None,
+            })
+        }
+        Expr::Unary(UnaryOp::Neg, e) => {
+            let mut inner = lower(e, slots, params, strides)?;
+            if let Some(v) = inner.konst {
+                return Ok(Frag::konst(-v));
+            }
+            inner.ops.push(Op::Neg);
+            Ok(inner)
+        }
+        Expr::Binary(op, a, b) => {
+            let fa = lower(a, slots, params, strides)?;
+            let fb = lower(b, slots, params, strides)?;
+            if let (Some(x), Some(y)) = (fa.konst, fb.konst) {
+                return Ok(Frag::konst(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                }));
+            }
+            let mut ops = fa.ops;
+            ops.extend(fb.ops);
+            ops.push(match op {
+                BinOp::Add => Op::Add,
+                BinOp::Sub => Op::Sub,
+                BinOp::Mul => Op::Mul,
+                BinOp::Div => Op::Div,
+            });
+            Ok(Frag { ops, konst: None })
+        }
+        Expr::Call(func, args) => {
+            let frags = args
+                .iter()
+                .map(|a| lower(a, slots, params, strides))
+                .collect::<Result<Vec<_>, _>>()?;
+            if frags.iter().all(|f| f.konst.is_some()) {
+                let vals: Vec<f64> = frags.iter().map(|f| f.konst.expect("all const")).collect();
+                return Ok(Frag::konst(match func {
+                    Func::Min => vals[0].min(vals[1]),
+                    Func::Max => vals[0].max(vals[1]),
+                    Func::Abs => vals[0].abs(),
+                    Func::Sqrt => vals[0].sqrt(),
+                }));
+            }
+            let mut ops = Vec::new();
+            for f in frags {
+                ops.extend(f.ops);
+            }
+            ops.push(match func {
+                Func::Min => Op::Min,
+                Func::Max => Op::Max,
+                Func::Abs => Op::Abs,
+                Func::Sqrt => Op::Sqrt,
+            });
+            Ok(Frag { ops, konst: None })
+        }
+    }
+}
+
+/// Maximum stack depth a tape reaches (every tape leaves exactly one value).
+fn stack_need(ops: &[Op]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for op in ops {
+        match op {
+            Op::Const(_) | Op::Load { .. } => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Min | Op::Max => depth -= 1,
+            Op::Neg | Op::Abs | Op::Sqrt => {}
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, Interpreter};
+    use stencilcl_grid::Point;
+
+    fn ramp(_: &str, p: &Point) -> f64 {
+        let mut v = 1.0;
+        for d in 0..p.dim() {
+            v = v * 13.0 + p.coord(d) as f64;
+        }
+        (v * 0.01).sin() + 0.002 * v
+    }
+
+    #[test]
+    fn constant_subexpressions_fold() {
+        let p = parse(
+            "stencil f { grid A[8] : f32; param c = 0.25; iterations 1;
+             A[i] = (2.0 * 3.0 + 1.0) * A[i] + (c + c) * A[i-1]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let tape = cp.kernel(0).tape();
+        // `2.0 * 3.0 + 1.0` folds to 7.0 and `c + c` to 0.5; only two loads
+        // and two constants survive.
+        assert!(tape.contains(&Op::Const(7.0)));
+        assert!(tape.contains(&Op::Const(0.5)));
+        let loads = tape.iter().filter(|o| matches!(o, Op::Load { .. })).count();
+        assert_eq!(loads, 2);
+        assert_eq!(tape.len(), 7); // 2 consts + 2 loads + 2 muls + 1 add
+    }
+
+    #[test]
+    fn slots_are_sorted_grid_names() {
+        let p = parse(
+            "stencil m { grid Z[6] : f32; grid A[6] : f32 read_only; iterations 1;
+             Z[i] = Z[i] + A[i]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        assert_eq!(cp.kernel(0).target(), "Z");
+        assert_eq!(cp.kernel(0).target_slot(), 1); // A=0, Z=1 in sorted order
+        let tape = cp.kernel(0).tape();
+        assert_eq!(
+            tape,
+            &[
+                Op::Load { slot: 1, delta: 0 },
+                Op::Load { slot: 0, delta: 0 },
+                Op::Add
+            ]
+        );
+    }
+
+    #[test]
+    fn neighbor_offsets_become_linear_deltas() {
+        let p = parse(
+            "stencil d { grid A[6][10] : f32; iterations 1;
+             A[i][j] = A[i-1][j] + A[i][j+1]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let tape = cp.kernel(0).tape();
+        // Row-major [6 x 10]: stride of i is 10, of j is 1.
+        assert_eq!(
+            tape[0],
+            Op::Load {
+                slot: 0,
+                delta: -10
+            }
+        );
+        assert_eq!(tape[1], Op::Load { slot: 0, delta: 1 });
+    }
+
+    #[test]
+    fn statement_domains_match_the_interpreter() {
+        let p = parse(
+            "stencil h { grid A[10][12] : f32; iterations 1;
+             A[i][j] = A[i-2][j] + A[i][j+1]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let interp = Interpreter::new(&p);
+        assert_eq!(cp.statement_domain(0), interp.statement_domain(0));
+    }
+
+    #[test]
+    fn bit_exact_with_interpreter_across_intrinsics() {
+        let p = parse(
+            "stencil x { grid A[7][9] : f32; param w = 0.3; iterations 3;
+             A[i][j] = max(min(A[i-1][j], A[i+1][j]), abs(A[i][j-1] - A[i][j+1]))
+                       + w * sqrt(abs(A[i][j])) - (-A[i][j]); }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let mut fast = GridState::new(&p, ramp);
+        cp.run(&mut fast, p.iterations).unwrap();
+        let mut slow = GridState::new(&p, ramp);
+        Interpreter::new(&p).run(&mut slow, p.iterations).unwrap();
+        assert_eq!(fast, slow); // bit-exact, not ≤ε
+    }
+
+    #[test]
+    fn unroll_factors_are_bit_exact() {
+        let p = parse(
+            "stencil u { grid A[9][11] : f32; iterations 2;
+             A[i][j] = 0.25 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }",
+        )
+        .unwrap();
+        let base = CompiledProgram::compile(&p).unwrap();
+        let mut expect = GridState::new(&p, ramp);
+        base.run(&mut expect, p.iterations).unwrap();
+        for u in [2usize, 3, 4, 8, 64] {
+            let cp = CompiledProgram::compile(&p).unwrap().with_unroll(u);
+            assert_eq!(cp.unroll(), u);
+            let mut got = GridState::new(&p, ramp);
+            cp.run(&mut got, p.iterations).unwrap();
+            assert_eq!(got, expect, "unroll {u} diverged");
+        }
+        assert_eq!(base.with_unroll(0).unroll(), 1);
+    }
+
+    #[test]
+    fn partial_domain_matches_interpreter() {
+        let p = parse(
+            "stencil pd { grid A[8][8] : f32; iterations 1;
+             A[i][j] = A[i][j] + 0.5 * A[i-1][j]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let interp = Interpreter::new(&p);
+        let domain = Rect::new(Point::new2(2, 1), Point::new2(6, 5)).unwrap();
+        let mut fast = GridState::new(&p, ramp);
+        cp.apply_statement(&mut fast, 0, &domain).unwrap();
+        let mut slow = GridState::new(&p, ramp);
+        interp.apply_statement(&mut slow, 0, &domain).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn views_reject_mismatched_extents() {
+        let p = parse("stencil v { grid A[8] : f32; iterations 1; A[i] = A[i]; }").unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let shrunk = p.with_extent(stencilcl_grid::Extent::new1(4));
+        let state = GridState::uniform(&shrunk, 0.0);
+        assert!(cp.views(&state).is_err());
+        assert!(cp.run(&mut GridState::uniform(&shrunk, 0.0), 1).is_err());
+    }
+
+    #[test]
+    fn eval_idx_matches_point_eval() {
+        let p = parse(
+            "stencil e { grid A[5][6] : f32; iterations 1;
+             A[i][j] = A[i-1][j] * 2.0 + A[i][j+1]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let interp = Interpreter::new(&p);
+        let state = GridState::new(&p, ramp);
+        let views = cp.views(&state).unwrap();
+        let mut stack = Vec::new();
+        let at = Point::new2(2, 3);
+        let idx = cp.extent().linearize(&at).unwrap();
+        let got = cp.eval_idx(0, &views, idx, &mut stack);
+        let want = interp.eval(&p.updates[0].rhs, &state, &at).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn stack_need_counts_deepest_nesting() {
+        let p = parse(
+            "stencil s { grid A[6] : f32; iterations 1;
+             A[i] = A[i] + (A[i-1] + (A[i+1] + A[i])); }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        assert_eq!(cp.kernel(0).stack_need(), 4);
+        assert_eq!(cp.statement_count(), 1);
+    }
+}

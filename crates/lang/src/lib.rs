@@ -45,6 +45,7 @@
 
 mod ast;
 mod check;
+mod compile;
 mod error;
 mod features;
 mod interp;
@@ -55,6 +56,7 @@ mod token;
 
 pub use ast::{BinOp, ElemType, Expr, Func, GridDecl, ParamDecl, Program, UnaryOp, UpdateStmt};
 pub use check::check;
+pub use compile::{CompiledKernel, CompiledProgram, Op};
 pub use error::LangError;
 pub use features::{OpCounts, StatementFeatures, StencilFeatures};
 pub use interp::{GridState, Interpreter};

@@ -85,5 +85,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!("\nfunctional validation (threaded pipes vs reference): max |diff| = {diff}");
     assert_eq!(diff, 0.0);
+
+    // 7. Every executor above ran on the default engine: each update
+    //    statement compiled once to a flat postfix bytecode tape (dense grid
+    //    slots, neighbor offsets folded to linear-index deltas) and executed
+    //    with branch-free row sweeps. Set STENCILCL_INTERPRET=1 to fall back
+    //    to the tree-walking AST interpreter — the differential-testing
+    //    oracle — and STENCILCL_UNROLL=<U> to pick the row-sweep unroll
+    //    factor. Both engines are bit-exact, as the compiled tape performs
+    //    the same f64 operations in the same order per cell:
+    let compiled = CompiledProgram::compile(&tiny)?;
+    println!(
+        "compiled `{}`: {} kernel tape(s), e.g. statement 0 = {} ops over {} grid slot(s)",
+        tiny.name,
+        compiled.statement_count(),
+        compiled.kernel(0).tape().len(),
+        compiled.slots().len(),
+    );
     Ok(())
 }
