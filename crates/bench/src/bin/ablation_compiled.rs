@@ -14,7 +14,7 @@
 
 use stencilcl_bench::runner::{exec_policy_from_env, time_compiled_ab, write_json, CompiledTiming};
 use stencilcl_bench::table::{ratio, Table};
-use stencilcl_exec::{run_pipe_shared, run_reference, run_threaded_with};
+use stencilcl_exec::{run_pipe_shared_opts, run_reference_opts, run_threaded_opts, ExecOptions};
 use stencilcl_grid::{Design, DesignKind, Extent, Partition};
 use stencilcl_lang::{programs, Program, StencilFeatures};
 
@@ -71,14 +71,15 @@ fn main() {
         let partition =
             Partition::new(features.extent, &design, &features.growth).expect("partition");
         let timings = [
-            time_compiled_ab(name, "reference", program, samples, |p, s| {
-                run_reference(p, s)
+            time_compiled_ab(name, "reference", program, samples, |p, s, engine| {
+                run_reference_opts(p, s, &ExecOptions::new().engine(engine))
             }),
-            time_compiled_ab(name, "pipe_shared", program, samples, |p, s| {
-                run_pipe_shared(p, &partition, s)
+            time_compiled_ab(name, "pipe_shared", program, samples, |p, s, engine| {
+                run_pipe_shared_opts(p, &partition, s, &ExecOptions::new().engine(engine))
             }),
-            time_compiled_ab(name, "threaded", program, samples, |p, s| {
-                run_threaded_with(p, &partition, s, &policy)
+            time_compiled_ab(name, "threaded", program, samples, |p, s, engine| {
+                let opts = ExecOptions::new().engine(engine).policy(policy.clone());
+                run_threaded_opts(p, &partition, s, &opts)
             }),
         ];
         for timing in timings {

@@ -18,6 +18,7 @@
 //! | `ablation_launch` | —         | launch-delay modeling (Figure 7's gap) |
 //! | `ablation_chaos`  | —         | supervised recovery under injected faults (needs `--features chaos`) |
 //! | `ablation_compiled` | —       | compiled bytecode kernels vs the AST interpreter (`BENCH_compiled.json`) |
+//! | `ablation_trace`  | Figure 7 analogue | measured telemetry vs model terms vs simulated schedule (`BENCH_trace.json`, Chrome traces) |
 //! | `motivation`      | Figure 1b | redundancy growth vs cone depth and dimension |
 //!
 //! The library half holds the shared pieces: [`paper`] (the numbers printed

@@ -2,19 +2,21 @@
 
 use std::fs;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use stencilcl::suite::BenchmarkSpec;
 use stencilcl::{Framework, FrameworkError, SynthesisReport};
 use stencilcl_exec::{
-    run_pipe_shared, run_reference, run_supervised, run_threaded_with, ExecError, ExecPolicy,
+    run_pipe_shared, run_reference, run_supervised, run_threaded_opts, run_threaded_with,
+    EngineKind, ExecError, ExecOptions, ExecPolicy, Recorder,
 };
 use stencilcl_grid::{Design, Partition, Point};
 use stencilcl_hls::ResourceUsage;
 use stencilcl_lang::{GridState, Program, StencilFeatures};
 use stencilcl_opt::{balance_tiles, evaluate, optimize_pair};
 use stencilcl_sim::{simulate, simulate_opts, Breakdown};
+use stencilcl_telemetry::{EnvConfig, MeasuredTrace};
 
 /// One reproduced Table 3 row, serializable for `results/table3.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -293,30 +295,13 @@ pub struct ExecTiming {
     pub supervised_ms: f64,
 }
 
-/// Reads a millisecond [`Duration`] override from the environment, keeping
-/// `default` when the variable is unset or unparseable.
-fn env_ms(var: &str, default: Duration) -> Duration {
-    std::env::var(var)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map_or(default, Duration::from_millis)
-}
-
-/// Builds the [`ExecPolicy`] for bench runs, starting from the defaults and
-/// applying environment overrides: `STENCILCL_WATCHDOG_MS`,
-/// `STENCILCL_DRAIN_MS`, and `STENCILCL_MAX_RETRIES`. Unset or malformed
-/// variables keep the defaults, so plain invocations need no setup.
+/// Builds the [`ExecPolicy`] for bench runs: the defaults with the
+/// parsed-once `STENCILCL_WATCHDOG_MS` / `STENCILCL_DRAIN_MS` /
+/// `STENCILCL_MAX_RETRIES` overrides applied (see
+/// `stencilcl_telemetry::EnvConfig`). Unset or malformed variables keep the
+/// defaults, so plain invocations need no setup.
 pub fn exec_policy_from_env() -> ExecPolicy {
-    let default = ExecPolicy::default();
-    ExecPolicy {
-        watchdog: env_ms("STENCILCL_WATCHDOG_MS", default.watchdog),
-        drain: env_ms("STENCILCL_DRAIN_MS", default.drain),
-        max_retries: std::env::var("STENCILCL_MAX_RETRIES")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(default.max_retries),
-        ..default
-    }
+    ExecPolicy::from_env()
 }
 
 fn median_ms(samples: &mut [f64]) -> f64 {
@@ -413,14 +398,11 @@ impl CompiledTiming {
     }
 }
 
-/// Times `run` in both engine modes by toggling `STENCILCL_INTERPRET`
-/// around it (interpreter first, then compiled, leaving the variable unset
-/// on return), with one untimed warm-up per mode whose final grid feeds the
-/// bit-exactness check. Only the executor call is inside the timer; state
-/// construction is not.
-///
-/// The engine choice is read once per run on the calling thread, so this
-/// helper is meant for single-threaded bench binaries, not parallel tests.
+/// Times `run` in both engine modes, passing the [`EngineKind`] explicitly
+/// (interpreter first, then compiled) — no process environment is mutated,
+/// so this helper is safe from parallel tests. One untimed warm-up per mode
+/// feeds the bit-exactness check; only the executor call is inside the
+/// timer, state construction is not.
 ///
 /// # Errors
 ///
@@ -430,7 +412,7 @@ pub fn time_compiled_ab(
     executor: &str,
     program: &Program,
     samples: usize,
-    mut run: impl FnMut(&Program, &mut GridState) -> Result<(), ExecError>,
+    mut run: impl FnMut(&Program, &mut GridState, EngineKind) -> Result<(), ExecError>,
 ) -> Result<CompiledTiming, ExecError> {
     if samples == 0 {
         return Err(ExecError::config("timing needs at least one sample"));
@@ -442,25 +424,20 @@ pub fn time_compiled_ab(
         }
         (v * 0.001).sin()
     };
-    let mut time_mode = |interpret: bool| -> Result<(f64, GridState), ExecError> {
-        if interpret {
-            std::env::set_var("STENCILCL_INTERPRET", "1");
-        } else {
-            std::env::remove_var("STENCILCL_INTERPRET");
-        }
+    let mut time_mode = |engine: EngineKind| -> Result<(f64, GridState), ExecError> {
         let mut result = GridState::new(program, init);
-        run(program, &mut result)?;
+        run(program, &mut result, engine)?;
         let mut times = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut s = GridState::new(program, init);
             let start = Instant::now();
-            run(program, &mut s)?;
+            run(program, &mut s, engine)?;
             times.push(start.elapsed().as_secs_f64() * 1e3);
         }
         Ok((median_ms(&mut times), result))
     };
-    let (interpreted_ms, a) = time_mode(true)?;
-    let (compiled_ms, b) = time_mode(false)?;
+    let (interpreted_ms, a) = time_mode(EngineKind::Interpreted)?;
+    let (compiled_ms, b) = time_mode(EngineKind::Compiled)?;
     Ok(CompiledTiming {
         name: name.to_string(),
         executor: executor.to_string(),
@@ -470,10 +447,112 @@ pub fn time_compiled_ab(
     })
 }
 
+/// One row of the telemetry ablation: the threaded executor timed with the
+/// disabled sink vs with a live recorder, plus the bit-exactness check
+/// between the two final grids (recording must never perturb results).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceTiming {
+    /// Benchmark display name.
+    pub name: String,
+    /// Median wall time with the zero-cost disabled sink.
+    pub plain_ms: f64,
+    /// Median wall time with a live recorder attached.
+    pub traced_ms: f64,
+    /// Maximum absolute difference between the two final grids (must be 0).
+    pub max_abs_diff: f64,
+    /// Spans the final recorded run captured.
+    pub spans: usize,
+    /// Spans lost to recorder slab exhaustion (0 in any healthy run).
+    pub dropped: u64,
+}
+
+impl TraceTiming {
+    /// Recording overhead as a fraction of the untraced median
+    /// (`traced/plain - 1`; the acceptance target is ≤ 0.05).
+    pub fn overhead(&self) -> f64 {
+        self.traced_ms / self.plain_ms - 1.0
+    }
+}
+
+/// A/B-times the threaded executor with recording off vs on and returns the
+/// timing row together with the last recorded [`MeasuredTrace`] (the
+/// calibration input). Each traced sample gets a fresh recorder so span
+/// counts reflect a single run.
+///
+/// # Errors
+///
+/// Propagates executor failures; `samples` must be at least 1.
+pub fn time_traced_ab(
+    name: &str,
+    program: &Program,
+    partition: &Partition,
+    samples: usize,
+    policy: &ExecPolicy,
+) -> Result<(TraceTiming, MeasuredTrace), ExecError> {
+    if samples == 0 {
+        return Err(ExecError::config("timing needs at least one sample"));
+    }
+    let init = |n: &str, p: &Point| {
+        let mut v = n.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    };
+    let plain_opts = ExecOptions::new().policy(policy.clone());
+    // Untimed warm-up per mode; final grids feed the bit-exactness check.
+    let mut plain_grid = GridState::new(program, init);
+    run_threaded_opts(program, partition, &mut plain_grid, &plain_opts)?;
+    let mut plain_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut s = GridState::new(program, init);
+        let start = Instant::now();
+        run_threaded_opts(program, partition, &mut s, &plain_opts)?;
+        plain_times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut traced_grid = GridState::new(program, init);
+    let mut traced_times = Vec::with_capacity(samples);
+    let mut trace = None;
+    for _ in 0..samples {
+        let rec = Recorder::new();
+        let opts = ExecOptions::new().policy(policy.clone()).trace(rec.clone());
+        let mut s = GridState::new(program, init);
+        let start = Instant::now();
+        run_threaded_opts(program, partition, &mut s, &opts)?;
+        traced_times.push(start.elapsed().as_secs_f64() * 1e3);
+        traced_grid = s;
+        trace = Some(rec.finish());
+    }
+    let trace = trace.expect("at least one traced sample");
+    let row = TraceTiming {
+        name: name.to_string(),
+        plain_ms: median_ms(&mut plain_times),
+        traced_ms: median_ms(&mut traced_times),
+        max_abs_diff: plain_grid.max_abs_diff(&traced_grid)?,
+        spans: trace.spans.len(),
+        dropped: trace.dropped,
+    };
+    Ok((row, trace))
+}
+
 /// Directory where experiment binaries drop their JSON
-/// (`$STENCILCL_RESULTS`, default `results/`).
+/// (`$STENCILCL_RESULTS`, default `results/`, parsed once per process).
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("STENCILCL_RESULTS").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+    EnvConfig::get().results_dir.clone()
+}
+
+/// Writes raw text (e.g. Chrome-tracing JSON) to `results_dir()/name`.
+///
+/// # Panics
+///
+/// Panics when the directory or file cannot be written (experiment binaries
+/// treat that as fatal).
+pub fn write_text(name: &str, contents: &str) {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write experiment artifact");
+    println!("\n[wrote {}]", path.display());
 }
 
 /// Serializes `value` to `results_dir()/name`.
@@ -550,10 +629,32 @@ mod tests {
         assert_eq!(policy.watchdog, default.watchdog);
         assert_eq!(policy.drain, default.drain);
         assert_eq!(policy.max_retries, default.max_retries);
-        assert_eq!(
-            env_ms("STENCILCL_NOT_SET", Duration::from_millis(7)).as_millis(),
-            7
-        );
+    }
+
+    #[test]
+    fn traced_ab_is_bit_exact_and_captures_phases() {
+        use stencilcl_grid::DesignKind;
+        use stencilcl_lang::programs;
+        let p = programs::jacobi_2d()
+            .with_extent(stencilcl_grid::Extent::new2(16, 16))
+            .with_iterations(4);
+        let f = StencilFeatures::extract(&p).unwrap();
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![4, 4]).unwrap();
+        let partition = Partition::new(f.extent, &d, &f.growth).unwrap();
+        let (row, trace) =
+            time_traced_ab("jacobi2d_16", &p, &partition, 2, &ExecPolicy::default()).unwrap();
+        assert_eq!(row.max_abs_diff, 0.0, "recording perturbed the grid");
+        assert_eq!(row.dropped, 0);
+        assert!(row.spans > 0);
+        trace.validate_spans().expect("well-formed spans");
+        for k in 0..4 {
+            let t = trace.phase_totals(k);
+            assert!(t.compute > 0.0, "kernel {k} recorded compute");
+            assert!(t.pipe_wait > 0.0, "kernel {k} recorded pipe waits");
+            assert!(t.barrier > 0.0, "kernel {k} recorded barrier idles");
+        }
+        assert!(trace.counters.cells_computed > 0);
+        assert_eq!(trace.counters.slabs_sent, trace.counters.slabs_received);
     }
 
     #[test]

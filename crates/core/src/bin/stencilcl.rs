@@ -16,6 +16,13 @@
 //! stencilcl validate <file.stencil> --fused N --parallelism KxK --tile WxW
 //!     Execute the pipe-shared and baseline architectures functionally and
 //!     compare them against the naive reference (use small inputs).
+//!
+//! stencilcl trace <file.stencil> --fused N --parallelism KxK --tile WxW
+//!                 [--out FILE.json]
+//!     Run the threaded executor with the lock-free recorder attached and
+//!     print the calibration report (measured phase totals vs the analytical
+//!     model's terms vs the simulated schedule) plus both Gantt charts;
+//!     `--out` additionally writes the Chrome-tracing JSON.
 //! ```
 
 use std::fmt::Write as _;
@@ -44,7 +51,8 @@ const USAGE: &str = "usage:
   stencilcl features <file.stencil>
   stencilcl synth    <file.stencil> [--parallelism 4x4] [--max-fused N] [--unroll 4,8] [--min-tile N] [--out DIR]
   stencilcl codegen  <file.stencil> --kind baseline|pipe|hetero --fused N --parallelism KxK --tile WxW [--out DIR]
-  stencilcl validate <file.stencil> --fused N --parallelism KxK --tile WxW";
+  stencilcl validate <file.stencil> --fused N --parallelism KxK --tile WxW
+  stencilcl trace    <file.stencil> --fused N --parallelism KxK --tile WxW [--out FILE.json]";
 
 fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -53,6 +61,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "synth" => synth(rest),
         "codegen" => codegen_cmd(rest),
         "validate" => validate(rest),
+        "trace" => trace_cmd(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -282,6 +291,59 @@ fn validate(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+fn trace_cmd(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let program = opts.program()?;
+    if program.extent().volume() > 1 << 22 {
+        return Err("input too large for host-side tracing; shrink the grid".into());
+    }
+    let (design, partition) = explicit_design(&opts, &program)?;
+    if design.kind() == DesignKind::Baseline {
+        return Err("trace drives the threaded executor; use --kind pipe or hetero".into());
+    }
+    let features = StencilFeatures::extract(&program).map_err(|e| e.to_string())?;
+
+    let rec = Recorder::new();
+    let mut state = GridState::new(&program, |name, p| {
+        let mut v = name.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    });
+    let exec_opts = ExecOptions::new().trace(rec.clone());
+    run_threaded_opts(&program, &partition, &mut state, &exec_opts).map_err(|e| e.to_string())?;
+    let measured = rec.finish();
+
+    let fw = Framework::new();
+    let point = stencilcl_opt::evaluate(&program, &features, design, &fw.device, &fw.cost, 1)
+        .map_err(|e| e.to_string())?;
+    let plans = stencilcl_sim::build_plans(&features, &partition);
+    let (_, sim_trace) =
+        stencilcl_sim::simulate_pass_traced(&plans, &point.hls.schedule(), &fw.device);
+    let report = CalibrationReport::build(
+        &features.name,
+        "threaded",
+        &measured,
+        Some(&sim_trace),
+        &point.prediction.terms(),
+        Some(point.prediction.total),
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.render());
+    let _ = writeln!(out, "measured schedule (wall clock):");
+    let _ = writeln!(out, "{}", measured.to_trace().gantt(100));
+    let _ = writeln!(out, "simulated schedule (device cycles):");
+    let _ = writeln!(out, "{}", sim_trace.gantt(100));
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, measured.chrome_trace_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "wrote Chrome-tracing JSON to {path}");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +415,20 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("EXACT"), "{out}");
+
+        let out = run(&[
+            "trace".into(),
+            path.clone(),
+            "--fused".into(),
+            "3".into(),
+            "--parallelism".into(),
+            "2x2".into(),
+            "--tile".into(),
+            "8x8".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("calibration:"), "{out}");
+        assert!(out.contains("measured schedule"), "{out}");
 
         let out = run(&[
             "codegen".into(),

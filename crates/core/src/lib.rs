@@ -52,8 +52,10 @@ pub use report::{DesignEval, SynthesisReport};
 pub mod prelude {
     pub use stencilcl_codegen::{generate, CodegenOptions, GeneratedCode};
     pub use stencilcl_exec::{
-        live_workers, run_overlapped, run_pipe_shared, run_reference, run_supervised, run_threaded,
-        run_threaded_with, verify_design, ExecMode, ExecPolicy, RecoveryPath, RunReport,
+        live_workers, run_overlapped, run_overlapped_opts, run_pipe_shared, run_pipe_shared_opts,
+        run_reference, run_reference_opts, run_supervised, run_supervised_opts, run_threaded,
+        run_threaded_opts, run_threaded_with, verify_design, EngineKind, ExecMode, ExecOptions,
+        ExecPolicy, RecoveryPath, RunReport,
     };
     pub use stencilcl_grid::{
         Cone, Design, DesignKind, Extent, Grid, Growth, Partition, Point, Rect,
@@ -70,6 +72,9 @@ pub mod prelude {
         OptimizedPair, SearchConfig,
     };
     pub use stencilcl_sim::{simulate, Breakdown, SimReport};
+    pub use stencilcl_telemetry::{
+        CalibrationReport, Counter, Disabled, EnvConfig, MeasuredTrace, Recorder, TraceSink,
+    };
 
     pub use crate::{Framework, FrameworkError, SynthesisReport};
 }

@@ -8,44 +8,25 @@
 //! [`Interpreter`]. Both are bit-exact: the compiled tape performs the same
 //! `f64` operations in the same order per cell.
 //!
-//! The choice is made **once per run** on the calling thread by reading the
-//! `STENCILCL_INTERPRET` environment variable (any non-empty value other
+//! The choice is made **once per run** on the calling thread — explicitly
+//! via [`crate::ExecOptions::engine`], or defaulted from the process-wide
+//! parsed-once config (`STENCILCL_INTERPRET`, any non-empty value other
 //! than `0` selects the interpreter); worker threads receive the decision
 //! as plain data, so no cross-thread environment reads occur mid-run.
 
 use stencilcl_grid::Rect;
 use stencilcl_lang::{CompiledProgram, GridState, Interpreter};
+use stencilcl_telemetry::EnvConfig;
 
 use crate::ExecError;
 
-/// Environment variable selecting the AST-interpreter escape hatch.
-pub(crate) const INTERPRET_ENV: &str = "STENCILCL_INTERPRET";
-
-/// Environment variable overriding the compiled row-sweep unroll factor
-/// (the paper's `U` knob); unset or unparsable means 1.
-pub(crate) const UNROLL_ENV: &str = "STENCILCL_UNROLL";
-
-/// Whether this run should evaluate through the AST interpreter.
-pub(crate) fn interpret_from_env() -> bool {
-    std::env::var(INTERPRET_ENV)
-        .map(|v| !v.is_empty() && v != "0")
-        .unwrap_or(false)
-}
-
-/// The compiled row-sweep unroll factor for this run.
-pub(crate) fn unroll_from_env() -> usize {
-    std::env::var(UNROLL_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&u| u > 0)
-        .unwrap_or(1)
-}
-
-/// Compiles `program` with the run's environment-selected unroll factor.
+/// Compiles `program` with the process-wide unroll factor
+/// (`STENCILCL_UNROLL`, parsed once; default 1).
 pub(crate) fn compile_with_env_unroll(
     program: &stencilcl_lang::Program,
 ) -> Result<CompiledProgram, ExecError> {
-    Ok(CompiledProgram::compile(program)?.with_unroll(unroll_from_env()))
+    let unroll = EnvConfig::get().unroll.unwrap_or(1);
+    Ok(CompiledProgram::compile(program)?.with_unroll(unroll))
 }
 
 /// One run's statement evaluator: compiled tape or AST interpreter.
@@ -57,7 +38,20 @@ pub(crate) enum Engine<'p> {
     Interpreted(Interpreter<'p>),
 }
 
-impl Engine<'_> {
+impl<'p> Engine<'p> {
+    /// Builds the evaluator `kind` asks for over one (region, kernel)'s
+    /// local program / pre-compiled bytecode.
+    pub fn build(
+        kind: crate::EngineKind,
+        local_program: &'p stencilcl_lang::Program,
+        compiled: &'p CompiledProgram,
+    ) -> Engine<'p> {
+        match kind {
+            crate::EngineKind::Compiled => Engine::Compiled(compiled),
+            crate::EngineKind::Interpreted => Engine::Interpreted(Interpreter::new(local_program)),
+        }
+    }
+
     /// Applies statement `s` over `domain` with snapshot semantics.
     pub fn apply_statement(
         &self,
@@ -102,16 +96,5 @@ mod tests {
             interpreted.apply_statement(&mut b, 0, &full).unwrap();
         }
         assert_eq!(a, b);
-    }
-
-    #[test]
-    fn env_parsing_rules() {
-        // Decision logic only — the variables themselves are read once per
-        // run by the executors.
-        let truthy = |v: &str| !v.is_empty() && v != "0";
-        assert!(truthy("1"));
-        assert!(truthy("yes"));
-        assert!(!truthy("0"));
-        assert!(!truthy(""));
     }
 }

@@ -47,6 +47,22 @@
 //! `STENCILCL_INTERPRET=1` switches the run back to the tree-walking AST
 //! interpreter (the differential-test oracle); `STENCILCL_UNROLL=<U>`
 //! selects the compiled row-sweep unroll factor. Both modes are bit-exact.
+//! Environment variables are only the outermost default: every executor has
+//! a `*_opts` variant taking an explicit [`ExecOptions`] (engine, policy,
+//! telemetry sink), and the `STENCILCL_*` knobs are parsed exactly once per
+//! process by `stencilcl_telemetry::EnvConfig`.
+//!
+//! # Observability
+//!
+//! Passing [`ExecOptions::trace`] a [`Recorder`] records per-(kernel,
+//! region) phase spans (launch, halo read, compute, pipe wait, write-back,
+//! barrier) and event counters (halo bytes, slabs sent/received, cells
+//! computed, pipe-stall nanoseconds, retries) from inside every executor,
+//! lock-free. The executors are generic over the [`TraceSink`], so the
+//! default untraced run monomorphizes against a zero-sized no-op sink and
+//! pays nothing. `STENCILCL_TRACE=1` arms recording for the env-default
+//! entry points; the `ablation_trace` bench bin and the CLI `trace`
+//! subcommand export Chrome-tracing JSON and calibration reports.
 //!
 //! # Limitations
 //!
@@ -84,6 +100,7 @@ mod domains;
 mod engine;
 mod error;
 mod faults;
+mod options;
 mod overlapped;
 mod pipeshare;
 mod pool;
@@ -98,12 +115,19 @@ pub use error::ExecError;
 pub use faults::FaultKind;
 #[cfg(feature = "fault-injection")]
 pub use faults::FaultPlan;
-pub use overlapped::run_overlapped;
-pub use pipeshare::run_pipe_shared;
-pub use reference::run_reference;
+pub use options::{EngineKind, ExecOptions};
+pub use overlapped::{run_overlapped, run_overlapped_opts};
+pub use pipeshare::{run_pipe_shared, run_pipe_shared_opts};
+pub use reference::{run_reference, run_reference_opts};
+pub use supervise::{
+    run_supervised, run_supervised_opts, Attempt, AttemptMode, ExecPolicy, RecoveryPath, RunReport,
+};
 #[cfg(feature = "fault-injection")]
-pub use supervise::run_supervised_injected;
-pub use supervise::{run_supervised, Attempt, AttemptMode, ExecPolicy, RecoveryPath, RunReport};
-pub use threaded::{live_workers, run_threaded, run_threaded_with};
+pub use supervise::{run_supervised_injected, run_supervised_injected_opts};
+pub use threaded::{live_workers, run_threaded, run_threaded_opts, run_threaded_with};
 pub use verify::{verify_design, ExecMode};
 pub use window::{copy_slab, extract_window, halo_ring, refresh_ring, write_back};
+
+// Telemetry vocabulary re-exported so executor callers need not depend on
+// the telemetry crate directly for the common case.
+pub use stencilcl_telemetry::{Counter, Disabled, MeasuredTrace, Recorder, TraceSink};

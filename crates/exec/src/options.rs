@@ -1,0 +1,129 @@
+//! Per-run executor options: engine selection, supervision policy, and the
+//! telemetry sink — all decided **at plan time**, before any worker spawns.
+//!
+//! Environment variables are only the outermost default (parsed once per
+//! process by `stencilcl_telemetry::EnvConfig`); anything driving executors
+//! programmatically — the bench A/B harness, tests, the CLI — passes an
+//! explicit [`ExecOptions`] instead of mutating process env.
+
+use stencilcl_telemetry::{EnvConfig, Recorder};
+
+use crate::supervise::ExecPolicy;
+
+/// Which statement evaluator a run uses. Both are bit-exact; see the
+/// crate-level docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Flat bytecode kernels compiled once per (region, kernel) — the
+    /// default.
+    #[default]
+    Compiled,
+    /// The tree-walking AST interpreter — the differential-test oracle.
+    Interpreted,
+}
+
+impl EngineKind {
+    /// The process default: [`EngineKind::Interpreted`] when
+    /// `STENCILCL_INTERPRET` is truthy (non-empty and not `"0"`), read once
+    /// per process.
+    pub fn from_env() -> EngineKind {
+        if EnvConfig::get().interpret {
+            EngineKind::Interpreted
+        } else {
+            EngineKind::Compiled
+        }
+    }
+}
+
+/// Everything an executor run can be configured with. Build with the
+/// chained setters:
+///
+/// ```
+/// use stencilcl_exec::{EngineKind, ExecOptions};
+/// use stencilcl_telemetry::Recorder;
+///
+/// let rec = Recorder::new();
+/// let opts = ExecOptions::new()
+///     .engine(EngineKind::Compiled)
+///     .trace(rec.clone());
+/// assert!(opts.trace.is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Statement evaluator ([`EngineKind::from_env`] default comes via
+    /// [`ExecOptions::from_env`]; plain `default()` is the compiled
+    /// engine).
+    pub engine: EngineKind,
+    /// Deadlines and retry limits for the threaded/supervised executors.
+    pub policy: ExecPolicy,
+    /// Telemetry sink: `Some(recorder)` records spans and counters into it;
+    /// `None` runs with the zero-cost disabled sink. The choice happens
+    /// here — at plan time — so the executors' hot loops monomorphize
+    /// against one sink type and pay nothing when tracing is off.
+    pub trace: Option<Recorder>,
+}
+
+impl ExecOptions {
+    /// Options with library defaults: compiled engine, default policy, no
+    /// tracing.
+    pub fn new() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Options seeded from the process environment (parsed once):
+    /// `STENCILCL_INTERPRET` selects the engine, `STENCILCL_WATCHDOG_MS` /
+    /// `STENCILCL_DRAIN_MS` / `STENCILCL_MAX_RETRIES` override the policy,
+    /// and `STENCILCL_TRACE` arms a fresh [`Recorder`].
+    pub fn from_env() -> ExecOptions {
+        ExecOptions {
+            engine: EngineKind::from_env(),
+            policy: ExecPolicy::from_env(),
+            trace: EnvConfig::get().trace.then(Recorder::new),
+        }
+    }
+
+    /// Replaces the engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> ExecOptions {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the supervision policy.
+    #[must_use]
+    pub fn policy(mut self, policy: ExecPolicy) -> ExecOptions {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms span/counter recording into `recorder` (keep a clone to call
+    /// `finish()` afterwards).
+    #[must_use]
+    pub fn trace(mut self, recorder: Recorder) -> ExecOptions {
+        self.trace = Some(recorder);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_compiled_untraced() {
+        let opts = ExecOptions::new();
+        assert_eq!(opts.engine, EngineKind::Compiled);
+        assert_eq!(opts.policy, ExecPolicy::default());
+        assert!(opts.trace.is_none());
+    }
+
+    #[test]
+    fn setters_chain() {
+        let rec = Recorder::with_capacity(4);
+        let opts = ExecOptions::new()
+            .engine(EngineKind::Interpreted)
+            .trace(rec);
+        assert_eq!(opts.engine, EngineKind::Interpreted);
+        assert!(opts.trace.is_some());
+    }
+}

@@ -1,8 +1,10 @@
 use stencilcl_grid::{DesignKind, Extent, Partition, Rect};
 use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+use stencilcl_telemetry::{Counter, Disabled, TracePhase, TraceSink};
 
 use crate::domains::DomainPlan;
-use crate::engine::{compile_with_env_unroll, interpret_from_env, Engine};
+use crate::engine::{compile_with_env_unroll, Engine};
+use crate::options::{EngineKind, ExecOptions};
 use crate::window::{extract_window, write_back};
 use crate::ExecError;
 
@@ -30,54 +32,106 @@ pub fn run_overlapped(
     partition: &Partition,
     state: &mut GridState,
 ) -> Result<(), ExecError> {
+    run_overlapped_opts(program, partition, state, &ExecOptions::from_env())
+}
+
+/// [`run_overlapped`] with explicit [`ExecOptions`]: engine choice and
+/// (optionally) a telemetry recorder. Tile rows in the trace are numbered in
+/// region-major tile order.
+///
+/// # Errors
+///
+/// Same conditions as [`run_overlapped`].
+pub fn run_overlapped_opts(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> Result<(), ExecError> {
     if partition.design().kind() != DesignKind::Baseline {
         return Err(ExecError::config(format!(
             "run_overlapped expects a baseline design, got {}",
             partition.design().kind()
         )));
     }
-    run_fused(program, partition, state)
+    match &opts.trace {
+        Some(rec) => run_fused(program, partition, state, opts.engine, &rec.clone()),
+        None => run_fused(program, partition, state, opts.engine, &Disabled),
+    }
 }
 
 /// Pass/region/tile driver for the overlapped executor. (The pipe executors
 /// no longer share this loop: they plan once per run and keep persistent
 /// windows — see `crate::pool`.)
-pub(crate) fn run_fused(
+pub(crate) fn run_fused<S: TraceSink>(
     program: &Program,
     partition: &Partition,
     state: &mut GridState,
+    engine_kind: EngineKind,
+    sink: &S,
 ) -> Result<(), ExecError> {
     let features = StencilFeatures::extract(program)?;
     let kind = partition.design().kind();
     let fused = partition.design().fused();
     let grid_rect = Rect::from_extent(&program.extent());
     let updated: Vec<&str> = program.updated_grids();
-    let interpret = interpret_from_env();
     let mut done = 0u64;
     while done < program.iterations {
         let h_eff = fused.min(program.iterations - done);
         let snapshot = state.clone();
         for region in partition.region_indices() {
-            for tile in partition.tiles_for_region(&region) {
+            for (k, tile) in partition.tiles_for_region(&region).into_iter().enumerate() {
                 let dp = DomainPlan::new(&features, &tile, kind, h_eff, &grid_rect)?;
                 let buffer = dp.buffer();
+                let read_t0 = sink.now();
                 let local_program = program.with_extent(window_extent(&buffer)?);
                 let mut local = extract_window(&snapshot, program, &local_program, &buffer)?;
+                if S::ACTIVE {
+                    sink.add(
+                        Counter::HaloBytes,
+                        buffer.volume()
+                            * std::mem::size_of::<f64>() as u64
+                            * local_program.grids.len() as u64,
+                    );
+                    sink.span(k, 0, TracePhase::Read, read_t0, sink.now());
+                }
                 let compiled;
-                let engine = if interpret {
-                    Engine::Interpreted(Interpreter::new(&local_program))
-                } else {
-                    compiled = compile_with_env_unroll(&local_program)?;
-                    Engine::Compiled(&compiled)
+                let engine = match engine_kind {
+                    EngineKind::Interpreted => {
+                        Engine::Interpreted(Interpreter::new(&local_program))
+                    }
+                    EngineKind::Compiled => {
+                        compiled = compile_with_env_unroll(&local_program)?;
+                        Engine::Compiled(&compiled)
+                    }
                 };
                 let origin = buffer.lo();
                 for i in 1..=h_eff {
+                    let compute_t0 = sink.now();
                     for s in 0..program.updates.len() {
                         let domain = dp.domain(i, s).translate(&-origin)?;
+                        if S::ACTIVE {
+                            sink.add(Counter::CellsComputed, domain.volume());
+                        }
                         engine.apply_statement(&mut local, s, &domain)?;
                     }
+                    if S::ACTIVE {
+                        sink.span(
+                            k,
+                            0,
+                            TracePhase::Compute {
+                                iteration: done + i,
+                            },
+                            compute_t0,
+                            sink.now(),
+                        );
+                    }
                 }
+                let write_t0 = sink.now();
                 write_back(state, &local, &updated, &origin, &tile.rect())?;
+                if S::ACTIVE {
+                    sink.span(k, 0, TracePhase::Write, write_t0, sink.now());
+                }
             }
         }
         done += h_eff;

@@ -1,7 +1,9 @@
 use stencilcl_grid::{Partition, Rect};
-use stencilcl_lang::{GridState, Interpreter, Program};
+use stencilcl_lang::{GridState, Program};
+use stencilcl_telemetry::{Counter, Disabled, TracePhase, TraceSink};
 
-use crate::engine::{interpret_from_env, Engine};
+use crate::engine::Engine;
+use crate::options::{EngineKind, ExecOptions};
 use crate::pool::{apply_statement_split, Edge, PipelinePlan, SplitScratch};
 use crate::window::{extract_window, refresh_ring, write_back};
 use crate::ExecError;
@@ -33,6 +35,39 @@ pub fn run_pipe_shared(
     partition: &Partition,
     state: &mut GridState,
 ) -> Result<(), ExecError> {
+    run_pipe_shared_opts(program, partition, state, &ExecOptions::from_env())
+}
+
+/// [`run_pipe_shared`] with explicit [`ExecOptions`]: engine choice and
+/// (optionally) a telemetry recorder. Because this executor is sequential,
+/// its trace shows the dataflow's logical order — slab splices appear as
+/// `Dependent` spans on the receiving kernel's row.
+///
+/// # Errors
+///
+/// Same conditions as [`run_pipe_shared`].
+pub fn run_pipe_shared_opts(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> Result<(), ExecError> {
+    match &opts.trace {
+        Some(rec) => pipe_shared_impl(program, partition, state, opts.engine, &rec.clone()),
+        None => pipe_shared_impl(program, partition, state, opts.engine, &Disabled),
+    }
+}
+
+/// The monomorphized body shared by [`run_pipe_shared_opts`] and the
+/// supervisor's sequential-fallback path (which must keep the failing run's
+/// engine and sink).
+pub(crate) fn pipe_shared_impl<S: TraceSink>(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    engine: EngineKind,
+    sink: &S,
+) -> Result<(), ExecError> {
     let plan = PipelinePlan::new(program, partition)?;
     if plan.depths.is_empty() {
         return Ok(());
@@ -51,18 +86,11 @@ pub fn run_pipe_shared(
     let mut locals: Vec<Vec<Option<GridState>>> =
         vec![(0..kernels).map(|_| None).collect(); region_count];
     // One engine per (region, kernel): the region's compiled bytecode by
-    // default, the AST interpreter when `STENCILCL_INTERPRET` asks for it.
-    let interpret = interpret_from_env();
+    // default, the AST interpreter in oracle mode.
     let engines: Vec<Vec<Engine<'_>>> = (0..region_count)
         .map(|r| {
             (0..kernels)
-                .map(|k| {
-                    if interpret {
-                        Engine::Interpreted(Interpreter::new(&plan.local_programs[r][k]))
-                    } else {
-                        Engine::Compiled(&plan.compiled[r][k])
-                    }
-                })
+                .map(|k| Engine::build(engine, &plan.local_programs[r][k], &plan.compiled[r][k]))
                 .collect()
         })
         .collect();
@@ -93,6 +121,7 @@ pub fn run_pipe_shared(
         let depth = &plan.depths[di];
         for r in 0..region_count {
             for (k, slot) in locals[r].iter_mut().enumerate() {
+                let read_t0 = sink.now();
                 match slot {
                     slot @ None => {
                         *slot = Some(extract_window(
@@ -101,14 +130,35 @@ pub fn run_pipe_shared(
                             &plan.local_programs[r][k],
                             &plan.windows[r][k],
                         )?);
+                        if S::ACTIVE {
+                            let cells: u64 = plan.windows[r][k].volume();
+                            sink.add(
+                                Counter::HaloBytes,
+                                cells
+                                    * std::mem::size_of::<f64>() as u64
+                                    * plan.local_programs[r][k].grids.len() as u64,
+                            );
+                        }
                     }
-                    Some(local) => refresh_ring(
-                        local,
-                        &cur,
-                        &plan.rings[r][k],
-                        &plan.windows[r][k].lo(),
-                        &updated,
-                    )?,
+                    Some(local) => {
+                        refresh_ring(
+                            local,
+                            &cur,
+                            &plan.rings[r][k],
+                            &plan.windows[r][k].lo(),
+                            &updated,
+                        )?;
+                        if S::ACTIVE {
+                            let cells: u64 = plan.rings[r][k].iter().map(Rect::volume).sum();
+                            sink.add(
+                                Counter::HaloBytes,
+                                cells * std::mem::size_of::<f64>() as u64 * updated.len() as u64,
+                            );
+                        }
+                    }
+                }
+                if S::ACTIVE {
+                    sink.span(k, r, TracePhase::Read, read_t0, sink.now());
                 }
             }
             let (out_edges, out_rects) = &routes[di][r];
@@ -121,6 +171,7 @@ pub fn run_pipe_shared(
                         let domain = depth.local_domain(r, k, i, s, plan.stmts);
                         let local = locals[r][k].as_mut().expect("window extracted");
                         let edges = &out_edges[k];
+                        let compute_t0 = sink.now();
                         apply_statement_split(
                             &engines[r][k],
                             local,
@@ -128,24 +179,57 @@ pub fn run_pipe_shared(
                             domain,
                             &out_rects[k],
                             &mut scratch,
+                            sink,
                             |e, values| {
+                                if S::ACTIVE {
+                                    sink.add(Counter::SlabsSent, 1);
+                                    sink.add(
+                                        Counter::HaloBytes,
+                                        (values.len() * std::mem::size_of::<f64>()) as u64,
+                                    );
+                                }
                                 slabs.push((edges[e].to, edges[e].overlap, values));
                                 Ok(())
                             },
                         )?;
+                        if S::ACTIVE {
+                            sink.span(
+                                k,
+                                r,
+                                TracePhase::Compute {
+                                    iteration: done + i,
+                                },
+                                compute_t0,
+                                sink.now(),
+                            );
+                        }
                     }
                     // ...then splice them all, in edge-discovery order (the
                     // same per-receiver order the threaded pool uses).
                     let target = &program.updates[s].target;
                     for (to, overlap, values) in slabs {
+                        let splice_t0 = sink.now();
                         let dst_rect = overlap.translate(&-plan.windows[r][to].lo())?;
                         let dst = locals[r][to].as_mut().expect("window extracted");
                         dst.grid_mut(target)?.write_window(&dst_rect, &values)?;
+                        if S::ACTIVE {
+                            sink.add(Counter::SlabsReceived, 1);
+                            sink.span(
+                                to,
+                                r,
+                                TracePhase::Dependent {
+                                    iteration: done + i,
+                                },
+                                splice_t0,
+                                sink.now(),
+                            );
+                        }
                     }
                 }
             }
             for (k, slot) in locals[r].iter().enumerate() {
                 let local = slot.as_ref().expect("window extracted");
+                let write_t0 = sink.now();
                 write_back(
                     &mut next,
                     local,
@@ -153,6 +237,9 @@ pub fn run_pipe_shared(
                     &plan.windows[r][k].lo(),
                     &plan.tiles[r][k],
                 )?;
+                if S::ACTIVE {
+                    sink.span(k, r, TracePhase::Write, write_t0, sink.now());
+                }
             }
         }
         std::mem::swap(&mut cur, &mut next);
@@ -284,5 +371,31 @@ mod tests {
             run_pipe_shared(&p, &partition, &mut s).unwrap_err(),
             ExecError::DiagonalAccess { .. }
         ));
+    }
+
+    #[test]
+    fn traced_run_is_bit_exact_and_produces_spans() {
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(4);
+        let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![6, 6]).unwrap();
+        let f = StencilFeatures::extract(&p).unwrap();
+        let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+        let mut plain = GridState::new(&p, init);
+        run_pipe_shared(&p, &partition, &mut plain).unwrap();
+        let rec = stencilcl_telemetry::Recorder::new();
+        let opts = ExecOptions::new().trace(rec.clone());
+        let mut traced = GridState::new(&p, init);
+        run_pipe_shared_opts(&p, &partition, &mut traced, &opts).unwrap();
+        assert_eq!(plain.max_abs_diff(&traced).unwrap(), 0.0);
+        let t = rec.finish();
+        assert_eq!(t.dropped, 0);
+        t.validate_spans()
+            .expect("sequential spans are well-formed");
+        assert!(t.counters.cells_computed > 0);
+        assert_eq!(t.counters.slabs_sent, t.counters.slabs_received);
+        for k in 0..4 {
+            assert!(t.phase_totals(k).compute > 0.0, "kernel {k} computed");
+        }
     }
 }

@@ -1,5 +1,6 @@
 use stencilcl_grid::{FaceKind, Partition, Rect};
 use stencilcl_lang::{CompiledProgram, GridState, Program, StencilFeatures};
+use stencilcl_telemetry::{Counter, TraceSink};
 
 use crate::domains::{reject_diagonals, DomainPlan};
 use crate::engine::{compile_with_env_unroll, Engine};
@@ -385,15 +386,20 @@ fn clipped_lin(clipped: &Rect, p: &stencilcl_grid::Point) -> usize {
 /// `outs[e]` is the local-coordinate source rect of outgoing slab `e`;
 /// `emit(e, values)` receives the post-statement values of the target array
 /// over that rect.
-pub(crate) fn apply_statement_split(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_statement_split<S: TraceSink>(
     engine: &Engine<'_>,
     local: &mut GridState,
     s: usize,
     clipped: &Rect,
     outs: &[Rect],
     scratch: &mut SplitScratch,
+    sink: &S,
     mut emit: impl FnMut(usize, Vec<f64>) -> Result<(), ExecError>,
 ) -> Result<(), ExecError> {
+    if S::ACTIVE {
+        sink.add(Counter::CellsComputed, clipped.volume());
+    }
     scratch.reset(clipped.volume() as usize);
     match engine {
         Engine::Interpreted(interp) => {

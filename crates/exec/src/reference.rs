@@ -1,6 +1,7 @@
 use stencilcl_lang::{GridState, Interpreter, Program};
 
-use crate::engine::{compile_with_env_unroll, interpret_from_env};
+use crate::engine::compile_with_env_unroll;
+use crate::options::{EngineKind, ExecOptions};
 use crate::ExecError;
 
 /// Runs the naive reference execution: `program.iterations` full-grid stencil
@@ -29,10 +30,23 @@ use crate::ExecError;
 /// # Ok::<(), stencilcl_exec::ExecError>(())
 /// ```
 pub fn run_reference(program: &Program, state: &mut GridState) -> Result<(), ExecError> {
-    if interpret_from_env() {
-        Interpreter::new(program).run(state, program.iterations)?;
-    } else {
-        compile_with_env_unroll(program)?.run(state, program.iterations)?;
+    run_reference_opts(program, state, &ExecOptions::from_env())
+}
+
+/// [`run_reference`] with an explicit engine choice (the reference loop has
+/// no pipes or workers, so only [`ExecOptions::engine`] matters here).
+///
+/// # Errors
+///
+/// Same conditions as [`run_reference`].
+pub fn run_reference_opts(
+    program: &Program,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> Result<(), ExecError> {
+    match opts.engine {
+        EngineKind::Interpreted => Interpreter::new(program).run(state, program.iterations)?,
+        EngineKind::Compiled => compile_with_env_unroll(program)?.run(state, program.iterations)?,
     }
     Ok(())
 }

@@ -25,8 +25,11 @@ use std::time::{Duration, Instant};
 
 use stencilcl_grid::Partition;
 use stencilcl_lang::{GridState, Program};
+use stencilcl_telemetry::{Counter, Disabled, EnvConfig, TraceSink};
 
 use crate::faults::FaultPlan;
+use crate::options::{EngineKind, ExecOptions};
+use crate::pipeshare::pipe_shared_impl;
 use crate::threaded::pool_run;
 use crate::ExecError;
 
@@ -96,6 +99,24 @@ impl ExecPolicy {
     /// [`Self::backoff_max`].
     pub fn backoff(&self, retry: u32) -> Duration {
         (self.backoff_base * (1u32 << retry.min(20))).min(self.backoff_max)
+    }
+
+    /// Defaults overridden by the process environment (parsed once):
+    /// `STENCILCL_WATCHDOG_MS`, `STENCILCL_DRAIN_MS`,
+    /// `STENCILCL_MAX_RETRIES`.
+    pub fn from_env() -> ExecPolicy {
+        let cfg = EnvConfig::get();
+        let mut policy = ExecPolicy::default();
+        if let Some(ms) = cfg.watchdog_ms {
+            policy.watchdog = Duration::from_millis(ms);
+        }
+        if let Some(ms) = cfg.drain_ms {
+            policy.drain = Duration::from_millis(ms);
+        }
+        if let Some(n) = cfg.max_retries {
+            policy.max_retries = n;
+        }
+        policy
     }
 }
 
@@ -198,13 +219,25 @@ pub fn run_supervised(
     state: &mut GridState,
     policy: &ExecPolicy,
 ) -> Result<RunReport, ExecError> {
-    supervised(
-        program,
-        partition,
-        state,
-        policy,
-        &Arc::new(FaultPlan::new()),
-    )
+    let opts = ExecOptions::from_env().policy(policy.clone());
+    run_supervised_opts(program, partition, state, &opts)
+}
+
+/// [`run_supervised`] with explicit [`ExecOptions`]: engine choice, policy,
+/// and (optionally) a telemetry recorder. Each checkpointed retry bumps the
+/// recorder's `retries` counter; the degradation path keeps the same engine
+/// and sink, so a traced run stays observable end to end.
+///
+/// # Errors
+///
+/// Same conditions as [`run_supervised`].
+pub fn run_supervised_opts(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> Result<RunReport, ExecError> {
+    dispatch(program, partition, state, opts, &Arc::new(FaultPlan::new()))
 }
 
 /// [`run_supervised`] with a deterministic [`FaultPlan`] injected into the
@@ -222,15 +255,66 @@ pub fn run_supervised_injected(
     policy: &ExecPolicy,
     faults: &Arc<FaultPlan>,
 ) -> Result<RunReport, ExecError> {
-    supervised(program, partition, state, policy, faults)
+    let opts = ExecOptions::from_env().policy(policy.clone());
+    dispatch(program, partition, state, &opts, faults)
 }
 
-fn supervised(
+/// [`run_supervised_injected`] with explicit [`ExecOptions`] — chaos tests
+/// that also record telemetry.
+///
+/// # Errors
+///
+/// Same conditions as [`run_supervised`].
+#[cfg(feature = "fault-injection")]
+pub fn run_supervised_injected_opts(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+    faults: &Arc<FaultPlan>,
+) -> Result<RunReport, ExecError> {
+    dispatch(program, partition, state, opts, faults)
+}
+
+/// Monomorphizes the supervision loop against the chosen sink.
+fn dispatch(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+    faults: &Arc<FaultPlan>,
+) -> Result<RunReport, ExecError> {
+    match &opts.trace {
+        Some(rec) => supervised(
+            program,
+            partition,
+            state,
+            &opts.policy,
+            faults,
+            opts.engine,
+            &rec.clone(),
+        ),
+        None => supervised(
+            program,
+            partition,
+            state,
+            &opts.policy,
+            faults,
+            opts.engine,
+            &Disabled,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn supervised<S: TraceSink>(
     program: &Program,
     partition: &Partition,
     state: &mut GridState,
     policy: &ExecPolicy,
     faults: &Arc<FaultPlan>,
+    engine: EngineKind,
+    sink: &S,
 ) -> Result<RunReport, ExecError> {
     let total = program.iterations;
     let mut attempts: Vec<Attempt> = Vec::new();
@@ -240,7 +324,9 @@ fn supervised(
     loop {
         let rest = program.with_iterations(total - done);
         let start = Instant::now();
-        match pool_run(&rest, partition, state, policy, faults, blocks) {
+        match pool_run(
+            &rest, partition, state, policy, faults, blocks, engine, sink,
+        ) {
             Ok(run) => {
                 attempts.push(Attempt {
                     mode: AttemptMode::Threaded,
@@ -279,10 +365,11 @@ fn supervised(
                         });
                     }
                     // Degrade: finish the remaining iterations sequentially
-                    // from the checkpoint. No pool, no pipes to wedge.
+                    // from the checkpoint, keeping the run's engine and
+                    // sink. No pool, no pipes to wedge.
                     let rest = program.with_iterations(total - done);
                     let start = Instant::now();
-                    crate::run_pipe_shared(&rest, partition, state)?;
+                    pipe_shared_impl(&rest, partition, state, engine, sink)?;
                     attempts.push(Attempt {
                         mode: AttemptMode::Sequential,
                         start_iteration: done,
@@ -297,6 +384,9 @@ fn supervised(
                     });
                 }
                 failures += 1;
+                if S::ACTIVE {
+                    sink.add(Counter::Retries, 1);
+                }
                 thread::sleep(policy.backoff(failures - 1));
             }
         }

@@ -7,10 +7,12 @@ use crossbeam::channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
 };
 use stencilcl_grid::{Partition, Rect};
-use stencilcl_lang::{GridState, Interpreter, Program};
+use stencilcl_lang::{GridState, Program};
+use stencilcl_telemetry::{Counter, Disabled, TracePhase, TraceSink};
 
-use crate::engine::{interpret_from_env, Engine};
+use crate::engine::Engine;
 use crate::faults::{FaultKind, FaultPlan};
+use crate::options::{EngineKind, ExecOptions};
 use crate::pool::{
     apply_statement_split, check_slab_step, PipelinePlan, Slab, SplitScratch, PIPE_CAPACITY,
 };
@@ -92,7 +94,7 @@ struct Route {
 }
 
 /// Everything a worker thread owns for the whole run.
-struct WorkerCtx {
+struct WorkerCtx<S: TraceSink> {
     kernel: usize,
     plan: Arc<PipelinePlan>,
     buffers: [Arc<RwLock<GridState>>; 2],
@@ -100,10 +102,11 @@ struct WorkerCtx {
     ins: Vec<PairEndpoint<Receiver<Slab>>>,
     token: CancelToken,
     faults: Arc<FaultPlan>,
-    /// Whether this run evaluates through the AST interpreter — decided
-    /// once on the main thread (`STENCILCL_INTERPRET`), handed to workers
-    /// as plain data.
-    interpret: bool,
+    /// Which evaluation engine this run uses — decided once on the main
+    /// thread at plan time, handed to workers as plain data.
+    engine: EngineKind,
+    /// Telemetry sink (a zero-sized no-op unless the run records a trace).
+    sink: S,
 }
 
 /// What one pool run accomplished before returning: completed (and
@@ -175,14 +178,48 @@ pub fn run_threaded_with(
     state: &mut GridState,
     policy: &ExecPolicy,
 ) -> Result<(), ExecError> {
-    match pool_run(
-        program,
-        partition,
-        state,
-        policy,
-        &Arc::new(FaultPlan::new()),
-        0,
-    ) {
+    let opts = ExecOptions::from_env().policy(policy.clone());
+    run_threaded_opts(program, partition, state, &opts)
+}
+
+/// [`run_threaded`] with explicit [`ExecOptions`]: engine choice, policy
+/// deadlines, and (optionally) a telemetry recorder. The sink is chosen here
+/// — at plan time — and the whole pool monomorphizes against it, so an
+/// untraced run pays nothing for the instrumentation.
+///
+/// # Errors
+///
+/// Same conditions as [`run_threaded`].
+pub fn run_threaded_opts(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> Result<(), ExecError> {
+    let faults = Arc::new(FaultPlan::new());
+    let result = match &opts.trace {
+        Some(rec) => pool_run(
+            program,
+            partition,
+            state,
+            &opts.policy,
+            &faults,
+            0,
+            opts.engine,
+            &rec.clone(),
+        ),
+        None => pool_run(
+            program,
+            partition,
+            state,
+            &opts.policy,
+            &faults,
+            0,
+            opts.engine,
+            &Disabled,
+        ),
+    };
+    match result {
         Ok(_) => Ok(()),
         Err((e, _)) => Err(e),
     }
@@ -199,13 +236,16 @@ pub fn run_threaded_with(
 /// `block_base` offsets the fused-block indices used as fault-injection
 /// triggers, so a supervised retry continues the global block numbering
 /// instead of restarting it.
-pub(crate) fn pool_run(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pool_run<S: TraceSink>(
     program: &Program,
     partition: &Partition,
     state: &mut GridState,
     policy: &ExecPolicy,
     faults: &Arc<FaultPlan>,
     block_base: u64,
+    engine: EngineKind,
+    sink: &S,
 ) -> Result<PoolRun, (ExecError, PoolRun)> {
     let plan = PipelinePlan::new(program, partition).map_err(|e| (e, PoolRun::empty()))?;
     if plan.depths.is_empty() {
@@ -213,7 +253,6 @@ pub(crate) fn pool_run(
     }
     let kernels = plan.tiles.first().map_or(0, Vec::len);
     let plan = Arc::new(plan);
-    let interpret = interpret_from_env();
     let token = CancelToken::default();
     let live = Arc::new(AtomicUsize::new(0));
 
@@ -247,7 +286,8 @@ pub(crate) fn pool_run(
             ins: k_ins,
             token: token.clone(),
             faults: Arc::clone(faults),
-            interpret,
+            engine,
+            sink: sink.clone(),
         };
         let done_tx = done_tx.clone();
         let guard = WorkerGuard::register(&live);
@@ -399,14 +439,29 @@ fn is_cascade(e: &ExecError) -> bool {
 }
 
 /// Sends one slab, re-checking the cancellation token every [`TICK`] while
-/// the pipe is full.
-fn pipe_send(tx: &Sender<Slab>, mut slab: Slab, token: &CancelToken) -> Result<(), ExecError> {
+/// the pipe is full. With an active sink, counts the slab and its payload
+/// bytes, plus the wall time spent blocked on a full pipe.
+fn pipe_send<S: TraceSink>(
+    tx: &Sender<Slab>,
+    mut slab: Slab,
+    token: &CancelToken,
+    sink: &S,
+) -> Result<(), ExecError> {
+    let bytes = (slab.values.len() * std::mem::size_of::<f64>()) as u64;
+    let t0 = sink.now();
     loop {
         if token.is_cancelled() {
             return Err(ExecError::Cancelled);
         }
         match tx.send_timeout(slab, TICK) {
-            Ok(()) => return Ok(()),
+            Ok(()) => {
+                if S::ACTIVE {
+                    sink.add(Counter::StallNs, sink.now().saturating_sub(t0));
+                    sink.add(Counter::SlabsSent, 1);
+                    sink.add(Counter::HaloBytes, bytes);
+                }
+                return Ok(());
+            }
             Err(SendTimeoutError::Timeout(s)) => slab = s,
             Err(SendTimeoutError::Disconnected(_)) => {
                 return Err(ExecError::config("pipe consumer hung up"))
@@ -416,14 +471,26 @@ fn pipe_send(tx: &Sender<Slab>, mut slab: Slab, token: &CancelToken) -> Result<(
 }
 
 /// Receives one slab, re-checking the cancellation token every [`TICK`]
-/// while the pipe is empty.
-fn pipe_recv(rx: &Receiver<Slab>, token: &CancelToken) -> Result<Slab, ExecError> {
+/// while the pipe is empty. With an active sink, counts the slab and the
+/// wall time spent blocked on an empty pipe.
+fn pipe_recv<S: TraceSink>(
+    rx: &Receiver<Slab>,
+    token: &CancelToken,
+    sink: &S,
+) -> Result<Slab, ExecError> {
+    let t0 = sink.now();
     loop {
         if token.is_cancelled() {
             return Err(ExecError::Cancelled);
         }
         match rx.recv_timeout(TICK) {
-            Ok(slab) => return Ok(slab),
+            Ok(slab) => {
+                if S::ACTIVE {
+                    sink.add(Counter::StallNs, sink.now().saturating_sub(t0));
+                    sink.add(Counter::SlabsReceived, 1);
+                }
+                return Ok(slab);
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
                 return Err(ExecError::config("pipe producer hung up"))
@@ -450,18 +517,22 @@ fn sleep_cancellable(token: &CancelToken, total: Duration) {
 /// and ends the worker; dropping its pipe endpoints unblocks any partners
 /// waiting on it. Every potentially-blocking operation observes the pool's
 /// cancellation token, so a teardown is never blocked on this thread.
-fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Done>) {
+fn worker_loop<S: TraceSink>(
+    ctx: &WorkerCtx<S>,
+    cmd_rx: &Receiver<Command>,
+    done_tx: &Sender<Done>,
+) {
     let kernel = ctx.kernel;
     let plan = &ctx.plan;
     let regions = plan.regions.len();
     let setup = || -> Result<(Vec<Engine<'_>>, Vec<Vec<Route>>), ExecError> {
         let engines = (0..regions)
             .map(|r| {
-                if ctx.interpret {
-                    Engine::Interpreted(Interpreter::new(&plan.local_programs[r][kernel]))
-                } else {
-                    Engine::Compiled(&plan.compiled[r][kernel])
-                }
+                Engine::build(
+                    ctx.engine,
+                    &plan.local_programs[r][kernel],
+                    &plan.compiled[r][kernel],
+                )
             })
             .collect();
         let missing = || ExecError::config("no pipe endpoint for a planned edge");
@@ -505,6 +576,15 @@ fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Don
     // Persistent local windows, one per region, alive across every block.
     let mut locals: Vec<Option<GridState>> = vec![None; regions];
     let mut scratch = SplitScratch::new();
+    // Idle accounting: from spawn until the first command this worker is in
+    // its Launch phase; between a block's done-report and the next command
+    // it sits at the fused-block Barrier. Flushed as a span at the moment
+    // each command arrives (same thread, so spans stay sequential).
+    let mut idle_since = if S::ACTIVE {
+        Some((ctx.sink.now(), TracePhase::Launch))
+    } else {
+        None
+    };
     while let Ok(Command::Pass {
         depth,
         step_base,
@@ -512,6 +592,9 @@ fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Don
         block,
     }) = cmd_rx.recv()
     {
+        if let Some((t0, phase)) = idle_since.take() {
+            ctx.sink.span(kernel, 0, phase, t0, ctx.sink.now());
+        }
         let mut corrupt_tags = false;
         match ctx.faults.fire(kernel, block) {
             None => {}
@@ -544,16 +627,24 @@ fn worker_loop(ctx: &WorkerCtx, cmd_rx: &Receiver<Command>, done_tx: &Sender<Don
             corrupt_tags,
         );
         let failed = result.is_err();
+        if S::ACTIVE {
+            idle_since = Some((ctx.sink.now(), TracePhase::Barrier));
+        }
         if done_tx.send((kernel, result)).is_err() || failed {
             return;
         }
+    }
+    // Command channel closed: flush the trailing barrier wait so the final
+    // teardown idle shows up in the trace.
+    if let Some((t0, phase)) = idle_since {
+        ctx.sink.span(kernel, 0, phase, t0, ctx.sink.now());
     }
 }
 
 /// One worker's share of one fused block, across all of its regions.
 #[allow(clippy::too_many_arguments)]
-fn run_pass(
-    ctx: &WorkerCtx,
+fn run_pass<S: TraceSink>(
+    ctx: &WorkerCtx<S>,
     engines: &[Engine<'_>],
     routes: &[Route],
     updated: &[&str],
@@ -565,6 +656,7 @@ fn run_pass(
     corrupt_tags: bool,
 ) -> Result<(), ExecError> {
     let kernel = ctx.kernel;
+    let sink = &ctx.sink;
     let plan = &ctx.plan;
     let dp = &plan.depths[depth];
     let cur = ctx.buffers[src]
@@ -573,11 +665,31 @@ fn run_pass(
     for r in 0..plan.regions.len() {
         let origin = plan.windows[r][kernel].lo();
         let lp = &plan.local_programs[r][kernel];
+        let read_t0 = sink.now();
         match &mut locals[r] {
             slot @ None => {
                 *slot = Some(extract_window(&cur, lp, lp, &plan.windows[r][kernel])?);
+                if S::ACTIVE {
+                    let cells: u64 = plan.windows[r][kernel].volume();
+                    sink.add(
+                        Counter::HaloBytes,
+                        cells * std::mem::size_of::<f64>() as u64 * lp.grids.len() as u64,
+                    );
+                }
             }
-            Some(local) => refresh_ring(local, &cur, &plan.rings[r][kernel], &origin, updated)?,
+            Some(local) => {
+                refresh_ring(local, &cur, &plan.rings[r][kernel], &origin, updated)?;
+                if S::ACTIVE {
+                    let cells: u64 = plan.rings[r][kernel].iter().map(Rect::volume).sum();
+                    sink.add(
+                        Counter::HaloBytes,
+                        cells * std::mem::size_of::<f64>() as u64 * updated.len() as u64,
+                    );
+                }
+            }
+        }
+        if S::ACTIVE {
+            sink.span(kernel, r, TracePhase::Read, read_t0, sink.now());
         }
         let local = locals[r].as_mut().expect("window extracted");
         let route = &routes[r];
@@ -585,33 +697,71 @@ fn run_pass(
             for s in 0..lp.updates.len() {
                 let domain = dp.local_domain(r, kernel, i, s, plan.stmts);
                 let step = (step_base + i, s);
+                let compute_t0 = sink.now();
                 // Produce first (boundary cells against the pristine
                 // pre-state), so downstream kernels are fed before we turn
                 // to the interior...
-                apply_statement_split(&engines[r], local, s, domain, &route.out_rects, scratch, {
-                    let out_chans = &route.out_chans;
-                    move |e, values| {
-                        pipe_send(
-                            &ctx.outs[out_chans[e]].1,
-                            Slab::tagged(step, values, corrupt_tags),
-                            &ctx.token,
-                        )
-                    }
-                })?;
+                apply_statement_split(
+                    &engines[r],
+                    local,
+                    s,
+                    domain,
+                    &route.out_rects,
+                    scratch,
+                    sink,
+                    {
+                        let out_chans = &route.out_chans;
+                        move |e, values| {
+                            pipe_send(
+                                &ctx.outs[out_chans[e]].1,
+                                Slab::tagged(step, values, corrupt_tags),
+                                &ctx.token,
+                                &ctx.sink,
+                            )
+                        }
+                    },
+                )?;
+                if S::ACTIVE {
+                    sink.span(
+                        kernel,
+                        r,
+                        TracePhase::Compute {
+                            iteration: step_base + i,
+                        },
+                        compute_t0,
+                        sink.now(),
+                    );
+                }
                 // ...then consume: splice the upstream slabs in, in the
                 // plan's edge order.
                 let target = &lp.updates[s].target;
+                let wait_t0 = sink.now();
                 for (chan, dst) in route.in_chans.iter().zip(&route.in_rects) {
-                    let slab = pipe_recv(&ctx.ins[*chan].1, &ctx.token)?;
+                    let slab = pipe_recv(&ctx.ins[*chan].1, &ctx.token, sink)?;
                     check_slab_step(kernel, slab.step, step)?;
                     local.grid_mut(target)?.write_window(dst, &slab.values)?;
                 }
+                if S::ACTIVE && !route.in_chans.is_empty() {
+                    sink.span(
+                        kernel,
+                        r,
+                        TracePhase::PipeWait {
+                            iteration: step_base + i,
+                        },
+                        wait_t0,
+                        sink.now(),
+                    );
+                }
             }
         }
+        let write_t0 = sink.now();
         let mut next = ctx.buffers[1 - src]
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         write_back(&mut next, local, updated, &origin, &plan.tiles[r][kernel])?;
+        if S::ACTIVE {
+            sink.span(kernel, r, TracePhase::Write, write_t0, sink.now());
+        }
     }
     Ok(())
 }
@@ -785,16 +935,19 @@ mod tests {
         let (tx, rx) = bounded::<Slab>(1);
         let token = CancelToken::default();
         token.cancel();
-        assert_eq!(pipe_recv(&rx, &token).unwrap_err(), ExecError::Cancelled);
+        assert_eq!(
+            pipe_recv(&rx, &token, &Disabled).unwrap_err(),
+            ExecError::Cancelled
+        );
         let slab = Slab::tagged((1, 0), vec![0.0], false);
         assert_eq!(
-            pipe_send(&tx, slab, &token).unwrap_err(),
+            pipe_send(&tx, slab, &token, &Disabled).unwrap_err(),
             ExecError::Cancelled
         );
         // Without cancellation, a hung-up partner is still classified.
         let fresh = CancelToken::default();
         drop(tx);
-        assert!(pipe_recv(&rx, &fresh)
+        assert!(pipe_recv(&rx, &fresh, &Disabled)
             .unwrap_err()
             .to_string()
             .contains("hung up"));

@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use stencilcl_exec::{
-    run_reference, run_supervised_injected, AttemptMode, ExecError, ExecPolicy, FaultKind,
-    FaultPlan, RecoveryPath,
+    run_reference, run_supervised_injected, run_supervised_injected_opts, AttemptMode, ExecError,
+    ExecOptions, ExecPolicy, FaultKind, FaultPlan, Recorder, RecoveryPath,
 };
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
 use stencilcl_lang::{programs, GridState, Program, StencilFeatures};
@@ -132,6 +132,43 @@ fn delayed_slab_below_the_watchdog_is_absorbed_without_recovery() {
     // 60 ms < 250 ms watchdog: the delay is ordinary pipeline jitter.
     assert_eq!(report.recoveries(), 0);
     assert_eq!(report.path, RecoveryPath::Threaded);
+}
+
+#[test]
+fn injected_delay_is_conserved_as_recorded_pipe_idle() {
+    // Pipe-stall conservation: a forced slab delay cannot vanish from the
+    // telemetry. The sleeping worker's neighbours wedge on their pipes for
+    // the duration, so the recorded idle time (PipeWait + Barrier spans
+    // plus blocked-send stall nanoseconds) must account for a substantial
+    // fraction of the injected delay.
+    let delay_ms = 120u64;
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(1, 1, FaultKind::DelayedSlab(delay_ms)));
+    let rec = Recorder::new();
+    let opts = ExecOptions::new().policy(chaos_policy()).trace(rec.clone());
+    let mut got = GridState::new(&p, init);
+    let report = run_supervised_injected_opts(&p, &partition, &mut got, &opts, &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(faults.fired(), 1);
+    // 120 ms < 250 ms watchdog: absorbed, no retry — the delay must show up
+    // in the trace, not in the recovery log.
+    assert_eq!(report.recoveries(), 0);
+    let trace = rec.finish();
+    trace.validate_spans().unwrap();
+    let idle_ns: f64 = (0..trace.kernels)
+        .map(|k| {
+            let t = trace.phase_totals(k);
+            t.pipe_wait + t.barrier
+        })
+        .sum::<f64>()
+        + trace.counters.stall_ns as f64;
+    let delay_ns = delay_ms as f64 * 1e6;
+    assert!(
+        idle_ns >= 0.6 * delay_ns,
+        "only {:.1} ms of recorded idle for a {delay_ms} ms injected delay",
+        idle_ns / 1e6
+    );
 }
 
 #[test]

@@ -26,6 +26,20 @@ pub struct Prediction {
     pub total: f64,
 }
 
+impl Prediction {
+    /// The per-region breakdown as `(term, cycles)` pairs, in the order the
+    /// terms appear in Eq. 3 — the model side of a telemetry
+    /// `CalibrationReport`.
+    pub fn terms(&self) -> [(&'static str, f64); 4] {
+        [
+            ("read", self.read),
+            ("write", self.write),
+            ("compute", self.compute),
+            ("launch", self.launch),
+        ]
+    }
+}
+
 /// Eq. 2 (corrected) — number of region passes:
 /// `N_region = ⌈H / h⌉ · ∏ W_d / region_volume`.
 pub fn region_count(m: &ModelInputs) -> f64 {
@@ -111,6 +125,15 @@ mod tests {
         let sum = p.read + p.write + p.compute + p.launch;
         assert!((p.per_region - sum).abs() < 1e-9);
         assert!((p.total - p.regions * p.per_region).abs() < 1e-6);
+    }
+
+    #[test]
+    fn terms_cover_the_per_region_breakdown() {
+        let p = predict(&synthetic(DesignKind::PipeShared, 4));
+        let sum: f64 = p.terms().iter().map(|(_, v)| v).sum();
+        assert!((p.per_region - sum).abs() < 1e-9);
+        let labels: Vec<&str> = p.terms().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["read", "write", "compute", "launch"]);
     }
 
     #[test]

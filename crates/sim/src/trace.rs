@@ -1,221 +1,6 @@
-use std::fmt::Write as _;
+//! The trace vocabulary now lives in `stencilcl-telemetry` so simulated
+//! (cycle) and measured (wall-clock) traces share one set of types; this
+//! module re-exports them so `stencilcl_sim::{Trace, TracePhase,
+//! TraceSpan}` keeps working.
 
-use serde::{Deserialize, Serialize};
-
-/// What a kernel is doing during a traced span — the phases of the paper's
-/// Figure 4 execution schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum TracePhase {
-    /// Waiting for the host runtime's (sequential) launch.
-    Launch,
-    /// Burst-reading the cone footprint from global memory.
-    Read,
-    /// Computing the independent group of a fused iteration.
-    Compute {
-        /// 1-based fused iteration.
-        iteration: u64,
-    },
-    /// Stalled waiting for neighbor boundary slabs.
-    PipeWait {
-        /// The fused iteration whose dependent group is blocked.
-        iteration: u64,
-    },
-    /// Computing the dependent group of a fused iteration.
-    Dependent {
-        /// 1-based fused iteration.
-        iteration: u64,
-    },
-    /// Burst-writing the tile back to global memory.
-    Write,
-    /// Idling at the region barrier.
-    Barrier,
-}
-
-impl TracePhase {
-    /// One-character glyph for the Gantt rendering.
-    pub fn glyph(self) -> char {
-        match self {
-            TracePhase::Launch => '.',
-            TracePhase::Read => 'r',
-            TracePhase::Compute { .. } => '#',
-            TracePhase::PipeWait { .. } => '~',
-            TracePhase::Dependent { .. } => '+',
-            TracePhase::Write => 'w',
-            TracePhase::Barrier => ' ',
-        }
-    }
-}
-
-/// One contiguous activity of one kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct TraceSpan {
-    /// Kernel id.
-    pub kernel: usize,
-    /// What the kernel was doing.
-    pub phase: TracePhase,
-    /// Span start in cycles.
-    pub start: f64,
-    /// Span end in cycles.
-    pub end: f64,
-}
-
-/// The full event trace of one simulated region pass, renderable as an ASCII
-/// Gantt chart — the executable version of the paper's Figure 4.
-///
-/// Produced by [`simulate_pass_traced`](crate::simulate_pass_traced).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Trace {
-    spans: Vec<TraceSpan>,
-    duration: f64,
-    kernels: usize,
-}
-
-impl Trace {
-    pub(crate) fn new(spans: Vec<TraceSpan>, duration: f64, kernels: usize) -> Trace {
-        Trace {
-            spans,
-            duration,
-            kernels,
-        }
-    }
-
-    /// All spans, ordered by kernel then time.
-    pub fn spans(&self) -> &[TraceSpan] {
-        &self.spans
-    }
-
-    /// Pass duration in cycles.
-    pub fn duration(&self) -> f64 {
-        self.duration
-    }
-
-    /// The spans of one kernel, in time order.
-    pub fn kernel_spans(&self, kernel: usize) -> impl Iterator<Item = &TraceSpan> {
-        self.spans.iter().filter(move |s| s.kernel == kernel)
-    }
-
-    /// Renders the pass as an ASCII Gantt chart, `width` characters wide.
-    ///
-    /// Legend: `.` launch wait, `r` read, `#` independent compute,
-    /// `~` pipe wait, `+` dependent compute, `w` write, space = barrier.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `width` is zero.
-    pub fn gantt(&self, width: usize) -> String {
-        assert!(width > 0, "gantt width must be positive");
-        let scale = self.duration / width as f64;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "one region pass, {:.0} cycles ({:.0} cycles/char)",
-            self.duration, scale
-        );
-        for k in 0..self.kernels {
-            let mut row = vec![' '; width];
-            for span in self.kernel_spans(k) {
-                let from = ((span.start / scale) as usize).min(width - 1);
-                let to = ((span.end / scale).ceil() as usize).clamp(from + 1, width);
-                for cell in &mut row[from..to] {
-                    *cell = span.phase.glyph();
-                }
-            }
-            let _ = writeln!(out, "k{k:<3}|{}|", row.into_iter().collect::<String>());
-        }
-        out.push_str("legend: .=launch r=read #=compute ~=pipe-wait +=dependent w=write\n");
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample() -> Trace {
-        Trace::new(
-            vec![
-                TraceSpan {
-                    kernel: 0,
-                    phase: TracePhase::Launch,
-                    start: 0.0,
-                    end: 10.0,
-                },
-                TraceSpan {
-                    kernel: 0,
-                    phase: TracePhase::Read,
-                    start: 10.0,
-                    end: 30.0,
-                },
-                TraceSpan {
-                    kernel: 0,
-                    phase: TracePhase::Compute { iteration: 1 },
-                    start: 30.0,
-                    end: 80.0,
-                },
-                TraceSpan {
-                    kernel: 0,
-                    phase: TracePhase::Write,
-                    start: 80.0,
-                    end: 100.0,
-                },
-                TraceSpan {
-                    kernel: 1,
-                    phase: TracePhase::Launch,
-                    start: 0.0,
-                    end: 20.0,
-                },
-                TraceSpan {
-                    kernel: 1,
-                    phase: TracePhase::PipeWait { iteration: 2 },
-                    start: 20.0,
-                    end: 100.0,
-                },
-            ],
-            100.0,
-            2,
-        )
-    }
-
-    #[test]
-    fn gantt_renders_one_row_per_kernel() {
-        let g = sample().gantt(50);
-        let rows: Vec<&str> = g.lines().filter(|l| l.starts_with('k')).collect();
-        assert_eq!(rows.len(), 2);
-        assert!(rows[0].contains('r') && rows[0].contains('#') && rows[0].contains('w'));
-        assert!(rows[1].contains('~'));
-        // Every row has the same width.
-        assert_eq!(rows[0].len(), rows[1].len());
-    }
-
-    #[test]
-    fn kernel_spans_filters() {
-        let t = sample();
-        assert_eq!(t.kernel_spans(0).count(), 4);
-        assert_eq!(t.kernel_spans(1).count(), 2);
-        assert_eq!(t.duration(), 100.0);
-    }
-
-    #[test]
-    fn glyphs_are_distinct() {
-        use std::collections::HashSet;
-        let glyphs: HashSet<char> = [
-            TracePhase::Launch,
-            TracePhase::Read,
-            TracePhase::Compute { iteration: 1 },
-            TracePhase::PipeWait { iteration: 1 },
-            TracePhase::Dependent { iteration: 1 },
-            TracePhase::Write,
-            TracePhase::Barrier,
-        ]
-        .iter()
-        .map(|p| p.glyph())
-        .collect();
-        assert_eq!(glyphs.len(), 7);
-    }
-
-    #[test]
-    #[should_panic(expected = "width")]
-    fn zero_width_panics() {
-        let _ = sample().gantt(0);
-    }
-}
+pub use stencilcl_telemetry::{Trace, TracePhase, TraceSpan};

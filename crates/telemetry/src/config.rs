@@ -1,0 +1,196 @@
+//! Parsed-once process configuration for every `STENCILCL_*` knob.
+//!
+//! The executors, bench harness, and CLI used to each read and re-parse
+//! their own environment variables, silently falling back on malformed
+//! values. This module parses the whole knob set exactly once per process,
+//! warns (one line to stderr, naming the variable and the rejected value)
+//! on anything malformed, and hands out a `&'static EnvConfig`. Callers
+//! that want explicit control (tests, the bench A/B harness) bypass env
+//! entirely by passing options structs downward — env is only the
+//! outermost default.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Every recognized environment knob, parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfig {
+    /// `STENCILCL_INTERPRET`: run the AST interpreter instead of compiled
+    /// bytecode kernels. Truthy = set, non-empty, and not `"0"`.
+    pub interpret: bool,
+    /// `STENCILCL_UNROLL`: compiled-kernel row unroll factor (1–16);
+    /// `None` lets the compiler pick.
+    pub unroll: Option<usize>,
+    /// `STENCILCL_WATCHDOG_MS`: supervised watchdog timeout override.
+    pub watchdog_ms: Option<u64>,
+    /// `STENCILCL_DRAIN_MS`: supervised drain window override.
+    pub drain_ms: Option<u64>,
+    /// `STENCILCL_MAX_RETRIES`: supervised retry budget override.
+    pub max_retries: Option<u32>,
+    /// `STENCILCL_RESULTS`: directory bench bins write artifacts under.
+    pub results_dir: PathBuf,
+    /// `STENCILCL_TRACE`: record telemetry spans (same truthy rule as
+    /// `interpret`).
+    pub trace: bool,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            interpret: false,
+            unroll: None,
+            watchdog_ms: None,
+            drain_ms: None,
+            max_retries: None,
+            results_dir: PathBuf::from("results"),
+            trace: false,
+        }
+    }
+}
+
+fn truthy(value: &str) -> bool {
+    !value.is_empty() && value != "0"
+}
+
+impl EnvConfig {
+    /// Parses the knob set through `lookup` (injectable for tests).
+    /// Returns the config plus one warning line per malformed value; each
+    /// warning names the variable and the rejected value, and the knob
+    /// falls back to its default.
+    pub fn parse(lookup: impl Fn(&str) -> Option<String>) -> (EnvConfig, Vec<String>) {
+        let mut cfg = EnvConfig::default();
+        let mut warnings = Vec::new();
+        if let Some(v) = lookup("STENCILCL_INTERPRET") {
+            cfg.interpret = truthy(v.trim());
+        }
+        if let Some(v) = lookup("STENCILCL_TRACE") {
+            cfg.trace = truthy(v.trim());
+        }
+        if let Some(v) = lookup("STENCILCL_UNROLL") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if (1..=16).contains(&n) => cfg.unroll = Some(n),
+                _ => warnings.push(format!(
+                    "STENCILCL_UNROLL: ignoring {v:?} (want an integer in 1..=16)"
+                )),
+            }
+        }
+        let mut ms = |var: &str, slot: &mut Option<u64>| {
+            if let Some(v) = lookup(var) {
+                match v.trim().parse::<u64>() {
+                    Ok(n) => *slot = Some(n),
+                    Err(_) => warnings.push(format!(
+                        "{var}: ignoring {v:?} (want milliseconds as an integer)"
+                    )),
+                }
+            }
+        };
+        ms("STENCILCL_WATCHDOG_MS", &mut cfg.watchdog_ms);
+        ms("STENCILCL_DRAIN_MS", &mut cfg.drain_ms);
+        if let Some(v) = lookup("STENCILCL_MAX_RETRIES") {
+            match v.trim().parse::<u32>() {
+                Ok(n) => cfg.max_retries = Some(n),
+                Err(_) => warnings.push(format!(
+                    "STENCILCL_MAX_RETRIES: ignoring {v:?} (want a non-negative integer)"
+                )),
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_RESULTS") {
+            if v.trim().is_empty() {
+                warnings.push("STENCILCL_RESULTS: ignoring empty value".to_string());
+            } else {
+                cfg.results_dir = PathBuf::from(v);
+            }
+        }
+        (cfg, warnings)
+    }
+
+    /// Parses from the process environment, emitting warnings to stderr.
+    pub fn from_env() -> EnvConfig {
+        let (cfg, warnings) = EnvConfig::parse(|var| std::env::var(var).ok());
+        for w in warnings {
+            eprintln!("[stencilcl] {w}");
+        }
+        cfg
+    }
+
+    /// The process-wide config, parsed on first use. Later changes to the
+    /// environment are deliberately not observed — pass options structs to
+    /// the executors instead of mutating env mid-process.
+    pub fn get() -> &'static EnvConfig {
+        static CONFIG: OnceLock<EnvConfig> = OnceLock::new();
+        CONFIG.get_or_init(EnvConfig::from_env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(pairs: &[(&str, &str)]) -> impl Fn(&str) -> Option<String> {
+        let map: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        move |var| map.get(var).cloned()
+    }
+
+    #[test]
+    fn unset_env_yields_defaults_without_warnings() {
+        let (cfg, warnings) = EnvConfig::parse(|_| None);
+        assert_eq!(cfg, EnvConfig::default());
+        assert!(warnings.is_empty());
+        assert!(!cfg.interpret);
+        assert_eq!(cfg.results_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn truthy_rule_matches_legacy_behavior() {
+        for (v, want) in [("1", true), ("yes", true), ("0", false), ("", false)] {
+            let (cfg, _) = EnvConfig::parse(env(&[("STENCILCL_INTERPRET", v)]));
+            assert_eq!(cfg.interpret, want, "STENCILCL_INTERPRET={v:?}");
+            let (cfg, _) = EnvConfig::parse(env(&[("STENCILCL_TRACE", v)]));
+            assert_eq!(cfg.trace, want, "STENCILCL_TRACE={v:?}");
+        }
+    }
+
+    #[test]
+    fn well_formed_values_parse() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_UNROLL", "8"),
+            ("STENCILCL_WATCHDOG_MS", "1500"),
+            ("STENCILCL_DRAIN_MS", "250"),
+            ("STENCILCL_MAX_RETRIES", "0"),
+            ("STENCILCL_RESULTS", "/tmp/out"),
+        ]));
+        assert!(warnings.is_empty());
+        assert_eq!(cfg.unroll, Some(8));
+        assert_eq!(cfg.watchdog_ms, Some(1500));
+        assert_eq!(cfg.drain_ms, Some(250));
+        assert_eq!(cfg.max_retries, Some(0));
+        assert_eq!(cfg.results_dir, PathBuf::from("/tmp/out"));
+    }
+
+    #[test]
+    fn malformed_values_warn_by_name_and_fall_back() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_UNROLL", "64"),
+            ("STENCILCL_WATCHDOG_MS", "soon"),
+            ("STENCILCL_MAX_RETRIES", "-1"),
+        ]));
+        assert_eq!(cfg.unroll, None);
+        assert_eq!(cfg.watchdog_ms, None);
+        assert_eq!(cfg.max_retries, None);
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings[0].contains("STENCILCL_UNROLL") && warnings[0].contains("64"));
+        assert!(warnings[1].contains("STENCILCL_WATCHDOG_MS") && warnings[1].contains("soon"));
+        assert!(warnings[2].contains("STENCILCL_MAX_RETRIES") && warnings[2].contains("-1"));
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[("STENCILCL_UNROLL", " 4 ")]));
+        assert!(warnings.is_empty());
+        assert_eq!(cfg.unroll, Some(4));
+    }
+}

@@ -1,0 +1,41 @@
+//! Runtime telemetry for the host executors: lock-free span recording,
+//! phase counters, trace exporters, and a measured-vs-predicted
+//! calibration loop.
+//!
+//! The paper validates its analytical model against measured accelerator
+//! behavior (Figure 7) and attributes the residual gap to sequential
+//! kernel launches (Section 5.6). This crate closes the same loop on the
+//! host side:
+//!
+//! - [`TracePhase`] / [`TraceSpan`] / [`Trace`] — the phase vocabulary and
+//!   renderable Gantt schedule, shared with `stencilcl-sim` (which
+//!   re-exports these types) so simulated and measured traces are directly
+//!   comparable.
+//! - [`TraceSink`] — the instrumentation trait executors are generic over.
+//!   [`Disabled`] is a zero-sized no-op (the hot loop pays nothing when
+//!   tracing is off); [`Recorder`] is a lock-free atomic-slab store safe
+//!   to feed from every worker thread.
+//! - [`MeasuredTrace`] — the snapshot a recorder yields: sorted spans,
+//!   [`CounterSnapshot`] totals, Chrome `chrome://tracing` JSON export,
+//!   and structural validation.
+//! - [`CalibrationReport`] — folds a measured trace into per-kernel
+//!   [`PhaseTotals`] and sets them against the simulator's schedule and
+//!   the analytical model's per-term breakdown (the repo's Figure 7
+//!   analogue).
+//! - [`EnvConfig`] — every `STENCILCL_*` knob parsed once, with stderr
+//!   warnings on malformed values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod config;
+mod phase;
+mod record;
+mod sink;
+
+pub use calibrate::{CalibrationReport, KernelCalibration, PhaseTotals};
+pub use config::EnvConfig;
+pub use phase::{Trace, TracePhase, TraceSpan};
+pub use record::{AnySink, CounterSnapshot, MeasuredSpan, MeasuredTrace, Recorder};
+pub use sink::{Counter, Disabled, TraceSink};

@@ -1,0 +1,128 @@
+//! The [`TraceSink`] abstraction: executors are generic over a sink so the
+//! disabled path monomorphizes to nothing.
+//!
+//! Instrumented code is written once against the trait; at plan time the
+//! caller picks either [`Disabled`] (a zero-sized type whose methods are
+//! empty — the optimizer deletes every call, including the `now()`
+//! timestamps guarding spans) or [`Recorder`](crate::Recorder) (a
+//! lock-free atomic-slab recorder). Because the choice is a generic
+//! parameter rather than a runtime branch, the fused inner loops pay
+//! nothing when tracing is off.
+
+use crate::phase::TracePhase;
+
+/// Monotonic event counters accumulated alongside spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Bytes copied while refreshing halo rings between regions.
+    HaloBytes,
+    /// Boundary slabs pushed into channels (pipe occupancy).
+    SlabsSent,
+    /// Boundary slabs drained from channels.
+    SlabsReceived,
+    /// Stencil cell updates applied (independent + dependent groups).
+    CellsComputed,
+    /// Wall-clock nanoseconds spent blocked on full/empty pipes.
+    StallNs,
+    /// Supervised retry attempts after transient faults.
+    Retries,
+}
+
+impl Counter {
+    /// All counters, in snapshot order.
+    pub const ALL: [Counter; 6] = [
+        Counter::HaloBytes,
+        Counter::SlabsSent,
+        Counter::SlabsReceived,
+        Counter::CellsComputed,
+        Counter::StallNs,
+        Counter::Retries,
+    ];
+
+    /// Stable index into counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Counter::HaloBytes => 0,
+            Counter::SlabsSent => 1,
+            Counter::SlabsReceived => 2,
+            Counter::CellsComputed => 3,
+            Counter::StallNs => 4,
+            Counter::Retries => 5,
+        }
+    }
+
+    /// Human/JSON label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::HaloBytes => "halo_bytes",
+            Counter::SlabsSent => "slabs_sent",
+            Counter::SlabsReceived => "slabs_received",
+            Counter::CellsComputed => "cells_computed",
+            Counter::StallNs => "stall_ns",
+            Counter::Retries => "retries",
+        }
+    }
+}
+
+/// Destination for measured spans and counters.
+///
+/// Implementations must be cheap to clone (they are handed to every worker
+/// thread) and safe to feed concurrently.
+pub trait TraceSink: Clone + Send + Sync + 'static {
+    /// Whether this sink records anything. Instrumentation may branch on
+    /// this constant to skip timestamp capture; the branch folds away at
+    /// monomorphization.
+    const ACTIVE: bool;
+
+    /// Nanoseconds since the sink's epoch (0 when disabled).
+    fn now(&self) -> u64;
+
+    /// Records one `[start_ns, end_ns)` span of `kernel` working on
+    /// `region`.
+    fn span(&self, kernel: usize, region: usize, phase: TracePhase, start_ns: u64, end_ns: u64);
+
+    /// Adds `n` to counter `c`.
+    fn add(&self, c: Counter, n: u64);
+}
+
+/// The no-op sink: zero-sized, every method empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Disabled;
+
+impl TraceSink for Disabled {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn now(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    fn span(&self, _kernel: usize, _region: usize, _phase: TracePhase, _start: u64, _end: u64) {}
+
+    #[inline(always)]
+    fn add(&self, _c: Counter, _n: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Disabled>(), 0);
+        const { assert!(!Disabled::ACTIVE) };
+        assert_eq!(Disabled.now(), 0);
+    }
+
+    #[test]
+    fn counter_indices_are_a_permutation() {
+        let mut seen = [false; Counter::ALL.len()];
+        for c in Counter::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(Counter::ALL[3].name(), "cells_computed");
+    }
+}

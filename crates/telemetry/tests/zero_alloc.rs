@@ -1,0 +1,77 @@
+//! The disabled sink is **zero-cost in allocations** and the live recorder
+//! is **allocation-free after construction** — both claims checked with a
+//! counting global allocator. This lives in its own integration-test binary
+//! so no concurrent test can allocate while the counters are being read.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stencilcl_telemetry::{Counter, Disabled, Recorder, TracePhase, TraceSink};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn disabled_sink_never_allocates_and_recorder_is_alloc_free_after_setup() {
+    // Everything that allocates happens up front.
+    assert_eq!(std::mem::size_of::<Disabled>(), 0);
+    let rec = Recorder::with_capacity(4096);
+
+    let disabled = allocations_during(|| {
+        for i in 0..10_000u64 {
+            let t0 = Disabled.now();
+            Disabled.span(
+                (i % 4) as usize,
+                0,
+                TracePhase::Compute { iteration: i },
+                t0,
+                Disabled.now(),
+            );
+            Disabled.add(Counter::CellsComputed, i);
+        }
+    });
+    assert_eq!(disabled, 0, "the disabled sink allocated on the hot path");
+
+    let recording = allocations_during(|| {
+        for i in 0..2_000u64 {
+            let t0 = rec.now();
+            rec.span(
+                (i % 4) as usize,
+                0,
+                TracePhase::Compute { iteration: i },
+                t0,
+                rec.now(),
+            );
+            rec.add(Counter::CellsComputed, i);
+        }
+    });
+    assert_eq!(
+        recording, 0,
+        "the recorder allocated on the hot path; spans must land in the \
+         pre-sized atomic slab"
+    );
+    assert_eq!(rec.recorded(), 2_000);
+    assert_eq!(rec.dropped(), 0);
+}
