@@ -23,6 +23,15 @@
 //!     print the calibration report (measured phase totals vs the analytical
 //!     model's terms vs the simulated schedule) plus both Gantt charts;
 //!     `--out` additionally writes the Chrome-tracing JSON.
+//!
+//! stencilcl run <file.stencil> --fused N --parallelism KxK --tile WxW
+//!               [--kind pipe|hetero] [--deadline-ms N] [--health-bound X]
+//!               [--health-stride N] [--integrity on|off] [--retries N]
+//!     Execute under full supervision: slab checksums at every pipe splice
+//!     (on by default), an optional numerical-health watchdog
+//!     (`--health-bound`), and an optional wall-clock deadline
+//!     (`--deadline-ms`). Prints the recovery report — attempts, faults,
+//!     degradation path — and exits nonzero if the run was aborted.
 //! ```
 
 use std::fmt::Write as _;
@@ -52,7 +61,10 @@ const USAGE: &str = "usage:
   stencilcl synth    <file.stencil> [--parallelism 4x4] [--max-fused N] [--unroll 4,8] [--min-tile N] [--out DIR]
   stencilcl codegen  <file.stencil> --kind baseline|pipe|hetero --fused N --parallelism KxK --tile WxW [--out DIR]
   stencilcl validate <file.stencil> --fused N --parallelism KxK --tile WxW
-  stencilcl trace    <file.stencil> --fused N --parallelism KxK --tile WxW [--out FILE.json]";
+  stencilcl trace    <file.stencil> --fused N --parallelism KxK --tile WxW [--out FILE.json]
+  stencilcl run      <file.stencil> --fused N --parallelism KxK --tile WxW [--kind pipe|hetero]
+                     [--deadline-ms N] [--health-bound X] [--health-stride N]
+                     [--integrity on|off] [--retries N]";
 
 fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -62,6 +74,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "codegen" => codegen_cmd(rest),
         "validate" => validate(rest),
         "trace" => trace_cmd(rest),
+        "run" => run_cmd(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -212,6 +225,11 @@ fn explicit_design(opts: &Opts, program: &Program) -> Result<(Design, Partition)
         .ok_or("--fused required")?
         .parse()
         .map_err(|_| "bad --fused")?;
+    if fused == 0 {
+        return Err("--fused 0 is not a design: at least one iteration must be \
+                    fused per pass (use --fused 1 for no temporal reuse)"
+            .into());
+    }
     let par = opts
         .dims("parallelism", dim)?
         .ok_or("--parallelism required")?;
@@ -344,6 +362,120 @@ fn trace_cmd(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+fn run_cmd(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let program = opts.program()?;
+    if program.extent().volume() > 1 << 22 {
+        return Err("input too large for host-side execution; shrink the grid".into());
+    }
+    let (design, partition) = explicit_design(&opts, &program)?;
+    if design.kind() == DesignKind::Baseline {
+        return Err("run drives the supervised pipe executors; use --kind pipe or hetero".into());
+    }
+
+    let mut policy = ExecPolicy::from_env();
+    if let Some(v) = opts.get("deadline-ms") {
+        let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms `{v}`"))?;
+        policy.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(v) = opts.get("retries") {
+        policy.max_retries = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+    }
+    let mut health = HealthPolicy::default();
+    if let Some(v) = opts.get("health-bound") {
+        health = match v {
+            "nan" | "non-finite" => HealthPolicy::non_finite(),
+            _ => {
+                let bound: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --health-bound `{v}` (number, or `nan`)"))?;
+                if bound.is_nan() || bound <= 0.0 {
+                    return Err(format!("--health-bound must be positive, got `{v}`"));
+                }
+                HealthPolicy::bounded(bound)
+            }
+        };
+    }
+    if let Some(v) = opts.get("health-stride") {
+        if !health.enabled() {
+            return Err("--health-stride needs --health-bound to arm the watchdog".into());
+        }
+        let stride: usize = v
+            .parse()
+            .map_err(|_| format!("bad --health-stride `{v}`"))?;
+        if stride == 0 {
+            return Err("--health-stride must be at least 1".into());
+        }
+        health = health.stride(stride);
+    }
+    let integrity = match opts.get("integrity").unwrap_or("on") {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => return Err(format!("bad --integrity `{other}` (on|off)")),
+    };
+    let exec_opts = ExecOptions::from_env()
+        .policy(policy)
+        .health(health)
+        .integrity(integrity);
+
+    let mut state = GridState::new(&program, |name, p| {
+        let mut v = name.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    });
+    let (report, result) = run_supervised_full(&program, &partition, &mut state, &exec_opts);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run `{}`: {} iterations on {} ({} kernels, fused {})",
+        program.name,
+        program.iterations,
+        design.kind(),
+        partition.kernel_count(),
+        design.fused(),
+    );
+    let guards = format!(
+        "integrity {}, health {:?} (stride {}), deadline {}",
+        if integrity { "on" } else { "off" },
+        exec_opts.health.mode,
+        exec_opts.health.stride,
+        exec_opts
+            .policy
+            .deadline
+            .map_or("none".to_string(), |d| format!("{} ms", d.as_millis())),
+    );
+    let _ = writeln!(out, "guards: {guards}");
+    for (i, a) in report.attempts.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "attempt {i}: {:?} from iteration {}, completed {}{}",
+            a.mode,
+            a.start_iteration,
+            a.iterations_completed,
+            a.fault
+                .as_ref()
+                .map_or(String::new(), |f| format!(" — fault: {f}")),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "path: {:?}, recoveries: {}, leaked workers: {}",
+        report.path,
+        report.recoveries(),
+        report.leaked_workers(),
+    );
+    match result {
+        Ok(()) => {
+            let _ = writeln!(out, "run completed");
+            Ok(out)
+        }
+        Err(e) => Err(format!("{out}run aborted: {e}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +517,81 @@ mod tests {
     fn unknown_command_reports_usage_error() {
         let args = vec!["fly".to_string()];
         assert!(run(&args).is_err());
+    }
+
+    fn stencil_args(cmd: &str, path: &str, extra: &[&str]) -> Vec<String> {
+        let mut v = vec![
+            cmd.into(),
+            path.into(),
+            "--fused".into(),
+            "3".into(),
+            "--parallelism".into(),
+            "2x2".into(),
+            "--tile".into(),
+            "8x8".into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    }
+
+    fn temp_stencil(name: &str) -> String {
+        let dir = std::env::temp_dir().join("stencilcl-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join(name);
+        std::fs::write(
+            &file,
+            "stencil blur { grid A[32][32] : f32; iterations 6;
+             A[i][j] = 0.5 * A[i][j] + 0.125 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }",
+        )
+        .unwrap();
+        file.to_string_lossy().to_string()
+    }
+
+    #[test]
+    fn fused_zero_is_rejected_with_a_diagnostic() {
+        let path = temp_stencil("fused0.stencil");
+        let mut args = stencil_args("validate", &path, &[]);
+        args[3] = "0".into();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("--fused 0"), "{err}");
+    }
+
+    #[test]
+    fn run_command_reports_the_guards_and_the_recovery_path() {
+        let path = temp_stencil("run.stencil");
+        let out = run(&stencil_args(
+            "run",
+            &path,
+            &["--health-bound", "1e6", "--deadline-ms", "60000"],
+        ))
+        .unwrap();
+        assert!(out.contains("integrity on"), "{out}");
+        assert!(out.contains("deadline 60000 ms"), "{out}");
+        assert!(out.contains("run completed"), "{out}");
+        assert!(out.contains("leaked workers: 0"), "{out}");
+    }
+
+    #[test]
+    fn run_command_surfaces_an_expired_deadline_as_an_error() {
+        let path = temp_stencil("deadline.stencil");
+        let err = run(&stencil_args("run", &path, &["--deadline-ms", "0"])).unwrap_err();
+        assert!(err.contains("run aborted"), "{err}");
+        assert!(err.contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn run_command_rejects_malformed_guard_flags() {
+        let path = temp_stencil("badflags.stencil");
+        for extra in [
+            &["--health-bound", "zero"][..],
+            &["--health-bound", "-4.0"][..],
+            &["--health-stride", "2"][..],
+            &["--integrity", "maybe"][..],
+            &["--deadline-ms", "fast"][..],
+        ] {
+            let err = run(&stencil_args("run", &path, extra)).unwrap_err();
+            assert!(err.contains("--"), "no flag named in: {err}");
+        }
     }
 
     #[test]

@@ -53,9 +53,10 @@ pub mod prelude {
     pub use stencilcl_codegen::{generate, CodegenOptions, GeneratedCode};
     pub use stencilcl_exec::{
         live_workers, run_overlapped, run_overlapped_opts, run_pipe_shared, run_pipe_shared_opts,
-        run_reference, run_reference_opts, run_supervised, run_supervised_opts, run_threaded,
-        run_threaded_opts, run_threaded_with, verify_design, EngineKind, ExecMode, ExecOptions,
-        ExecPolicy, RecoveryPath, RunReport,
+        run_reference, run_reference_opts, run_supervised, run_supervised_full,
+        run_supervised_opts, run_threaded, run_threaded_opts, run_threaded_with, verify_design,
+        EngineKind, ExecMode, ExecOptions, ExecPolicy, HealthMode, HealthPolicy, RecoveryPath,
+        RunReport,
     };
     pub use stencilcl_grid::{
         Cone, Design, DesignKind, Extent, Grid, Growth, Partition, Point, Rect,

@@ -49,6 +49,44 @@ pub enum ExecError {
         /// [`std::error::Error::source`]).
         last: Box<ExecError>,
     },
+    /// A boundary slab failed checksum or sequence verification at splice
+    /// time: the payload was corrupted somewhere between send and receive.
+    /// Classified transient — a deterministic recompute from the last
+    /// fused-block checkpoint repairs it.
+    SlabCorrupt {
+        /// Kernel id of the receiver that detected the mismatch.
+        kernel: usize,
+        /// The `(iteration, statement)` step tag the corrupt slab carried.
+        step: (u64, usize),
+    },
+    /// The numerical-health watchdog sampled a non-finite or out-of-bound
+    /// value at a fused-block barrier. Classified permanent — deterministic
+    /// recompute reproduces the same divergence, so the supervisor must not
+    /// burn retries on it. The output buffer keeps the last healthy
+    /// checkpoint.
+    NumericDivergence {
+        /// Kernel whose tile contains the divergent cell (0 for the
+        /// unpartitioned executors).
+        kernel: usize,
+        /// Number of iterations fully completed before the unhealthy
+        /// barrier (the divergence appeared in the following block).
+        iteration: u64,
+        /// Coordinates of the first divergent cell in scan order.
+        cell: Vec<i64>,
+        /// The offending value, for the diagnostic. NaN compares unequal,
+        /// so comparisons go through `to_bits`.
+        value: f64,
+    },
+    /// The wall-clock deadline from [`ExecPolicy::deadline`] elapsed before
+    /// the run finished. Checked cooperatively at fused-block barriers and
+    /// inside the pipe tick, so workers join instead of wedging. Classified
+    /// permanent — retrying cannot create more time.
+    ///
+    /// [`ExecPolicy::deadline`]: crate::ExecPolicy
+    DeadlineExceeded {
+        /// Iterations fully completed before the deadline fired.
+        completed: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -80,6 +118,33 @@ impl fmt::Display for ExecError {
                     f,
                     "supervised execution failed after {attempts} threaded \
                      attempt(s); last fault: {last}"
+                )
+            }
+            ExecError::SlabCorrupt { kernel, step } => {
+                write!(
+                    f,
+                    "slab integrity violation: kernel {kernel} received a slab \
+                     for iteration {} statement {} whose checksum or sequence \
+                     number does not match its payload",
+                    step.0, step.1
+                )
+            }
+            ExecError::NumericDivergence {
+                kernel,
+                iteration,
+                cell,
+                value,
+            } => {
+                write!(
+                    f,
+                    "numerical divergence: kernel {kernel} produced {value} at \
+                     cell {cell:?} after {iteration} completed iteration(s)"
+                )
+            }
+            ExecError::DeadlineExceeded { completed } => {
+                write!(
+                    f,
+                    "run deadline exceeded after {completed} completed iteration(s)"
                 )
             }
         }
@@ -151,5 +216,37 @@ mod tests {
         assert!(src.to_string().contains("stalled"));
         assert!(ExecError::Cancelled.to_string().contains("cancellation"));
         assert!(ExecError::Cancelled.source().is_none());
+    }
+
+    #[test]
+    fn integrity_errors_display_their_coordinates() {
+        use std::error::Error;
+        let c = ExecError::SlabCorrupt {
+            kernel: 2,
+            step: (5, 1),
+        };
+        let msg = c.to_string();
+        assert!(msg.contains("kernel 2"));
+        assert!(msg.contains("iteration 5"));
+        assert!(msg.contains("statement 1"));
+        assert!(c.source().is_none());
+
+        let d = ExecError::NumericDivergence {
+            kernel: 1,
+            iteration: 3,
+            cell: vec![4, 7],
+            value: f64::NAN,
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("kernel 1"));
+        assert!(msg.contains("[4, 7]"));
+        assert!(msg.contains("NaN"));
+        assert!(msg.contains("3 completed"));
+        assert!(d.source().is_none());
+
+        let t = ExecError::DeadlineExceeded { completed: 9 };
+        assert!(t.to_string().contains("deadline"));
+        assert!(t.to_string().contains('9'));
+        assert!(t.source().is_none());
     }
 }

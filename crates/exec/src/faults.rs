@@ -37,6 +37,13 @@ pub enum FaultKind {
     /// slab it emits during the block, tripping the receiving kernel's
     /// pipe-protocol check.
     CorruptStepTag,
+    /// The worker flips a payload bit in every slab it emits during the
+    /// block *after* sealing — the step tag stays valid, so only the
+    /// receiver's checksum verification
+    /// ([`ExecOptions::integrity`](crate::ExecOptions)) can catch it. With
+    /// integrity off this models exactly the silent data corruption the
+    /// checksum layer exists to stop.
+    CorruptPayload,
 }
 
 impl fmt::Display for FaultKind {
@@ -46,6 +53,7 @@ impl fmt::Display for FaultKind {
             FaultKind::PipeStall => f.write_str("pipe stall"),
             FaultKind::DelayedSlab(ms) => write!(f, "delayed slab ({ms} ms)"),
             FaultKind::CorruptStepTag => f.write_str("corrupted slab step tag"),
+            FaultKind::CorruptPayload => f.write_str("corrupted slab payload"),
         }
     }
 }
@@ -162,6 +170,10 @@ mod tests {
     fn fault_kinds_display() {
         assert_eq!(FaultKind::PipeStall.to_string(), "pipe stall");
         assert!(FaultKind::DelayedSlab(40).to_string().contains("40 ms"));
+        assert_eq!(
+            FaultKind::CorruptPayload.to_string(),
+            "corrupted slab payload"
+        );
     }
 
     #[cfg(feature = "fault-injection")]

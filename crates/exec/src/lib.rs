@@ -100,6 +100,7 @@ mod domains;
 mod engine;
 mod error;
 mod faults;
+mod integrity;
 mod options;
 mod overlapped;
 mod pipeshare;
@@ -115,15 +116,19 @@ pub use error::ExecError;
 pub use faults::FaultKind;
 #[cfg(feature = "fault-injection")]
 pub use faults::FaultPlan;
+pub use integrity::{HealthMode, HealthPolicy};
 pub use options::{EngineKind, ExecOptions};
 pub use overlapped::{run_overlapped, run_overlapped_opts};
 pub use pipeshare::{run_pipe_shared, run_pipe_shared_opts};
 pub use reference::{run_reference, run_reference_opts};
 pub use supervise::{
-    run_supervised, run_supervised_opts, Attempt, AttemptMode, ExecPolicy, RecoveryPath, RunReport,
+    run_supervised, run_supervised_full, run_supervised_opts, Attempt, AttemptMode, ExecPolicy,
+    RecoveryPath, RunReport,
 };
 #[cfg(feature = "fault-injection")]
-pub use supervise::{run_supervised_injected, run_supervised_injected_opts};
+pub use supervise::{
+    run_supervised_injected, run_supervised_injected_full, run_supervised_injected_opts,
+};
 pub use threaded::{live_workers, run_threaded, run_threaded_opts, run_threaded_with};
 pub use verify::{verify_design, ExecMode};
 pub use window::{copy_slab, extract_window, halo_ring, refresh_ring, write_back};

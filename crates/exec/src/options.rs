@@ -8,6 +8,7 @@
 
 use stencilcl_telemetry::{EnvConfig, Recorder};
 
+use crate::integrity::HealthPolicy;
 use crate::supervise::ExecPolicy;
 
 /// Which statement evaluator a run uses. Both are bit-exact; see the
@@ -61,6 +62,16 @@ pub struct ExecOptions {
     /// here — at plan time — so the executors' hot loops monomorphize
     /// against one sink type and pay nothing when tracing is off.
     pub trace: Option<Recorder>,
+    /// Numerical-health watchdog: scans the updated grids at every
+    /// fused-block barrier for NaN/Inf/out-of-bound values. Disarmed by
+    /// default.
+    pub health: HealthPolicy,
+    /// Seal every boundary slab with an FNV-1a checksum + sequence number
+    /// at send and verify at splice, turning silent payload corruption
+    /// into the retryable
+    /// [`ExecError::SlabCorrupt`](crate::ExecError::SlabCorrupt). Off by
+    /// default (zero cost when off — the checksum is never computed).
+    pub integrity: bool,
 }
 
 impl ExecOptions {
@@ -72,13 +83,26 @@ impl ExecOptions {
 
     /// Options seeded from the process environment (parsed once):
     /// `STENCILCL_INTERPRET` selects the engine, `STENCILCL_WATCHDOG_MS` /
-    /// `STENCILCL_DRAIN_MS` / `STENCILCL_MAX_RETRIES` override the policy,
-    /// and `STENCILCL_TRACE` arms a fresh [`Recorder`].
+    /// `STENCILCL_DRAIN_MS` / `STENCILCL_MAX_RETRIES` /
+    /// `STENCILCL_DEADLINE_MS` override the policy, `STENCILCL_TRACE` arms
+    /// a fresh [`Recorder`], `STENCILCL_HEALTH_BOUND` /
+    /// `STENCILCL_HEALTH_STRIDE` arm the health watchdog, and
+    /// `STENCILCL_INTEGRITY` arms slab checksums.
     pub fn from_env() -> ExecOptions {
+        let env = EnvConfig::get();
+        let mut health = match env.health_bound {
+            Some(bound) => HealthPolicy::bounded(bound),
+            None => HealthPolicy::default(),
+        };
+        if let Some(stride) = env.health_stride {
+            health = health.stride(stride);
+        }
         ExecOptions {
             engine: EngineKind::from_env(),
             policy: ExecPolicy::from_env(),
-            trace: EnvConfig::get().trace.then(Recorder::new),
+            trace: env.trace.then(Recorder::new),
+            health,
+            integrity: env.integrity,
         }
     }
 
@@ -103,6 +127,26 @@ impl ExecOptions {
         self.trace = Some(recorder);
         self
     }
+
+    /// Replaces the numerical-health policy.
+    #[must_use]
+    pub fn health(mut self, health: HealthPolicy) -> ExecOptions {
+        self.health = health;
+        self
+    }
+
+    /// Arms (or disarms) slab checksum sealing and verification.
+    #[must_use]
+    pub fn integrity(mut self, on: bool) -> ExecOptions {
+        self.integrity = on;
+        self
+    }
+
+    /// The run-limits envelope for one run, with the deadline clock
+    /// anchored at this call.
+    pub(crate) fn limits(&self) -> crate::integrity::RunLimits {
+        crate::integrity::RunLimits::start(self.policy.deadline, self.health, self.integrity)
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +159,20 @@ mod tests {
         assert_eq!(opts.engine, EngineKind::Compiled);
         assert_eq!(opts.policy, ExecPolicy::default());
         assert!(opts.trace.is_none());
+        assert!(!opts.health.enabled());
+        assert!(!opts.integrity);
+        assert!(!opts.limits().any_active());
+    }
+
+    #[test]
+    fn health_and_integrity_setters_chain() {
+        let opts = ExecOptions::new()
+            .health(HealthPolicy::bounded(1e9).stride(3))
+            .integrity(true);
+        assert!(opts.health.enabled());
+        assert_eq!(opts.health.stride, 3);
+        assert!(opts.integrity);
+        assert!(opts.limits().any_active());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use stencilcl_telemetry::{Counter, Disabled, TracePhase, TraceSink};
 
 use crate::domains::DomainPlan;
 use crate::engine::{compile_with_env_unroll, Engine};
+use crate::integrity::{scan_state, RunLimits};
 use crate::options::{EngineKind, ExecOptions};
 use crate::window::{extract_window, write_back};
 use crate::ExecError;
@@ -54,9 +55,10 @@ pub fn run_overlapped_opts(
             partition.design().kind()
         )));
     }
+    let limits = opts.limits();
     match &opts.trace {
-        Some(rec) => run_fused(program, partition, state, opts.engine, &rec.clone()),
-        None => run_fused(program, partition, state, opts.engine, &Disabled),
+        Some(rec) => run_fused(program, partition, state, opts.engine, limits, &rec.clone()),
+        None => run_fused(program, partition, state, opts.engine, limits, &Disabled),
     }
 }
 
@@ -68,6 +70,7 @@ pub(crate) fn run_fused<S: TraceSink>(
     partition: &Partition,
     state: &mut GridState,
     engine_kind: EngineKind,
+    limits: RunLimits,
     sink: &S,
 ) -> Result<(), ExecError> {
     let features = StencilFeatures::extract(program)?;
@@ -75,8 +78,22 @@ pub(crate) fn run_fused<S: TraceSink>(
     let fused = partition.design().fused();
     let grid_rect = Rect::from_extent(&program.extent());
     let updated: Vec<&str> = program.updated_grids();
+    let scanned: Vec<String> = updated.iter().map(|s| s.to_string()).collect();
+    // Tile index for attributing a health hit to its owning kernel (tiles
+    // are numbered in region-major order, matching the trace rows).
+    let tile_index: Vec<(usize, Rect)> = if limits.health.enabled() {
+        partition
+            .region_indices()
+            .flat_map(|region| partition.tiles_for_region(&region))
+            .enumerate()
+            .map(|(k, tile)| (k, tile.rect()))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut done = 0u64;
     while done < program.iterations {
+        limits.check_deadline(done)?;
         let h_eff = fused.min(program.iterations - done);
         let snapshot = state.clone();
         for region in partition.region_indices() {
@@ -132,6 +149,14 @@ pub(crate) fn run_fused<S: TraceSink>(
                 if S::ACTIVE {
                     sink.span(k, 0, TracePhase::Write, write_t0, sink.now());
                 }
+            }
+        }
+        // Health scan of the pass just written; on divergence roll back to
+        // the pass-start snapshot — the last healthy barrier.
+        if limits.health.enabled() {
+            if let Err(e) = scan_state(&limits.health, state, &scanned, &tile_index, done, sink) {
+                *state = snapshot;
+                return Err(e);
             }
         }
         done += h_eff;

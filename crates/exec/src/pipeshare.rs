@@ -3,6 +3,7 @@ use stencilcl_lang::{GridState, Program};
 use stencilcl_telemetry::{Counter, Disabled, TracePhase, TraceSink};
 
 use crate::engine::Engine;
+use crate::integrity::{scan_state, slab_checksum, verify_slab, RunLimits};
 use crate::options::{EngineKind, ExecOptions};
 use crate::pool::{apply_statement_split, Edge, PipelinePlan, SplitScratch};
 use crate::window::{extract_window, refresh_ring, write_back};
@@ -52,9 +53,10 @@ pub fn run_pipe_shared_opts(
     state: &mut GridState,
     opts: &ExecOptions,
 ) -> Result<(), ExecError> {
+    let limits = opts.limits();
     match &opts.trace {
-        Some(rec) => pipe_shared_impl(program, partition, state, opts.engine, &rec.clone()),
-        None => pipe_shared_impl(program, partition, state, opts.engine, &Disabled),
+        Some(rec) => pipe_shared_impl(program, partition, state, opts.engine, limits, &rec.clone()),
+        None => pipe_shared_impl(program, partition, state, opts.engine, limits, &Disabled),
     }
 }
 
@@ -66,6 +68,7 @@ pub(crate) fn pipe_shared_impl<S: TraceSink>(
     partition: &Partition,
     state: &mut GridState,
     engine: EngineKind,
+    limits: RunLimits,
     sink: &S,
 ) -> Result<(), ExecError> {
     let plan = PipelinePlan::new(program, partition)?;
@@ -114,8 +117,29 @@ pub(crate) fn pipe_shared_impl<S: TraceSink>(
         routes.push(per_region);
     }
 
+    // Tile index for attributing a health hit to its owning kernel.
+    let tile_index: Vec<(usize, Rect)> = if limits.health.enabled() {
+        let tiles = &plan.tiles;
+        (0..region_count)
+            .flat_map(|r| (0..kernels).map(move |k| (k, tiles[r][k])))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Global slab sequence counters: the sequential protocol emits and
+    // splices slabs in one deterministic order, so a single send/recv pair
+    // plays the role of the threaded pool's per-channel counters.
+    let mut send_seq = 0u64;
+    let mut recv_seq = 0u64;
+
     let mut done = 0u64;
     while done < plan.iterations {
+        if let Err(e) = limits.check_deadline(done) {
+            // `cur` is the last completed barrier — hand it back as the
+            // partial result the error's `completed` count describes.
+            *state = cur;
+            return Err(e);
+        }
         let h = plan.fused.min(plan.iterations - done);
         let di = plan.depth_index(h);
         let depth = &plan.depths[di];
@@ -188,7 +212,12 @@ pub(crate) fn pipe_shared_impl<S: TraceSink>(
                                         (values.len() * std::mem::size_of::<f64>()) as u64,
                                     );
                                 }
-                                slabs.push((edges[e].to, edges[e].overlap, values));
+                                let checksum = limits.integrity.then(|| {
+                                    let sum = slab_checksum(send_seq, (done + i, s), &values);
+                                    send_seq += 1;
+                                    sum
+                                });
+                                slabs.push((edges[e].to, edges[e].overlap, values, checksum));
                                 Ok(())
                             },
                         )?;
@@ -207,8 +236,18 @@ pub(crate) fn pipe_shared_impl<S: TraceSink>(
                     // ...then splice them all, in edge-discovery order (the
                     // same per-receiver order the threaded pool uses).
                     let target = &program.updates[s].target;
-                    for (to, overlap, values) in slabs {
+                    for (to, overlap, values, checksum) in slabs {
                         let splice_t0 = sink.now();
+                        if limits.integrity {
+                            let Some(sum) = checksum else {
+                                return Err(ExecError::SlabCorrupt {
+                                    kernel: to,
+                                    step: (done + i, s),
+                                });
+                            };
+                            verify_slab(to, recv_seq, (done + i, s), &values, sum, sink)?;
+                            recv_seq += 1;
+                        }
                         let dst_rect = overlap.translate(&-plan.windows[r][to].lo())?;
                         let dst = locals[r][to].as_mut().expect("window extracted");
                         dst.grid_mut(target)?.write_window(&dst_rect, &values)?;
@@ -243,6 +282,16 @@ pub(crate) fn pipe_shared_impl<S: TraceSink>(
             }
         }
         std::mem::swap(&mut cur, &mut next);
+        // Health scan of the block just committed into `cur`: after the
+        // swap `next` still holds the previous barrier, so a divergence
+        // hands back the last *healthy* checkpoint.
+        if limits.health.enabled() {
+            if let Err(e) = scan_state(&limits.health, &cur, &plan.updated, &tile_index, done, sink)
+            {
+                *state = next;
+                return Err(e);
+            }
+        }
         done += h;
     }
     *state = cur;

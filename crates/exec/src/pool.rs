@@ -18,10 +18,20 @@ pub(crate) const PIPE_CAPACITY: usize = 2;
 /// `(iteration, statement)` step for protocol checking. The iteration
 /// component counts from the start of the run (`done + i`), so reusing one
 /// channel across every fused block and region still detects skew.
+///
+/// With integrity on ([`ExecOptions::integrity`](crate::ExecOptions)),
+/// [`Slab::seal`] additionally stamps an FNV-1a-64 checksum over the
+/// payload bits, the step tag, and the channel's sequence number; the
+/// splice site recomputes it so a payload corrupted in flight surfaces as
+/// [`ExecError::SlabCorrupt`](crate::ExecError) instead of splicing
+/// silently into a neighbor's halo.
 #[derive(Debug)]
 pub(crate) struct Slab {
     pub step: (u64, usize),
     pub values: Vec<f64>,
+    /// `Some(fnv1a(seq, step, values))` when the run seals slabs; `None`
+    /// on the zero-overhead default path.
+    pub checksum: Option<u64>,
 }
 
 impl Slab {
@@ -35,7 +45,33 @@ impl Slab {
         } else {
             step
         };
-        Slab { step, values }
+        Slab {
+            step,
+            values,
+            checksum: None,
+        }
+    }
+
+    /// Seals the slab with the channel's send-side sequence number.
+    #[must_use]
+    pub fn seal(mut self, seq: u64) -> Slab {
+        self.checksum = Some(crate::integrity::slab_checksum(
+            seq,
+            self.step,
+            &self.values,
+        ));
+        self
+    }
+
+    /// Flips the lowest mantissa bit of the first payload value — the
+    /// `CorruptPayload` injected fault. Applied *after* [`Slab::seal`], so
+    /// the receiver's checksum recomputation must mismatch.
+    #[must_use]
+    pub fn corrupt_payload(mut self) -> Slab {
+        if let Some(v) = self.values.first_mut() {
+            *v = f64::from_bits(v.to_bits() ^ 1);
+        }
+        self
     }
 }
 
@@ -506,6 +542,25 @@ mod tests {
         assert_eq!(pass_depths(4, 3), vec![3]);
         assert_eq!(pass_depths(1, 5), vec![1]);
         assert!(pass_depths(4, 0).is_empty());
+    }
+
+    #[test]
+    fn sealed_slabs_detect_payload_corruption() {
+        use crate::integrity::slab_checksum;
+        let clean = Slab::tagged((2, 1), vec![1.5, -3.25], false).seal(9);
+        let sum = clean.checksum.expect("sealed");
+        assert_eq!(sum, slab_checksum(9, (2, 1), &clean.values));
+        let corrupt = Slab::tagged((2, 1), vec![1.5, -3.25], false)
+            .seal(9)
+            .corrupt_payload();
+        assert_eq!(corrupt.checksum, Some(sum), "seal happens before the flip");
+        assert_ne!(
+            slab_checksum(9, (2, 1), &corrupt.values),
+            sum,
+            "recomputation over the flipped payload must mismatch"
+        );
+        // An unsealed slab carries no checksum at all.
+        assert_eq!(Slab::tagged((2, 1), vec![0.0], false).checksum, None);
     }
 
     #[test]

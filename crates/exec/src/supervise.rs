@@ -28,6 +28,7 @@ use stencilcl_lang::{GridState, Program};
 use stencilcl_telemetry::{Counter, Disabled, EnvConfig, TraceSink};
 
 use crate::faults::FaultPlan;
+use crate::integrity::RunLimits;
 use crate::options::{EngineKind, ExecOptions};
 use crate::pipeshare::pipe_shared_impl;
 use crate::threaded::pool_run;
@@ -78,6 +79,13 @@ pub struct ExecPolicy {
     /// exhausted; when `false`, [`run_supervised`] returns
     /// [`ExecError::RetriesExhausted`](crate::ExecError) instead.
     pub sequential_fallback: bool,
+    /// Wall-clock budget for the whole run, shared across supervised
+    /// retries (the clock starts once, before the first attempt). Checked
+    /// cooperatively at fused-block barriers and inside the pipe tick;
+    /// when it elapses the run fails with the permanent
+    /// [`ExecError::DeadlineExceeded`](crate::ExecError) carrying the
+    /// completed-iteration count. `None` (the default) means unbounded.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ExecPolicy {
@@ -90,6 +98,7 @@ impl Default for ExecPolicy {
             backoff_base: Duration::from_millis(25),
             backoff_max: Duration::from_secs(1),
             sequential_fallback: true,
+            deadline: None,
         }
     }
 }
@@ -103,7 +112,7 @@ impl ExecPolicy {
 
     /// Defaults overridden by the process environment (parsed once):
     /// `STENCILCL_WATCHDOG_MS`, `STENCILCL_DRAIN_MS`,
-    /// `STENCILCL_MAX_RETRIES`.
+    /// `STENCILCL_MAX_RETRIES`, `STENCILCL_DEADLINE_MS`.
     pub fn from_env() -> ExecPolicy {
         let cfg = EnvConfig::get();
         let mut policy = ExecPolicy::default();
@@ -115,6 +124,9 @@ impl ExecPolicy {
         }
         if let Some(n) = cfg.max_retries {
             policy.max_retries = n;
+        }
+        if let Some(ms) = cfg.deadline_ms {
+            policy.deadline = Some(Duration::from_millis(ms));
         }
         policy
     }
@@ -223,6 +235,20 @@ pub fn run_supervised(
     run_supervised_opts(program, partition, state, &opts)
 }
 
+/// [`run_supervised_opts`] that always returns the [`RunReport`], even when
+/// the run fails: the report's attempts record how far the run got and what
+/// ended it (e.g. the last healthy checkpoint preserved in `state` after a
+/// [`ExecError::NumericDivergence`](crate::ExecError) abort, or the
+/// progress made before [`ExecError::DeadlineExceeded`](crate::ExecError)).
+pub fn run_supervised_full(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> (RunReport, Result<(), ExecError>) {
+    dispatch(program, partition, state, opts, &Arc::new(FaultPlan::new()))
+}
+
 /// [`run_supervised`] with explicit [`ExecOptions`]: engine choice, policy,
 /// and (optionally) a telemetry recorder. Each checkpointed retry bumps the
 /// recorder's `retries` counter; the degradation path keeps the same engine
@@ -237,7 +263,8 @@ pub fn run_supervised_opts(
     state: &mut GridState,
     opts: &ExecOptions,
 ) -> Result<RunReport, ExecError> {
-    dispatch(program, partition, state, opts, &Arc::new(FaultPlan::new()))
+    let (report, result) = run_supervised_full(program, partition, state, opts);
+    result.map(|()| report)
 }
 
 /// [`run_supervised`] with a deterministic [`FaultPlan`] injected into the
@@ -256,7 +283,22 @@ pub fn run_supervised_injected(
     faults: &Arc<FaultPlan>,
 ) -> Result<RunReport, ExecError> {
     let opts = ExecOptions::from_env().policy(policy.clone());
-    dispatch(program, partition, state, &opts, faults)
+    let (report, result) = dispatch(program, partition, state, &opts, faults);
+    result.map(|()| report)
+}
+
+/// [`run_supervised_injected`] that always returns the [`RunReport`] —
+/// chaos tests asserting on the attempt history of *failed* runs (aborted
+/// deadlines, permanent divergence) use this entry point.
+#[cfg(feature = "fault-injection")]
+pub fn run_supervised_injected_full(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+    faults: &Arc<FaultPlan>,
+) -> (RunReport, Result<(), ExecError>) {
+    dispatch(program, partition, state, opts, faults)
 }
 
 /// [`run_supervised_injected`] with explicit [`ExecOptions`] — chaos tests
@@ -273,17 +315,21 @@ pub fn run_supervised_injected_opts(
     opts: &ExecOptions,
     faults: &Arc<FaultPlan>,
 ) -> Result<RunReport, ExecError> {
-    dispatch(program, partition, state, opts, faults)
+    let (report, result) = dispatch(program, partition, state, opts, faults);
+    result.map(|()| report)
 }
 
-/// Monomorphizes the supervision loop against the chosen sink.
+/// Monomorphizes the supervision loop against the chosen sink. The run's
+/// integrity envelope (deadline clock, health policy, checksum switch) is
+/// anchored here, once, so every retry shares the same wall-clock budget.
 fn dispatch(
     program: &Program,
     partition: &Partition,
     state: &mut GridState,
     opts: &ExecOptions,
     faults: &Arc<FaultPlan>,
-) -> Result<RunReport, ExecError> {
+) -> (RunReport, Result<(), ExecError>) {
+    let limits = opts.limits();
     match &opts.trace {
         Some(rec) => supervised(
             program,
@@ -292,6 +338,7 @@ fn dispatch(
             &opts.policy,
             faults,
             opts.engine,
+            limits,
             &rec.clone(),
         ),
         None => supervised(
@@ -301,6 +348,7 @@ fn dispatch(
             &opts.policy,
             faults,
             opts.engine,
+            limits,
             &Disabled,
         ),
     }
@@ -314,8 +362,9 @@ fn supervised<S: TraceSink>(
     policy: &ExecPolicy,
     faults: &Arc<FaultPlan>,
     engine: EngineKind,
+    limits: RunLimits,
     sink: &S,
-) -> Result<RunReport, ExecError> {
+) -> (RunReport, Result<(), ExecError>) {
     let total = program.iterations;
     let mut attempts: Vec<Attempt> = Vec::new();
     let mut done = 0u64; // iterations completed and checkpointed in `state`
@@ -325,7 +374,7 @@ fn supervised<S: TraceSink>(
         let rest = program.with_iterations(total - done);
         let start = Instant::now();
         match pool_run(
-            &rest, partition, state, policy, faults, blocks, engine, sink,
+            &rest, partition, state, policy, faults, blocks, engine, limits, sink,
         ) {
             Ok(run) => {
                 attempts.push(Attempt {
@@ -341,9 +390,12 @@ fn supervised<S: TraceSink>(
                 } else {
                     RecoveryPath::Retried
                 };
-                return Ok(RunReport { attempts, path });
+                return (RunReport { attempts, path }, Ok(()));
             }
-            Err((e, run)) => {
+            Err((mut e, run)) => {
+                // Attempt-local progress coordinates become run-global ones
+                // before anything is recorded or returned.
+                globalize(&mut e, done);
                 done += run.iterations;
                 blocks += run.blocks;
                 attempts.push(Attempt {
@@ -354,34 +406,56 @@ fn supervised<S: TraceSink>(
                     wall: start.elapsed(),
                     leaked_workers: run.leaked,
                 });
+                let path = if failures == 0 {
+                    RecoveryPath::Threaded
+                } else {
+                    RecoveryPath::Retried
+                };
                 if !transient(&e) {
-                    return Err(e);
+                    // Permanent faults (divergence, deadline, bad config)
+                    // must not burn retries: deterministic recompute would
+                    // reproduce them and deadlines cannot be retried into
+                    // more time. `state` keeps the last healthy checkpoint.
+                    return (RunReport { attempts, path }, Err(e));
                 }
                 if failures >= policy.max_retries {
                     if !policy.sequential_fallback {
-                        return Err(ExecError::RetriesExhausted {
+                        let err = ExecError::RetriesExhausted {
                             attempts: failures + 1,
                             last: Box::new(e),
-                        });
+                        };
+                        return (RunReport { attempts, path }, Err(err));
                     }
                     // Degrade: finish the remaining iterations sequentially
                     // from the checkpoint, keeping the run's engine and
                     // sink. No pool, no pipes to wedge.
                     let rest = program.with_iterations(total - done);
                     let start = Instant::now();
-                    pipe_shared_impl(&rest, partition, state, engine, sink)?;
+                    let result = pipe_shared_impl(&rest, partition, state, engine, limits, sink);
+                    let (fault, completed) = match result {
+                        Ok(()) => (None, total - done),
+                        Err(mut e) => {
+                            globalize(&mut e, done);
+                            let completed = sequential_completed(&e, done);
+                            (Some(e), completed)
+                        }
+                    };
                     attempts.push(Attempt {
                         mode: AttemptMode::Sequential,
                         start_iteration: done,
-                        iterations_completed: total - done,
-                        fault: None,
+                        iterations_completed: completed,
+                        fault: fault.clone(),
                         wall: start.elapsed(),
                         leaked_workers: 0,
                     });
-                    return Ok(RunReport {
+                    let report = RunReport {
                         attempts,
                         path: RecoveryPath::Sequential,
-                    });
+                    };
+                    return match fault {
+                        None => (report, Ok(())),
+                        Some(e) => (report, Err(e)),
+                    };
                 }
                 failures += 1;
                 if S::ACTIVE {
@@ -393,12 +467,38 @@ fn supervised<S: TraceSink>(
     }
 }
 
+/// Rebases an error's attempt-local progress coordinates onto the global
+/// iteration counter (`base` = the attempt's start iteration).
+fn globalize(e: &mut ExecError, base: u64) {
+    match e {
+        ExecError::NumericDivergence { iteration, .. } => *iteration += base,
+        ExecError::DeadlineExceeded { completed } => *completed += base,
+        _ => {}
+    }
+}
+
+/// Iterations a failed sequential attempt checkpointed, recovered from the
+/// (already globalized) error it returned.
+fn sequential_completed(e: &ExecError, base: u64) -> u64 {
+    match e {
+        ExecError::NumericDivergence { iteration, .. } => iteration - base,
+        ExecError::DeadlineExceeded { completed } => completed - base,
+        _ => 0,
+    }
+}
+
 /// Whether a failure is plausibly transient — worth a checkpointed retry.
 /// Configuration, geometry, and interpreter errors are deterministic and
-/// retrying them would reproduce the same failure.
+/// retrying them would reproduce the same failure; numeric divergence is
+/// deterministic too, and a blown deadline cannot be retried into more
+/// wall-clock time. Slab corruption *is* transient: the corruption happened
+/// in flight, so recomputing the block from the checkpoint repairs it.
 fn transient(e: &ExecError) -> bool {
     match e {
-        ExecError::WorkerPanic { .. } | ExecError::PipeStall { .. } | ExecError::Cancelled => true,
+        ExecError::WorkerPanic { .. }
+        | ExecError::PipeStall { .. }
+        | ExecError::Cancelled
+        | ExecError::SlabCorrupt { .. } => true,
         ExecError::BadConfiguration { detail } => {
             detail.contains("protocol skew") || detail.contains("hung up")
         }
@@ -494,10 +594,47 @@ mod tests {
             "kernel 2: pipe protocol skew"
         )));
         assert!(transient(&ExecError::config("pipe producer hung up")));
+        assert!(transient(&ExecError::SlabCorrupt {
+            kernel: 0,
+            step: (1, 0)
+        }));
         assert!(!transient(&ExecError::config("bad partition")));
         assert!(!transient(&ExecError::DiagonalAccess {
             statement: "A".into()
         }));
+        // Deterministic recompute reproduces divergence, and a blown
+        // deadline cannot be retried into more time: both are permanent.
+        assert!(!transient(&ExecError::NumericDivergence {
+            kernel: 0,
+            iteration: 1,
+            cell: vec![0],
+            value: f64::NAN
+        }));
+        assert!(!transient(&ExecError::DeadlineExceeded { completed: 0 }));
+    }
+
+    #[test]
+    fn globalize_rebases_progress_coordinates() {
+        let mut e = ExecError::NumericDivergence {
+            kernel: 2,
+            iteration: 3,
+            cell: vec![1, 1],
+            value: f64::INFINITY,
+        };
+        globalize(&mut e, 10);
+        assert!(matches!(
+            e,
+            ExecError::NumericDivergence { iteration: 13, .. }
+        ));
+        assert_eq!(sequential_completed(&e, 10), 3);
+        let mut d = ExecError::DeadlineExceeded { completed: 4 };
+        globalize(&mut d, 6);
+        assert_eq!(d, ExecError::DeadlineExceeded { completed: 10 });
+        assert_eq!(sequential_completed(&d, 6), 4);
+        let mut other = ExecError::Cancelled;
+        globalize(&mut other, 99);
+        assert_eq!(other, ExecError::Cancelled);
+        assert_eq!(sequential_completed(&other, 99), 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use stencilcl_telemetry::{Counter, Disabled, TracePhase, TraceSink};
 
 use crate::engine::Engine;
 use crate::faults::{FaultKind, FaultPlan};
+use crate::integrity::{scan_state, verify_slab, RunLimits};
 use crate::options::{EngineKind, ExecOptions};
 use crate::pool::{
     apply_statement_split, check_slab_step, PipelinePlan, Slab, SplitScratch, PIPE_CAPACITY,
@@ -105,6 +106,9 @@ struct WorkerCtx<S: TraceSink> {
     /// Which evaluation engine this run uses — decided once on the main
     /// thread at plan time, handed to workers as plain data.
     engine: EngineKind,
+    /// The run's integrity envelope: deadline, health policy, and whether
+    /// slabs are sealed/verified. Carried by value into every worker.
+    limits: RunLimits,
     /// Telemetry sink (a zero-sized no-op unless the run records a trace).
     sink: S,
 }
@@ -197,6 +201,7 @@ pub fn run_threaded_opts(
     opts: &ExecOptions,
 ) -> Result<(), ExecError> {
     let faults = Arc::new(FaultPlan::new());
+    let limits = opts.limits();
     let result = match &opts.trace {
         Some(rec) => pool_run(
             program,
@@ -206,6 +211,7 @@ pub fn run_threaded_opts(
             &faults,
             0,
             opts.engine,
+            limits,
             &rec.clone(),
         ),
         None => pool_run(
@@ -216,6 +222,7 @@ pub fn run_threaded_opts(
             &faults,
             0,
             opts.engine,
+            limits,
             &Disabled,
         ),
     };
@@ -245,6 +252,7 @@ pub(crate) fn pool_run<S: TraceSink>(
     faults: &Arc<FaultPlan>,
     block_base: u64,
     engine: EngineKind,
+    limits: RunLimits,
     sink: &S,
 ) -> Result<PoolRun, (ExecError, PoolRun)> {
     let plan = PipelinePlan::new(program, partition).map_err(|e| (e, PoolRun::empty()))?;
@@ -287,6 +295,7 @@ pub(crate) fn pool_run<S: TraceSink>(
             token: token.clone(),
             faults: Arc::clone(faults),
             engine,
+            limits,
             sink: sink.clone(),
         };
         let done_tx = done_tx.clone();
@@ -308,11 +317,27 @@ pub(crate) fn pool_run<S: TraceSink>(
     }
     drop(done_tx);
 
+    // Tile index for attributing a health hit to its owning kernel, built
+    // only when the watchdog is armed (tiles are disjoint across kernels
+    // within a region; the first containing rect wins).
+    let tile_index: Vec<(usize, Rect)> = if limits.health.enabled() {
+        let plan = &plan;
+        (0..plan.regions.len())
+            .flat_map(|r| (0..kernels).map(move |k| (k, plan.tiles[r][k])))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let mut src = 0usize;
     let mut done_iters = 0u64;
     let mut done_blocks = 0u64;
     let mut outcome: Result<(), ExecError> = Ok(());
     while done_iters < plan.iterations {
+        if let Err(e) = limits.check_deadline(done_iters) {
+            outcome = Err(e);
+            break;
+        }
         let h = plan.fused.min(plan.iterations - done_iters);
         let depth = plan.depth_index(h);
         for tx in &cmd_txs {
@@ -325,11 +350,35 @@ pub(crate) fn pool_run<S: TraceSink>(
                 block: block_base + done_blocks,
             });
         }
-        if let Err(e) = collect_block(&done_rx, kernels, policy.watchdog, policy.drain, |k| {
+        if let Err(mut e) = collect_block(&done_rx, kernels, policy.watchdog, policy.drain, |k| {
             handles[k].is_finished()
         }) {
+            // A worker hitting the deadline inside a pipe tick cannot know
+            // the run's progress; patch in the last checkpointed count.
+            if let ExecError::DeadlineExceeded { completed } = &mut e {
+                *completed = done_iters;
+            }
             outcome = Err(e);
             break;
+        }
+        // Health scan of the buffer the block just wrote, *before* the
+        // barrier commits: on divergence `buffers[src]` is still the last
+        // healthy checkpoint and the teardown below hands it back.
+        if limits.health.enabled() {
+            let next = buffers[1 - src]
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = scan_state(
+                &limits.health,
+                &next,
+                &plan.updated,
+                &tile_index,
+                done_iters,
+                sink,
+            ) {
+                outcome = Err(e);
+                break;
+            }
         }
         done_iters += h;
         done_blocks += 1;
@@ -438,13 +487,16 @@ fn is_cascade(e: &ExecError) -> bool {
         || matches!(e, ExecError::BadConfiguration { detail } if detail.contains("hung up"))
 }
 
-/// Sends one slab, re-checking the cancellation token every [`TICK`] while
-/// the pipe is full. With an active sink, counts the slab and its payload
-/// bytes, plus the wall time spent blocked on a full pipe.
+/// Sends one slab, re-checking the cancellation token and the run deadline
+/// every [`TICK`] while the pipe is full. With an active sink, counts the
+/// slab and its payload bytes, plus the wall time spent blocked on a full
+/// pipe. A deadline hit reports `completed: 0` — workers cannot know the
+/// run's progress, so the pool's main loop patches in the checkpoint count.
 fn pipe_send<S: TraceSink>(
     tx: &Sender<Slab>,
     mut slab: Slab,
     token: &CancelToken,
+    limits: &RunLimits,
     sink: &S,
 ) -> Result<(), ExecError> {
     let bytes = (slab.values.len() * std::mem::size_of::<f64>()) as u64;
@@ -452,6 +504,9 @@ fn pipe_send<S: TraceSink>(
     loop {
         if token.is_cancelled() {
             return Err(ExecError::Cancelled);
+        }
+        if limits.deadline_passed() {
+            return Err(ExecError::DeadlineExceeded { completed: 0 });
         }
         match tx.send_timeout(slab, TICK) {
             Ok(()) => {
@@ -470,18 +525,23 @@ fn pipe_send<S: TraceSink>(
     }
 }
 
-/// Receives one slab, re-checking the cancellation token every [`TICK`]
-/// while the pipe is empty. With an active sink, counts the slab and the
-/// wall time spent blocked on an empty pipe.
+/// Receives one slab, re-checking the cancellation token and the run
+/// deadline every [`TICK`] while the pipe is empty. With an active sink,
+/// counts the slab and the wall time spent blocked on an empty pipe. See
+/// [`pipe_send`] for the `completed: 0` deadline convention.
 fn pipe_recv<S: TraceSink>(
     rx: &Receiver<Slab>,
     token: &CancelToken,
+    limits: &RunLimits,
     sink: &S,
 ) -> Result<Slab, ExecError> {
     let t0 = sink.now();
     loop {
         if token.is_cancelled() {
             return Err(ExecError::Cancelled);
+        }
+        if limits.deadline_passed() {
+            return Err(ExecError::DeadlineExceeded { completed: 0 });
         }
         match rx.recv_timeout(TICK) {
             Ok(slab) => {
@@ -576,6 +636,11 @@ fn worker_loop<S: TraceSink>(
     // Persistent local windows, one per region, alive across every block.
     let mut locals: Vec<Option<GridState>> = vec![None; regions];
     let mut scratch = SplitScratch::new();
+    // Per-endpoint slab sequence counters, persistent across blocks: both
+    // ends of every channel count monotonically from 0 for the pool's whole
+    // life, so the checksum also proves nothing was dropped or reordered.
+    let mut out_seqs = vec![0u64; ctx.outs.len()];
+    let mut in_seqs = vec![0u64; ctx.ins.len()];
     // Idle accounting: from spawn until the first command this worker is in
     // its Launch phase; between a block's done-report and the next command
     // it sits at the fused-block Barrier. Flushed as a span at the moment
@@ -596,6 +661,7 @@ fn worker_loop<S: TraceSink>(
             ctx.sink.span(kernel, 0, phase, t0, ctx.sink.now());
         }
         let mut corrupt_tags = false;
+        let mut corrupt_payload = false;
         match ctx.faults.fire(kernel, block) {
             None => {}
             Some(FaultKind::WorkerPanic) => {
@@ -613,6 +679,7 @@ fn worker_loop<S: TraceSink>(
                 sleep_cancellable(&ctx.token, Duration::from_millis(ms));
             }
             Some(FaultKind::CorruptStepTag) => corrupt_tags = true,
+            Some(FaultKind::CorruptPayload) => corrupt_payload = true,
         }
         let result = run_pass(
             ctx,
@@ -621,10 +688,13 @@ fn worker_loop<S: TraceSink>(
             &updated,
             &mut locals,
             &mut scratch,
+            &mut out_seqs,
+            &mut in_seqs,
             depth,
             step_base,
             src,
             corrupt_tags,
+            corrupt_payload,
         );
         let failed = result.is_err();
         if S::ACTIVE {
@@ -650,10 +720,13 @@ fn run_pass<S: TraceSink>(
     updated: &[&str],
     locals: &mut [Option<GridState>],
     scratch: &mut SplitScratch,
+    out_seqs: &mut [u64],
+    in_seqs: &mut [u64],
     depth: usize,
     step_base: u64,
     src: usize,
     corrupt_tags: bool,
+    corrupt_payload: bool,
 ) -> Result<(), ExecError> {
     let kernel = ctx.kernel;
     let sink = &ctx.sink;
@@ -711,13 +784,23 @@ fn run_pass<S: TraceSink>(
                     sink,
                     {
                         let out_chans = &route.out_chans;
+                        let out_seqs = &mut *out_seqs;
                         move |e, values| {
-                            pipe_send(
-                                &ctx.outs[out_chans[e]].1,
-                                Slab::tagged(step, values, corrupt_tags),
-                                &ctx.token,
-                                &ctx.sink,
-                            )
+                            let chan = out_chans[e];
+                            let mut slab = Slab::tagged(step, values, corrupt_tags);
+                            if ctx.limits.integrity {
+                                slab = slab.seal(out_seqs[chan]);
+                                out_seqs[chan] += 1;
+                            }
+                            // Injected payload corruption flips a bit *after*
+                            // sealing: with integrity on the receiver's
+                            // recompute catches it; with integrity off it is
+                            // exactly the silent corruption the checksums
+                            // exist to stop.
+                            if corrupt_payload {
+                                slab = slab.corrupt_payload();
+                            }
+                            pipe_send(&ctx.outs[chan].1, slab, &ctx.token, &ctx.limits, &ctx.sink)
                         }
                     },
                 )?;
@@ -737,8 +820,17 @@ fn run_pass<S: TraceSink>(
                 let target = &lp.updates[s].target;
                 let wait_t0 = sink.now();
                 for (chan, dst) in route.in_chans.iter().zip(&route.in_rects) {
-                    let slab = pipe_recv(&ctx.ins[*chan].1, &ctx.token, sink)?;
+                    let slab = pipe_recv(&ctx.ins[*chan].1, &ctx.token, &ctx.limits, sink)?;
                     check_slab_step(kernel, slab.step, step)?;
+                    if ctx.limits.integrity {
+                        // An unsealed slab under an integrity run is itself a
+                        // protocol violation — treat it as corruption.
+                        let Some(sum) = slab.checksum else {
+                            return Err(ExecError::SlabCorrupt { kernel, step });
+                        };
+                        verify_slab(kernel, in_seqs[*chan], slab.step, &slab.values, sum, sink)?;
+                        in_seqs[*chan] += 1;
+                    }
                     local.grid_mut(target)?.write_window(dst, &slab.values)?;
                 }
                 if S::ACTIVE && !route.in_chans.is_empty() {
@@ -932,24 +1024,44 @@ mod tests {
 
     #[test]
     fn pipe_helpers_observe_cancellation() {
+        let off = RunLimits::disabled();
         let (tx, rx) = bounded::<Slab>(1);
         let token = CancelToken::default();
         token.cancel();
         assert_eq!(
-            pipe_recv(&rx, &token, &Disabled).unwrap_err(),
+            pipe_recv(&rx, &token, &off, &Disabled).unwrap_err(),
             ExecError::Cancelled
         );
         let slab = Slab::tagged((1, 0), vec![0.0], false);
         assert_eq!(
-            pipe_send(&tx, slab, &token, &Disabled).unwrap_err(),
+            pipe_send(&tx, slab, &token, &off, &Disabled).unwrap_err(),
             ExecError::Cancelled
         );
         // Without cancellation, a hung-up partner is still classified.
         let fresh = CancelToken::default();
         drop(tx);
-        assert!(pipe_recv(&rx, &fresh, &Disabled)
+        assert!(pipe_recv(&rx, &fresh, &off, &Disabled)
             .unwrap_err()
             .to_string()
             .contains("hung up"));
+    }
+
+    #[test]
+    fn pipe_helpers_observe_the_run_deadline() {
+        let expired = RunLimits {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..RunLimits::disabled()
+        };
+        let token = CancelToken::default();
+        let (tx, rx) = bounded::<Slab>(1);
+        assert_eq!(
+            pipe_recv(&rx, &token, &expired, &Disabled).unwrap_err(),
+            ExecError::DeadlineExceeded { completed: 0 }
+        );
+        let slab = Slab::tagged((1, 0), vec![0.0], false);
+        assert_eq!(
+            pipe_send(&tx, slab, &token, &expired, &Disabled).unwrap_err(),
+            ExecError::DeadlineExceeded { completed: 0 }
+        );
     }
 }

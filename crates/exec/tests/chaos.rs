@@ -8,8 +8,9 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use stencilcl_exec::{
-    run_reference, run_supervised_injected, run_supervised_injected_opts, AttemptMode, ExecError,
-    ExecOptions, ExecPolicy, FaultKind, FaultPlan, Recorder, RecoveryPath,
+    run_reference, run_supervised_full, run_supervised_injected, run_supervised_injected_full,
+    run_supervised_injected_opts, AttemptMode, ExecError, ExecOptions, ExecPolicy, FaultKind,
+    FaultPlan, HealthPolicy, Recorder, RecoveryPath,
 };
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
 use stencilcl_lang::{programs, GridState, Program, StencilFeatures};
@@ -43,6 +44,7 @@ fn chaos_policy() -> ExecPolicy {
         backoff_base: Duration::from_millis(1),
         backoff_max: Duration::from_millis(8),
         sequential_fallback: true,
+        deadline: None,
     }
 }
 
@@ -213,6 +215,137 @@ fn corrupted_step_tag_trips_the_protocol_check_and_recovers() {
 }
 
 #[test]
+fn corrupted_payload_is_caught_by_checksums_and_recovered_bit_exact() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(0, 1, FaultKind::CorruptPayload));
+    let opts = ExecOptions::new().policy(chaos_policy()).integrity(true);
+    let mut got = GridState::new(&p, init);
+    let report = run_supervised_injected_opts(&p, &partition, &mut got, &opts, &faults).unwrap();
+    // Detected, retried from the block-1 checkpoint, and bit-exact after.
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(faults.fired(), 1);
+    assert_eq!(report.path, RecoveryPath::Retried);
+    assert!(
+        report
+            .faults_seen()
+            .iter()
+            .any(|e| matches!(e, ExecError::SlabCorrupt { .. })),
+        "expected a SlabCorrupt fault, saw {:?}",
+        report.faults_seen()
+    );
+    // The fault hit block 1: block 0 (2 iterations) was checkpointed.
+    assert_eq!(report.attempts[0].iterations_completed, 2);
+    assert_eq!(report.attempts[1].start_iteration, 2);
+    assert_eq!(report.leaked_workers(), 0);
+}
+
+#[test]
+fn corrupted_payload_without_integrity_goes_undetected() {
+    // The negative control: with checksums off the same bit flip raises no
+    // error at all — exactly the silent-corruption gap the integrity layer
+    // closes. (The run "succeeds"; its grid is quietly wrong.)
+    let (p, partition) = scenario();
+    let faults = Arc::new(FaultPlan::new().inject(0, 1, FaultKind::CorruptPayload));
+    let mut got = GridState::new(&p, init);
+    let report =
+        run_supervised_injected(&p, &partition, &mut got, &chaos_policy(), &faults).unwrap();
+    assert_eq!(faults.fired(), 1);
+    assert_eq!(report.recoveries(), 0);
+    assert_eq!(report.path, RecoveryPath::Threaded);
+}
+
+#[test]
+fn numeric_divergence_aborts_at_the_right_coordinates_without_retries() {
+    // A pointwise doubling stencil blows up deterministically: from uniform
+    // 1.0 the grid holds 2^k after k iterations, crossing bound 10 at
+    // iteration 4 (16.0). With fused depth 2 the barrier after the second
+    // block (iterations 3–4) sees 16.0, so the last healthy checkpoint is
+    // the first barrier — 2 completed iterations.
+    let src = "stencil blowup { grid A[16][16] : f32; iterations 6; A[i][j] = 2.0 * A[i][j]; }";
+    let p = stencilcl_lang::parse(src).unwrap();
+    let f = StencilFeatures::extract(&p).unwrap();
+    let d = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![4, 4]).unwrap();
+    let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
+    let mut got = GridState::uniform(&p, 1.0);
+    let opts = ExecOptions::new()
+        .policy(chaos_policy())
+        .health(HealthPolicy::bounded(10.0));
+    let (report, result) = run_supervised_full(&p, &partition, &mut got, &opts);
+    let err = result.unwrap_err();
+    match err {
+        ExecError::NumericDivergence {
+            kernel,
+            iteration,
+            cell,
+            value,
+        } => {
+            assert_eq!(kernel, 0, "first divergent cell in row-major order");
+            assert_eq!(iteration, 2, "last healthy barrier had 2 iterations");
+            assert_eq!(cell, vec![0, 0]);
+            assert_eq!(value, 16.0);
+        }
+        other => panic!("expected NumericDivergence, got {other}"),
+    }
+    // Permanent: exactly one attempt — no retries burned — and the pool
+    // was joined, not abandoned.
+    assert_eq!(report.attempts.len(), 1);
+    assert_eq!(report.leaked_workers(), 0);
+    // The output buffer holds the last healthy checkpoint: 2 iterations.
+    let mut expect = GridState::uniform(&p, 1.0);
+    run_reference(&p.with_iterations(2), &mut expect).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+}
+
+#[test]
+fn expired_deadline_fails_fast_with_progress_and_joined_workers() {
+    let (p, partition) = scenario();
+    let mut got = GridState::new(&p, init);
+    let opts = ExecOptions::new().policy(ExecPolicy {
+        deadline: Some(Duration::ZERO),
+        ..chaos_policy()
+    });
+    let (report, result) = run_supervised_full(&p, &partition, &mut got, &opts);
+    assert_eq!(
+        result.unwrap_err(),
+        ExecError::DeadlineExceeded { completed: 0 }
+    );
+    // Permanent — a deadline cannot be retried into more wall clock, so
+    // exactly one attempt.
+    assert_eq!(report.attempts.len(), 1);
+    assert_eq!(report.leaked_workers(), 0);
+    // Zero completed iterations: the grid is untouched.
+    let untouched = GridState::new(&p, init);
+    assert_eq!(untouched.max_abs_diff(&got).unwrap(), 0.0);
+}
+
+#[test]
+fn deadline_hit_inside_a_wedged_pipe_is_detected_by_the_tick_loop() {
+    // A 400 ms injected delay wedges kernel 1's neighbours on their pipes;
+    // the 60 ms run deadline expires while they sit in the 10 ms tick loop,
+    // which must surface DeadlineExceeded without waiting for the watchdog
+    // (250 ms) or the delay to finish.
+    let (p, partition) = scenario();
+    let faults = Arc::new(FaultPlan::new().inject(1, 0, FaultKind::DelayedSlab(400)));
+    let opts = ExecOptions::new().policy(ExecPolicy {
+        deadline: Some(Duration::from_millis(60)),
+        ..chaos_policy()
+    });
+    let mut got = GridState::new(&p, init);
+    let (report, result) = run_supervised_injected_full(&p, &partition, &mut got, &opts, &faults);
+    assert_eq!(
+        result.unwrap_err(),
+        ExecError::DeadlineExceeded { completed: 0 }
+    );
+    assert_eq!(
+        report.attempts.len(),
+        1,
+        "deadlines must not burn retries: {report:?}"
+    );
+    assert_eq!(report.leaked_workers(), 0);
+}
+
+#[test]
 fn persistent_stalls_degrade_gracefully_to_the_sequential_executor() {
     let (p, partition) = scenario();
     let expect = reference_grid(&p);
@@ -277,7 +410,7 @@ proptest! {
         iters in 2u64..=6,
         fused in 1u64..=3,
         n_faults in 1usize..=3,
-        kind_sel in prop::collection::vec(0usize..4, 3),
+        kind_sel in prop::collection::vec(0usize..5, 3),
         kernel_sel in prop::collection::vec(0usize..4, 3),
         block_sel in prop::collection::vec(0u64..3, 3),
         seed in 0i64..1000,
@@ -303,19 +436,23 @@ proptest! {
                 0 => FaultKind::WorkerPanic,
                 1 => FaultKind::PipeStall,
                 2 => FaultKind::DelayedSlab(40),
-                _ => FaultKind::CorruptStepTag,
+                3 => FaultKind::CorruptStepTag,
+                _ => FaultKind::CorruptPayload,
             };
             plan = plan.inject(kernel_sel[i], block_sel[i] % blocks, kind);
         }
         let faults = Arc::new(plan);
         // Enough retries that even three hard faults cannot exhaust the
-        // budget; the sequential fallback stays armed regardless.
+        // budget; the sequential fallback stays armed regardless. Integrity
+        // is on: payload corruption is only recoverable when it is
+        // *detectable*, and checksums must never perturb a clean result.
         let policy = ExecPolicy { max_retries: 3, ..chaos_policy() };
+        let opts = ExecOptions::new().policy(policy).integrity(true);
         let mut expect = GridState::new(&p, init);
         run_reference(&p, &mut expect).unwrap();
         let mut got = GridState::new(&p, init);
         let report =
-            run_supervised_injected(&p, &partition, &mut got, &policy, &faults).unwrap();
+            run_supervised_injected_opts(&p, &partition, &mut got, &opts, &faults).unwrap();
         prop_assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
         prop_assert_eq!(report.leaked_workers(), 0);
     }

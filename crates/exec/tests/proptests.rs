@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use stencilcl_exec::{
-    run_pipe_shared, run_reference, run_supervised, run_threaded, verify_design, ExecMode,
-    ExecPolicy, RecoveryPath,
+    run_pipe_shared, run_pipe_shared_opts, run_reference, run_supervised, run_threaded,
+    run_threaded_opts, verify_design, ExecMode, ExecOptions, ExecPolicy, HealthPolicy,
+    RecoveryPath,
 };
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point, Rect};
 use stencilcl_lang::{
@@ -231,6 +232,52 @@ proptest! {
         prop_assert_eq!(reference.max_abs_diff(&supervised).unwrap(), 0.0);
         prop_assert_eq!(report.path, RecoveryPath::Threaded);
         prop_assert_eq!(report.leaked_workers(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The integrity layer is observation-only: slab checksums, the health
+    // watchdog, and a generous deadline never change a single bit of a
+    // healthy run's result, in either pipe executor.
+    #[test]
+    fn integrity_and_health_guards_never_perturb_a_healthy_run(
+        tiles_per_dim in 1usize..=3,
+        tile in 4usize..=8,
+        fused in 1u64..=4,
+        iters in 1u64..=6,
+        stride in 1usize..=7,
+        seed in 0i64..1000,
+    ) {
+        let n = tiles_per_dim * tile;
+        let program = programs::jacobi_2d().with_extent(Extent::new2(n, n)).with_iterations(iters);
+        let lens = vec![tile; tiles_per_dim];
+        let design = Design::heterogeneous(fused, vec![lens.clone(), lens]).unwrap();
+        let f = StencilFeatures::extract(&program).unwrap();
+        let partition = Partition::new(program.extent(), &design, &f.growth).unwrap();
+        let init = |name: &str, p: &Point| {
+            let mut v = (name.len() as i64 + seed) as f64;
+            for d in 0..p.dim() {
+                v = v * 23.0 + p.coord(d) as f64;
+            }
+            (v * 0.0019).sin()
+        };
+        let guarded = ExecOptions::new()
+            .integrity(true)
+            .health(HealthPolicy::bounded(1e9).stride(stride))
+            .policy(ExecPolicy {
+                deadline: Some(std::time::Duration::from_secs(3600)),
+                ..ExecPolicy::default()
+            });
+        let mut plain = GridState::new(&program, init);
+        run_pipe_shared(&program, &partition, &mut plain).unwrap();
+        let mut seq = GridState::new(&program, init);
+        run_pipe_shared_opts(&program, &partition, &mut seq, &guarded).unwrap();
+        prop_assert_eq!(plain.max_abs_diff(&seq).unwrap(), 0.0);
+        let mut thr = GridState::new(&program, init);
+        run_threaded_opts(&program, &partition, &mut thr, &guarded).unwrap();
+        prop_assert_eq!(plain.max_abs_diff(&thr).unwrap(), 0.0);
     }
 }
 

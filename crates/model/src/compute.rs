@@ -9,7 +9,8 @@ use crate::ModelInputs;
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if `i` is outside `1..=h`.
+/// Panics (in every build profile) if `i` is outside `1..=h` — see
+/// [`ModelInputs::checked_cone_len`] for the fallible form.
 pub fn iter_latency(m: &ModelInputs, i: u64) -> f64 {
     m.cycles_per_element * m.cone_volume(i)
 }

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced when the analytical model is queried outside its domain.
+///
+/// The model's closed-form terms are only defined for fused iterations
+/// `1..=h` and dimensions `0..D`; an index outside those ranges used to be a
+/// `debug_assert` (silent garbage in release builds, where the
+/// `h − i` subtraction wraps). It is now a hard, checked error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A fused-iteration index outside `1..=h` was passed to a per-iteration
+    /// term (Eqs. 8, 10, 11 are 1-based in `i`).
+    FusedIndexOutOfRange {
+        /// The offending 1-based fused-iteration index.
+        i: u64,
+        /// The design's fused depth `h`.
+        fused: u64,
+    },
+    /// A dimension index at or beyond the stencil's dimensionality `D`.
+    DimensionOutOfRange {
+        /// The offending dimension index.
+        d: usize,
+        /// The stencil's dimensionality.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::FusedIndexOutOfRange { i, fused } => write!(
+                f,
+                "fused iteration index {i} outside 1..={fused}: the model's \
+                 per-iteration terms are 1-based and defined up to the fused \
+                 depth h"
+            ),
+            ModelError::DimensionOutOfRange { d, dim } => {
+                write!(f, "dimension {d} out of range for a {dim}-D stencil")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_bounds() {
+        let e = ModelError::FusedIndexOutOfRange { i: 9, fused: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("1..=4"));
+        let e = ModelError::DimensionOutOfRange { d: 3, dim: 2 };
+        assert!(e.to_string().contains("dimension 3"));
+    }
+}

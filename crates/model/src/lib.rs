@@ -60,6 +60,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod compute;
+mod error;
 mod glossary;
 mod memory;
 mod params;
@@ -69,6 +70,7 @@ mod sync;
 pub(crate) mod testutil;
 
 pub use compute::{compute_latency, iter_latency};
+pub use error::ModelError;
 pub use glossary::{parameter_glossary, ParamInfo, Provenance};
 pub use memory::{memory_latency, read_latency, write_latency};
 pub use params::ModelInputs;

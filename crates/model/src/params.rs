@@ -1,5 +1,7 @@
 use serde::{Deserialize, Serialize};
 use stencilcl_grid::{DesignKind, Partition};
+
+use crate::ModelError;
 use stencilcl_hls::{Device, HlsReport};
 use stencilcl_lang::StencilFeatures;
 
@@ -111,10 +113,41 @@ impl ModelInputs {
     }
 
     /// Slowest-kernel cone length along `d` at fused iteration `i`
+    /// (1-based): `w_d · f_d^max + Δw_d · (h − i)`. The fallible form of
+    /// [`cone_len`](Self::cone_len).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::FusedIndexOutOfRange`] unless `1 <= i <= h` (outside
+    /// that range the `h − i` term is undefined), and
+    /// [`ModelError::DimensionOutOfRange`] unless `d < D`.
+    pub fn checked_cone_len(&self, d: usize, i: u64) -> Result<f64, ModelError> {
+        if d >= self.dim {
+            return Err(ModelError::DimensionOutOfRange { d, dim: self.dim });
+        }
+        if i < 1 || i > self.fused {
+            return Err(ModelError::FusedIndexOutOfRange {
+                i,
+                fused: self.fused,
+            });
+        }
+        Ok(self.tile_lens[d] as f64 + (self.delta_w[d] * (self.fused - i)) as f64)
+    }
+
+    /// Slowest-kernel cone length along `d` at fused iteration `i`
     /// (1-based): `w_d · f_d^max + Δw_d · (h − i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in every build profile — if `i` is outside `1..=h` or `d`
+    /// is out of range; use [`checked_cone_len`](Self::checked_cone_len)
+    /// to handle the violation instead. (This used to be a `debug_assert`,
+    /// which let release builds wrap `h − i` and return garbage.)
     pub fn cone_len(&self, d: usize, i: u64) -> f64 {
-        debug_assert!(i >= 1 && i <= self.fused);
-        self.tile_lens[d] as f64 + (self.delta_w[d] * (self.fused - i)) as f64
+        match self.checked_cone_len(d, i) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Volume of the slowest kernel's footprint at fused iteration `i` —
@@ -180,6 +213,31 @@ mod tests {
         assert_eq!(m.cone_volume(4), m.tile_volume());
         assert_eq!(m.cone_len(0, 1), 128.0 + 2.0 * 3.0);
         assert_eq!(m.input_volume(), (128.0 + 8.0) * (128.0 + 8.0));
+    }
+
+    #[test]
+    fn cone_len_rejects_out_of_range_indices() {
+        let m = inputs(DesignKind::Baseline, 4);
+        assert_eq!(m.checked_cone_len(0, 1).unwrap(), m.cone_len(0, 1));
+        assert_eq!(
+            m.checked_cone_len(0, 0),
+            Err(ModelError::FusedIndexOutOfRange { i: 0, fused: 4 })
+        );
+        assert_eq!(
+            m.checked_cone_len(0, 5),
+            Err(ModelError::FusedIndexOutOfRange { i: 5, fused: 4 })
+        );
+        assert_eq!(
+            m.checked_cone_len(2, 1),
+            Err(ModelError::DimensionOutOfRange { d: 2, dim: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fused iteration index 0")]
+    fn cone_len_panics_in_release_builds_too() {
+        // i = 0 used to wrap `h - i` silently outside debug builds.
+        inputs(DesignKind::Baseline, 4).cone_len(0, 0);
     }
 
     #[test]

@@ -88,8 +88,16 @@ pub fn balance_tiles(
             assigned += 1;
         }
     }
-    debug_assert_eq!(lens.iter().sum::<usize>(), region_len);
-    Some(lens)
+    verified_sum(lens, region_len)
+}
+
+/// Final guard of [`balance_tiles`]: the rounded lengths are accepted only
+/// if they exactly tile the region. The loops above establish this by
+/// construction, but every partition downstream assumes it, so the check
+/// runs in every build profile (it used to be a `debug_assert_eq`) —
+/// a violated sum yields `None` rather than a mis-sized partition.
+fn verified_sum(lens: Vec<usize>, region_len: usize) -> Option<Vec<usize>> {
+    (lens.iter().sum::<usize>() == region_len).then_some(lens)
 }
 
 #[cfg(test)]
@@ -163,6 +171,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mis_sized_partitions_are_rejected_not_asserted() {
+        // The release-checked guard behind balance_tiles: a length vector
+        // that does not tile the region must be refused, not shipped.
+        assert_eq!(verified_sum(vec![4, 4], 9), None);
+        assert_eq!(verified_sum(vec![4, 5], 9), Some(vec![4, 5]));
+        assert_eq!(verified_sum(vec![], 0), Some(vec![]));
+        assert_eq!(verified_sum(vec![], 1), None);
     }
 
     #[test]

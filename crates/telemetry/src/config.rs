@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 /// Every recognized environment knob, parsed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnvConfig {
     /// `STENCILCL_INTERPRET`: run the AST interpreter instead of compiled
     /// bytecode kernels. Truthy = set, non-empty, and not `"0"`.
@@ -32,6 +32,16 @@ pub struct EnvConfig {
     /// `STENCILCL_TRACE`: record telemetry spans (same truthy rule as
     /// `interpret`).
     pub trace: bool,
+    /// `STENCILCL_DEADLINE_MS`: wall-clock run deadline override.
+    pub deadline_ms: Option<u64>,
+    /// `STENCILCL_HEALTH_BOUND`: numerical-health magnitude bound; any
+    /// finite positive value arms the watchdog in bounded mode.
+    pub health_bound: Option<f64>,
+    /// `STENCILCL_HEALTH_STRIDE`: health-scan sampling stride (≥ 1).
+    pub health_stride: Option<usize>,
+    /// `STENCILCL_INTEGRITY`: seal and verify slab checksums (same truthy
+    /// rule as `interpret`).
+    pub integrity: bool,
 }
 
 impl Default for EnvConfig {
@@ -44,6 +54,10 @@ impl Default for EnvConfig {
             max_retries: None,
             results_dir: PathBuf::from("results"),
             trace: false,
+            deadline_ms: None,
+            health_bound: None,
+            health_stride: None,
+            integrity: false,
         }
     }
 }
@@ -86,6 +100,26 @@ impl EnvConfig {
         };
         ms("STENCILCL_WATCHDOG_MS", &mut cfg.watchdog_ms);
         ms("STENCILCL_DRAIN_MS", &mut cfg.drain_ms);
+        ms("STENCILCL_DEADLINE_MS", &mut cfg.deadline_ms);
+        if let Some(v) = lookup("STENCILCL_INTEGRITY") {
+            cfg.integrity = truthy(v.trim());
+        }
+        if let Some(v) = lookup("STENCILCL_HEALTH_BOUND") {
+            match v.trim().parse::<f64>() {
+                Ok(b) if b.is_finite() && b > 0.0 => cfg.health_bound = Some(b),
+                _ => warnings.push(format!(
+                    "STENCILCL_HEALTH_BOUND: ignoring {v:?} (want a finite positive number)"
+                )),
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_HEALTH_STRIDE") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.health_stride = Some(n),
+                _ => warnings.push(format!(
+                    "STENCILCL_HEALTH_STRIDE: ignoring {v:?} (want an integer >= 1)"
+                )),
+            }
+        }
         if let Some(v) = lookup("STENCILCL_MAX_RETRIES") {
             match v.trim().parse::<u32>() {
                 Ok(n) => cfg.max_retries = Some(n),
@@ -185,6 +219,41 @@ mod tests {
         assert!(warnings[0].contains("STENCILCL_UNROLL") && warnings[0].contains("64"));
         assert!(warnings[1].contains("STENCILCL_WATCHDOG_MS") && warnings[1].contains("soon"));
         assert!(warnings[2].contains("STENCILCL_MAX_RETRIES") && warnings[2].contains("-1"));
+    }
+
+    #[test]
+    fn integrity_and_health_knobs_parse() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_DEADLINE_MS", "5000"),
+            ("STENCILCL_HEALTH_BOUND", "1e12"),
+            ("STENCILCL_HEALTH_STRIDE", "7"),
+            ("STENCILCL_INTEGRITY", "1"),
+        ]));
+        assert!(warnings.is_empty());
+        assert_eq!(cfg.deadline_ms, Some(5000));
+        assert_eq!(cfg.health_bound, Some(1e12));
+        assert_eq!(cfg.health_stride, Some(7));
+        assert!(cfg.integrity);
+    }
+
+    #[test]
+    fn malformed_health_knobs_warn_and_fall_back() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_HEALTH_BOUND", "-3"),
+            ("STENCILCL_HEALTH_STRIDE", "0"),
+            ("STENCILCL_DEADLINE_MS", "later"),
+        ]));
+        assert_eq!(cfg.health_bound, None);
+        assert_eq!(cfg.health_stride, None);
+        assert_eq!(cfg.deadline_ms, None);
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings
+            .iter()
+            .any(|w| w.contains("STENCILCL_HEALTH_BOUND")));
+        assert!(warnings
+            .iter()
+            .any(|w| w.contains("STENCILCL_HEALTH_STRIDE")));
+        assert!(warnings.iter().any(|w| w.contains("STENCILCL_DEADLINE_MS")));
     }
 
     #[test]

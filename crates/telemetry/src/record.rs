@@ -187,6 +187,9 @@ impl Recorder {
             cells_computed: self.counter(Counter::CellsComputed),
             stall_ns: self.counter(Counter::StallNs),
             retries: self.counter(Counter::Retries),
+            checksums_verified: self.counter(Counter::ChecksumsVerified),
+            cells_scanned: self.counter(Counter::CellsScanned),
+            scan_ns: self.counter(Counter::ScanNs),
         };
         MeasuredTrace {
             spans,
@@ -265,6 +268,12 @@ pub struct CounterSnapshot {
     pub stall_ns: u64,
     /// Supervised retry attempts.
     pub retries: u64,
+    /// Slab checksums recomputed and compared at splice time.
+    pub checksums_verified: u64,
+    /// Grid cells sampled by the numerical-health watchdog.
+    pub cells_scanned: u64,
+    /// Nanoseconds spent inside health scans.
+    pub scan_ns: u64,
 }
 
 /// An immutable snapshot of one instrumented run: sorted spans, counter

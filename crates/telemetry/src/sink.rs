@@ -26,17 +26,26 @@ pub enum Counter {
     StallNs,
     /// Supervised retry attempts after transient faults.
     Retries,
+    /// Slab checksums recomputed and compared at splice time.
+    ChecksumsVerified,
+    /// Grid cells sampled by the numerical-health watchdog.
+    CellsScanned,
+    /// Wall-clock nanoseconds spent inside health scans.
+    ScanNs,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 9] = [
         Counter::HaloBytes,
         Counter::SlabsSent,
         Counter::SlabsReceived,
         Counter::CellsComputed,
         Counter::StallNs,
         Counter::Retries,
+        Counter::ChecksumsVerified,
+        Counter::CellsScanned,
+        Counter::ScanNs,
     ];
 
     /// Stable index into counter arrays.
@@ -48,6 +57,9 @@ impl Counter {
             Counter::CellsComputed => 3,
             Counter::StallNs => 4,
             Counter::Retries => 5,
+            Counter::ChecksumsVerified => 6,
+            Counter::CellsScanned => 7,
+            Counter::ScanNs => 8,
         }
     }
 
@@ -60,6 +72,9 @@ impl Counter {
             Counter::CellsComputed => "cells_computed",
             Counter::StallNs => "stall_ns",
             Counter::Retries => "retries",
+            Counter::ChecksumsVerified => "checksums_verified",
+            Counter::CellsScanned => "cells_scanned",
+            Counter::ScanNs => "scan_ns",
         }
     }
 }
