@@ -447,6 +447,84 @@ pub fn time_compiled_ab(
     })
 }
 
+/// One A/B row of the vectorization ablation: the same program driven
+/// through the same executor's compiled engine, once with the scalar tape
+/// walk (`lanes = 1`) and once with the vectorized multi-lane walk. Lanes
+/// evaluate the per-cell scalar op sequence independently, so
+/// `max_abs_diff` must be exactly `0.0` at every width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimdTiming {
+    /// Benchmark display name.
+    pub name: String,
+    /// Executor driven for this row (`reference`, `pipe_shared`, ...).
+    pub executor: String,
+    /// Median wall time of the scalar (1-lane) tape walk.
+    pub scalar_ms: f64,
+    /// Median wall time of the vectorized tape walk.
+    pub vector_ms: f64,
+    /// Lane width the vectorized runs used.
+    pub lanes: usize,
+    /// Maximum absolute difference between the two final grids (must be 0).
+    pub max_abs_diff: f64,
+}
+
+impl SimdTiming {
+    /// Speedup of the vectorized walk over the scalar walk.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ms / self.vector_ms
+    }
+}
+
+/// Times `run` at lane width 1 (scalar) and at `lanes` (vector), passing
+/// the width explicitly — no process environment is mutated. One untimed
+/// warm-up per mode feeds the bit-exactness check; only the executor call
+/// is inside the timer, state construction is not.
+///
+/// # Errors
+///
+/// Propagates executor failures; `samples` must be at least 1.
+pub fn time_simd_ab(
+    name: &str,
+    executor: &str,
+    program: &Program,
+    samples: usize,
+    lanes: usize,
+    mut run: impl FnMut(&Program, &mut GridState, usize) -> Result<(), ExecError>,
+) -> Result<SimdTiming, ExecError> {
+    if samples == 0 {
+        return Err(ExecError::config("timing needs at least one sample"));
+    }
+    let init = |n: &str, p: &Point| {
+        let mut v = n.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    };
+    let mut time_mode = |width: usize| -> Result<(f64, GridState), ExecError> {
+        let mut result = GridState::new(program, init);
+        run(program, &mut result, width)?;
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut s = GridState::new(program, init);
+            let start = Instant::now();
+            run(program, &mut s, width)?;
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        Ok((median_ms(&mut times), result))
+    };
+    let (scalar_ms, a) = time_mode(1)?;
+    let (vector_ms, b) = time_mode(lanes)?;
+    Ok(SimdTiming {
+        name: name.to_string(),
+        executor: executor.to_string(),
+        scalar_ms,
+        vector_ms,
+        lanes,
+        max_abs_diff: a.max_abs_diff(&b)?,
+    })
+}
+
 /// One row of the telemetry ablation: the threaded executor timed with the
 /// disabled sink vs with a live recorder, plus the bit-exactness check
 /// between the two final grids (recording must never perturb results).
@@ -800,6 +878,23 @@ mod tests {
         assert!(row.cells_scanned > 0, "health watchdog never ran");
         assert!(row.plain_ms > 0.0 && row.guarded_ms > 0.0);
         assert!(time_integrity_ab("none", &p, &partition, 0, 1, &ExecPolicy::default()).is_err());
+    }
+
+    #[test]
+    fn simd_ab_is_bit_exact_across_executors() {
+        use stencilcl_exec::run_reference_opts;
+        use stencilcl_lang::programs;
+        let p = programs::jacobi_2d()
+            .with_extent(stencilcl_grid::Extent::new2(16, 16))
+            .with_iterations(4);
+        let row = time_simd_ab("jacobi2d_16", "reference", &p, 2, 8, |p, s, w| {
+            run_reference_opts(p, s, &ExecOptions::new().lanes(w))
+        })
+        .unwrap();
+        assert_eq!(row.max_abs_diff, 0.0, "lane width perturbed the grid");
+        assert_eq!(row.lanes, 8);
+        assert!(row.scalar_ms > 0.0 && row.vector_ms > 0.0);
+        assert!(time_simd_ab("none", "reference", &p, 0, 8, |_, _, _| Ok(())).is_err());
     }
 
     #[test]

@@ -27,11 +27,17 @@
 //! stencilcl run <file.stencil> --fused N --parallelism KxK --tile WxW
 //!               [--kind pipe|hetero] [--deadline-ms N] [--health-bound X]
 //!               [--health-stride N] [--integrity on|off] [--retries N]
+//!               [--lanes W]
 //!     Execute under full supervision: slab checksums at every pipe splice
 //!     (on by default), an optional numerical-health watchdog
 //!     (`--health-bound`), and an optional wall-clock deadline
-//!     (`--deadline-ms`). Prints the recovery report — attempts, faults,
-//!     degradation path — and exits nonzero if the run was aborted.
+//!     (`--deadline-ms`). `--lanes` sets the vectorized tape-walk width
+//!     (1 = scalar; every width is bit-exact). Prints the recovery
+//!     report — attempts, faults, degradation path — and exits nonzero if
+//!     the run was aborted.
+//!
+//! Every `STENCILCL_*` environment knob supplies a default; an explicit
+//! flag always wins over the env value, which is frozen at first read.
 //! ```
 
 use std::fmt::Write as _;
@@ -64,7 +70,7 @@ const USAGE: &str = "usage:
   stencilcl trace    <file.stencil> --fused N --parallelism KxK --tile WxW [--out FILE.json]
   stencilcl run      <file.stencil> --fused N --parallelism KxK --tile WxW [--kind pipe|hetero]
                      [--deadline-ms N] [--health-bound X] [--health-stride N]
-                     [--integrity on|off] [--retries N]";
+                     [--integrity on|off] [--retries N] [--lanes W]";
 
 fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -362,28 +368,32 @@ fn trace_cmd(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn run_cmd(args: &[String]) -> Result<String, String> {
-    let opts = Opts::parse(args)?;
-    let program = opts.program()?;
-    if program.extent().volume() > 1 << 22 {
-        return Err("input too large for host-side execution; shrink the grid".into());
-    }
-    let (design, partition) = explicit_design(&opts, &program)?;
-    if design.kind() == DesignKind::Baseline {
-        return Err("run drives the supervised pipe executors; use --kind pipe or hetero".into());
-    }
-
-    let mut policy = ExecPolicy::from_env();
+/// Builds the supervised-run [`ExecOptions`]: the process env snapshot
+/// (`cfg`) supplies every default, then explicit flags overwrite their
+/// fields. `EnvConfig::get` freezes the snapshot at first read, so flag
+/// precedence cannot come from re-reading the environment — the only
+/// correct order is [`ExecOptions::from_config`] first, flags after.
+/// Absent flags leave the env-derived value intact (an env-armed health
+/// watchdog stays armed); `--integrity` alone defaults to on, the `run`
+/// command's documented baseline.
+fn supervised_options(cfg: &EnvConfig, opts: &Opts) -> Result<ExecOptions, String> {
+    let mut exec_opts = ExecOptions::from_config(cfg);
     if let Some(v) = opts.get("deadline-ms") {
         let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms `{v}`"))?;
-        policy.deadline = Some(std::time::Duration::from_millis(ms));
+        exec_opts.policy.deadline = Some(std::time::Duration::from_millis(ms));
     }
     if let Some(v) = opts.get("retries") {
-        policy.max_retries = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+        exec_opts.policy.max_retries = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
     }
-    let mut health = HealthPolicy::default();
+    if let Some(v) = opts.get("lanes") {
+        let lanes: usize = v.parse().map_err(|_| format!("bad --lanes `{v}`"))?;
+        if !(1..=16).contains(&lanes) {
+            return Err(format!("--lanes must be in 1..=16, got `{v}`"));
+        }
+        exec_opts.lanes = Some(lanes);
+    }
     if let Some(v) = opts.get("health-bound") {
-        health = match v {
+        exec_opts.health = match v {
             "nan" | "non-finite" => HealthPolicy::non_finite(),
             _ => {
                 let bound: f64 = v
@@ -397,7 +407,7 @@ fn run_cmd(args: &[String]) -> Result<String, String> {
         };
     }
     if let Some(v) = opts.get("health-stride") {
-        if !health.enabled() {
+        if !exec_opts.health.enabled() {
             return Err("--health-stride needs --health-bound to arm the watchdog".into());
         }
         let stride: usize = v
@@ -406,17 +416,29 @@ fn run_cmd(args: &[String]) -> Result<String, String> {
         if stride == 0 {
             return Err("--health-stride must be at least 1".into());
         }
-        health = health.stride(stride);
+        exec_opts.health = exec_opts.health.stride(stride);
     }
-    let integrity = match opts.get("integrity").unwrap_or("on") {
+    exec_opts.integrity = match opts.get("integrity").unwrap_or("on") {
         "on" | "true" | "1" => true,
         "off" | "false" | "0" => false,
         other => return Err(format!("bad --integrity `{other}` (on|off)")),
     };
-    let exec_opts = ExecOptions::from_env()
-        .policy(policy)
-        .health(health)
-        .integrity(integrity);
+    Ok(exec_opts)
+}
+
+fn run_cmd(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let program = opts.program()?;
+    if program.extent().volume() > 1 << 22 {
+        return Err("input too large for host-side execution; shrink the grid".into());
+    }
+    let (design, partition) = explicit_design(&opts, &program)?;
+    if design.kind() == DesignKind::Baseline {
+        return Err("run drives the supervised pipe executors; use --kind pipe or hetero".into());
+    }
+
+    let exec_opts = supervised_options(EnvConfig::get(), &opts)?;
+    let integrity = exec_opts.integrity;
 
     let mut state = GridState::new(&program, |name, p| {
         let mut v = name.len() as f64;
@@ -545,6 +567,96 @@ mod tests {
         )
         .unwrap();
         file.to_string_lossy().to_string()
+    }
+
+    fn frozen_config(pairs: &[(&str, &str)]) -> EnvConfig {
+        let (cfg, warnings) = EnvConfig::parse(|var| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == var)
+                .map(|(_, v)| v.to_string())
+        });
+        assert!(warnings.is_empty(), "{warnings:?}");
+        cfg
+    }
+
+    fn flag_opts(flags: &[&str]) -> Opts {
+        let mut args = vec!["f.stencil".to_string()];
+        args.extend(flags.iter().map(|s| s.to_string()));
+        Opts::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn cli_flags_override_the_frozen_env_config() {
+        // Simulates a process whose OnceLock froze these env values before
+        // the CLI parsed its flags: every explicit flag must still win.
+        let cfg = frozen_config(&[
+            ("STENCILCL_DEADLINE_MS", "1000"),
+            ("STENCILCL_MAX_RETRIES", "7"),
+            ("STENCILCL_LANES", "2"),
+            ("STENCILCL_INTEGRITY", "1"),
+        ]);
+        let opts = flag_opts(&[
+            "--deadline-ms",
+            "250",
+            "--retries",
+            "1",
+            "--lanes",
+            "8",
+            "--integrity",
+            "off",
+        ]);
+        let exec = supervised_options(&cfg, &opts).unwrap();
+        assert_eq!(
+            exec.policy.deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(exec.policy.max_retries, 1);
+        assert_eq!(exec.lanes, Some(8));
+        assert!(!exec.integrity);
+    }
+
+    #[test]
+    fn absent_flags_keep_the_env_derived_defaults() {
+        let cfg = frozen_config(&[
+            ("STENCILCL_DEADLINE_MS", "1000"),
+            ("STENCILCL_HEALTH_BOUND", "1e9"),
+            ("STENCILCL_HEALTH_STRIDE", "3"),
+            ("STENCILCL_LANES", "4"),
+        ]);
+        let exec = supervised_options(&cfg, &flag_opts(&[])).unwrap();
+        assert_eq!(
+            exec.policy.deadline,
+            Some(std::time::Duration::from_millis(1000))
+        );
+        // The env-armed health watchdog survives a flagless invocation
+        // (it used to be clobbered by a disarmed default).
+        assert!(exec.health.enabled());
+        assert_eq!(exec.health.stride, 3);
+        assert_eq!(exec.lanes, Some(4));
+        // `run` seals slabs by default even when env leaves them off.
+        assert!(exec.integrity);
+    }
+
+    #[test]
+    fn health_stride_flag_refines_an_env_armed_watchdog() {
+        let cfg = frozen_config(&[("STENCILCL_HEALTH_BOUND", "1e9")]);
+        let exec = supervised_options(&cfg, &flag_opts(&["--health-stride", "9"])).unwrap();
+        assert!(exec.health.enabled());
+        assert_eq!(exec.health.stride, 9);
+        // Without any bound the stride flag still has nothing to refine.
+        let err = supervised_options(&frozen_config(&[]), &flag_opts(&["--health-stride", "9"]))
+            .unwrap_err();
+        assert!(err.contains("--health-bound"), "{err}");
+    }
+
+    #[test]
+    fn lanes_flag_is_validated() {
+        let cfg = frozen_config(&[]);
+        for bad in ["0", "17", "wide"] {
+            let err = supervised_options(&cfg, &flag_opts(&["--lanes", bad])).unwrap_err();
+            assert!(err.contains("--lanes"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Temporal (trapezoid) blocking for the reference executor.
+//!
+//! The paper's accelerator designs hide iteration latency two ways: the
+//! baseline overlapped tiling recomputes a halo cone per fused pass, and the
+//! pipe-shared designs keep persistent per-kernel windows fed by pipes. On
+//! the host side the reference executor normally sweeps the full grid once
+//! per iteration; for grids that outgrow the cache that wastes bandwidth —
+//! every iteration streams every array through memory.
+//!
+//! [`run_blocked_reference`] is the cache-blocked rendition: the grid is cut
+//! into square-ish tiles of [`ExecPolicy::tile`](crate::ExecPolicy) cells
+//! per axis, and each tile independently advances `h` fused iterations by
+//! expanding its footprint into the same trapezoid cone the overlapped
+//! executor uses ([`DomainPlan`]) — grid-boundary faces stay fixed, interior
+//! faces grow by the stencil's per-iteration halo. The block depth `h` is
+//! sized from the cone math: deep enough to amortize the tile reload, but
+//! shallow enough that the redundant halo (which grows linearly with `h`)
+//! stays a fraction of the tile.
+//!
+//! Redundant work is *accounted*, not hidden: every cell a tile evaluates
+//! outside its own output rect increments
+//! [`Counter::RedundantCells`] (alongside the total in
+//! [`Counter::CellsComputed`]), so the A/B bench can report the recompute
+//! overhead the blocking trades for locality.
+//!
+//! Results are bit-exact with the plain reference loop by the same argument
+//! as the overlapped executor's: the trapezoid changes *where* values are
+//! computed, never *what* they are — every domain cell is evaluated from
+//! values carrying exactly the reference iteration history.
+
+use stencilcl_grid::{DesignKind, Face, FaceKind, Point, Rect, TileInfo};
+use stencilcl_lang::{GridState, Interpreter, Program, StencilFeatures};
+use stencilcl_telemetry::{Counter, Disabled, TracePhase, TraceSink};
+
+use crate::domains::DomainPlan;
+use crate::engine::{compile_with_env_unroll, Engine};
+use crate::integrity::{scan_state, RunLimits};
+use crate::options::{EngineKind, ExecOptions};
+use crate::overlapped::window_extent;
+use crate::window::{extract_window, write_back};
+use crate::ExecError;
+
+/// Picks the fused depth for one temporal block: the deepest `h` whose
+/// one-sided cone growth `h · g` stays within half the tile edge (so a
+/// tile's trapezoid base at most doubles its footprint per axis), clamped
+/// to `1..=iterations`. Pointwise stencils (`g == 0`) have no cone and can
+/// fuse the whole run.
+pub(crate) fn block_depth(tile: usize, growth: u64, iterations: u64) -> u64 {
+    if iterations == 0 {
+        return 0;
+    }
+    if growth == 0 {
+        return iterations;
+    }
+    (tile as u64 / (2 * growth)).clamp(1, iterations)
+}
+
+/// Cuts `grid_rect` into tiles of at most `tile` cells per axis and
+/// classifies each face: grid-boundary faces stay
+/// [`FaceKind::GridBoundary`] (fixed by the boundary condition), interior
+/// cuts become [`FaceKind::RegionBoundary`] (halo loaded and recomputed,
+/// exactly like the baseline design's inter-region faces).
+pub(crate) fn block_tiles(grid_rect: &Rect, tile: usize) -> Result<Vec<TileInfo>, ExecError> {
+    let dim = grid_rect.dim();
+    let t = tile as i64;
+    let counts: Vec<i64> = (0..dim)
+        .map(|d| (grid_rect.len(d) as i64 + t - 1) / t)
+        .collect();
+    let mut tiles = Vec::new();
+    let mut index = vec![0i64; dim];
+    loop {
+        let mut lo = Vec::with_capacity(dim);
+        let mut hi = Vec::with_capacity(dim);
+        let mut faces = Vec::with_capacity(2 * dim);
+        for d in 0..dim {
+            let l = grid_rect.lo().coord(d) + index[d] * t;
+            let h = (l + t).min(grid_rect.hi().coord(d));
+            lo.push(l);
+            hi.push(h);
+            for high in [false, true] {
+                let on_grid_edge = if high {
+                    h == grid_rect.hi().coord(d)
+                } else {
+                    l == grid_rect.lo().coord(d)
+                };
+                faces.push(Face {
+                    axis: d,
+                    high,
+                    kind: if on_grid_edge {
+                        FaceKind::GridBoundary
+                    } else {
+                        FaceKind::RegionBoundary
+                    },
+                });
+            }
+        }
+        let rect = Rect::new(Point::new(&lo)?, Point::new(&hi)?)?;
+        let kernel = tiles.len();
+        tiles.push(TileInfo::new(kernel, Point::new(&index)?, rect, faces));
+        // Odometer over the tile grid, last axis fastest.
+        let mut d = dim;
+        loop {
+            if d == 0 {
+                return Ok(tiles);
+            }
+            d -= 1;
+            index[d] += 1;
+            if index[d] < counts[d] {
+                break;
+            }
+            index[d] = 0;
+        }
+    }
+}
+
+/// The temporally blocked reference execution behind
+/// [`run_reference_opts`](crate::run_reference_opts) when
+/// [`ExecPolicy::tile`](crate::ExecPolicy) is set.
+pub(crate) fn run_blocked_reference(
+    program: &Program,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> Result<(), ExecError> {
+    let tile = opts
+        .policy
+        .tile
+        .ok_or_else(|| ExecError::config("blocked reference requires ExecPolicy::tile"))?;
+    if tile == 0 {
+        return Err(ExecError::config("temporal tile size must be at least 1"));
+    }
+    let limits = opts.limits();
+    match &opts.trace {
+        Some(rec) => blocked_impl(
+            program,
+            state,
+            tile,
+            opts.engine,
+            opts.lanes,
+            limits,
+            &rec.clone(),
+        ),
+        None => blocked_impl(program, state, tile, opts.engine, opts.lanes, limits, &Disabled),
+    }
+}
+
+/// Pass/tile driver for the blocked reference execution: per temporal block,
+/// snapshot the grid, advance every tile `h` fused iterations through its
+/// own trapezoid cone, and write each tile's output rect back.
+fn blocked_impl<S: TraceSink>(
+    program: &Program,
+    state: &mut GridState,
+    tile: usize,
+    engine_kind: EngineKind,
+    lanes: Option<usize>,
+    limits: RunLimits,
+    sink: &S,
+) -> Result<(), ExecError> {
+    let features = StencilFeatures::extract(program)?;
+    let grid_rect = Rect::from_extent(&program.extent());
+    let tiles = block_tiles(&grid_rect, tile)?;
+    let g = (0..features.dim)
+        .map(|d| features.growth.lo(d).max(features.growth.hi(d)))
+        .max()
+        .unwrap_or(0);
+    let h = block_depth(tile, g, program.iterations);
+    let updated: Vec<&str> = program.updated_grids();
+    let scanned: Vec<String> = updated.iter().map(|s| s.to_string()).collect();
+    let tile_index: Vec<(usize, Rect)> = if limits.health.enabled() {
+        tiles.iter().map(|t| (t.kernel(), t.rect())).collect()
+    } else {
+        Vec::new()
+    };
+    let mut done = 0u64;
+    while done < program.iterations {
+        limits.check_deadline(done)?;
+        let h_eff = h.min(program.iterations - done);
+        let snapshot = state.clone();
+        for t in &tiles {
+            let dp = DomainPlan::new(&features, t, DesignKind::Baseline, h_eff, &grid_rect)?;
+            let buffer = dp.buffer();
+            let k = t.kernel();
+            let read_t0 = sink.now();
+            let local_program = program.with_extent(window_extent(&buffer)?);
+            let mut local = extract_window(&snapshot, program, &local_program, &buffer)?;
+            if S::ACTIVE {
+                sink.add(
+                    Counter::HaloBytes,
+                    buffer.volume()
+                        * std::mem::size_of::<f64>() as u64
+                        * local_program.grids.len() as u64,
+                );
+                sink.span(k, 0, TracePhase::Read, read_t0, sink.now());
+            }
+            let compiled;
+            let engine = match engine_kind {
+                EngineKind::Interpreted => Engine::Interpreted(Interpreter::new(&local_program)),
+                EngineKind::Compiled => {
+                    compiled = compile_with_env_unroll(&local_program, lanes)?;
+                    Engine::Compiled(&compiled)
+                }
+            };
+            let origin = buffer.lo();
+            for i in 1..=h_eff {
+                let compute_t0 = sink.now();
+                for s in 0..program.updates.len() {
+                    let global_domain = dp.domain(i, s);
+                    let domain = global_domain.translate(&-origin)?;
+                    if S::ACTIVE {
+                        sink.add(Counter::CellsComputed, domain.volume());
+                        let own = global_domain.intersect(&t.rect())?.volume();
+                        sink.add(Counter::RedundantCells, domain.volume() - own);
+                    }
+                    engine.apply_statement(&mut local, s, &domain)?;
+                }
+                if S::ACTIVE {
+                    sink.span(
+                        k,
+                        0,
+                        TracePhase::Compute {
+                            iteration: done + i,
+                        },
+                        compute_t0,
+                        sink.now(),
+                    );
+                }
+            }
+            let write_t0 = sink.now();
+            write_back(state, &local, &updated, &origin, &t.rect())?;
+            if S::ACTIVE {
+                sink.span(k, 0, TracePhase::Write, write_t0, sink.now());
+            }
+        }
+        if limits.health.enabled() {
+            if let Err(e) = scan_state(&limits.health, state, &scanned, &tile_index, done, sink) {
+                *state = snapshot;
+                return Err(e);
+            }
+        }
+        done += h_eff;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_reference, run_reference_opts, ExecPolicy};
+    use stencilcl_grid::Extent;
+    use stencilcl_lang::programs;
+    use stencilcl_telemetry::Recorder;
+
+    fn init(name: &str, p: &Point) -> f64 {
+        let mut v = name.len() as f64 + 2.0;
+        for d in 0..p.dim() {
+            v = v * 23.0 + p.coord(d) as f64;
+        }
+        (v * 0.0021).sin()
+    }
+
+    fn blocked_opts(tile: usize) -> ExecOptions {
+        ExecOptions::new().policy(ExecPolicy {
+            tile: Some(tile),
+            ..ExecPolicy::default()
+        })
+    }
+
+    #[test]
+    fn block_depth_scales_with_tile_and_growth() {
+        assert_eq!(block_depth(16, 1, 100), 8);
+        assert_eq!(block_depth(16, 2, 100), 4);
+        assert_eq!(block_depth(2, 3, 100), 1, "never below one iteration");
+        assert_eq!(block_depth(1024, 1, 5), 5, "clamped to the run length");
+        assert_eq!(block_depth(8, 0, 7), 7, "pointwise fuses everything");
+        assert_eq!(block_depth(8, 1, 0), 0);
+    }
+
+    #[test]
+    fn block_tiles_partition_the_grid() {
+        let grid = Rect::from_extent(&Extent::new2(20, 12));
+        let tiles = block_tiles(&grid, 8).unwrap();
+        assert_eq!(tiles.len(), 3 * 2);
+        let total: u64 = tiles.iter().map(|t| t.rect().volume()).sum();
+        assert_eq!(total, grid.volume());
+        for (a, ta) in tiles.iter().enumerate() {
+            assert_eq!(ta.kernel(), a);
+            for tb in &tiles[a + 1..] {
+                assert!(ta.rect().intersect(&tb.rect()).unwrap().is_empty());
+            }
+            for f in ta.faces() {
+                let on_edge = if f.high {
+                    ta.rect().hi().coord(f.axis) == grid.hi().coord(f.axis)
+                } else {
+                    ta.rect().lo().coord(f.axis) == grid.lo().coord(f.axis)
+                };
+                match f.kind {
+                    FaceKind::GridBoundary => assert!(on_edge),
+                    FaceKind::RegionBoundary => assert!(!on_edge),
+                    FaceKind::Shared { .. } => panic!("blocked tiles never share pipes"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_reference_is_bit_exact_with_the_plain_loop() {
+        for (p, tile) in [
+            (
+                programs::jacobi_2d()
+                    .with_extent(Extent::new2(33, 29))
+                    .with_iterations(9),
+                8,
+            ),
+            (
+                programs::fdtd_2d()
+                    .with_extent(Extent::new2(24, 24))
+                    .with_iterations(5),
+                16,
+            ),
+            (
+                programs::jacobi_1d()
+                    .with_extent(Extent::new1(64))
+                    .with_iterations(10),
+                8,
+            ),
+        ] {
+            let mut expect = GridState::new(&p, init);
+            run_reference(&p, &mut expect).unwrap();
+            let mut got = GridState::new(&p, init);
+            run_reference_opts(&p, &mut got, &blocked_opts(tile)).unwrap();
+            assert_eq!(
+                expect.max_abs_diff(&got).unwrap(),
+                0.0,
+                "{} tile={tile} diverged",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn tile_larger_than_the_grid_degenerates_to_plain_fusion() {
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(16, 16))
+            .with_iterations(6);
+        let mut expect = GridState::new(&p, init);
+        run_reference(&p, &mut expect).unwrap();
+        let mut got = GridState::new(&p, init);
+        run_reference_opts(&p, &mut got, &blocked_opts(1024)).unwrap();
+        assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn redundant_cells_are_counted_and_bounded_by_the_total() {
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(32, 32))
+            .with_iterations(8);
+        let rec = Recorder::new();
+        let opts = blocked_opts(8).trace(rec.clone());
+        let mut got = GridState::new(&p, init);
+        run_reference_opts(&p, &mut got, &opts).unwrap();
+        let t = rec.finish();
+        assert!(t.counters.redundant_cells > 0, "8x8 tiles must recompute");
+        assert!(t.counters.redundant_cells < t.counters.cells_computed);
+        // The non-redundant remainder is exactly the reference work:
+        // every interior cell once per (iteration, statement).
+        let mut plain = GridState::new(&p, init);
+        let plain_rec = Recorder::new();
+        crate::run_overlapped_opts(
+            &p,
+            &stencilcl_grid::Partition::new(
+                p.extent(),
+                &stencilcl_grid::Design::equal(
+                    stencilcl_grid::DesignKind::Baseline,
+                    1,
+                    vec![1, 1],
+                    vec![32, 32],
+                )
+                .unwrap(),
+                &StencilFeatures::extract(&p).unwrap().growth,
+            )
+            .unwrap(),
+            &mut plain,
+            &ExecOptions::new().trace(plain_rec.clone()),
+        )
+        .unwrap();
+        let baseline = plain_rec.finish();
+        assert_eq!(baseline.counters.redundant_cells, 0, "one whole-grid tile");
+        assert_eq!(
+            t.counters.cells_computed - t.counters.redundant_cells,
+            baseline.counters.cells_computed,
+            "useful work is invariant under blocking"
+        );
+        assert_eq!(got.max_abs_diff(&plain).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_tile_is_rejected() {
+        let p = programs::jacobi_1d()
+            .with_extent(Extent::new1(16))
+            .with_iterations(2);
+        let mut s = GridState::uniform(&p, 0.0);
+        let err = run_reference_opts(&p, &mut s, &blocked_opts(0)).unwrap_err();
+        assert!(err.to_string().contains("tile size"));
+    }
+}

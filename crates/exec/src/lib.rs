@@ -46,7 +46,13 @@
 //! run — per (region, kernel) for the pipe executors. Setting
 //! `STENCILCL_INTERPRET=1` switches the run back to the tree-walking AST
 //! interpreter (the differential-test oracle); `STENCILCL_UNROLL=<U>`
-//! selects the compiled row-sweep unroll factor. Both modes are bit-exact.
+//! selects the scalar row-sweep unroll factor and `STENCILCL_LANES=<W>`
+//! the lane width of the vectorized tape walk (cross-cell lanes, so every
+//! width is bit-exact — see `stencilcl_lang::CompiledProgram`). Setting
+//! [`ExecPolicy::tile`] (or `STENCILCL_TILE=<T>`) switches the reference
+//! executor to a temporally blocked trapezoid sweep, with the redundant
+//! halo recompute reported via [`Counter::RedundantCells`].
+//! All modes are bit-exact.
 //! Environment variables are only the outermost default: every executor has
 //! a `*_opts` variant taking an explicit [`ExecOptions`] (engine, policy,
 //! telemetry sink), and the `STENCILCL_*` knobs are parsed exactly once per
@@ -96,6 +102,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod blocking;
 mod domains;
 mod engine;
 mod error;

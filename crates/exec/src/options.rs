@@ -72,6 +72,10 @@ pub struct ExecOptions {
     /// [`ExecError::SlabCorrupt`](crate::ExecError::SlabCorrupt). Off by
     /// default (zero cost when off — the checksum is never computed).
     pub integrity: bool,
+    /// Lane width of the compiled vectorized tape walk: `Some(1)` forces
+    /// the scalar walk, `Some(w)` a `w`-lane sweep, `None` defers to
+    /// `STENCILCL_LANES` / the compiler default. Every width is bit-exact.
+    pub lanes: Option<usize>,
 }
 
 impl ExecOptions {
@@ -89,20 +93,33 @@ impl ExecOptions {
     /// `STENCILCL_HEALTH_STRIDE` arm the health watchdog, and
     /// `STENCILCL_INTEGRITY` arms slab checksums.
     pub fn from_env() -> ExecOptions {
-        let env = EnvConfig::get();
-        let mut health = match env.health_bound {
+        ExecOptions::from_config(EnvConfig::get())
+    }
+
+    /// Options seeded from an explicit [`EnvConfig`] — the testable seam
+    /// behind [`ExecOptions::from_env`]. The process snapshot is frozen on
+    /// first read, so callers layering CLI flags on top (the `stencilcl`
+    /// binary) build from the snapshot here and then overwrite fields from
+    /// their flags: a flag always beats the frozen env.
+    pub fn from_config(cfg: &EnvConfig) -> ExecOptions {
+        let mut health = match cfg.health_bound {
             Some(bound) => HealthPolicy::bounded(bound),
             None => HealthPolicy::default(),
         };
-        if let Some(stride) = env.health_stride {
+        if let Some(stride) = cfg.health_stride {
             health = health.stride(stride);
         }
         ExecOptions {
-            engine: EngineKind::from_env(),
-            policy: ExecPolicy::from_env(),
-            trace: env.trace.then(Recorder::new),
+            engine: if cfg.interpret {
+                EngineKind::Interpreted
+            } else {
+                EngineKind::Compiled
+            },
+            policy: ExecPolicy::from_config(cfg),
+            trace: cfg.trace.then(Recorder::new),
             health,
-            integrity: env.integrity,
+            integrity: cfg.integrity,
+            lanes: cfg.lanes,
         }
     }
 
@@ -142,6 +159,14 @@ impl ExecOptions {
         self
     }
 
+    /// Sets the compiled tape-walk lane width (`1` = scalar; bit-exact at
+    /// every width).
+    #[must_use]
+    pub fn lanes(mut self, lanes: usize) -> ExecOptions {
+        self.lanes = Some(lanes);
+        self
+    }
+
     /// The run-limits envelope for one run, with the deadline clock
     /// anchored at this call.
     pub(crate) fn limits(&self) -> crate::integrity::RunLimits {
@@ -173,6 +198,35 @@ mod tests {
         assert_eq!(opts.health.stride, 3);
         assert!(opts.integrity);
         assert!(opts.limits().any_active());
+    }
+
+    #[test]
+    fn from_config_maps_every_knob() {
+        let (cfg, warnings) = EnvConfig::parse(|var| {
+            match var {
+                "STENCILCL_INTERPRET" => Some("1"),
+                "STENCILCL_DEADLINE_MS" => Some("1500"),
+                "STENCILCL_HEALTH_BOUND" => Some("1e9"),
+                "STENCILCL_HEALTH_STRIDE" => Some("5"),
+                "STENCILCL_INTEGRITY" => Some("1"),
+                "STENCILCL_LANES" => Some("4"),
+                "STENCILCL_TILE" => Some("32"),
+                _ => None,
+            }
+            .map(String::from)
+        });
+        assert!(warnings.is_empty());
+        let opts = ExecOptions::from_config(&cfg);
+        assert_eq!(opts.engine, EngineKind::Interpreted);
+        assert_eq!(
+            opts.policy.deadline,
+            Some(std::time::Duration::from_millis(1500))
+        );
+        assert!(opts.health.enabled());
+        assert_eq!(opts.health.stride, 5);
+        assert!(opts.integrity);
+        assert_eq!(opts.lanes, Some(4));
+        assert_eq!(opts.policy.tile, Some(32));
     }
 
     #[test]

@@ -57,8 +57,24 @@ pub fn run_overlapped_opts(
     }
     let limits = opts.limits();
     match &opts.trace {
-        Some(rec) => run_fused(program, partition, state, opts.engine, limits, &rec.clone()),
-        None => run_fused(program, partition, state, opts.engine, limits, &Disabled),
+        Some(rec) => run_fused(
+            program,
+            partition,
+            state,
+            opts.engine,
+            opts.lanes,
+            limits,
+            &rec.clone(),
+        ),
+        None => run_fused(
+            program,
+            partition,
+            state,
+            opts.engine,
+            opts.lanes,
+            limits,
+            &Disabled,
+        ),
     }
 }
 
@@ -70,6 +86,7 @@ pub(crate) fn run_fused<S: TraceSink>(
     partition: &Partition,
     state: &mut GridState,
     engine_kind: EngineKind,
+    lanes: Option<usize>,
     limits: RunLimits,
     sink: &S,
 ) -> Result<(), ExecError> {
@@ -118,7 +135,7 @@ pub(crate) fn run_fused<S: TraceSink>(
                         Engine::Interpreted(Interpreter::new(&local_program))
                     }
                     EngineKind::Compiled => {
-                        compiled = compile_with_env_unroll(&local_program)?;
+                        compiled = compile_with_env_unroll(&local_program, lanes)?;
                         Engine::Compiled(&compiled)
                     }
                 };
@@ -126,9 +143,15 @@ pub(crate) fn run_fused<S: TraceSink>(
                 for i in 1..=h_eff {
                     let compute_t0 = sink.now();
                     for s in 0..program.updates.len() {
-                        let domain = dp.domain(i, s).translate(&-origin)?;
+                        let global_domain = dp.domain(i, s);
+                        let domain = global_domain.translate(&-origin)?;
                         if S::ACTIVE {
                             sink.add(Counter::CellsComputed, domain.volume());
+                            // Every cell outside the tile's own output rect
+                            // is the trapezoid's redundant halo recompute —
+                            // a neighboring tile computes it too.
+                            let own = global_domain.intersect(&tile.rect())?.volume();
+                            sink.add(Counter::RedundantCells, domain.volume() - own);
                         }
                         engine.apply_statement(&mut local, s, &domain)?;
                     }

@@ -55,8 +55,24 @@ pub fn run_pipe_shared_opts(
 ) -> Result<(), ExecError> {
     let limits = opts.limits();
     match &opts.trace {
-        Some(rec) => pipe_shared_impl(program, partition, state, opts.engine, limits, &rec.clone()),
-        None => pipe_shared_impl(program, partition, state, opts.engine, limits, &Disabled),
+        Some(rec) => pipe_shared_impl(
+            program,
+            partition,
+            state,
+            opts.engine,
+            opts.lanes,
+            limits,
+            &rec.clone(),
+        ),
+        None => pipe_shared_impl(
+            program,
+            partition,
+            state,
+            opts.engine,
+            opts.lanes,
+            limits,
+            &Disabled,
+        ),
     }
 }
 
@@ -68,10 +84,11 @@ pub(crate) fn pipe_shared_impl<S: TraceSink>(
     partition: &Partition,
     state: &mut GridState,
     engine: EngineKind,
+    lanes: Option<usize>,
     limits: RunLimits,
     sink: &S,
 ) -> Result<(), ExecError> {
-    let plan = PipelinePlan::new(program, partition)?;
+    let plan = PipelinePlan::new(program, partition, lanes)?;
     if plan.depths.is_empty() {
         return Ok(());
     }

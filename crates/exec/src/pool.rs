@@ -188,8 +188,14 @@ pub(crate) fn pass_depths(fused: u64, iterations: u64) -> Vec<u64> {
 
 impl PipelinePlan {
     /// Builds the full per-run plan, validating the design kind and stencil
-    /// shape exactly like the original per-pass executors did.
-    pub fn new(program: &Program, partition: &Partition) -> Result<Self, ExecError> {
+    /// shape exactly like the original per-pass executors did. `lanes` is
+    /// the run's explicit lane width for the compiled tape walk (`None`
+    /// defers to `STENCILCL_LANES` / the compiler default).
+    pub fn new(
+        program: &Program,
+        partition: &Partition,
+        lanes: Option<usize>,
+    ) -> Result<Self, ExecError> {
         let features = StencilFeatures::extract(program)?;
         if !partition.design().kind().uses_pipes() {
             return Err(ExecError::config(
@@ -273,7 +279,7 @@ impl PipelinePlan {
                     .collect::<Result<_, ExecError>>()?;
                 let region_compiled: Vec<CompiledProgram> = region_programs
                     .iter()
-                    .map(compile_with_env_unroll)
+                    .map(|p| compile_with_env_unroll(p, lanes))
                     .collect::<Result<_, _>>()?;
                 for e in &deepest.edges[r] {
                     if !pairs.contains(&(e.from, e.to)) {
@@ -376,6 +382,7 @@ pub(crate) struct SplitScratch {
     have: Vec<bool>,
     values: Vec<f64>,
     stack: Vec<f64>,
+    eval: stencilcl_lang::EvalScratch,
 }
 
 impl SplitScratch {
@@ -416,8 +423,12 @@ fn clipped_lin(clipped: &Rect, p: &stencilcl_grid::Point) -> usize {
 ///
 /// With a compiled engine both the boundary cache and the interior are
 /// evaluated through the statement's bytecode tape; the interior is a
-/// row-major sweep over contiguous rows with per-cell cache reuse, no
-/// `Point` construction, and bounds proven once per row.
+/// row-major sweep over contiguous rows through the lane-parallel walk
+/// ([`CompiledProgram::eval_row_into`]), no `Point` construction, and
+/// bounds proven once per row. Boundary cells already in the cache are
+/// recomputed as part of their row — the cache is memoization over the
+/// unmutated pre-statement state, so the recompute is bit-identical and
+/// the row stays contiguous for the vector lanes.
 ///
 /// `outs[e]` is the local-coordinate source rect of outgoing slab `e`;
 /// `emit(e, values)` receives the post-statement values of the target array
@@ -503,23 +514,22 @@ pub(crate) fn apply_statement_split<S: TraceSink>(
                 if clipped.is_empty() {
                     return Ok(());
                 }
-                // Interior sweep: contiguous rows, the cell's linear index
-                // advancing by one per cell — no per-cell Point or bounds
-                // checks beyond slice indexing.
+                // Interior sweep: whole contiguous rows through the
+                // lane-parallel tape walk. The boundary cache above is pure
+                // memoization — `local` is unmutated until the write below —
+                // so re-evaluating cached cells as part of their row is
+                // bit-identical and keeps the sweep branch-free.
                 let row_len = clipped.len(clipped.dim() - 1) as usize;
-                let mut crow = 0usize;
                 for start in clipped.row_starts() {
                     let base = cp.extent().linearize(&start)?;
-                    for j in 0..row_len {
-                        let ci = crow + j;
-                        let v = if scratch.have[ci] {
-                            scratch.cached[ci]
-                        } else {
-                            cp.eval_idx(s, &views, base + j, &mut scratch.stack)
-                        };
-                        scratch.values.push(v);
-                    }
-                    crow += row_len;
+                    cp.eval_row_into(
+                        s,
+                        &views,
+                        base,
+                        row_len,
+                        &mut scratch.eval,
+                        &mut scratch.values,
+                    )?;
                 }
             }
             let target_grid = local.grid_mut(target)?;
@@ -580,7 +590,7 @@ mod tests {
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![8, 8]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
-        PipelinePlan::new(&p, &partition).unwrap()
+        PipelinePlan::new(&p, &partition, None).unwrap()
     }
 
     #[test]
@@ -637,6 +647,6 @@ mod tests {
         let f = StencilFeatures::extract(&p).unwrap();
         let d = Design::equal(DesignKind::Baseline, 2, vec![2], vec![8]).unwrap();
         let partition = Partition::new(p.extent(), &d, &f.growth).unwrap();
-        assert!(PipelinePlan::new(&p, &partition).is_err());
+        assert!(PipelinePlan::new(&p, &partition, None).is_err());
     }
 }

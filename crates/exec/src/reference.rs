@@ -52,20 +52,25 @@ pub fn run_reference_opts(
     state: &mut GridState,
     opts: &ExecOptions,
 ) -> Result<(), ExecError> {
+    if opts.policy.tile.is_some() {
+        // Temporal blocking requested ([`crate::ExecPolicy::tile`] /
+        // `STENCILCL_TILE`): hand the run to the trapezoid-blocked driver.
+        return crate::blocking::run_blocked_reference(program, state, opts);
+    }
     let limits = opts.limits();
     if !limits.any_active() {
         // Unguarded fast path: hand the whole run to the engine at once.
         match opts.engine {
             EngineKind::Interpreted => Interpreter::new(program).run(state, program.iterations)?,
             EngineKind::Compiled => {
-                compile_with_env_unroll(program)?.run(state, program.iterations)?
+                compile_with_env_unroll(program, opts.lanes)?.run(state, program.iterations)?
             }
         }
         return Ok(());
     }
     match &opts.trace {
-        Some(rec) => guarded_reference(program, state, opts.engine, limits, &rec.clone()),
-        None => guarded_reference(program, state, opts.engine, limits, &Disabled),
+        Some(rec) => guarded_reference(program, state, opts.engine, opts.lanes, limits, &rec.clone()),
+        None => guarded_reference(program, state, opts.engine, opts.lanes, limits, &Disabled),
     }
 }
 
@@ -78,6 +83,7 @@ fn guarded_reference<S: TraceSink>(
     program: &Program,
     state: &mut GridState,
     engine: EngineKind,
+    lanes: Option<usize>,
     limits: RunLimits,
     sink: &S,
 ) -> Result<(), ExecError> {
@@ -88,7 +94,7 @@ fn guarded_reference<S: TraceSink>(
         .collect();
     let interp = Interpreter::new(program);
     let compiled = match engine {
-        EngineKind::Compiled => Some(compile_with_env_unroll(program)?),
+        EngineKind::Compiled => Some(compile_with_env_unroll(program, lanes)?),
         EngineKind::Interpreted => None,
     };
     let mut checkpoint = limits.health.enabled().then(|| state.clone());

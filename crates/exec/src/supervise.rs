@@ -86,6 +86,12 @@ pub struct ExecPolicy {
     /// [`ExecError::DeadlineExceeded`](crate::ExecError) carrying the
     /// completed-iteration count. `None` (the default) means unbounded.
     pub deadline: Option<Duration>,
+    /// Spatial tile edge (cells) for the temporally blocked reference
+    /// driver: `Some(t)` makes [`run_reference_opts`](crate::run_reference_opts)
+    /// sweep trapezoid tiles of roughly `t` cells per axis, fusing as many
+    /// iterations per tile as the stencil cone allows. `None` (the
+    /// default) runs the plain whole-grid sweep.
+    pub tile: Option<usize>,
 }
 
 impl Default for ExecPolicy {
@@ -99,6 +105,7 @@ impl Default for ExecPolicy {
             backoff_max: Duration::from_secs(1),
             sequential_fallback: true,
             deadline: None,
+            tile: None,
         }
     }
 }
@@ -112,9 +119,21 @@ impl ExecPolicy {
 
     /// Defaults overridden by the process environment (parsed once):
     /// `STENCILCL_WATCHDOG_MS`, `STENCILCL_DRAIN_MS`,
-    /// `STENCILCL_MAX_RETRIES`, `STENCILCL_DEADLINE_MS`.
+    /// `STENCILCL_MAX_RETRIES`, `STENCILCL_DEADLINE_MS`, `STENCILCL_TILE`.
+    ///
+    /// The snapshot is frozen on first read, so callers layering CLI flags
+    /// on top must apply them *after* this call (see
+    /// [`ExecPolicy::from_config`] for an injectable variant) — flags
+    /// always beat the frozen env.
     pub fn from_env() -> ExecPolicy {
-        let cfg = EnvConfig::get();
+        ExecPolicy::from_config(EnvConfig::get())
+    }
+
+    /// Defaults overridden by an explicit [`EnvConfig`] — the testable
+    /// seam behind [`ExecPolicy::from_env`]: callers that must guarantee
+    /// CLI-flag precedence build the policy from the frozen snapshot here,
+    /// then overwrite fields from their flags.
+    pub fn from_config(cfg: &EnvConfig) -> ExecPolicy {
         let mut policy = ExecPolicy::default();
         if let Some(ms) = cfg.watchdog_ms {
             policy.watchdog = Duration::from_millis(ms);
@@ -127,6 +146,9 @@ impl ExecPolicy {
         }
         if let Some(ms) = cfg.deadline_ms {
             policy.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(t) = cfg.tile {
+            policy.tile = Some(t);
         }
         policy
     }
@@ -338,6 +360,7 @@ fn dispatch(
             &opts.policy,
             faults,
             opts.engine,
+            opts.lanes,
             limits,
             &rec.clone(),
         ),
@@ -348,6 +371,7 @@ fn dispatch(
             &opts.policy,
             faults,
             opts.engine,
+            opts.lanes,
             limits,
             &Disabled,
         ),
@@ -362,6 +386,7 @@ fn supervised<S: TraceSink>(
     policy: &ExecPolicy,
     faults: &Arc<FaultPlan>,
     engine: EngineKind,
+    lanes: Option<usize>,
     limits: RunLimits,
     sink: &S,
 ) -> (RunReport, Result<(), ExecError>) {
@@ -374,7 +399,7 @@ fn supervised<S: TraceSink>(
         let rest = program.with_iterations(total - done);
         let start = Instant::now();
         match pool_run(
-            &rest, partition, state, policy, faults, blocks, engine, limits, sink,
+            &rest, partition, state, policy, faults, blocks, engine, lanes, limits, sink,
         ) {
             Ok(run) => {
                 attempts.push(Attempt {
@@ -431,7 +456,8 @@ fn supervised<S: TraceSink>(
                     // sink. No pool, no pipes to wedge.
                     let rest = program.with_iterations(total - done);
                     let start = Instant::now();
-                    let result = pipe_shared_impl(&rest, partition, state, engine, limits, sink);
+                    let result =
+                        pipe_shared_impl(&rest, partition, state, engine, lanes, limits, sink);
                     let (fault, completed) = match result {
                         Ok(()) => (None, total - done),
                         Err(mut e) => {

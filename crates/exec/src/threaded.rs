@@ -211,6 +211,7 @@ pub fn run_threaded_opts(
             &faults,
             0,
             opts.engine,
+            opts.lanes,
             limits,
             &rec.clone(),
         ),
@@ -222,6 +223,7 @@ pub fn run_threaded_opts(
             &faults,
             0,
             opts.engine,
+            opts.lanes,
             limits,
             &Disabled,
         ),
@@ -252,10 +254,11 @@ pub(crate) fn pool_run<S: TraceSink>(
     faults: &Arc<FaultPlan>,
     block_base: u64,
     engine: EngineKind,
+    lanes: Option<usize>,
     limits: RunLimits,
     sink: &S,
 ) -> Result<PoolRun, (ExecError, PoolRun)> {
-    let plan = PipelinePlan::new(program, partition).map_err(|e| (e, PoolRun::empty()))?;
+    let plan = PipelinePlan::new(program, partition, lanes).map_err(|e| (e, PoolRun::empty()))?;
     if plan.depths.is_empty() {
         return Ok(PoolRun::empty());
     }

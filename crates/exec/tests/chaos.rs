@@ -45,6 +45,7 @@ fn chaos_policy() -> ExecPolicy {
         backoff_max: Duration::from_millis(8),
         sequential_fallback: true,
         deadline: None,
+        tile: None,
     }
 }
 
@@ -238,6 +239,50 @@ fn corrupted_payload_is_caught_by_checksums_and_recovered_bit_exact() {
     assert_eq!(report.attempts[0].iterations_completed, 2);
     assert_eq!(report.attempts[1].start_iteration, 2);
     assert_eq!(report.leaked_workers(), 0);
+}
+
+#[test]
+fn supervised_retry_rebases_slab_sequences_with_no_integrity_false_positives() {
+    // Regression guard for the retry/integrity interaction: every attempt
+    // builds a fresh pool, and both ends of every pipe must restart their
+    // slab sequence counters from zero. If a retry inherited (or skipped)
+    // sequence numbers, the very first sealed slab of the second attempt
+    // would checksum-mismatch and surface as a spurious SlabCorrupt —
+    // turning one transient stall into an unrecoverable corruption loop.
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let faults = Arc::new(FaultPlan::new().inject(0, 1, FaultKind::PipeStall));
+    let rec = Recorder::new();
+    let opts = ExecOptions::new()
+        .policy(chaos_policy())
+        .integrity(true)
+        .trace(rec.clone());
+    let mut got = GridState::new(&p, init);
+    let report = run_supervised_injected_opts(&p, &partition, &mut got, &opts, &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(faults.fired(), 1);
+    assert_eq!(report.path, RecoveryPath::Retried);
+    // The one injected stall is the only fault: the retry's re-based
+    // sequences must produce zero SlabCorrupt false positives.
+    assert!(
+        report
+            .faults_seen()
+            .iter()
+            .all(|e| !matches!(e, ExecError::SlabCorrupt { .. })),
+        "retry raised a spurious SlabCorrupt: {:?}",
+        report.faults_seen()
+    );
+    assert!(report
+        .faults_seen()
+        .iter()
+        .any(|e| matches!(e, ExecError::PipeStall { .. })));
+    // Checkpointed recovery, not a restart: the retry resumed past block 0.
+    assert_eq!(report.attempts[0].iterations_completed, 2);
+    assert_eq!(report.attempts[1].start_iteration, 2);
+    assert_eq!(report.leaked_workers(), 0);
+    // Integrity was genuinely armed across the retry: slabs were verified.
+    let trace = rec.finish();
+    assert!(trace.counters.checksums_verified > 0);
 }
 
 #[test]

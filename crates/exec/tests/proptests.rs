@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use stencilcl_exec::{
-    run_pipe_shared, run_pipe_shared_opts, run_reference, run_supervised, run_threaded,
-    run_threaded_opts, verify_design, ExecMode, ExecOptions, ExecPolicy, HealthPolicy,
-    RecoveryPath,
+    run_pipe_shared, run_pipe_shared_opts, run_reference, run_reference_opts, run_supervised,
+    run_threaded, run_threaded_opts, verify_design, ExecMode, ExecOptions, ExecPolicy,
+    HealthPolicy, RecoveryPath,
 };
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point, Rect};
 use stencilcl_lang::{
@@ -293,6 +293,7 @@ proptest! {
         li in 0i64..=2, hi in 0i64..=2, lj in 0i64..=2, hj in 0i64..=2,
         nx in 8usize..=20, ny in 8usize..=20,
         unroll in 1usize..=9,
+        lanes in 1usize..=9,
         iters in 1u64..=4,
         sx in 0u64..6, sy in 0u64..6, wx in 1u64..8, wy in 1u64..8,
         seed in 0i64..1000,
@@ -315,7 +316,10 @@ proptest! {
             (v * 0.0017).sin() + 1.5
         };
         let interp = Interpreter::new(&program);
-        let compiled = CompiledProgram::compile(&program).unwrap().with_unroll(unroll);
+        let compiled = CompiledProgram::compile(&program)
+            .unwrap()
+            .with_unroll(unroll)
+            .with_lanes(lanes);
 
         // Full runs, every iteration and statement.
         let mut a = GridState::new(&program, init);
@@ -338,5 +342,98 @@ proptest! {
             compiled.apply_statement(&mut b, s, &window).unwrap();
         }
         prop_assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Degenerate domains never corrupt state or diverge from the oracle:
+    // zero-area clips are a no-op, 1-cell rows and tiny grids force the
+    // whole sweep through the scalar tail, and unroll/lane widths larger
+    // than the row still land on exactly the windowed cells. Windows may
+    // start before the grid or run past it — both engines clip identically.
+    #[test]
+    fn degenerate_windows_and_tiny_grids_stay_bit_exact(
+        nx in 1usize..=5, ny in 1usize..=5,
+        unroll in 1usize..=12,
+        lanes in 1usize..=12,
+        sx in -2i64..=6, sy in -2i64..=6,
+        wx in 0i64..=8, wy in 0i64..=8,
+        iters in 1u64..=3,
+        seed in 0i64..1000,
+    ) {
+        let src = format!(
+            "stencil tiny {{ grid A[{nx}][{ny}] : f32; iterations {iters};
+             A[i][j] = 0.5 * A[i][j] + 0.2 * (A[i-1][j] + A[i][j+1]); }}"
+        );
+        let program = parse(&src).unwrap();
+        let init = |name: &str, p: &Point| {
+            let mut v = (name.len() as i64 * 3 + seed) as f64;
+            for d in 0..p.dim() {
+                v = v * 11.0 + p.coord(d) as f64;
+            }
+            (v * 0.0023).sin() + 0.5
+        };
+        let interp = Interpreter::new(&program);
+        let compiled = CompiledProgram::compile(&program)
+            .unwrap()
+            .with_unroll(unroll)
+            .with_lanes(lanes);
+
+        // Full runs on grids down to 1x1.
+        let mut a = GridState::new(&program, init);
+        interp.run(&mut a, program.iterations).unwrap();
+        let mut b = GridState::new(&program, init);
+        compiled.run(&mut b, program.iterations).unwrap();
+        prop_assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+
+        // Partial windows: possibly empty (wx or wy == 0), possibly hanging
+        // off either grid edge. A zero-area clip must leave every cell
+        // untouched in both engines.
+        let window = Rect::new(
+            Point::new2(sx, sy),
+            Point::new2(sx + wx, sy + wy),
+        ).unwrap();
+        let mut a = GridState::new(&program, init);
+        let mut b = GridState::new(&program, init);
+        let untouched = GridState::new(&program, init);
+        interp.apply_statement(&mut a, 0, &window).unwrap();
+        compiled.apply_statement(&mut b, 0, &window).unwrap();
+        prop_assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+        if wx == 0 || wy == 0 {
+            prop_assert_eq!(b.max_abs_diff(&untouched).unwrap(), 0.0);
+        }
+    }
+
+    // The temporally blocked reference driver stays bit-exact under
+    // degenerate tilings: tiles of a single cell, tiles larger than the
+    // grid, and every lane width — all against the unblocked sweep.
+    #[test]
+    fn blocked_reference_survives_degenerate_tiles(
+        n in 3usize..=17,
+        tile in 1usize..=24,
+        lanes in 1usize..=9,
+        iters in 1u64..=5,
+        seed in 0i64..1000,
+    ) {
+        let program = programs::jacobi_2d()
+            .with_extent(Extent::new2(n, n))
+            .with_iterations(iters);
+        let init = |name: &str, p: &Point| {
+            let mut v = (name.len() as i64 + seed) as f64;
+            for d in 0..p.dim() {
+                v = v * 29.0 + p.coord(d) as f64;
+            }
+            (v * 0.0011).cos()
+        };
+        let mut plain = GridState::new(&program, init);
+        run_reference(&program, &mut plain).unwrap();
+        let mut blocked = GridState::new(&program, init);
+        let opts = ExecOptions::new()
+            .lanes(lanes)
+            .policy(ExecPolicy { tile: Some(tile), ..ExecPolicy::default() });
+        run_reference_opts(&program, &mut blocked, &opts).unwrap();
+        prop_assert_eq!(plain.max_abs_diff(&blocked).unwrap(), 0.0);
     }
 }

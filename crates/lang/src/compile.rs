@@ -24,8 +24,34 @@
 //! contiguous), evaluating the tape on a reusable value stack with no
 //! per-cell `Point` construction or bounds checks beyond slice indexing that
 //! is proven in range once per row. An optional `U`-way unroll chunks the
-//! row loop, mirroring the paper's unroll knob; per-cell arithmetic is
-//! unchanged, so every unroll factor is bit-exact with `U = 1`.
+//! scalar row loop, mirroring the paper's unroll knob; per-cell arithmetic
+//! is unchanged, so every unroll factor is bit-exact with `U = 1`.
+//!
+//! # Lane-parallel tape walk
+//!
+//! By default the row sweep is *vectorized across cells*: one tape pass
+//! evaluates `W` contiguous cells of a row at once over a lane-major stack
+//! of `stack_need × W` values ([`LANE_WIDTH`] = 8 lanes; configure with
+//! [`CompiledProgram::with_lanes`], `1` forces the scalar walk). Each op
+//! applies the *same* `f64` operation independently per lane — a `Load`
+//! becomes one contiguous slice copy `views[slot][idx+delta ..][..W]` — so
+//! every cell still sees exactly the scalar op sequence and bit-exactness
+//! is preserved *by construction*: only the loop over cells is widened,
+//! never the arithmetic within one cell. The fixed-width inner loops are
+//! written structure-of-lanes so the autovectorizer lowers them to SIMD
+//! without `unsafe`. Row tails shorter than `W` fall back to the scalar
+//! walk.
+//!
+//! # Statement fusion
+//!
+//! Consecutive statements that share a statement domain, write pairwise
+//! distinct targets, and never read an earlier group member's target are
+//! fused into one row pass ([`CompiledProgram::fused_groups`]): the row's
+//! input cells are hot in cache for every member tape instead of being
+//! streamed once per statement. Because member evaluations read only the
+//! pre-statement snapshot (all writes are buffered until the sweep ends,
+//! exactly like the unfused path) and no member reads another's target,
+//! fused results are bit-identical to running the statements sequentially.
 //!
 //! The AST interpreter remains the semantic oracle: `CompiledProgram`
 //! reproduces its results **bit for bit** (same operation order per cell),
@@ -37,6 +63,20 @@ use stencilcl_grid::{Extent, Rect};
 use crate::ast::{BinOp, Expr, Func, Program, UnaryOp};
 use crate::interp::GridState;
 use crate::LangError;
+
+/// Default (and maximum) number of lanes of the vectorized tape walk: one
+/// tape pass evaluates this many contiguous row cells.
+pub const LANE_WIDTH: usize = 8;
+
+/// Reusable evaluation scratch for the row sweeps: the scalar value stack
+/// plus the lane-major stack of the vector walk (`stack_need × W` values,
+/// level-major). One instance can be shared across statements and rows;
+/// the buffers only ever grow.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    stack: Vec<f64>,
+    lanes: Vec<f64>,
+}
 
 /// One postfix bytecode operation of a compiled update expression.
 ///
@@ -87,6 +127,13 @@ pub struct CompiledKernel {
     tape: Box<[Op]>,
     /// Maximum stack depth the tape reaches.
     stack_need: usize,
+    /// Most negative `Load` delta of the tape (0 when the tape never
+    /// loads): the farthest a cell's accesses reach *before* its own
+    /// linear index.
+    min_delta: i64,
+    /// Most positive `Load` delta of the tape (0 when the tape never
+    /// loads).
+    max_delta: i64,
 }
 
 impl CompiledKernel {
@@ -108,6 +155,13 @@ impl CompiledKernel {
     /// Maximum value-stack depth evaluation reaches.
     pub fn stack_need(&self) -> usize {
         self.stack_need
+    }
+
+    /// The most negative and most positive `Load` deltas of the tape
+    /// (`(0, 0)` when the tape never loads). Every access of linear cell
+    /// `idx` lies in `idx + min_delta ..= idx + max_delta`.
+    pub fn delta_bounds(&self) -> (i64, i64) {
+        (self.min_delta, self.max_delta)
     }
 }
 
@@ -144,7 +198,14 @@ pub struct CompiledProgram {
     /// Per-statement updatable interior (grid shrunk by the statement's
     /// halo), identical to the interpreter's statement domains.
     domains: Vec<Rect>,
+    /// Maximal runs of consecutive statements legal to fuse into one row
+    /// pass (singleton groups when fusion does not apply).
+    fused_groups: Vec<Vec<usize>>,
+    /// Total cell count of the compiled extent; linear indices are valid
+    /// in `0..cells`.
+    cells: usize,
     unroll: usize,
+    lanes: usize,
 }
 
 /// A lowered expression fragment: its ops, plus the folded value when the
@@ -194,17 +255,26 @@ impl CompiledProgram {
                 let frag = lower(&stmt.rhs, &slots, &params, &strides)?;
                 let target_slot = slot_of(&slots, &stmt.target)? as u32;
                 let stack_need = stack_need(&frag.ops);
+                let (mut min_delta, mut max_delta) = (0i64, 0i64);
+                for op in &frag.ops {
+                    if let Op::Load { delta, .. } = op {
+                        min_delta = min_delta.min(*delta);
+                        max_delta = max_delta.max(*delta);
+                    }
+                }
                 Ok(CompiledKernel {
                     target: stmt.target.clone(),
                     target_slot,
                     tape: frag.ops.into_boxed_slice(),
                     stack_need,
+                    min_delta,
+                    max_delta,
                 })
             })
             .collect::<Result<Vec<_>, LangError>>()?;
         // Statement domains, computed exactly like Interpreter::new.
         let full = Rect::from_extent(&extent);
-        let domains = features
+        let domains: Vec<Rect> = features
             .statements
             .iter()
             .map(|s| {
@@ -215,12 +285,17 @@ impl CompiledProgram {
                 full.expand(&lo, &hi)
             })
             .collect();
+        let fused_groups = fuse_statements(&kernels, &domains);
+        let cells = (0..extent.dim()).map(|d| extent.len(d) as usize).product();
         Ok(CompiledProgram {
             extent,
             slots,
             kernels,
             domains,
+            fused_groups,
+            cells,
             unroll: 1,
+            lanes: LANE_WIDTH,
         })
     }
 
@@ -236,6 +311,39 @@ impl CompiledProgram {
     /// The unroll factor of the interior row sweep.
     pub fn unroll(&self) -> usize {
         self.unroll
+    }
+
+    /// Returns the program with a `lanes`-wide vectorized tape walk.
+    /// Values are identical for every width (lanes evaluate the scalar op
+    /// sequence independently per cell); `1` forces the scalar walk, zero
+    /// is treated as one, and widths are capped at [`LANE_WIDTH`].
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.clamp(1, LANE_WIDTH);
+        self
+    }
+
+    /// The configured lane width of the vectorized tape walk.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The effective main-loop lane width: the largest supported power of
+    /// two not exceeding the configured width (`1` means scalar).
+    fn lane_width(&self) -> usize {
+        match self.lanes {
+            w if w >= 8 => 8,
+            w if w >= 4 => 4,
+            w if w >= 2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Maximal runs of consecutive statements fused into one row pass.
+    /// Groups partition `0..statement_count()` in order; a singleton group
+    /// means the statement runs alone.
+    pub fn fused_groups(&self) -> &[Vec<usize>] {
+        &self.fused_groups
     }
 
     /// The extent the kernels were compiled for.
@@ -344,11 +452,12 @@ impl CompiledProgram {
         let mut values = Vec::with_capacity(clipped.volume() as usize);
         {
             let views = self.views(state)?;
-            let mut stack = vec![0.0f64; kernel.stack_need];
+            let mut scratch = EvalScratch::default();
             let row_len = clipped.len(clipped.dim() - 1) as usize;
             for start in clipped.row_starts() {
                 let base = self.extent.linearize(&start)?;
-                self.eval_row(kernel, &views, base, row_len, &mut stack, &mut values);
+                self.check_row(kernel, base, row_len)?;
+                self.eval_row(kernel, &views, base, row_len, &mut scratch, &mut values);
             }
         }
         let target = state.grid_mut(&kernel.target)?;
@@ -356,42 +465,176 @@ impl CompiledProgram {
         Ok(())
     }
 
+    /// Applies a fused statement group over `domain` in one row pass: all
+    /// member tapes are evaluated per row (the row's inputs stay hot in
+    /// cache), every write buffered until the sweep ends. Bit-identical to
+    /// applying the members sequentially — fusion legality (shared domain,
+    /// distinct targets, no member reads an earlier member's target)
+    /// guarantees the sequential run would see exactly the same snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when the state lacks a referenced grid
+    /// or holds mismatched extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is empty or any member index is out of range.
+    pub fn apply_fused(
+        &self,
+        state: &mut GridState,
+        group: &[usize],
+        domain: &Rect,
+    ) -> Result<(), LangError> {
+        if group.len() == 1 {
+            return self.apply_statement(state, group[0], domain);
+        }
+        let clipped = domain.intersect(&self.domains[group[0]])?;
+        if clipped.is_empty() {
+            return Ok(());
+        }
+        let volume = clipped.volume() as usize;
+        let mut buffers: Vec<Vec<f64>> = group.iter().map(|_| Vec::with_capacity(volume)).collect();
+        {
+            let views = self.views(state)?;
+            let mut scratch = EvalScratch::default();
+            let row_len = clipped.len(clipped.dim() - 1) as usize;
+            for start in clipped.row_starts() {
+                let base = self.extent.linearize(&start)?;
+                for (buf, &si) in buffers.iter_mut().zip(group) {
+                    let kernel = &self.kernels[si];
+                    self.check_row(kernel, base, row_len)?;
+                    self.eval_row(kernel, &views, base, row_len, &mut scratch, buf);
+                }
+            }
+        }
+        for (buf, &si) in buffers.iter().zip(group) {
+            let target = state.grid_mut(&self.kernels[si].target)?;
+            target.write_window(&clipped, buf)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates statement `si` over one contiguous row of `row_len` cells
+    /// starting at linear index `base`, appending results to `values` —
+    /// the checked public entry to the (vectorized) row sweep for callers
+    /// that manage their own domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when `views` does not match the
+    /// compiled slot list or the row's accesses would leave the grid
+    /// (checked with signed offset arithmetic: a negative neighbor delta
+    /// near the origin fails cleanly instead of wrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is out of range.
+    pub fn eval_row_into(
+        &self,
+        si: usize,
+        views: &[&[f64]],
+        base: usize,
+        row_len: usize,
+        scratch: &mut EvalScratch,
+        values: &mut Vec<f64>,
+    ) -> Result<(), LangError> {
+        if views.len() != self.slots.len() {
+            return Err(LangError::eval(format!(
+                "expected {} grid views, got {}",
+                self.slots.len(),
+                views.len()
+            )));
+        }
+        let kernel = &self.kernels[si];
+        self.check_row(kernel, base, row_len)?;
+        self.eval_row(kernel, views, base, row_len, scratch, values);
+        Ok(())
+    }
+
+    /// Verifies with signed arithmetic that every access of the row
+    /// `[base, base + row_len)` stays inside the compiled extent; raw
+    /// `idx + delta → usize` casts downstream cannot wrap once this holds.
+    fn check_row(
+        &self,
+        kernel: &CompiledKernel,
+        base: usize,
+        row_len: usize,
+    ) -> Result<(), LangError> {
+        if row_len == 0 {
+            return Ok(());
+        }
+        let first = (base as i64).checked_add(kernel.min_delta);
+        let last = (base as i64)
+            .checked_add(row_len as i64 - 1)
+            .and_then(|l| l.checked_add(kernel.max_delta));
+        match (first, last) {
+            (Some(lo), Some(hi)) if lo >= 0 && hi < self.cells as i64 => Ok(()),
+            _ => Err(LangError::eval(format!(
+                "row [{base}, {}) of `{}` reaches linear indices outside the \
+                 grid (deltas {}..={}, {} cells)",
+                base + row_len,
+                kernel.target,
+                kernel.min_delta,
+                kernel.max_delta,
+                self.cells
+            ))),
+        }
+    }
+
     /// Evaluates one contiguous row of `row_len` cells starting at linear
-    /// index `base`, appending the results to `values`. The row loop is
-    /// chunked by the unroll factor; per-cell arithmetic is identical, so
-    /// results do not depend on `U`.
-    pub(crate) fn eval_row(
+    /// index `base`, appending the results to `values`. The main loop
+    /// walks the tape once per `W` lanes (scalar tail); with lanes = 1 it
+    /// is chunked by the unroll factor instead. Per-cell arithmetic is
+    /// identical in every mode, so results depend on neither `W` nor `U`.
+    /// Callers must have validated the row via [`Self::check_row`].
+    fn eval_row(
         &self,
         kernel: &CompiledKernel,
         views: &[&[f64]],
         base: usize,
         row_len: usize,
-        stack: &mut [f64],
+        scratch: &mut EvalScratch,
         values: &mut Vec<f64>,
     ) {
-        let u = self.unroll;
-        let mut j = 0usize;
-        while j + u <= row_len {
-            for step in 0..u {
-                values.push(eval_tape(&kernel.tape, views, base + j + step, stack));
-            }
-            j += u;
+        if scratch.stack.len() < kernel.stack_need {
+            scratch.stack.resize(kernel.stack_need, 0.0);
         }
-        while j < row_len {
-            values.push(eval_tape(&kernel.tape, views, base + j, stack));
-            j += 1;
+        match self.lane_width() {
+            8 => eval_row_lanes::<8>(kernel, views, base, row_len, scratch, values),
+            4 => eval_row_lanes::<4>(kernel, views, base, row_len, scratch, values),
+            2 => eval_row_lanes::<2>(kernel, views, base, row_len, scratch, values),
+            _ => {
+                let u = self.unroll;
+                let mut j = 0usize;
+                while j + u <= row_len {
+                    for step in 0..u {
+                        values.push(eval_tape(
+                            &kernel.tape,
+                            views,
+                            base + j + step,
+                            &mut scratch.stack,
+                        ));
+                    }
+                    j += u;
+                }
+                while j < row_len {
+                    values.push(eval_tape(&kernel.tape, views, base + j, &mut scratch.stack));
+                    j += 1;
+                }
+            }
         }
     }
 
-    /// Runs one full stencil iteration (all statements in order) over
-    /// `domain`.
+    /// Runs one full stencil iteration (all statement groups in order)
+    /// over `domain`.
     ///
     /// # Errors
     ///
     /// Returns [`LangError::Eval`] when the state lacks a referenced grid.
     pub fn step(&self, state: &mut GridState, domain: &Rect) -> Result<(), LangError> {
-        for si in 0..self.kernels.len() {
-            self.apply_statement(state, si, domain)?;
+        for group in &self.fused_groups {
+            self.apply_fused(state, group, domain)?;
         }
         Ok(())
     }
@@ -409,6 +652,125 @@ impl CompiledProgram {
         }
         Ok(())
     }
+}
+
+/// Sweeps one row with a `W`-lane main loop and a scalar tail: chunks of
+/// `W` contiguous cells share one tape pass, cells past the last full
+/// chunk go through the scalar walk. `scratch.stack` must already hold
+/// `stack_need` slots and the caller must have validated the row bounds.
+fn eval_row_lanes<const W: usize>(
+    kernel: &CompiledKernel,
+    views: &[&[f64]],
+    base: usize,
+    row_len: usize,
+    scratch: &mut EvalScratch,
+    values: &mut Vec<f64>,
+) {
+    let need = kernel.stack_need * W;
+    if scratch.lanes.len() < need {
+        scratch.lanes.resize(need, 0.0);
+    }
+    let mut j = 0usize;
+    while j + W <= row_len {
+        eval_tape_lanes::<W>(&kernel.tape, views, base + j, &mut scratch.lanes, values);
+        j += W;
+    }
+    while j < row_len {
+        values.push(eval_tape(&kernel.tape, views, base + j, &mut scratch.stack));
+        j += 1;
+    }
+}
+
+/// Evaluates a tape for `W` contiguous cells `idx..idx + W` in one pass
+/// over a lane-major stack (`level * W + lane`), appending the `W` results
+/// to `values`. Lane `l` performs exactly the `f64` op sequence the scalar
+/// walk performs at `idx + l` — ops never mix lanes — so the results are
+/// bit-identical to `W` scalar evaluations; only the cell loop is widened.
+/// The fixed `W`-length inner loops autovectorize.
+#[inline]
+fn eval_tape_lanes<const W: usize>(
+    tape: &[Op],
+    views: &[&[f64]],
+    idx: usize,
+    stack: &mut [f64],
+    values: &mut Vec<f64>,
+) {
+    // Lane-wise binary op: pop `b`, combine into `a`.
+    macro_rules! bin {
+        ($sp:ident, $stack:ident, $f:expr) => {{
+            $sp -= 1;
+            let (lo, hi) = $stack.split_at_mut($sp * W);
+            let a = &mut lo[($sp - 1) * W..];
+            let b = &hi[..W];
+            for l in 0..W {
+                a[l] = $f(a[l], b[l]);
+            }
+        }};
+    }
+    // Lane-wise unary op on the top of stack.
+    macro_rules! un {
+        ($sp:ident, $stack:ident, $f:expr) => {{
+            let t = &mut $stack[($sp - 1) * W..$sp * W];
+            for l in 0..W {
+                t[l] = $f(t[l]);
+            }
+        }};
+    }
+    let mut sp = 0usize;
+    for op in tape {
+        match *op {
+            Op::Const(v) => {
+                stack[sp * W..(sp + 1) * W].fill(v);
+                sp += 1;
+            }
+            Op::Load { slot, delta } => {
+                // The caller validated the whole row with signed
+                // arithmetic (`check_row`), so this cast cannot wrap and
+                // all `W` lanes are in bounds.
+                let at = (idx as i64 + delta) as usize;
+                stack[sp * W..(sp + 1) * W]
+                    .copy_from_slice(&views[slot as usize][at..at + W]);
+                sp += 1;
+            }
+            Op::Add => bin!(sp, stack, |a, b| a + b),
+            Op::Sub => bin!(sp, stack, |a, b| a - b),
+            Op::Mul => bin!(sp, stack, |a, b| a * b),
+            Op::Div => bin!(sp, stack, |a, b| a / b),
+            Op::Neg => un!(sp, stack, |a: f64| -a),
+            Op::Min => bin!(sp, stack, f64::min),
+            Op::Max => bin!(sp, stack, f64::max),
+            Op::Abs => un!(sp, stack, f64::abs),
+            Op::Sqrt => un!(sp, stack, f64::sqrt),
+        }
+    }
+    values.extend_from_slice(&stack[..W]);
+}
+
+/// Partitions the statement list into maximal fusable runs: consecutive
+/// statements join a group when they share the group's statement domain,
+/// write a target no earlier member writes, and read no earlier member's
+/// target (at any offset) — the exact conditions under which one buffered
+/// row pass is bit-identical to running the members sequentially.
+fn fuse_statements(kernels: &[CompiledKernel], domains: &[Rect]) -> Vec<Vec<usize>> {
+    fn reads_slot(tape: &[Op], slot: u32) -> bool {
+        tape.iter()
+            .any(|op| matches!(op, Op::Load { slot: s, .. } if *s == slot))
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for si in 0..kernels.len() {
+        let joins = groups.last().is_some_and(|g| {
+            domains[si] == domains[g[0]]
+                && g.iter().all(|&p| {
+                    kernels[p].target_slot != kernels[si].target_slot
+                        && !reads_slot(&kernels[si].tape, kernels[p].target_slot)
+                })
+        });
+        match groups.last_mut() {
+            Some(g) if joins => g.push(si),
+            _ => groups.push(vec![si]),
+        }
+    }
+    groups
 }
 
 /// Evaluates a tape at linear index `idx` with a manually managed stack
@@ -742,6 +1104,173 @@ mod tests {
         let got = cp.eval_idx(0, &views, idx, &mut stack);
         let want = interp.eval(&p.updates[0].rhs, &state, &at).unwrap();
         assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn lane_widths_are_bit_exact() {
+        let p = parse(
+            "stencil l { grid A[9][23] : f32; param w = 0.3; iterations 3;
+             A[i][j] = max(min(A[i-1][j], A[i+1][j]), abs(A[i][j-1] - A[i][j+1]))
+                       + w * sqrt(abs(A[i][j])) - (-A[i][j]); }",
+        )
+        .unwrap();
+        let mut expect = GridState::new(&p, ramp);
+        Interpreter::new(&p).run(&mut expect, p.iterations).unwrap();
+        for lanes in [1usize, 2, 3, 4, 5, 8, 16] {
+            let cp = CompiledProgram::compile(&p).unwrap().with_lanes(lanes);
+            assert_eq!(cp.lanes(), lanes.min(LANE_WIDTH));
+            let mut got = GridState::new(&p, ramp);
+            cp.run(&mut got, p.iterations).unwrap();
+            assert_eq!(got, expect, "lanes {lanes} diverged from the interpreter");
+        }
+    }
+
+    #[test]
+    fn lane_width_exceeding_the_row_falls_back_to_scalar() {
+        // 3-cell rows (and a 1-cell-row grid) never fill an 8-lane chunk:
+        // the whole sweep must go through the scalar tail, bit-exact.
+        for src in [
+            "stencil t { grid A[6][3] : f32; iterations 2;
+             A[i][j] = 0.5 * (A[i][j-1] + A[i][j+1]); }",
+            "stencil o { grid A[6][1] : f32; iterations 2;
+             A[i][j] = 0.5 * (A[i-1][j] + A[i+1][j]); }",
+        ] {
+            let p = parse(src).unwrap();
+            let cp = CompiledProgram::compile(&p).unwrap();
+            let mut fast = GridState::new(&p, ramp);
+            cp.run(&mut fast, p.iterations).unwrap();
+            let mut slow = GridState::new(&p, ramp);
+            Interpreter::new(&p).run(&mut slow, p.iterations).unwrap();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn independent_statements_fuse_into_one_group() {
+        let p = parse(
+            "stencil f { grid A[8][12] : f32; grid B[8][12] : f32; iterations 2;
+             A[i][j] = 0.5 * (A[i][j-1] + B[i][j+1]);
+             B[i][j] = 0.5 * (B[i][j-1] + A[i][j+1]); }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        // B's statement reads A, which the first statement writes — fusing
+        // would hide A's update from B, so the statements stay sequential.
+        assert_eq!(cp.fused_groups(), &[vec![0], vec![1]]);
+        let p2 = parse(
+            "stencil g { grid A[8][12] : f32; grid B[8][12] : f32;
+             grid C[8][12] : f32 read_only; iterations 2;
+             A[i][j] = 0.5 * (C[i][j-1] + C[i][j+1]);
+             B[i][j] = 0.25 * (C[i][j-1] - C[i][j+1]); }",
+        )
+        .unwrap();
+        let cp2 = CompiledProgram::compile(&p2).unwrap();
+        // Both read only C and share the same statement domain: one pass.
+        assert_eq!(cp2.fused_groups(), &[vec![0, 1]]);
+        let mut fast = GridState::new(&p2, ramp);
+        cp2.run(&mut fast, p2.iterations).unwrap();
+        let mut slow = GridState::new(&p2, ramp);
+        Interpreter::new(&p2).run(&mut slow, p2.iterations).unwrap();
+        assert_eq!(fast, slow, "fused pass diverged from sequential oracle");
+    }
+
+    #[test]
+    fn fusion_requires_matching_domains_and_distinct_targets() {
+        // Same inputs but different halos → different statement domains →
+        // no fusion.
+        let p = parse(
+            "stencil h { grid A[8][12] : f32; grid B[8][12] : f32;
+             grid C[8][12] : f32 read_only; iterations 1;
+             A[i][j] = C[i][j-1] + C[i][j+1];
+             B[i][j] = C[i-2][j] + C[i+2][j]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        assert_eq!(cp.fused_groups(), &[vec![0], vec![1]]);
+        // Two writes to the same grid never fuse.
+        let p2 = parse(
+            "stencil w { grid A[8] : f32; grid C[8] : f32 read_only; iterations 1;
+             A[i] = C[i-1];
+             A[i] = C[i+1]; }",
+        )
+        .unwrap();
+        let cp2 = CompiledProgram::compile(&p2).unwrap();
+        assert_eq!(cp2.fused_groups(), &[vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn clip_boundary_offsets_evaluate_checked_at_the_origin() {
+        // A minimal extent whose statement domain touches row 0 / column 0:
+        // the j-offset reaches column 0 of row 0 (linear index 0) and the
+        // delta arithmetic must stay signed the whole way down.
+        let p = parse(
+            "stencil min { grid A[1][3] : f32; iterations 2;
+             A[i][j] = 0.5 * (A[i][j-1] + A[i][j+1]); }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let (lo, hi) = cp.kernel(0).delta_bounds();
+        assert_eq!((lo, hi), (-1, 1));
+        let mut fast = GridState::new(&p, ramp);
+        cp.run(&mut fast, p.iterations).unwrap();
+        let mut slow = GridState::new(&p, ramp);
+        Interpreter::new(&p).run(&mut slow, p.iterations).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn eval_row_into_rejects_rows_that_reach_outside_the_grid() {
+        let p = parse(
+            "stencil n { grid A[4][6] : f32; iterations 1;
+             A[i][j] = A[i-1][j] + A[i][j-1]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let state = GridState::new(&p, ramp);
+        let views = cp.views(&state).unwrap();
+        let mut scratch = EvalScratch::default();
+        let mut values = Vec::new();
+        // base 0 with delta -6 (row above) would wrap `0 + -6` to a huge
+        // usize without the signed check.
+        let err = cp
+            .eval_row_into(0, &views, 0, 6, &mut scratch, &mut values)
+            .unwrap_err();
+        assert!(err.to_string().contains("outside the grid"), "{err}");
+        assert!(values.is_empty());
+        // A row running past the last cell fails too.
+        assert!(cp
+            .eval_row_into(0, &views, 20, 6, &mut scratch, &mut values)
+            .is_err());
+        // Wrong view count is rejected before any indexing.
+        assert!(cp
+            .eval_row_into(0, &views[..0], 7, 5, &mut scratch, &mut values)
+            .is_err());
+        // The same row, based one full row in (all accesses in bounds),
+        // matches eval_idx cell for cell.
+        cp.eval_row_into(0, &views, 7, 5, &mut scratch, &mut values)
+            .unwrap();
+        let mut stack = Vec::new();
+        for (k, v) in values.iter().enumerate() {
+            let want = cp.eval_idx(0, &views, 7 + k, &mut stack);
+            assert_eq!(v.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_area_clip_is_a_no_op() {
+        let p = parse(
+            "stencil z { grid A[8][8] : f32; iterations 1;
+             A[i][j] = A[i-1][j] + A[i+1][j]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        // A domain strictly inside the halo band: intersection with the
+        // statement domain is empty.
+        let domain = Rect::new(Point::new2(0, 0), Point::new2(0, 7)).unwrap();
+        let before = GridState::new(&p, ramp);
+        let mut state = GridState::new(&p, ramp);
+        cp.apply_statement(&mut state, 0, &domain).unwrap();
+        assert_eq!(state, before);
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct EnvConfig {
     /// `STENCILCL_INTEGRITY`: seal and verify slab checksums (same truthy
     /// rule as `interpret`).
     pub integrity: bool,
+    /// `STENCILCL_LANES`: compiled-kernel tape lane width (1–16); 1 forces
+    /// the scalar walk, `None` lets the compiler pick the vector default.
+    pub lanes: Option<usize>,
+    /// `STENCILCL_TILE`: spatial tile edge (cells, ≥ 1) for the temporally
+    /// blocked reference driver; `None` disables temporal blocking.
+    pub tile: Option<usize>,
 }
 
 impl Default for EnvConfig {
@@ -58,6 +64,8 @@ impl Default for EnvConfig {
             health_bound: None,
             health_stride: None,
             integrity: false,
+            lanes: None,
+            tile: None,
         }
     }
 }
@@ -117,6 +125,22 @@ impl EnvConfig {
                 Ok(n) if n >= 1 => cfg.health_stride = Some(n),
                 _ => warnings.push(format!(
                     "STENCILCL_HEALTH_STRIDE: ignoring {v:?} (want an integer >= 1)"
+                )),
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_LANES") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if (1..=16).contains(&n) => cfg.lanes = Some(n),
+                _ => warnings.push(format!(
+                    "STENCILCL_LANES: ignoring {v:?} (want an integer in 1..=16)"
+                )),
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_TILE") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.tile = Some(n),
+                _ => warnings.push(format!(
+                    "STENCILCL_TILE: ignoring {v:?} (want an integer >= 1)"
                 )),
             }
         }
@@ -254,6 +278,30 @@ mod tests {
             .iter()
             .any(|w| w.contains("STENCILCL_HEALTH_STRIDE")));
         assert!(warnings.iter().any(|w| w.contains("STENCILCL_DEADLINE_MS")));
+    }
+
+    #[test]
+    fn lane_and_tile_knobs_parse() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_LANES", "8"),
+            ("STENCILCL_TILE", "64"),
+        ]));
+        assert!(warnings.is_empty());
+        assert_eq!(cfg.lanes, Some(8));
+        assert_eq!(cfg.tile, Some(64));
+    }
+
+    #[test]
+    fn malformed_lane_and_tile_knobs_warn_and_fall_back() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_LANES", "32"),
+            ("STENCILCL_TILE", "0"),
+        ]));
+        assert_eq!(cfg.lanes, None);
+        assert_eq!(cfg.tile, None);
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings.iter().any(|w| w.contains("STENCILCL_LANES")));
+        assert!(warnings.iter().any(|w| w.contains("STENCILCL_TILE")));
     }
 
     #[test]

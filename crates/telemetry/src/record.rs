@@ -190,6 +190,7 @@ impl Recorder {
             checksums_verified: self.counter(Counter::ChecksumsVerified),
             cells_scanned: self.counter(Counter::CellsScanned),
             scan_ns: self.counter(Counter::ScanNs),
+            redundant_cells: self.counter(Counter::RedundantCells),
         };
         MeasuredTrace {
             spans,
@@ -254,7 +255,10 @@ impl MeasuredSpan {
 }
 
 /// Final values of the event counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand so snapshots written before a
+/// counter existed still load — any missing field reads as 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct CounterSnapshot {
     /// Bytes copied during halo-ring refreshes.
     pub halo_bytes: u64,
@@ -274,6 +278,38 @@ pub struct CounterSnapshot {
     pub cells_scanned: u64,
     /// Nanoseconds spent inside health scans.
     pub scan_ns: u64,
+    /// Cell updates recomputed redundantly in halo/trapezoid overlaps
+    /// (subset of `cells_computed`).
+    pub redundant_cells: u64,
+}
+
+impl Deserialize for CounterSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| -> Result<u64, serde::DeError> {
+            match v.get(name) {
+                Some(val) => u64::from_value(val),
+                None => Ok(0),
+            }
+        };
+        match v {
+            serde::Value::Object(_) => Ok(CounterSnapshot {
+                halo_bytes: field("halo_bytes")?,
+                slabs_sent: field("slabs_sent")?,
+                slabs_received: field("slabs_received")?,
+                cells_computed: field("cells_computed")?,
+                stall_ns: field("stall_ns")?,
+                retries: field("retries")?,
+                checksums_verified: field("checksums_verified")?,
+                cells_scanned: field("cells_scanned")?,
+                scan_ns: field("scan_ns")?,
+                redundant_cells: field("redundant_cells")?,
+            }),
+            other => Err(serde::DeError::expected(
+                "object for CounterSnapshot",
+                other,
+            )),
+        }
+    }
 }
 
 /// An immutable snapshot of one instrumented run: sorted spans, counter

@@ -32,11 +32,15 @@ pub enum Counter {
     CellsScanned,
     /// Wall-clock nanoseconds spent inside health scans.
     ScanNs,
+    /// Cell updates recomputed redundantly: halo/trapezoid overlap cells
+    /// evaluated outside the tile's own output rect (overlapped baseline
+    /// and temporal blocking). Always a subset of `CellsComputed`.
+    RedundantCells,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 10] = [
         Counter::HaloBytes,
         Counter::SlabsSent,
         Counter::SlabsReceived,
@@ -46,6 +50,7 @@ impl Counter {
         Counter::ChecksumsVerified,
         Counter::CellsScanned,
         Counter::ScanNs,
+        Counter::RedundantCells,
     ];
 
     /// Stable index into counter arrays.
@@ -60,6 +65,7 @@ impl Counter {
             Counter::ChecksumsVerified => 6,
             Counter::CellsScanned => 7,
             Counter::ScanNs => 8,
+            Counter::RedundantCells => 9,
         }
     }
 
@@ -75,6 +81,7 @@ impl Counter {
             Counter::ChecksumsVerified => "checksums_verified",
             Counter::CellsScanned => "cells_scanned",
             Counter::ScanNs => "scan_ns",
+            Counter::RedundantCells => "redundant_cells",
         }
     }
 }
