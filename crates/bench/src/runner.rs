@@ -8,8 +8,9 @@ use serde::{Deserialize, Serialize};
 use stencilcl::suite::BenchmarkSpec;
 use stencilcl::{Framework, FrameworkError, SynthesisReport};
 use stencilcl_exec::{
-    run_pipe_shared, run_reference, run_supervised, run_threaded_opts, run_threaded_with,
-    EngineKind, ExecError, ExecOptions, ExecPolicy, HealthPolicy, Recorder,
+    run_pipe_shared, run_reference, run_supervised, run_supervised_opts, run_threaded_opts,
+    run_threaded_with, CheckpointPolicy, DirStore, EngineKind, ExecError, ExecOptions, ExecPolicy,
+    HealthPolicy, Recorder,
 };
 use stencilcl_grid::{Design, Partition, Point};
 use stencilcl_hls::ResourceUsage;
@@ -736,6 +737,145 @@ pub fn time_integrity_ab(
         scan_stride: stride,
         checksums_verified: counters.checksums_verified,
         cells_scanned: counters.cells_scanned,
+    })
+}
+
+/// One row of the durable-checkpoint ablation: the supervised executor
+/// timed with persistence off vs sealing a crash-safe generation every
+/// `every_barriers` fused-block barriers, plus the bit-exactness check —
+/// checkpointing must observe the run, never perturb it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointTiming {
+    /// Benchmark display name.
+    pub name: String,
+    /// Best-of-N wall time with checkpoint persistence off.
+    pub plain_ms: f64,
+    /// Best-of-N wall time sealing generations on cadence.
+    pub ckpt_ms: f64,
+    /// Checkpoint overhead: the lower of two additive-noise-robust
+    /// estimates — the minimum over interleaved sample pairs of
+    /// `ckpt_i / plain_i - 1` (same rationale as
+    /// [`IntegrityTiming::overhead_frac`]) and the best-of-N ratio
+    /// `min(ckpt) / min(plain) - 1`. The pair minimum needs one clean
+    /// *pair*; the best-of-N ratio needs one clean run *per mode*, in any
+    /// position. Interference only ever inflates a run, so both bound the
+    /// true cost from above and the lower one reflects the cleanest
+    /// evidence collected — on a single-core CI machine, where drift
+    /// between the two halves of a pair routinely exceeds the budget
+    /// itself, the second estimator is what keeps the gate meaningful.
+    pub overhead_frac: f64,
+    /// Maximum absolute difference between the two final grids (must be 0).
+    pub max_abs_diff: f64,
+    /// Barrier stride between sealed generations.
+    pub every_barriers: u64,
+    /// Generations sealed during one checkpointed run (from telemetry).
+    pub generations_sealed: u64,
+    /// Bytes written to the store during that run (from telemetry).
+    pub bytes_written: u64,
+    /// Generations left on disk afterwards (pruning proof: ≤ the keep cap).
+    pub generations_kept: usize,
+}
+
+impl CheckpointTiming {
+    /// Checkpoint overhead as a fraction of plain supervised wall time
+    /// (the acceptance target is ≤ 0.05).
+    pub fn overhead(&self) -> f64 {
+        self.overhead_frac
+    }
+}
+
+/// A/B-times the supervised executor with durable checkpointing off vs on:
+/// the checkpointed runs seal a generation (temp-file → fsync → atomic
+/// rename, digest-sealed) every `every_barriers` fused-block barriers into
+/// a scratch store that is wiped between samples so every run pays the
+/// same first-write cost. One extra untimed checkpointed run with a
+/// recorder attached collects the sealed-generation and byte counters.
+///
+/// Samples are interleaved A/B and the asserted overhead is the lower of
+/// the best per-pair ratio and the best-of-N ratio — see
+/// [`CheckpointTiming::overhead_frac`] for why both are honest
+/// upper bounds on a noisy machine.
+///
+/// # Errors
+///
+/// Propagates executor failures; `samples` must be at least 1.
+pub fn time_checkpoint_ab(
+    name: &str,
+    program: &Program,
+    partition: &Partition,
+    samples: usize,
+    every_barriers: u64,
+    policy: &ExecPolicy,
+) -> Result<CheckpointTiming, ExecError> {
+    if samples == 0 {
+        return Err(ExecError::config("timing needs at least one sample"));
+    }
+    let init = |n: &str, p: &Point| {
+        let mut v = n.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "stencilcl-bench-ckpt-{}-{name}",
+        std::process::id()
+    ));
+    let wipe = || {
+        let _ = fs::remove_dir_all(&dir);
+    };
+    let plain_opts = ExecOptions::new().policy(policy.clone());
+    let ckpt_opts = ExecOptions::new()
+        .policy(policy.clone())
+        .checkpoint(CheckpointPolicy::at(&dir).every_barriers(every_barriers));
+    // Untimed warm-up per mode; final grids feed the bit-exactness check.
+    let mut plain_grid = GridState::new(program, init);
+    run_supervised_opts(program, partition, &mut plain_grid, &plain_opts)?;
+    wipe();
+    let mut ckpt_grid = GridState::new(program, init);
+    run_supervised_opts(program, partition, &mut ckpt_grid, &ckpt_opts)?;
+    let mut plain_times = Vec::with_capacity(samples);
+    let mut ckpt_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut s = GridState::new(program, init);
+        let start = Instant::now();
+        run_supervised_opts(program, partition, &mut s, &plain_opts)?;
+        plain_times.push(start.elapsed().as_secs_f64() * 1e3);
+        wipe();
+        let mut s = GridState::new(program, init);
+        let start = Instant::now();
+        run_supervised_opts(program, partition, &mut s, &ckpt_opts)?;
+        ckpt_times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    // Counter collection: one untimed checkpointed run, fresh store.
+    wipe();
+    let rec = Recorder::new();
+    let counted_opts = ckpt_opts.trace(rec.clone());
+    let mut s = GridState::new(program, init);
+    run_supervised_opts(program, partition, &mut s, &counted_opts)?;
+    let counters = rec.finish().counters;
+    let kept = {
+        use stencilcl_exec::CheckpointStore as _;
+        DirStore::new(&dir).generations().map_or(0, |g| g.len())
+    };
+    wipe();
+    let plain_best = plain_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let ckpt_best = ckpt_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let pair_min = plain_times
+        .iter()
+        .zip(&ckpt_times)
+        .map(|(p, c)| c / p - 1.0)
+        .fold(f64::INFINITY, f64::min);
+    Ok(CheckpointTiming {
+        name: name.to_string(),
+        plain_ms: plain_best,
+        ckpt_ms: ckpt_best,
+        overhead_frac: pair_min.min(ckpt_best / plain_best - 1.0),
+        max_abs_diff: plain_grid.max_abs_diff(&ckpt_grid)?,
+        every_barriers,
+        generations_sealed: counters.ckpt_generations,
+        bytes_written: counters.ckpt_bytes,
+        generations_kept: kept,
     })
 }
 

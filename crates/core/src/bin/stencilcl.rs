@@ -27,14 +27,28 @@
 //! stencilcl run <file.stencil> --fused N --parallelism KxK --tile WxW
 //!               [--kind pipe|hetero] [--deadline-ms N] [--health-bound X]
 //!               [--health-stride N] [--integrity on|off] [--retries N]
-//!               [--lanes W]
+//!               [--lanes W] [--ckpt-dir DIR] [--ckpt-every N]
+//!               [--report-json FILE]
 //!     Execute under full supervision: slab checksums at every pipe splice
 //!     (on by default), an optional numerical-health watchdog
 //!     (`--health-bound`), and an optional wall-clock deadline
 //!     (`--deadline-ms`). `--lanes` sets the vectorized tape-walk width
-//!     (1 = scalar; every width is bit-exact). Prints the recovery
-//!     report — attempts, faults, degradation path — and exits nonzero if
-//!     the run was aborted.
+//!     (1 = scalar; every width is bit-exact). `--ckpt-dir` arms durable
+//!     checkpointing: every `--ckpt-every` fused-block barriers (default 1)
+//!     a crash-safe generation is sealed under DIR, resumable after a
+//!     SIGKILL with `stencilcl resume`. Prints the recovery report —
+//!     attempts, faults, degradation path — plus a grid digest, writes it
+//!     as JSON to `--report-json`, and exits nonzero if the run was
+//!     aborted.
+//!
+//! stencilcl resume <ckpt-dir> [--deadline-ms N] [--retries N]
+//!                  [--report-json FILE]
+//!     Resume a killed run from the newest valid checkpoint generation in
+//!     <ckpt-dir>. The program and design are rebuilt from the sealed
+//!     manifest — no source file needed. The resumed run continues
+//!     checkpointing into the same store, inherits the original absolute
+//!     deadline (an expired one fails instead of granting new time), and
+//!     produces the same grid digest an uninterrupted run would have.
 //!
 //! Every `STENCILCL_*` environment knob supplies a default; an explicit
 //! flag always wins over the env value, which is frozen at first read.
@@ -70,7 +84,9 @@ const USAGE: &str = "usage:
   stencilcl trace    <file.stencil> --fused N --parallelism KxK --tile WxW [--out FILE.json]
   stencilcl run      <file.stencil> --fused N --parallelism KxK --tile WxW [--kind pipe|hetero]
                      [--deadline-ms N] [--health-bound X] [--health-stride N]
-                     [--integrity on|off] [--retries N] [--lanes W]";
+                     [--integrity on|off] [--retries N] [--lanes W]
+                     [--ckpt-dir DIR] [--ckpt-every N] [--report-json FILE]
+  stencilcl resume   <ckpt-dir> [--deadline-ms N] [--retries N] [--report-json FILE]";
 
 fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -81,6 +97,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "validate" => validate(rest),
         "trace" => trace_cmd(rest),
         "run" => run_cmd(rest),
+        "resume" => resume_cmd(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -224,30 +241,48 @@ fn synth(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn explicit_design(opts: &Opts, program: &Program) -> Result<(Design, Partition), String> {
-    let dim = program.dim();
-    let fused: u64 = opts
-        .get("fused")
-        .ok_or("--fused required")?
-        .parse()
-        .map_err(|_| "bad --fused")?;
+fn parse_kind(raw: &str) -> Result<DesignKind, String> {
+    match raw {
+        "baseline" => Ok(DesignKind::Baseline),
+        "pipe" | "pipe-shared" => Ok(DesignKind::PipeShared),
+        "hetero" | "heterogeneous" => Ok(DesignKind::Heterogeneous),
+        other => Err(format!("unknown --kind `{other}`")),
+    }
+}
+
+fn kind_name(kind: DesignKind) -> &'static str {
+    match kind {
+        DesignKind::Baseline => "baseline",
+        DesignKind::PipeShared => "pipe",
+        DesignKind::Heterogeneous => "hetero",
+    }
+}
+
+/// Builds the design and partition from resolved knobs — the shared core
+/// of the explicit design flags and of `resume`'s manifest-sealed
+/// [`DesignSpec`] (both spell designs the same way, so a resumed run
+/// reconstructs the identical partition).
+fn build_design(
+    program: &Program,
+    kind: DesignKind,
+    fused: u64,
+    par: &[usize],
+    tile: &[usize],
+) -> Result<(Design, Partition), String> {
     if fused == 0 {
         return Err("--fused 0 is not a design: at least one iteration must be \
                     fused per pass (use --fused 1 for no temporal reuse)"
             .into());
     }
-    let par = opts
-        .dims("parallelism", dim)?
-        .ok_or("--parallelism required")?;
-    let tile = opts.dims("tile", dim)?.ok_or("--tile required")?;
-    let kind = match opts.get("kind").unwrap_or("pipe") {
-        "baseline" => DesignKind::Baseline,
-        "pipe" => DesignKind::PipeShared,
-        "hetero" | "heterogeneous" => DesignKind::Heterogeneous,
-        other => return Err(format!("unknown --kind `{other}`")),
-    };
+    let dim = program.dim();
+    if par.len() != dim || tile.len() != dim {
+        return Err(format!(
+            "design is {}-D but program is {dim}-D",
+            par.len().max(tile.len())
+        ));
+    }
+    let f = StencilFeatures::extract(program).map_err(|e| e.to_string())?;
     let design = if kind == DesignKind::Heterogeneous {
-        let f = StencilFeatures::extract(program).map_err(|e| e.to_string())?;
         let lens = (0..dim)
             .map(|d| {
                 let region = par[d] * tile[d];
@@ -258,17 +293,41 @@ fn explicit_design(opts: &Opts, program: &Program) -> Result<(Design, Partition)
             .collect::<Result<Vec<_>, _>>()?;
         Design::heterogeneous(fused, lens).map_err(|e| e.to_string())?
     } else {
-        Design::equal(kind, fused, par, tile).map_err(|e| e.to_string())?
+        Design::equal(kind, fused, par.to_vec(), tile.to_vec()).map_err(|e| e.to_string())?
     };
-    let f = StencilFeatures::extract(program).map_err(|e| e.to_string())?;
     let partition = Partition::new(f.extent, &design, &f.growth).map_err(|e| e.to_string())?;
     Ok((design, partition))
+}
+
+fn explicit_design(
+    opts: &Opts,
+    program: &Program,
+) -> Result<(Design, Partition, DesignSpec), String> {
+    let dim = program.dim();
+    let fused: u64 = opts
+        .get("fused")
+        .ok_or("--fused required")?
+        .parse()
+        .map_err(|_| "bad --fused")?;
+    let par = opts
+        .dims("parallelism", dim)?
+        .ok_or("--parallelism required")?;
+    let tile = opts.dims("tile", dim)?.ok_or("--tile required")?;
+    let kind = parse_kind(opts.get("kind").unwrap_or("pipe"))?;
+    let (design, partition) = build_design(program, kind, fused, &par, &tile)?;
+    let spec = DesignSpec {
+        kind: kind_name(kind).to_string(),
+        fused,
+        parallelism: par,
+        tile,
+    };
+    Ok((design, partition, spec))
 }
 
 fn codegen_cmd(args: &[String]) -> Result<String, String> {
     let opts = Opts::parse(args)?;
     let program = opts.program()?;
-    let (_, partition) = explicit_design(&opts, &program)?;
+    let (_, partition, _) = explicit_design(&opts, &program)?;
     let code =
         generate(&program, &partition, &CodegenOptions::default()).map_err(|e| e.to_string())?;
     let mut out = write_design(opts.get("out"), &code)?;
@@ -284,7 +343,7 @@ fn validate(args: &[String]) -> Result<String, String> {
     if program.extent().volume() > 1 << 22 {
         return Err("input too large for functional validation; shrink the grid".into());
     }
-    let (design, partition) = explicit_design(&opts, &program)?;
+    let (design, partition, _) = explicit_design(&opts, &program)?;
     let mut out = String::new();
     let modes: &[(&str, ExecMode)] = if design.kind() == DesignKind::Baseline {
         &[("overlapped", ExecMode::Overlapped)]
@@ -321,7 +380,7 @@ fn trace_cmd(args: &[String]) -> Result<String, String> {
     if program.extent().volume() > 1 << 22 {
         return Err("input too large for host-side tracing; shrink the grid".into());
     }
-    let (design, partition) = explicit_design(&opts, &program)?;
+    let (design, partition, _) = explicit_design(&opts, &program)?;
     if design.kind() == DesignKind::Baseline {
         return Err("trace drives the threaded executor; use --kind pipe or hetero".into());
     }
@@ -423,7 +482,78 @@ fn supervised_options(cfg: &EnvConfig, opts: &Opts) -> Result<ExecOptions, Strin
         "off" | "false" | "0" => false,
         other => return Err(format!("bad --integrity `{other}` (on|off)")),
     };
+    if let Some(dir) = opts.get("ckpt-dir") {
+        exec_opts.checkpoint.dir = Some(PathBuf::from(dir));
+    }
+    if let Some(v) = opts.get("ckpt-every") {
+        let every: u64 = v.parse().map_err(|_| format!("bad --ckpt-every `{v}`"))?;
+        if every == 0 {
+            return Err("--ckpt-every must be at least 1".into());
+        }
+        if !exec_opts.checkpoint.enabled() {
+            return Err("--ckpt-every needs --ckpt-dir (or STENCILCL_CKPT_DIR) \
+                        to arm checkpointing"
+                .into());
+        }
+        exec_opts.checkpoint.every_barriers = every;
+    }
     Ok(exec_opts)
+}
+
+/// FNV-1a-64 over every grid's `f64` bit patterns, in name order: a
+/// process-portable fingerprint of the final state, printed by `run` and
+/// `resume` so bit-exactness across a kill/resume pair is checkable from
+/// the command line alone.
+fn grid_digest(state: &GridState) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut names: Vec<&str> = state.grid_names().collect();
+    names.sort_unstable();
+    for name in names {
+        for byte in name.as_bytes() {
+            hash = (hash ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(grid) = state.grid(name) {
+            for v in grid.as_slice() {
+                for byte in v.to_bits().to_le_bytes() {
+                    hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+    }
+    hash
+}
+
+/// Renders the attempt history shared by `run` and `resume`.
+fn render_report(out: &mut String, report: &RunReport) {
+    for (i, a) in report.attempts.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "attempt {i}: {:?} from iteration {}, completed {}{}",
+            a.mode,
+            a.start_iteration,
+            a.iterations_completed,
+            a.fault
+                .as_ref()
+                .map_or(String::new(), |f| format!(" — fault: {f}")),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "path: {:?}, recoveries: {}, leaked workers: {}",
+        report.path,
+        report.recoveries(),
+        report.leaked_workers(),
+    );
+}
+
+/// Writes the machine-readable run report when `--report-json` asks for
+/// one — on success *and* on failure, where it matters most.
+fn write_report_json(opts: &Opts, report: &RunReport) -> Result<(), String> {
+    let Some(path) = opts.get("report-json") else {
+        return Ok(());
+    };
+    let json = serde_json::to_string(report).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn run_cmd(args: &[String]) -> Result<String, String> {
@@ -432,12 +562,17 @@ fn run_cmd(args: &[String]) -> Result<String, String> {
     if program.extent().volume() > 1 << 22 {
         return Err("input too large for host-side execution; shrink the grid".into());
     }
-    let (design, partition) = explicit_design(&opts, &program)?;
+    let (design, partition, spec) = explicit_design(&opts, &program)?;
     if design.kind() == DesignKind::Baseline {
         return Err("run drives the supervised pipe executors; use --kind pipe or hetero".into());
     }
 
-    let exec_opts = supervised_options(EnvConfig::get(), &opts)?;
+    let mut exec_opts = supervised_options(EnvConfig::get(), &opts)?;
+    if exec_opts.checkpoint.enabled() {
+        // Seal the resolved design into every manifest so `stencilcl
+        // resume <dir>` needs neither the source file nor the flags.
+        exec_opts.checkpoint.design = Some(spec);
+    }
     let integrity = exec_opts.integrity;
 
     let mut state = GridState::new(&program, |name, p| {
@@ -470,31 +605,79 @@ fn run_cmd(args: &[String]) -> Result<String, String> {
             .map_or("none".to_string(), |d| format!("{} ms", d.as_millis())),
     );
     let _ = writeln!(out, "guards: {guards}");
-    for (i, a) in report.attempts.iter().enumerate() {
+    if let Some(dir) = &exec_opts.checkpoint.dir {
         let _ = writeln!(
             out,
-            "attempt {i}: {:?} from iteration {}, completed {}{}",
-            a.mode,
-            a.start_iteration,
-            a.iterations_completed,
-            a.fault
-                .as_ref()
-                .map_or(String::new(), |f| format!(" — fault: {f}")),
+            "checkpoints: every {} barrier(s) into {} (keep {})",
+            exec_opts.checkpoint.every_barriers.max(1),
+            dir.display(),
+            exec_opts.checkpoint.keep_generations,
         );
     }
-    let _ = writeln!(
-        out,
-        "path: {:?}, recoveries: {}, leaked workers: {}",
-        report.path,
-        report.recoveries(),
-        report.leaked_workers(),
-    );
+    render_report(&mut out, &report);
+    write_report_json(&opts, &report)?;
     match result {
         Ok(()) => {
+            let _ = writeln!(out, "grid digest: {:#018x}", grid_digest(&state));
             let _ = writeln!(out, "run completed");
             Ok(out)
         }
         Err(e) => Err(format!("{out}run aborted: {e}")),
+    }
+}
+
+fn resume_cmd(args: &[String]) -> Result<String, String> {
+    let opts = Opts::parse(args)?;
+    let dir = opts.path.clone();
+    // Peek at the newest valid manifest to rebuild the program and the
+    // partition; the resume entry point re-validates on its own load.
+    let loaded = load_latest(&DirStore::new(&dir), None).map_err(|e| e.to_string())?;
+    for note in &loaded.fallback_notes {
+        eprintln!("warning: {note}");
+    }
+    let manifest = loaded.manifest;
+    let program = manifest.program.clone();
+    let spec = manifest.design.clone().ok_or(
+        "checkpoint manifest records no design (a library-driven run?); \
+         resume it programmatically via resume_supervised",
+    )?;
+    let kind = parse_kind(&spec.kind)?;
+    if kind == DesignKind::Baseline {
+        return Err("resume drives the supervised pipe executors; the manifest \
+                    records a baseline design"
+            .into());
+    }
+    let (design, partition) =
+        build_design(&program, kind, spec.fused, &spec.parallelism, &spec.tile)?;
+    let mut exec_opts = supervised_options(EnvConfig::get(), &opts)?;
+    exec_opts.checkpoint.design = Some(spec);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "resume `{}` from {}: generation {}, {} of {} iterations done ({} kernels, fused {})",
+        program.name,
+        dir.display(),
+        manifest.generation,
+        manifest.completed_iterations,
+        program.iterations,
+        partition.kernel_count(),
+        design.fused(),
+    );
+    let (state, report, result) = resume_supervised_full(&program, &partition, &dir, &exec_opts)
+        .map_err(|e| {
+            let _ = writeln!(out, "no resumable generation");
+            format!("{out}resume failed: {e}")
+        })?;
+    render_report(&mut out, &report);
+    write_report_json(&opts, &report)?;
+    match result {
+        Ok(()) => {
+            let _ = writeln!(out, "grid digest: {:#018x}", grid_digest(&state));
+            let _ = writeln!(out, "resume completed");
+            Ok(out)
+        }
+        Err(e) => Err(format!("{out}resume aborted: {e}")),
     }
 }
 
@@ -689,6 +872,114 @@ mod tests {
         let err = run(&stencil_args("run", &path, &["--deadline-ms", "0"])).unwrap_err();
         assert!(err.contains("run aborted"), "{err}");
         assert!(err.contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn ckpt_flags_override_env_and_validate() {
+        let cfg = frozen_config(&[
+            ("STENCILCL_CKPT_DIR", "/tmp/env-ckpt"),
+            ("STENCILCL_CKPT_EVERY", "5"),
+        ]);
+        let exec = supervised_options(
+            &cfg,
+            &flag_opts(&["--ckpt-dir", "/tmp/flag-ckpt", "--ckpt-every", "2"]),
+        )
+        .unwrap();
+        assert_eq!(
+            exec.checkpoint.dir.as_deref(),
+            Some("/tmp/flag-ckpt".as_ref())
+        );
+        assert_eq!(exec.checkpoint.every_barriers, 2);
+        // Env alone arms checkpointing; flags alone arm it; cadence without
+        // a directory is a usage error.
+        let exec = supervised_options(&cfg, &flag_opts(&[])).unwrap();
+        assert_eq!(
+            exec.checkpoint.dir.as_deref(),
+            Some("/tmp/env-ckpt".as_ref())
+        );
+        assert_eq!(exec.checkpoint.every_barriers, 5);
+        let bare = frozen_config(&[]);
+        assert!(!supervised_options(&bare, &flag_opts(&[]))
+            .unwrap()
+            .checkpoint
+            .enabled());
+        let err = supervised_options(&bare, &flag_opts(&["--ckpt-every", "2"])).unwrap_err();
+        assert!(err.contains("--ckpt-dir"), "{err}");
+        let err = supervised_options(
+            &bare,
+            &flag_opts(&["--ckpt-dir", "/tmp/x", "--ckpt-every", "0"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("--ckpt-every"), "{err}");
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stencilcl-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn run_checkpoints_and_resume_reproduces_the_same_digest() {
+        let path = temp_stencil("ckpt.stencil");
+        let dir = scratch_dir("ckpt");
+        let report_path = dir.join("report.json");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // An uninterrupted run prints the reference digest.
+        let clean = run(&stencil_args("run", &path, &[])).unwrap();
+        let digest_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("grid digest:"))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("no digest in: {out}"))
+        };
+        let expect = digest_line(&clean);
+
+        // A checkpointed run seals generations and matches the digest.
+        let ckpt_dir = dir.join("store");
+        let out = run(&stencil_args(
+            "run",
+            &path,
+            &[
+                "--ckpt-dir",
+                ckpt_dir.to_str().unwrap(),
+                "--ckpt-every",
+                "1",
+                "--report-json",
+                report_path.to_str().unwrap(),
+            ],
+        ))
+        .unwrap();
+        assert!(out.contains("checkpoints: every 1 barrier(s)"), "{out}");
+        assert_eq!(digest_line(&out), expect);
+        let json = std::fs::read_to_string(&report_path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(matches!(parsed, serde_json::Value::Object(_)), "{json}");
+        assert!(json.contains("\"path\":\"threaded\""), "{json}");
+        assert!(json.contains("\"attempts\""), "{json}");
+
+        // Simulate a crash that lost the final generations: resume from an
+        // intermediate one must land on the identical digest.
+        let store = DirStore::new(&ckpt_dir);
+        let generations = store.generations().unwrap();
+        assert!(generations.len() >= 2, "{generations:?}");
+        for g in &generations[generations.len() - 1..] {
+            store.remove(*g).unwrap();
+        }
+        let out = run(&["resume".to_string(), ckpt_dir.to_string_lossy().to_string()]).unwrap();
+        assert!(out.contains("resume completed"), "{out}");
+        assert_eq!(digest_line(&out), expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_of_an_empty_store_is_a_clean_error() {
+        let dir = scratch_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run(&["resume".to_string(), dir.to_string_lossy().to_string()]).unwrap_err();
+        assert!(err.contains("no checkpoint generations"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

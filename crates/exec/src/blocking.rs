@@ -72,8 +72,8 @@ pub(crate) fn block_tiles(grid_rect: &Rect, tile: usize) -> Result<Vec<TileInfo>
         let mut lo = Vec::with_capacity(dim);
         let mut hi = Vec::with_capacity(dim);
         let mut faces = Vec::with_capacity(2 * dim);
-        for d in 0..dim {
-            let l = grid_rect.lo().coord(d) + index[d] * t;
+        for (d, &idx) in index.iter().enumerate() {
+            let l = grid_rect.lo().coord(d) + idx * t;
             let h = (l + t).min(grid_rect.hi().coord(d));
             lo.push(l);
             hi.push(h);
@@ -139,7 +139,15 @@ pub(crate) fn run_blocked_reference(
             limits,
             &rec.clone(),
         ),
-        None => blocked_impl(program, state, tile, opts.engine, opts.lanes, limits, &Disabled),
+        None => blocked_impl(
+            program,
+            state,
+            tile,
+            opts.engine,
+            opts.lanes,
+            limits,
+            &Disabled,
+        ),
     }
 }
 

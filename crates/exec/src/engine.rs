@@ -30,9 +30,7 @@ pub(crate) fn compile_with_env_unroll(
 ) -> Result<CompiledProgram, ExecError> {
     let cfg = EnvConfig::get();
     let unroll = cfg.unroll.unwrap_or(1);
-    let lanes = lanes
-        .or(cfg.lanes)
-        .unwrap_or(stencilcl_lang::LANE_WIDTH);
+    let lanes = lanes.or(cfg.lanes).unwrap_or(stencilcl_lang::LANE_WIDTH);
     Ok(CompiledProgram::compile(program)?
         .with_unroll(unroll)
         .with_lanes(lanes))

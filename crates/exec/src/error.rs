@@ -87,6 +87,15 @@ pub enum ExecError {
         /// Iterations fully completed before the deadline fired.
         completed: u64,
     },
+    /// No checkpoint generation in the store could be resumed: either the
+    /// newest intact manifest describes a different program (its sealed
+    /// program hash does not match the one being resumed), or every
+    /// generation failed digest/decoding validation. Classified permanent —
+    /// the on-disk state can never become compatible by retrying.
+    CheckpointMismatch {
+        /// Per-generation diagnostics from the fallback ladder.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -147,7 +156,36 @@ impl fmt::Display for ExecError {
                     "run deadline exceeded after {completed} completed iteration(s)"
                 )
             }
+            ExecError::CheckpointMismatch { detail } => {
+                write!(f, "no resumable checkpoint generation: {detail}")
+            }
         }
+    }
+}
+
+// Structured JSON shape for `RunReport` serialization (`--report-json`):
+// a stable `kind` tag plus the human-readable message — job-history
+// consumers match on the tag without re-parsing diagnostics.
+impl serde::Serialize for ExecError {
+    fn to_value(&self) -> serde::Value {
+        let kind = match self {
+            ExecError::Lang(_) => "Lang",
+            ExecError::Grid(_) => "Grid",
+            ExecError::DiagonalAccess { .. } => "DiagonalAccess",
+            ExecError::BadConfiguration { .. } => "BadConfiguration",
+            ExecError::WorkerPanic { .. } => "WorkerPanic",
+            ExecError::PipeStall { .. } => "PipeStall",
+            ExecError::Cancelled => "Cancelled",
+            ExecError::RetriesExhausted { .. } => "RetriesExhausted",
+            ExecError::SlabCorrupt { .. } => "SlabCorrupt",
+            ExecError::NumericDivergence { .. } => "NumericDivergence",
+            ExecError::DeadlineExceeded { .. } => "DeadlineExceeded",
+            ExecError::CheckpointMismatch { .. } => "CheckpointMismatch",
+        };
+        serde::Value::Object(vec![
+            ("kind".to_string(), serde::Value::Str(kind.to_string())),
+            ("message".to_string(), serde::Value::Str(self.to_string())),
+        ])
     }
 }
 
@@ -248,5 +286,26 @@ mod tests {
         assert!(t.to_string().contains("deadline"));
         assert!(t.to_string().contains('9'));
         assert!(t.source().is_none());
+    }
+
+    #[test]
+    fn checkpoint_mismatch_carries_its_diagnostics() {
+        use std::error::Error;
+        let e = ExecError::CheckpointMismatch {
+            detail: "generation 3: digest mismatch".into(),
+        };
+        assert!(e.to_string().contains("generation 3"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn errors_serialize_with_a_stable_kind_tag() {
+        let json = serde_json::to_string(&ExecError::DeadlineExceeded { completed: 4 })
+            .expect("serialize");
+        assert!(json.contains("\"kind\":\"DeadlineExceeded\""), "{json}");
+        assert!(json.contains("4 completed"), "{json}");
+        let json = serde_json::to_string(&ExecError::CheckpointMismatch { detail: "x".into() })
+            .expect("serialize");
+        assert!(json.contains("CheckpointMismatch"), "{json}");
     }
 }

@@ -44,6 +44,23 @@ pub enum FaultKind {
     /// integrity off this models exactly the silent data corruption the
     /// checksum layer exists to stop.
     CorruptPayload,
+    /// Checkpoint I/O fault: the next checkpoint generation written is torn
+    /// after this many bytes (the sealed file is truncated mid-payload), so
+    /// its trailing digest can never validate — the resume ladder must skip
+    /// it and fall back to the previous generation.
+    TornWrite(usize),
+    /// Checkpoint I/O fault: the next checkpoint generation loaded is read
+    /// back truncated to half its length, modeling a short `read(2)` the
+    /// caller failed to retry — validation must reject it and fall back.
+    ShortRead,
+    /// Checkpoint I/O fault: one byte of this on-disk generation is flipped
+    /// *after* its atomic rename — sealed-then-rotted media corruption that
+    /// only the trailing digest can catch.
+    CorruptCheckpoint(u64),
+    /// Checkpoint I/O fault: the next checkpoint `fsync` fails. The write
+    /// protocol must abort before the atomic rename, leaving no new
+    /// generation (and every old generation intact).
+    FsyncFail,
 }
 
 impl fmt::Display for FaultKind {
@@ -54,21 +71,46 @@ impl fmt::Display for FaultKind {
             FaultKind::DelayedSlab(ms) => write!(f, "delayed slab ({ms} ms)"),
             FaultKind::CorruptStepTag => f.write_str("corrupted slab step tag"),
             FaultKind::CorruptPayload => f.write_str("corrupted slab payload"),
+            FaultKind::TornWrite(bytes) => write!(f, "torn checkpoint write ({bytes} bytes)"),
+            FaultKind::ShortRead => f.write_str("short checkpoint read"),
+            FaultKind::CorruptCheckpoint(generation) => {
+                write!(f, "corrupted checkpoint generation {generation}")
+            }
+            FaultKind::FsyncFail => f.write_str("checkpoint fsync failure"),
         }
     }
+}
+
+/// Which checkpoint I/O operation is consulting the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IoOp {
+    /// Sealing a new generation (fires torn writes, fsync failures, and
+    /// post-rename corruption).
+    Write,
+    /// Loading an existing generation (fires short reads).
+    Read,
 }
 
 #[cfg(feature = "fault-injection")]
 mod plan {
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    use super::FaultKind;
+    use super::{FaultKind, IoOp};
 
     /// One armed fault: a one-shot `fired` latch on its trigger.
     #[derive(Debug)]
     struct Armed {
         kernel: usize,
         block: u64,
+        kind: FaultKind,
+        fired: AtomicBool,
+    }
+
+    /// One armed checkpoint I/O fault: fires on the next matching store
+    /// operation ([`FaultKind::CorruptCheckpoint`] additionally keys on its
+    /// generation).
+    #[derive(Debug)]
+    struct ArmedIo {
         kind: FaultKind,
         fired: AtomicBool,
     }
@@ -82,6 +124,7 @@ mod plan {
     #[derive(Debug, Default)]
     pub struct FaultPlan {
         faults: Vec<Armed>,
+        io_faults: Vec<ArmedIo>,
     }
 
     impl FaultPlan {
@@ -134,12 +177,67 @@ mod plan {
                 .then_some(f.kind)
             })
         }
+
+        /// Arms a one-shot checkpoint I/O fault
+        /// ([`FaultKind::TornWrite`], [`FaultKind::ShortRead`],
+        /// [`FaultKind::CorruptCheckpoint`], [`FaultKind::FsyncFail`]).
+        /// Non-I/O kinds are rejected at arm time so a misrouted trigger
+        /// cannot silently never fire.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `kind` is not a checkpoint I/O fault.
+        #[must_use]
+        pub fn inject_io(mut self, kind: FaultKind) -> Self {
+            assert!(
+                matches!(
+                    kind,
+                    FaultKind::TornWrite(_)
+                        | FaultKind::ShortRead
+                        | FaultKind::CorruptCheckpoint(_)
+                        | FaultKind::FsyncFail
+                ),
+                "inject_io takes checkpoint I/O fault kinds, got {kind:?}"
+            );
+            self.io_faults.push(ArmedIo {
+                kind,
+                fired: AtomicBool::new(false),
+            });
+            self
+        }
+
+        /// How many checkpoint I/O faults have fired so far.
+        pub fn io_fired(&self) -> usize {
+            self.io_faults
+                .iter()
+                .filter(|f| f.fired.load(Ordering::SeqCst))
+                .count()
+        }
+
+        /// One-shot trigger check for checkpoint I/O: `op` is what the
+        /// store is doing and `generation` the generation it touches. At
+        /// most one armed entry fires per call, in insertion order.
+        pub(crate) fn fire_io(&self, op: IoOp, generation: u64) -> Option<FaultKind> {
+            self.io_faults.iter().find_map(|f| {
+                let matches_op = match (op, f.kind) {
+                    (IoOp::Write, FaultKind::TornWrite(_) | FaultKind::FsyncFail) => true,
+                    (IoOp::Write, FaultKind::CorruptCheckpoint(g)) => g == generation,
+                    (IoOp::Read, FaultKind::ShortRead) => true,
+                    _ => false,
+                };
+                (matches_op
+                    && f.fired
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok())
+                .then_some(f.kind)
+            })
+        }
     }
 }
 
 #[cfg(not(feature = "fault-injection"))]
 mod plan {
-    use super::FaultKind;
+    use super::{FaultKind, IoOp};
 
     /// Zero-cost stand-in compiled without the `fault-injection` feature:
     /// the trigger check inlines to `None` and the whole fault path folds
@@ -155,6 +253,11 @@ mod plan {
 
         #[inline]
         pub(crate) fn fire(&self, _kernel: usize, _block: u64) -> Option<FaultKind> {
+            None
+        }
+
+        #[inline]
+        pub(crate) fn fire_io(&self, _op: IoOp, _generation: u64) -> Option<FaultKind> {
             None
         }
     }
@@ -194,11 +297,52 @@ mod tests {
         assert_eq!(plan.fired(), 2);
     }
 
+    #[test]
+    fn io_fault_kinds_display() {
+        assert!(FaultKind::TornWrite(128).to_string().contains("128 bytes"));
+        assert_eq!(FaultKind::ShortRead.to_string(), "short checkpoint read");
+        assert!(FaultKind::CorruptCheckpoint(5)
+            .to_string()
+            .contains("generation 5"));
+        assert!(FaultKind::FsyncFail.to_string().contains("fsync"));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn io_faults_fire_once_on_their_matching_operation() {
+        let plan = FaultPlan::new()
+            .inject_io(FaultKind::FsyncFail)
+            .inject_io(FaultKind::CorruptCheckpoint(2))
+            .inject_io(FaultKind::ShortRead);
+        // Reads never trip write-side faults and vice versa.
+        assert_eq!(plan.fire_io(IoOp::Read, 0), Some(FaultKind::ShortRead));
+        assert_eq!(plan.fire_io(IoOp::Read, 1), None);
+        // Generation-keyed corruption waits for its generation.
+        assert_eq!(plan.fire_io(IoOp::Write, 1), Some(FaultKind::FsyncFail));
+        assert_eq!(plan.fire_io(IoOp::Write, 1), None);
+        assert_eq!(
+            plan.fire_io(IoOp::Write, 2),
+            Some(FaultKind::CorruptCheckpoint(2))
+        );
+        assert_eq!(plan.io_fired(), 3);
+        // Block-trigger accounting is untouched.
+        assert_eq!(plan.fired(), 0);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    #[should_panic(expected = "checkpoint I/O fault")]
+    fn non_io_kinds_are_rejected_at_arm_time() {
+        let _ = FaultPlan::new().inject_io(FaultKind::WorkerPanic);
+    }
+
     #[cfg(not(feature = "fault-injection"))]
     #[test]
     fn disabled_plan_never_fires() {
         let plan = FaultPlan::new();
         assert_eq!(plan.fire(0, 0), None);
         assert_eq!(plan.fire(3, 7), None);
+        assert_eq!(plan.fire_io(IoOp::Write, 0), None);
+        assert_eq!(plan.fire_io(IoOp::Read, 0), None);
     }
 }

@@ -44,8 +44,31 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// changes the digest, and the 8× fewer dependent multiplies keep sealing
 /// megabytes of slab payload inside the ≤ 3% overhead budget.
 #[inline]
-fn fnv1a_u64(hash: u64, word: u64) -> u64 {
+pub(crate) fn fnv1a_u64(hash: u64, word: u64) -> u64 {
     (hash ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Word-wise FNV-1a-64 over a byte stream: bytes are folded in 8-byte
+/// little-endian chunks (the final partial chunk zero-padded), preceded by
+/// the length so streams differing only in trailing zero bytes digest
+/// differently. Shared by checkpoint sealing
+/// ([`crate::persist`]) and content hashing.
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = fnv1a_u64(FNV_OFFSET, bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        hash = fnv1a_u64(
+            hash,
+            u64::from_le_bytes(c.try_into().expect("8-byte chunk")),
+        );
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        hash = fnv1a_u64(hash, u64::from_le_bytes(last));
+    }
+    hash
 }
 
 /// Seals a slab: FNV-1a-64 over the sequence number, the `(iteration,
@@ -290,6 +313,15 @@ mod tests {
     use stencilcl_grid::Point;
     use stencilcl_lang::parse;
     use stencilcl_telemetry::Disabled;
+
+    #[test]
+    fn byte_digest_is_deterministic_and_length_sensitive() {
+        assert_eq!(fnv1a_bytes(b"stencil"), fnv1a_bytes(b"stencil"));
+        assert_ne!(fnv1a_bytes(b"stencil"), fnv1a_bytes(b"stencil!"));
+        // Trailing zero bytes change the digest despite zero-padded chunks.
+        assert_ne!(fnv1a_bytes(&[1, 2, 3]), fnv1a_bytes(&[1, 2, 3, 0]));
+        assert_ne!(fnv1a_bytes(&[]), fnv1a_bytes(&[0]));
+    }
 
     #[test]
     fn checksum_is_deterministic_and_sensitive() {

@@ -110,6 +110,7 @@ mod faults;
 mod integrity;
 mod options;
 mod overlapped;
+mod persist;
 mod pipeshare;
 mod pool;
 mod reference;
@@ -126,11 +127,18 @@ pub use faults::FaultPlan;
 pub use integrity::{HealthMode, HealthPolicy};
 pub use options::{EngineKind, ExecOptions};
 pub use overlapped::{run_overlapped, run_overlapped_opts};
+#[cfg(feature = "fault-injection")]
+pub use persist::resume_supervised_injected_full;
+pub use persist::{
+    load_latest, policy_fingerprint, program_hash, resume_supervised, resume_supervised_full,
+    CheckpointManifest, CheckpointPolicy, CheckpointStore, DesignSpec, DirStore, GridMeta,
+    LoadedCheckpoint,
+};
 pub use pipeshare::{run_pipe_shared, run_pipe_shared_opts};
 pub use reference::{run_reference, run_reference_opts};
 pub use supervise::{
-    run_supervised, run_supervised_full, run_supervised_opts, Attempt, AttemptMode, ExecPolicy,
-    RecoveryPath, RunReport,
+    run_supervised, run_supervised_full, run_supervised_opts, Attempt, AttemptMode,
+    DecorrelatedJitter, ExecPolicy, RecoveryPath, RunReport,
 };
 #[cfg(feature = "fault-injection")]
 pub use supervise::{

@@ -9,6 +9,7 @@
 use stencilcl_telemetry::{EnvConfig, Recorder};
 
 use crate::integrity::HealthPolicy;
+use crate::persist::CheckpointPolicy;
 use crate::supervise::ExecPolicy;
 
 /// Which statement evaluator a run uses. Both are bit-exact; see the
@@ -76,6 +77,11 @@ pub struct ExecOptions {
     /// the scalar walk, `Some(w)` a `w`-lane sweep, `None` defers to
     /// `STENCILCL_LANES` / the compiler default. Every width is bit-exact.
     pub lanes: Option<usize>,
+    /// Durable-checkpoint persistence: when armed with a directory, every
+    /// k-th fused-block barrier seals a crash-safe generation that
+    /// [`resume_supervised`](crate::resume_supervised) can restart from.
+    /// Disarmed by default (zero cost when off).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl ExecOptions {
@@ -120,6 +126,7 @@ impl ExecOptions {
             health,
             integrity: cfg.integrity,
             lanes: cfg.lanes,
+            checkpoint: CheckpointPolicy::from_config(cfg),
         }
     }
 
@@ -167,6 +174,13 @@ impl ExecOptions {
         self
     }
 
+    /// Replaces the durable-checkpoint policy.
+    #[must_use]
+    pub fn checkpoint(mut self, checkpoint: CheckpointPolicy) -> ExecOptions {
+        self.checkpoint = checkpoint;
+        self
+    }
+
     /// The run-limits envelope for one run, with the deadline clock
     /// anchored at this call.
     pub(crate) fn limits(&self) -> crate::integrity::RunLimits {
@@ -211,6 +225,8 @@ mod tests {
                 "STENCILCL_INTEGRITY" => Some("1"),
                 "STENCILCL_LANES" => Some("4"),
                 "STENCILCL_TILE" => Some("32"),
+                "STENCILCL_CKPT_DIR" => Some("/tmp/stencilcl-ckpt"),
+                "STENCILCL_CKPT_EVERY" => Some("6"),
                 _ => None,
             }
             .map(String::from)
@@ -227,6 +243,22 @@ mod tests {
         assert!(opts.integrity);
         assert_eq!(opts.lanes, Some(4));
         assert_eq!(opts.policy.tile, Some(32));
+        assert!(opts.checkpoint.enabled());
+        assert_eq!(
+            opts.checkpoint.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/stencilcl-ckpt"))
+        );
+        assert_eq!(opts.checkpoint.every_barriers, 6);
+    }
+
+    #[test]
+    fn checkpointing_is_off_by_default_and_chains() {
+        let opts = ExecOptions::new();
+        assert!(!opts.checkpoint.enabled());
+        let opts = opts.checkpoint(CheckpointPolicy::at("/tmp/x").every_barriers(4));
+        assert!(opts.checkpoint.enabled());
+        assert_eq!(opts.checkpoint.every_barriers, 4);
+        assert_eq!(opts.checkpoint.keep_generations, 3);
     }
 
     #[test]

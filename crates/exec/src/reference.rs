@@ -69,7 +69,14 @@ pub fn run_reference_opts(
         return Ok(());
     }
     match &opts.trace {
-        Some(rec) => guarded_reference(program, state, opts.engine, opts.lanes, limits, &rec.clone()),
+        Some(rec) => guarded_reference(
+            program,
+            state,
+            opts.engine,
+            opts.lanes,
+            limits,
+            &rec.clone(),
+        ),
         None => guarded_reference(program, state, opts.engine, opts.lanes, limits, &Disabled),
     }
 }

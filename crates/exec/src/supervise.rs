@@ -30,6 +30,7 @@ use stencilcl_telemetry::{Counter, Disabled, EnvConfig, TraceSink};
 use crate::faults::FaultPlan;
 use crate::integrity::RunLimits;
 use crate::options::{EngineKind, ExecOptions};
+use crate::persist::CheckpointWriter;
 use crate::pipeshare::pipe_shared_impl;
 use crate::threaded::pool_run;
 use crate::ExecError;
@@ -92,6 +93,11 @@ pub struct ExecPolicy {
     /// iterations per tile as the stencil cone allows. `None` (the
     /// default) runs the plain whole-grid sweep.
     pub tile: Option<usize>,
+    /// Seed for the decorrelated-jitter retry backoff. `None` (the
+    /// default) seeds from process entropy — concurrent supervisors desync
+    /// their retry storms; `Some(seed)` makes the sleep sequence
+    /// reproducible for tests.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for ExecPolicy {
@@ -106,13 +112,15 @@ impl Default for ExecPolicy {
             sequential_fallback: true,
             deadline: None,
             tile: None,
+            jitter_seed: None,
         }
     }
 }
 
 impl ExecPolicy {
-    /// Exponential backoff before 0-based retry `retry`, clamped to
-    /// [`Self::backoff_max`].
+    /// Deterministic exponential backoff before 0-based retry `retry`,
+    /// clamped to [`Self::backoff_max`] — the *envelope* of the jittered
+    /// backoff the supervisor actually sleeps (see [`DecorrelatedJitter`]).
     pub fn backoff(&self, retry: u32) -> Duration {
         (self.backoff_base * (1u32 << retry.min(20))).min(self.backoff_max)
     }
@@ -151,6 +159,72 @@ impl ExecPolicy {
             policy.tile = Some(t);
         }
         policy
+    }
+}
+
+/// Decorrelated-jitter retry backoff (the AWS architecture-blog variant):
+/// each sleep is drawn uniformly from `[backoff_base, min(backoff_max,
+/// 3 × previous_sleep)]`. Pure exponential backoff keeps lock-step
+/// supervisors colliding on every retry round; decorrelating the sleeps
+/// spreads them out while preserving the bounded-growth envelope
+/// (`sleep ∈ [backoff_base, backoff_max]` always).
+///
+/// Randomness is a self-contained xorshift64\* — no RNG dependency — and
+/// [`ExecPolicy::jitter_seed`] pins the sequence for deterministic tests.
+#[derive(Debug)]
+pub struct DecorrelatedJitter {
+    prev: Duration,
+    state: u64,
+}
+
+impl DecorrelatedJitter {
+    /// A jitter sequence for `policy`, seeded from
+    /// [`ExecPolicy::jitter_seed`] or process entropy.
+    pub fn new(policy: &ExecPolicy) -> Self {
+        let seed = policy.jitter_seed.unwrap_or_else(|| {
+            // RandomState carries the process's hash entropy; hashing a
+            // fixed value extracts a cheap per-instance seed without any
+            // RNG dependency.
+            use std::hash::{BuildHasher, Hasher};
+            let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+            h.write_u64(0x5741_4b45);
+            h.finish()
+        });
+        // Splitmix64 scramble: adjacent seeds (41, 42, 43…) must yield
+        // unrelated sequences, and xorshift's zero fixed point is avoided.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        DecorrelatedJitter {
+            prev: policy.backoff_base,
+            state: z.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// The next sleep: uniform in `[base, min(max, 3 × previous)]`, with
+    /// the drawn value feeding the next interval's upper bound.
+    pub fn next_sleep(&mut self, policy: &ExecPolicy) -> Duration {
+        let hi = (self.prev * 3).min(policy.backoff_max);
+        let lo = policy.backoff_base.min(hi);
+        let span = hi.saturating_sub(lo).as_nanos() as u64;
+        let offset = if span == 0 {
+            0
+        } else {
+            self.next_u64() % (span + 1)
+        };
+        let sleep = lo + Duration::from_nanos(offset);
+        self.prev = sleep;
+        sleep
     }
 }
 
@@ -228,6 +302,83 @@ impl RunReport {
     /// Total wall time across all attempts (excluding retry backoff).
     pub fn total_wall(&self) -> Duration {
         self.attempts.iter().map(|a| a.wall).sum()
+    }
+}
+
+// Structured JSON for `--report-json`: stable lower-case tags for the
+// enums, durations flattened to `wall_ms` floats (the vendored serde has no
+// `Duration` representation, and milliseconds are what report consumers
+// plot anyway).
+
+impl serde::Serialize for AttemptMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                AttemptMode::Threaded => "threaded",
+                AttemptMode::Sequential => "sequential",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Serialize for RecoveryPath {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                RecoveryPath::Threaded => "threaded",
+                RecoveryPath::Retried => "retried",
+                RecoveryPath::Sequential => "sequential",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Serialize for Attempt {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("mode".to_string(), self.mode.to_value()),
+            (
+                "start_iteration".to_string(),
+                serde::Value::UInt(self.start_iteration),
+            ),
+            (
+                "iterations_completed".to_string(),
+                serde::Value::UInt(self.iterations_completed),
+            ),
+            ("fault".to_string(), self.fault.to_value()),
+            (
+                "wall_ms".to_string(),
+                serde::Value::Float(self.wall.as_secs_f64() * 1e3),
+            ),
+            (
+                "leaked_workers".to_string(),
+                serde::Value::UInt(self.leaked_workers as u64),
+            ),
+        ])
+    }
+}
+
+impl serde::Serialize for RunReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("path".to_string(), self.path.to_value()),
+            (
+                "recoveries".to_string(),
+                serde::Value::UInt(self.recoveries() as u64),
+            ),
+            ("degraded".to_string(), serde::Value::Bool(self.degraded())),
+            (
+                "leaked_workers".to_string(),
+                serde::Value::UInt(self.leaked_workers() as u64),
+            ),
+            (
+                "total_wall_ms".to_string(),
+                serde::Value::Float(self.total_wall().as_secs_f64() * 1e3),
+            ),
+            ("attempts".to_string(), self.attempts.to_value()),
+        ])
     }
 }
 
@@ -341,6 +492,18 @@ pub fn run_supervised_injected_opts(
     result.map(|()| report)
 }
 
+/// Global progress already banked before this supervision loop starts —
+/// zero for a fresh run; the checkpoint's cursor when resuming, so fault
+/// triggers, slab sequence numbers, and new checkpoint manifests all
+/// continue the original run's coordinates.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ResumeBase {
+    /// Iterations sealed in the checkpoint the run resumes from.
+    pub iterations: u64,
+    /// Fused-block sequence base.
+    pub blocks: u64,
+}
+
 /// Monomorphizes the supervision loop against the chosen sink. The run's
 /// integrity envelope (deadline clock, health policy, checksum switch) is
 /// anchored here, once, so every retry shares the same wall-clock budget.
@@ -351,7 +514,28 @@ fn dispatch(
     opts: &ExecOptions,
     faults: &Arc<FaultPlan>,
 ) -> (RunReport, Result<(), ExecError>) {
+    dispatch_with(
+        program,
+        partition,
+        state,
+        opts,
+        faults,
+        ResumeBase::default(),
+    )
+}
+
+/// [`dispatch`] with an explicit [`ResumeBase`] — the seam
+/// [`resume_supervised`](crate::resume_supervised) re-enters through.
+pub(crate) fn dispatch_with(
+    program: &Program,
+    partition: &Partition,
+    state: &mut GridState,
+    opts: &ExecOptions,
+    faults: &Arc<FaultPlan>,
+    base: ResumeBase,
+) -> (RunReport, Result<(), ExecError>) {
     let limits = opts.limits();
+    let writer = CheckpointWriter::from_options(program, opts, &base, limits.deadline, faults);
     match &opts.trace {
         Some(rec) => supervised(
             program,
@@ -362,6 +546,8 @@ fn dispatch(
             opts.engine,
             opts.lanes,
             limits,
+            base.blocks,
+            writer.as_ref(),
             &rec.clone(),
         ),
         None => supervised(
@@ -373,6 +559,8 @@ fn dispatch(
             opts.engine,
             opts.lanes,
             limits,
+            base.blocks,
+            writer.as_ref(),
             &Disabled,
         ),
     }
@@ -388,20 +576,29 @@ fn supervised<S: TraceSink>(
     engine: EngineKind,
     lanes: Option<usize>,
     limits: RunLimits,
+    block_base: u64,
+    ckpt: Option<&CheckpointWriter>,
     sink: &S,
 ) -> (RunReport, Result<(), ExecError>) {
     let total = program.iterations;
     let mut attempts: Vec<Attempt> = Vec::new();
     let mut done = 0u64; // iterations completed and checkpointed in `state`
-    let mut blocks = 0u64; // global fused-block index for fault triggers
+    let mut blocks = block_base; // global fused-block index for fault triggers
     let mut failures = 0u32;
+    let mut jitter = DecorrelatedJitter::new(policy);
     loop {
         let rest = program.with_iterations(total - done);
         let start = Instant::now();
+        if let Some(w) = ckpt {
+            w.begin_attempt(done);
+        }
         match pool_run(
-            &rest, partition, state, policy, faults, blocks, engine, lanes, limits, sink,
+            &rest, partition, state, policy, faults, blocks, engine, lanes, limits, ckpt, sink,
         ) {
             Ok(run) => {
+                if let Some(w) = ckpt {
+                    w.finalize(state, blocks + run.blocks, sink);
+                }
                 attempts.push(Attempt {
                     mode: AttemptMode::Threaded,
                     start_iteration: done,
@@ -466,6 +663,9 @@ fn supervised<S: TraceSink>(
                             (Some(e), completed)
                         }
                     };
+                    if let (None, Some(w)) = (&fault, ckpt) {
+                        w.finalize(state, blocks, sink);
+                    }
                     attempts.push(Attempt {
                         mode: AttemptMode::Sequential,
                         start_iteration: done,
@@ -487,7 +687,10 @@ fn supervised<S: TraceSink>(
                 if S::ACTIVE {
                     sink.add(Counter::Retries, 1);
                 }
-                thread::sleep(policy.backoff(failures - 1));
+                // Decorrelated jitter instead of pure doubling: concurrent
+                // supervisors retrying the same contended resource desync
+                // instead of colliding again in lock-step.
+                thread::sleep(jitter.next_sleep(policy));
             }
         }
     }
@@ -495,7 +698,7 @@ fn supervised<S: TraceSink>(
 
 /// Rebases an error's attempt-local progress coordinates onto the global
 /// iteration counter (`base` = the attempt's start iteration).
-fn globalize(e: &mut ExecError, base: u64) {
+pub(crate) fn globalize(e: &mut ExecError, base: u64) {
     match e {
         ExecError::NumericDivergence { iteration, .. } => *iteration += base,
         ExecError::DeadlineExceeded { completed } => *completed += base,
@@ -609,6 +812,98 @@ mod tests {
         assert_eq!(policy.backoff(1), Duration::from_millis(20));
         assert_eq!(policy.backoff(2), Duration::from_millis(35));
         assert_eq!(policy.backoff(31), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_inside_its_envelope_and_is_seedable() {
+        let policy = ExecPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(200),
+            jitter_seed: Some(42),
+            ..ExecPolicy::default()
+        };
+        let mut jitter = DecorrelatedJitter::new(&policy);
+        let mut prev = policy.backoff_base;
+        let mut sleeps = Vec::new();
+        for _ in 0..200 {
+            let s = jitter.next_sleep(&policy);
+            // Bounds: never below the base, never above the max, and never
+            // above 3x the previous sleep (the decorrelated growth cap).
+            assert!(s >= policy.backoff_base, "{s:?} under base");
+            assert!(s <= policy.backoff_max, "{s:?} over max");
+            assert!(
+                s <= (prev * 3).min(policy.backoff_max),
+                "{s:?} over 3x{prev:?}"
+            );
+            prev = s;
+            sleeps.push(s);
+        }
+        // Same seed reproduces the exact sequence...
+        let mut again = DecorrelatedJitter::new(&policy);
+        let replay: Vec<_> = (0..200).map(|_| again.next_sleep(&policy)).collect();
+        assert_eq!(sleeps, replay);
+        // ...a different seed diverges, and the sleeps actually vary
+        // (decorrelated, not a deterministic ladder).
+        let mut other = DecorrelatedJitter::new(&ExecPolicy {
+            jitter_seed: Some(43),
+            ..policy.clone()
+        });
+        let diverged: Vec<_> = (0..200).map(|_| other.next_sleep(&policy)).collect();
+        assert_ne!(sleeps, diverged);
+        let distinct: std::collections::BTreeSet<_> = sleeps.iter().collect();
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct sleeps",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn zero_width_jitter_interval_degenerates_to_the_base() {
+        // base == max pins every sleep to that single value.
+        let policy = ExecPolicy {
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(5),
+            jitter_seed: Some(7),
+            ..ExecPolicy::default()
+        };
+        let mut jitter = DecorrelatedJitter::new(&policy);
+        for _ in 0..10 {
+            assert_eq!(jitter.next_sleep(&policy), Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn reports_serialize_to_structured_json() {
+        let report = RunReport {
+            attempts: vec![
+                Attempt {
+                    mode: AttemptMode::Threaded,
+                    start_iteration: 0,
+                    iterations_completed: 3,
+                    fault: Some(ExecError::WorkerPanic { kernel: 2 }),
+                    wall: Duration::from_millis(12),
+                    leaked_workers: 0,
+                },
+                Attempt {
+                    mode: AttemptMode::Sequential,
+                    start_iteration: 3,
+                    iterations_completed: 4,
+                    fault: None,
+                    wall: Duration::from_millis(40),
+                    leaked_workers: 1,
+                },
+            ],
+            path: RecoveryPath::Sequential,
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"path\":\"sequential\""), "{json}");
+        assert!(json.contains("\"recoveries\":1"), "{json}");
+        assert!(json.contains("\"degraded\":true"), "{json}");
+        assert!(json.contains("\"kind\":\"WorkerPanic\""), "{json}");
+        assert!(json.contains("\"fault\":null"), "{json}");
+        assert!(json.contains("\"leaked_workers\":1"), "{json}");
+        assert!(json.contains("wall_ms"), "{json}");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::engine::Engine;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::integrity::{scan_state, verify_slab, RunLimits};
 use crate::options::{EngineKind, ExecOptions};
+use crate::persist::CheckpointWriter;
 use crate::pool::{
     apply_statement_split, check_slab_step, PipelinePlan, Slab, SplitScratch, PIPE_CAPACITY,
 };
@@ -213,6 +214,7 @@ pub fn run_threaded_opts(
             opts.engine,
             opts.lanes,
             limits,
+            None,
             &rec.clone(),
         ),
         None => pool_run(
@@ -225,6 +227,7 @@ pub fn run_threaded_opts(
             opts.engine,
             opts.lanes,
             limits,
+            None,
             &Disabled,
         ),
     };
@@ -245,6 +248,11 @@ pub fn run_threaded_opts(
 /// `block_base` offsets the fused-block indices used as fault-injection
 /// triggers, so a supervised retry continues the global block numbering
 /// instead of restarting it.
+///
+/// `ckpt` is the optional durable-checkpoint writer: it observes every
+/// committed fused-block barrier (the buffer the workers just finished
+/// reading, i.e. the run's consistent checkpoint) and seals a generation to
+/// disk on its own cadence.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn pool_run<S: TraceSink>(
     program: &Program,
@@ -256,6 +264,7 @@ pub(crate) fn pool_run<S: TraceSink>(
     engine: EngineKind,
     lanes: Option<usize>,
     limits: RunLimits,
+    ckpt: Option<&CheckpointWriter>,
     sink: &S,
 ) -> Result<PoolRun, (ExecError, PoolRun)> {
     let plan = PipelinePlan::new(program, partition, lanes).map_err(|e| (e, PoolRun::empty()))?;
@@ -386,6 +395,13 @@ pub(crate) fn pool_run<S: TraceSink>(
         done_iters += h;
         done_blocks += 1;
         src ^= 1;
+        // The barrier has committed: `buffers[src]` is the consistent grid
+        // as of `done_iters`. Offer it to the durable-checkpoint writer
+        // (which seals a generation only when its cadence is due).
+        if let Some(w) = ckpt {
+            let checkpoint = buffers[src].read().unwrap_or_else(PoisonError::into_inner);
+            w.at_barrier(&checkpoint, done_iters, block_base + done_blocks, sink);
+        }
     }
 
     drop(cmd_txs);
@@ -683,6 +699,14 @@ fn worker_loop<S: TraceSink>(
             }
             Some(FaultKind::CorruptStepTag) => corrupt_tags = true,
             Some(FaultKind::CorruptPayload) => corrupt_payload = true,
+            // I/O fault kinds are dispatched by `FaultPlan::fire_io` from the
+            // checkpoint store, never by the per-block worker hook.
+            Some(
+                FaultKind::TornWrite(_)
+                | FaultKind::ShortRead
+                | FaultKind::CorruptCheckpoint(_)
+                | FaultKind::FsyncFail,
+            ) => {}
         }
         let result = run_pass(
             ctx,

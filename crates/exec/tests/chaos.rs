@@ -3,14 +3,16 @@
 //! and no worker thread outlives a supervised run.
 #![cfg(feature = "fault-injection")]
 
+use std::path::PathBuf;
 use std::sync::{Arc, Once};
 use std::time::Duration;
 
 use proptest::prelude::*;
 use stencilcl_exec::{
-    run_reference, run_supervised_full, run_supervised_injected, run_supervised_injected_full,
-    run_supervised_injected_opts, AttemptMode, ExecError, ExecOptions, ExecPolicy, FaultKind,
-    FaultPlan, HealthPolicy, Recorder, RecoveryPath,
+    load_latest, resume_supervised_injected_full, run_reference, run_supervised_full,
+    run_supervised_injected, run_supervised_injected_full, run_supervised_injected_opts,
+    AttemptMode, CheckpointPolicy, CheckpointStore, DirStore, ExecError, ExecOptions, ExecPolicy,
+    FaultKind, FaultPlan, HealthPolicy, Recorder, RecoveryPath,
 };
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point};
 use stencilcl_lang::{programs, GridState, Program, StencilFeatures};
@@ -46,6 +48,7 @@ fn chaos_policy() -> ExecPolicy {
         sequential_fallback: true,
         deadline: None,
         tile: None,
+        jitter_seed: Some(7),
     }
 }
 
@@ -72,6 +75,27 @@ fn reference_grid(p: &Program) -> GridState {
     let mut expect = GridState::new(p, init);
     run_reference(p, &mut expect).unwrap();
     expect
+}
+
+/// A unique, empty scratch directory per call (no tempfile dependency).
+fn scratch(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "stencilcl-chaos-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ckpt_opts(dir: &std::path::Path) -> ExecOptions {
+    ExecOptions::new().policy(chaos_policy()).checkpoint(
+        CheckpointPolicy::at(dir)
+            .every_barriers(1)
+            .keep_generations(8),
+    )
 }
 
 #[test]
@@ -501,4 +525,151 @@ proptest! {
         prop_assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
         prop_assert_eq!(report.leaked_workers(), 0);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint I/O faults: the storage layer lies, the run must not.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fsync_failure_skips_one_generation_and_the_run_stays_bit_exact() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let dir = scratch("fsync");
+    // The first save fails before anything reaches disk; later barriers
+    // keep sealing. 3 barriers - 1 failed save = 2 generations, with a
+    // numbering gap where the failed generation 0 would have been.
+    let faults = Arc::new(FaultPlan::new().inject_io(FaultKind::FsyncFail));
+    let mut got = GridState::new(&p, init);
+    let (report, result) =
+        run_supervised_injected_full(&p, &partition, &mut got, &ckpt_opts(&dir), &faults);
+    result.unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(faults.io_fired(), 1);
+    assert_eq!(report.leaked_workers(), 0);
+    let store = DirStore::new(&dir);
+    assert_eq!(store.generations().unwrap(), vec![1, 2]);
+    let loaded = load_latest(&store, None).unwrap();
+    assert_eq!(loaded.manifest.completed_iterations, 6);
+    assert!(loaded.fallback_notes.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_rot_in_the_newest_generation_falls_back_and_resumes_bit_exact() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let dir = scratch("rot");
+    // Prefix run: 4 of 6 iterations, sealing generation 0 (2 iters done)
+    // and generation 1 (4 iters done) — with post-seal bit rot injected
+    // into generation 1.
+    let prefix = p.with_iterations(4);
+    let faults = Arc::new(FaultPlan::new().inject_io(FaultKind::CorruptCheckpoint(1)));
+    let mut got = GridState::new(&p, init);
+    run_supervised_injected_opts(&prefix, &partition, &mut got, &ckpt_opts(&dir), &faults).unwrap();
+    assert_eq!(faults.io_fired(), 1);
+    // The ladder detects the rot by digest and falls back one generation.
+    let loaded = load_latest(&DirStore::new(&dir), None).unwrap();
+    assert_eq!(loaded.manifest.generation, 0);
+    assert_eq!(loaded.manifest.completed_iterations, 2);
+    assert_eq!(
+        loaded.fallback_notes.len(),
+        1,
+        "{:?}",
+        loaded.fallback_notes
+    );
+    assert!(loaded.fallback_notes[0].contains("generation 1"));
+    // Resuming toward the full 6-iteration target redoes iterations 2..6
+    // from generation 0 and lands bit-exact on the reference.
+    let clean = Arc::new(FaultPlan::new());
+    let (state, report, result) =
+        resume_supervised_injected_full(&p, &partition, &dir, &ckpt_opts(&dir), &clean).unwrap();
+    result.unwrap();
+    assert_eq!(expect.max_abs_diff(&state).unwrap(), 0.0);
+    assert_eq!(report.attempts[0].start_iteration, 2);
+    assert_eq!(report.leaked_workers(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_read_at_resume_drops_to_the_previous_generation() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let dir = scratch("shortread");
+    let clean = Arc::new(FaultPlan::new());
+    let mut got = GridState::new(&p, init);
+    run_supervised_injected_opts(&p, &partition, &mut got, &ckpt_opts(&dir), &clean).unwrap();
+    // The newest generation (2, finished) comes back truncated at read
+    // time; the one-shot fault leaves generation 1 (4 iters) readable.
+    let faults = Arc::new(FaultPlan::new().inject_io(FaultKind::ShortRead));
+    let (state, report, result) =
+        resume_supervised_injected_full(&p, &partition, &dir, &ckpt_opts(&dir), &faults).unwrap();
+    result.unwrap();
+    assert_eq!(faults.io_fired(), 1);
+    assert_eq!(expect.max_abs_diff(&state).unwrap(), 0.0);
+    assert_eq!(
+        report.attempts[0].start_iteration, 4,
+        "resume should have restarted from generation 1: {report:?}"
+    );
+    assert_eq!(report.leaked_workers(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_fully_rotted_store_is_a_permanent_mismatch_with_diagnostics() {
+    let (p, partition) = scenario();
+    let expect = reference_grid(&p);
+    let dir = scratch("allrot");
+    let faults = Arc::new(
+        FaultPlan::new()
+            .inject_io(FaultKind::CorruptCheckpoint(0))
+            .inject_io(FaultKind::CorruptCheckpoint(1))
+            .inject_io(FaultKind::CorruptCheckpoint(2)),
+    );
+    let mut got = GridState::new(&p, init);
+    // Bit rot happens after each seal, so the run itself is untouched.
+    run_supervised_injected_opts(&p, &partition, &mut got, &ckpt_opts(&dir), &faults).unwrap();
+    assert_eq!(expect.max_abs_diff(&got).unwrap(), 0.0);
+    assert_eq!(faults.io_fired(), 3);
+    // Every generation fails its digest: the resume is a permanent
+    // mismatch carrying one diagnostic per generation tried.
+    let clean = Arc::new(FaultPlan::new());
+    let err = resume_supervised_injected_full(&p, &partition, &dir, &ckpt_opts(&dir), &clean)
+        .unwrap_err();
+    let ExecError::CheckpointMismatch { detail } = &err else {
+        panic!("expected CheckpointMismatch, got {err}");
+    };
+    assert!(detail.contains("all 3 generation(s)"), "{detail}");
+    assert!(detail.contains("generation 0"), "{detail}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_write_seals_a_generation_only_the_digest_can_reject() {
+    let (p, partition) = scenario();
+    let dir = scratch("torn");
+    // The first save (generation 0, 2 iters done) is acknowledged but
+    // truncated to 64 bytes; generation 1 (4 iters done) lands intact.
+    let prefix = p.with_iterations(4);
+    let faults = Arc::new(FaultPlan::new().inject_io(FaultKind::TornWrite(64)));
+    let mut got = GridState::new(&p, init);
+    run_supervised_injected_opts(&prefix, &partition, &mut got, &ckpt_opts(&dir), &faults).unwrap();
+    assert_eq!(faults.io_fired(), 1);
+    let store = DirStore::new(&dir);
+    // Both generations exist on disk: the torn one was renamed into place.
+    assert_eq!(store.generations().unwrap(), vec![0, 1]);
+    assert!(store.load(0).unwrap().len() <= 64);
+    // The intact generation 1 resumes cleanly without a fallback note.
+    let loaded = load_latest(&store, None).unwrap();
+    assert_eq!(loaded.manifest.generation, 1);
+    assert!(loaded.fallback_notes.is_empty());
+    // Lose generation 1 (crash before it was written): only the torn
+    // generation remains, and its digest — not the filesystem — rejects it.
+    store.remove(1).unwrap();
+    let err = load_latest(&store, None).unwrap_err();
+    let ExecError::CheckpointMismatch { detail } = &err else {
+        panic!("expected CheckpointMismatch, got {err}");
+    };
+    assert!(detail.contains("generation 0"), "{detail}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

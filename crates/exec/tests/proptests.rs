@@ -437,3 +437,71 @@ proptest! {
         prop_assert_eq!(plain.max_abs_diff(&blocked).unwrap(), 0.0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Durable checkpoints: across random stencils, fusion depths, barrier
+    // strides, and kill points, a run killed after any barrier and resumed
+    // from whatever generations survive reproduces the uninterrupted run
+    // **bit for bit** (`max_abs_diff == 0.0`, not epsilon).
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact(
+        li in 0i64..=1, hi in 1i64..=2,
+        fused in 1u64..=3,
+        iters in 2u64..=8,
+        every in 1u64..=4,
+        kill in 0usize..=6,
+        seed in 0i64..1000,
+    ) {
+        use stencilcl_exec::{resume_supervised, run_supervised_full, CheckpointPolicy,
+                             CheckpointStore, DirStore};
+        let n = 20usize;
+        let src = format!(
+            "stencil ckpt {{ grid A[{n}][{n}] : f32; iterations {iters};
+             A[i][j] = 0.45 * A[i][j] + 0.25 * (A[i-{li}][j] + A[i+1][j]) \
+                     + 0.1 * (A[i][j+{hi}] + A[i][j-1]); }}"
+        );
+        let program = parse(&src).unwrap();
+        let f = StencilFeatures::extract(&program).unwrap();
+        let design =
+            Design::equal(DesignKind::PipeShared, fused, vec![2, 2], vec![10, 10]).unwrap();
+        let partition = Partition::new(program.extent(), &design, &f.growth).unwrap();
+        let init = |name: &str, p: &Point| {
+            let mut v = (name.len() as i64 + seed) as f64;
+            for d in 0..p.dim() {
+                v = v * 31.0 + p.coord(d) as f64;
+            }
+            (v * 0.0027).sin()
+        };
+        let mut reference = GridState::new(&program, init);
+        run_reference(&program, &mut reference).unwrap();
+
+        let dir = std::env::temp_dir().join(format!(
+            "stencilcl-prop-ckpt-{}-{seed}-{fused}-{iters}-{every}-{kill}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ExecOptions::new().checkpoint(
+            CheckpointPolicy::at(&dir).every_barriers(every).keep_generations(64),
+        );
+        let mut full = GridState::new(&program, init);
+        run_supervised_full(&program, &partition, &mut full, &opts).1.unwrap();
+        prop_assert_eq!(reference.max_abs_diff(&full).unwrap(), 0.0);
+
+        // Simulate a SIGKILL after an arbitrary barrier by discarding the
+        // newest `kill` generations; at least one must survive.
+        let store = DirStore::new(&dir);
+        let generations = store.generations().unwrap();
+        prop_assert!(!generations.is_empty());
+        let drop_n = kill.min(generations.len() - 1);
+        for &g in &generations[generations.len() - drop_n..] {
+            store.remove(g).unwrap();
+        }
+
+        let (resumed, report) = resume_supervised(&program, &partition, &dir, &opts).unwrap();
+        prop_assert_eq!(reference.max_abs_diff(&resumed).unwrap(), 0.0);
+        prop_assert_eq!(report.leaked_workers(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -286,7 +286,7 @@ impl CompiledProgram {
             })
             .collect();
         let fused_groups = fuse_statements(&kernels, &domains);
-        let cells = (0..extent.dim()).map(|d| extent.len(d) as usize).product();
+        let cells = (0..extent.dim()).map(|d| extent.len(d)).product();
         Ok(CompiledProgram {
             extent,
             slots,
@@ -728,8 +728,7 @@ fn eval_tape_lanes<const W: usize>(
                 // arithmetic (`check_row`), so this cast cannot wrap and
                 // all `W` lanes are in bounds.
                 let at = (idx as i64 + delta) as usize;
-                stack[sp * W..(sp + 1) * W]
-                    .copy_from_slice(&views[slot as usize][at..at + W]);
+                stack[sp * W..(sp + 1) * W].copy_from_slice(&views[slot as usize][at..at + W]);
                 sp += 1;
             }
             Op::Add => bin!(sp, stack, |a, b| a + b),

@@ -33,6 +33,46 @@ impl GridState {
         GridState::new(program, |_, _| value)
     }
 
+    /// Reassembles a state from already-materialized grids (checkpoint
+    /// restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when the grid set does not match the
+    /// program's declarations (missing/extra names or wrong extents).
+    pub fn from_grids(
+        program: &Program,
+        grids: std::collections::BTreeMap<String, Grid<f64>>,
+    ) -> Result<Self, LangError> {
+        if grids.len() != program.grids.len() {
+            return Err(LangError::eval(format!(
+                "grid set holds {} grids, program declares {}",
+                grids.len(),
+                program.grids.len()
+            )));
+        }
+        for decl in &program.grids {
+            match grids.get(&decl.name) {
+                None => {
+                    return Err(LangError::eval(format!(
+                        "grid set is missing declared grid `{}`",
+                        decl.name
+                    )))
+                }
+                Some(g) if g.extent() != decl.extent => {
+                    return Err(LangError::eval(format!(
+                        "grid `{}` has extent {:?}, program declares {:?}",
+                        decl.name,
+                        g.extent(),
+                        decl.extent
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(GridState { grids })
+    }
+
     /// Borrow of a grid by name.
     ///
     /// # Errors

@@ -34,6 +34,8 @@ pub struct PhaseTotals {
     pub write: f64,
     /// Barrier-idle total.
     pub barrier: f64,
+    /// Durable-checkpoint I/O total (write + load).
+    pub checkpoint: f64,
 }
 
 impl PhaseTotals {
@@ -47,6 +49,9 @@ impl PhaseTotals {
             TracePhase::Dependent { .. } => self.dependent += amount,
             TracePhase::Write => self.write += amount,
             TracePhase::Barrier => self.barrier += amount,
+            TracePhase::CheckpointWrite | TracePhase::CheckpointLoad => {
+                self.checkpoint += amount;
+            }
         }
     }
 
@@ -59,10 +64,11 @@ impl PhaseTotals {
             + self.dependent
             + self.write
             + self.barrier
+            + self.checkpoint
     }
 
     /// `(label, value)` pairs in phase order, for rendering.
-    pub fn entries(&self) -> [(&'static str, f64); 7] {
+    pub fn entries(&self) -> [(&'static str, f64); 8] {
         [
             ("Launch", self.launch),
             ("Read", self.read),
@@ -71,6 +77,7 @@ impl PhaseTotals {
             ("Dependent", self.dependent),
             ("Write", self.write),
             ("Barrier", self.barrier),
+            ("Checkpoint", self.checkpoint),
         ]
     }
 

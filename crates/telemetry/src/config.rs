@@ -48,6 +48,12 @@ pub struct EnvConfig {
     /// `STENCILCL_TILE`: spatial tile edge (cells, ≥ 1) for the temporally
     /// blocked reference driver; `None` disables temporal blocking.
     pub tile: Option<usize>,
+    /// `STENCILCL_CKPT_DIR`: directory durable checkpoint generations are
+    /// sealed into; `None` disables checkpointing.
+    pub ckpt_dir: Option<PathBuf>,
+    /// `STENCILCL_CKPT_EVERY`: checkpoint every k-th fused-block barrier
+    /// (≥ 1); `None` uses the policy default.
+    pub ckpt_every: Option<u64>,
 }
 
 impl Default for EnvConfig {
@@ -66,6 +72,8 @@ impl Default for EnvConfig {
             integrity: false,
             lanes: None,
             tile: None,
+            ckpt_dir: None,
+            ckpt_every: None,
         }
     }
 }
@@ -157,6 +165,21 @@ impl EnvConfig {
                 warnings.push("STENCILCL_RESULTS: ignoring empty value".to_string());
             } else {
                 cfg.results_dir = PathBuf::from(v);
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_CKPT_DIR") {
+            if v.trim().is_empty() {
+                warnings.push("STENCILCL_CKPT_DIR: ignoring empty value".to_string());
+            } else {
+                cfg.ckpt_dir = Some(PathBuf::from(v));
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_CKPT_EVERY") {
+            match v.trim().parse::<u64>() {
+                Ok(n) if n >= 1 => cfg.ckpt_every = Some(n),
+                _ => warnings.push(format!(
+                    "STENCILCL_CKPT_EVERY: ignoring {v:?} (want an integer >= 1)"
+                )),
             }
         }
         (cfg, warnings)
@@ -282,10 +305,8 @@ mod tests {
 
     #[test]
     fn lane_and_tile_knobs_parse() {
-        let (cfg, warnings) = EnvConfig::parse(env(&[
-            ("STENCILCL_LANES", "8"),
-            ("STENCILCL_TILE", "64"),
-        ]));
+        let (cfg, warnings) =
+            EnvConfig::parse(env(&[("STENCILCL_LANES", "8"), ("STENCILCL_TILE", "64")]));
         assert!(warnings.is_empty());
         assert_eq!(cfg.lanes, Some(8));
         assert_eq!(cfg.tile, Some(64));
@@ -293,15 +314,37 @@ mod tests {
 
     #[test]
     fn malformed_lane_and_tile_knobs_warn_and_fall_back() {
-        let (cfg, warnings) = EnvConfig::parse(env(&[
-            ("STENCILCL_LANES", "32"),
-            ("STENCILCL_TILE", "0"),
-        ]));
+        let (cfg, warnings) =
+            EnvConfig::parse(env(&[("STENCILCL_LANES", "32"), ("STENCILCL_TILE", "0")]));
         assert_eq!(cfg.lanes, None);
         assert_eq!(cfg.tile, None);
         assert_eq!(warnings.len(), 2);
         assert!(warnings.iter().any(|w| w.contains("STENCILCL_LANES")));
         assert!(warnings.iter().any(|w| w.contains("STENCILCL_TILE")));
+    }
+
+    #[test]
+    fn checkpoint_knobs_parse() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_CKPT_DIR", "/tmp/ckpt"),
+            ("STENCILCL_CKPT_EVERY", "4"),
+        ]));
+        assert!(warnings.is_empty());
+        assert_eq!(cfg.ckpt_dir, Some(PathBuf::from("/tmp/ckpt")));
+        assert_eq!(cfg.ckpt_every, Some(4));
+    }
+
+    #[test]
+    fn malformed_checkpoint_knobs_warn_and_fall_back() {
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_CKPT_DIR", "  "),
+            ("STENCILCL_CKPT_EVERY", "0"),
+        ]));
+        assert_eq!(cfg.ckpt_dir, None);
+        assert_eq!(cfg.ckpt_every, None);
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings.iter().any(|w| w.contains("STENCILCL_CKPT_DIR")));
+        assert!(warnings.iter().any(|w| w.contains("STENCILCL_CKPT_EVERY")));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum TracePhase {
     Write,
     /// Idling at the region barrier.
     Barrier,
+    /// Sealing a durable checkpoint generation to disk.
+    CheckpointWrite,
+    /// Validating and loading a checkpoint generation from disk.
+    CheckpointLoad,
 }
 
 impl TracePhase {
@@ -50,6 +54,8 @@ impl TracePhase {
             TracePhase::Dependent { .. } => '+',
             TracePhase::Write => 'w',
             TracePhase::Barrier => ' ',
+            TracePhase::CheckpointWrite => 'C',
+            TracePhase::CheckpointLoad => 'L',
         }
     }
 
@@ -64,6 +70,8 @@ impl TracePhase {
             TracePhase::Dependent { .. } => "Dependent",
             TracePhase::Write => "Write",
             TracePhase::Barrier => "Barrier",
+            TracePhase::CheckpointWrite => "CheckpointWrite",
+            TracePhase::CheckpointLoad => "CheckpointLoad",
         }
     }
 }
@@ -259,11 +267,13 @@ mod tests {
             TracePhase::Dependent { iteration: 1 },
             TracePhase::Write,
             TracePhase::Barrier,
+            TracePhase::CheckpointWrite,
+            TracePhase::CheckpointLoad,
         ];
         let glyphs: HashSet<char> = phases.iter().map(|p| p.glyph()).collect();
-        assert_eq!(glyphs.len(), 7);
+        assert_eq!(glyphs.len(), 9);
         let names: HashSet<&str> = phases.iter().map(|p| p.name()).collect();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 9);
     }
 
     #[test]

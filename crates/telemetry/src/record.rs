@@ -28,6 +28,8 @@ const PH_PIPE_WAIT: u64 = 3;
 const PH_DEPENDENT: u64 = 4;
 const PH_WRITE: u64 = 5;
 const PH_BARRIER: u64 = 6;
+const PH_CKPT_WRITE: u64 = 7;
+const PH_CKPT_LOAD: u64 = 8;
 
 fn pack_phase(phase: TracePhase) -> (u64, u64) {
     match phase {
@@ -38,6 +40,8 @@ fn pack_phase(phase: TracePhase) -> (u64, u64) {
         TracePhase::Dependent { iteration } => (PH_DEPENDENT, iteration),
         TracePhase::Write => (PH_WRITE, 0),
         TracePhase::Barrier => (PH_BARRIER, 0),
+        TracePhase::CheckpointWrite => (PH_CKPT_WRITE, 0),
+        TracePhase::CheckpointLoad => (PH_CKPT_LOAD, 0),
     }
 }
 
@@ -49,12 +53,14 @@ fn unpack_phase(disc: u64, iteration: u64) -> TracePhase {
         PH_PIPE_WAIT => TracePhase::PipeWait { iteration },
         PH_DEPENDENT => TracePhase::Dependent { iteration },
         PH_WRITE => TracePhase::Write,
+        PH_CKPT_WRITE => TracePhase::CheckpointWrite,
+        PH_CKPT_LOAD => TracePhase::CheckpointLoad,
         _ => TracePhase::Barrier,
     }
 }
 
 /// One span slot. `meta` packs, from the low bit up:
-/// `ready(1) | phase(3) | kernel(14) | region(14) | iteration(32)`.
+/// `ready(1) | phase(4) | kernel(14) | region(13) | iteration(32)`.
 #[derive(Debug)]
 struct Slot {
     meta: AtomicU64,
@@ -62,14 +68,21 @@ struct Slot {
     end: AtomicU64,
 }
 
+const PHASE_BITS: u64 = 4;
 const KERNEL_BITS: u64 = 14;
+const REGION_BITS: u64 = 13;
 const FIELD_MAX: u64 = (1 << KERNEL_BITS) - 1;
+const REGION_MAX: u64 = (1 << REGION_BITS) - 1;
+const PHASE_MAX: u64 = (1 << PHASE_BITS) - 1;
 
 fn pack_meta(kernel: usize, region: usize, phase: TracePhase) -> u64 {
     let (disc, iteration) = pack_phase(phase);
     let kernel = (kernel as u64).min(FIELD_MAX);
-    let region = (region as u64).min(FIELD_MAX);
-    1 | (disc << 1) | (kernel << 4) | (region << (4 + KERNEL_BITS)) | (iteration << 32)
+    let region = (region as u64).min(REGION_MAX);
+    1 | (disc << 1)
+        | (kernel << (1 + PHASE_BITS))
+        | (region << (1 + PHASE_BITS + KERNEL_BITS))
+        | (iteration << 32)
 }
 
 struct Inner {
@@ -147,6 +160,27 @@ impl Recorder {
         self.inner.counters[c.index()].load(Ordering::Relaxed)
     }
 
+    /// Snapshots the counters alone, without scanning the span slab. Cheap
+    /// enough to call at every durable-checkpoint barrier — the snapshot is
+    /// sealed into the checkpoint manifest so a resumed run can report
+    /// cumulative counter totals.
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            halo_bytes: self.counter(Counter::HaloBytes),
+            slabs_sent: self.counter(Counter::SlabsSent),
+            slabs_received: self.counter(Counter::SlabsReceived),
+            cells_computed: self.counter(Counter::CellsComputed),
+            stall_ns: self.counter(Counter::StallNs),
+            retries: self.counter(Counter::Retries),
+            checksums_verified: self.counter(Counter::ChecksumsVerified),
+            cells_scanned: self.counter(Counter::CellsScanned),
+            scan_ns: self.counter(Counter::ScanNs),
+            redundant_cells: self.counter(Counter::RedundantCells),
+            ckpt_bytes: self.counter(Counter::CkptBytes),
+            ckpt_generations: self.counter(Counter::CkptGenerations),
+        }
+    }
+
     /// Snapshots everything recorded so far into an owned
     /// [`MeasuredTrace`]. Call after the instrumented run completes (worker
     /// joins give the necessary happens-before edge); spans still being
@@ -162,9 +196,9 @@ impl Recorder {
             if meta & 1 == 0 {
                 continue;
             }
-            let phase = unpack_phase((meta >> 1) & 0b111, meta >> 32);
-            let kernel = ((meta >> 4) & FIELD_MAX) as usize;
-            let region = ((meta >> (4 + KERNEL_BITS)) & FIELD_MAX) as usize;
+            let phase = unpack_phase((meta >> 1) & PHASE_MAX, meta >> 32);
+            let kernel = ((meta >> (1 + PHASE_BITS)) & FIELD_MAX) as usize;
+            let region = ((meta >> (1 + PHASE_BITS + KERNEL_BITS)) & REGION_MAX) as usize;
             let start = slot.start.load(Ordering::Relaxed);
             let end = slot.end.load(Ordering::Relaxed).max(start);
             kernels = kernels.max(kernel + 1);
@@ -180,18 +214,7 @@ impl Recorder {
         spans.sort_by(|a, b| {
             (a.kernel, a.start_ns, a.end_ns).cmp(&(b.kernel, b.start_ns, b.end_ns))
         });
-        let counters = CounterSnapshot {
-            halo_bytes: self.counter(Counter::HaloBytes),
-            slabs_sent: self.counter(Counter::SlabsSent),
-            slabs_received: self.counter(Counter::SlabsReceived),
-            cells_computed: self.counter(Counter::CellsComputed),
-            stall_ns: self.counter(Counter::StallNs),
-            retries: self.counter(Counter::Retries),
-            checksums_verified: self.counter(Counter::ChecksumsVerified),
-            cells_scanned: self.counter(Counter::CellsScanned),
-            scan_ns: self.counter(Counter::ScanNs),
-            redundant_cells: self.counter(Counter::RedundantCells),
-        };
+        let counters = self.counters();
         MeasuredTrace {
             spans,
             counters,
@@ -281,6 +304,10 @@ pub struct CounterSnapshot {
     /// Cell updates recomputed redundantly in halo/trapezoid overlaps
     /// (subset of `cells_computed`).
     pub redundant_cells: u64,
+    /// Bytes written into sealed checkpoint generations.
+    pub ckpt_bytes: u64,
+    /// Checkpoint generations successfully sealed on disk.
+    pub ckpt_generations: u64,
 }
 
 impl Deserialize for CounterSnapshot {
@@ -303,6 +330,8 @@ impl Deserialize for CounterSnapshot {
                 cells_scanned: field("cells_scanned")?,
                 scan_ns: field("scan_ns")?,
                 redundant_cells: field("redundant_cells")?,
+                ckpt_bytes: field("ckpt_bytes")?,
+                ckpt_generations: field("ckpt_generations")?,
             }),
             other => Err(serde::DeError::expected(
                 "object for CounterSnapshot",

@@ -36,11 +36,15 @@ pub enum Counter {
     /// evaluated outside the tile's own output rect (overlapped baseline
     /// and temporal blocking). Always a subset of `CellsComputed`.
     RedundantCells,
+    /// Bytes written into sealed checkpoint generations on disk.
+    CkptBytes,
+    /// Checkpoint generations successfully sealed (atomic rename done).
+    CkptGenerations,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::HaloBytes,
         Counter::SlabsSent,
         Counter::SlabsReceived,
@@ -51,6 +55,8 @@ impl Counter {
         Counter::CellsScanned,
         Counter::ScanNs,
         Counter::RedundantCells,
+        Counter::CkptBytes,
+        Counter::CkptGenerations,
     ];
 
     /// Stable index into counter arrays.
@@ -66,6 +72,8 @@ impl Counter {
             Counter::CellsScanned => 7,
             Counter::ScanNs => 8,
             Counter::RedundantCells => 9,
+            Counter::CkptBytes => 10,
+            Counter::CkptGenerations => 11,
         }
     }
 
@@ -82,6 +90,8 @@ impl Counter {
             Counter::CellsScanned => "cells_scanned",
             Counter::ScanNs => "scan_ns",
             Counter::RedundantCells => "redundant_cells",
+            Counter::CkptBytes => "ckpt_bytes",
+            Counter::CkptGenerations => "ckpt_generations",
         }
     }
 }
