@@ -1,0 +1,175 @@
+//! Ablation: **tile-parallel combined spatial+temporal blocking** vs the
+//! serial executors.
+//!
+//! Sweeps grid size × worker-pool width over the Jacobi 2-D blur and
+//! times three executors on each point: the plain reference sweep, the
+//! serial trapezoid-blocked reference (with its model-driven auto-disable
+//! live — on cache-resident grids that row *is* the plain sweep, by
+//! design), and `run_blocked_parallel`. Bit-equality against the
+//! reference is asserted on every row; the speedup bars — the parallel
+//! executor at 8 threads must beat the best serial executor ≥2× on the
+//! DRAM-resident 1024²×64 point and must not lose to the plain sweep on
+//! the cache-resident 256²×16 point — are asserted only at the full
+//! default sizes **and only when the host can actually run tiles in
+//! parallel** (`available_parallelism() >= 4`). On narrower hosts multi-
+//! thread scaling is physically impossible, the executor's model gate
+//! routes the default-config run to the plain sweep, and the bars relax
+//! to a parity floor (≥0.90× the reference, i.e. the gate must make the
+//! fallback free). Writes `results/BENCH_blocking.json` with the host
+//! parallelism recorded alongside the rows.
+//!
+//! Knobs (environment): `STENCILCL_BENCH_N` (grid side; setting it
+//! replaces the default two-size sweep with that single size and skips
+//! the speedup bars — how CI smoke-tests the binary),
+//! `STENCILCL_BENCH_ITERS` (iterations with `STENCILCL_BENCH_N`, default
+//! 8), `STENCILCL_BENCH_SAMPLES` (timing samples, default 3),
+//! `STENCILCL_BENCH_TILE` (tile edge, default 64).
+
+use serde::Serialize;
+use stencilcl_bench::runner::{time_blocking_ab, write_json, BlockingTiming};
+use stencilcl_bench::table::{ratio, Table};
+use stencilcl_lang::programs;
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let samples = env_usize("STENCILCL_BENCH_SAMPLES", 3);
+    let tile = env_usize("STENCILCL_BENCH_TILE", 64);
+    let full = std::env::var("STENCILCL_BENCH_N").is_err();
+    let sizes: Vec<(usize, u64)> = if full {
+        vec![(256, 16), (1024, 64)]
+    } else {
+        vec![(
+            env_usize("STENCILCL_BENCH_N", 256),
+            env_usize("STENCILCL_BENCH_ITERS", 8) as u64,
+        )]
+    };
+    let threads_sweep: &[usize] = if full { &[1, 2, 4, 8] } else { &[1, 2] };
+
+    let mut rows: Vec<BlockingTiming> = Vec::new();
+    let mut t = Table::new(vec![
+        "Grid",
+        "Iters",
+        "Threads",
+        "Reference (ms)",
+        "Blocked (ms)",
+        "Parallel (ms)",
+        "vs ref",
+        "vs best serial",
+        "Redundant",
+        "Stolen",
+        "Max |diff|",
+    ]);
+    for &(n, iters) in &sizes {
+        let program = programs::jacobi_2d()
+            .with_extent(stencilcl_grid::Extent::new2(n, n))
+            .with_iterations(iters);
+        for &threads in threads_sweep {
+            eprintln!("[ablation_blocking] {n}x{n} x{iters}, {threads} thread(s) ...");
+            let row = time_blocking_ab(
+                &format!("jacobi_2d {n}x{n}"),
+                &program,
+                samples,
+                tile.min(n),
+                threads,
+            )
+            .expect("executor run");
+            assert_eq!(
+                row.max_abs_diff, 0.0,
+                "{} with {} threads diverged from the reference",
+                row.name, row.threads
+            );
+            t.row(vec![
+                format!("{n}x{n}"),
+                iters.to_string(),
+                threads.to_string(),
+                format!("{:.3}", row.reference_ms),
+                format!("{:.3}", row.blocked_ms),
+                format!("{:.3}", row.parallel_ms),
+                ratio(row.speedup_vs_reference()),
+                ratio(row.speedup_vs_best_serial()),
+                format!("{:.1}%", row.redundant_frac * 100.0),
+                row.tiles_stolen.to_string(),
+                format!("{:.1e}", row.max_abs_diff),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!("Ablation: tile-parallel blocked executor vs the serial sweeps (tile {tile}).\n");
+    println!("{}", t.render());
+
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if full {
+        let bar = |n: usize, threads: usize| -> &BlockingTiming {
+            rows.iter()
+                .find(|r| r.n == n && r.threads == threads)
+                .expect("swept configuration")
+        };
+        let big = bar(1024, 8);
+        let small = bar(256, 8);
+        if host_parallelism >= 4 {
+            assert!(
+                big.speedup_vs_best_serial() >= 2.0,
+                "1024^2 x 64 @ 8 threads must beat the best serial executor 2x \
+                 (got {:.2}x over min({:.1}, {:.1}) ms)",
+                big.speedup_vs_best_serial(),
+                big.reference_ms,
+                big.blocked_ms,
+            );
+            assert!(
+                small.speedup_vs_reference() >= 1.0,
+                "256^2 x 16 @ 8 threads must not lose to the plain sweep \
+                 (got {:.2}x)",
+                small.speedup_vs_reference(),
+            );
+            println!(
+                "\nBars: 1024^2 parallel {:.2}x best serial (>= 2.0), \
+                 256^2 parallel {:.2}x reference (>= 1.0).",
+                big.speedup_vs_best_serial(),
+                small.speedup_vs_reference(),
+            );
+        } else {
+            // Tiles cannot run concurrently, so speedup over the serial
+            // executors is unreachable by construction. What IS testable
+            // is the model gate: the shipped default config must fall
+            // back to the plain sweep and therefore track it to within
+            // timing noise on both bar points. The floor is loose (0.90)
+            // because the cache-resident point runs in single-digit
+            // milliseconds where jitter alone is several percent; a gate
+            // failure shows up as ~0.4-0.6x, far below it.
+            for (label, row) in [("1024^2 x 64", big), ("256^2 x 16", small)] {
+                assert!(
+                    row.speedup_vs_reference() >= 0.90,
+                    "{label} @ 8 threads: the model gate must make the \
+                     parallel executor track the plain sweep on a \
+                     {host_parallelism}-core host (got {:.2}x)",
+                    row.speedup_vs_reference(),
+                );
+            }
+            println!(
+                "\n[speedup bars relaxed to the >= 0.90x parity floor: host \
+                 parallelism is {host_parallelism} (< 4), so tile-parallel \
+                 speedup is physically unreachable; gate parity checked \
+                 instead: 1024^2 {:.2}x, 256^2 {:.2}x vs reference]",
+                big.speedup_vs_reference(),
+                small.speedup_vs_reference(),
+            );
+        }
+    } else {
+        println!("\n[speedup bars skipped: STENCILCL_BENCH_N override in effect]");
+    }
+    let report = serde_json::Value::Object(vec![
+        (
+            "host_parallelism".to_string(),
+            serde_json::Value::UInt(host_parallelism as u64),
+        ),
+        ("rows".to_string(), rows.to_value()),
+    ]);
+    write_json("BENCH_blocking.json", &report);
+}

@@ -116,6 +116,14 @@ pub(crate) fn block_tiles(grid_rect: &Rect, tile: usize) -> Result<Vec<TileInfo>
 /// The temporally blocked reference execution behind
 /// [`run_reference_opts`](crate::run_reference_opts) when
 /// [`ExecPolicy::tile`](crate::ExecPolicy) is set.
+///
+/// Blocking is not unconditionally a win: on a cache-resident grid the
+/// plain sweep already runs at cache bandwidth and the trapezoid recompute
+/// is pure loss. When [`ExecPolicy::block_depth`](crate::ExecPolicy) is
+/// unset, the host cost model ([`stencilcl_model::should_block`]) prices
+/// both alternatives and this driver silently falls back to the plain
+/// reference loop if blocking is predicted to lose; an explicit
+/// `block_depth` is an operator override that always blocks.
 pub(crate) fn run_blocked_reference(
     program: &Program,
     state: &mut GridState,
@@ -128,12 +136,25 @@ pub(crate) fn run_blocked_reference(
     if tile == 0 {
         return Err(ExecError::config("temporal tile size must be at least 1"));
     }
+    if opts.policy.block_depth.is_none() {
+        let features = StencilFeatures::extract(program)?;
+        let g = (0..features.dim)
+            .map(|d| features.growth.lo(d).max(features.growth.hi(d)))
+            .max()
+            .unwrap_or(0);
+        let h = block_depth(tile, g, program.iterations);
+        let host = stencilcl_model::HostParams::default();
+        if !stencilcl_model::should_block(&features, tile as u64, h, &host) {
+            return crate::reference::run_plain_reference(program, state, opts);
+        }
+    }
     let limits = opts.limits();
     match &opts.trace {
         Some(rec) => blocked_impl(
             program,
             state,
             tile,
+            opts.policy.block_depth,
             opts.engine,
             opts.lanes,
             limits,
@@ -143,6 +164,7 @@ pub(crate) fn run_blocked_reference(
             program,
             state,
             tile,
+            opts.policy.block_depth,
             opts.engine,
             opts.lanes,
             limits,
@@ -154,10 +176,12 @@ pub(crate) fn run_blocked_reference(
 /// Pass/tile driver for the blocked reference execution: per temporal block,
 /// snapshot the grid, advance every tile `h` fused iterations through its
 /// own trapezoid cone, and write each tile's output rect back.
+#[allow(clippy::too_many_arguments)]
 fn blocked_impl<S: TraceSink>(
     program: &Program,
     state: &mut GridState,
     tile: usize,
+    depth: Option<u64>,
     engine_kind: EngineKind,
     lanes: Option<usize>,
     limits: RunLimits,
@@ -170,7 +194,10 @@ fn blocked_impl<S: TraceSink>(
         .map(|d| features.growth.lo(d).max(features.growth.hi(d)))
         .max()
         .unwrap_or(0);
-    let h = block_depth(tile, g, program.iterations);
+    let h = match depth {
+        Some(d) if program.iterations > 0 => d.clamp(1, program.iterations),
+        _ => block_depth(tile, g, program.iterations),
+    };
     let updated: Vec<&str> = program.updated_grids();
     let scanned: Vec<String> = updated.iter().map(|s| s.to_string()).collect();
     let tile_index: Vec<(usize, Rect)> = if limits.health.enabled() {
@@ -272,6 +299,18 @@ mod tests {
         })
     }
 
+    /// Like [`blocked_opts`] but with an explicit depth: the operator
+    /// override that pins the run to the blocked path regardless of what
+    /// the cost model thinks (these test grids are all cache-resident, so
+    /// the auto heuristic would otherwise reroute them to the plain loop).
+    fn forced_opts(tile: usize, depth: u64) -> ExecOptions {
+        ExecOptions::new().policy(ExecPolicy {
+            tile: Some(tile),
+            block_depth: Some(depth),
+            ..ExecPolicy::default()
+        })
+    }
+
     #[test]
     fn block_depth_scales_with_tile_and_growth() {
         assert_eq!(block_depth(16, 1, 100), 8);
@@ -311,30 +350,33 @@ mod tests {
 
     #[test]
     fn blocked_reference_is_bit_exact_with_the_plain_loop() {
-        for (p, tile) in [
+        for (p, tile, depth) in [
             (
                 programs::jacobi_2d()
                     .with_extent(Extent::new2(33, 29))
                     .with_iterations(9),
                 8,
+                4,
             ),
             (
                 programs::fdtd_2d()
                     .with_extent(Extent::new2(24, 24))
                     .with_iterations(5),
                 16,
+                5,
             ),
             (
                 programs::jacobi_1d()
                     .with_extent(Extent::new1(64))
                     .with_iterations(10),
                 8,
+                4,
             ),
         ] {
             let mut expect = GridState::new(&p, init);
             run_reference(&p, &mut expect).unwrap();
             let mut got = GridState::new(&p, init);
-            run_reference_opts(&p, &mut got, &blocked_opts(tile)).unwrap();
+            run_reference_opts(&p, &mut got, &forced_opts(tile, depth)).unwrap();
             assert_eq!(
                 expect.max_abs_diff(&got).unwrap(),
                 0.0,
@@ -362,7 +404,7 @@ mod tests {
             .with_extent(Extent::new2(32, 32))
             .with_iterations(8);
         let rec = Recorder::new();
-        let opts = blocked_opts(8).trace(rec.clone());
+        let opts = forced_opts(8, 4).trace(rec.clone());
         let mut got = GridState::new(&p, init);
         run_reference_opts(&p, &mut got, &opts).unwrap();
         let t = rec.finish();
@@ -398,6 +440,41 @@ mod tests {
             "useful work is invariant under blocking"
         );
         assert_eq!(got.max_abs_diff(&plain).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cache_resident_grids_auto_disable_blocking() {
+        // 256^2 x 16: 1 MiB of state — the model prices the plain sweep
+        // cheaper (cache-resident either way, blocking only adds the
+        // trapezoid recompute), so the tile request silently reroutes to
+        // the plain loop: zero redundant cells, still bit-exact.
+        let p = programs::jacobi_2d()
+            .with_extent(Extent::new2(256, 256))
+            .with_iterations(16);
+        let mut expect = GridState::new(&p, init);
+        run_reference(&p, &mut expect).unwrap();
+
+        let rec = Recorder::new();
+        let mut auto = GridState::new(&p, init);
+        run_reference_opts(&p, &mut auto, &blocked_opts(64).trace(rec.clone())).unwrap();
+        let t = rec.finish();
+        assert_eq!(
+            t.counters.redundant_cells, 0,
+            "auto heuristic must take the plain path on a cache-resident grid"
+        );
+        assert_eq!(expect.max_abs_diff(&auto).unwrap(), 0.0);
+
+        // An explicit block_depth overrides the model: same answer, but
+        // the run demonstrably went through the trapezoid driver.
+        let rec = Recorder::new();
+        let mut forced = GridState::new(&p, init);
+        run_reference_opts(&p, &mut forced, &forced_opts(64, 4).trace(rec.clone())).unwrap();
+        let t = rec.finish();
+        assert!(
+            t.counters.redundant_cells > 0,
+            "explicit depth must force the blocked path"
+        );
+        assert_eq!(expect.max_abs_diff(&forced).unwrap(), 0.0);
     }
 
     #[test]

@@ -102,6 +102,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod blocked_parallel;
 mod blocking;
 mod domains;
 mod engine;
@@ -119,6 +120,9 @@ mod threaded;
 mod verify;
 mod window;
 
+#[cfg(feature = "fault-injection")]
+pub use blocked_parallel::run_blocked_parallel_injected;
+pub use blocked_parallel::{run_blocked_parallel, run_blocked_parallel_opts};
 pub use domains::DomainPlan;
 pub use error::ExecError;
 pub use faults::FaultKind;

@@ -55,8 +55,20 @@ pub fn run_reference_opts(
     if opts.policy.tile.is_some() {
         // Temporal blocking requested ([`crate::ExecPolicy::tile`] /
         // `STENCILCL_TILE`): hand the run to the trapezoid-blocked driver.
+        // (It may hand it right back through [`run_plain_reference`] when
+        // the cost model predicts blocking would lose.)
         return crate::blocking::run_blocked_reference(program, state, opts);
     }
+    run_plain_reference(program, state, opts)
+}
+
+/// The un-blocked reference loop — [`run_reference_opts`] minus the tile
+/// dispatch, so the blocked driver can fall back here without recursing.
+pub(crate) fn run_plain_reference(
+    program: &Program,
+    state: &mut GridState,
+    opts: &ExecOptions,
+) -> Result<(), ExecError> {
     let limits = opts.limits();
     if !limits.any_active() {
         // Unguarded fast path: hand the whole run to the engine at once.

@@ -93,6 +93,19 @@ pub struct ExecPolicy {
     /// iterations per tile as the stencil cone allows. `None` (the
     /// default) runs the plain whole-grid sweep.
     pub tile: Option<usize>,
+    /// Fused iterations per temporal block for the blocked executors:
+    /// `Some(h)` fuses exactly `h` iterations per time-tile (clamped to
+    /// the run length) **and forces blocking on** — the model-derived
+    /// auto-disable of
+    /// [`run_reference_opts`](crate::run_reference_opts) only applies
+    /// when the depth is picked automatically. `None` (the default) lets
+    /// the stencil's cone math choose.
+    pub block_depth: Option<u64>,
+    /// Worker-thread count of the blocked-parallel tile pool
+    /// ([`run_blocked_parallel`](crate::run_blocked_parallel)): `None`
+    /// (the default) sizes the pool from the host's available
+    /// parallelism.
+    pub threads: Option<usize>,
     /// Seed for the decorrelated-jitter retry backoff. `None` (the
     /// default) seeds from process entropy — concurrent supervisors desync
     /// their retry storms; `Some(seed)` makes the sleep sequence
@@ -112,6 +125,8 @@ impl Default for ExecPolicy {
             sequential_fallback: true,
             deadline: None,
             tile: None,
+            block_depth: None,
+            threads: None,
             jitter_seed: None,
         }
     }
@@ -157,6 +172,12 @@ impl ExecPolicy {
         }
         if let Some(t) = cfg.tile {
             policy.tile = Some(t);
+        }
+        if let Some(h) = cfg.block_depth {
+            policy.block_depth = Some(h);
+        }
+        if let Some(n) = cfg.threads {
+            policy.threads = Some(n);
         }
         policy
     }

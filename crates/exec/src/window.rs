@@ -30,14 +30,13 @@ pub fn extract_window(
             extent
         )));
     }
-    let mut local = GridState::uniform(local_program, 0.0);
+    let mut grids = std::collections::BTreeMap::new();
     for decl in &program.grids {
         let src = state.grid(&decl.name)?;
         let values = src.read_window(rect)?;
-        let dst = local.grid_mut(&decl.name)?;
-        *dst = Grid::from_vec(extent, values)?;
+        grids.insert(decl.name.clone(), Grid::from_vec(extent, values)?);
     }
-    Ok(local)
+    GridState::from_grids(local_program, grids).map_err(ExecError::from)
 }
 
 /// Writes the `updated` arrays of `local` (a window rooted at `origin`) back

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use stencilcl_exec::{
-    run_pipe_shared, run_pipe_shared_opts, run_reference, run_reference_opts, run_supervised,
-    run_threaded, run_threaded_opts, verify_design, ExecMode, ExecOptions, ExecPolicy,
-    HealthPolicy, RecoveryPath,
+    run_blocked_parallel_opts, run_pipe_shared, run_pipe_shared_opts, run_reference,
+    run_reference_opts, run_supervised, run_threaded, run_threaded_opts, verify_design, ExecMode,
+    ExecOptions, ExecPolicy, HealthPolicy, RecoveryPath,
 };
 use stencilcl_grid::{Design, DesignKind, Extent, Partition, Point, Rect};
 use stencilcl_lang::{
@@ -225,8 +225,20 @@ proptest! {
         let report =
             run_supervised(&program, &partition, &mut supervised, &ExecPolicy::default())
                 .unwrap();
+        // The tile-parallel blocked executor joins the same agreement set.
+        // An explicit block_depth bypasses its model gate so the tiled
+        // machinery (pool, stealing, DAG) is what actually runs here.
+        let mut blocked_parallel = GridState::new(&program, init);
+        let blocked_opts = ExecOptions::new().policy(ExecPolicy {
+            tile: Some(t),
+            threads: Some(regions + 1),
+            block_depth: Some(fused),
+            ..ExecPolicy::default()
+        });
+        run_blocked_parallel_opts(&program, &mut blocked_parallel, &blocked_opts).unwrap();
         prop_assert_eq!(reference.max_abs_diff(&pipe).unwrap(), 0.0);
         prop_assert_eq!(pipe.max_abs_diff(&threaded).unwrap(), 0.0);
+        prop_assert_eq!(reference.max_abs_diff(&blocked_parallel).unwrap(), 0.0);
         // Supervision is transparent when nothing goes wrong: same grid,
         // one clean threaded attempt, nothing leaked.
         prop_assert_eq!(reference.max_abs_diff(&supervised).unwrap(), 0.0);
@@ -406,14 +418,17 @@ proptest! {
         }
     }
 
-    // The temporally blocked reference driver stays bit-exact under
-    // degenerate tilings: tiles of a single cell, tiles larger than the
-    // grid, and every lane width — all against the unblocked sweep.
+    // The temporally blocked drivers — the serial reference and the
+    // tile-parallel pool — stay bit-exact under degenerate tilings: tiles
+    // of a single cell, tiles larger than the grid, pools wider than the
+    // tile count, and every lane width — all against the unblocked sweep.
     #[test]
     fn blocked_reference_survives_degenerate_tiles(
         n in 3usize..=17,
         tile in 1usize..=24,
         lanes in 1usize..=9,
+        threads in 1usize..=4,
+        depth in 1u64..=5,
         iters in 1u64..=5,
         seed in 0i64..1000,
     ) {
@@ -435,6 +450,20 @@ proptest! {
             .policy(ExecPolicy { tile: Some(tile), ..ExecPolicy::default() });
         run_reference_opts(&program, &mut blocked, &opts).unwrap();
         prop_assert_eq!(plain.max_abs_diff(&blocked).unwrap(), 0.0);
+
+        // Same degenerate shapes through the work-stealing pool, with the
+        // depth forced so the model gate never routes around the machinery.
+        let mut parallel = GridState::new(&program, init);
+        let popts = ExecOptions::new()
+            .lanes(lanes)
+            .policy(ExecPolicy {
+                tile: Some(tile),
+                threads: Some(threads),
+                block_depth: Some(depth),
+                ..ExecPolicy::default()
+            });
+        run_blocked_parallel_opts(&program, &mut parallel, &popts).unwrap();
+        prop_assert_eq!(plain.max_abs_diff(&parallel).unwrap(), 0.0);
     }
 }
 

@@ -78,6 +78,36 @@ pub struct EvalScratch {
     lanes: Vec<f64>,
 }
 
+/// Reusable scratch for repeated [`CompiledProgram::apply_statement_with`]
+/// / [`CompiledProgram::apply_fused_with`] calls: the evaluation scratch
+/// plus the per-statement write buffers, allocated once and reused across
+/// statements, fused iterations, and tiles. The tile executors call the
+/// apply entry points thousands of times per run; threading one
+/// `FusedScratch` through keeps the allocator out of that loop.
+#[derive(Debug, Default)]
+pub struct FusedScratch {
+    eval: EvalScratch,
+    buffers: Vec<Vec<f64>>,
+}
+
+impl FusedScratch {
+    /// A fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> FusedScratch {
+        FusedScratch::default()
+    }
+
+    /// The first `n` value buffers, cleared, growing the pool on demand.
+    fn cleared(&mut self, n: usize) -> &mut [Vec<f64>] {
+        if self.buffers.len() < n {
+            self.buffers.resize_with(n, Vec::new);
+        }
+        for buf in &mut self.buffers[..n] {
+            buf.clear();
+        }
+        &mut self.buffers[..n]
+    }
+}
+
 /// One postfix bytecode operation of a compiled update expression.
 ///
 /// The tape is evaluated left to right over a value stack; the stack effect
@@ -444,24 +474,49 @@ impl CompiledProgram {
         si: usize,
         domain: &Rect,
     ) -> Result<(), LangError> {
+        self.apply_statement_with(state, si, domain, &mut FusedScratch::default())
+    }
+
+    /// [`Self::apply_statement`] with caller-owned scratch: the value
+    /// buffer and evaluation stacks live in `scratch` and are reused
+    /// across calls, so a tight apply loop performs no per-call heap
+    /// allocation after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when the state lacks a referenced grid
+    /// or holds mismatched extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `si` is out of range.
+    pub fn apply_statement_with(
+        &self,
+        state: &mut GridState,
+        si: usize,
+        domain: &Rect,
+        scratch: &mut FusedScratch,
+    ) -> Result<(), LangError> {
         let clipped = domain.intersect(&self.domains[si])?;
         if clipped.is_empty() {
             return Ok(());
         }
         let kernel = &self.kernels[si];
-        let mut values = Vec::with_capacity(clipped.volume() as usize);
+        scratch.cleared(1);
+        let FusedScratch { eval, buffers } = scratch;
+        let values = &mut buffers[0];
+        values.reserve(clipped.volume() as usize);
         {
             let views = self.views(state)?;
-            let mut scratch = EvalScratch::default();
             let row_len = clipped.len(clipped.dim() - 1) as usize;
             for start in clipped.row_starts() {
                 let base = self.extent.linearize(&start)?;
                 self.check_row(kernel, base, row_len)?;
-                self.eval_row(kernel, &views, base, row_len, &mut scratch, &mut values);
+                self.eval_row(kernel, &views, base, row_len, eval, values);
             }
         }
         let target = state.grid_mut(&kernel.target)?;
-        target.write_window(&clipped, &values)?;
+        target.write_window(&clipped, values)?;
         Ok(())
     }
 
@@ -486,25 +541,51 @@ impl CompiledProgram {
         group: &[usize],
         domain: &Rect,
     ) -> Result<(), LangError> {
+        self.apply_fused_with(state, group, domain, &mut FusedScratch::default())
+    }
+
+    /// [`Self::apply_fused`] with caller-owned scratch: the per-member
+    /// write buffers and evaluation stacks live in `scratch` and are
+    /// reused across calls (see [`FusedScratch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Eval`] when the state lacks a referenced grid
+    /// or holds mismatched extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is empty or any member index is out of range.
+    pub fn apply_fused_with(
+        &self,
+        state: &mut GridState,
+        group: &[usize],
+        domain: &Rect,
+        scratch: &mut FusedScratch,
+    ) -> Result<(), LangError> {
         if group.len() == 1 {
-            return self.apply_statement(state, group[0], domain);
+            return self.apply_statement_with(state, group[0], domain, scratch);
         }
         let clipped = domain.intersect(&self.domains[group[0]])?;
         if clipped.is_empty() {
             return Ok(());
         }
         let volume = clipped.volume() as usize;
-        let mut buffers: Vec<Vec<f64>> = group.iter().map(|_| Vec::with_capacity(volume)).collect();
+        scratch.cleared(group.len());
+        let FusedScratch { eval, buffers } = scratch;
+        let buffers = &mut buffers[..group.len()];
+        for buf in buffers.iter_mut() {
+            buf.reserve(volume);
+        }
         {
             let views = self.views(state)?;
-            let mut scratch = EvalScratch::default();
             let row_len = clipped.len(clipped.dim() - 1) as usize;
             for start in clipped.row_starts() {
                 let base = self.extent.linearize(&start)?;
                 for (buf, &si) in buffers.iter_mut().zip(group) {
                     let kernel = &self.kernels[si];
                     self.check_row(kernel, base, row_len)?;
-                    self.eval_row(kernel, &views, base, row_len, &mut scratch, buf);
+                    self.eval_row(kernel, &views, base, row_len, eval, buf);
                 }
             }
         }
@@ -1074,6 +1155,43 @@ mod tests {
         let mut slow = GridState::new(&p, ramp);
         interp.apply_statement(&mut slow, 0, &domain).unwrap();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_exact_for_statements_and_fused_groups() {
+        let p = parse(
+            "stencil fs { grid A[9][7] : f32; grid B[9][7] : f32; iterations 1;
+             A[i][j] = 0.5 * (A[i-1][j] + B[i][j+1]);
+             B[i][j] = B[i][j] - 0.25 * A[i][j-1]; }",
+        )
+        .unwrap();
+        let cp = CompiledProgram::compile(&p).unwrap();
+        let group: Vec<usize> = (0..p.updates.len()).collect();
+        let domain = cp
+            .statement_domain(0)
+            .intersect(&cp.statement_domain(1))
+            .unwrap();
+        let mut expect = GridState::new(&p, ramp);
+        cp.apply_fused(&mut expect, &group, &domain).unwrap();
+        cp.apply_statement(&mut expect, 0, &domain).unwrap();
+
+        // One scratch reused across every call — including a wider fused
+        // group after a single-statement call resized the buffer pool.
+        let mut scratch = FusedScratch::new();
+        let mut got = GridState::new(&p, ramp);
+        cp.apply_fused_with(&mut got, &group, &domain, &mut scratch)
+            .unwrap();
+        cp.apply_statement_with(&mut got, 0, &domain, &mut scratch)
+            .unwrap();
+        assert_eq!(got, expect);
+
+        // Third round trip on the same scratch stays bit-exact (stale
+        // buffer contents must never leak into results).
+        cp.apply_fused_with(&mut expect, &group, &domain, &mut scratch)
+            .unwrap();
+        let mut fresh = got.clone();
+        cp.apply_fused(&mut fresh, &group, &domain).unwrap();
+        assert_eq!(expect, fresh);
     }
 
     #[test]

@@ -29,8 +29,16 @@ impl GridState {
     }
 
     /// Creates a state with every element of every grid set to `value`.
+    /// Fills whole rows at a time — this sits on the per-task window
+    /// allocation path of the tiled executors, where the per-point closure
+    /// of [`GridState::new`] costs more than the copy it precedes.
     pub fn uniform(program: &Program, value: f64) -> Self {
-        GridState::new(program, |_, _| value)
+        let grids = program
+            .grids
+            .iter()
+            .map(|g| (g.name.clone(), Grid::filled(g.extent, value)))
+            .collect();
+        GridState { grids }
     }
 
     /// Reassembles a state from already-materialized grids (checkpoint

@@ -1,0 +1,235 @@
+//! Host-CPU instantiations of the analytical model — the decision side of
+//! the executors' blocking heuristics.
+//!
+//! The paper's model (Eqs. 1–8) is architecture-agnostic: it prices a
+//! design point from cone geometry, array traffic, and a handful of
+//! calibration constants. The FPGA path gets those constants from the HLS
+//! report and device profiling; this module supplies the same constants
+//! for the *host CPU* the reference executors run on, so the executor can
+//! ask the model whether combined spatial+temporal blocking pays for a
+//! given `(grid, tile, depth)` point before committing to it.
+//!
+//! The trade the model captures is the classic one: blocking shrinks the
+//! working set from the whole grid to one cone footprint (cache-resident
+//! ⇒ high effective bandwidth) but recomputes the trapezoid overlap
+//! between neighboring cones ([`blocked_redundancy`]). On a cache-resident
+//! grid the redundant compute is pure loss and the plain sweep wins; on a
+//! DRAM-resident grid the bandwidth recovered dwarfs the recompute and
+//! blocking wins. [`should_block`] evaluates both sides with
+//! [`predict`](crate::predict) and picks the cheaper total.
+
+use stencilcl_grid::DesignKind;
+use stencilcl_lang::StencilFeatures;
+
+use crate::{predict, ModelInputs};
+
+/// Calibration constants for the host CPU, in the model's units
+/// (bytes/cycle, cycles/element). These are deliberately coarse — the
+/// decision only needs the *ratio* between cache and DRAM bandwidth and
+/// the redundancy fraction to land on the right side, not a cycle-accurate
+/// runtime estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostParams {
+    /// Working sets at most this many bytes are priced at
+    /// [`cache_bandwidth`](Self::cache_bandwidth) (a stand-in for the
+    /// last-level cache).
+    pub cache_bytes: f64,
+    /// Effective bytes/cycle for cache-resident working sets.
+    pub cache_bandwidth: f64,
+    /// Effective bytes/cycle for DRAM-resident working sets.
+    pub dram_bandwidth: f64,
+    /// `C_element` — cycles per updated cell of the compiled tape walk.
+    pub cycles_per_element: f64,
+    /// Fixed per-region overhead in cycles (domain planning, window
+    /// bookkeeping, dispatch).
+    pub launch_overhead: f64,
+}
+
+impl Default for HostParams {
+    fn default() -> HostParams {
+        HostParams {
+            cache_bytes: 8.0 * 1024.0 * 1024.0,
+            cache_bandwidth: 64.0,
+            dram_bandwidth: 8.0,
+            cycles_per_element: 1.0,
+            launch_overhead: 1000.0,
+        }
+    }
+}
+
+impl HostParams {
+    /// The effective bandwidth for a working set of `bytes`.
+    pub fn bandwidth_for(&self, bytes: f64) -> f64 {
+        if bytes <= self.cache_bytes {
+            self.cache_bandwidth
+        } else {
+            self.dram_bandwidth
+        }
+    }
+}
+
+/// The shared scaffold of the host models: a single logical kernel running
+/// the baseline (both-sides halo growth) design.
+fn host_inputs(
+    features: &StencilFeatures,
+    tile_lens: Vec<u64>,
+    fused: u64,
+    host: &HostParams,
+) -> ModelInputs {
+    let dim = features.dim;
+    let read_arrays = (features.updated_arrays + features.read_only_arrays) as u64;
+    let write_arrays = features.updated_arrays as u64;
+    let mut m = ModelInputs {
+        dim,
+        input_lens: features
+            .extent
+            .as_slice()
+            .iter()
+            .map(|&l| l as u64)
+            .collect(),
+        iterations: features.iterations,
+        elem_bytes: 8, // grids are f64 in memory regardless of declared type
+        delta_w: (0..dim).map(|d| features.growth.total(d)).collect(),
+        read_arrays,
+        write_arrays,
+        fused: fused.max(1),
+        kernels: 1,
+        region_lens: tile_lens.clone(),
+        tile_lens,
+        kind: DesignKind::Baseline,
+        shared_faces: 0,
+        cycles_per_element: host.cycles_per_element,
+        bandwidth: 0.0, // set below from the working set
+        pipe_cycles: 0.0,
+        launch_overhead: host.launch_overhead,
+    };
+    let streams = (m.read_arrays + m.write_arrays) as f64;
+    m.bandwidth = host.bandwidth_for(m.elem_bytes as f64 * m.input_volume() * streams);
+    m
+}
+
+/// The plain sweep as a model point: one region covering the whole grid,
+/// one fused iteration, working set the full grid.
+pub fn plain_model(features: &StencilFeatures, host: &HostParams) -> ModelInputs {
+    let tile_lens: Vec<u64> = features
+        .extent
+        .as_slice()
+        .iter()
+        .map(|&l| l as u64)
+        .collect();
+    host_inputs(features, tile_lens, 1, host)
+}
+
+/// The blocked executor as a model point: cubic tiles of side `tile`
+/// (clamped to the grid) fusing `fused` iterations per region, working set
+/// one cone footprint.
+pub fn blocked_model(
+    features: &StencilFeatures,
+    tile: u64,
+    fused: u64,
+    host: &HostParams,
+) -> ModelInputs {
+    let tile_lens: Vec<u64> = features
+        .extent
+        .as_slice()
+        .iter()
+        .map(|&l| (l as u64).min(tile.max(1)))
+        .collect();
+    host_inputs(
+        features,
+        tile_lens,
+        fused.min(features.iterations.max(1)),
+        host,
+    )
+}
+
+/// The redundant-compute fraction of a blocked design point: how much
+/// extra cell work the trapezoid cones do relative to the useful tile
+/// volume, `Σ_{i=1..h} cone(i) / (h · tile) − 1`. Zero when nothing is
+/// recomputed (tile covers the grid), and grows with `Δw · h / w`.
+pub fn blocked_redundancy(m: &ModelInputs) -> f64 {
+    let useful = m.fused as f64 * m.tile_volume();
+    if useful == 0.0 {
+        return 0.0;
+    }
+    let swept: f64 = (1..=m.fused).map(|i| m.cone_volume(i)).sum();
+    (swept / useful - 1.0).max(0.0)
+}
+
+/// Whether combined spatial+temporal blocking at `(tile, fused)` is
+/// predicted to beat the plain sweep on this host: evaluates
+/// [`predict`](crate::predict) on both [`plain_model`] and
+/// [`blocked_model`] and compares totals.
+pub fn should_block(features: &StencilFeatures, tile: u64, fused: u64, host: &HostParams) -> bool {
+    let plain = predict(&plain_model(features, host));
+    let blocked = predict(&blocked_model(features, tile, fused, host));
+    blocked.total < plain.total
+}
+
+/// Predicted total cycles for a tile-parallel run of the blocked design on
+/// `threads` workers: per-region compute fans out across the pool while
+/// window extraction/splice (`read`/`write`) and dispatch (`launch`) stay
+/// serialized on the collector thread. Conservative — it ignores the
+/// overlap of collector copies with in-flight compute.
+pub fn parallel_total(m: &ModelInputs, threads: usize) -> f64 {
+    let p = predict(m);
+    let t = threads.max(1) as f64;
+    p.regions * (p.read + p.write + p.launch + p.compute / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::Extent;
+    use stencilcl_lang::programs;
+
+    fn jacobi_features(n: usize, iterations: u64) -> StencilFeatures {
+        let mut program = programs::jacobi_2d().with_extent(Extent::new2(n, n));
+        program.iterations = iterations;
+        StencilFeatures::extract(&program).unwrap()
+    }
+
+    #[test]
+    fn cache_resident_grid_prefers_the_plain_sweep() {
+        // 256^2 x f64 x 2 streams = 1 MiB: the whole sweep already runs at
+        // cache bandwidth, so blocking only adds trapezoid recompute.
+        let f = jacobi_features(256, 16);
+        let host = HostParams::default();
+        assert!(!should_block(&f, 64, 16, &host));
+    }
+
+    #[test]
+    fn dram_resident_grid_prefers_blocking() {
+        // 1024^2 x f64 x 2 streams = 16 MiB: the plain sweep pays DRAM
+        // bandwidth every iteration; a 64^3-cell cone is cache-resident.
+        let f = jacobi_features(1024, 64);
+        let host = HostParams::default();
+        assert!(should_block(&f, 64, 16, &host));
+    }
+
+    #[test]
+    fn redundancy_matches_the_hand_computed_cone_sum() {
+        // tile 64, growth 2, h = 16: sum of (64 + 2(16-i))^2 over i=1..16
+        // is 101216; useful work is 16 * 64^2 = 65536.
+        let f = jacobi_features(256, 16);
+        let m = blocked_model(&f, 64, 16, &HostParams::default());
+        let want = 101_216.0 / 65_536.0 - 1.0;
+        assert!((blocked_redundancy(&m) - want).abs() < 1e-12);
+        // A tile covering the whole grid recomputes nothing.
+        let whole = blocked_model(&f, 256, 1, &HostParams::default());
+        assert_eq!(blocked_redundancy(&whole), 0.0);
+    }
+
+    #[test]
+    fn parallel_total_shrinks_with_threads_but_keeps_the_serial_floor() {
+        let f = jacobi_features(1024, 64);
+        let m = blocked_model(&f, 64, 16, &HostParams::default());
+        let t1 = parallel_total(&m, 1);
+        let t8 = parallel_total(&m, 8);
+        assert!(t8 < t1);
+        let p = predict(&m);
+        let floor = p.regions * (p.read + p.write + p.launch);
+        assert!(t8 > floor);
+        assert_eq!(parallel_total(&m, 0), t1); // clamped, not divide-by-zero
+    }
+}

@@ -52,6 +52,10 @@ impl PhaseTotals {
             TracePhase::CheckpointWrite | TracePhase::CheckpointLoad => {
                 self.checkpoint += amount;
             }
+            // Tile-pool phases fold into the closest Figure-4 buckets: a
+            // fused tile task is compute, a steal is idle rebalancing.
+            TracePhase::TileCompute { .. } => self.compute += amount,
+            TracePhase::TileSteal => self.barrier += amount,
         }
     }
 

@@ -48,6 +48,15 @@ pub struct EnvConfig {
     /// `STENCILCL_TILE`: spatial tile edge (cells, ≥ 1) for the temporally
     /// blocked reference driver; `None` disables temporal blocking.
     pub tile: Option<usize>,
+    /// `STENCILCL_BLOCK_DEPTH`: fused iterations per temporal block (≥ 1)
+    /// for the blocked executors. Setting it also *forces* blocking: the
+    /// model-derived auto-disable only applies when the depth is picked
+    /// automatically. `None` lets the cone math pick.
+    pub block_depth: Option<u64>,
+    /// `STENCILCL_THREADS`: tile-pool worker count (≥ 1) for the
+    /// blocked-parallel executor; `None` sizes the pool from the host's
+    /// available parallelism.
+    pub threads: Option<usize>,
     /// `STENCILCL_CKPT_DIR`: directory durable checkpoint generations are
     /// sealed into; `None` disables checkpointing.
     pub ckpt_dir: Option<PathBuf>,
@@ -72,6 +81,8 @@ impl Default for EnvConfig {
             integrity: false,
             lanes: None,
             tile: None,
+            block_depth: None,
+            threads: None,
             ckpt_dir: None,
             ckpt_every: None,
         }
@@ -149,6 +160,22 @@ impl EnvConfig {
                 Ok(n) if n >= 1 => cfg.tile = Some(n),
                 _ => warnings.push(format!(
                     "STENCILCL_TILE: ignoring {v:?} (want an integer >= 1)"
+                )),
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_BLOCK_DEPTH") {
+            match v.trim().parse::<u64>() {
+                Ok(n) if n >= 1 => cfg.block_depth = Some(n),
+                _ => warnings.push(format!(
+                    "STENCILCL_BLOCK_DEPTH: ignoring {v:?} (want an integer >= 1)"
+                )),
+            }
+        }
+        if let Some(v) = lookup("STENCILCL_THREADS") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.threads = Some(n),
+                _ => warnings.push(format!(
+                    "STENCILCL_THREADS: ignoring {v:?} (want an integer >= 1)"
                 )),
             }
         }
@@ -305,22 +332,36 @@ mod tests {
 
     #[test]
     fn lane_and_tile_knobs_parse() {
-        let (cfg, warnings) =
-            EnvConfig::parse(env(&[("STENCILCL_LANES", "8"), ("STENCILCL_TILE", "64")]));
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_LANES", "8"),
+            ("STENCILCL_TILE", "64"),
+            ("STENCILCL_BLOCK_DEPTH", "4"),
+            ("STENCILCL_THREADS", "6"),
+        ]));
         assert!(warnings.is_empty());
         assert_eq!(cfg.lanes, Some(8));
         assert_eq!(cfg.tile, Some(64));
+        assert_eq!(cfg.block_depth, Some(4));
+        assert_eq!(cfg.threads, Some(6));
     }
 
     #[test]
     fn malformed_lane_and_tile_knobs_warn_and_fall_back() {
-        let (cfg, warnings) =
-            EnvConfig::parse(env(&[("STENCILCL_LANES", "32"), ("STENCILCL_TILE", "0")]));
+        let (cfg, warnings) = EnvConfig::parse(env(&[
+            ("STENCILCL_LANES", "32"),
+            ("STENCILCL_TILE", "0"),
+            ("STENCILCL_BLOCK_DEPTH", "0"),
+            ("STENCILCL_THREADS", "many"),
+        ]));
         assert_eq!(cfg.lanes, None);
         assert_eq!(cfg.tile, None);
-        assert_eq!(warnings.len(), 2);
+        assert_eq!(cfg.block_depth, None);
+        assert_eq!(cfg.threads, None);
+        assert_eq!(warnings.len(), 4);
         assert!(warnings.iter().any(|w| w.contains("STENCILCL_LANES")));
         assert!(warnings.iter().any(|w| w.contains("STENCILCL_TILE")));
+        assert!(warnings.iter().any(|w| w.contains("STENCILCL_BLOCK_DEPTH")));
+        assert!(warnings.iter().any(|w| w.contains("STENCILCL_THREADS")));
     }
 
     #[test]

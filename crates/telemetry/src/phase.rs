@@ -41,6 +41,14 @@ pub enum TracePhase {
     CheckpointWrite,
     /// Validating and loading a checkpoint generation from disk.
     CheckpointLoad,
+    /// A tile-pool worker computing one spatial tile's fused time-tile
+    /// (the blocked-parallel executor's unit of work).
+    TileCompute {
+        /// 1-based first global iteration of the fused time-tile.
+        iteration: u64,
+    },
+    /// A tile-pool worker lifting a task off another worker's deque.
+    TileSteal,
 }
 
 impl TracePhase {
@@ -56,6 +64,8 @@ impl TracePhase {
             TracePhase::Barrier => ' ',
             TracePhase::CheckpointWrite => 'C',
             TracePhase::CheckpointLoad => 'L',
+            TracePhase::TileCompute { .. } => 'T',
+            TracePhase::TileSteal => 's',
         }
     }
 
@@ -72,6 +82,8 @@ impl TracePhase {
             TracePhase::Barrier => "Barrier",
             TracePhase::CheckpointWrite => "CheckpointWrite",
             TracePhase::CheckpointLoad => "CheckpointLoad",
+            TracePhase::TileCompute { .. } => "TileCompute",
+            TracePhase::TileSteal => "TileSteal",
         }
     }
 }
@@ -269,11 +281,13 @@ mod tests {
             TracePhase::Barrier,
             TracePhase::CheckpointWrite,
             TracePhase::CheckpointLoad,
+            TracePhase::TileCompute { iteration: 1 },
+            TracePhase::TileSteal,
         ];
         let glyphs: HashSet<char> = phases.iter().map(|p| p.glyph()).collect();
-        assert_eq!(glyphs.len(), 9);
+        assert_eq!(glyphs.len(), 11);
         let names: HashSet<&str> = phases.iter().map(|p| p.name()).collect();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 11);
     }
 
     #[test]

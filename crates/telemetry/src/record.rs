@@ -30,6 +30,8 @@ const PH_WRITE: u64 = 5;
 const PH_BARRIER: u64 = 6;
 const PH_CKPT_WRITE: u64 = 7;
 const PH_CKPT_LOAD: u64 = 8;
+const PH_TILE_COMPUTE: u64 = 9;
+const PH_TILE_STEAL: u64 = 10;
 
 fn pack_phase(phase: TracePhase) -> (u64, u64) {
     match phase {
@@ -42,6 +44,8 @@ fn pack_phase(phase: TracePhase) -> (u64, u64) {
         TracePhase::Barrier => (PH_BARRIER, 0),
         TracePhase::CheckpointWrite => (PH_CKPT_WRITE, 0),
         TracePhase::CheckpointLoad => (PH_CKPT_LOAD, 0),
+        TracePhase::TileCompute { iteration } => (PH_TILE_COMPUTE, iteration),
+        TracePhase::TileSteal => (PH_TILE_STEAL, 0),
     }
 }
 
@@ -55,6 +59,8 @@ fn unpack_phase(disc: u64, iteration: u64) -> TracePhase {
         PH_WRITE => TracePhase::Write,
         PH_CKPT_WRITE => TracePhase::CheckpointWrite,
         PH_CKPT_LOAD => TracePhase::CheckpointLoad,
+        PH_TILE_COMPUTE => TracePhase::TileCompute { iteration },
+        PH_TILE_STEAL => TracePhase::TileSteal,
         _ => TracePhase::Barrier,
     }
 }
@@ -178,6 +184,7 @@ impl Recorder {
             redundant_cells: self.counter(Counter::RedundantCells),
             ckpt_bytes: self.counter(Counter::CkptBytes),
             ckpt_generations: self.counter(Counter::CkptGenerations),
+            tiles_stolen: self.counter(Counter::TilesStolen),
         }
     }
 
@@ -308,6 +315,8 @@ pub struct CounterSnapshot {
     pub ckpt_bytes: u64,
     /// Checkpoint generations successfully sealed on disk.
     pub ckpt_generations: u64,
+    /// Tile tasks stolen across tile-pool worker deques.
+    pub tiles_stolen: u64,
 }
 
 impl Deserialize for CounterSnapshot {
@@ -332,6 +341,7 @@ impl Deserialize for CounterSnapshot {
                 redundant_cells: field("redundant_cells")?,
                 ckpt_bytes: field("ckpt_bytes")?,
                 ckpt_generations: field("ckpt_generations")?,
+                tiles_stolen: field("tiles_stolen")?,
             }),
             other => Err(serde::DeError::expected(
                 "object for CounterSnapshot",

@@ -40,11 +40,14 @@ pub enum Counter {
     CkptBytes,
     /// Checkpoint generations successfully sealed (atomic rename done).
     CkptGenerations,
+    /// Tile tasks a tile-pool worker stole from another worker's deque
+    /// (load-balance traffic of the blocked-parallel executor).
+    TilesStolen,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 13] = [
         Counter::HaloBytes,
         Counter::SlabsSent,
         Counter::SlabsReceived,
@@ -57,6 +60,7 @@ impl Counter {
         Counter::RedundantCells,
         Counter::CkptBytes,
         Counter::CkptGenerations,
+        Counter::TilesStolen,
     ];
 
     /// Stable index into counter arrays.
@@ -74,6 +78,7 @@ impl Counter {
             Counter::RedundantCells => 9,
             Counter::CkptBytes => 10,
             Counter::CkptGenerations => 11,
+            Counter::TilesStolen => 12,
         }
     }
 
@@ -92,6 +97,7 @@ impl Counter {
             Counter::RedundantCells => "redundant_cells",
             Counter::CkptBytes => "ckpt_bytes",
             Counter::CkptGenerations => "ckpt_generations",
+            Counter::TilesStolen => "tiles_stolen",
         }
     }
 }
