@@ -63,6 +63,20 @@
 //!     deadline (an expired one fails instead of granting new time), and
 //!     produces the same grid digest an uninterrupted run would have.
 //!
+//! stencilcl serve [--addr HOST:PORT] [--max-jobs N] [--max-queue N]
+//!                 [--quota N]
+//!     Run the multi-tenant job daemon: one persistent executor pool
+//!     (`--max-jobs` runners; 0 = host parallelism) shared by every
+//!     submitted job, a bounded admission queue (`--max-queue`), and a
+//!     per-tenant in-flight quota (`--quota`). HTTP/1.1 + JSON on
+//!     `--addr` (default 127.0.0.1:7245): POST /v1/jobs submits a stencil
+//!     source + design point, GET /v1/jobs/<id> polls, GET
+//!     /v1/jobs/<id>/result fetches the terminal report + grid digest,
+//!     GET /v1/jobs/<id>/events streams progress, POST /v1/jobs/<id>/cancel
+//!     aborts, GET /healthz and /metrics observe, POST /v1/shutdown drains
+//!     gracefully — in-flight checkpointed jobs seal their last barrier so
+//!     `stencilcl resume` finishes them bit-exact.
+//!
 //! Every `STENCILCL_*` environment knob supplies a default; an explicit
 //! flag always wins over the env value, which is frozen at first read.
 //! ```
@@ -101,7 +115,8 @@ const USAGE: &str = "usage:
                      [--ckpt-dir DIR] [--ckpt-every N] [--report-json FILE]
   stencilcl blocked  <file.stencil> [--tile N] [--block-depth N] [--threads N] [--lanes W]
                      [--deadline-ms N] [--health-bound X] [--ckpt-dir DIR] [--ckpt-every N]
-  stencilcl resume   <ckpt-dir> [--deadline-ms N] [--retries N] [--report-json FILE]";
+  stencilcl resume   <ckpt-dir> [--deadline-ms N] [--retries N] [--report-json FILE]
+  stencilcl serve    [--addr HOST:PORT] [--max-jobs N] [--max-queue N] [--quota N]";
 
 fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -114,6 +129,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "run" => run_cmd(rest),
         "blocked" => blocked_cmd(rest),
         "resume" => resume_cmd(rest),
+        "serve" => serve_cmd(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -516,29 +532,6 @@ fn supervised_options(cfg: &EnvConfig, opts: &Opts) -> Result<ExecOptions, Strin
     Ok(exec_opts)
 }
 
-/// FNV-1a-64 over every grid's `f64` bit patterns, in name order: a
-/// process-portable fingerprint of the final state, printed by `run` and
-/// `resume` so bit-exactness across a kill/resume pair is checkable from
-/// the command line alone.
-fn grid_digest(state: &GridState) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut names: Vec<&str> = state.grid_names().collect();
-    names.sort_unstable();
-    for name in names {
-        for byte in name.as_bytes() {
-            hash = (hash ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        if let Ok(grid) = state.grid(name) {
-            for v in grid.as_slice() {
-                for byte in v.to_bits().to_le_bytes() {
-                    hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
-                }
-            }
-        }
-    }
-    hash
-}
-
 /// Renders the attempt history shared by `run` and `resume`.
 fn render_report(out: &mut String, report: &RunReport) {
     for (i, a) in report.attempts.iter().enumerate() {
@@ -634,7 +627,7 @@ fn run_cmd(args: &[String]) -> Result<String, String> {
     write_report_json(&opts, &report)?;
     match result {
         Ok(()) => {
-            let _ = writeln!(out, "grid digest: {:#018x}", grid_digest(&state));
+            let _ = writeln!(out, "grid digest: {:#018x}", state.digest());
             let _ = writeln!(out, "run completed");
             Ok(out)
         }
@@ -748,7 +741,7 @@ fn blocked_cmd(args: &[String]) -> Result<String, String> {
     let diff = expect.max_abs_diff(&state).map_err(|e| e.to_string())?;
     let verdict = if diff == 0.0 { "EXACT" } else { "DIVERGED" };
     let _ = writeln!(out, "max |diff| vs reference: {diff} [{verdict}]");
-    let _ = writeln!(out, "grid digest: {:#018x}", grid_digest(&state));
+    let _ = writeln!(out, "grid digest: {:#018x}", state.digest());
     if diff != 0.0 {
         return Err(format!("{out}blocked executor diverged from the reference"));
     }
@@ -802,12 +795,64 @@ fn resume_cmd(args: &[String]) -> Result<String, String> {
     write_report_json(&opts, &report)?;
     match result {
         Ok(()) => {
-            let _ = writeln!(out, "grid digest: {:#018x}", grid_digest(&state));
+            let _ = writeln!(out, "grid digest: {:#018x}", state.digest());
             let _ = writeln!(out, "resume completed");
             Ok(out)
         }
         Err(e) => Err(format!("{out}resume aborted: {e}")),
     }
+}
+
+/// `stencilcl serve`: boot the multi-tenant job daemon and block until a
+/// graceful shutdown (`POST /v1/shutdown`) drains it.
+fn serve_cmd(args: &[String]) -> Result<String, String> {
+    use stencilcl_server::{Scheduler, SchedulerConfig, Server};
+
+    let mut addr = "127.0.0.1:7245".to_string();
+    let mut cfg = SchedulerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .as_str();
+        match flag.as_str() {
+            "--addr" => addr = value.to_string(),
+            "--max-jobs" => {
+                cfg.workers = value
+                    .parse()
+                    .map_err(|_| format!("--max-jobs wants a count, got `{value}`"))?;
+            }
+            "--max-queue" => {
+                cfg.max_queue = value
+                    .parse()
+                    .map_err(|_| format!("--max-queue wants a count, got `{value}`"))?;
+            }
+            "--quota" => {
+                cfg.quota = value
+                    .parse()
+                    .map_err(|_| format!("--quota wants a count, got `{value}`"))?;
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    let scheduler = Scheduler::new(cfg);
+    let server = Server::bind(&addr, scheduler).map_err(|e| format!("bind {addr}: {e}"))?;
+    let cfg = server.scheduler().config().clone();
+    // The listening line goes out immediately (not through the collected
+    // output) so wrappers can scrape the resolved ephemeral port.
+    println!(
+        "stencilcl serve: listening on http://{}",
+        server.local_addr()
+    );
+    println!(
+        "  runners {} (0 = host parallelism), queue bound {}, tenant quota {}",
+        cfg.workers, cfg.max_queue, cfg.quota
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    Ok("serve: drained and stopped\n".to_string())
 }
 
 #[cfg(test)]

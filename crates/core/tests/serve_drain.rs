@@ -1,0 +1,171 @@
+//! Daemon-level durability: a `stencilcl serve` process drained mid-job
+//! (via `POST /v1/shutdown` — the graceful-termination path; safe Rust
+//! cannot trap SIGTERM, so the drain endpoint is the daemon's terminate
+//! signal) seals the job's last fused-block barrier into its checkpoint
+//! store, and a fresh `stencilcl resume` process finishes the run to the
+//! identical grid digest an uninterrupted `stencilcl run` prints.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use stencilcl_server::client::{get, post};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_stencilcl")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stencilcl-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Long enough that the daemon is still computing when the drain lands.
+fn write_stencil(dir: &Path) -> PathBuf {
+    let file = dir.join("heat.stencil");
+    std::fs::write(
+        &file,
+        "stencil heat { grid A[64][64] : f32; iterations 600;
+         A[i][j] = 0.5 * A[i][j] + 0.125 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }",
+    )
+    .unwrap();
+    file
+}
+
+fn digest_of(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("grid digest:"))
+        .unwrap_or_else(|| panic!("no grid digest in:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn drained_daemon_seals_a_checkpoint_that_resumes_bit_exact() {
+    let dir = scratch("drain");
+    let file = write_stencil(&dir);
+    let store = dir.join("store");
+
+    // Reference: the digest of an uninterrupted run of the same program
+    // under the same design point.
+    let clean = Command::new(bin())
+        .arg("run")
+        .args([
+            file.to_str().unwrap(),
+            "--fused",
+            "2",
+            "--parallelism",
+            "2x2",
+            "--tile",
+            "8x8",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        clean.status.success(),
+        "clean run failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let expect = digest_of(&String::from_utf8_lossy(&clean.stdout));
+
+    // The daemon: ephemeral port, single runner. Scrape the resolved
+    // address from its first stdout line.
+    let mut child = Command::new(bin())
+        .args(["serve", "--addr", "127.0.0.1:0", "--max-jobs", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let listening = lines.next().unwrap().unwrap();
+    let addr: SocketAddr = listening
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in `{listening}`"))
+        .trim()
+        .parse()
+        .unwrap();
+
+    // Submit the long job with an armed checkpoint store (the service
+    // seals every barrier by default) and wait until it is mid-run.
+    let source = std::fs::read_to_string(&file).unwrap();
+    let body = format!(
+        r#"{{"tenant":"ops","source":{},"design":{{"kind":"pipe","fused":2,"parallelism":[2,2],"tile":[8,8]}},"options":{{"ckpt_dir":{}}}}}"#,
+        serde_json::to_string(&source).unwrap(),
+        serde_json::to_string(&store.display().to_string()).unwrap(),
+    );
+    let resp = post(addr, "/v1/jobs", &body).expect("submit");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let job = resp
+        .body
+        .split("\"job\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or_else(|| panic!("no job id in {}", resp.body))
+        .to_string();
+    let patience = Instant::now();
+    loop {
+        let status = get(addr, &format!("/v1/jobs/{job}")).expect("status");
+        if status.body.contains("\"phase\":\"Running\"")
+            && !status.body.contains("\"completed_iterations\":0,")
+        {
+            break;
+        }
+        assert!(
+            !status.body.contains("\"Done\""),
+            "job finished before the drain: {}",
+            status.body
+        );
+        assert!(
+            patience.elapsed() < Duration::from_secs(60),
+            "no progress within 60 s: {}",
+            status.body
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Terminate gracefully: the drain cancels the job at its next barrier,
+    // reports the store to resume from, and the process exits cleanly.
+    let resp = post(addr, "/v1/shutdown?grace_ms=30000", "").expect("shutdown");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains(&job), "{}", resp.body);
+    assert!(
+        resp.body
+            .contains(&serde_json::to_string(&store.display().to_string()).unwrap()),
+        "drain did not report the checkpoint store: {}",
+        resp.body
+    );
+    let patience = Instant::now();
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(
+            patience.elapsed() < Duration::from_secs(60),
+            "daemon did not exit after the drain"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(status.success(), "daemon exited nonzero");
+
+    // A fresh process resumes the sealed generation — manifest only — and
+    // lands on the oracle digest.
+    let resumed = Command::new(bin())
+        .arg("resume")
+        .arg(store.to_str().unwrap())
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        resumed.status.success(),
+        "resume failed:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("resume completed"), "{stdout}");
+    assert_eq!(digest_of(&stdout), expect, "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -87,6 +87,19 @@ pub enum ExecError {
         /// Iterations fully completed before the deadline fired.
         completed: u64,
     },
+    /// The run was cancelled from outside through a
+    /// [`CancelHandle`](crate::CancelHandle) — a client abort, a service
+    /// drain. Unlike [`ExecError::Cancelled`] (the *internal* teardown
+    /// marker workers exit with), this is the run's root-cause outcome and
+    /// is classified permanent: the supervisor must stop at the last
+    /// consistent barrier instead of retrying work nobody wants anymore.
+    /// `state` keeps that barrier's grid, so an armed checkpoint store
+    /// stays resumable.
+    JobCancelled {
+        /// Iterations fully completed and checkpointed before the
+        /// cancellation was observed.
+        completed: u64,
+    },
     /// No checkpoint generation in the store could be resumed: either the
     /// newest intact manifest describes a different program (its sealed
     /// program hash does not match the one being resumed), or every
@@ -156,6 +169,9 @@ impl fmt::Display for ExecError {
                     "run deadline exceeded after {completed} completed iteration(s)"
                 )
             }
+            ExecError::JobCancelled { completed } => {
+                write!(f, "job cancelled after {completed} completed iteration(s)")
+            }
             ExecError::CheckpointMismatch { detail } => {
                 write!(f, "no resumable checkpoint generation: {detail}")
             }
@@ -180,6 +196,7 @@ impl serde::Serialize for ExecError {
             ExecError::SlabCorrupt { .. } => "SlabCorrupt",
             ExecError::NumericDivergence { .. } => "NumericDivergence",
             ExecError::DeadlineExceeded { .. } => "DeadlineExceeded",
+            ExecError::JobCancelled { .. } => "JobCancelled",
             ExecError::CheckpointMismatch { .. } => "CheckpointMismatch",
         };
         serde::Value::Object(vec![

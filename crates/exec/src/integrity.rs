@@ -34,6 +34,7 @@ use stencilcl_lang::GridState;
 use stencilcl_telemetry::{Counter, TraceSink};
 
 use crate::error::ExecError;
+use crate::jobs::{CancelHandle, Progress};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -250,9 +251,11 @@ pub(crate) fn scan_state<S: TraceSink>(
 
 /// The per-run integrity envelope handed down to every executor: an
 /// absolute deadline (shared across supervised retries), the health
-/// policy, and whether slabs are sealed/verified. `Copy` so worker
-/// threads can carry it by value.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// policy, whether slabs are sealed/verified, and the external control
+/// surface (cancel handle, progress hook) a service run carries. Cloned
+/// into worker threads; the handles are `Arc`-backed so clones stay
+/// coupled to the submitter's copies.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct RunLimits {
     /// Absolute wall-clock cutoff, fixed once at run (not attempt) start.
     pub deadline: Option<Instant>,
@@ -260,17 +263,18 @@ pub(crate) struct RunLimits {
     pub health: HealthPolicy,
     /// Seal slabs at send and verify at splice.
     pub integrity: bool,
+    /// External cooperative cancellation, observed at the same points as
+    /// the deadline. Fires as the permanent [`ExecError::JobCancelled`].
+    pub cancel: Option<CancelHandle>,
+    /// Barrier-granularity progress callback for streamed job events.
+    pub progress: Option<Progress>,
 }
 
 impl RunLimits {
     /// Everything off — the zero-overhead fast path.
     #[cfg(test)]
     pub fn disabled() -> Self {
-        RunLimits {
-            deadline: None,
-            health: HealthPolicy::default(),
-            integrity: false,
-        }
+        RunLimits::default()
     }
 
     /// Starts the clock: converts a relative deadline into an absolute
@@ -281,7 +285,21 @@ impl RunLimits {
             deadline: deadline.map(|d| Instant::now() + d),
             health,
             integrity,
+            cancel: None,
+            progress: None,
         }
+    }
+
+    /// Attaches the external control surface (cancel + progress) a
+    /// submitted job carries.
+    pub fn with_controls(
+        mut self,
+        cancel: Option<CancelHandle>,
+        progress: Option<Progress>,
+    ) -> Self {
+        self.cancel = cancel;
+        self.progress = progress;
+        self
     }
 
     /// Whether the deadline has elapsed.
@@ -290,20 +308,39 @@ impl RunLimits {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    /// Barrier-granularity deadline check: errors with the completed
-    /// iteration count once the cutoff has passed.
+    /// Whether an external cancellation has been requested.
+    #[inline]
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelHandle::is_cancelled)
+    }
+
+    /// Barrier-granularity cutoff check: errors with the completed
+    /// iteration count once an external cancel fired (checked first — a
+    /// cancelled job should report cancellation even if its deadline also
+    /// lapsed while it drained) or the wall-clock cutoff passed.
     #[inline]
     pub fn check_deadline(&self, completed: u64) -> Result<(), ExecError> {
+        if self.cancel_requested() {
+            return Err(ExecError::JobCancelled { completed });
+        }
         if self.deadline_passed() {
             return Err(ExecError::DeadlineExceeded { completed });
         }
         Ok(())
     }
 
+    /// Reports a committed barrier to the progress hook, if one is armed.
+    #[inline]
+    pub fn note_progress(&self, completed: u64) {
+        if let Some(p) = &self.progress {
+            p.notify(completed);
+        }
+    }
+
     /// Whether the per-iteration slow path is needed at all (any of the
-    /// three mechanisms armed).
+    /// mechanisms armed).
     pub fn any_active(&self) -> bool {
-        self.deadline.is_some() || self.health.enabled() || self.integrity
+        self.deadline.is_some() || self.health.enabled() || self.integrity || self.cancel.is_some()
     }
 }
 
@@ -478,5 +515,41 @@ mod tests {
             expired.check_deadline(11),
             Err(ExecError::DeadlineExceeded { completed: 11 })
         );
+    }
+
+    #[test]
+    fn run_limits_cancel_wins_over_a_lapsed_deadline() {
+        let cancel = CancelHandle::new();
+        let limits = RunLimits::disabled().with_controls(Some(cancel.clone()), None);
+        assert!(limits.any_active());
+        assert!(limits.check_deadline(0).is_ok());
+        cancel.cancel();
+        // Cancel is reported even when the deadline has also lapsed.
+        let both = RunLimits {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..limits
+        };
+        assert_eq!(
+            both.check_deadline(7),
+            Err(ExecError::JobCancelled { completed: 7 })
+        );
+    }
+
+    #[test]
+    fn run_limits_progress_hook_fires_on_note_progress() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let seen = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&seen);
+        let limits = RunLimits::disabled().with_controls(
+            None,
+            Some(Progress::new(move |done| {
+                sink.store(done, Ordering::SeqCst);
+            })),
+        );
+        limits.note_progress(42);
+        assert_eq!(seen.load(Ordering::SeqCst), 42);
+        // No hook armed: a no-op, not a panic.
+        RunLimits::disabled().note_progress(1);
     }
 }

@@ -1,0 +1,411 @@
+//! Run-as-submitted-job seam: a persistent pool of job-runner threads the
+//! service scheduler owns, plus the external control surface a long-running
+//! daemon needs — cooperative cancellation ([`CancelHandle`]) and
+//! barrier-granularity progress callbacks ([`Progress`]).
+//!
+//! Every `run_*` entry point in this crate blocks its caller and tears its
+//! workers down when it returns; that is the right shape for a CLI run and
+//! the wrong one for a multi-tenant service. [`ExecPool`] inverts the
+//! ownership: the pool's runner threads are spawned once, live for the
+//! daemon's lifetime, and jobs *enter the supervisor through them* — a
+//! submission is one channel send, never a thread spawn. Admission control
+//! (queue bounds, tenant quotas) stays with the caller; the pool only
+//! bounds *concurrency* to its worker count, running excess submissions in
+//! strict FIFO order as runners free up.
+//!
+//! Cancellation and progress ride inside [`ExecOptions`]
+//! ([`ExecOptions::cancel`](crate::ExecOptions), `ExecOptions::progress`)
+//! and are observed by every executor at the same cooperative points as the
+//! wall-clock deadline: fused-block barriers and the blocking pipe tick. A
+//! fired [`CancelHandle`] surfaces as the *permanent*
+//! [`ExecError::JobCancelled`] — the supervisor stops at the last
+//! consistent barrier (keeping an armed checkpoint store resumable)
+//! instead of burning retries on work nobody wants anymore.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use stencilcl_grid::Partition;
+use stencilcl_lang::{GridState, Program};
+
+use crate::options::ExecOptions;
+use crate::supervise::{run_supervised_full, RunReport};
+use crate::ExecError;
+
+/// External cooperative cancellation of one run. Clone freely: every clone
+/// observes the same flag. Checked by the executors at fused-block
+/// barriers and inside the blocking pipe tick, so a cancelled run drains
+/// within one tick and returns [`ExecError::JobCancelled`] with the grid
+/// at its last consistent barrier.
+#[derive(Debug, Clone, Default)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    /// A fresh, un-fired handle.
+    pub fn new() -> CancelHandle {
+        CancelHandle::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Barrier-granularity progress callback: invoked with the number of
+/// iterations fully completed and committed each time a fused-block
+/// barrier lands. Called from the run's coordinating thread (never from
+/// pipe workers), so implementations may take locks — but they sit on the
+/// barrier path and should stay cheap.
+#[derive(Clone)]
+pub struct Progress(Arc<dyn Fn(u64) + Send + Sync>);
+
+impl Progress {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(u64) + Send + Sync + 'static) -> Progress {
+        Progress(Arc::new(f))
+    }
+
+    /// Invokes the callback with the committed iteration count.
+    pub fn notify(&self, completed: u64) {
+        (self.0)(completed);
+    }
+}
+
+impl fmt::Debug for Progress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Progress(..)")
+    }
+}
+
+/// One submitted run: everything a pool runner needs, owned.
+#[derive(Debug)]
+pub struct JobSpec {
+    /// The stencil program to run to its own iteration count.
+    pub program: Program,
+    /// The partition the pipe executors run over.
+    pub partition: Partition,
+    /// Initial grid state; the outcome returns it advanced.
+    pub state: GridState,
+    /// Per-job options — engine, policy (deadline!), cancel handle,
+    /// progress hook, per-job trace recorder, checkpoint policy.
+    pub opts: ExecOptions,
+}
+
+/// What a runner does right before starting a job: notify the submitter
+/// (schedulers move the job queued → running here).
+type OnStart = Box<dyn FnOnce() + Send>;
+
+/// What one pooled job produced: the final (or last-barrier) grid state,
+/// the supervisor's attempt history, and the run outcome.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Grid state after the run — final on success, the last consistent
+    /// barrier on failure or cancellation.
+    pub state: GridState,
+    /// Attempt history and recovery path.
+    pub report: RunReport,
+    /// `Ok(())` or the fault that ended the run.
+    pub result: Result<(), ExecError>,
+}
+
+/// What a runner does after finishing a job: deliver the outcome.
+type OnDone = Box<dyn FnOnce(JobOutcome) + Send>;
+
+struct PoolJob {
+    spec: Box<JobSpec>,
+    on_start: Option<OnStart>,
+    on_done: OnDone,
+}
+
+/// A persistent pool of job-runner threads that multiplexes submitted
+/// stencil runs over a fixed concurrency budget. Submission is one
+/// unbounded channel send — strict FIFO, no per-job thread or pool
+/// construction — and each runner drives the full supervision ladder
+/// ([`run_supervised_full`](crate::run_supervised_full)) for one job at a
+/// time.
+///
+/// Dropping the pool (or calling [`ExecPool::shutdown`]) closes the
+/// submission channel and joins every runner; jobs already submitted still
+/// run to completion first. A daemon draining *faster* than that cancels
+/// in-flight jobs through their [`CancelHandle`]s before shutting down.
+pub struct ExecPool {
+    tx: Option<Sender<PoolJob>>,
+    runners: Vec<JoinHandle<()>>,
+    busy: Arc<AtomicUsize>,
+}
+
+impl fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("runners", &self.runners.len())
+            .field("busy", &self.busy.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl ExecPool {
+    /// Spawns `workers` (≥ 1, clamped) persistent runner threads.
+    pub fn new(workers: usize) -> ExecPool {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<PoolJob>();
+        let busy = Arc::new(AtomicUsize::new(0));
+        let runners = (0..workers)
+            .map(|i| {
+                let rx: Receiver<PoolJob> = rx.clone();
+                let busy = Arc::clone(&busy);
+                thread::Builder::new()
+                    .name(format!("stencil-job-runner-{i}"))
+                    .spawn(move || runner_loop(&rx, &busy))
+                    .expect("spawn job runner")
+            })
+            .collect();
+        ExecPool {
+            tx: Some(tx),
+            runners,
+            busy,
+        }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn with_host_parallelism() -> ExecPool {
+        let n = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ExecPool::new(n)
+    }
+
+    /// Number of runner threads (the concurrency budget).
+    pub fn workers(&self) -> usize {
+        self.runners.len()
+    }
+
+    /// Runners currently executing a job.
+    pub fn busy(&self) -> usize {
+        self.busy.load(Ordering::SeqCst)
+    }
+
+    /// Submits a job; `on_done` runs on the runner thread right after the
+    /// supervisor returns. Never blocks — excess submissions queue in FIFO
+    /// order until a runner frees up.
+    pub fn submit(&self, spec: JobSpec, on_done: impl FnOnce(JobOutcome) + Send + 'static) {
+        self.enqueue(spec, None, Box::new(on_done));
+    }
+
+    /// [`ExecPool::submit`] with an additional `on_start` callback, run on
+    /// the runner thread immediately before the supervisor is entered —
+    /// the seam a scheduler uses to move a job from queued to running.
+    pub fn submit_with_start(
+        &self,
+        spec: JobSpec,
+        on_start: impl FnOnce() + Send + 'static,
+        on_done: impl FnOnce(JobOutcome) + Send + 'static,
+    ) {
+        self.enqueue(spec, Some(Box::new(on_start)), Box::new(on_done));
+    }
+
+    fn enqueue(&self, spec: JobSpec, on_start: Option<OnStart>, on_done: OnDone) {
+        let tx = self.tx.as_ref().expect("pool already shut down");
+        // A send can only fail if every runner died, which only happens
+        // after shutdown took `tx`; treat it as a bug loudly.
+        assert!(
+            tx.send(PoolJob {
+                spec: Box::new(spec),
+                on_start,
+                on_done,
+            })
+            .is_ok(),
+            "job pool runners gone"
+        );
+    }
+
+    /// [`ExecPool::submit`] returning a [`JobWaiter`] instead of taking a
+    /// callback — the convenient shape for tests and benches.
+    pub fn submit_waiter(&self, spec: JobSpec) -> JobWaiter {
+        let (tx, rx) = unbounded();
+        self.submit(spec, move |outcome| {
+            let _ = tx.send(outcome);
+        });
+        JobWaiter(rx)
+    }
+
+    /// Closes the submission channel and joins every runner after the jobs
+    /// already queued have finished.
+    pub fn shutdown(mut self) {
+        self.drain_and_join();
+    }
+
+    fn drain_and_join(&mut self) {
+        drop(self.tx.take());
+        let me = thread::current().id();
+        for h in self.runners.drain(..) {
+            // A runner can end up dropping the pool itself (e.g. its job
+            // callback held the last reference to the pool's owner); a
+            // thread cannot join itself, so that runner is detached — it
+            // exits on its own once the closed channel drains.
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        self.drain_and_join();
+    }
+}
+
+/// Blocks on one pooled job's outcome.
+#[derive(Debug)]
+pub struct JobWaiter(Receiver<JobOutcome>);
+
+impl JobWaiter {
+    /// Waits for the job to finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool shut down without running the job (cannot happen
+    /// while the pool that issued this waiter is alive).
+    pub fn wait(self) -> JobOutcome {
+        self.0.recv().expect("job pool dropped the job")
+    }
+
+    /// Waits up to `timeout`; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        self.0.recv_timeout(timeout).ok()
+    }
+}
+
+fn runner_loop(rx: &Receiver<PoolJob>, busy: &AtomicUsize) {
+    while let Ok(job) = rx.recv() {
+        busy.fetch_add(1, Ordering::SeqCst);
+        let PoolJob {
+            spec,
+            on_start,
+            on_done,
+        } = job;
+        if let Some(f) = on_start {
+            f();
+        }
+        let JobSpec {
+            program,
+            partition,
+            mut state,
+            opts,
+        } = *spec;
+        let (report, result) = run_supervised_full(&program, &partition, &mut state, &opts);
+        on_done(JobOutcome {
+            state,
+            report,
+            result,
+        });
+        busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilcl_grid::{Design, DesignKind, Extent, Point};
+    use stencilcl_lang::{programs, StencilFeatures};
+
+    fn spec(iterations: u64) -> (Program, Partition) {
+        let program = programs::jacobi_2d()
+            .with_extent(Extent::new2(24, 24))
+            .with_iterations(iterations);
+        let features = StencilFeatures::extract(&program).unwrap();
+        let design = Design::equal(DesignKind::PipeShared, 2, vec![2, 2], vec![6, 6]).unwrap();
+        let partition = Partition::new(features.extent, &design, &features.growth).unwrap();
+        (program, partition)
+    }
+
+    fn init(name: &str, p: &Point) -> f64 {
+        let mut v = name.len() as f64;
+        for d in 0..p.dim() {
+            v = v * 31.0 + p.coord(d) as f64;
+        }
+        (v * 0.001).sin()
+    }
+
+    #[test]
+    fn pooled_jobs_match_the_direct_supervisor_bit_exactly() {
+        let (program, partition) = spec(6);
+        let mut oracle = GridState::new(&program, init);
+        let (_, result) =
+            run_supervised_full(&program, &partition, &mut oracle, &ExecOptions::default());
+        result.unwrap();
+
+        let pool = ExecPool::new(2);
+        let waiters: Vec<JobWaiter> = (0..4)
+            .map(|_| {
+                pool.submit_waiter(JobSpec {
+                    program: program.clone(),
+                    partition: partition.clone(),
+                    state: GridState::new(&program, init),
+                    opts: ExecOptions::default(),
+                })
+            })
+            .collect();
+        for w in waiters {
+            let out = w.wait();
+            out.result.unwrap();
+            assert_eq!(out.state.digest(), oracle.digest());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancel_handle_aborts_promptly_with_the_permanent_error() {
+        let (program, partition) = spec(100_000);
+        let cancel = CancelHandle::new();
+        let progressed = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&progressed);
+        let opts = ExecOptions::default()
+            .cancel(cancel.clone())
+            .progress(Progress::new(move |done| {
+                seen.store(done as usize, Ordering::SeqCst);
+            }));
+
+        let pool = ExecPool::new(1);
+        let waiter = pool.submit_waiter(JobSpec {
+            program,
+            partition,
+            state: GridState::new(
+                &programs::jacobi_2d().with_extent(Extent::new2(24, 24)),
+                init,
+            ),
+            opts,
+        });
+        // Let at least one barrier land, then cancel.
+        while progressed.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cancel.cancel();
+        let out = waiter.wait();
+        match out.result {
+            Err(ExecError::JobCancelled { completed }) => {
+                assert!(completed < 100_000, "cancel landed before the end");
+            }
+            other => panic!("expected JobCancelled, got {other:?}"),
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_all_runners() {
+        let before = crate::live_workers();
+        {
+            let pool = ExecPool::new(3);
+            assert_eq!(pool.workers(), 3);
+        }
+        assert_eq!(crate::live_workers(), before);
+    }
+}

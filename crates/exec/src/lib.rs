@@ -109,6 +109,7 @@ mod engine;
 mod error;
 mod faults;
 mod integrity;
+mod jobs;
 mod options;
 mod overlapped;
 mod persist;
@@ -129,6 +130,7 @@ pub use faults::FaultKind;
 #[cfg(feature = "fault-injection")]
 pub use faults::FaultPlan;
 pub use integrity::{HealthMode, HealthPolicy};
+pub use jobs::{CancelHandle, ExecPool, JobOutcome, JobSpec, JobWaiter, Progress};
 pub use options::{EngineKind, ExecOptions};
 pub use overlapped::{run_overlapped, run_overlapped_opts};
 #[cfg(feature = "fault-injection")]

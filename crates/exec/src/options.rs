@@ -9,6 +9,7 @@
 use stencilcl_telemetry::{EnvConfig, Recorder};
 
 use crate::integrity::HealthPolicy;
+use crate::jobs::{CancelHandle, Progress};
 use crate::persist::CheckpointPolicy;
 use crate::supervise::ExecPolicy;
 
@@ -82,6 +83,15 @@ pub struct ExecOptions {
     /// [`resume_supervised`](crate::resume_supervised) can restart from.
     /// Disarmed by default (zero cost when off).
     pub checkpoint: CheckpointPolicy,
+    /// External cooperative cancellation for submitted jobs: checked at
+    /// the same points as the deadline, fires as the permanent
+    /// [`ExecError::JobCancelled`](crate::ExecError::JobCancelled). `None`
+    /// (the default) costs nothing.
+    pub cancel: Option<CancelHandle>,
+    /// Barrier-granularity progress callback, invoked with the committed
+    /// iteration count each time a fused-block barrier lands — the feed
+    /// behind the service's streamed job events. `None` by default.
+    pub progress: Option<Progress>,
 }
 
 impl ExecOptions {
@@ -127,6 +137,8 @@ impl ExecOptions {
             integrity: cfg.integrity,
             lanes: cfg.lanes,
             checkpoint: CheckpointPolicy::from_config(cfg),
+            cancel: None,
+            progress: None,
         }
     }
 
@@ -181,10 +193,25 @@ impl ExecOptions {
         self
     }
 
+    /// Attaches an external cancellation handle (keep a clone to fire it).
+    #[must_use]
+    pub fn cancel(mut self, handle: CancelHandle) -> ExecOptions {
+        self.cancel = Some(handle);
+        self
+    }
+
+    /// Attaches a barrier-granularity progress callback.
+    #[must_use]
+    pub fn progress(mut self, progress: Progress) -> ExecOptions {
+        self.progress = Some(progress);
+        self
+    }
+
     /// The run-limits envelope for one run, with the deadline clock
     /// anchored at this call.
     pub(crate) fn limits(&self) -> crate::integrity::RunLimits {
         crate::integrity::RunLimits::start(self.policy.deadline, self.health, self.integrity)
+            .with_controls(self.cancel.clone(), self.progress.clone())
     }
 }
 

@@ -310,6 +310,8 @@ pub(crate) fn pipe_shared_impl<S: TraceSink>(
             }
         }
         done += h;
+        // Committed barrier: feed the streamed-progress hook.
+        limits.note_progress(done);
     }
     *state = cur;
     Ok(())

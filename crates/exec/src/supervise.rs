@@ -614,7 +614,17 @@ fn supervised<S: TraceSink>(
             w.begin_attempt(done);
         }
         match pool_run(
-            &rest, partition, state, policy, faults, blocks, engine, lanes, limits, ckpt, sink,
+            &rest,
+            partition,
+            state,
+            policy,
+            faults,
+            blocks,
+            engine,
+            lanes,
+            limits.clone(),
+            ckpt,
+            sink,
         ) {
             Ok(run) => {
                 if let Some(w) = ckpt {
@@ -674,8 +684,15 @@ fn supervised<S: TraceSink>(
                     // sink. No pool, no pipes to wedge.
                     let rest = program.with_iterations(total - done);
                     let start = Instant::now();
-                    let result =
-                        pipe_shared_impl(&rest, partition, state, engine, lanes, limits, sink);
+                    let result = pipe_shared_impl(
+                        &rest,
+                        partition,
+                        state,
+                        engine,
+                        lanes,
+                        limits.clone(),
+                        sink,
+                    );
                     let (fault, completed) = match result {
                         Ok(()) => (None, total - done),
                         Err(mut e) => {
@@ -722,7 +739,9 @@ fn supervised<S: TraceSink>(
 pub(crate) fn globalize(e: &mut ExecError, base: u64) {
     match e {
         ExecError::NumericDivergence { iteration, .. } => *iteration += base,
-        ExecError::DeadlineExceeded { completed } => *completed += base,
+        ExecError::DeadlineExceeded { completed } | ExecError::JobCancelled { completed } => {
+            *completed += base;
+        }
         _ => {}
     }
 }
@@ -732,7 +751,9 @@ pub(crate) fn globalize(e: &mut ExecError, base: u64) {
 fn sequential_completed(e: &ExecError, base: u64) -> u64 {
     match e {
         ExecError::NumericDivergence { iteration, .. } => iteration - base,
-        ExecError::DeadlineExceeded { completed } => completed - base,
+        ExecError::DeadlineExceeded { completed } | ExecError::JobCancelled { completed } => {
+            completed - base
+        }
         _ => 0,
     }
 }
@@ -953,6 +974,9 @@ mod tests {
             value: f64::NAN
         }));
         assert!(!transient(&ExecError::DeadlineExceeded { completed: 0 }));
+        // External cancellation is final: retrying would re-run work the
+        // client already abandoned.
+        assert!(!transient(&ExecError::JobCancelled { completed: 0 }));
     }
 
     #[test]
@@ -973,6 +997,10 @@ mod tests {
         globalize(&mut d, 6);
         assert_eq!(d, ExecError::DeadlineExceeded { completed: 10 });
         assert_eq!(sequential_completed(&d, 6), 4);
+        let mut c = ExecError::JobCancelled { completed: 2 };
+        globalize(&mut c, 5);
+        assert_eq!(c, ExecError::JobCancelled { completed: 7 });
+        assert_eq!(sequential_completed(&c, 5), 2);
         let mut other = ExecError::Cancelled;
         globalize(&mut other, 99);
         assert_eq!(other, ExecError::Cancelled);

@@ -307,7 +307,7 @@ pub(crate) fn pool_run<S: TraceSink>(
             token: token.clone(),
             faults: Arc::clone(faults),
             engine,
-            limits,
+            limits: limits.clone(),
             sink: sink.clone(),
         };
         let done_tx = done_tx.clone();
@@ -365,9 +365,12 @@ pub(crate) fn pool_run<S: TraceSink>(
         if let Err(mut e) = collect_block(&done_rx, kernels, policy.watchdog, policy.drain, |k| {
             handles[k].is_finished()
         }) {
-            // A worker hitting the deadline inside a pipe tick cannot know
-            // the run's progress; patch in the last checkpointed count.
-            if let ExecError::DeadlineExceeded { completed } = &mut e {
+            // A worker hitting the deadline (or an external cancel) inside a
+            // pipe tick cannot know the run's progress; patch in the last
+            // checkpointed count.
+            if let ExecError::DeadlineExceeded { completed }
+            | ExecError::JobCancelled { completed } = &mut e
+            {
                 *completed = done_iters;
             }
             outcome = Err(e);
@@ -402,6 +405,9 @@ pub(crate) fn pool_run<S: TraceSink>(
             let checkpoint = buffers[src].read().unwrap_or_else(PoisonError::into_inner);
             w.at_barrier(&checkpoint, done_iters, block_base + done_blocks, sink);
         }
+        // Feed the streamed-progress hook with the committed count (the
+        // service's job events ride on this).
+        limits.note_progress(done_iters);
     }
 
     drop(cmd_txs);
@@ -524,6 +530,9 @@ fn pipe_send<S: TraceSink>(
         if token.is_cancelled() {
             return Err(ExecError::Cancelled);
         }
+        if limits.cancel_requested() {
+            return Err(ExecError::JobCancelled { completed: 0 });
+        }
         if limits.deadline_passed() {
             return Err(ExecError::DeadlineExceeded { completed: 0 });
         }
@@ -558,6 +567,9 @@ fn pipe_recv<S: TraceSink>(
     loop {
         if token.is_cancelled() {
             return Err(ExecError::Cancelled);
+        }
+        if limits.cancel_requested() {
+            return Err(ExecError::JobCancelled { completed: 0 });
         }
         if limits.deadline_passed() {
             return Err(ExecError::DeadlineExceeded { completed: 0 });

@@ -125,6 +125,29 @@ impl GridState {
         }
         Ok(worst)
     }
+
+    /// FNV-1a-64 fingerprint of the whole state: every grid's name bytes
+    /// followed by its `f64` bit patterns, in sorted name order. Process-
+    /// and mode-portable, so the CLI, the job service, and library callers
+    /// can compare final states for bit-exactness by exchanging one `u64`
+    /// instead of whole grids.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (name, grid) in &self.grids {
+            for byte in name.as_bytes() {
+                mix(*byte);
+            }
+            for v in grid.as_slice() {
+                for byte in v.to_bits().to_le_bytes() {
+                    mix(byte);
+                }
+            }
+        }
+        hash
+    }
 }
 
 /// Evaluates stencil programs over [`GridState`]s.

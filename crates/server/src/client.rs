@@ -1,0 +1,124 @@
+//! A minimal blocking HTTP/1.1 client for the service — just enough to
+//! drive [`crate::Server`] from tests, benchmarks, and scripts without an
+//! HTTP crate. One request per connection (the server closes after each
+//! exchange), `Content-Length` and chunked bodies supported.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The numeric status code.
+    pub status: u16,
+    /// The decoded body (chunked transfer is already reassembled).
+    pub body: String,
+}
+
+/// Issues one request and reads the full response.
+///
+/// # Errors
+///
+/// Returns a description of any connect, I/O, or parse failure.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: stencilcl\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    stream.flush().map_err(|e| e.to_string())?;
+    read_response(stream)
+}
+
+/// Convenience wrapper: `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> Result<Response, String> {
+    request(addr, "GET", path, None)
+}
+
+/// Convenience wrapper: `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<Response, String> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn read_response(stream: TcpStream) -> Result<Response, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read status line: {e}"))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", line.trim_end()))?;
+    let mut content_length = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    let body = if chunked {
+        read_chunked(&mut reader)?
+    } else {
+        let len = content_length.ok_or("response carries neither length nor chunking")?;
+        let mut buf = vec![0u8; len];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|e| format!("read body: {e}"))?;
+        String::from_utf8(buf).map_err(|e| e.to_string())?
+    };
+    Ok(Response { status, body })
+}
+
+fn read_chunked(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut out = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        reader
+            .read_line(&mut size_line)
+            .map_err(|e| format!("read chunk size: {e}"))?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("bad chunk size `{}`", size_line.trim()))?;
+        if size == 0 {
+            let mut end = String::new();
+            let _ = reader.read_line(&mut end);
+            break;
+        }
+        let mut chunk = vec![0u8; size + 2]; // payload + trailing CRLF
+        reader
+            .read_exact(&mut chunk)
+            .map_err(|e| format!("read chunk: {e}"))?;
+        chunk.truncate(size);
+        out.extend_from_slice(&chunk);
+    }
+    String::from_utf8(out).map_err(|e| e.to_string())
+}

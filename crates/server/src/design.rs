@@ -1,0 +1,162 @@
+//! Request → executable design: parse the submitted program source and
+//! build the partition from the requested design point, spelling designs
+//! exactly like the CLI flags and the checkpoint manifest's
+//! [`DesignSpec`], so a service job, a `stencilcl run`, and a
+//! `stencilcl resume` of the same point reconstruct identical partitions
+//! (and therefore identical digests).
+
+use stencilcl_exec::DesignSpec;
+use stencilcl_grid::{Design, DesignKind, Partition, Point};
+use stencilcl_lang::{parse, Program, StencilFeatures};
+use stencilcl_opt::balance_tiles;
+
+use crate::protocol::DesignRequest;
+
+/// Hard cap on submitted grid volume — the same bound the CLI enforces
+/// for host-side execution.
+pub const MAX_VOLUME: u64 = 1 << 22;
+
+/// The deterministic initial-condition the service fills submitted grids
+/// with — byte-identical to the CLI's, so service digests compare
+/// directly against `stencilcl run` output for the same program.
+pub fn default_init(name: &str, p: &Point) -> f64 {
+    let mut v = name.len() as f64;
+    for d in 0..p.dim() {
+        v = v * 31.0 + p.coord(d) as f64;
+    }
+    (v * 0.001).sin()
+}
+
+/// Everything a submitted job needs to run: the parsed program, the
+/// partition, and the manifest-ready design spec.
+#[derive(Debug, Clone)]
+pub struct PlannedJob {
+    /// The parsed stencil program.
+    pub program: Program,
+    /// The resolved partition.
+    pub partition: Partition,
+    /// The design as a manifest-sealable spec (checkpointed jobs record
+    /// it so `stencilcl resume` needs neither source nor flags).
+    pub spec: DesignSpec,
+}
+
+/// Parses the source and builds the design/partition, mirroring the CLI's
+/// validation: fused ≥ 1, dimensions must match, baseline designs are
+/// rejected (the service drives the supervised pipe executors), and the
+/// grid volume is bounded.
+pub fn plan(source: &str, req: &DesignRequest) -> Result<PlannedJob, String> {
+    let program = parse(source).map_err(|e| e.to_string())?;
+    if program.extent().volume() > MAX_VOLUME {
+        return Err("input too large for host-side execution; shrink the grid".into());
+    }
+    let kind = match req.kind.as_str() {
+        "pipe" | "pipe-shared" => DesignKind::PipeShared,
+        "hetero" | "heterogeneous" => DesignKind::Heterogeneous,
+        "baseline" => {
+            return Err("the service drives the supervised pipe executors; \
+                        use kind `pipe` or `hetero`"
+                .into())
+        }
+        other => return Err(format!("unknown design kind `{other}`")),
+    };
+    if req.fused == 0 {
+        return Err("fused 0 is not a design: at least one iteration must be \
+                    fused per pass (use fused 1 for no temporal reuse)"
+            .into());
+    }
+    let dim = program.dim();
+    if req.parallelism.len() != dim || req.tile.len() != dim {
+        return Err(format!(
+            "design is {}-D but program is {dim}-D",
+            req.parallelism.len().max(req.tile.len())
+        ));
+    }
+    let f = StencilFeatures::extract(&program).map_err(|e| e.to_string())?;
+    let design = if kind == DesignKind::Heterogeneous {
+        let lens = (0..dim)
+            .map(|d| {
+                let region = req.parallelism[d] * req.tile[d];
+                let boundary = f.extent.len(d) / region > 1;
+                balance_tiles(
+                    region,
+                    req.parallelism[d],
+                    &f.growth,
+                    d,
+                    req.fused,
+                    boundary,
+                    2,
+                )
+                .ok_or_else(|| format!("cannot balance dimension {d}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Design::heterogeneous(req.fused, lens).map_err(|e| e.to_string())?
+    } else {
+        Design::equal(kind, req.fused, req.parallelism.clone(), req.tile.clone())
+            .map_err(|e| e.to_string())?
+    };
+    let partition = Partition::new(f.extent, &design, &f.growth).map_err(|e| e.to_string())?;
+    let spec = DesignSpec {
+        kind: match kind {
+            DesignKind::PipeShared => "pipe",
+            DesignKind::Heterogeneous => "hetero",
+            DesignKind::Baseline => unreachable!("rejected above"),
+        }
+        .to_string(),
+        fused: req.fused,
+        parallelism: req.parallelism.clone(),
+        tile: req.tile.clone(),
+    };
+    Ok(PlannedJob {
+        program,
+        partition,
+        spec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "stencil blur { grid A[32][32] : f32; iterations 6;
+        A[i][j] = 0.5 * A[i][j] + 0.125 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }";
+
+    fn req(kind: &str) -> DesignRequest {
+        DesignRequest {
+            kind: kind.to_string(),
+            fused: 3,
+            parallelism: vec![2, 2],
+            tile: vec![8, 8],
+        }
+    }
+
+    #[test]
+    fn plans_pipe_and_hetero_designs() {
+        let planned = plan(SRC, &req("pipe")).expect("pipe plans");
+        assert_eq!(planned.partition.kernel_count(), 4);
+        assert_eq!(planned.spec.kind, "pipe");
+        assert_eq!(planned.program.iterations, 6);
+        let planned = plan(SRC, &req("hetero")).expect("hetero plans");
+        assert_eq!(planned.spec.kind, "hetero");
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_diagnostics() {
+        assert!(plan("not a stencil", &req("pipe")).is_err());
+        assert!(plan(SRC, &req("baseline")).unwrap_err().contains("pipe"));
+        assert!(plan(SRC, &req("quantum")).unwrap_err().contains("quantum"));
+        let mut r = req("pipe");
+        r.fused = 0;
+        assert!(plan(SRC, &r).unwrap_err().contains("fused 0"));
+        let mut r = req("pipe");
+        r.parallelism = vec![2];
+        assert!(plan(SRC, &r).unwrap_err().contains("2-D"));
+    }
+
+    #[test]
+    fn init_matches_the_cli_formula() {
+        // One spot check of the closed form: name "A" (len 1), point (2, 3).
+        let p = Point::new2(2, 3);
+        let expect = (((1.0f64 * 31.0 + 2.0) * 31.0 + 3.0) * 0.001).sin();
+        assert_eq!(default_init("A", &p), expect);
+    }
+}

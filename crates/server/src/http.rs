@@ -1,0 +1,483 @@
+//! Hand-rolled HTTP/1.1 + JSON front end over [`std::net::TcpListener`].
+//!
+//! No async runtime and no HTTP crate: the daemon parses the tiny subset
+//! of HTTP/1.1 it needs (request line, headers, `Content-Length` bodies),
+//! answers every request on a fresh connection-handler thread, and closes
+//! the connection after one exchange (`Connection: close`). Progress
+//! streams use chunked transfer encoding: one JSON object per chunk, fed
+//! from the job record's version counter, terminated by the zero chunk
+//! when the job seals.
+//!
+//! ## Endpoints
+//!
+//! | Method + path                  | Meaning                                  |
+//! |--------------------------------|------------------------------------------|
+//! | `POST /v1/jobs`                | Submit (source + design + knobs) → job id |
+//! | `GET /v1/jobs/<id>`            | Status snapshot                          |
+//! | `GET /v1/jobs/<id>/result`     | Terminal outcome (`?grid=1` adds payload, `?wait_ms=N` long-polls) |
+//! | `POST /v1/jobs/<id>/cancel`    | Fire the job's cancel handle             |
+//! | `GET /v1/jobs/<id>/events`     | Chunked stream of progress events        |
+//! | `GET /healthz`                 | Liveness + drain state                   |
+//! | `GET /metrics`                 | Counters, queue depth, per-tenant rows   |
+//! | `POST /v1/shutdown`            | Graceful drain, then stop serving        |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use serde::{Serialize, Value};
+
+use crate::jobs::JobRecord;
+use crate::protocol::{ErrorBody, JobResult, SubmitRequest, SubmitResponse};
+use crate::scheduler::{Reject, Scheduler};
+
+/// Largest accepted request body (a stencil source is tiny).
+const MAX_BODY: usize = 1 << 20;
+/// Poll cadence of the event stream between version changes.
+const EVENT_TICK: Duration = Duration::from_millis(20);
+/// Longest allowed `?wait_ms` long-poll.
+const MAX_WAIT: Duration = Duration::from_secs(60);
+
+/// The running daemon: an accept loop plus a connection-handler thread
+/// per request, all over one shared [`Scheduler`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    scheduler: Arc<Scheduler>,
+    stopping: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving immediately on a background accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, scheduler: Arc<Scheduler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let scheduler = Arc::clone(&scheduler);
+            let stopping = Arc::clone(&stopping);
+            thread::Builder::new()
+                .name("stencil-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &scheduler, &stopping))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr,
+            scheduler,
+            stopping,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler this server fronts.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Blocks until the daemon stops serving (a `POST /v1/shutdown`, or
+    /// [`Server::stop`] from another thread).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Drains the scheduler and stops the accept loop.
+    pub fn stop(mut self, grace: Duration) {
+        self.scheduler.drain(grace);
+        self.stopping.store(true, Ordering::SeqCst);
+        wake_accept(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(h) = self.accept.take() {
+            self.stopping.store(true, Ordering::SeqCst);
+            wake_accept(self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+/// Unblocks a pending `accept()` with a throwaway connection.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, scheduler: &Arc<Scheduler>, stopping: &Arc<AtomicBool>) {
+    let addr = listener.local_addr().ok();
+    loop {
+        if stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        // Every exchange is one small request + one small response;
+        // coalescing (Nagle) only adds latency here.
+        let _ = stream.set_nodelay(true);
+        if stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let scheduler = Arc::clone(scheduler);
+        let stopping = Arc::clone(stopping);
+        let _ = thread::Builder::new()
+            .name("stencil-serve-conn".into())
+            .spawn(move || {
+                if let Some(a) = addr {
+                    if handle_connection(stream, &scheduler) == Flow::Shutdown {
+                        stopping.store(true, Ordering::SeqCst);
+                        wake_accept(a);
+                    }
+                }
+            });
+    }
+}
+
+/// What a handled request means for the accept loop.
+#[derive(Debug, PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Shutdown,
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let target = parts.next().ok_or("missing request target")?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds the limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_raw
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+impl Request {
+    fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, json: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{json}",
+        status_text(code),
+        json.len(),
+    );
+    let _ = stream.flush();
+}
+
+fn respond_value<T: Serialize>(stream: &mut TcpStream, code: u16, body: &T) {
+    let json = serde_json::to_string(body).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+    respond(stream, code, &json);
+}
+
+fn respond_error(stream: &mut TcpStream, code: u16, kind: &str, msg: &str) {
+    respond_value(
+        stream,
+        code,
+        &ErrorBody {
+            kind: kind.to_string(),
+            error: msg.to_string(),
+        },
+    );
+}
+
+fn handle_connection(mut stream: TcpStream, scheduler: &Arc<Scheduler>) -> Flow {
+    let req = match parse_request(&mut stream) {
+        Ok(req) => req,
+        Err(msg) => {
+            // Wake-up sentinels and port scans land here; only answer
+            // things that sent at least a request line.
+            if !msg.contains("empty request line") {
+                respond_error(&mut stream, 400, "bad_request", &msg);
+            }
+            return Flow::Continue;
+        }
+    };
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "jobs"]) => submit(&mut stream, scheduler, &req),
+        ("GET", ["v1", "jobs", id]) => with_job(&mut stream, scheduler, id, |stream, job| {
+            respond_value(stream, 200, &job.status());
+        }),
+        ("GET", ["v1", "jobs", id, "result"]) => {
+            with_job(&mut stream, scheduler, id, |stream, job| {
+                result(stream, &job, &req);
+            })
+        }
+        ("POST", ["v1", "jobs", id, "cancel"]) => {
+            if scheduler.cancel(id) {
+                let job = scheduler.job(id).expect("job existed for cancel");
+                respond_value(&mut stream, 202, &job.status());
+            } else {
+                respond_error(&mut stream, 404, "not_found", &format!("no job `{id}`"));
+            }
+            Flow::Continue
+        }
+        ("GET", ["v1", "jobs", id, "events"]) => {
+            match scheduler.job(id) {
+                Some(job) => stream_events(&mut stream, &job),
+                None => respond_error(&mut stream, 404, "not_found", &format!("no job `{id}`")),
+            }
+            Flow::Continue
+        }
+        ("GET", ["healthz"]) => {
+            respond_value(&mut stream, 200, &scheduler.healthz());
+            Flow::Continue
+        }
+        ("GET", ["metrics"]) => {
+            respond_value(&mut stream, 200, &scheduler.metrics());
+            Flow::Continue
+        }
+        ("POST", ["v1", "shutdown"]) => {
+            let grace = req
+                .query("grace_ms")
+                .and_then(|v| v.parse().ok())
+                .map_or(Duration::from_secs(30), Duration::from_millis);
+            let drained = scheduler.drain(grace);
+            let body = Value::Object(vec![
+                ("status".to_string(), Value::Str("draining".to_string())),
+                (
+                    "drained_jobs".to_string(),
+                    Value::Array(
+                        drained
+                            .into_iter()
+                            .map(|(id, ckpt)| {
+                                Value::Object(vec![
+                                    ("job".to_string(), Value::Str(id)),
+                                    ("ckpt_dir".to_string(), ckpt.map_or(Value::Null, Value::Str)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]);
+            respond_value(&mut stream, 200, &body);
+            Flow::Shutdown
+        }
+        (_, ["v1", "jobs", ..] | ["healthz"] | ["metrics"] | ["v1", "shutdown"]) => {
+            respond_error(&mut stream, 405, "method_not_allowed", "wrong method");
+            Flow::Continue
+        }
+        _ => {
+            respond_error(
+                &mut stream,
+                404,
+                "not_found",
+                &format!("no route for {} {}", req.method, req.path),
+            );
+            Flow::Continue
+        }
+    }
+}
+
+fn with_job(
+    stream: &mut TcpStream,
+    scheduler: &Arc<Scheduler>,
+    id: &str,
+    f: impl FnOnce(&mut TcpStream, Arc<JobRecord>),
+) -> Flow {
+    match scheduler.job(id) {
+        Some(job) => f(stream, job),
+        None => respond_error(stream, 404, "not_found", &format!("no job `{id}`")),
+    }
+    Flow::Continue
+}
+
+fn submit(stream: &mut TcpStream, scheduler: &Arc<Scheduler>, req: &Request) -> Flow {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        respond_error(stream, 400, "bad_request", "body is not UTF-8");
+        return Flow::Continue;
+    };
+    let parsed: SubmitRequest = match serde_json::from_str(text) {
+        Ok(p) => p,
+        Err(e) => {
+            respond_error(stream, 400, "bad_request", &e.to_string());
+            return Flow::Continue;
+        }
+    };
+    match scheduler.submit(&parsed) {
+        Ok(record) => {
+            respond_value(
+                stream,
+                200,
+                &SubmitResponse {
+                    job: record.id.clone(),
+                    active: scheduler.active_jobs(),
+                },
+            );
+        }
+        Err(reject) => {
+            let code = match &reject {
+                Reject::BadRequest(_) => 400,
+                Reject::QuotaExceeded { .. } | Reject::QueueFull { .. } => 429,
+                Reject::Draining => 503,
+            };
+            respond_error(stream, code, reject.kind(), &reject.message());
+        }
+    }
+    Flow::Continue
+}
+
+fn result(stream: &mut TcpStream, job: &Arc<JobRecord>, req: &Request) {
+    if let Some(ms) = req.query("wait_ms").and_then(|v| v.parse::<u64>().ok()) {
+        job.wait_terminal(Duration::from_millis(ms).min(MAX_WAIT));
+    }
+    let with_grid = req.query("grid").is_some_and(|v| v == "1" || v == "true");
+    let body = job.with_outcome(|done| JobResult {
+        job: job.id.clone(),
+        phase: if done.error.is_none() {
+            crate::protocol::JobPhase::Done
+        } else {
+            crate::protocol::JobPhase::Failed
+        },
+        digest: format!("{:#018x}", done.digest),
+        completed_iterations: job.completed(),
+        report: done.report.clone(),
+        error: done.error.as_ref().map(ToString::to_string),
+        grids: with_grid.then(|| {
+            let mut names: Vec<&str> = done.state.grid_names().collect();
+            names.sort_unstable();
+            Value::Object(
+                names
+                    .into_iter()
+                    .filter_map(|name| {
+                        done.state
+                            .grid(name)
+                            .ok()
+                            .map(|g| (name.to_string(), g.as_slice().to_value()))
+                    })
+                    .collect(),
+            )
+        }),
+    });
+    match body {
+        Some(result) => respond_value(stream, 200, &result),
+        None => respond_error(
+            stream,
+            202,
+            "not_finished",
+            &format!("job `{}` is {:?}", job.id, job.phase()),
+        ),
+    }
+}
+
+/// Streams progress events as chunked JSON lines: one event at stream
+/// start, one per version change, one terminal event, then the end chunk.
+fn stream_events(stream: &mut TcpStream, job: &Arc<JobRecord>) {
+    let header = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    if stream.write_all(header.as_bytes()).is_err() {
+        return;
+    }
+    let mut last_version = None;
+    loop {
+        let version = job.version();
+        if last_version != Some(version) {
+            last_version = Some(version);
+            let status = job.status();
+            let mut line =
+                serde_json::to_string(&status).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            line.push('\n');
+            let chunk = format!("{:x}\r\n{line}\r\n", line.len());
+            if stream.write_all(chunk.as_bytes()).is_err() {
+                return; // client hung up
+            }
+            let _ = stream.flush();
+            if status.phase.is_terminal() {
+                break;
+            }
+        } else {
+            thread::sleep(EVENT_TICK);
+        }
+    }
+    let _ = stream.write_all(b"0\r\n\r\n");
+    let _ = stream.flush();
+}

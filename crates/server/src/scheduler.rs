@@ -1,0 +1,441 @@
+//! The shared scheduler: one persistent executor pool multiplexing every
+//! submitted job.
+//!
+//! Pool ownership is the point. The [`Scheduler`] constructs one
+//! [`ExecPool`] (sized to host parallelism by default) when the daemon
+//! boots and keeps it for the daemon's lifetime; admitting a job is a
+//! bounded-queue check, a tenant-quota check, and one channel send — the
+//! admission path never constructs a pool, a thread, or a partition
+//! worker. Excess submissions queue FIFO in the pool's channel and run as
+//! runners free up.
+//!
+//! Admission control is two gates under one lock: a global bound on jobs
+//! *waiting* for a runner (`max_queue`, the 429 `queue_full` path) and a
+//! per-tenant bound on jobs in flight (`quota`, the 429 `quota_exceeded`
+//! path). Rejections are structured — a client can tell "back off" from
+//! "you are over budget".
+//!
+//! Configuration layering follows the CLI's rule: the process env
+//! snapshot (`EnvConfig`, frozen at first read) supplies every default via
+//! [`ExecOptions::from_config`], then per-request knobs overwrite their
+//! fields. The snapshot is read once at scheduler construction, so two
+//! concurrent jobs with different `lanes`/`deadline_ms` each get their own
+//! [`ExecOptions`] and never bleed configuration through process state.
+//!
+//! Graceful drain: [`Scheduler::drain`] stops admission, fires every live
+//! job's [`CancelHandle`], and waits for the pool to seal outcomes.
+//! Cancelled jobs stop at their last consistent fused-block barrier; jobs
+//! with an armed checkpoint directory have that barrier sealed on disk
+//! (the service defaults `every_barriers` to 1), so `stencilcl resume`
+//! finishes them bit-exact after the daemon is gone.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use stencilcl_exec::{live_workers, ExecOptions, ExecPool, HealthPolicy, JobSpec, Progress};
+use stencilcl_lang::GridState;
+use stencilcl_telemetry::{Counter, EnvConfig, Recorder, TracePhase, TraceSink};
+
+use crate::design::{default_init, plan};
+use crate::jobs::{JobDone, JobRecord, TenantBook};
+use crate::protocol::{Healthz, Metrics, SubmitRequest};
+
+/// Scheduler sizing and admission bounds.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Pool runner threads; `0` = host parallelism.
+    pub workers: usize,
+    /// Maximum jobs waiting for a runner (beyond those running). Admission
+    /// past this bound is rejected with `queue_full`.
+    pub max_queue: usize,
+    /// Maximum jobs admitted and not yet terminal, per tenant. Admission
+    /// past this bound is rejected with `quota_exceeded`.
+    pub quota: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            workers: 0,
+            max_queue: 64,
+            quota: 8,
+        }
+    }
+}
+
+/// Why admission refused a job, with the HTTP mapping the router uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reject {
+    /// Unparseable source or inconsistent design (HTTP 400).
+    BadRequest(String),
+    /// The tenant's in-flight budget is spent (HTTP 429).
+    QuotaExceeded {
+        /// The tenant's current in-flight count.
+        in_flight: u64,
+    },
+    /// The global admission queue is full (HTTP 429).
+    QueueFull {
+        /// Jobs currently waiting for a runner.
+        queued: u64,
+    },
+    /// The daemon is draining; no new work (HTTP 503).
+    Draining,
+}
+
+impl Reject {
+    /// Stable machine-readable kind for the error body.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Reject::BadRequest(_) => "bad_request",
+            Reject::QuotaExceeded { .. } => "quota_exceeded",
+            Reject::QueueFull { .. } => "queue_full",
+            Reject::Draining => "draining",
+        }
+    }
+
+    /// Human-readable diagnostic.
+    pub fn message(&self) -> String {
+        match self {
+            Reject::BadRequest(msg) => msg.clone(),
+            Reject::QuotaExceeded { in_flight } => {
+                format!("tenant quota exhausted ({in_flight} jobs in flight)")
+            }
+            Reject::QueueFull { queued } => {
+                format!("admission queue full ({queued} jobs waiting)")
+            }
+            Reject::Draining => "daemon is draining; no new jobs".to_string(),
+        }
+    }
+}
+
+/// Queue-depth accounting mutated under the admission lock.
+#[derive(Debug, Default)]
+struct Depth {
+    /// Jobs admitted and not yet picked up by a runner.
+    queued: u64,
+    /// Jobs a runner is currently executing.
+    running: u64,
+    /// High-water mark of `queued + running` already published to the
+    /// `QueueDepth` counter (counters are additive, so only increases are
+    /// recorded).
+    peak: u64,
+}
+
+/// The multi-tenant job scheduler. One per daemon; shared with the HTTP
+/// router via `Arc`.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    env: &'static EnvConfig,
+    pool: ExecPool,
+    jobs: Mutex<BTreeMap<String, Arc<JobRecord>>>,
+    tenants: TenantBook,
+    depth: Mutex<Depth>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    /// Daemon-wide recorder: admission counters, queue-depth high-water
+    /// mark, and the JobQueued/JobStart/JobDone bookkeeping spans.
+    recorder: Recorder,
+}
+
+impl Scheduler {
+    /// Boots the scheduler: freezes the env snapshot and spawns the
+    /// persistent pool. This is the only place executor concurrency is
+    /// created — submission never spawns.
+    pub fn new(cfg: SchedulerConfig) -> Arc<Scheduler> {
+        let pool = if cfg.workers == 0 {
+            ExecPool::with_host_parallelism()
+        } else {
+            ExecPool::new(cfg.workers)
+        };
+        Arc::new(Scheduler {
+            cfg,
+            env: EnvConfig::get(),
+            pool,
+            jobs: Mutex::new(BTreeMap::new()),
+            tenants: TenantBook::default(),
+            depth: Mutex::new(Depth::default()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            recorder: Recorder::new(),
+        })
+    }
+
+    /// The admission bounds and sizing this scheduler runs with.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// Builds one job's [`ExecOptions`]: the frozen env snapshot supplies
+    /// every default, request knobs overwrite their fields (the same
+    /// layering as CLI flags), and the service baseline arms integrity.
+    fn job_options(&self, req: &SubmitRequest) -> Result<ExecOptions, String> {
+        let mut opts = ExecOptions::from_config(self.env);
+        let knobs = &req.options;
+        if let Some(ms) = knobs.deadline_ms {
+            opts.policy.deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(lanes) = knobs.lanes {
+            if !(1..=16).contains(&lanes) {
+                return Err(format!("lanes must be in 1..=16, got {lanes}"));
+            }
+            opts.lanes = Some(lanes);
+        }
+        if let Some(retries) = knobs.retries {
+            opts.policy.max_retries = retries;
+        }
+        if let Some(bound) = knobs.health_bound {
+            if bound.is_nan() || bound <= 0.0 {
+                return Err(format!("health_bound must be positive, got {bound}"));
+            }
+            opts.health = HealthPolicy::bounded(bound);
+        }
+        // The service mirrors `stencilcl run`: slabs are sealed by default.
+        opts.integrity = knobs.integrity.unwrap_or(true);
+        if let Some(dir) = &knobs.ckpt_dir {
+            opts.checkpoint.dir = Some(dir.into());
+        }
+        if let Some(every) = knobs.ckpt_every {
+            if every == 0 {
+                return Err("ckpt_every must be at least 1".into());
+            }
+            if !opts.checkpoint.enabled() {
+                return Err("ckpt_every needs ckpt_dir to arm checkpointing".into());
+            }
+            opts.checkpoint.every_barriers = every;
+        } else if opts.checkpoint.enabled() && knobs.ckpt_dir.is_some() {
+            // Service default: seal every barrier, so a drain mid-run
+            // always leaves a current resumable generation.
+            opts.checkpoint.every_barriers = 1;
+        }
+        Ok(opts)
+    }
+
+    /// Admits and enqueues one job. The fast path is: validate, two gate
+    /// checks under the admission lock, one channel send.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`Reject`] for invalid requests, spent quotas, a full
+    /// queue, or a draining daemon.
+    pub fn submit(self: &Arc<Scheduler>, req: &SubmitRequest) -> Result<Arc<JobRecord>, Reject> {
+        if self.draining.load(Ordering::SeqCst) {
+            self.tenants.note_rejected(&req.tenant);
+            self.recorder.add(Counter::JobsRejected, 1);
+            return Err(Reject::Draining);
+        }
+        // Validation (parse + partition build) happens before any slot is
+        // claimed, so a malformed request never consumes quota.
+        let planned = plan(&req.source, &req.design).map_err(Reject::BadRequest)?;
+        let mut opts = self.job_options(req).map_err(Reject::BadRequest)?;
+        if opts.checkpoint.enabled() {
+            opts.checkpoint.design = Some(planned.spec.clone());
+        }
+
+        // Admission gates, both under the depth lock so depth accounting
+        // and the queue bound cannot race.
+        let record = {
+            let mut depth = self.depth.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(in_flight) = self.tenants.try_admit(&req.tenant, self.cfg.quota) {
+                self.recorder.add(Counter::JobsRejected, 1);
+                return Err(Reject::QuotaExceeded { in_flight });
+            }
+            if depth.queued >= self.cfg.max_queue as u64 {
+                // The tenant slot was claimed by `try_admit`; give it back.
+                self.tenants.release(&req.tenant);
+                self.tenants.note_rejected(&req.tenant);
+                self.recorder.add(Counter::JobsRejected, 1);
+                return Err(Reject::QueueFull {
+                    queued: depth.queued,
+                });
+            }
+            depth.queued += 1;
+            let now_active = depth.queued + depth.running;
+            if now_active > depth.peak {
+                // Counters are additive; publish only the increase so the
+                // snapshot reads as the high-water mark.
+                self.recorder
+                    .add(Counter::QueueDepth, now_active - depth.peak);
+                depth.peak = now_active;
+            }
+            self.recorder.add(Counter::JobsAdmitted, 1);
+            let id = format!("job-{}", self.next_id.fetch_add(1, Ordering::SeqCst));
+            Arc::new(JobRecord::new(
+                id,
+                req.tenant.clone(),
+                planned.program.iterations,
+                req.options.ckpt_dir.clone(),
+            ))
+        };
+
+        // Wire the job's external control surface into its options.
+        let progress_record = Arc::clone(&record);
+        opts.cancel = Some(record.cancel.clone());
+        opts.progress = Some(Progress::new(move |done| {
+            progress_record.note_progress(done);
+        }));
+
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(record.id.clone(), Arc::clone(&record));
+
+        let state = GridState::new(&planned.program, default_init);
+        // Callbacks hold the scheduler weakly: a runner thread must never
+        // own the last `Arc<Scheduler>`, or dropping it would make the
+        // pool's destructor join the very thread it runs on.
+        let sched = Arc::downgrade(self);
+        let done_record = Arc::clone(&record);
+        let spec = JobSpec {
+            program: planned.program,
+            partition: planned.partition,
+            state,
+            opts,
+        };
+        // The send is the whole dispatch: the job runs when a persistent
+        // runner picks it up, in admission order.
+        self.pool.submit_with_start(
+            spec,
+            {
+                let sched = Arc::downgrade(self);
+                let rec = Arc::clone(&record);
+                move || {
+                    if let Some(s) = sched.upgrade() {
+                        s.on_start(&rec);
+                    }
+                }
+            },
+            move |outcome| {
+                let digest = outcome.state.digest();
+                done_record.finish(JobDone {
+                    state: outcome.state,
+                    digest,
+                    report: outcome.report,
+                    error: outcome.result.err(),
+                });
+                if let Some(s) = sched.upgrade() {
+                    s.on_done(&done_record);
+                }
+            },
+        );
+        Ok(record)
+    }
+
+    /// Runner picked the job up: queued → running, with the queue-wait
+    /// recorded as a `JobQueued` span.
+    fn on_start(&self, record: &Arc<JobRecord>) {
+        {
+            let mut depth = self.depth.lock().unwrap_or_else(PoisonError::into_inner);
+            depth.queued = depth.queued.saturating_sub(1);
+            depth.running += 1;
+        }
+        let waited = record.mark_running();
+        let now = self.recorder.now();
+        let t0 = now.saturating_sub(waited.as_nanos() as u64);
+        self.recorder.span(0, 0, TracePhase::JobQueued, t0, now);
+        self.recorder
+            .span(0, 0, TracePhase::JobStart, now, self.recorder.now());
+    }
+
+    /// Runner sealed the outcome: running → terminal, quota slot released.
+    fn on_done(&self, record: &Arc<JobRecord>) {
+        {
+            let mut depth = self.depth.lock().unwrap_or_else(PoisonError::into_inner);
+            depth.running = depth.running.saturating_sub(1);
+        }
+        self.tenants.release(&record.tenant);
+        let now = self.recorder.now();
+        self.recorder
+            .span(0, 0, TracePhase::JobDone, now, self.recorder.now().max(now));
+    }
+
+    /// Looks a job up by id.
+    pub fn job(&self, id: &str) -> Option<Arc<JobRecord>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)
+            .cloned()
+    }
+
+    /// Requests cancellation of a job. Queued jobs abort at run start
+    /// (the executors check cancellation before the first block); running
+    /// jobs drain within one pipe tick. Returns whether the id exists.
+    pub fn cancel(&self, id: &str) -> bool {
+        match self.job(id) {
+            Some(job) => {
+                job.cancel.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the daemon has begun draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop admission, cancel every live job, and wait up
+    /// to `grace` for outcomes to seal. Returns the ids that were still
+    /// live when the drain began, paired with their checkpoint
+    /// directories (resume targets for the operator).
+    pub fn drain(&self, grace: Duration) -> Vec<(String, Option<String>)> {
+        self.draining.store(true, Ordering::SeqCst);
+        let live: Vec<Arc<JobRecord>> = {
+            let jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+            jobs.values()
+                .filter(|j| !j.phase().is_terminal())
+                .cloned()
+                .collect()
+        };
+        for job in &live {
+            job.cancel.cancel();
+        }
+        for job in &live {
+            job.wait_terminal(grace);
+        }
+        live.iter()
+            .map(|j| (j.id.clone(), j.ckpt_dir.clone()))
+            .collect()
+    }
+
+    /// Jobs admitted and not yet terminal.
+    pub fn active_jobs(&self) -> u64 {
+        let depth = self.depth.lock().unwrap_or_else(PoisonError::into_inner);
+        depth.queued + depth.running
+    }
+
+    /// `GET /healthz` snapshot.
+    pub fn healthz(&self) -> Healthz {
+        Healthz {
+            status: if self.is_draining() {
+                "draining".to_string()
+            } else {
+                "ok".to_string()
+            },
+            live_workers: live_workers() as u64,
+            busy_runners: self.pool.busy() as u64,
+            active_jobs: self.active_jobs(),
+        }
+    }
+
+    /// `GET /metrics` snapshot.
+    pub fn metrics(&self) -> Metrics {
+        let (queued, running) = {
+            let depth = self.depth.lock().unwrap_or_else(PoisonError::into_inner);
+            (depth.queued, depth.running)
+        };
+        Metrics {
+            pool_workers: self.pool.workers() as u64,
+            busy_runners: self.pool.busy() as u64,
+            live_workers: live_workers() as u64,
+            active_jobs: queued + running,
+            queued_jobs: queued,
+            tenants: self.tenants.snapshot(),
+            counters: self.recorder.counters(),
+        }
+    }
+}

@@ -56,6 +56,12 @@ impl PhaseTotals {
             // fused tile task is compute, a steal is idle rebalancing.
             TracePhase::TileCompute { .. } => self.compute += amount,
             TracePhase::TileSteal => self.barrier += amount,
+            // Service-job lifecycle spans are host-side launch overhead —
+            // the same bucket the paper's §5.6 attributes its
+            // predicted-vs-measured gap to.
+            TracePhase::JobQueued | TracePhase::JobStart | TracePhase::JobDone => {
+                self.launch += amount;
+            }
         }
     }
 

@@ -49,6 +49,15 @@ pub enum TracePhase {
     },
     /// A tile-pool worker lifting a task off another worker's deque.
     TileSteal,
+    /// A submitted service job waiting in the scheduler's admission queue
+    /// (span runs from admission to dequeue).
+    JobQueued,
+    /// Scheduler bookkeeping between dequeuing a service job and entering
+    /// the supervised executor.
+    JobStart,
+    /// Sealing a finished service job's terminal result (report, digest,
+    /// retained grids) into the job table.
+    JobDone,
 }
 
 impl TracePhase {
@@ -66,6 +75,9 @@ impl TracePhase {
             TracePhase::CheckpointLoad => 'L',
             TracePhase::TileCompute { .. } => 'T',
             TracePhase::TileSteal => 's',
+            TracePhase::JobQueued => 'Q',
+            TracePhase::JobStart => 'J',
+            TracePhase::JobDone => 'D',
         }
     }
 
@@ -84,6 +96,9 @@ impl TracePhase {
             TracePhase::CheckpointLoad => "CheckpointLoad",
             TracePhase::TileCompute { .. } => "TileCompute",
             TracePhase::TileSteal => "TileSteal",
+            TracePhase::JobQueued => "JobQueued",
+            TracePhase::JobStart => "JobStart",
+            TracePhase::JobDone => "JobDone",
         }
     }
 }
@@ -283,11 +298,14 @@ mod tests {
             TracePhase::CheckpointLoad,
             TracePhase::TileCompute { iteration: 1 },
             TracePhase::TileSteal,
+            TracePhase::JobQueued,
+            TracePhase::JobStart,
+            TracePhase::JobDone,
         ];
         let glyphs: HashSet<char> = phases.iter().map(|p| p.glyph()).collect();
-        assert_eq!(glyphs.len(), 11);
+        assert_eq!(glyphs.len(), 14);
         let names: HashSet<&str> = phases.iter().map(|p| p.name()).collect();
-        assert_eq!(names.len(), 11);
+        assert_eq!(names.len(), 14);
     }
 
     #[test]

@@ -32,6 +32,9 @@ const PH_CKPT_WRITE: u64 = 7;
 const PH_CKPT_LOAD: u64 = 8;
 const PH_TILE_COMPUTE: u64 = 9;
 const PH_TILE_STEAL: u64 = 10;
+const PH_JOB_QUEUED: u64 = 11;
+const PH_JOB_START: u64 = 12;
+const PH_JOB_DONE: u64 = 13;
 
 fn pack_phase(phase: TracePhase) -> (u64, u64) {
     match phase {
@@ -46,6 +49,9 @@ fn pack_phase(phase: TracePhase) -> (u64, u64) {
         TracePhase::CheckpointLoad => (PH_CKPT_LOAD, 0),
         TracePhase::TileCompute { iteration } => (PH_TILE_COMPUTE, iteration),
         TracePhase::TileSteal => (PH_TILE_STEAL, 0),
+        TracePhase::JobQueued => (PH_JOB_QUEUED, 0),
+        TracePhase::JobStart => (PH_JOB_START, 0),
+        TracePhase::JobDone => (PH_JOB_DONE, 0),
     }
 }
 
@@ -61,6 +67,9 @@ fn unpack_phase(disc: u64, iteration: u64) -> TracePhase {
         PH_CKPT_LOAD => TracePhase::CheckpointLoad,
         PH_TILE_COMPUTE => TracePhase::TileCompute { iteration },
         PH_TILE_STEAL => TracePhase::TileSteal,
+        PH_JOB_QUEUED => TracePhase::JobQueued,
+        PH_JOB_START => TracePhase::JobStart,
+        PH_JOB_DONE => TracePhase::JobDone,
         _ => TracePhase::Barrier,
     }
 }
@@ -185,6 +194,9 @@ impl Recorder {
             ckpt_bytes: self.counter(Counter::CkptBytes),
             ckpt_generations: self.counter(Counter::CkptGenerations),
             tiles_stolen: self.counter(Counter::TilesStolen),
+            jobs_admitted: self.counter(Counter::JobsAdmitted),
+            jobs_rejected: self.counter(Counter::JobsRejected),
+            queue_depth: self.counter(Counter::QueueDepth),
         }
     }
 
@@ -317,6 +329,12 @@ pub struct CounterSnapshot {
     pub ckpt_generations: u64,
     /// Tile tasks stolen across tile-pool worker deques.
     pub tiles_stolen: u64,
+    /// Service jobs accepted past admission control.
+    pub jobs_admitted: u64,
+    /// Service jobs refused at admission (queue full / quota exhausted).
+    pub jobs_rejected: u64,
+    /// High-water mark of the scheduler's admission queue depth.
+    pub queue_depth: u64,
 }
 
 impl Deserialize for CounterSnapshot {
@@ -342,6 +360,9 @@ impl Deserialize for CounterSnapshot {
                 ckpt_bytes: field("ckpt_bytes")?,
                 ckpt_generations: field("ckpt_generations")?,
                 tiles_stolen: field("tiles_stolen")?,
+                jobs_admitted: field("jobs_admitted")?,
+                jobs_rejected: field("jobs_rejected")?,
+                queue_depth: field("queue_depth")?,
             }),
             other => Err(serde::DeError::expected(
                 "object for CounterSnapshot",

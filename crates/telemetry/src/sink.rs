@@ -43,11 +43,21 @@ pub enum Counter {
     /// Tile tasks a tile-pool worker stole from another worker's deque
     /// (load-balance traffic of the blocked-parallel executor).
     TilesStolen,
+    /// Service jobs accepted past admission control into the scheduler's
+    /// queue.
+    JobsAdmitted,
+    /// Service jobs refused at admission (queue full or tenant quota
+    /// exhausted) — the 429 path.
+    JobsRejected,
+    /// High-water mark of the scheduler's admission queue depth (peak
+    /// jobs simultaneously queued-or-running, maintained by the
+    /// scheduler under its admission lock).
+    QueueDepth,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 16] = [
         Counter::HaloBytes,
         Counter::SlabsSent,
         Counter::SlabsReceived,
@@ -61,6 +71,9 @@ impl Counter {
         Counter::CkptBytes,
         Counter::CkptGenerations,
         Counter::TilesStolen,
+        Counter::JobsAdmitted,
+        Counter::JobsRejected,
+        Counter::QueueDepth,
     ];
 
     /// Stable index into counter arrays.
@@ -79,6 +92,9 @@ impl Counter {
             Counter::CkptBytes => 10,
             Counter::CkptGenerations => 11,
             Counter::TilesStolen => 12,
+            Counter::JobsAdmitted => 13,
+            Counter::JobsRejected => 14,
+            Counter::QueueDepth => 15,
         }
     }
 
@@ -98,6 +114,9 @@ impl Counter {
             Counter::CkptBytes => "ckpt_bytes",
             Counter::CkptGenerations => "ckpt_generations",
             Counter::TilesStolen => "tiles_stolen",
+            Counter::JobsAdmitted => "jobs_admitted",
+            Counter::JobsRejected => "jobs_rejected",
+            Counter::QueueDepth => "queue_depth",
         }
     }
 }
