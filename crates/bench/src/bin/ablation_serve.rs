@@ -80,6 +80,7 @@ fn main() {
             workers: 1,
             max_queue: 16,
             quota: u64::MAX,
+            ..SchedulerConfig::default()
         }),
     )
     .expect("bind loopback");

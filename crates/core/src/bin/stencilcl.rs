@@ -64,7 +64,8 @@
 //!     produces the same grid digest an uninterrupted run would have.
 //!
 //! stencilcl serve [--addr HOST:PORT] [--max-jobs N] [--max-queue N]
-//!                 [--quota N]
+//!                 [--quota N] [--state-dir DIR] [--stall-timeout-ms N]
+//!                 [--max-auto-resumes N]
 //!     Run the multi-tenant job daemon: one persistent executor pool
 //!     (`--max-jobs` runners; 0 = host parallelism) shared by every
 //!     submitted job, a bounded admission queue (`--max-queue`), and a
@@ -75,7 +76,15 @@
 //!     GET /v1/jobs/<id>/events streams progress, POST /v1/jobs/<id>/cancel
 //!     aborts, GET /healthz and /metrics observe, POST /v1/shutdown drains
 //!     gracefully — in-flight checkpointed jobs seal their last barrier so
-//!     `stencilcl resume` finishes them bit-exact.
+//!     `stencilcl resume` finishes them bit-exact. With `--state-dir` the
+//!     daemon is crash-only: every admission is journalled (fsync) before
+//!     the job id is returned, jobs without a requested checkpoint dir
+//!     checkpoint under the state dir, and a reboot over the same
+//!     directory replays the journal, re-admits every unfinished job from
+//!     its last sealed generation, and keeps answering queries for jobs
+//!     that settled before the crash. `--stall-timeout-ms` arms a
+//!     watchdog that cancels any job whose progress heartbeat goes silent
+//!     and auto-resumes it up to `--max-auto-resumes` times.
 //!
 //! Every `STENCILCL_*` environment knob supplies a default; an explicit
 //! flag always wins over the env value, which is frozen at first read.
@@ -116,7 +125,8 @@ const USAGE: &str = "usage:
   stencilcl blocked  <file.stencil> [--tile N] [--block-depth N] [--threads N] [--lanes W]
                      [--deadline-ms N] [--health-bound X] [--ckpt-dir DIR] [--ckpt-every N]
   stencilcl resume   <ckpt-dir> [--deadline-ms N] [--retries N] [--report-json FILE]
-  stencilcl serve    [--addr HOST:PORT] [--max-jobs N] [--max-queue N] [--quota N]";
+  stencilcl serve    [--addr HOST:PORT] [--max-jobs N] [--max-queue N] [--quota N]
+                     [--state-dir DIR] [--stall-timeout-ms N] [--max-auto-resumes N]";
 
 fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or("missing command")?;
@@ -833,6 +843,21 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
                     .parse()
                     .map_err(|_| format!("--quota wants a count, got `{value}`"))?;
             }
+            "--state-dir" => cfg.state_dir = Some(PathBuf::from(value)),
+            "--stall-timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--stall-timeout-ms wants milliseconds, got `{value}`"))?;
+                if ms == 0 {
+                    return Err("--stall-timeout-ms must be at least 1".to_string());
+                }
+                cfg.stall_timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-auto-resumes" => {
+                cfg.max_auto_resumes = value
+                    .parse()
+                    .map_err(|_| format!("--max-auto-resumes wants a count, got `{value}`"))?;
+            }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -849,6 +874,25 @@ fn serve_cmd(args: &[String]) -> Result<String, String> {
         "  runners {} (0 = host parallelism), queue bound {}, tenant quota {}",
         cfg.workers, cfg.max_queue, cfg.quota
     );
+    match (&cfg.state_dir, cfg.stall_timeout) {
+        (Some(dir), Some(stall)) => println!(
+            "  crash-only: journal under {}, stall watchdog {}ms, {} auto-resume(s)",
+            dir.display(),
+            stall.as_millis(),
+            cfg.max_auto_resumes
+        ),
+        (Some(dir), None) => println!(
+            "  crash-only: journal under {}, watchdog disarmed, {} auto-resume(s)",
+            dir.display(),
+            cfg.max_auto_resumes
+        ),
+        (None, Some(stall)) => println!(
+            "  stall watchdog {}ms, {} auto-resume(s), no journal (memory-only)",
+            stall.as_millis(),
+            cfg.max_auto_resumes
+        ),
+        (None, None) => {}
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.wait();

@@ -1,0 +1,186 @@
+//! Crash-only durability at the process level: a journal-armed
+//! `stencilcl serve` process is SIGKILLed mid-job — no drain, no barrier
+//! seal, no goodbye — and a second incarnation over the same `--state-dir`
+//! replays the journal, re-admits the interrupted job from its last sealed
+//! checkpoint generation, and finishes it to the identical grid digest an
+//! uninterrupted `stencilcl run` prints. The client keeps the same job id
+//! across the crash and only observes a restart count.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use stencilcl_server::client::{get, post};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_stencilcl")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stencilcl-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Long enough that the daemon is always mid-run when the SIGKILL lands.
+fn write_stencil(dir: &Path) -> PathBuf {
+    let file = dir.join("heat.stencil");
+    std::fs::write(
+        &file,
+        "stencil heat { grid A[64][64] : f32; iterations 600;
+         A[i][j] = 0.5 * A[i][j] + 0.125 * (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]); }",
+    )
+    .unwrap();
+    file
+}
+
+/// Boots a journal-armed daemon on an ephemeral port and scrapes the
+/// resolved address from its first stdout line.
+fn boot_daemon(state: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--max-jobs",
+            "1",
+            "--state-dir",
+            state.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let listening = lines.next().unwrap().unwrap();
+    let addr: SocketAddr = listening
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in `{listening}`"))
+        .trim()
+        .parse()
+        .unwrap();
+    // Drain the rest of the banner on a throwaway thread so the child
+    // never blocks on a full stdout pipe.
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+fn field(body: &str, key: &str) -> Option<String> {
+    body.split(&format!("\"{key}\":\""))
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .map(str::to_string)
+}
+
+#[test]
+fn a_sigkilled_daemon_loses_no_admitted_work() {
+    let dir = scratch("sigkill");
+    let file = write_stencil(&dir);
+    let state = dir.join("state");
+
+    // Oracle: the digest of an uninterrupted run of the same program
+    // under the same design point.
+    let clean = Command::new(bin())
+        .arg("run")
+        .args([
+            file.to_str().unwrap(),
+            "--fused",
+            "2",
+            "--parallelism",
+            "2x2",
+            "--tile",
+            "8x8",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        clean.status.success(),
+        "clean run failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let clean_stdout = String::from_utf8_lossy(&clean.stdout).to_string();
+    let expect = clean_stdout
+        .lines()
+        .find(|l| l.starts_with("grid digest:"))
+        .and_then(|l| l.split_whitespace().last())
+        .unwrap_or_else(|| panic!("no grid digest in:\n{clean_stdout}"))
+        .to_string();
+
+    // First incarnation: submit with NO checkpoint options of its own —
+    // the journal-armed daemon must assign the durable store itself.
+    let (mut child, addr) = boot_daemon(&state);
+    let source = std::fs::read_to_string(&file).unwrap();
+    let body = format!(
+        r#"{{"tenant":"ops","source":{},"design":{{"kind":"pipe","fused":2,"parallelism":[2,2],"tile":[8,8]}},"options":{{}}}}"#,
+        serde_json::to_string(&source).unwrap(),
+    );
+    let resp = post(addr, "/v1/jobs", &body).expect("submit");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let job = field(&resp.body, "job").unwrap_or_else(|| panic!("no job id in {}", resp.body));
+
+    // Wait until the job has sealed at least one barrier's worth of
+    // progress, then SIGKILL the daemon — no drain, no cleanup.
+    let patience = Instant::now();
+    loop {
+        let status = get(addr, &format!("/v1/jobs/{job}")).expect("status");
+        if status.body.contains("\"phase\":\"Running\"")
+            && !status.body.contains("\"completed_iterations\":0,")
+        {
+            break;
+        }
+        assert!(
+            !status.body.contains("\"Done\""),
+            "job finished before the kill: {}",
+            status.body
+        );
+        assert!(
+            patience.elapsed() < Duration::from_secs(60),
+            "no progress within 60 s: {}",
+            status.body
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL the daemon");
+    let _ = child.wait();
+
+    // Second incarnation over the same state dir: the journal re-admits
+    // the job under the same id; the client just keeps polling.
+    let (mut child, addr) = boot_daemon(&state);
+    let status = get(addr, &format!("/v1/jobs/{job}")).expect("recovered status");
+    assert_eq!(
+        status.status, 200,
+        "rebooted daemon 404ed the journalled job: {}",
+        status.body
+    );
+    assert!(
+        status.body.contains("\"recovered\":true"),
+        "job not marked recovered: {}",
+        status.body
+    );
+
+    let resp = get(addr, &format!("/v1/jobs/{job}/result?wait_ms=60000")).expect("result");
+    assert_eq!(resp.status, 200, "resumed job never sealed: {}", resp.body);
+    assert!(
+        resp.body.contains("\"phase\":\"Done\""),
+        "resumed job failed: {}",
+        resp.body
+    );
+    let digest =
+        field(&resp.body, "digest").unwrap_or_else(|| panic!("no digest in {}", resp.body));
+    assert_eq!(digest, expect, "resume diverged from the oracle");
+
+    let status = get(addr, &format!("/v1/jobs/{job}")).expect("final status");
+    assert!(
+        !status.body.contains("\"restarts\":0"),
+        "restart count not reported: {}",
+        status.body
+    );
+
+    child.kill().expect("stop the second daemon");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

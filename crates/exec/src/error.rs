@@ -100,6 +100,19 @@ pub enum ExecError {
         /// cancellation was observed.
         completed: u64,
     },
+    /// The scheduler's stuck-job watchdog saw the job's `Progress`
+    /// heartbeat go silent past its stall timeout, cancelled the run, and
+    /// spent the whole auto-resume budget without the job ever finishing.
+    /// Unlike [`ExecError::PipeStall`] (one attempt's wedged pipe, absorbed
+    /// by the supervisor's retry ladder), this is the *job-level* terminal
+    /// verdict: every resume from the latest sealed generation stalled
+    /// again.
+    JobStalled {
+        /// Iterations fully completed and checkpointed across all attempts.
+        completed: u64,
+        /// Auto-resume attempts spent before giving up.
+        resumes: u32,
+    },
     /// No checkpoint generation in the store could be resumed: either the
     /// newest intact manifest describes a different program (its sealed
     /// program hash does not match the one being resumed), or every
@@ -109,6 +122,30 @@ pub enum ExecError {
         /// Per-generation diagnostics from the fallback ladder.
         detail: String,
     },
+}
+
+impl ExecError {
+    /// Stable machine-readable tag, identical to the `kind` field of the
+    /// serialized JSON shape. Job-history consumers match on this without
+    /// re-parsing diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::Lang(_) => "Lang",
+            ExecError::Grid(_) => "Grid",
+            ExecError::DiagonalAccess { .. } => "DiagonalAccess",
+            ExecError::BadConfiguration { .. } => "BadConfiguration",
+            ExecError::WorkerPanic { .. } => "WorkerPanic",
+            ExecError::PipeStall { .. } => "PipeStall",
+            ExecError::Cancelled => "Cancelled",
+            ExecError::RetriesExhausted { .. } => "RetriesExhausted",
+            ExecError::SlabCorrupt { .. } => "SlabCorrupt",
+            ExecError::NumericDivergence { .. } => "NumericDivergence",
+            ExecError::DeadlineExceeded { .. } => "DeadlineExceeded",
+            ExecError::JobCancelled { .. } => "JobCancelled",
+            ExecError::JobStalled { .. } => "JobStalled",
+            ExecError::CheckpointMismatch { .. } => "CheckpointMismatch",
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -172,6 +209,14 @@ impl fmt::Display for ExecError {
             ExecError::JobCancelled { completed } => {
                 write!(f, "job cancelled after {completed} completed iteration(s)")
             }
+            ExecError::JobStalled { completed, resumes } => {
+                write!(
+                    f,
+                    "job stalled: no progress heartbeat within the watchdog \
+                     timeout after {completed} completed iteration(s) and \
+                     {resumes} auto-resume(s)"
+                )
+            }
             ExecError::CheckpointMismatch { detail } => {
                 write!(f, "no resumable checkpoint generation: {detail}")
             }
@@ -184,23 +229,11 @@ impl fmt::Display for ExecError {
 // consumers match on the tag without re-parsing diagnostics.
 impl serde::Serialize for ExecError {
     fn to_value(&self) -> serde::Value {
-        let kind = match self {
-            ExecError::Lang(_) => "Lang",
-            ExecError::Grid(_) => "Grid",
-            ExecError::DiagonalAccess { .. } => "DiagonalAccess",
-            ExecError::BadConfiguration { .. } => "BadConfiguration",
-            ExecError::WorkerPanic { .. } => "WorkerPanic",
-            ExecError::PipeStall { .. } => "PipeStall",
-            ExecError::Cancelled => "Cancelled",
-            ExecError::RetriesExhausted { .. } => "RetriesExhausted",
-            ExecError::SlabCorrupt { .. } => "SlabCorrupt",
-            ExecError::NumericDivergence { .. } => "NumericDivergence",
-            ExecError::DeadlineExceeded { .. } => "DeadlineExceeded",
-            ExecError::JobCancelled { .. } => "JobCancelled",
-            ExecError::CheckpointMismatch { .. } => "CheckpointMismatch",
-        };
         serde::Value::Object(vec![
-            ("kind".to_string(), serde::Value::Str(kind.to_string())),
+            (
+                "kind".to_string(),
+                serde::Value::Str(self.kind().to_string()),
+            ),
             ("message".to_string(), serde::Value::Str(self.to_string())),
         ])
     }
@@ -303,6 +336,22 @@ mod tests {
         assert!(t.to_string().contains("deadline"));
         assert!(t.to_string().contains('9'));
         assert!(t.source().is_none());
+    }
+
+    #[test]
+    fn job_stalled_reports_its_budget() {
+        use std::error::Error;
+        let e = ExecError::JobStalled {
+            completed: 12,
+            resumes: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("stalled"));
+        assert!(msg.contains("12 completed"));
+        assert!(msg.contains("2 auto-resume"));
+        assert!(e.source().is_none());
+        let json = serde_json::to_string(&e).expect("serialize");
+        assert!(json.contains("\"kind\":\"JobStalled\""), "{json}");
     }
 
     #[test]

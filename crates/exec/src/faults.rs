@@ -61,6 +61,17 @@ pub enum FaultKind {
     /// protocol must abort before the atomic rename, leaving no new
     /// generation (and every old generation intact).
     FsyncFail,
+    /// Job-level fault: the pool runner that picks the job up panics
+    /// before entering the supervisor. [`ExecPool`](crate::ExecPool) must
+    /// catch the dead runner, respawn it, and requeue the victim job —
+    /// the service-plane twin of [`FaultKind::WorkerPanic`].
+    RunnerPanicAtJob,
+    /// Job-level fault: the pool runner wedges for this many milliseconds
+    /// before entering the supervisor, emitting no `Progress` heartbeat —
+    /// the trigger shape a scheduler-side stuck-job watchdog must detect
+    /// and cancel. The wedge is cancellation-aware, so a watchdog's
+    /// `CancelHandle` drains it promptly.
+    StallJob(u64),
 }
 
 impl fmt::Display for FaultKind {
@@ -77,6 +88,8 @@ impl fmt::Display for FaultKind {
                 write!(f, "corrupted checkpoint generation {generation}")
             }
             FaultKind::FsyncFail => f.write_str("checkpoint fsync failure"),
+            FaultKind::RunnerPanicAtJob => f.write_str("runner panic at job pickup"),
+            FaultKind::StallJob(ms) => write!(f, "stalled job ({ms} ms silent)"),
         }
     }
 }
@@ -115,6 +128,14 @@ mod plan {
         fired: AtomicBool,
     }
 
+    /// One armed job-level fault: fires when a pool runner picks a job up,
+    /// once, in insertion order.
+    #[derive(Debug)]
+    struct ArmedJob {
+        kind: FaultKind,
+        fired: AtomicBool,
+    }
+
     /// A deterministic schedule of executor faults (see the module docs).
     ///
     /// Built with [`FaultPlan::inject`] and handed to
@@ -125,6 +146,7 @@ mod plan {
     pub struct FaultPlan {
         faults: Vec<Armed>,
         io_faults: Vec<ArmedIo>,
+        job_faults: Vec<ArmedJob>,
     }
 
     impl FaultPlan {
@@ -214,6 +236,46 @@ mod plan {
                 .count()
         }
 
+        /// Arms a one-shot job-level fault ([`FaultKind::RunnerPanicAtJob`],
+        /// [`FaultKind::StallJob`]), fired by the pool runner that picks the
+        /// next job up. Non-job kinds are rejected at arm time so a
+        /// misrouted trigger cannot silently never fire.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `kind` is not a job-level fault.
+        #[must_use]
+        pub fn inject_job(mut self, kind: FaultKind) -> Self {
+            assert!(
+                matches!(kind, FaultKind::RunnerPanicAtJob | FaultKind::StallJob(_)),
+                "inject_job takes job-level fault kinds, got {kind:?}"
+            );
+            self.job_faults.push(ArmedJob {
+                kind,
+                fired: AtomicBool::new(false),
+            });
+            self
+        }
+
+        /// How many job-level faults have fired so far.
+        pub fn job_fired(&self) -> usize {
+            self.job_faults
+                .iter()
+                .filter(|f| f.fired.load(Ordering::SeqCst))
+                .count()
+        }
+
+        /// One-shot trigger check at job pickup. At most one armed entry
+        /// fires per call, in insertion order.
+        pub(crate) fn fire_job(&self) -> Option<FaultKind> {
+            self.job_faults.iter().find_map(|f| {
+                f.fired
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                    .then_some(f.kind)
+            })
+        }
+
         /// One-shot trigger check for checkpoint I/O: `op` is what the
         /// store is doing and `generation` the generation it touches. At
         /// most one armed entry fires per call, in insertion order.
@@ -258,6 +320,11 @@ mod plan {
 
         #[inline]
         pub(crate) fn fire_io(&self, _op: IoOp, _generation: u64) -> Option<FaultKind> {
+            None
+        }
+
+        #[inline]
+        pub(crate) fn fire_job(&self) -> Option<FaultKind> {
             None
         }
     }
@@ -336,6 +403,34 @@ mod tests {
         let _ = FaultPlan::new().inject_io(FaultKind::WorkerPanic);
     }
 
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn job_faults_fire_once_in_insertion_order() {
+        let plan = FaultPlan::new()
+            .inject_job(FaultKind::StallJob(50))
+            .inject_job(FaultKind::RunnerPanicAtJob);
+        assert_eq!(plan.fire_job(), Some(FaultKind::StallJob(50)));
+        assert_eq!(plan.fire_job(), Some(FaultKind::RunnerPanicAtJob));
+        assert_eq!(plan.fire_job(), None);
+        assert_eq!(plan.job_fired(), 2);
+        // Block and I/O accounting are untouched.
+        assert_eq!(plan.fired(), 0);
+        assert_eq!(plan.io_fired(), 0);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    #[should_panic(expected = "job-level fault")]
+    fn non_job_kinds_are_rejected_at_arm_time() {
+        let _ = FaultPlan::new().inject_job(FaultKind::FsyncFail);
+    }
+
+    #[test]
+    fn job_fault_kinds_display() {
+        assert!(FaultKind::RunnerPanicAtJob.to_string().contains("runner"));
+        assert!(FaultKind::StallJob(75).to_string().contains("75 ms"));
+    }
+
     #[cfg(not(feature = "fault-injection"))]
     #[test]
     fn disabled_plan_never_fires() {
@@ -344,5 +439,6 @@ mod tests {
         assert_eq!(plan.fire(3, 7), None);
         assert_eq!(plan.fire_io(IoOp::Write, 0), None);
         assert_eq!(plan.fire_io(IoOp::Read, 0), None);
+        assert_eq!(plan.fire_job(), None);
     }
 }

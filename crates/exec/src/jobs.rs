@@ -23,17 +23,20 @@
 //! instead of burning retries on work nobody wants anymore.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use stencilcl_grid::Partition;
 use stencilcl_lang::{GridState, Program};
 
+use crate::faults::FaultKind;
 use crate::options::ExecOptions;
-use crate::supervise::{run_supervised_full, RunReport};
+use crate::supervise::{dispatch_with, RecoveryPath, ResumeBase, RunReport};
 use crate::ExecError;
 
 /// External cooperative cancellation of one run. Clone freely: every clone
@@ -99,6 +102,13 @@ pub struct JobSpec {
     /// Per-job options — engine, policy (deadline!), cancel handle,
     /// progress hook, per-job trace recorder, checkpoint policy.
     pub opts: ExecOptions,
+    /// When set, the runner first tries to resume from the newest sealed
+    /// checkpoint generation in this directory (replacing `state` with the
+    /// restored grids); when nothing there is resumable — the previous
+    /// incarnation died before its first sealed barrier — it falls back to
+    /// running `state` fresh. The crash-only re-enqueue seam: a recovered
+    /// job and a first-time job enter the pool through the same door.
+    pub resume_dir: Option<PathBuf>,
 }
 
 /// What a runner does right before starting a job: notify the submitter
@@ -125,6 +135,56 @@ struct PoolJob {
     spec: Box<JobSpec>,
     on_start: Option<OnStart>,
     on_done: OnDone,
+    /// Times this job was requeued after its runner died with an escaped
+    /// panic. Past the pool's requeue limit the job fails instead.
+    requeues: u32,
+}
+
+/// Everything a runner thread needs to run jobs, requeue a panic's victim,
+/// and respawn a replacement for itself — shared by the pool and every
+/// runner (original or respawned).
+#[derive(Clone)]
+struct RunnerCtx {
+    rx: Receiver<PoolJob>,
+    /// The pool's long-lived sender, used transiently by panic recovery to
+    /// requeue the victim job. Taken (set to `None`) at drain so blocked
+    /// `recv()`s observe channel closure — runners themselves never hold a
+    /// persistent `Sender`.
+    tx: Arc<Mutex<Option<Sender<PoolJob>>>>,
+    busy: Arc<AtomicUsize>,
+    respawned: Arc<AtomicUsize>,
+    runners: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Name sequence for respawned runner threads.
+    seq: Arc<AtomicUsize>,
+    max_requeues: u32,
+}
+
+impl RunnerCtx {
+    /// Spawns a replacement runner thread (the current one is dying with an
+    /// escaped panic) and registers its handle for drain-time joining.
+    fn respawn(&self) {
+        let ctx = self.clone();
+        let i = self.seq.fetch_add(1, Ordering::SeqCst);
+        // Count before the spawn: the replacement may run, die, and deliver
+        // an outcome before this dying thread resumes, and anyone that
+        // delivery wakes must already observe this respawn.
+        self.respawned.fetch_add(1, Ordering::SeqCst);
+        match thread::Builder::new()
+            .name(format!("stencil-job-runner-r{i}"))
+            .spawn(move || runner_loop(&ctx))
+        {
+            Ok(h) => {
+                self.runners
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(h);
+            }
+            Err(e) => {
+                self.respawned.fetch_sub(1, Ordering::SeqCst);
+                eprintln!("[stencilcl] failed to respawn job runner: {e}");
+            }
+        }
+    }
 }
 
 /// A persistent pool of job-runner threads that multiplexes submitted
@@ -134,46 +194,66 @@ struct PoolJob {
 /// ([`run_supervised_full`](crate::run_supervised_full)) for one job at a
 /// time.
 ///
+/// Runners are themselves supervised: a runner that dies with an escaped
+/// panic mid-job is detected on its own unwind path, a replacement thread
+/// is spawned to keep the concurrency budget whole, and the victim job is
+/// requeued — up to [`ExecPool::with_requeue_limit`]'s bound, after which
+/// the job's outcome seals as [`ExecError::WorkerPanic`] instead of being
+/// silently lost.
+///
 /// Dropping the pool (or calling [`ExecPool::shutdown`]) closes the
 /// submission channel and joins every runner; jobs already submitted still
 /// run to completion first. A daemon draining *faster* than that cancels
 /// in-flight jobs through their [`CancelHandle`]s before shutting down.
 pub struct ExecPool {
-    tx: Option<Sender<PoolJob>>,
-    runners: Vec<JoinHandle<()>>,
-    busy: Arc<AtomicUsize>,
+    ctx: RunnerCtx,
+    workers: usize,
 }
 
 impl fmt::Debug for ExecPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ExecPool")
-            .field("runners", &self.runners.len())
-            .field("busy", &self.busy.load(Ordering::SeqCst))
+            .field("runners", &self.workers)
+            .field("busy", &self.ctx.busy.load(Ordering::SeqCst))
+            .field("respawned", &self.ctx.respawned.load(Ordering::SeqCst))
             .finish()
     }
 }
 
 impl ExecPool {
-    /// Spawns `workers` (≥ 1, clamped) persistent runner threads.
+    /// Spawns `workers` (≥ 1, clamped) persistent runner threads with the
+    /// default panic-requeue budget of 2 per job.
     pub fn new(workers: usize) -> ExecPool {
+        ExecPool::with_requeue_limit(workers, 2)
+    }
+
+    /// [`ExecPool::new`] with an explicit bound on how many times one job
+    /// may be requeued after killing its runner with an escaped panic.
+    pub fn with_requeue_limit(workers: usize, max_requeues: u32) -> ExecPool {
         let workers = workers.max(1);
         let (tx, rx) = unbounded::<PoolJob>();
-        let busy = Arc::new(AtomicUsize::new(0));
-        let runners = (0..workers)
-            .map(|i| {
-                let rx: Receiver<PoolJob> = rx.clone();
-                let busy = Arc::clone(&busy);
-                thread::Builder::new()
-                    .name(format!("stencil-job-runner-{i}"))
-                    .spawn(move || runner_loop(&rx, &busy))
-                    .expect("spawn job runner")
-            })
-            .collect();
-        ExecPool {
-            tx: Some(tx),
-            runners,
-            busy,
+        let ctx = RunnerCtx {
+            rx,
+            tx: Arc::new(Mutex::new(Some(tx))),
+            busy: Arc::new(AtomicUsize::new(0)),
+            respawned: Arc::new(AtomicUsize::new(0)),
+            runners: Arc::new(Mutex::new(Vec::with_capacity(workers))),
+            seq: Arc::new(AtomicUsize::new(0)),
+            max_requeues,
+        };
+        {
+            let mut runners = ctx.runners.lock().unwrap_or_else(PoisonError::into_inner);
+            for i in 0..workers {
+                let ctx = ctx.clone();
+                runners.push(
+                    thread::Builder::new()
+                        .name(format!("stencil-job-runner-{i}"))
+                        .spawn(move || runner_loop(&ctx))
+                        .expect("spawn job runner"),
+                );
+            }
         }
+        ExecPool { ctx, workers }
     }
 
     /// A pool sized to the host's available parallelism.
@@ -184,12 +264,17 @@ impl ExecPool {
 
     /// Number of runner threads (the concurrency budget).
     pub fn workers(&self) -> usize {
-        self.runners.len()
+        self.workers
     }
 
     /// Runners currently executing a job.
     pub fn busy(&self) -> usize {
-        self.busy.load(Ordering::SeqCst)
+        self.ctx.busy.load(Ordering::SeqCst)
+    }
+
+    /// Runner threads respawned after dying with an escaped panic.
+    pub fn respawned(&self) -> usize {
+        self.ctx.respawned.load(Ordering::SeqCst)
     }
 
     /// Submits a job; `on_done` runs on the runner thread right after the
@@ -212,7 +297,8 @@ impl ExecPool {
     }
 
     fn enqueue(&self, spec: JobSpec, on_start: Option<OnStart>, on_done: OnDone) {
-        let tx = self.tx.as_ref().expect("pool already shut down");
+        let tx = self.ctx.tx.lock().unwrap_or_else(PoisonError::into_inner);
+        let tx = tx.as_ref().expect("pool already shut down");
         // A send can only fail if every runner died, which only happens
         // after shutdown took `tx`; treat it as a bug loudly.
         assert!(
@@ -220,6 +306,7 @@ impl ExecPool {
                 spec: Box::new(spec),
                 on_start,
                 on_done,
+                requeues: 0,
             })
             .is_ok(),
             "job pool runners gone"
@@ -243,15 +330,37 @@ impl ExecPool {
     }
 
     fn drain_and_join(&mut self) {
-        drop(self.tx.take());
+        drop(
+            self.ctx
+                .tx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(),
+        );
         let me = thread::current().id();
-        for h in self.runners.drain(..) {
-            // A runner can end up dropping the pool itself (e.g. its job
-            // callback held the last reference to the pool's owner); a
-            // thread cannot join itself, so that runner is detached — it
-            // exits on its own once the closed channel drains.
-            if h.thread().id() != me {
-                let _ = h.join();
+        // Joined runners may respawn replacements on their way down (a
+        // panic guard runs before the thread exits), so loop until the
+        // handle list stays empty.
+        loop {
+            let handles = std::mem::take(
+                &mut *self
+                    .ctx
+                    .runners
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                // A runner can end up dropping the pool itself (e.g. its
+                // job callback held the last reference to the pool's
+                // owner); a thread cannot join itself, so that runner is
+                // detached — it exits on its own once the closed channel
+                // drains.
+                if h.thread().id() != me {
+                    let _ = h.join();
+                }
             }
         }
     }
@@ -284,36 +393,156 @@ impl JobWaiter {
     }
 }
 
-fn runner_loop(rx: &Receiver<PoolJob>, busy: &AtomicUsize) {
-    while let Ok(job) = rx.recv() {
-        busy.fetch_add(1, Ordering::SeqCst);
-        let PoolJob {
-            spec,
-            on_start,
-            on_done,
-        } = job;
-        if let Some(f) = on_start {
+fn runner_loop(ctx: &RunnerCtx) {
+    while let Ok(job) = ctx.rx.recv() {
+        ctx.busy.fetch_add(1, Ordering::SeqCst);
+        let mut guard = RunGuard {
+            job: Some(job),
+            ctx: ctx.clone(),
+        };
+        run_one(&mut guard);
+        ctx.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs one pooled job to its outcome. Called under a [`RunGuard`]: if
+/// anything in here panics, the guard's `Drop` requeues (or seals) the job
+/// and respawns a replacement runner.
+fn run_one(guard: &mut RunGuard) {
+    {
+        let job = guard.job.as_mut().expect("guard holds the job");
+        if let Some(f) = job.on_start.take() {
             f();
         }
-        let JobSpec {
-            program,
-            partition,
-            mut state,
-            opts,
-        } = *spec;
-        let (report, result) = run_supervised_full(&program, &partition, &mut state, &opts);
-        on_done(JobOutcome {
+        match job.spec.opts.faults.fire_job() {
+            Some(FaultKind::RunnerPanicAtJob) => {
+                panic!("injected fault: runner panic at job pickup")
+            }
+            Some(FaultKind::StallJob(ms)) => stall(&job.spec.opts, ms),
+            _ => {}
+        }
+    }
+    let (report, result) = {
+        let job = guard.job.as_mut().expect("guard holds the job");
+        execute(&mut job.spec)
+    };
+    // Past this point the job is settled: disarm the guard so a panic
+    // inside `on_done` cannot re-run a finished job.
+    let job = guard.job.take().expect("guard holds the job");
+    let JobSpec { state, .. } = *job.spec;
+    let _ = catch_unwind(AssertUnwindSafe(move || {
+        (job.on_done)(JobOutcome {
             state,
             report,
             result,
         });
-        busy.fetch_sub(1, Ordering::SeqCst);
+    }));
+}
+
+/// Dispatches one job through the supervisor — resume-first when the spec
+/// carries a `resume_dir`, falling back to a fresh run when nothing there
+/// is resumable yet.
+fn execute(spec: &mut JobSpec) -> (RunReport, Result<(), ExecError>) {
+    let faults = Arc::clone(&spec.opts.faults);
+    if let Some(dir) = spec.resume_dir.clone() {
+        match crate::persist::resume_impl(&spec.program, &spec.partition, &dir, &spec.opts, &faults)
+        {
+            Ok((state, report, result)) => {
+                spec.state = state;
+                return (report, result);
+            }
+            Err(e) => {
+                eprintln!("[stencilcl] job resume fell back to a fresh run: {e}");
+            }
+        }
+    }
+    dispatch_with(
+        &spec.program,
+        &spec.partition,
+        &mut spec.state,
+        &spec.opts,
+        &faults,
+        ResumeBase::default(),
+    )
+}
+
+/// The injected [`FaultKind::StallJob`] body: go silent (no progress
+/// callbacks, no barriers) for `ms`, but stay responsive to the job's
+/// cancel handle so a watchdog-fired cancellation still lands promptly.
+fn stall(opts: &ExecOptions, ms: u64) {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < deadline {
+        if opts.cancel.as_ref().is_some_and(CancelHandle::is_cancelled) {
+            return;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Panic containment for one in-flight job. While armed (holding the job),
+/// an unwind through the runner requeues the job — bounded by the pool's
+/// requeue limit, past which the outcome seals as
+/// [`ExecError::WorkerPanic`] — and respawns a replacement runner thread so
+/// the concurrency budget survives the loss.
+struct RunGuard {
+    job: Option<PoolJob>,
+    ctx: RunnerCtx,
+}
+
+impl Drop for RunGuard {
+    fn drop(&mut self) {
+        let Some(mut job) = self.job.take() else {
+            return;
+        };
+        if !thread::panicking() {
+            return;
+        }
+        // The runner_loop's matching fetch_sub never runs on this thread
+        // again — the unwind is killing it — so settle the count here.
+        self.ctx.busy.fetch_sub(1, Ordering::SeqCst);
+        job.requeues += 1;
+        if job.requeues <= self.ctx.max_requeues {
+            // Requeue through a transient clone of the pool's sender —
+            // runners never hold one persistently, so a drained pool's
+            // channel still closes. A `None` here means the pool is
+            // draining: nothing will pick the job up, so seal it below.
+            let tx = self
+                .ctx
+                .tx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            if let Some(tx) = tx {
+                match tx.send(job) {
+                    Ok(()) => {
+                        self.ctx.respawn();
+                        return;
+                    }
+                    Err(back) => job = back.0,
+                }
+            }
+        }
+        // Respawn before delivering the outcome: anyone the delivery wakes
+        // must already observe the replaced runner.
+        self.ctx.respawn();
+        let PoolJob { spec, on_done, .. } = job;
+        let JobSpec { state, .. } = *spec;
+        let outcome = JobOutcome {
+            state,
+            report: RunReport {
+                attempts: Vec::new(),
+                path: RecoveryPath::Threaded,
+            },
+            result: Err(ExecError::WorkerPanic { kernel: 0 }),
+        };
+        let _ = catch_unwind(AssertUnwindSafe(move || on_done(outcome)));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_supervised_full;
     use stencilcl_grid::{Design, DesignKind, Extent, Point};
     use stencilcl_lang::{programs, StencilFeatures};
 
@@ -351,6 +580,7 @@ mod tests {
                     partition: partition.clone(),
                     state: GridState::new(&program, init),
                     opts: ExecOptions::default(),
+                    resume_dir: None,
                 })
             })
             .collect();
@@ -383,6 +613,7 @@ mod tests {
                 init,
             ),
             opts,
+            resume_dir: None,
         });
         // Let at least one barrier land, then cancel.
         while progressed.load(Ordering::SeqCst) == 0 {
@@ -407,5 +638,98 @@ mod tests {
             assert_eq!(pool.workers(), 3);
         }
         assert_eq!(crate::live_workers(), before);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod chaos {
+        use super::*;
+        use crate::faults::{FaultKind, FaultPlan};
+
+        #[test]
+        fn runner_panic_respawns_and_the_job_still_completes_bit_exact() {
+            let (program, partition) = spec(6);
+            let mut oracle = GridState::new(&program, init);
+            let (_, result) =
+                run_supervised_full(&program, &partition, &mut oracle, &ExecOptions::default());
+            result.unwrap();
+
+            let plan = FaultPlan::new().inject_job(FaultKind::RunnerPanicAtJob);
+            let pool = ExecPool::new(1);
+            let waiter = pool.submit_waiter(JobSpec {
+                program,
+                partition,
+                state: GridState::new(
+                    &programs::jacobi_2d().with_extent(Extent::new2(24, 24)),
+                    init,
+                ),
+                opts: ExecOptions::default().faults(Arc::new(plan)),
+                resume_dir: None,
+            });
+            let out = waiter.wait();
+            out.result.unwrap();
+            assert_eq!(out.state.digest(), oracle.digest());
+            assert_eq!(pool.respawned(), 1, "one replacement runner spawned");
+            pool.shutdown();
+        }
+
+        #[test]
+        fn requeue_budget_exhaustion_seals_the_job_as_worker_panic() {
+            let (program, partition) = spec(6);
+            let plan = FaultPlan::new()
+                .inject_job(FaultKind::RunnerPanicAtJob)
+                .inject_job(FaultKind::RunnerPanicAtJob);
+            // Budget of one requeue: the first panic requeues, the second
+            // (the injected schedule re-fires on pickup) exhausts it.
+            let pool = ExecPool::with_requeue_limit(1, 1);
+            let waiter = pool.submit_waiter(JobSpec {
+                program,
+                partition,
+                state: GridState::new(
+                    &programs::jacobi_2d().with_extent(Extent::new2(24, 24)),
+                    init,
+                ),
+                opts: ExecOptions::default().faults(Arc::new(plan)),
+                resume_dir: None,
+            });
+            let out = waiter.wait();
+            match out.result {
+                Err(ExecError::WorkerPanic { .. }) => {}
+                other => panic!("expected WorkerPanic after budget exhaustion, got {other:?}"),
+            }
+            assert_eq!(pool.respawned(), 2, "both dead runners were replaced");
+            pool.shutdown();
+        }
+
+        #[test]
+        fn stalled_job_stays_responsive_to_cancellation() {
+            let (program, partition) = spec(100_000);
+            let plan = FaultPlan::new().inject_job(FaultKind::StallJob(60_000));
+            let cancel = CancelHandle::new();
+            let pool = ExecPool::new(1);
+            let waiter = pool.submit_waiter(JobSpec {
+                program,
+                partition,
+                state: GridState::new(
+                    &programs::jacobi_2d().with_extent(Extent::new2(24, 24)),
+                    init,
+                ),
+                opts: ExecOptions::default()
+                    .cancel(cancel.clone())
+                    .faults(Arc::new(plan)),
+                resume_dir: None,
+            });
+            // The stall fires before the first barrier; cancel must cut
+            // through it long before the 60 s stall elapses.
+            thread::sleep(Duration::from_millis(20));
+            cancel.cancel();
+            let out = waiter
+                .wait_timeout(Duration::from_secs(10))
+                .expect("cancel cut through the injected stall");
+            match out.result {
+                Err(ExecError::JobCancelled { .. }) => {}
+                other => panic!("expected JobCancelled, got {other:?}"),
+            }
+            pool.shutdown();
+        }
     }
 }

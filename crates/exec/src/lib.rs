@@ -126,9 +126,7 @@ pub use blocked_parallel::run_blocked_parallel_injected;
 pub use blocked_parallel::{run_blocked_parallel, run_blocked_parallel_opts};
 pub use domains::DomainPlan;
 pub use error::ExecError;
-pub use faults::FaultKind;
-#[cfg(feature = "fault-injection")]
-pub use faults::FaultPlan;
+pub use faults::{FaultKind, FaultPlan};
 pub use integrity::{HealthMode, HealthPolicy};
 pub use jobs::{CancelHandle, ExecPool, JobOutcome, JobSpec, JobWaiter, Progress};
 pub use options::{EngineKind, ExecOptions};

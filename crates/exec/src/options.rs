@@ -6,8 +6,11 @@
 //! programmatically — the bench A/B harness, tests, the CLI — passes an
 //! explicit [`ExecOptions`] instead of mutating process env.
 
+use std::sync::Arc;
+
 use stencilcl_telemetry::{EnvConfig, Recorder};
 
+use crate::faults::FaultPlan;
 use crate::integrity::HealthPolicy;
 use crate::jobs::{CancelHandle, Progress};
 use crate::persist::CheckpointPolicy;
@@ -92,6 +95,11 @@ pub struct ExecOptions {
     /// iteration count each time a fused-block barrier lands — the feed
     /// behind the service's streamed job events. `None` by default.
     pub progress: Option<Progress>,
+    /// Deterministic fault schedule riding with the job into
+    /// [`ExecPool`](crate::ExecPool) runners — the chaos-testing seam for
+    /// job-level faults (runner panics, silent stalls). Empty by default;
+    /// without the `fault-injection` feature this is a zero-sized no-op.
+    pub faults: Arc<FaultPlan>,
 }
 
 impl ExecOptions {
@@ -139,6 +147,7 @@ impl ExecOptions {
             checkpoint: CheckpointPolicy::from_config(cfg),
             cancel: None,
             progress: None,
+            faults: Arc::new(FaultPlan::new()),
         }
     }
 
@@ -204,6 +213,13 @@ impl ExecOptions {
     #[must_use]
     pub fn progress(mut self, progress: Progress) -> ExecOptions {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Attaches a deterministic fault schedule for pooled runs.
+    #[must_use]
+    pub fn faults(mut self, faults: Arc<FaultPlan>) -> ExecOptions {
+        self.faults = faults;
         self
     }
 

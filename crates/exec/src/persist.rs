@@ -79,6 +79,11 @@ pub struct CheckpointPolicy {
     /// passed since the last one, even mid-stride. `None` disables the
     /// wall-clock cadence.
     pub every_wall: Option<Duration>,
+    /// Whether a successful run seals one last generation at completion.
+    /// Callers that record completion elsewhere (the service journals the
+    /// terminal digest) can turn this off so short jobs whose cadence
+    /// never fired pay no seal at all.
+    pub final_seal: bool,
     /// Newest generations kept on disk; older ones are pruned after each
     /// successful seal (≥ 1). More generations deepen the corruption
     /// fallback ladder at the cost of disk.
@@ -96,6 +101,7 @@ impl Default for CheckpointPolicy {
         CheckpointPolicy {
             every_barriers: 1,
             every_wall: None,
+            final_seal: true,
             keep_generations: 3,
             dir: None,
             design: None,
@@ -131,6 +137,13 @@ impl CheckpointPolicy {
     #[must_use]
     pub fn keep_generations(mut self, n: usize) -> Self {
         self.keep_generations = n;
+        self
+    }
+
+    /// Disables the completion-time seal (see [`CheckpointPolicy::final_seal`]).
+    #[must_use]
+    pub fn no_final_seal(mut self) -> Self {
+        self.final_seal = false;
         self
     }
 
@@ -707,6 +720,7 @@ pub(crate) struct CheckpointWriter {
     seal: SealWorker,
     every_barriers: u64,
     every_wall: Option<Duration>,
+    final_seal: bool,
     /// The resuming-compatible program at the *global* iteration target.
     program: Program,
     program_hash: u64,
@@ -758,6 +772,7 @@ impl CheckpointWriter {
             design: opts.checkpoint.design.clone(),
             every_barriers: opts.checkpoint.every_barriers.max(1),
             every_wall: opts.checkpoint.every_wall,
+            final_seal: opts.checkpoint.final_seal,
             program: target,
             total_iterations: total,
             base_iterations: base.iterations,
@@ -811,7 +826,7 @@ impl CheckpointWriter {
     /// Seals the final generation of a successful run (skipped when the
     /// cadence already sealed the last barrier).
     pub(crate) fn finalize<S: TraceSink>(&self, state: &GridState, blocks_global: u64, sink: &S) {
-        if self.last_sealed.get() == Some(self.total_iterations) {
+        if !self.final_seal || self.last_sealed.get() == Some(self.total_iterations) {
             return;
         }
         self.write(state, self.total_iterations, blocks_global, sink);
@@ -947,7 +962,7 @@ pub fn resume_supervised_injected_full(
     resume_impl(program, partition, dir, opts, faults)
 }
 
-fn resume_impl(
+pub(crate) fn resume_impl(
     program: &Program,
     partition: &Partition,
     dir: &Path,

@@ -711,13 +711,17 @@ fn worker_loop<S: TraceSink>(
             }
             Some(FaultKind::CorruptStepTag) => corrupt_tags = true,
             Some(FaultKind::CorruptPayload) => corrupt_payload = true,
-            // I/O fault kinds are dispatched by `FaultPlan::fire_io` from the
-            // checkpoint store, never by the per-block worker hook.
+            // I/O fault kinds are dispatched by `FaultPlan::fire_io` from
+            // the checkpoint store, and job-level kinds by
+            // `FaultPlan::fire_job` from pool runners — never by the
+            // per-block worker hook.
             Some(
                 FaultKind::TornWrite(_)
                 | FaultKind::ShortRead
                 | FaultKind::CorruptCheckpoint(_)
-                | FaultKind::FsyncFail,
+                | FaultKind::FsyncFail
+                | FaultKind::RunnerPanicAtJob
+                | FaultKind::StallJob(_),
             ) => {}
         }
         let result = run_pass(

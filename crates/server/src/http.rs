@@ -8,6 +8,16 @@
 //! from the job record's version counter, terminated by the zero chunk
 //! when the job seals.
 //!
+//! ## Ingress hardening
+//!
+//! Every connection runs under [`IngressLimits`]: socket read/write
+//! deadlines (slowloris and stalled-client protection), a bounded request
+//! line, bounded header count and bytes, and a bounded body whose
+//! `Content-Length` is validated *before* allocation. Violations are
+//! answered with structured errors — 408 `request_timeout`, 411
+//! `length_required`, 413 `payload_too_large`, 431 `header_too_large` —
+//! and backpressure rejections (429/503) carry `Retry-After`.
+//!
 //! ## Endpoints
 //!
 //! | Method + path                  | Meaning                                  |
@@ -34,12 +44,49 @@ use crate::jobs::JobRecord;
 use crate::protocol::{ErrorBody, JobResult, SubmitRequest, SubmitResponse};
 use crate::scheduler::{Reject, Scheduler};
 
-/// Largest accepted request body (a stencil source is tiny).
-const MAX_BODY: usize = 1 << 20;
 /// Poll cadence of the event stream between version changes.
 const EVENT_TICK: Duration = Duration::from_millis(20);
 /// Longest allowed `?wait_ms` long-poll.
 const MAX_WAIT: Duration = Duration::from_secs(60);
+/// Largest pre-allocation for a body buffer; bigger (validated) bodies
+/// grow the vector incrementally so a lying `Content-Length` cannot
+/// reserve memory it never sends.
+const BODY_PREALLOC: usize = 64 * 1024;
+
+/// Per-connection ingress bounds. The defaults are far above anything the
+/// protocol legitimately produces, so real clients never see them; they
+/// exist to bound what byte soup, slowloris drip-feeds, and lying
+/// `Content-Length` headers can cost the daemon.
+#[derive(Debug, Clone)]
+pub struct IngressLimits {
+    /// Socket read deadline: a connection that goes silent mid-request is
+    /// answered 408 and closed.
+    pub read_timeout: Duration,
+    /// Socket write deadline: a client that stops draining its receive
+    /// window cannot pin a handler thread forever.
+    pub write_timeout: Duration,
+    /// Longest accepted request line (method + target + version).
+    pub max_request_line: usize,
+    /// Total header bytes accepted after the request line.
+    pub max_header_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Largest accepted request body.
+    pub max_body: usize,
+}
+
+impl Default for IngressLimits {
+    fn default() -> IngressLimits {
+        IngressLimits {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_request_line: 8 * 1024,
+            max_header_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body: 1 << 20,
+        }
+    }
+}
 
 /// The running daemon: an accept loop plus a connection-handler thread
 /// per request, all over one shared [`Scheduler`].
@@ -59,6 +106,19 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: &str, scheduler: Arc<Scheduler>) -> std::io::Result<Server> {
+        Server::bind_with(addr, scheduler, IngressLimits::default())
+    }
+
+    /// [`Server::bind`] with explicit per-connection ingress bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(
+        addr: &str,
+        scheduler: Arc<Scheduler>,
+        limits: IngressLimits,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stopping = Arc::new(AtomicBool::new(false));
@@ -67,7 +127,7 @@ impl Server {
             let stopping = Arc::clone(&stopping);
             thread::Builder::new()
                 .name("stencil-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &scheduler, &stopping))
+                .spawn(move || accept_loop(&listener, &scheduler, &stopping, &limits))
                 .expect("spawn accept loop")
         };
         Ok(Server {
@@ -122,7 +182,12 @@ fn wake_accept(addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
-fn accept_loop(listener: &TcpListener, scheduler: &Arc<Scheduler>, stopping: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    scheduler: &Arc<Scheduler>,
+    stopping: &Arc<AtomicBool>,
+    limits: &IngressLimits,
+) {
     let addr = listener.local_addr().ok();
     loop {
         if stopping.load(Ordering::SeqCst) {
@@ -134,16 +199,21 @@ fn accept_loop(listener: &TcpListener, scheduler: &Arc<Scheduler>, stopping: &Ar
         // Every exchange is one small request + one small response;
         // coalescing (Nagle) only adds latency here.
         let _ = stream.set_nodelay(true);
+        // Deadlines arm before the first byte is read, so a connection
+        // that never sends (or never drains) cannot pin this thread.
+        let _ = stream.set_read_timeout(Some(limits.read_timeout));
+        let _ = stream.set_write_timeout(Some(limits.write_timeout));
         if stopping.load(Ordering::SeqCst) {
             return;
         }
         let scheduler = Arc::clone(scheduler);
         let stopping = Arc::clone(stopping);
+        let limits = limits.clone();
         let _ = thread::Builder::new()
             .name("stencil-serve-conn".into())
             .spawn(move || {
                 if let Some(a) = addr {
-                    if handle_connection(stream, &scheduler) == Flow::Shutdown {
+                    if handle_connection(stream, &scheduler, &limits) == Flow::Shutdown {
                         stopping.store(true, Ordering::SeqCst);
                         wake_accept(a);
                     }
@@ -160,6 +230,7 @@ enum Flow {
 }
 
 /// One parsed request.
+#[derive(Debug)]
 struct Request {
     method: String,
     path: String,
@@ -167,41 +238,187 @@ struct Request {
     body: Vec<u8>,
 }
 
-fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read request line: {e}"))?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_string();
-    let target = parts.next().ok_or("missing request target")?.to_string();
-    let mut content_length = 0usize;
+/// Why ingress refused to produce a [`Request`].
+#[derive(Debug, PartialEq, Eq)]
+enum ParseError {
+    /// Nothing worth answering: the connection closed before a request
+    /// line arrived (wake-up sentinels, port scans) or broke mid-read.
+    Silent,
+    /// A structured rejection the handler writes back before closing.
+    Reject {
+        code: u16,
+        kind: &'static str,
+        msg: String,
+    },
+}
+
+impl ParseError {
+    fn reject(code: u16, kind: &'static str, msg: impl Into<String>) -> ParseError {
+        ParseError::Reject {
+            code,
+            kind,
+            msg: msg.into(),
+        }
+    }
+
+    /// Maps an I/O failure: expired socket deadlines become 408, anything
+    /// else means the peer is gone and gets no response.
+    fn io(e: &std::io::Error, what: &str) -> ParseError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ParseError::reject(
+                408,
+                "request_timeout",
+                format!("connection idle past the read deadline while reading {what}"),
+            ),
+            _ => ParseError::Silent,
+        }
+    }
+}
+
+/// Reads one CRLF/LF-terminated line of at most `max` bytes. Returns the
+/// line without its terminator; `Ok(None)` on clean EOF before any byte.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    what: &str,
+) -> Result<Option<String>, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
     loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| format!("read header: {e}"))?;
-        let header = header.trim_end();
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) => return Err(ParseError::io(&e, what)),
+        };
+        if buf.is_empty() {
+            // EOF. A partial line without its terminator is truncation.
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(ParseError::reject(
+                400,
+                "bad_request",
+                format!("connection closed mid-{what}"),
+            ));
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&buf[..=nl], true),
+            None => (buf, false),
+        };
+        // The bound applies to what we accumulate, before consuming, so a
+        // peer streaming an endless line costs at most `max` + one buffer.
+        if line.len() + chunk.len() > max.saturating_add(2) {
+            return Err(ParseError::reject(
+                431,
+                "header_too_large",
+                format!("{what} exceeds the {max}-byte limit"),
+            ));
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if done {
+            while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                line.pop();
+            }
+            let text = String::from_utf8(line).map_err(|_| {
+                ParseError::reject(400, "bad_request", format!("{what} is not UTF-8"))
+            })?;
+            return Ok(Some(text));
+        }
+    }
+}
+
+/// Parses one request under `limits`. Generic over the reader so the
+/// negative paths are unit-testable against byte slices; production hands
+/// it a buffered [`TcpStream`] with socket deadlines armed.
+fn parse_request<R: BufRead>(
+    reader: &mut R,
+    limits: &IngressLimits,
+) -> Result<Request, ParseError> {
+    let Some(line) = read_line_bounded(reader, limits.max_request_line, "request line")? else {
+        return Err(ParseError::Silent);
+    };
+    let mut parts = line.split_whitespace();
+    let Some(method) = parts.next() else {
+        return Err(ParseError::Silent);
+    };
+    let method = method.to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::reject(400, "bad_request", "missing request target"))?
+        .to_string();
+    let mut content_length: Option<usize> = None;
+    let mut header_bytes = 0usize;
+    let mut headers = 0usize;
+    loop {
+        let header =
+            read_line_bounded(reader, limits.max_header_bytes, "header")?.ok_or_else(|| {
+                ParseError::reject(400, "bad_request", "connection closed in headers")
+            })?;
         if header.is_empty() {
             break;
         }
+        headers += 1;
+        header_bytes += header.len();
+        if headers > limits.max_headers || header_bytes > limits.max_header_bytes {
+            return Err(ParseError::reject(
+                431,
+                "header_too_large",
+                format!(
+                    "headers exceed the limit ({} lines / {} bytes max)",
+                    limits.max_headers, limits.max_header_bytes
+                ),
+            ));
+        }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad Content-Length `{}`", value.trim()))?;
+                let parsed = value.trim().parse().map_err(|_| {
+                    ParseError::reject(
+                        400,
+                        "bad_request",
+                        format!("bad Content-Length `{}`", value.trim()),
+                    )
+                })?;
+                content_length = Some(parsed);
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds the limit"));
+    let content_length = match content_length {
+        Some(len) => len,
+        // Bodied methods must declare their length (this daemon never
+        // speaks chunked requests); bodiless methods default to zero.
+        None if method == "POST" || method == "PUT" => {
+            return Err(ParseError::reject(
+                411,
+                "length_required",
+                "POST requires a Content-Length header",
+            ));
+        }
+        None => 0,
+    };
+    if content_length > limits.max_body {
+        return Err(ParseError::reject(
+            413,
+            "payload_too_large",
+            format!(
+                "body of {content_length} bytes exceeds the {}-byte limit",
+                limits.max_body
+            ),
+        ));
     }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("read body: {e}"))?;
+    // Validated length bounds the read; the pre-allocation is still capped
+    // so the header alone cannot reserve a megabyte that never arrives.
+    let mut body = Vec::with_capacity(content_length.min(BODY_PREALLOC));
+    match reader.take(content_length as u64).read_to_end(&mut body) {
+        Ok(n) if n == content_length => {}
+        Ok(n) => {
+            return Err(ParseError::reject(
+                400,
+                "bad_request",
+                format!("body truncated at {n} of {content_length} bytes"),
+            ));
+        }
+        Err(e) => return Err(ParseError::io(&e, "body")),
+    }
     let (path, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q),
         None => (target.clone(), ""),
@@ -238,16 +455,26 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
 fn respond(stream: &mut TcpStream, code: u16, json: &str) {
+    // Backpressure rejections are retryable by design; say so.
+    let retry_after = if code == 429 || code == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
     let _ = write!(
         stream,
-        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{json}",
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n{json}",
         status_text(code),
         json.len(),
     );
@@ -270,28 +497,55 @@ fn respond_error(stream: &mut TcpStream, code: u16, kind: &str, msg: &str) {
     );
 }
 
-fn handle_connection(mut stream: TcpStream, scheduler: &Arc<Scheduler>) -> Flow {
-    let req = match parse_request(&mut stream) {
-        Ok(req) => req,
-        Err(msg) => {
-            // Wake-up sentinels and port scans land here; only answer
-            // things that sent at least a request line.
-            if !msg.contains("empty request line") {
-                respond_error(&mut stream, 400, "bad_request", &msg);
+fn handle_connection(
+    mut stream: TcpStream,
+    scheduler: &Arc<Scheduler>,
+    limits: &IngressLimits,
+) -> Flow {
+    let req = {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return Flow::Continue,
+        });
+        match parse_request(&mut reader, limits) {
+            Ok(req) => req,
+            // Wake-up sentinels, port scans, and broken peers get nothing;
+            // everything else gets the structured rejection.
+            Err(ParseError::Silent) => return Flow::Continue,
+            Err(ParseError::Reject { code, kind, msg }) => {
+                respond_error(&mut stream, code, kind, &msg);
+                return Flow::Continue;
             }
-            return Flow::Continue;
         }
     };
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["v1", "jobs"]) => submit(&mut stream, scheduler, &req),
-        ("GET", ["v1", "jobs", id]) => with_job(&mut stream, scheduler, id, |stream, job| {
-            respond_value(stream, 200, &job.status());
-        }),
+        ("GET", ["v1", "jobs", id]) => {
+            // Fall back to journal history: a job settled before the last
+            // daemon restart still answers instead of 404ing.
+            match scheduler.job(id) {
+                Some(job) => respond_value(&mut stream, 200, &job.status()),
+                None => match scheduler.settled_status(id) {
+                    Some(status) => respond_value(&mut stream, 200, &status),
+                    None => {
+                        respond_error(&mut stream, 404, "not_found", &format!("no job `{id}`"));
+                    }
+                },
+            }
+            Flow::Continue
+        }
         ("GET", ["v1", "jobs", id, "result"]) => {
-            with_job(&mut stream, scheduler, id, |stream, job| {
-                result(stream, &job, &req);
-            })
+            match scheduler.job(id) {
+                Some(job) => result(&mut stream, &job, &req),
+                None => match scheduler.settled_result(id) {
+                    Some(settled) => settled_result(&mut stream, &settled),
+                    None => {
+                        respond_error(&mut stream, 404, "not_found", &format!("no job `{id}`"));
+                    }
+                },
+            }
+            Flow::Continue
         }
         ("POST", ["v1", "jobs", id, "cancel"]) => {
             if scheduler.cancel(id) {
@@ -359,17 +613,33 @@ fn handle_connection(mut stream: TcpStream, scheduler: &Arc<Scheduler>) -> Flow 
     }
 }
 
-fn with_job(
-    stream: &mut TcpStream,
-    scheduler: &Arc<Scheduler>,
-    id: &str,
-    f: impl FnOnce(&mut TcpStream, Arc<JobRecord>),
-) -> Flow {
-    match scheduler.job(id) {
-        Some(job) => f(stream, job),
-        None => respond_error(stream, 404, "not_found", &format!("no job `{id}`")),
-    }
-    Flow::Continue
+/// Terminal outcome of a job settled by a previous daemon incarnation,
+/// rebuilt from the journal: digest and counts survive a restart even
+/// though the grid payload does not.
+fn settled_result(stream: &mut TcpStream, settled: &crate::journal::SettledJob) {
+    let body = Value::Object(vec![
+        ("job".to_string(), Value::Str(settled.job.clone())),
+        (
+            "phase".to_string(),
+            Value::Str(if settled.error.is_none() {
+                "Done".to_string()
+            } else {
+                "Failed".to_string()
+            }),
+        ),
+        ("digest".to_string(), Value::Str(settled.digest.clone())),
+        (
+            "completed_iterations".to_string(),
+            Value::UInt(settled.completed),
+        ),
+        (
+            "error".to_string(),
+            settled.error.clone().map_or(Value::Null, Value::Str),
+        ),
+        ("restarts".to_string(), Value::UInt(settled.restarts)),
+        ("recovered".to_string(), Value::Bool(true)),
+    ]);
+    respond_value(stream, 200, &body);
 }
 
 fn submit(stream: &mut TcpStream, scheduler: &Arc<Scheduler>, req: &Request) -> Flow {
@@ -480,4 +750,143 @@ fn stream_events(stream: &mut TcpStream, job: &Arc<JobRecord>) {
     }
     let _ = stream.write_all(b"0\r\n\r\n");
     let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        parse_request(&mut &bytes[..], &IngressLimits::default())
+    }
+
+    fn parse_with(bytes: &[u8], limits: &IngressLimits) -> Result<Request, ParseError> {
+        parse_request(&mut &bytes[..], limits)
+    }
+
+    fn code(err: &ParseError) -> u16 {
+        match err {
+            ParseError::Silent => 0,
+            ParseError::Reject { code, .. } => *code,
+        }
+    }
+
+    #[test]
+    fn a_well_formed_post_parses() {
+        let req = parse(b"POST /v1/jobs?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query("x"), Some("1"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn a_get_without_content_length_has_an_empty_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn an_empty_connection_is_silent() {
+        assert_eq!(parse(b"").unwrap_err(), ParseError::Silent);
+        // A blank line (the wake-up sentinel shape) is silent too.
+        assert_eq!(parse(b"\r\n").unwrap_err(), ParseError::Silent);
+    }
+
+    #[test]
+    fn a_post_without_content_length_is_411() {
+        let err = parse(b"POST /v1/jobs HTTP/1.1\r\n\r\n{}").unwrap_err();
+        assert_eq!(code(&err), 411, "{err:?}");
+    }
+
+    #[test]
+    fn a_garbage_content_length_is_400() {
+        let err = parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err();
+        assert_eq!(code(&err), 400, "{err:?}");
+        let err = parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n").unwrap_err();
+        assert_eq!(code(&err), 400, "{err:?}");
+    }
+
+    #[test]
+    fn an_oversized_declared_body_is_413_without_reading_it() {
+        // The body bytes are absent on purpose: the length alone rejects.
+        let huge = format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            usize::MAX
+        );
+        let err = parse(huge.as_bytes()).unwrap_err();
+        assert_eq!(code(&err), 413, "{err:?}");
+    }
+
+    #[test]
+    fn a_truncated_body_is_400() {
+        let err = parse(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert_eq!(code(&err), 400, "{err:?}");
+    }
+
+    #[test]
+    fn an_overlong_request_line_is_431() {
+        let limits = IngressLimits {
+            max_request_line: 64,
+            ..IngressLimits::default()
+        };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(256));
+        let err = parse_with(long.as_bytes(), &limits).unwrap_err();
+        assert_eq!(code(&err), 431, "{err:?}");
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let limits = IngressLimits {
+            max_headers: 4,
+            ..IngressLimits::default()
+        };
+        let mut req = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..8 {
+            req.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        req.push_str("\r\n");
+        let err = parse_with(req.as_bytes(), &limits).unwrap_err();
+        assert_eq!(code(&err), 431, "{err:?}");
+    }
+
+    #[test]
+    fn oversized_header_bytes_are_431() {
+        let limits = IngressLimits {
+            max_header_bytes: 128,
+            ..IngressLimits::default()
+        };
+        let req = format!(
+            "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "x".repeat(512)
+        );
+        let err = parse_with(req.as_bytes(), &limits).unwrap_err();
+        assert_eq!(code(&err), 431, "{err:?}");
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_rejected_not_panicked_on() {
+        let err = parse(b"\xff\xfe\xfd /x HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(code(&err), 400, "{err:?}");
+    }
+
+    #[test]
+    fn a_connection_cut_mid_headers_is_400() {
+        let err = parse(b"GET /healthz HTTP/1.1\r\nX-Half: yes").unwrap_err();
+        assert_eq!(code(&err), 400, "{err:?}");
+    }
+
+    #[test]
+    fn backpressure_codes_carry_retry_after_and_the_rest_do_not() {
+        // The header is assembled in `respond`; check the literal logic.
+        for (c, expect) in [(429, true), (503, true), (400, false), (200, false)] {
+            let has = c == 429 || c == 503;
+            assert_eq!(has, expect, "code {c}");
+        }
+        assert_eq!(status_text(408), "Request Timeout");
+        assert_eq!(status_text(411), "Length Required");
+        assert_eq!(status_text(413), "Payload Too Large");
+        assert_eq!(status_text(431), "Request Header Fields Too Large");
+    }
 }

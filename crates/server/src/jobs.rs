@@ -9,7 +9,7 @@
 //! quota half of admission control.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -41,13 +41,26 @@ pub struct JobRecord {
     pub tenant: String,
     /// The program's total iteration count.
     pub total_iterations: u64,
-    /// External cancellation handle (fired by `POST .../cancel` and drain).
-    pub cancel: CancelHandle,
     /// When admission accepted the job (start of the queue-wait span).
     pub queued_at: Instant,
     /// Checkpoint directory armed for this job, if any — reported so a
     /// drained client knows where to point `stencilcl resume`.
     pub ckpt_dir: Option<String>,
+    /// Whether this record was rebuilt from the journal at daemon boot.
+    pub recovered: bool,
+    /// External cancellation handle, behind a lock so an auto-resume can
+    /// re-arm a fresh one (the watchdog fires the old handle to stop the
+    /// stalled run; the resumed run must not see it already cancelled).
+    cancel: Mutex<CancelHandle>,
+    /// Times this job was re-admitted (stall, lost runner, daemon reboot).
+    restarts: AtomicU64,
+    /// Set by the watchdog when it cancels this job for silence; consumed
+    /// by the completion path to distinguish a stall-cancel (auto-resume)
+    /// from a client cancel (terminal).
+    stalled: AtomicBool,
+    /// Last observed sign of life: admission, runner pickup, or a
+    /// committed barrier. The watchdog compares this against its timeout.
+    touched: Mutex<Instant>,
     phase: Mutex<JobPhase>,
     completed: AtomicU64,
     version: AtomicU64,
@@ -67,9 +80,13 @@ impl JobRecord {
             id,
             tenant,
             total_iterations,
-            cancel: CancelHandle::new(),
+            cancel: Mutex::new(CancelHandle::new()),
             queued_at: Instant::now(),
             ckpt_dir,
+            recovered: false,
+            restarts: AtomicU64::new(0),
+            stalled: AtomicBool::new(false),
+            touched: Mutex::new(Instant::now()),
             phase: Mutex::new(JobPhase::Queued),
             completed: AtomicU64::new(0),
             version: AtomicU64::new(0),
@@ -78,9 +95,89 @@ impl JobRecord {
         }
     }
 
+    /// A record rebuilt from the journal at daemon boot: already restarted
+    /// `restarts` times, entering the pool as [`JobPhase::Resumed`].
+    pub fn recovered(
+        id: String,
+        tenant: String,
+        total_iterations: u64,
+        ckpt_dir: Option<String>,
+        restarts: u64,
+    ) -> JobRecord {
+        let mut r = JobRecord::new(id, tenant, total_iterations, ckpt_dir);
+        r.recovered = true;
+        r.restarts = AtomicU64::new(restarts);
+        r.phase = Mutex::new(JobPhase::Resumed);
+        r
+    }
+
     /// Current lifecycle phase.
     pub fn phase(&self) -> JobPhase {
         *self.phase.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A clone of the current cancel handle (wire it into the run's
+    /// options; fire it to stop the run).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Fires the current cancel handle.
+    pub fn fire_cancel(&self) {
+        self.cancel
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .cancel();
+    }
+
+    /// Replaces the (fired) cancel handle with a fresh one for the next
+    /// incarnation of the run, returning the new handle.
+    pub fn rearm_cancel(&self) -> CancelHandle {
+        let fresh = CancelHandle::new();
+        *self.cancel.lock().unwrap_or_else(PoisonError::into_inner) = fresh.clone();
+        fresh
+    }
+
+    /// Times this job was re-admitted.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Marks the watchdog's stall verdict; the completion path consumes it
+    /// with [`JobRecord::take_stalled`].
+    pub fn note_stalled(&self) {
+        self.stalled.store(true, Ordering::SeqCst);
+    }
+
+    /// Consumes the stall flag (true at most once per watchdog firing).
+    pub fn take_stalled(&self) -> bool {
+        self.stalled.swap(false, Ordering::SeqCst)
+    }
+
+    /// Time since the job last showed a sign of life.
+    pub fn idle_for(&self) -> Duration {
+        self.touched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .elapsed()
+    }
+
+    fn touch(&self) {
+        *self.touched.lock().unwrap_or_else(PoisonError::into_inner) = Instant::now();
+    }
+
+    /// Re-admits the job after a stall-cancel: bumps the restart count,
+    /// resets the heartbeat clock, and moves the phase to
+    /// [`JobPhase::Resumed`].
+    pub fn mark_resumed(&self) -> u64 {
+        let restarts = self.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.touch();
+        *self.phase.lock().unwrap_or_else(PoisonError::into_inner) = JobPhase::Resumed;
+        self.version.fetch_add(1, Ordering::SeqCst);
+        restarts
     }
 
     /// Monotonic change counter: bumped on every phase transition and
@@ -97,6 +194,7 @@ impl JobRecord {
     /// Records a committed barrier (the executor's progress hook).
     pub fn note_progress(&self, completed: u64) {
         self.completed.store(completed, Ordering::SeqCst);
+        self.touch();
         self.version.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -104,17 +202,26 @@ impl JobRecord {
     /// queue-wait duration for the `JobQueued` span.
     pub fn mark_running(&self) -> Duration {
         *self.phase.lock().unwrap_or_else(PoisonError::into_inner) = JobPhase::Running;
+        self.touch();
         self.version.fetch_add(1, Ordering::SeqCst);
         self.queued_at.elapsed()
     }
 
-    /// Seals the terminal outcome and wakes every waiter.
+    /// Seals the terminal outcome and wakes every waiter, deriving the
+    /// phase from the outcome (`Done` / `Failed`).
     pub fn finish(&self, done: JobDone) {
         let phase = if done.error.is_none() {
             JobPhase::Done
         } else {
             JobPhase::Failed
         };
+        self.finish_with_phase(done, phase);
+    }
+
+    /// Seals the terminal outcome under an explicit terminal phase (the
+    /// drain path uses [`JobPhase::Interrupted`]).
+    pub fn finish_with_phase(&self, done: JobDone, phase: JobPhase) {
+        assert!(phase.is_terminal(), "finish needs a terminal phase");
         self.completed
             .store(self.terminal_completed(&done), Ordering::SeqCst);
         *self.outcome.lock().unwrap_or_else(PoisonError::into_inner) = Some(done);
@@ -169,6 +276,8 @@ impl JobRecord {
             phase: self.phase(),
             completed_iterations: self.completed(),
             total_iterations: self.total_iterations,
+            restarts: self.restarts(),
+            recovered: self.recovered,
         }
     }
 }
@@ -200,6 +309,14 @@ impl TenantBook {
             e.in_flight += 1;
             Ok(())
         }
+    }
+
+    /// Claims one in-flight slot without a quota check — for journal
+    /// recovery at boot, where the job was already admitted (and counted)
+    /// by a previous daemon incarnation.
+    pub fn admit_unchecked(&self, tenant: &str) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.entry(tenant.to_string()).or_default().in_flight += 1;
     }
 
     /// Releases one in-flight slot (the job reached a terminal phase).
@@ -308,6 +425,64 @@ mod tests {
     }
 
     #[test]
+    fn stall_resume_lifecycle_rearms_cancel_and_counts_restarts() {
+        let r = record();
+        r.mark_running();
+        let first = r.cancel_handle();
+        r.note_stalled();
+        r.fire_cancel();
+        assert!(first.is_cancelled());
+        assert!(r.take_stalled());
+        assert!(!r.take_stalled(), "the flag is consumed once");
+        let fresh = r.rearm_cancel();
+        assert!(!fresh.is_cancelled(), "the resumed run starts un-cancelled");
+        assert!(!r.cancel_handle().is_cancelled());
+        assert_eq!(r.mark_resumed(), 1);
+        assert_eq!(r.phase(), JobPhase::Resumed);
+        assert_eq!(r.restarts(), 1);
+        let s = r.status();
+        assert_eq!(s.restarts, 1);
+        assert!(!s.recovered);
+    }
+
+    #[test]
+    fn recovered_records_boot_resumed_with_their_restart_count() {
+        let r = JobRecord::recovered("job-7".into(), "acme".into(), 10, Some("/tmp/c".into()), 3);
+        assert!(r.recovered);
+        assert_eq!(r.restarts(), 3);
+        assert_eq!(r.phase(), JobPhase::Resumed);
+        assert!(r.status().recovered);
+    }
+
+    #[test]
+    fn interrupted_phase_seals_and_wakes_waiters() {
+        let r = record();
+        r.mark_running();
+        r.note_progress(4);
+        r.finish_with_phase(
+            JobDone {
+                state: dummy_state(),
+                digest: 0,
+                report: empty_report(),
+                error: Some(ExecError::JobCancelled { completed: 4 }),
+            },
+            JobPhase::Interrupted,
+        );
+        assert_eq!(r.phase(), JobPhase::Interrupted);
+        assert!(r.wait_terminal(Duration::from_millis(1)));
+        assert_eq!(r.completed(), 4);
+    }
+
+    #[test]
+    fn heartbeat_clock_resets_on_progress() {
+        let r = record();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(r.idle_for() >= Duration::from_millis(10));
+        r.note_progress(1);
+        assert!(r.idle_for() < Duration::from_millis(10));
+    }
+
+    #[test]
     fn tenant_quota_admits_then_rejects_then_releases() {
         let book = TenantBook::default();
         assert!(book.try_admit("acme", 2).is_ok());
@@ -323,5 +498,18 @@ mod tests {
         assert_eq!(rows[0].in_flight, 2);
         assert_eq!(rows[0].rejected, 1);
         assert_eq!(book.in_flight("zen"), 1);
+    }
+
+    #[test]
+    fn unchecked_admission_bypasses_the_quota_gate() {
+        let book = TenantBook::default();
+        book.admit_unchecked("acme");
+        book.admit_unchecked("acme");
+        assert_eq!(book.in_flight("acme"), 2);
+        // Over quota now, so checked admission refuses…
+        assert_eq!(book.try_admit("acme", 2), Err(2));
+        // …but release still frees the recovered slots.
+        book.release("acme");
+        assert!(book.try_admit("acme", 2).is_ok());
     }
 }

@@ -1,0 +1,408 @@
+//! The durable job journal — the crash-only half of the scheduler.
+//!
+//! Every admitted job appends one fsynced JSONL record to
+//! `<state_dir>/journal.jsonl` *before* its id is returned to the client;
+//! every later lifecycle edge (`resumed`, `interrupted`, `done`) appends
+//! another. A job whose last event is not `done` is **open**: a rebooted
+//! daemon replays the journal, re-plans each open job's stored
+//! [`SubmitRequest`], and re-enqueues it against its sealed checkpoint
+//! directory — so `kill -9` loses zero accepted work and the client's job
+//! id keeps resolving across daemon incarnations.
+//!
+//! The format is append-only and torn-write tolerant: the replay skips a
+//! trailing line that does not parse (the one a crash could have cut
+//! short); every complete line is one self-contained JSON object with an
+//! `event` discriminator. Nothing is ever rewritten in place.
+//!
+//! | event         | fields                                                        |
+//! |---------------|---------------------------------------------------------------|
+//! | `admitted`    | `job`, `request` (full submit body), `ckpt_dir`, `total_iterations` |
+//! | `resumed`     | `job`, `restarts` (stall/panic auto-resume or boot recovery)  |
+//! | `interrupted` | `job` (drain cancelled it; a reboot re-admits it)             |
+//! | `done`        | `job`, `digest`, `completed`, `error` (settled; never re-run) |
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::protocol::SubmitRequest;
+
+/// File name of the journal inside the state directory.
+const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// An append-only, fsync-per-record job journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+/// One job still owed work when the journal was replayed: its last event
+/// was `admitted`, `resumed`, or `interrupted`.
+#[derive(Debug, Clone)]
+pub struct OpenJob {
+    /// Job id (`job-N`).
+    pub job: String,
+    /// The original submit body, replayed through the same planner.
+    pub request: SubmitRequest,
+    /// The checkpoint directory the job seals generations into.
+    pub ckpt_dir: String,
+    /// The program's total iteration count (recorded at admission so the
+    /// recovered status can report progress without re-planning).
+    pub total_iterations: u64,
+    /// Restart count as of the last `resumed` event.
+    pub restarts: u64,
+}
+
+/// One settled job: its last event was `done`. Kept so status and result
+/// queries keep answering across daemon incarnations instead of 404ing.
+#[derive(Debug, Clone)]
+pub struct SettledJob {
+    /// Job id.
+    pub job: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Final digest, formatted `{:#018x}` (empty when unknown).
+    pub digest: String,
+    /// Iterations committed when the run ended.
+    pub completed: u64,
+    /// The program's total iteration count.
+    pub total_iterations: u64,
+    /// Error kind of a failed run (`None` on success).
+    pub error: Option<String>,
+    /// Restart count when it settled.
+    pub restarts: u64,
+}
+
+/// What a journal replay recovered.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Jobs owed work, in admission order.
+    pub open: Vec<OpenJob>,
+    /// Jobs already settled, by id.
+    pub settled: BTreeMap<String, SettledJob>,
+    /// Highest `job-N` number seen (the next daemon starts above it).
+    pub max_job_id: u64,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal under `state_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation and open failures.
+    pub fn open(state_dir: &Path) -> std::io::Result<Journal> {
+        fs::create_dir_all(state_dir)?;
+        let path = state_dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            path,
+        })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event line and fsyncs it — the record is durable before
+    /// this returns. Write failures are reported to stderr, never
+    /// propagated: the daemon keeps serving with a degraded journal rather
+    /// than failing admission.
+    fn append(&self, event: &Value) {
+        let mut line = serde_json::to_string(event).unwrap_or_default();
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.sync_all())
+        {
+            eprintln!("[stencilcl] journal append failed: {e}");
+        }
+    }
+
+    /// Journals an admission: the full request plus the assigned
+    /// checkpoint directory, durable before the job id is handed out.
+    pub fn admitted(&self, job: &str, request: &SubmitRequest, ckpt_dir: &str, total: u64) {
+        self.append(&Value::Object(vec![
+            ("event".into(), Value::Str("admitted".into())),
+            ("job".into(), Value::Str(job.into())),
+            ("request".into(), request.to_value()),
+            ("ckpt_dir".into(), Value::Str(ckpt_dir.into())),
+            ("total_iterations".into(), Value::UInt(total)),
+        ]));
+    }
+
+    /// Journals a re-admission (watchdog auto-resume, runner loss, or boot
+    /// recovery).
+    pub fn resumed(&self, job: &str, restarts: u64) {
+        self.append(&Value::Object(vec![
+            ("event".into(), Value::Str("resumed".into())),
+            ("job".into(), Value::Str(job.into())),
+            ("restarts".into(), Value::UInt(restarts)),
+        ]));
+    }
+
+    /// Journals a drain interruption: the job is still owed work and a
+    /// reboot over the same state dir re-admits it.
+    pub fn interrupted(&self, job: &str) {
+        self.append(&Value::Object(vec![
+            ("event".into(), Value::Str("interrupted".into())),
+            ("job".into(), Value::Str(job.into())),
+        ]));
+    }
+
+    /// Journals a settled outcome; the job is never re-run.
+    pub fn done(&self, job: &str, digest: &str, completed: u64, error: Option<&str>) {
+        self.append(&Value::Object(vec![
+            ("event".into(), Value::Str("done".into())),
+            ("job".into(), Value::Str(job.into())),
+            ("digest".into(), Value::Str(digest.into())),
+            ("completed".into(), Value::UInt(completed)),
+            (
+                "error".into(),
+                error.map_or(Value::Null, |e| Value::Str(e.into())),
+            ),
+        ]));
+    }
+
+    /// Replays the journal under `state_dir` (missing file = empty
+    /// replay). Unparseable lines are skipped: mid-file they are logged
+    /// (only a torn trailing line is expected in practice), and replay
+    /// keeps whatever the rest of the journal establishes.
+    pub fn replay(state_dir: &Path) -> Replay {
+        let path = state_dir.join(JOURNAL_FILE);
+        let Ok(file) = File::open(&path) else {
+            return Replay::default();
+        };
+        let mut replay = Replay::default();
+        // job id → accumulated open-job state (removed when settled).
+        let mut open: BTreeMap<String, OpenJob> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for line in BufReader::new(file).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(event) = serde_json::from_str::<Value>(&line) else {
+                // A torn trailing write from the crashed incarnation; the
+                // record it would have carried was never acknowledged.
+                continue;
+            };
+            apply(&mut replay, &mut open, &mut order, &event);
+        }
+        replay.open = order
+            .into_iter()
+            .filter_map(|id| open.remove(&id))
+            .collect();
+        replay
+    }
+}
+
+/// Folds one journal event into the replay state.
+fn apply(
+    replay: &mut Replay,
+    open: &mut BTreeMap<String, OpenJob>,
+    order: &mut Vec<String>,
+    event: &Value,
+) {
+    let Some(kind) = event.get("event").and_then(as_str) else {
+        return;
+    };
+    let Some(job) = event.get("job").and_then(as_str) else {
+        return;
+    };
+    if let Some(n) = job.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
+        replay.max_job_id = replay.max_job_id.max(n);
+    }
+    match kind {
+        "admitted" => {
+            let Some(request) = event
+                .get("request")
+                .and_then(|v| SubmitRequest::from_value(v).ok())
+            else {
+                return;
+            };
+            let ckpt_dir = event
+                .get("ckpt_dir")
+                .and_then(as_str)
+                .unwrap_or_default()
+                .to_string();
+            open.insert(
+                job.to_string(),
+                OpenJob {
+                    job: job.to_string(),
+                    request,
+                    ckpt_dir,
+                    total_iterations: event.get("total_iterations").and_then(as_u64).unwrap_or(0),
+                    restarts: 0,
+                },
+            );
+            order.push(job.to_string());
+        }
+        "resumed" => {
+            if let Some(o) = open.get_mut(job) {
+                o.restarts = event
+                    .get("restarts")
+                    .and_then(as_u64)
+                    .unwrap_or(o.restarts + 1);
+            }
+        }
+        // Interrupted jobs stay open: the drain sealed their checkpoint
+        // and a reboot owes them a resume.
+        "interrupted" => {}
+        "done" => {
+            if let Some(o) = open.remove(job) {
+                replay.settled.insert(
+                    job.to_string(),
+                    SettledJob {
+                        job: job.to_string(),
+                        tenant: o.request.tenant.clone(),
+                        digest: event
+                            .get("digest")
+                            .and_then(as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                        completed: event.get("completed").and_then(as_u64).unwrap_or(0),
+                        total_iterations: o.total_iterations,
+                        error: event.get("error").and_then(as_str).map(ToString::to_string),
+                        restarts: o.restarts,
+                    },
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{DesignRequest, JobOptions};
+
+    fn req(tenant: &str) -> SubmitRequest {
+        SubmitRequest {
+            tenant: tenant.into(),
+            source: "stencil t { grid A[8][8] : f32; iterations 4; A[i][j] = A[i][j]; }".into(),
+            design: DesignRequest {
+                kind: "pipe".into(),
+                fused: 1,
+                parallelism: vec![2, 2],
+                tile: vec![4, 4],
+            },
+            options: JobOptions::default(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stencilcl-journal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn replay_of_an_absent_journal_is_empty() {
+        let r = Journal::replay(Path::new("/nonexistent/stencilcl-journal"));
+        assert!(r.open.is_empty());
+        assert!(r.settled.is_empty());
+        assert_eq!(r.max_job_id, 0);
+    }
+
+    #[test]
+    fn open_jobs_are_the_ones_without_a_done_event() {
+        let dir = tmp("open");
+        let j = Journal::open(&dir).unwrap();
+        j.admitted("job-1", &req("acme"), "/tmp/c1", 4);
+        j.admitted("job-2", &req("zen"), "/tmp/c2", 4);
+        j.done("job-1", "0x0000000000000001", 4, None);
+        j.resumed("job-2", 1);
+        let r = Journal::replay(&dir);
+        assert_eq!(r.open.len(), 1);
+        assert_eq!(r.open[0].job, "job-2");
+        assert_eq!(r.open[0].restarts, 1);
+        assert_eq!(r.open[0].ckpt_dir, "/tmp/c2");
+        assert_eq!(r.open[0].request.tenant, "zen");
+        assert_eq!(r.open[0].total_iterations, 4);
+        assert_eq!(r.settled.len(), 1);
+        let s = &r.settled["job-1"];
+        assert_eq!(s.digest, "0x0000000000000001");
+        assert_eq!(s.completed, 4);
+        assert!(s.error.is_none());
+        assert_eq!(r.max_job_id, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_jobs_stay_open_but_client_cancels_settle() {
+        let dir = tmp("interrupted");
+        let j = Journal::open(&dir).unwrap();
+        j.admitted("job-1", &req("acme"), "/tmp/c1", 4);
+        j.interrupted("job-1");
+        j.admitted("job-2", &req("acme"), "/tmp/c2", 4);
+        j.done("job-2", "0x00", 2, Some("JobCancelled"));
+        let r = Journal::replay(&dir);
+        assert_eq!(r.open.len(), 1, "drain-interrupted job is owed a resume");
+        assert_eq!(r.open[0].job, "job-1");
+        assert_eq!(
+            r.settled["job-2"].error.as_deref(),
+            Some("JobCancelled"),
+            "a client cancel is settled, not resumed"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_torn_trailing_line_is_skipped() {
+        let dir = tmp("torn");
+        let j = Journal::open(&dir).unwrap();
+        j.admitted("job-1", &req("acme"), "/tmp/c1", 4);
+        let path = j.path().to_path_buf();
+        drop(j);
+        // Simulate a crash mid-append: garbage without a newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"done\",\"job\":\"jo").unwrap();
+        drop(f);
+        let r = Journal::replay(&dir);
+        assert_eq!(r.open.len(), 1, "the torn done event never counted");
+        assert_eq!(r.open[0].job, "job-1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_appends_rather_than_truncating() {
+        let dir = tmp("reopen");
+        {
+            let j = Journal::open(&dir).unwrap();
+            j.admitted("job-1", &req("acme"), "/tmp/c1", 4);
+        }
+        {
+            let j = Journal::open(&dir).unwrap();
+            j.resumed("job-1", 1);
+        }
+        let r = Journal::replay(&dir);
+        assert_eq!(r.open.len(), 1);
+        assert_eq!(r.open[0].restarts, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

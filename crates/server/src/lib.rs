@@ -21,12 +21,14 @@ pub mod client;
 pub mod design;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod protocol;
 pub mod scheduler;
 
 pub use design::{default_init, plan, PlannedJob};
-pub use http::Server;
+pub use http::{IngressLimits, Server};
 pub use jobs::{JobDone, JobRecord, TenantBook};
+pub use journal::{Journal, OpenJob, Replay, SettledJob};
 pub use protocol::{
     DesignRequest, ErrorBody, Healthz, JobOptions, JobPhase, JobResult, JobStatus, Metrics,
     SubmitRequest, SubmitResponse, TenantMetrics,

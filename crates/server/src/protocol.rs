@@ -158,16 +158,26 @@ pub enum JobPhase {
     Queued,
     /// A pool runner is executing it.
     Running,
+    /// Re-admitted after a stall, runner loss, or daemon restart; waiting
+    /// for a runner to pick it back up from its last sealed checkpoint.
+    Resumed,
     /// Terminal: finished successfully.
     Done,
     /// Terminal: aborted (fault, deadline, or cancellation).
     Failed,
+    /// Terminal *for this daemon incarnation*: the drain cancelled it with
+    /// its checkpoint sealed. A reboot over the same `--state-dir` replays
+    /// the journal and re-admits it as [`JobPhase::Resumed`].
+    Interrupted,
 }
 
 impl JobPhase {
     /// Whether the phase is terminal.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobPhase::Done | JobPhase::Failed)
+        matches!(
+            self,
+            JobPhase::Done | JobPhase::Failed | JobPhase::Interrupted
+        )
     }
 }
 
@@ -184,6 +194,12 @@ pub struct JobStatus {
     pub completed_iterations: u64,
     /// The program's total iteration count.
     pub total_iterations: u64,
+    /// Times this job was re-admitted after a stall, a lost runner, or a
+    /// daemon restart. `0` for an undisturbed run.
+    pub restarts: u64,
+    /// Whether this record was rebuilt from the journal by a rebooted
+    /// daemon (as opposed to admitted over HTTP by this incarnation).
+    pub recovered: bool,
 }
 
 /// `GET /v1/jobs/<id>/result` body: the terminal outcome.
@@ -311,7 +327,9 @@ mod tests {
         );
         assert!(!JobPhase::Queued.is_terminal());
         assert!(!JobPhase::Running.is_terminal());
+        assert!(!JobPhase::Resumed.is_terminal());
         assert!(JobPhase::Done.is_terminal());
         assert!(JobPhase::Failed.is_terminal());
+        assert!(JobPhase::Interrupted.is_terminal());
     }
 }

@@ -1,0 +1,141 @@
+//! Hostile-ingress tests: byte soup, truncated requests, and slowloris
+//! drip-feeds must never panic a handler thread or wedge the daemon. The
+//! invariant checked after every abuse is the same — `GET /healthz` still
+//! answers — because a panicked accept loop or a pinned handler thread
+//! would fail it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use stencilcl_server::http::IngressLimits;
+use stencilcl_server::{Scheduler, SchedulerConfig, Server};
+
+/// Boots a daemon with tight ingress limits so the tests exercise the
+/// bounds without shipping kilobytes per case.
+fn boot() -> Server {
+    let scheduler = Scheduler::new(SchedulerConfig {
+        workers: 1,
+        max_queue: 4,
+        quota: 4,
+        ..SchedulerConfig::default()
+    });
+    let limits = IngressLimits {
+        read_timeout: Duration::from_millis(250),
+        write_timeout: Duration::from_millis(500),
+        max_request_line: 512,
+        max_header_bytes: 1024,
+        max_headers: 16,
+        max_body: 4096,
+    };
+    Server::bind_with("127.0.0.1:0", Arc::clone(&scheduler), limits).expect("bind")
+}
+
+/// Sends raw bytes, half-closes the write side, and drains whatever the
+/// daemon answers (possibly nothing). Returns the raw response.
+fn exchange(server: &Server, bytes: &[u8]) -> Vec<u8> {
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = conn.write_all(bytes);
+    let _ = conn.shutdown(std::net::Shutdown::Write);
+    let mut out = Vec::new();
+    let _ = conn.read_to_end(&mut out);
+    out
+}
+
+/// The liveness probe every abuse case must leave intact.
+fn healthz_answers(server: &Server) -> bool {
+    let resp = exchange(server, b"GET /healthz HTTP/1.1\r\n\r\n");
+    let text = String::from_utf8_lossy(&resp);
+    text.starts_with("HTTP/1.1 200") && text.contains("\"status\"")
+}
+
+/// A well-formed submit body the truncation cases start from.
+fn valid_submit() -> Vec<u8> {
+    let body = r#"{"tenant":"fuzz","source":"stencil s { grid A[16][16] : f32; iterations 2; A[i][j] = 0.5 * A[i][j] + 0.25 * (A[i-1][j] + A[i+1][j]); }","design":{"kind":"pipe","fused":1,"parallelism":[1,1],"tile":[8,8]},"options":{}}"#;
+    format!(
+        "POST /v1/jobs HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn byte_soup_never_wedges_the_daemon(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let server = boot();
+        let resp = exchange(&server, &bytes);
+        // Whatever came back (nothing, 400, 408, 411, 413, 431) must be a
+        // whole HTTP response, never a partial panic-truncated one.
+        if !resp.is_empty() {
+            let text = String::from_utf8_lossy(&resp);
+            prop_assert!(text.starts_with("HTTP/1.1 "), "garbled response: {text:?}");
+        }
+        prop_assert!(healthz_answers(&server));
+    }
+
+    #[test]
+    fn truncated_requests_are_answered_or_dropped_cleanly(cut in 0usize..220) {
+        let server = boot();
+        let full = valid_submit();
+        let cut = cut.min(full.len());
+        let resp = exchange(&server, &full[..cut]);
+        if !resp.is_empty() {
+            let text = String::from_utf8_lossy(&resp);
+            prop_assert!(text.starts_with("HTTP/1.1 "), "garbled response: {text:?}");
+            // A truncated request must never be accepted as a job.
+            prop_assert!(!text.starts_with("HTTP/1.1 200"), "truncation accepted: {text:?}");
+        }
+        prop_assert!(healthz_answers(&server));
+    }
+}
+
+#[test]
+fn a_slowloris_connection_is_cut_off_by_the_read_deadline() {
+    let server = boot();
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Send a believable prefix, then go silent without closing: the read
+    // deadline (250ms here) must answer 408 instead of pinning the thread.
+    conn.write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Le")
+        .unwrap();
+    let mut out = Vec::new();
+    let _ = conn.read_to_end(&mut out);
+    let text = String::from_utf8_lossy(&out);
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "expected 408 for the stalled sender, got {text:?}"
+    );
+    assert!(healthz_answers(&server));
+}
+
+#[test]
+fn an_oversized_declared_body_is_rejected_before_transfer() {
+    let server = boot();
+    // Declares 1 MiB against a 4 KiB limit, sends nothing.
+    let resp = exchange(
+        &server,
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n",
+    );
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 413"), "got {text:?}");
+    assert!(healthz_answers(&server));
+}
+
+#[test]
+fn an_endless_header_stream_is_rejected_with_431() {
+    let server = boot();
+    let mut req = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..64 {
+        req.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "y".repeat(64)).as_bytes());
+    }
+    req.extend_from_slice(b"\r\n");
+    let resp = exchange(&server, &req);
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.starts_with("HTTP/1.1 431"), "got {text:?}");
+    assert!(healthz_answers(&server));
+}

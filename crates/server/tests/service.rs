@@ -128,6 +128,7 @@ fn eight_concurrent_jobs_from_two_tenants_match_the_direct_oracle() {
         workers: 3,
         max_queue: 64,
         quota: 8,
+        ..SchedulerConfig::default()
     });
     let blur_digest = format!("{:#018x}", oracle_digest(BLUR));
     let heat_digest = format!("{:#018x}", oracle_digest(HEAT));
@@ -244,6 +245,7 @@ fn quota_and_queue_rejections_are_structured() {
         workers: 1,
         max_queue: 1,
         quota: 2,
+        ..SchedulerConfig::default()
     });
     // Two long jobs fill tenant `acme`'s in-flight budget (one running,
     // one queued — which also fills the global queue bound).
@@ -378,4 +380,193 @@ fn draining_daemon_refuses_new_work_with_503() {
     let health = parse(&get(addr, "/healthz").expect("healthz").body);
     assert_eq!(field_str(&health, "status"), "draining");
     server.stop(Duration::from_secs(1));
+}
+
+/// Tentpole round-trip: a journal-armed daemon drains mid-job, reboots
+/// over the same state dir, auto-resumes the interrupted job, and the
+/// final digest matches the uninterrupted oracle bit for bit.
+#[test]
+fn a_rebooted_daemon_resumes_drained_jobs_bit_exact() {
+    let state = scratch_dir("journal-reboot");
+    let expected = format!("{:#018x}", oracle_digest(LONG));
+
+    // First incarnation: admit, observe progress, drain (crash-with-
+    // checkpoint analogue; the SIGKILL analogue lives in the core crate's
+    // process-level test).
+    let (server, addr) = boot(SchedulerConfig {
+        workers: 1,
+        state_dir: Some(state.clone()),
+        ..SchedulerConfig::default()
+    });
+    let job = submit_ok(addr, &submit_body("acme", LONG, "{}"));
+    wait_for_progress(addr, &job, Duration::from_secs(20));
+    server.scheduler().drain(Duration::from_secs(20));
+    let resp = get(addr, &format!("/v1/jobs/{job}")).expect("status");
+    assert_eq!(field_str(&parse(&resp.body), "phase"), "Interrupted");
+    drop(server);
+
+    // Second incarnation over the same state dir: the journal re-admits
+    // the job without any client involvement.
+    let (server, addr) = boot(SchedulerConfig {
+        workers: 1,
+        state_dir: Some(state),
+        ..SchedulerConfig::default()
+    });
+    let resp = get(addr, &format!("/v1/jobs/{job}")).expect("recovered status");
+    assert_eq!(resp.status, 200, "recovered daemon 404ed: {}", resp.body);
+    let v = parse(&resp.body);
+    assert_eq!(
+        v.get("recovered"),
+        Some(&Value::Bool(true)),
+        "{}",
+        resp.body
+    );
+    assert!(field_u64(&v, "restarts") >= 1, "{}", resp.body);
+
+    let resp = get(addr, &format!("/v1/jobs/{job}/result?wait_ms=60000")).expect("result");
+    assert_eq!(
+        resp.status, 200,
+        "resumed job did not finish: {}",
+        resp.body
+    );
+    let v = parse(&resp.body);
+    assert_eq!(field_str(&v, "phase"), "Done", "{}", resp.body);
+    assert_eq!(field_str(&v, "digest"), expected, "resume diverged");
+    drop(server);
+}
+
+/// Satellite: jobs settled before a restart keep answering status and
+/// result queries from the journal instead of 404ing.
+#[test]
+fn settled_job_history_survives_a_reboot() {
+    let state = scratch_dir("journal-history");
+    let (server, addr) = boot(SchedulerConfig {
+        workers: 1,
+        state_dir: Some(state.clone()),
+        ..SchedulerConfig::default()
+    });
+    let job = submit_ok(addr, &submit_body("acme", BLUR, "{}"));
+    let resp = get(addr, &format!("/v1/jobs/{job}/result?wait_ms=30000")).expect("result");
+    assert_eq!(resp.status, 200);
+    let digest = field_str(&parse(&resp.body), "digest");
+    drop(server);
+
+    let (server, addr) = boot(SchedulerConfig {
+        workers: 1,
+        state_dir: Some(state),
+        ..SchedulerConfig::default()
+    });
+    let resp = get(addr, &format!("/v1/jobs/{job}")).expect("historic status");
+    assert_eq!(resp.status, 200, "history 404ed: {}", resp.body);
+    let v = parse(&resp.body);
+    assert_eq!(field_str(&v, "phase"), "Done", "{}", resp.body);
+    assert_eq!(
+        v.get("recovered"),
+        Some(&Value::Bool(true)),
+        "{}",
+        resp.body
+    );
+
+    let resp = get(addr, &format!("/v1/jobs/{job}/result")).expect("historic result");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(field_str(&parse(&resp.body), "digest"), digest);
+    drop(server);
+}
+
+#[cfg(feature = "fault-injection")]
+mod chaos {
+    use super::*;
+    use std::sync::Arc;
+    use stencilcl_exec::{FaultKind, FaultPlan};
+
+    /// The watchdog cancels a job whose heartbeat goes silent and the
+    /// scheduler auto-resumes it; the client only sees a restart count.
+    #[test]
+    fn a_stalled_job_is_cancelled_and_auto_resumed() {
+        let (server, addr) = boot(SchedulerConfig {
+            workers: 1,
+            stall_timeout: Some(Duration::from_millis(200)),
+            faults: Arc::new(FaultPlan::new().inject_job(FaultKind::StallJob(30_000))),
+            ..SchedulerConfig::default()
+        });
+        let expected = format!("{:#018x}", oracle_digest(BLUR));
+        let job = submit_ok(addr, &submit_body("acme", BLUR, "{}"));
+        let resp = get(addr, &format!("/v1/jobs/{job}/result?wait_ms=60000")).expect("result");
+        assert_eq!(resp.status, 200, "stalled job never sealed: {}", resp.body);
+        let v = parse(&resp.body);
+        assert_eq!(field_str(&v, "phase"), "Done", "{}", resp.body);
+        assert_eq!(field_str(&v, "digest"), expected);
+
+        let resp = get(addr, &format!("/v1/jobs/{job}")).expect("status");
+        assert!(
+            field_u64(&parse(&resp.body), "restarts") >= 1,
+            "{}",
+            resp.body
+        );
+
+        let resp = get(addr, "/metrics").expect("metrics");
+        let m = parse(&resp.body);
+        let stalled = m
+            .get("counters")
+            .and_then(|c| c.get("jobs_stalled"))
+            .cloned();
+        assert!(
+            matches!(stalled, Some(Value::UInt(1..)) | Some(Value::Int(1..))),
+            "jobs_stalled missing: {}",
+            resp.body
+        );
+        drop(server);
+    }
+
+    /// With a zero auto-resume budget the stall seals as a structured
+    /// `JobStalled` failure instead of retrying forever.
+    #[test]
+    fn an_exhausted_resume_budget_seals_the_job_as_stalled() {
+        let (server, addr) = boot(SchedulerConfig {
+            workers: 1,
+            stall_timeout: Some(Duration::from_millis(200)),
+            max_auto_resumes: 0,
+            faults: Arc::new(FaultPlan::new().inject_job(FaultKind::StallJob(30_000))),
+            ..SchedulerConfig::default()
+        });
+        let job = submit_ok(addr, &submit_body("acme", BLUR, "{}"));
+        let resp = get(addr, &format!("/v1/jobs/{job}/result?wait_ms=60000")).expect("result");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = parse(&resp.body);
+        assert_eq!(field_str(&v, "phase"), "Failed", "{}", resp.body);
+        let error = field_str(&v, "error");
+        assert!(error.contains("stalled"), "unexpected error: {error}");
+        drop(server);
+    }
+
+    /// A runner thread lost to an escaped panic is respawned and the
+    /// victim job requeued; the pool never shrinks and the job completes.
+    #[test]
+    fn a_runner_panic_respawns_the_thread_and_requeues_the_job() {
+        let (server, addr) = boot(SchedulerConfig {
+            workers: 1,
+            faults: Arc::new(FaultPlan::new().inject_job(FaultKind::RunnerPanicAtJob)),
+            ..SchedulerConfig::default()
+        });
+        let expected = format!("{:#018x}", oracle_digest(HEAT));
+        let job = submit_ok(addr, &submit_body("acme", HEAT, "{}"));
+        let resp = get(addr, &format!("/v1/jobs/{job}/result?wait_ms=60000")).expect("result");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = parse(&resp.body);
+        assert_eq!(field_str(&v, "phase"), "Done", "{}", resp.body);
+        assert_eq!(field_str(&v, "digest"), expected);
+
+        let resp = get(addr, "/metrics").expect("metrics");
+        let m = parse(&resp.body);
+        let respawns = m
+            .get("counters")
+            .and_then(|c| c.get("runner_respawns"))
+            .cloned();
+        assert!(
+            matches!(respawns, Some(Value::UInt(1..)) | Some(Value::Int(1..))),
+            "runner_respawns missing: {}",
+            resp.body
+        );
+        drop(server);
+    }
 }

@@ -59,7 +59,10 @@ impl PhaseTotals {
             // Service-job lifecycle spans are host-side launch overhead —
             // the same bucket the paper's §5.6 attributes its
             // predicted-vs-measured gap to.
-            TracePhase::JobQueued | TracePhase::JobStart | TracePhase::JobDone => {
+            TracePhase::JobQueued
+            | TracePhase::JobStart
+            | TracePhase::JobDone
+            | TracePhase::JobRecover => {
                 self.launch += amount;
             }
         }

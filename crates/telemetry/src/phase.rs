@@ -58,6 +58,9 @@ pub enum TracePhase {
     /// Sealing a finished service job's terminal result (report, digest,
     /// retained grids) into the job table.
     JobDone,
+    /// Re-admitting an interrupted job from the durable journal — daemon
+    /// reboot recovery or a stuck-job watchdog auto-resume.
+    JobRecover,
 }
 
 impl TracePhase {
@@ -78,6 +81,7 @@ impl TracePhase {
             TracePhase::JobQueued => 'Q',
             TracePhase::JobStart => 'J',
             TracePhase::JobDone => 'D',
+            TracePhase::JobRecover => 'R',
         }
     }
 
@@ -99,6 +103,7 @@ impl TracePhase {
             TracePhase::JobQueued => "JobQueued",
             TracePhase::JobStart => "JobStart",
             TracePhase::JobDone => "JobDone",
+            TracePhase::JobRecover => "JobRecover",
         }
     }
 }

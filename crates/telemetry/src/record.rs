@@ -35,6 +35,7 @@ const PH_TILE_STEAL: u64 = 10;
 const PH_JOB_QUEUED: u64 = 11;
 const PH_JOB_START: u64 = 12;
 const PH_JOB_DONE: u64 = 13;
+const PH_JOB_RECOVER: u64 = 14;
 
 fn pack_phase(phase: TracePhase) -> (u64, u64) {
     match phase {
@@ -52,6 +53,7 @@ fn pack_phase(phase: TracePhase) -> (u64, u64) {
         TracePhase::JobQueued => (PH_JOB_QUEUED, 0),
         TracePhase::JobStart => (PH_JOB_START, 0),
         TracePhase::JobDone => (PH_JOB_DONE, 0),
+        TracePhase::JobRecover => (PH_JOB_RECOVER, 0),
     }
 }
 
@@ -70,6 +72,7 @@ fn unpack_phase(disc: u64, iteration: u64) -> TracePhase {
         PH_JOB_QUEUED => TracePhase::JobQueued,
         PH_JOB_START => TracePhase::JobStart,
         PH_JOB_DONE => TracePhase::JobDone,
+        PH_JOB_RECOVER => TracePhase::JobRecover,
         _ => TracePhase::Barrier,
     }
 }
@@ -197,6 +200,9 @@ impl Recorder {
             jobs_admitted: self.counter(Counter::JobsAdmitted),
             jobs_rejected: self.counter(Counter::JobsRejected),
             queue_depth: self.counter(Counter::QueueDepth),
+            jobs_recovered: self.counter(Counter::JobsRecovered),
+            jobs_stalled: self.counter(Counter::JobsStalled),
+            runner_respawns: self.counter(Counter::RunnerRespawns),
         }
     }
 
@@ -335,6 +341,12 @@ pub struct CounterSnapshot {
     pub jobs_rejected: u64,
     /// High-water mark of the scheduler's admission queue depth.
     pub queue_depth: u64,
+    /// Interrupted jobs re-enqueued from the durable journal at boot.
+    pub jobs_recovered: u64,
+    /// Jobs cancelled by the stuck-job watchdog after a silent heartbeat.
+    pub jobs_stalled: u64,
+    /// Pool runners respawned after an escaped panic.
+    pub runner_respawns: u64,
 }
 
 impl Deserialize for CounterSnapshot {
@@ -363,6 +375,9 @@ impl Deserialize for CounterSnapshot {
                 jobs_admitted: field("jobs_admitted")?,
                 jobs_rejected: field("jobs_rejected")?,
                 queue_depth: field("queue_depth")?,
+                jobs_recovered: field("jobs_recovered")?,
+                jobs_stalled: field("jobs_stalled")?,
+                runner_respawns: field("runner_respawns")?,
             }),
             other => Err(serde::DeError::expected(
                 "object for CounterSnapshot",

@@ -53,11 +53,21 @@ pub enum Counter {
     /// jobs simultaneously queued-or-running, maintained by the
     /// scheduler under its admission lock).
     QueueDepth,
+    /// Interrupted jobs re-enqueued from the durable journal when a
+    /// daemon reboots on its `--state-dir` (crash-only recovery).
+    JobsRecovered,
+    /// Jobs whose `Progress` heartbeat went silent past the scheduler's
+    /// stall timeout — each one is cancelled and auto-resumed (or failed
+    /// once the resume budget is spent).
+    JobsStalled,
+    /// Pool runner threads respawned after dying with an escaped panic;
+    /// the victim job is requeued.
+    RunnerRespawns,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::HaloBytes,
         Counter::SlabsSent,
         Counter::SlabsReceived,
@@ -74,6 +84,9 @@ impl Counter {
         Counter::JobsAdmitted,
         Counter::JobsRejected,
         Counter::QueueDepth,
+        Counter::JobsRecovered,
+        Counter::JobsStalled,
+        Counter::RunnerRespawns,
     ];
 
     /// Stable index into counter arrays.
@@ -95,6 +108,9 @@ impl Counter {
             Counter::JobsAdmitted => 13,
             Counter::JobsRejected => 14,
             Counter::QueueDepth => 15,
+            Counter::JobsRecovered => 16,
+            Counter::JobsStalled => 17,
+            Counter::RunnerRespawns => 18,
         }
     }
 
@@ -117,6 +133,9 @@ impl Counter {
             Counter::JobsAdmitted => "jobs_admitted",
             Counter::JobsRejected => "jobs_rejected",
             Counter::QueueDepth => "queue_depth",
+            Counter::JobsRecovered => "jobs_recovered",
+            Counter::JobsStalled => "jobs_stalled",
+            Counter::RunnerRespawns => "runner_respawns",
         }
     }
 }
